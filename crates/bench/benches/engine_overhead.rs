@@ -1,0 +1,46 @@
+//! Engine-level benchmarks on the real runtime (Appendix F.3's
+//! containerization-overhead measurement and a Smallbank multi-transfer on
+//! the live engine). Absolute numbers depend on the host; the interesting
+//! quantity is the per-invocation overhead of an (almost) empty transaction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use reactdb_common::{DeploymentConfig, Value};
+use reactdb_core::{ReactorDatabaseSpec, ReactorType};
+use reactdb_engine::ReactDB;
+use reactdb_workloads::smallbank;
+
+fn empty_txn_db() -> ReactDB {
+    let ty = ReactorType::new("Empty").with_procedure("noop", |_ctx, _args| Ok(Value::Null));
+    let mut spec = ReactorDatabaseSpec::new();
+    spec.add_type(ty);
+    spec.add_reactor("empty-0", "Empty");
+    ReactDB::boot(spec, DeploymentConfig::shared_everything_with_affinity(1))
+}
+
+fn bench_engine(c: &mut Criterion) {
+    // Appendix F.3: overhead of an empty transaction invocation through the
+    // full container/executor/commit path.
+    let db = empty_txn_db();
+    c.bench_function("engine/empty_transaction_overhead", |b| {
+        b.iter(|| db.invoke("empty-0", "noop", vec![]).unwrap())
+    });
+
+    // A size-3 multi-transfer (opt formulation) on the live engine under a
+    // shared-nothing deployment.
+    let customers = 16;
+    let bank = ReactDB::boot(smallbank::spec(customers), DeploymentConfig::shared_nothing(4));
+    smallbank::load(&bank, customers).unwrap();
+    c.bench_function("engine/smallbank_multi_transfer_opt_size3", |b| {
+        b.iter(|| {
+            bank.invoke(
+                &smallbank::customer_name(0),
+                "multi_transfer_opt",
+                smallbank::multi_transfer_invocation(0, &[1, 2, 3], 0.01),
+            )
+            .unwrap()
+        })
+    });
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion wrapper around representative figure configurations, so that
+//! `cargo bench` exercises the simulator-based harness end to end. The full
+//! sweeps are produced by the `figures` binary.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use reactdb_sim::{SimCosts, SimDeployment, SimStrategy, Simulator};
+use reactdb_workloads::smallbank::{self, Formulation};
+use reactdb_workloads::tpcc::TpccSimWorkload;
+
+fn bench_figures(c: &mut Criterion) {
+    // Figure 5 point: opt formulation, size 7, shared-nothing over 7
+    // executors.
+    c.bench_function("figures/fig05_opt_size7", |b| {
+        let deployment = SimDeployment::striped(SimStrategy::SharedNothing, 7, 7000);
+        let sim = Simulator::new(deployment, SimCosts::default());
+        let dests: Vec<usize> = (1..=7).map(|i| i * 999).collect();
+        b.iter(|| {
+            let d = dests.clone();
+            let mut wl =
+                move |_: usize, _: &mut StdRng| smallbank::sim_profile(Formulation::Opt, 0, &d);
+            sim.run(&mut wl, 1, 100, 1).avg_latency_us()
+        })
+    });
+
+    // Figure 7 point: TPC-C standard mix, 4 warehouses, 8 workers,
+    // shared-everything-with-affinity.
+    c.bench_function("figures/fig07_tpcc_sf4_8workers", |b| {
+        let deployment = SimDeployment::striped(SimStrategy::SharedEverythingWithAffinity, 4, 4);
+        let sim = Simulator::new(deployment, SimCosts::default());
+        b.iter(|| {
+            let mut wl = TpccSimWorkload::standard(4);
+            sim.run(&mut wl, 8, 100, 1).throughput_tps()
+        })
+    });
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

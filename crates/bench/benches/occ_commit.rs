@@ -1,0 +1,61 @@
+//! Micro-benchmarks of the Silo OCC commit path: read-only validation,
+//! single-record updates and multi-participant (2PC) commits.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use reactdb_common::{ContainerId, Key, Value};
+use reactdb_storage::{ColumnType, Schema, Table, Tuple};
+use reactdb_txn::{Coordinator, EpochManager, OccTxn, TidGen};
+use std::sync::Arc;
+
+fn table(rows: i64) -> Arc<Table> {
+    let schema = Schema::of(&[("id", ColumnType::Int), ("v", ColumnType::Int)], &["id"]);
+    let t = Arc::new(Table::new("t", schema));
+    for i in 0..rows {
+        t.load_row(Tuple::of([Value::Int(i), Value::Int(0)])).unwrap();
+    }
+    t
+}
+
+fn bench_occ(c: &mut Criterion) {
+    let t0 = table(10_000);
+    let t1 = table(10_000);
+    let epoch = EpochManager::new();
+    let gen = TidGen::new();
+
+    c.bench_function("occ/read_only_commit", |b| {
+        b.iter(|| {
+            let mut p = OccTxn::new(ContainerId(0));
+            for k in 0..8i64 {
+                p.read(&t0, &Key::Int(k * 13)).unwrap();
+            }
+            Coordinator::commit(std::slice::from_mut(&mut p), &epoch, &gen).unwrap();
+        })
+    });
+
+    c.bench_function("occ/update_commit", |b| {
+        let mut i = 0i64;
+        b.iter(|| {
+            i = (i + 1) % 10_000;
+            let mut p = OccTxn::new(ContainerId(0));
+            let row = p.read_expected(&t0, &Key::Int(i)).unwrap();
+            let v = row.at(1).as_int();
+            p.update(&t0, Tuple::of([Value::Int(i), Value::Int(v + 1)])).unwrap();
+            Coordinator::commit(std::slice::from_mut(&mut p), &epoch, &gen).unwrap();
+        })
+    });
+
+    c.bench_function("occ/two_participant_2pc_commit", |b| {
+        let mut i = 0i64;
+        b.iter(|| {
+            i = (i + 1) % 10_000;
+            let mut p0 = OccTxn::new(ContainerId(0));
+            let mut p1 = OccTxn::new(ContainerId(1));
+            p0.update(&t0, Tuple::of([Value::Int(i), Value::Int(1)])).unwrap();
+            p1.update(&t1, Tuple::of([Value::Int(i), Value::Int(1)])).unwrap();
+            Coordinator::commit(&mut [p0, p1], &epoch, &gen).unwrap();
+        })
+    });
+}
+
+criterion_group!(benches, bench_occ);
+criterion_main!(benches);

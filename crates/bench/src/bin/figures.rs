@@ -1,0 +1,39 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! cargo run --release -p reactdb-bench --bin figures            # everything
+//! cargo run --release -p reactdb-bench --bin figures -- fig05   # one experiment
+//! ```
+//!
+//! Valid experiment names: fig05, fig06, fig07, fig08, fig09, fig10, fig11,
+//! fig12, fig13, fig14, table1, fig15, fig16, fig17, fig18, fig19.
+
+use reactdb_bench::figures;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        figures::run_all();
+        return;
+    }
+    for arg in args {
+        match arg.as_str() {
+            "fig05" => figures::fig05(),
+            "fig06" => figures::fig06(),
+            "fig07" | "fig08" => figures::fig07_08(),
+            "fig09" | "fig10" => figures::fig09_10(),
+            "fig11" => figures::fig11(),
+            "fig12" => figures::fig12(),
+            "fig13" | "fig14" => figures::fig13_14(),
+            "table1" => figures::table1(),
+            "fig15" | "fig16" => figures::fig15_16(),
+            "fig17" | "fig18" => figures::fig17_18(),
+            "fig19" => figures::fig19(),
+            "all" => figures::run_all(),
+            other => {
+                eprintln!("unknown experiment {other}; see --help text in the source");
+                std::process::exit(2);
+            }
+        }
+    }
+}

@@ -1,0 +1,10 @@
+//! Benchmark harness for ReactDB-rs.
+//!
+//! Shared utilities used by the per-figure binaries in `src/bin/` and the
+//! Criterion micro-benchmarks in `benches/`. See `EXPERIMENTS.md` for the
+//! mapping between the paper's tables/figures and the harness targets.
+
+pub mod figures;
+pub mod harness;
+
+pub use harness::{print_series, print_table, SeriesPoint};

@@ -1,0 +1,281 @@
+//! Deployment configuration: the paper's "configuration file".
+//!
+//! ReactDB decomposes and virtualizes database architecture into
+//! *containers* (isolated memory regions with their own concurrency control)
+//! and *transaction executors* (compute resources that own or share
+//! reactors). §3.3 shows that by editing only this configuration — never the
+//! application code — an infrastructure engineer can deploy the same reactor
+//! database as a shared-everything engine, an affinity-based
+//! shared-everything engine, or a shared-nothing engine.
+//!
+//! [`DeploymentConfig`] is that configuration, expressed as a serde-friendly
+//! value so it can be read from a JSON file or constructed programmatically.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{ContainerId, ExecutorId};
+
+/// How a transaction router picks the executor that will run a root
+/// transaction (§3.1, "transaction routers").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RouterPolicy {
+    /// Load-balance root transactions over the container's executors in
+    /// round-robin order, ignoring which reactor they target (strategy S1).
+    RoundRobin,
+    /// Route every transaction for a given reactor to the same executor
+    /// (strategies S2 and S3), maximising memory-access affinity.
+    Affinity,
+}
+
+/// Configuration of one transaction executor.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExecutorConfig {
+    /// Identifier of the executor, unique across the deployment.
+    pub id: ExecutorId,
+    /// Container this executor belongs to.
+    pub container: ContainerId,
+    /// Multi-programming level: how many (sub-)transactions the executor may
+    /// process concurrently (§3.2.3). Shared-everything-with-affinity runs
+    /// with an MPL of 1; asynchronous shared-nothing deployments need a
+    /// higher MPL so that an executor blocked on a remote future can keep
+    /// draining its request queue.
+    pub mpl: usize,
+}
+
+/// The three deployment strategies evaluated in the paper (§3.3), plus a
+/// fully custom mapping for other flexible deployments ("similar to [44]").
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DeploymentStrategy {
+    /// S1: a single container; every executor can run transactions on behalf
+    /// of any reactor; round-robin routing.
+    SharedEverythingWithoutAffinity {
+        /// Number of transaction executors in the single container.
+        executors: usize,
+    },
+    /// S2: a single container; an affinity router sends all transactions of a
+    /// reactor to the same executor; sub-transactions are inlined (no
+    /// migration of control).
+    SharedEverythingWithAffinity {
+        /// Number of transaction executors in the single container.
+        executors: usize,
+    },
+    /// S3: as many containers as executors; every reactor is mapped to
+    /// exactly one executor; cross-container sub-transactions migrate
+    /// control to the owning executor.
+    SharedNothing {
+        /// Number of containers (= executors).
+        executors: usize,
+    },
+    /// Arbitrary explicit mapping: `container_of[r]` gives the container of
+    /// reactor `r` (by dense reactor id) and `executors` lists the executor
+    /// configuration. Used by tests and by deployments that group several
+    /// reactors per container (e.g. the Smallbank deployment with 1000
+    /// reactors per container, §4.1.3).
+    Custom {
+        /// Router policy applied inside each container.
+        router: RouterPolicy,
+        /// Executor configuration (ids must be dense starting at 0).
+        executors: Vec<ExecutorConfig>,
+        /// For every reactor (dense id order), the container hosting it.
+        container_of: Vec<ContainerId>,
+    },
+}
+
+/// A complete deployment: strategy plus knobs shared by all strategies.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeploymentConfig {
+    /// The architecture strategy.
+    pub strategy: DeploymentStrategy,
+    /// Default multi-programming level per executor for the non-custom
+    /// strategies.
+    pub default_mpl: usize,
+}
+
+impl DeploymentConfig {
+    /// Shared-everything deployment without affinity (S1).
+    pub fn shared_everything_without_affinity(executors: usize) -> Self {
+        Self {
+            strategy: DeploymentStrategy::SharedEverythingWithoutAffinity { executors },
+            default_mpl: 1,
+        }
+    }
+
+    /// Shared-everything deployment with affinity routing (S2).
+    pub fn shared_everything_with_affinity(executors: usize) -> Self {
+        Self {
+            strategy: DeploymentStrategy::SharedEverythingWithAffinity { executors },
+            default_mpl: 1,
+        }
+    }
+
+    /// Shared-nothing deployment (S3); whether programs run `sync` or `async`
+    /// is a property of the application programs, not of the deployment.
+    pub fn shared_nothing(executors: usize) -> Self {
+        Self {
+            strategy: DeploymentStrategy::SharedNothing { executors },
+            default_mpl: 4,
+        }
+    }
+
+    /// Sets the default multi-programming level.
+    pub fn with_mpl(mut self, mpl: usize) -> Self {
+        self.default_mpl = mpl.max(1);
+        self
+    }
+
+    /// Number of transaction executors in this deployment.
+    pub fn executor_count(&self) -> usize {
+        match &self.strategy {
+            DeploymentStrategy::SharedEverythingWithoutAffinity { executors }
+            | DeploymentStrategy::SharedEverythingWithAffinity { executors }
+            | DeploymentStrategy::SharedNothing { executors } => *executors,
+            DeploymentStrategy::Custom { executors, .. } => executors.len(),
+        }
+    }
+
+    /// Number of containers in this deployment.
+    pub fn container_count(&self) -> usize {
+        match &self.strategy {
+            DeploymentStrategy::SharedEverythingWithoutAffinity { .. }
+            | DeploymentStrategy::SharedEverythingWithAffinity { .. } => 1,
+            DeploymentStrategy::SharedNothing { executors } => *executors,
+            DeploymentStrategy::Custom { executors, .. } => {
+                executors.iter().map(|e| e.container.raw() + 1).max().unwrap_or(0) as usize
+            }
+        }
+    }
+
+    /// Router policy of this deployment.
+    pub fn router_policy(&self) -> RouterPolicy {
+        match &self.strategy {
+            DeploymentStrategy::SharedEverythingWithoutAffinity { .. } => RouterPolicy::RoundRobin,
+            DeploymentStrategy::SharedEverythingWithAffinity { .. }
+            | DeploymentStrategy::SharedNothing { .. } => RouterPolicy::Affinity,
+            DeploymentStrategy::Custom { router, .. } => *router,
+        }
+    }
+
+    /// Maps a reactor (by dense id) to the container that hosts it, given the
+    /// total number of reactors in the database. Non-custom strategies use
+    /// the paper's range/affinity mapping: shared-everything puts everything
+    /// in container 0; shared-nothing assigns reactor `r` to container
+    /// `r % executors` so that reactors spread evenly.
+    pub fn container_of_reactor(&self, reactor_idx: usize, _total_reactors: usize) -> ContainerId {
+        match &self.strategy {
+            DeploymentStrategy::SharedEverythingWithoutAffinity { .. }
+            | DeploymentStrategy::SharedEverythingWithAffinity { .. } => ContainerId(0),
+            DeploymentStrategy::SharedNothing { executors } => {
+                ContainerId((reactor_idx % executors.max(&1)) as u64)
+            }
+            DeploymentStrategy::Custom { container_of, .. } => container_of
+                .get(reactor_idx)
+                .copied()
+                .unwrap_or(ContainerId((reactor_idx % container_of.len().max(1)) as u64)),
+        }
+    }
+
+    /// Expands the deployment into the per-executor configuration list.
+    pub fn executor_configs(&self) -> Vec<ExecutorConfig> {
+        match &self.strategy {
+            DeploymentStrategy::SharedEverythingWithoutAffinity { executors }
+            | DeploymentStrategy::SharedEverythingWithAffinity { executors } => (0..*executors)
+                .map(|i| ExecutorConfig {
+                    id: ExecutorId(i as u64),
+                    container: ContainerId(0),
+                    mpl: self.default_mpl,
+                })
+                .collect(),
+            DeploymentStrategy::SharedNothing { executors } => (0..*executors)
+                .map(|i| ExecutorConfig {
+                    id: ExecutorId(i as u64),
+                    container: ContainerId(i as u64),
+                    mpl: self.default_mpl,
+                })
+                .collect(),
+            DeploymentStrategy::Custom { executors, .. } => executors.clone(),
+        }
+    }
+
+    /// Serializes this deployment to a JSON configuration file string.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("deployment config serializes")
+    }
+
+    /// Parses a deployment from a JSON configuration file string.
+    pub fn from_json(text: &str) -> std::result::Result<Self, serde_json::Error> {
+        serde_json::from_str(text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strategy_shapes() {
+        let s1 = DeploymentConfig::shared_everything_without_affinity(4);
+        assert_eq!(s1.executor_count(), 4);
+        assert_eq!(s1.container_count(), 1);
+        assert_eq!(s1.router_policy(), RouterPolicy::RoundRobin);
+
+        let s2 = DeploymentConfig::shared_everything_with_affinity(8);
+        assert_eq!(s2.container_count(), 1);
+        assert_eq!(s2.router_policy(), RouterPolicy::Affinity);
+
+        let s3 = DeploymentConfig::shared_nothing(8);
+        assert_eq!(s3.container_count(), 8);
+        assert_eq!(s3.executor_count(), 8);
+        assert_eq!(s3.router_policy(), RouterPolicy::Affinity);
+    }
+
+    #[test]
+    fn reactor_to_container_mapping() {
+        let s3 = DeploymentConfig::shared_nothing(4);
+        assert_eq!(s3.container_of_reactor(0, 8), ContainerId(0));
+        assert_eq!(s3.container_of_reactor(5, 8), ContainerId(1));
+        let s2 = DeploymentConfig::shared_everything_with_affinity(4);
+        assert_eq!(s2.container_of_reactor(5, 8), ContainerId(0));
+    }
+
+    #[test]
+    fn executor_configs_are_dense() {
+        let cfg = DeploymentConfig::shared_nothing(3).with_mpl(2);
+        let execs = cfg.executor_configs();
+        assert_eq!(execs.len(), 3);
+        assert_eq!(execs[2].id, ExecutorId(2));
+        assert_eq!(execs[2].container, ContainerId(2));
+        assert_eq!(execs[2].mpl, 2);
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_config() {
+        let cfg = DeploymentConfig::shared_nothing(7).with_mpl(3);
+        let text = cfg.to_json();
+        let back = DeploymentConfig::from_json(&text).unwrap();
+        assert_eq!(cfg, back);
+    }
+
+    #[test]
+    fn custom_mapping_is_respected() {
+        let cfg = DeploymentConfig {
+            strategy: DeploymentStrategy::Custom {
+                router: RouterPolicy::Affinity,
+                executors: vec![
+                    ExecutorConfig { id: ExecutorId(0), container: ContainerId(0), mpl: 1 },
+                    ExecutorConfig { id: ExecutorId(1), container: ContainerId(1), mpl: 1 },
+                ],
+                container_of: vec![ContainerId(0), ContainerId(0), ContainerId(1)],
+            },
+            default_mpl: 1,
+        };
+        assert_eq!(cfg.container_count(), 2);
+        assert_eq!(cfg.container_of_reactor(2, 3), ContainerId(1));
+        assert_eq!(cfg.container_of_reactor(1, 3), ContainerId(0));
+    }
+
+    #[test]
+    fn mpl_is_clamped_to_at_least_one() {
+        let cfg = DeploymentConfig::shared_nothing(2).with_mpl(0);
+        assert_eq!(cfg.default_mpl, 1);
+    }
+}

@@ -1,0 +1,148 @@
+//! Error taxonomy for transactions in the reactor model.
+//!
+//! Every condition that leads to an abort of a sub-transaction leads to the
+//! abort of the corresponding root transaction (§2.2.3); the variants below
+//! distinguish *why* a transaction aborted, because the evaluation reports
+//! abort rates separately for concurrency-control conflicts and
+//! application-defined aborts (e.g. the exchange's exposure limit).
+
+use std::fmt;
+
+/// Convenient result alias used across the workspace.
+pub type Result<T> = std::result::Result<T, TxnError>;
+
+/// Reasons a transaction or sub-transaction can abort or fail.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TxnError {
+    /// The application logic requested an abort (user-defined abort
+    /// condition, e.g. insufficient funds or exceeded exposure).
+    UserAbort(String),
+    /// OCC validation failed: a record read by this transaction was modified
+    /// or locked by a concurrent transaction before commit.
+    ValidationFailed,
+    /// Two-phase commit aborted because one of the participating containers
+    /// voted no.
+    CommitAborted,
+    /// The dynamic intra-transaction safety condition of §2.2.4 was violated:
+    /// two concurrent sub-transactions of the same root transaction were
+    /// scheduled on the same reactor.
+    DangerousStructure {
+        /// The reactor on which the conflicting sub-transaction was detected.
+        reactor: String,
+    },
+    /// A procedure referenced a reactor name that is not declared in the
+    /// reactor database.
+    UnknownReactor(String),
+    /// A procedure referenced a procedure name not registered for the target
+    /// reactor's type.
+    UnknownProcedure {
+        /// The reactor type on which lookup was attempted.
+        reactor_type: String,
+        /// The missing procedure name.
+        procedure: String,
+    },
+    /// A query referenced a relation that does not exist in the reactor's
+    /// encapsulated schema.
+    UnknownRelation(String),
+    /// A query referenced a column that does not exist in the relation.
+    UnknownColumn {
+        /// Relation that was queried.
+        relation: String,
+        /// The missing column name.
+        column: String,
+    },
+    /// A primary-key insert collided with an existing row.
+    DuplicateKey {
+        /// Relation into which the insert was attempted.
+        relation: String,
+        /// The offending key rendered as text.
+        key: String,
+    },
+    /// A read, update or delete referenced a primary key that does not exist.
+    NotFound {
+        /// Relation that was accessed.
+        relation: String,
+        /// The missing key rendered as text.
+        key: String,
+    },
+    /// The runtime rejected the request (executor shut down, queue closed).
+    Runtime(String),
+    /// Wrong number or type of arguments passed to a registered procedure.
+    BadArguments(String),
+}
+
+impl TxnError {
+    /// True when the error is a concurrency-control abort that a client
+    /// driver would ordinarily retry (validation failure or distributed
+    /// commit abort).
+    pub fn is_cc_abort(&self) -> bool {
+        matches!(self, TxnError::ValidationFailed | TxnError::CommitAborted)
+    }
+
+    /// True when the abort was requested by application logic.
+    pub fn is_user_abort(&self) -> bool {
+        matches!(self, TxnError::UserAbort(_))
+    }
+
+    /// True when the abort was caused by the intra-transaction safety
+    /// condition (a dangerous call structure, §2.2.4).
+    pub fn is_dangerous_structure(&self) -> bool {
+        matches!(self, TxnError::DangerousStructure { .. })
+    }
+}
+
+impl fmt::Display for TxnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TxnError::UserAbort(msg) => write!(f, "user abort: {msg}"),
+            TxnError::ValidationFailed => write!(f, "OCC validation failed"),
+            TxnError::CommitAborted => write!(f, "distributed commit aborted"),
+            TxnError::DangerousStructure { reactor } => {
+                write!(f, "dangerous call structure on reactor {reactor}")
+            }
+            TxnError::UnknownReactor(name) => write!(f, "unknown reactor {name}"),
+            TxnError::UnknownProcedure { reactor_type, procedure } => {
+                write!(f, "unknown procedure {procedure} on reactor type {reactor_type}")
+            }
+            TxnError::UnknownRelation(name) => write!(f, "unknown relation {name}"),
+            TxnError::UnknownColumn { relation, column } => {
+                write!(f, "unknown column {column} in relation {relation}")
+            }
+            TxnError::DuplicateKey { relation, key } => {
+                write!(f, "duplicate key {key} in relation {relation}")
+            }
+            TxnError::NotFound { relation, key } => {
+                write!(f, "key {key} not found in relation {relation}")
+            }
+            TxnError::Runtime(msg) => write!(f, "runtime error: {msg}"),
+            TxnError::BadArguments(msg) => write!(f, "bad arguments: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TxnError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_helpers() {
+        assert!(TxnError::ValidationFailed.is_cc_abort());
+        assert!(TxnError::CommitAborted.is_cc_abort());
+        assert!(!TxnError::UserAbort("x".into()).is_cc_abort());
+        assert!(TxnError::UserAbort("x".into()).is_user_abort());
+        assert!(TxnError::DangerousStructure { reactor: "r".into() }.is_dangerous_structure());
+    }
+
+    #[test]
+    fn display_is_human_readable() {
+        let e = TxnError::NotFound { relation: "orders".into(), key: "42".into() };
+        assert_eq!(e.to_string(), "key 42 not found in relation orders");
+        let e = TxnError::UnknownProcedure {
+            reactor_type: "Provider".into(),
+            procedure: "calc_risk".into(),
+        };
+        assert!(e.to_string().contains("calc_risk"));
+    }
+}

@@ -1,0 +1,24 @@
+//! Common foundation types for ReactDB-rs.
+//!
+//! This crate contains the vocabulary shared by every other crate in the
+//! workspace: relational [`Value`]s and keys, identifiers for reactors,
+//! containers, executors and transactions, the error taxonomy, the
+//! deployment configuration model (the paper's "configuration file" that
+//! virtualizes database architecture, §3.3), random-distribution helpers used
+//! by the workloads, and small statistics utilities used by the benchmark
+//! harness.
+//!
+//! Nothing in this crate depends on the storage engine, the concurrency
+//! control layer or the runtime; it is the bottom of the dependency stack.
+
+pub mod config;
+pub mod error;
+pub mod ids;
+pub mod stats;
+pub mod value;
+pub mod zipf;
+
+pub use config::{DeploymentConfig, DeploymentStrategy, ExecutorConfig, RouterPolicy};
+pub use error::{Result, TxnError};
+pub use ids::{ContainerId, ExecutorId, ReactorId, ReactorName, SubTxnId, TxnId};
+pub use value::{Key, Value};

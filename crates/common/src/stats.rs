@@ -1,0 +1,244 @@
+//! Measurement utilities used by the benchmark harness.
+//!
+//! The paper uses an epoch-based measurement methodology similar to
+//! OLTP-Bench (§4.1.2): latency and throughput are averaged over 50 epochs
+//! and the standard deviation is reported as error bars. [`EpochStats`]
+//! implements exactly that aggregation; [`LatencyRecorder`] collects raw
+//! per-transaction samples within one epoch.
+
+use serde::{Deserialize, Serialize};
+
+/// Collects individual latency samples (in microseconds) and abort counts
+/// within a single measurement epoch.
+#[derive(Debug, Default, Clone)]
+pub struct LatencyRecorder {
+    samples_us: Vec<f64>,
+    committed: u64,
+    aborted: u64,
+    user_aborted: u64,
+}
+
+impl LatencyRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a committed transaction with the given latency.
+    pub fn record_commit(&mut self, latency_us: f64) {
+        self.samples_us.push(latency_us);
+        self.committed += 1;
+    }
+
+    /// Records a transaction aborted by concurrency control.
+    pub fn record_abort(&mut self) {
+        self.aborted += 1;
+    }
+
+    /// Records a transaction aborted by application logic.
+    pub fn record_user_abort(&mut self) {
+        self.user_aborted += 1;
+    }
+
+    /// Number of committed transactions.
+    pub fn committed(&self) -> u64 {
+        self.committed
+    }
+
+    /// Number of concurrency-control aborts.
+    pub fn aborted(&self) -> u64 {
+        self.aborted
+    }
+
+    /// Number of user aborts.
+    pub fn user_aborted(&self) -> u64 {
+        self.user_aborted
+    }
+
+    /// Average latency in microseconds over the committed transactions;
+    /// zero if no transaction committed.
+    pub fn avg_latency_us(&self) -> f64 {
+        if self.samples_us.is_empty() {
+            0.0
+        } else {
+            self.samples_us.iter().sum::<f64>() / self.samples_us.len() as f64
+        }
+    }
+
+    /// p-th percentile latency (0.0..=1.0) over committed transactions.
+    pub fn percentile_us(&self, p: f64) -> f64 {
+        if self.samples_us.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.samples_us.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let idx = ((sorted.len() - 1) as f64 * p.clamp(0.0, 1.0)).round() as usize;
+        sorted[idx]
+    }
+
+    /// Abort rate: cc aborts / (commits + cc aborts).
+    pub fn abort_rate(&self) -> f64 {
+        let attempts = self.committed + self.aborted;
+        if attempts == 0 {
+            0.0
+        } else {
+            self.aborted as f64 / attempts as f64
+        }
+    }
+
+    /// Merges another recorder (e.g. from another worker thread) into this
+    /// one.
+    pub fn merge(&mut self, other: &LatencyRecorder) {
+        self.samples_us.extend_from_slice(&other.samples_us);
+        self.committed += other.committed;
+        self.aborted += other.aborted;
+        self.user_aborted += other.user_aborted;
+    }
+}
+
+/// One aggregated data point reported by the harness: the mean and standard
+/// deviation of a metric over measurement epochs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MeanStd {
+    /// Mean over epochs.
+    pub mean: f64,
+    /// Standard deviation over epochs.
+    pub std: f64,
+}
+
+impl MeanStd {
+    /// Computes mean and standard deviation of the given samples.
+    pub fn of(samples: &[f64]) -> Self {
+        if samples.is_empty() {
+            return Self { mean: 0.0, std: 0.0 };
+        }
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>()
+            / samples.len() as f64;
+        Self { mean, std: var.sqrt() }
+    }
+}
+
+/// Aggregates per-epoch throughput and latency in the style of §4.1.2.
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+pub struct EpochStats {
+    /// Throughput of each epoch in transactions per second.
+    pub epoch_throughput_tps: Vec<f64>,
+    /// Average latency of each epoch in microseconds.
+    pub epoch_latency_us: Vec<f64>,
+    /// Abort rate of each epoch.
+    pub epoch_abort_rate: Vec<f64>,
+}
+
+impl EpochStats {
+    /// Creates an empty aggregation.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one epoch's results: the recorder holding that epoch's samples
+    /// and the epoch duration in seconds.
+    pub fn push_epoch(&mut self, recorder: &LatencyRecorder, epoch_seconds: f64) {
+        let tps = if epoch_seconds > 0.0 {
+            recorder.committed() as f64 / epoch_seconds
+        } else {
+            0.0
+        };
+        self.epoch_throughput_tps.push(tps);
+        self.epoch_latency_us.push(recorder.avg_latency_us());
+        self.epoch_abort_rate.push(recorder.abort_rate());
+    }
+
+    /// Number of epochs aggregated so far.
+    pub fn epochs(&self) -> usize {
+        self.epoch_throughput_tps.len()
+    }
+
+    /// Mean/std of throughput across epochs (txn/sec).
+    pub fn throughput(&self) -> MeanStd {
+        MeanStd::of(&self.epoch_throughput_tps)
+    }
+
+    /// Mean/std of average latency across epochs (µs).
+    pub fn latency_us(&self) -> MeanStd {
+        MeanStd::of(&self.epoch_latency_us)
+    }
+
+    /// Mean abort rate across epochs.
+    pub fn abort_rate(&self) -> f64 {
+        MeanStd::of(&self.epoch_abort_rate).mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recorder_basic_accounting() {
+        let mut r = LatencyRecorder::new();
+        r.record_commit(10.0);
+        r.record_commit(20.0);
+        r.record_abort();
+        r.record_user_abort();
+        assert_eq!(r.committed(), 2);
+        assert_eq!(r.aborted(), 1);
+        assert_eq!(r.user_aborted(), 1);
+        assert!((r.avg_latency_us() - 15.0).abs() < 1e-9);
+        assert!((r.abort_rate() - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn recorder_percentiles() {
+        let mut r = LatencyRecorder::new();
+        for i in 1..=100 {
+            r.record_commit(i as f64);
+        }
+        assert_eq!(r.percentile_us(0.0), 1.0);
+        assert_eq!(r.percentile_us(1.0), 100.0);
+        assert!((r.percentile_us(0.5) - 50.0).abs() <= 1.0);
+    }
+
+    #[test]
+    fn recorder_merge() {
+        let mut a = LatencyRecorder::new();
+        a.record_commit(10.0);
+        let mut b = LatencyRecorder::new();
+        b.record_commit(30.0);
+        b.record_abort();
+        a.merge(&b);
+        assert_eq!(a.committed(), 2);
+        assert_eq!(a.aborted(), 1);
+        assert!((a.avg_latency_us() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_recorder_is_safe() {
+        let r = LatencyRecorder::new();
+        assert_eq!(r.avg_latency_us(), 0.0);
+        assert_eq!(r.percentile_us(0.5), 0.0);
+        assert_eq!(r.abort_rate(), 0.0);
+    }
+
+    #[test]
+    fn mean_std_of_constant_series_has_zero_std() {
+        let m = MeanStd::of(&[5.0, 5.0, 5.0]);
+        assert_eq!(m.mean, 5.0);
+        assert_eq!(m.std, 0.0);
+    }
+
+    #[test]
+    fn epoch_stats_aggregation() {
+        let mut stats = EpochStats::new();
+        for _ in 0..3 {
+            let mut r = LatencyRecorder::new();
+            r.record_commit(100.0);
+            r.record_commit(200.0);
+            stats.push_epoch(&r, 1.0);
+        }
+        assert_eq!(stats.epochs(), 3);
+        assert!((stats.throughput().mean - 2.0).abs() < 1e-9);
+        assert!((stats.latency_us().mean - 150.0).abs() < 1e-9);
+        assert_eq!(stats.abort_rate(), 0.0);
+    }
+}

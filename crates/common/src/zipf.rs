@@ -1,0 +1,178 @@
+//! Random-distribution helpers used by workload generators.
+//!
+//! * [`Zipfian`] — the classic Zipf/zeta sampler used by YCSB (Appendix C
+//!   varies the zipfian constant from 0.01 to 5.0 to control skew).
+//! * [`NonUniform`] — TPC-C's `NURand(A, x, y)` non-uniform distribution.
+//! * [`uniform_in`] — inclusive uniform helper used everywhere else.
+
+use rand::Rng;
+
+/// A Zipfian sampler over `0..n` with exponent `theta` (the "zipfian
+/// constant"). Uses the Gray et al. rejection-free method, precomputing the
+/// normalisation constants, which keeps per-sample cost O(1).
+#[derive(Debug, Clone)]
+pub struct Zipfian {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+}
+
+impl Zipfian {
+    /// Creates a sampler over the item space `0..n` with skew `theta`.
+    /// `theta == 0.0` degenerates to the uniform distribution; the paper's
+    /// Appendix C uses values between 0.01 and 5.0.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n > 0, "zipfian item space must be non-empty");
+        let zetan = Self::zeta(n, theta);
+        let zeta2 = Self::zeta(2, theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = if n > 1 {
+            (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan)
+        } else {
+            0.0
+        };
+        Self { n, theta, alpha, zetan, eta }
+    }
+
+    fn zeta(n: u64, theta: f64) -> f64 {
+        // For very skewed or very large spaces the partial harmonic sum is
+        // still cheap at workload-generation scale (n <= a few hundred
+        // thousand in the paper's setups).
+        (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+    }
+
+    /// Number of items in the sampled space.
+    pub fn item_count(&self) -> u64 {
+        self.n
+    }
+
+    /// Skew parameter of this sampler.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// Draws the next item in `0..n` (0 is the most popular item).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        if self.n == 1 {
+            return 0;
+        }
+        let u: f64 = rng.gen();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let v = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        v.min(self.n - 1)
+    }
+}
+
+/// TPC-C's non-uniform random distribution `NURand(A, x, y)`.
+#[derive(Debug, Clone, Copy)]
+pub struct NonUniform {
+    a: u64,
+    c: u64,
+    x: u64,
+    y: u64,
+}
+
+impl NonUniform {
+    /// Creates a `NURand(A, x, y)` generator with constant offset `c`.
+    pub fn new(a: u64, c: u64, x: u64, y: u64) -> Self {
+        assert!(x <= y, "NURand requires x <= y");
+        Self { a, c, x, y }
+    }
+
+    /// Standard generator for customer ids (`NURand(1023, 1, 3000)`).
+    pub fn customer_id() -> Self {
+        Self::new(1023, 259, 1, 3000)
+    }
+
+    /// Standard generator for item ids (`NURand(8191, 1, 100000)`).
+    pub fn item_id() -> Self {
+        Self::new(8191, 7911, 1, 100_000)
+    }
+
+    /// Draws the next value in `x..=y`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let lead = rng.gen_range(0..=self.a);
+        let follow = rng.gen_range(self.x..=self.y);
+        (((lead | follow) + self.c) % (self.y - self.x + 1)) + self.x
+    }
+}
+
+/// Draws a uniform value in the inclusive range `[lo, hi]`.
+pub fn uniform_in<R: Rng + ?Sized>(rng: &mut R, lo: u64, hi: u64) -> u64 {
+    rng.gen_range(lo..=hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zipfian_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let z = Zipfian::new(100, 0.99);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 100);
+        }
+    }
+
+    #[test]
+    fn zipfian_high_skew_concentrates_on_head() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let z = Zipfian::new(1000, 2.0);
+        let hits_head =
+            (0..10_000).filter(|_| z.sample(&mut rng) < 10).count();
+        assert!(hits_head > 8_000, "expected >80% of draws in the head, got {hits_head}");
+    }
+
+    #[test]
+    fn zipfian_low_skew_is_spread_out() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let z = Zipfian::new(1000, 0.01);
+        let hits_head = (0..10_000).filter(|_| z.sample(&mut rng) < 10).count();
+        assert!(hits_head < 1_000, "low skew should not concentrate, got {hits_head}");
+    }
+
+    #[test]
+    fn zipfian_single_item_space() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let z = Zipfian::new(1, 0.99);
+        assert_eq!(z.sample(&mut rng), 0);
+    }
+
+    #[test]
+    fn nurand_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = NonUniform::customer_id();
+        for _ in 0..10_000 {
+            let v = n.sample(&mut rng);
+            assert!((1..=3000).contains(&v));
+        }
+    }
+
+    #[test]
+    fn uniform_in_is_inclusive() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut saw_lo = false;
+        let mut saw_hi = false;
+        for _ in 0..10_000 {
+            let v = uniform_in(&mut rng, 3, 5);
+            assert!((3..=5).contains(&v));
+            saw_lo |= v == 3;
+            saw_hi |= v == 5;
+        }
+        assert!(saw_lo && saw_hi);
+    }
+}

@@ -1,0 +1,392 @@
+//! The execution context handed to reactor procedures.
+//!
+//! A [`ReactorCtx`] gives a procedure exactly the two capabilities the model
+//! allows (§2.2.2):
+//!
+//! 1. declarative operations over the relations encapsulated by the reactor
+//!    the procedure is running on — point reads, inserts, updates, deletes,
+//!    scans, index lookups and aggregates, all of which are routed through
+//!    the transaction's OCC participant so serializability is preserved;
+//! 2. [`ReactorCtx::call`] — an asynchronous procedure invocation on another
+//!    (or the same) reactor, returning a [`ReactorFuture`]. How the call is
+//!    executed (inlined, same-executor synchronous, or dispatched to another
+//!    container) is decided by the runtime behind the [`CallBackend`] trait.
+//!
+//! The context also records the futures of asynchronous children so the
+//! runtime can enforce the completion rule: "a transaction or
+//! sub-transaction completes only when all its nested sub-transactions
+//! complete" (§2.2.3).
+
+use std::ops::Bound;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use reactdb_common::{Key, ReactorId, ReactorName, Result, TxnError, Value};
+use reactdb_storage::{Partition, Schema, Tuple};
+use reactdb_txn::OccTxn;
+
+use crate::future::ReactorFuture;
+
+/// The runtime interface used by [`ReactorCtx::call`] to dispatch
+/// sub-transaction invocations. Implemented by the engine's executors and by
+/// the simulator; unit tests provide mocks.
+pub trait CallBackend {
+    /// Invokes `proc(args)` on the reactor named `target` within the current
+    /// root transaction, returning the future of its result.
+    fn call(&self, target: &ReactorName, proc: &str, args: Vec<Value>) -> Result<ReactorFuture>;
+
+    /// Name of the reactor the current procedure is executing on.
+    fn current_reactor(&self) -> &str;
+}
+
+/// Execution context of one procedure invocation on one reactor.
+pub struct ReactorCtx<'a> {
+    reactor_name: ReactorName,
+    reactor_id: ReactorId,
+    partition: Arc<Partition>,
+    occ: Arc<Mutex<OccTxn>>,
+    backend: &'a dyn CallBackend,
+    pending: Vec<ReactorFuture>,
+    compute_units: u64,
+}
+
+impl<'a> ReactorCtx<'a> {
+    /// Creates a context. Called by the runtimes, not by application code.
+    pub fn new(
+        reactor_name: ReactorName,
+        reactor_id: ReactorId,
+        partition: Arc<Partition>,
+        occ: Arc<Mutex<OccTxn>>,
+        backend: &'a dyn CallBackend,
+    ) -> Self {
+        Self {
+            reactor_name,
+            reactor_id,
+            partition,
+            occ,
+            backend,
+            pending: Vec::new(),
+            compute_units: 0,
+        }
+    }
+
+    /// Name of the reactor this procedure runs on (`my_name()` in the
+    /// paper's pseudocode).
+    pub fn reactor_name(&self) -> &str {
+        &self.reactor_name
+    }
+
+    /// Dense id of the reactor this procedure runs on.
+    pub fn reactor_id(&self) -> ReactorId {
+        self.reactor_id
+    }
+
+    /// Schema of one of this reactor's relations (cloned; schemas are small).
+    pub fn schema(&self, relation: &str) -> Result<Schema> {
+        Ok(self.partition.table(self.reactor_id, relation)?.schema().clone())
+    }
+
+    // ----------------------------------------------------------------
+    // Declarative operations on the current reactor's relations.
+    // ----------------------------------------------------------------
+
+    /// Point read by primary key.
+    pub fn get(&self, relation: &str, key: &Key) -> Result<Option<Tuple>> {
+        let table = self.partition.table(self.reactor_id, relation)?;
+        self.occ.lock().read(&table, key)
+    }
+
+    /// Point read by primary key; missing rows are an error.
+    pub fn get_expected(&self, relation: &str, key: &Key) -> Result<Tuple> {
+        let table = self.partition.table(self.reactor_id, relation)?;
+        self.occ.lock().read_expected(&table, key)
+    }
+
+    /// Inserts a new row.
+    pub fn insert(&self, relation: &str, row: Tuple) -> Result<()> {
+        let table = self.partition.table(self.reactor_id, relation)?;
+        self.occ.lock().insert(&table, row)
+    }
+
+    /// Replaces an existing row (full image).
+    pub fn update(&self, relation: &str, row: Tuple) -> Result<()> {
+        let table = self.partition.table(self.reactor_id, relation)?;
+        self.occ.lock().update(&table, row)
+    }
+
+    /// Read-modify-write of an existing row.
+    pub fn update_with<F>(&self, relation: &str, key: &Key, f: F) -> Result<Tuple>
+    where
+        F: FnOnce(&mut Tuple),
+    {
+        let table = self.partition.table(self.reactor_id, relation)?;
+        self.occ.lock().update_with(&table, key, f)
+    }
+
+    /// Deletes a row by primary key.
+    pub fn delete(&self, relation: &str, key: &Key) -> Result<()> {
+        let table = self.partition.table(self.reactor_id, relation)?;
+        self.occ.lock().delete(&table, key)
+    }
+
+    /// Full scan of a relation in primary-key order.
+    pub fn scan(&self, relation: &str) -> Result<Vec<(Key, Tuple)>> {
+        let table = self.partition.table(self.reactor_id, relation)?;
+        self.occ.lock().scan(&table)
+    }
+
+    /// Range scan over the primary key.
+    pub fn scan_range(
+        &self,
+        relation: &str,
+        low: Bound<&Key>,
+        high: Bound<&Key>,
+    ) -> Result<Vec<(Key, Tuple)>> {
+        let table = self.partition.table(self.reactor_id, relation)?;
+        self.occ.lock().scan_range(&table, low, high)
+    }
+
+    /// Rows matching a predicate (a scan with a filter applied).
+    pub fn select_where<P>(&self, relation: &str, pred: P) -> Result<Vec<(Key, Tuple)>>
+    where
+        P: Fn(&Tuple) -> bool,
+    {
+        Ok(self.scan(relation)?.into_iter().filter(|(_, t)| pred(t)).collect())
+    }
+
+    /// `SELECT SUM(column) FROM relation WHERE pred` over the current
+    /// reactor's relation. Integers are widened to floats.
+    pub fn sum_where<P>(&self, relation: &str, column: &str, pred: P) -> Result<f64>
+    where
+        P: Fn(&Tuple) -> bool,
+    {
+        let table = self.partition.table(self.reactor_id, relation)?;
+        let schema = table.schema().clone();
+        let pos = schema.require(relation, column)?;
+        let rows = self.occ.lock().scan(&table)?;
+        Ok(rows
+            .iter()
+            .filter(|(_, t)| pred(t))
+            .map(|(_, t)| match t.at(pos) {
+                Value::Int(v) => *v as f64,
+                Value::Float(v) => *v,
+                _ => 0.0,
+            })
+            .sum())
+    }
+
+    /// Equality lookup on a secondary index of the relation.
+    pub fn index_lookup(
+        &self,
+        relation: &str,
+        index_id: usize,
+        index_key: &Key,
+    ) -> Result<Vec<(Key, Tuple)>> {
+        let table = self.partition.table(self.reactor_id, relation)?;
+        self.occ.lock().secondary_lookup(&table, index_id, index_key)
+    }
+
+    // ----------------------------------------------------------------
+    // Cross-reactor communication.
+    // ----------------------------------------------------------------
+
+    /// Asynchronously invokes `proc(args)` on the reactor named `target`
+    /// (the paper's `proc(args) on reactor target` syntax). The returned
+    /// future may be awaited with [`ReactorFuture::get`]; if it is never
+    /// awaited, the runtime still waits for the sub-transaction to complete
+    /// before the enclosing (sub-)transaction completes.
+    pub fn call(&mut self, target: &str, proc: &str, args: Vec<Value>) -> Result<ReactorFuture> {
+        let future = self.backend.call(&target.to_owned(), proc, args)?;
+        self.pending.push(future.clone());
+        Ok(future)
+    }
+
+    /// Convenience wrapper performing a synchronous call: invoke and
+    /// immediately wait for the result.
+    pub fn call_sync(&mut self, target: &str, proc: &str, args: Vec<Value>) -> Result<Value> {
+        self.call(target, proc, args)?.get()
+    }
+
+    /// Requests a user-defined abort of the enclosing root transaction.
+    pub fn abort<T>(&self, reason: impl Into<String>) -> Result<T> {
+        Err(TxnError::UserAbort(reason.into()))
+    }
+
+    /// Simulates CPU-bound application logic (e.g. the `sim_risk` risk
+    /// calculation of Figure 1 or the stock-replenishment delay of §4.3.2)
+    /// by spinning a deterministic arithmetic loop for `units` iterations.
+    /// Returns a value derived from the loop so the work cannot be optimised
+    /// away.
+    pub fn busy_work(&mut self, units: u64) -> u64 {
+        self.compute_units += units;
+        let mut x: u64 = 0x9E37_79B9_7F4A_7C15 ^ units;
+        for i in 0..units {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(i);
+            x ^= x >> 29;
+        }
+        x
+    }
+
+    /// Total busy-work units charged by this procedure invocation; used by
+    /// the profiler to attribute processing cost.
+    pub fn compute_units(&self) -> u64 {
+        self.compute_units
+    }
+
+    /// Futures of the asynchronous children spawned by this invocation, in
+    /// invocation order. The runtime drains this list to enforce the
+    /// completion rule of §2.2.3.
+    pub fn take_pending(&mut self) -> Vec<ReactorFuture> {
+        std::mem::take(&mut self.pending)
+    }
+
+    /// The OCC participant this context writes through. Exposed for the
+    /// runtimes and integration tests; application code has no use for it.
+    pub fn participant(&self) -> Arc<Mutex<OccTxn>> {
+        Arc::clone(&self.occ)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reactdb_common::ContainerId;
+    use reactdb_storage::{ColumnType, RelationDef, Schema};
+
+    struct MockBackend {
+        name: String,
+    }
+
+    impl CallBackend for MockBackend {
+        fn call(&self, target: &ReactorName, proc: &str, _args: Vec<Value>) -> Result<ReactorFuture> {
+            Ok(ReactorFuture::resolved(Ok(Value::Str(format!("{proc}@{target}")))))
+        }
+        fn current_reactor(&self) -> &str {
+            &self.name
+        }
+    }
+
+    fn setup() -> (Arc<Partition>, Arc<Mutex<OccTxn>>) {
+        let partition = Arc::new(Partition::new());
+        partition.create_reactor(
+            ReactorId(0),
+            &[RelationDef::new(
+                "orders",
+                Schema::of(
+                    &[
+                        ("wallet", ColumnType::Int),
+                        ("value", ColumnType::Float),
+                        ("settled", ColumnType::Bool),
+                    ],
+                    &["wallet"],
+                ),
+            )],
+        );
+        (partition, Arc::new(Mutex::new(OccTxn::new(ContainerId(0)))))
+    }
+
+    fn ctx<'a>(
+        partition: &Arc<Partition>,
+        occ: &Arc<Mutex<OccTxn>>,
+        backend: &'a MockBackend,
+    ) -> ReactorCtx<'a> {
+        ReactorCtx::new(
+            "exchange".into(),
+            ReactorId(0),
+            Arc::clone(partition),
+            Arc::clone(occ),
+            backend,
+        )
+    }
+
+    #[test]
+    fn crud_and_aggregate_through_context() {
+        let (partition, occ) = setup();
+        let backend = MockBackend { name: "exchange".into() };
+        let c = ctx(&partition, &occ, &backend);
+
+        c.insert("orders", Tuple::of([Value::Int(1), Value::Float(100.0), Value::Bool(false)]))
+            .unwrap();
+        c.insert("orders", Tuple::of([Value::Int(2), Value::Float(50.0), Value::Bool(true)]))
+            .unwrap();
+        assert_eq!(c.get("orders", &Key::Int(1)).unwrap().unwrap().at(1), &Value::Float(100.0));
+        assert!(c.get("orders", &Key::Int(9)).unwrap().is_none());
+
+        let unsettled = c
+            .sum_where("orders", "value", |t| t.at(2) == &Value::Bool(false))
+            .unwrap();
+        assert_eq!(unsettled, 100.0);
+
+        c.update_with("orders", &Key::Int(1), |t| t.values_mut()[2] = Value::Bool(true)).unwrap();
+        let all = c.sum_where("orders", "value", |_| true).unwrap();
+        assert_eq!(all, 150.0);
+
+        c.delete("orders", &Key::Int(2)).unwrap();
+        assert_eq!(c.scan("orders").unwrap().len(), 1);
+        assert_eq!(c.select_where("orders", |t| t.at(2) == &Value::Bool(true)).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn unknown_relation_is_reported() {
+        let (partition, occ) = setup();
+        let backend = MockBackend { name: "exchange".into() };
+        let c = ctx(&partition, &occ, &backend);
+        assert!(matches!(
+            c.get("nope", &Key::Int(1)).unwrap_err(),
+            TxnError::UnknownRelation(_)
+        ));
+        assert!(matches!(c.schema("nope").unwrap_err(), TxnError::UnknownRelation(_)));
+    }
+
+    #[test]
+    fn call_records_pending_futures() {
+        let (partition, occ) = setup();
+        let backend = MockBackend { name: "exchange".into() };
+        let mut c = ctx(&partition, &occ, &backend);
+        let f = c.call("MC_US", "calc_risk", vec![Value::Float(1.0)]).unwrap();
+        assert_eq!(f.get().unwrap(), Value::Str("calc_risk@MC_US".into()));
+        let sync = c.call_sync("VISA_DK", "calc_risk", vec![]).unwrap();
+        assert_eq!(sync, Value::Str("calc_risk@VISA_DK".into()));
+        assert_eq!(c.take_pending().len(), 2);
+        assert!(c.take_pending().is_empty());
+    }
+
+    #[test]
+    fn abort_helper_produces_user_abort() {
+        let (partition, occ) = setup();
+        let backend = MockBackend { name: "exchange".into() };
+        let c = ctx(&partition, &occ, &backend);
+        let res: Result<()> = c.abort("exposure exceeded");
+        assert!(matches!(res.unwrap_err(), TxnError::UserAbort(msg) if msg == "exposure exceeded"));
+    }
+
+    #[test]
+    fn busy_work_accumulates_units() {
+        let (partition, occ) = setup();
+        let backend = MockBackend { name: "exchange".into() };
+        let mut c = ctx(&partition, &occ, &backend);
+        let a = c.busy_work(100);
+        let b = c.busy_work(100);
+        assert_eq!(a, b, "busy work is deterministic for equal inputs");
+        assert_eq!(c.compute_units(), 200);
+    }
+
+    #[test]
+    fn writes_are_visible_after_commit_via_coordinator() {
+        use reactdb_txn::{Coordinator, EpochManager, TidGen};
+        let (partition, occ) = setup();
+        let backend = MockBackend { name: "exchange".into() };
+        {
+            let c = ctx(&partition, &occ, &backend);
+            c.insert("orders", Tuple::of([Value::Int(7), Value::Float(9.0), Value::Bool(false)]))
+                .unwrap();
+        }
+        let epoch = EpochManager::new();
+        let gen = TidGen::new();
+        let mut participant =
+            Arc::try_unwrap(occ).ok().expect("sole owner after ctx drop").into_inner();
+        Coordinator::commit(std::slice::from_mut(&mut participant), &epoch, &gen).unwrap();
+        let table = partition.table(ReactorId(0), "orders").unwrap();
+        assert_eq!(table.visible_len(), 1);
+    }
+}

@@ -1,0 +1,234 @@
+//! Futures (promises) returned by asynchronous procedure calls.
+//!
+//! "The only form of communication with a reactor is through asynchronous
+//! function calls returning promises" (§2.2.1, citing Liskov & Shrira's
+//! promises). A [`ReactorFuture`] is either resolved immediately (calls that
+//! the runtime executed synchronously, e.g. self-calls or same-container
+//! calls) or fulfilled later by the executor that runs the sub-transaction
+//! on another container.
+//!
+//! Blocking on a pending future is mediated by an optional [`WaitHook`]: the
+//! engine installs a hook that lets the blocked executor thread keep
+//! draining its request queue (the cooperative multitasking of §3.2.3), and
+//! the simulator installs one that advances virtual time.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+use reactdb_common::{Result, TxnError, Value};
+
+/// A runtime hook invoked while a thread waits on an unresolved future.
+///
+/// Implementations should perform a bounded amount of useful work (e.g.
+/// process one queued request) and return; the future's wait loop re-checks
+/// resolution between invocations.
+pub trait WaitHook: Send + Sync {
+    /// Performs one unit of cooperative work. Returns `true` if any work was
+    /// done (the wait loop then re-polls immediately instead of parking).
+    fn run_once(&self) -> bool;
+}
+
+#[derive(Default)]
+struct FutureState {
+    slot: Mutex<Option<Result<Value>>>,
+    cond: Condvar,
+}
+
+/// The promise for the result of a sub-transaction.
+#[derive(Clone)]
+pub struct ReactorFuture {
+    state: Arc<FutureState>,
+    hook: Option<Arc<dyn WaitHook>>,
+}
+
+impl std::fmt::Debug for ReactorFuture {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReactorFuture")
+            .field("resolved", &self.state.slot.lock().is_some())
+            .finish()
+    }
+}
+
+/// Write side of a pending future, handed to the executor that will run the
+/// sub-transaction.
+pub struct FutureWriter {
+    state: Arc<FutureState>,
+}
+
+impl std::fmt::Debug for FutureWriter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FutureWriter").finish()
+    }
+}
+
+impl ReactorFuture {
+    /// A future that is already resolved with `result` (synchronously
+    /// executed calls).
+    pub fn resolved(result: Result<Value>) -> Self {
+        let state = FutureState { slot: Mutex::new(Some(result)), cond: Condvar::new() };
+        Self { state: Arc::new(state), hook: None }
+    }
+
+    /// Creates an unresolved future and its writer.
+    pub fn pending() -> (Self, FutureWriter) {
+        let state = Arc::new(FutureState::default());
+        (Self { state: Arc::clone(&state), hook: None }, FutureWriter { state })
+    }
+
+    /// Creates an unresolved future whose wait loop cooperates with the
+    /// runtime through `hook`.
+    pub fn pending_with_hook(hook: Arc<dyn WaitHook>) -> (Self, FutureWriter) {
+        let state = Arc::new(FutureState::default());
+        (Self { state: Arc::clone(&state), hook: Some(hook) }, FutureWriter { state })
+    }
+
+    /// True if the future has been fulfilled.
+    pub fn is_resolved(&self) -> bool {
+        self.state.slot.lock().is_some()
+    }
+
+    /// Returns the result if already resolved, without blocking.
+    pub fn try_get(&self) -> Option<Result<Value>> {
+        self.state.slot.lock().clone()
+    }
+
+    /// Blocks until the future resolves and returns its result.
+    ///
+    /// While waiting, the runtime hook (if any) is given the opportunity to
+    /// process other requests; this is what allows an executor thread to
+    /// block on a remote sub-transaction without stalling its own request
+    /// queue.
+    pub fn get(&self) -> Result<Value> {
+        loop {
+            if let Some(result) = self.try_get() {
+                return result;
+            }
+            if let Some(hook) = &self.hook {
+                if hook.run_once() {
+                    continue;
+                }
+            }
+            let mut slot = self.state.slot.lock();
+            if slot.is_some() {
+                return slot.clone().expect("checked above");
+            }
+            // Park briefly; fulfilment notifies the condvar, and the timeout
+            // keeps the cooperative hook responsive even under missed
+            // wakeups.
+            self.state.cond.wait_for(&mut slot, Duration::from_micros(50));
+        }
+    }
+
+    /// Blocks like [`ReactorFuture::get`] but maps a still-unfulfilled
+    /// future after `timeout` to a runtime error. Used by client drivers to
+    /// avoid hanging forever if an executor died.
+    pub fn get_timeout(&self, timeout: Duration) -> Result<Value> {
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            if let Some(result) = self.try_get() {
+                return result;
+            }
+            if std::time::Instant::now() >= deadline {
+                return Err(TxnError::Runtime("future wait timed out".into()));
+            }
+            if let Some(hook) = &self.hook {
+                if hook.run_once() {
+                    continue;
+                }
+            }
+            let mut slot = self.state.slot.lock();
+            if slot.is_some() {
+                return slot.clone().expect("checked above");
+            }
+            self.state.cond.wait_for(&mut slot, Duration::from_micros(100));
+        }
+    }
+}
+
+impl FutureWriter {
+    /// Fulfils the future. Later fulfilments are ignored (the first result
+    /// wins), which keeps abort paths simple.
+    pub fn fulfill(self, result: Result<Value>) {
+        let mut slot = self.state.slot.lock();
+        if slot.is_none() {
+            *slot = Some(result);
+        }
+        drop(slot);
+        self.state.cond.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn resolved_future_returns_immediately() {
+        let f = ReactorFuture::resolved(Ok(Value::Int(5)));
+        assert!(f.is_resolved());
+        assert_eq!(f.get().unwrap(), Value::Int(5));
+        assert_eq!(f.try_get().unwrap().unwrap(), Value::Int(5));
+    }
+
+    #[test]
+    fn pending_future_blocks_until_fulfilled() {
+        let (f, w) = ReactorFuture::pending();
+        assert!(!f.is_resolved());
+        assert!(f.try_get().is_none());
+        let handle = std::thread::spawn(move || f.get());
+        std::thread::sleep(Duration::from_millis(5));
+        w.fulfill(Ok(Value::Str("done".into())));
+        assert_eq!(handle.join().unwrap().unwrap(), Value::Str("done".into()));
+    }
+
+    #[test]
+    fn error_results_propagate() {
+        let (f, w) = ReactorFuture::pending();
+        w.fulfill(Err(TxnError::UserAbort("limit exceeded".into())));
+        assert!(matches!(f.get(), Err(TxnError::UserAbort(_))));
+    }
+
+    #[test]
+    fn wait_hook_is_driven_while_waiting() {
+        struct Hook {
+            calls: AtomicUsize,
+            writer: Mutex<Option<FutureWriter>>,
+        }
+        impl WaitHook for Hook {
+            fn run_once(&self) -> bool {
+                let n = self.calls.fetch_add(1, Ordering::SeqCst);
+                if n == 3 {
+                    if let Some(w) = self.writer.lock().take() {
+                        w.fulfill(Ok(Value::Int(99)));
+                    }
+                }
+                true
+            }
+        }
+        let hook = Arc::new(Hook { calls: AtomicUsize::new(0), writer: Mutex::new(None) });
+        let (f, w) = ReactorFuture::pending_with_hook(hook.clone());
+        *hook.writer.lock() = Some(w);
+        assert_eq!(f.get().unwrap(), Value::Int(99));
+        assert!(hook.calls.load(Ordering::SeqCst) >= 4);
+    }
+
+    #[test]
+    fn get_timeout_reports_runtime_error() {
+        let (f, _w) = ReactorFuture::pending();
+        let err = f.get_timeout(Duration::from_millis(5)).unwrap_err();
+        assert!(matches!(err, TxnError::Runtime(_)));
+    }
+
+    #[test]
+    fn double_fulfill_keeps_first_result() {
+        let (f, w) = ReactorFuture::pending();
+        let f2 = f.clone();
+        w.fulfill(Ok(Value::Int(1)));
+        // A second writer cannot exist for the same future by construction;
+        // simulate a late duplicate by fulfilling through a cloned state via
+        // a new writer-like path: try_get must stay stable.
+        assert_eq!(f2.get().unwrap(), Value::Int(1));
+    }
+}

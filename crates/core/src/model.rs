@@ -1,0 +1,263 @@
+//! Reactor types, procedure registries and reactor database specifications.
+//!
+//! A reactor database is instantiated by declaring (1) the reactor *types*
+//! expected, (2) the schemas and functions (procedures) of each type, and
+//! (3) the name mapping that addresses individual reactors (§2.2.1). Adding
+//! a new reactor (e.g. a new payment provider) therefore never requires
+//! rewriting application logic.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use reactdb_common::{ReactorName, Result, TxnError, Value};
+use reactdb_storage::RelationDef;
+
+use crate::context::ReactorCtx;
+
+/// A stored procedure registered on a reactor type. Procedures receive the
+/// execution context of the reactor they were invoked on plus their
+/// arguments, and return a single value (possibly [`Value::Null`]).
+pub type Procedure = Arc<dyn Fn(&mut ReactorCtx<'_>, &[Value]) -> Result<Value> + Send + Sync>;
+
+/// The set of procedures of one reactor type, addressed by name.
+#[derive(Clone, Default)]
+pub struct ProcedureRegistry {
+    procedures: HashMap<String, Procedure>,
+}
+
+impl std::fmt::Debug for ProcedureRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut names: Vec<&String> = self.procedures.keys().collect();
+        names.sort();
+        f.debug_struct("ProcedureRegistry").field("procedures", &names).finish()
+    }
+}
+
+impl ProcedureRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a procedure under `name`, replacing any previous
+    /// registration with the same name.
+    pub fn register<F>(&mut self, name: impl Into<String>, f: F)
+    where
+        F: Fn(&mut ReactorCtx<'_>, &[Value]) -> Result<Value> + Send + Sync + 'static,
+    {
+        self.procedures.insert(name.into(), Arc::new(f));
+    }
+
+    /// Looks up a procedure by name.
+    pub fn get(&self, name: &str) -> Option<Procedure> {
+        self.procedures.get(name).cloned()
+    }
+
+    /// Registered procedure names (sorted).
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.procedures.keys().cloned().collect();
+        names.sort();
+        names
+    }
+}
+
+/// A reactor type: relation schemas encapsulated by reactors of this type
+/// plus the procedures that can be invoked on them.
+#[derive(Debug, Clone)]
+pub struct ReactorType {
+    /// Type name (e.g. `"Warehouse"`, `"Customer"`, `"Provider"`).
+    pub name: String,
+    /// Relations every reactor of this type encapsulates.
+    pub relations: Vec<RelationDef>,
+    /// Procedures invocable on reactors of this type.
+    pub procedures: ProcedureRegistry,
+}
+
+impl ReactorType {
+    /// Creates a reactor type with no relations or procedures.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self { name: name.into(), relations: Vec::new(), procedures: ProcedureRegistry::new() }
+    }
+
+    /// Adds a relation definition.
+    pub fn with_relation(mut self, def: RelationDef) -> Self {
+        self.relations.push(def);
+        self
+    }
+
+    /// Registers a procedure.
+    pub fn with_procedure<F>(mut self, name: impl Into<String>, f: F) -> Self
+    where
+        F: Fn(&mut ReactorCtx<'_>, &[Value]) -> Result<Value> + Send + Sync + 'static,
+    {
+        self.procedures.register(name, f);
+        self
+    }
+
+    /// Looks up a procedure, reporting a transaction error when missing.
+    pub fn procedure(&self, name: &str) -> Result<Procedure> {
+        self.procedures.get(name).ok_or_else(|| TxnError::UnknownProcedure {
+            reactor_type: self.name.clone(),
+            procedure: name.to_owned(),
+        })
+    }
+}
+
+/// The declaration of a reactor database: reactor types plus the named
+/// reactors (and their types) constituting the application.
+#[derive(Debug, Clone, Default)]
+pub struct ReactorDatabaseSpec {
+    types: Vec<Arc<ReactorType>>,
+    type_index: HashMap<String, usize>,
+    reactors: Vec<(ReactorName, usize)>,
+    reactor_index: HashMap<ReactorName, usize>,
+}
+
+impl ReactorDatabaseSpec {
+    /// Creates an empty specification.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares a reactor type.
+    ///
+    /// # Panics
+    /// Panics on duplicate type names (specifications are static program
+    /// data).
+    pub fn add_type(&mut self, ty: ReactorType) -> &mut Self {
+        assert!(
+            !self.type_index.contains_key(&ty.name),
+            "duplicate reactor type {}",
+            ty.name
+        );
+        self.type_index.insert(ty.name.clone(), self.types.len());
+        self.types.push(Arc::new(ty));
+        self
+    }
+
+    /// Declares a named reactor of a previously declared type.
+    ///
+    /// # Panics
+    /// Panics if the type is unknown or the name is already declared.
+    pub fn add_reactor(&mut self, name: impl Into<ReactorName>, type_name: &str) -> &mut Self {
+        let name = name.into();
+        let ty = *self
+            .type_index
+            .get(type_name)
+            .unwrap_or_else(|| panic!("unknown reactor type {type_name}"));
+        assert!(!self.reactor_index.contains_key(&name), "duplicate reactor name {name}");
+        self.reactor_index.insert(name.clone(), self.reactors.len());
+        self.reactors.push((name, ty));
+        self
+    }
+
+    /// Number of declared reactors.
+    pub fn reactor_count(&self) -> usize {
+        self.reactors.len()
+    }
+
+    /// The declared reactor names in declaration (dense id) order.
+    pub fn reactor_names(&self) -> Vec<ReactorName> {
+        self.reactors.iter().map(|(n, _)| n.clone()).collect()
+    }
+
+    /// Resolves a reactor name to its dense index.
+    pub fn reactor_id(&self, name: &str) -> Result<usize> {
+        self.reactor_index
+            .get(name)
+            .copied()
+            .ok_or_else(|| TxnError::UnknownReactor(name.to_owned()))
+    }
+
+    /// Name of the reactor with the given dense index.
+    pub fn reactor_name(&self, idx: usize) -> Option<&ReactorName> {
+        self.reactors.get(idx).map(|(n, _)| n)
+    }
+
+    /// Type of the reactor with the given dense index.
+    pub fn reactor_type(&self, idx: usize) -> Option<Arc<ReactorType>> {
+        self.reactors.get(idx).map(|(_, t)| Arc::clone(&self.types[*t]))
+    }
+
+    /// Type of the reactor with the given name.
+    pub fn reactor_type_by_name(&self, name: &str) -> Result<Arc<ReactorType>> {
+        let idx = self.reactor_id(name)?;
+        Ok(self.reactor_type(idx).expect("index resolved from name"))
+    }
+
+    /// All declared types.
+    pub fn types(&self) -> &[Arc<ReactorType>] {
+        &self.types
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reactdb_storage::{ColumnType, Schema};
+
+    fn spec() -> ReactorDatabaseSpec {
+        let mut spec = ReactorDatabaseSpec::new();
+        spec.add_type(
+            ReactorType::new("Provider")
+                .with_relation(RelationDef::new(
+                    "orders",
+                    Schema::of(
+                        &[("wallet", ColumnType::Int), ("value", ColumnType::Float)],
+                        &["wallet"],
+                    ),
+                ))
+                .with_procedure("add_entry", |_ctx, _args| Ok(Value::Null)),
+        );
+        spec.add_type(ReactorType::new("Exchange").with_procedure("auth_pay", |_ctx, _args| {
+            Ok(Value::Bool(true))
+        }));
+        spec.add_reactor("exchange", "Exchange");
+        spec.add_reactor("MC_US", "Provider");
+        spec.add_reactor("VISA_DK", "Provider");
+        spec
+    }
+
+    #[test]
+    fn name_to_id_mapping_is_dense_and_stable() {
+        let s = spec();
+        assert_eq!(s.reactor_count(), 3);
+        assert_eq!(s.reactor_id("exchange").unwrap(), 0);
+        assert_eq!(s.reactor_id("VISA_DK").unwrap(), 2);
+        assert_eq!(s.reactor_name(1), Some(&"MC_US".to_owned()));
+        assert!(matches!(s.reactor_id("nope"), Err(TxnError::UnknownReactor(_))));
+    }
+
+    #[test]
+    fn types_carry_relations_and_procedures() {
+        let s = spec();
+        let provider = s.reactor_type_by_name("MC_US").unwrap();
+        assert_eq!(provider.name, "Provider");
+        assert_eq!(provider.relations.len(), 1);
+        assert!(provider.procedure("add_entry").is_ok());
+        let err = provider.procedure("does_not_exist").err().expect("missing procedure");
+        assert!(matches!(err, TxnError::UnknownProcedure { .. }));
+        assert_eq!(provider.procedures.names(), vec!["add_entry".to_owned()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate reactor name")]
+    fn duplicate_reactor_name_panics() {
+        let mut s = spec();
+        s.add_reactor("MC_US", "Provider");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown reactor type")]
+    fn unknown_type_panics() {
+        let mut s = spec();
+        s.add_reactor("x", "Nope");
+    }
+
+    #[test]
+    fn registry_debug_lists_names() {
+        let s = spec();
+        let dbg = format!("{:?}", s.reactor_type_by_name("exchange").unwrap().procedures);
+        assert!(dbg.contains("auth_pay"));
+    }
+}

@@ -1,0 +1,162 @@
+//! Intra-transaction safety: the dynamic *active set* condition of §2.2.4.
+//!
+//! Asynchronicity exposes intra-transaction parallelism, so race conditions
+//! could arise if two sub-transactions of the same root transaction were
+//! executed concurrently on the same reactor — this would also break the
+//! illusion of a reactor as a single logical thread of control. The runtime
+//! therefore keeps, per reactor, the set of sub-transactions currently
+//! executing on it, and conservatively aborts a root transaction whenever a
+//! second, different sub-transaction of the same root would become active on
+//! a reactor that already runs one.
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+use reactdb_common::{ReactorId, Result, SubTxnId, TxnError, TxnId};
+
+/// A guard representing a registered active-set entry. Dropping the guard
+/// does **not** deregister it (deregistration is explicit through
+/// [`ActiveSet::exit`]) so that the runtime controls exactly when a
+/// sub-transaction stops being active.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ActiveEntry {
+    /// Reactor the sub-transaction is active on.
+    pub reactor: ReactorId,
+    /// Root transaction.
+    pub txn: TxnId,
+    /// Sub-transaction identifier within the root transaction.
+    pub sub: SubTxnId,
+}
+
+/// Tracks, for every reactor, which sub-transaction of which root
+/// transaction is currently active on it.
+#[derive(Debug, Default)]
+pub struct ActiveSet {
+    // (reactor, root txn) -> (sub txn id, nesting depth)
+    inner: Mutex<HashMap<(ReactorId, TxnId), (SubTxnId, usize)>>,
+}
+
+impl ActiveSet {
+    /// Creates an empty active set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Attempts to register sub-transaction `sub` of root `txn` as active on
+    /// `reactor`.
+    ///
+    /// * If no sub-transaction of `txn` is active on the reactor, the entry
+    ///   is registered.
+    /// * If the *same* sub-transaction is already active (a synchronous
+    ///   self-call that the runtime inlines), the nesting depth is bumped —
+    ///   this is explicitly allowed by the model.
+    /// * If a *different* sub-transaction of the same root is active, the
+    ///   call structure is dangerous and the root transaction must abort
+    ///   ([`TxnError::DangerousStructure`]).
+    pub fn enter(
+        &self,
+        reactor: ReactorId,
+        reactor_name: &str,
+        txn: TxnId,
+        sub: SubTxnId,
+    ) -> Result<ActiveEntry> {
+        let mut inner = self.inner.lock();
+        match inner.get_mut(&(reactor, txn)) {
+            None => {
+                inner.insert((reactor, txn), (sub, 1));
+                Ok(ActiveEntry { reactor, txn, sub })
+            }
+            Some((active_sub, depth)) if *active_sub == sub => {
+                *depth += 1;
+                Ok(ActiveEntry { reactor, txn, sub })
+            }
+            Some(_) => Err(TxnError::DangerousStructure { reactor: reactor_name.to_owned() }),
+        }
+    }
+
+    /// Deregisters an entry previously returned by [`ActiveSet::enter`].
+    /// Nested registrations of the same sub-transaction must be exited the
+    /// same number of times.
+    pub fn exit(&self, entry: ActiveEntry) {
+        let mut inner = self.inner.lock();
+        if let Some((active_sub, depth)) = inner.get_mut(&(entry.reactor, entry.txn)) {
+            debug_assert_eq!(*active_sub, entry.sub, "exit of a non-active sub-transaction");
+            *depth -= 1;
+            if *depth == 0 {
+                inner.remove(&(entry.reactor, entry.txn));
+            }
+        }
+    }
+
+    /// Number of (reactor, transaction) pairs currently active. Used by
+    /// tests and by the runtime's shutdown assertions.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// True when nothing is active.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const R: ReactorId = ReactorId(1);
+
+    #[test]
+    fn first_entry_succeeds_and_exit_clears() {
+        let set = ActiveSet::new();
+        let e = set.enter(R, "r1", TxnId(1), SubTxnId(0)).unwrap();
+        assert_eq!(set.len(), 1);
+        set.exit(e);
+        assert!(set.is_empty());
+    }
+
+    #[test]
+    fn different_subtxn_of_same_root_is_dangerous() {
+        let set = ActiveSet::new();
+        let _e = set.enter(R, "r1", TxnId(1), SubTxnId(0)).unwrap();
+        let err = set.enter(R, "r1", TxnId(1), SubTxnId(1)).unwrap_err();
+        assert!(matches!(err, TxnError::DangerousStructure { reactor } if reactor == "r1"));
+    }
+
+    #[test]
+    fn same_subtxn_reentry_is_allowed_and_nests() {
+        let set = ActiveSet::new();
+        let e1 = set.enter(R, "r1", TxnId(1), SubTxnId(0)).unwrap();
+        let e2 = set.enter(R, "r1", TxnId(1), SubTxnId(0)).unwrap();
+        set.exit(e2);
+        assert_eq!(set.len(), 1);
+        set.exit(e1);
+        assert!(set.is_empty());
+    }
+
+    #[test]
+    fn different_roots_do_not_conflict() {
+        let set = ActiveSet::new();
+        let _a = set.enter(R, "r1", TxnId(1), SubTxnId(0)).unwrap();
+        let _b = set.enter(R, "r1", TxnId(2), SubTxnId(0)).unwrap();
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn different_reactors_do_not_conflict() {
+        let set = ActiveSet::new();
+        let _a = set.enter(ReactorId(1), "r1", TxnId(1), SubTxnId(0)).unwrap();
+        let _b = set.enter(ReactorId(2), "r2", TxnId(1), SubTxnId(1)).unwrap();
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn reentry_after_exit_is_allowed() {
+        let set = ActiveSet::new();
+        let e = set.enter(R, "r1", TxnId(1), SubTxnId(0)).unwrap();
+        set.exit(e);
+        // A later sub-transaction of the same root may run on the reactor
+        // once the first completed (sequential invocations are safe).
+        set.enter(R, "r1", TxnId(1), SubTxnId(1)).unwrap();
+    }
+}

@@ -1,0 +1,59 @@
+//! Database containers.
+//!
+//! A container encloses a shared-memory region of the machine storing the
+//! state of one or many reactors, together with the mechanisms for
+//! transactional consistency over that state (§3.1). Containers never share
+//! data with each other; transactions spanning several containers are
+//! committed by the transaction coordinator's 2PC.
+
+use std::sync::Arc;
+
+use reactdb_common::ContainerId;
+use reactdb_storage::Partition;
+
+/// One database container: its identifier and the storage partition holding
+/// the relations of the reactors mapped to it. The OCC read/write sets are
+/// per-transaction (see `reactdb-txn`); the epoch manager is shared by the
+/// whole database, mirroring Silo's single global epoch.
+#[derive(Debug)]
+pub struct Container {
+    id: ContainerId,
+    partition: Arc<Partition>,
+}
+
+impl Container {
+    /// Creates an empty container.
+    pub fn new(id: ContainerId) -> Self {
+        Self { id, partition: Arc::new(Partition::new()) }
+    }
+
+    /// Container identifier.
+    pub fn id(&self) -> ContainerId {
+        self.id
+    }
+
+    /// The storage partition of this container.
+    pub fn partition(&self) -> Arc<Partition> {
+        Arc::clone(&self.partition)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reactdb_common::ReactorId;
+    use reactdb_storage::{ColumnType, RelationDef, Schema};
+
+    #[test]
+    fn container_holds_isolated_partition() {
+        let c0 = Container::new(ContainerId(0));
+        let c1 = Container::new(ContainerId(1));
+        assert_eq!(c0.id(), ContainerId(0));
+        c0.partition().create_reactor(
+            ReactorId(0),
+            &[RelationDef::new("r", Schema::of(&[("id", ColumnType::Int)], &["id"]))],
+        );
+        assert!(c0.partition().hosts_reactor(ReactorId(0)));
+        assert!(!c1.partition().hosts_reactor(ReactorId(0)));
+    }
+}

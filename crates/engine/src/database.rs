@@ -1,0 +1,750 @@
+//! The ReactDB database: bootstrapping, dispatch, safety and commit.
+//!
+//! [`ReactDB::boot`] instantiates a reactor database specification under a
+//! deployment configuration: containers and their partitions are created,
+//! every reactor's relations are instantiated in the container that hosts
+//! it, transaction executors are created and their worker threads started.
+//!
+//! Execution of a root transaction follows §3.2:
+//!
+//! * the client's invocation is routed (round-robin or affinity) to an
+//!   executor of the container hosting the target reactor;
+//! * procedure code runs against a [`reactdb_core::ReactorCtx`] whose
+//!   storage operations are tracked by the root transaction's per-container
+//!   OCC participants;
+//! * a sub-transaction call targeting a reactor in the *same* container is
+//!   executed synchronously on the same executor (self-calls are inlined
+//!   into the calling sub-transaction); a call targeting another container
+//!   is dispatched to the affinity executor of the target reactor and a
+//!   pending future is returned;
+//! * a (sub-)transaction completes only after all of its children complete;
+//! * the root then commits through the Silo validation protocol, escalating
+//!   to two-phase commit when several containers participated.
+//!
+//! While a worker waits for a remote sub-transaction it keeps draining its
+//! own request queue (cooperative multitasking), so mutually dependent
+//! executors cannot deadlock.
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use reactdb_common::ids::TxnIdGen;
+use reactdb_common::{
+    ContainerId, DeploymentConfig, ExecutorId, ReactorId, ReactorName, Result, SubTxnId, TxnError,
+    TxnId, Value,
+};
+use reactdb_core::{ActiveSet, CallBackend, ReactorCtx, ReactorDatabaseSpec, ReactorFuture};
+use reactdb_core::future::WaitHook;
+use reactdb_storage::{Table, Tuple};
+use reactdb_txn::{Coordinator, EpochManager};
+
+use crate::container::Container;
+use crate::executor::ExecutorHandle;
+use crate::request::{Request, RootTxn};
+use crate::router::Router;
+use crate::stats::DbStats;
+
+/// How long a client invocation waits for its result before reporting a
+/// runtime error. Generous: only hit if the engine is mis-configured.
+const CLIENT_TIMEOUT: Duration = Duration::from_secs(120);
+
+/// Period of the background epoch advancer.
+const EPOCH_PERIOD: Duration = Duration::from_millis(10);
+
+struct Inner {
+    spec: Arc<ReactorDatabaseSpec>,
+    config: DeploymentConfig,
+    containers: Vec<Arc<Container>>,
+    executors: Vec<Arc<ExecutorHandle>>,
+    router: Router,
+    epoch: Arc<EpochManager>,
+    active: ActiveSet,
+    txn_ids: TxnIdGen,
+    stats: DbStats,
+    shutdown: std::sync::atomic::AtomicBool,
+}
+
+/// An in-memory reactor database deployed according to a
+/// [`DeploymentConfig`].
+pub struct ReactDB {
+    inner: Arc<Inner>,
+    threads: Vec<JoinHandle<()>>,
+    epoch_thread: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ReactDB {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReactDB")
+            .field("reactors", &self.inner.spec.reactor_count())
+            .field("containers", &self.inner.containers.len())
+            .field("executors", &self.inner.executors.len())
+            .finish()
+    }
+}
+
+impl ReactDB {
+    /// Boots a reactor database under the given deployment. Creates the
+    /// containers, instantiates every reactor's relations in its container,
+    /// starts the executor worker threads and the epoch advancer.
+    pub fn boot(spec: ReactorDatabaseSpec, config: DeploymentConfig) -> Self {
+        let spec = Arc::new(spec);
+        let n_reactors = spec.reactor_count();
+
+        let executor_configs = config.executor_configs();
+        assert!(!executor_configs.is_empty(), "deployment must define at least one executor");
+        let n_containers = config.container_count().max(1);
+
+        let containers: Vec<Arc<Container>> =
+            (0..n_containers).map(|c| Arc::new(Container::new(ContainerId(c as u64)))).collect();
+
+        // Map reactors to containers and instantiate their relations there.
+        let container_of_reactor: Vec<ContainerId> = (0..n_reactors)
+            .map(|r| config.container_of_reactor(r, n_reactors))
+            .collect();
+        for (r, container) in container_of_reactor.iter().enumerate() {
+            let ty = spec.reactor_type(r).expect("reactor indexes are dense");
+            containers[container.index()]
+                .partition()
+                .create_reactor(ReactorId(r as u64), &ty.relations);
+        }
+
+        // Executors and their grouping by container.
+        let executors: Vec<Arc<ExecutorHandle>> = executor_configs
+            .iter()
+            .map(|cfg| Arc::new(ExecutorHandle::new(cfg.id, cfg.container, cfg.mpl)))
+            .collect();
+        let mut executors_of_container: Vec<Vec<ExecutorId>> = vec![Vec::new(); n_containers];
+        for cfg in &executor_configs {
+            executors_of_container[cfg.container.index()].push(cfg.id);
+        }
+
+        let router = Router::new(config.router_policy(), executors_of_container, container_of_reactor);
+        let epoch = Arc::new(EpochManager::new());
+        let epoch_thread = epoch.start_advancer(EPOCH_PERIOD);
+
+        let inner = Arc::new(Inner {
+            spec,
+            config,
+            containers,
+            executors,
+            router,
+            epoch,
+            active: ActiveSet::new(),
+            txn_ids: TxnIdGen::new(),
+            stats: DbStats::new(),
+            shutdown: std::sync::atomic::AtomicBool::new(false),
+        });
+
+        // Worker threads: `mpl` per executor.
+        let mut threads = Vec::new();
+        for (idx, exec) in inner.executors.iter().enumerate() {
+            for worker in 0..exec.mpl() {
+                let inner = Arc::clone(&inner);
+                let handle = std::thread::Builder::new()
+                    .name(format!("reactdb-exec-{idx}-{worker}"))
+                    .spawn(move || worker_loop(inner, idx))
+                    .expect("spawn executor worker");
+                threads.push(handle);
+            }
+        }
+
+        Self { inner, threads, epoch_thread: Some(epoch_thread) }
+    }
+
+    /// The reactor database specification this instance serves.
+    pub fn spec(&self) -> &ReactorDatabaseSpec {
+        &self.inner.spec
+    }
+
+    /// The deployment configuration in effect.
+    pub fn config(&self) -> &DeploymentConfig {
+        &self.inner.config
+    }
+
+    /// Database-wide commit/abort statistics.
+    pub fn stats(&self) -> &DbStats {
+        &self.inner.stats
+    }
+
+    /// Number of transaction executors.
+    pub fn executor_count(&self) -> usize {
+        self.inner.executors.len()
+    }
+
+    /// Number of containers.
+    pub fn container_count(&self) -> usize {
+        self.inner.containers.len()
+    }
+
+    /// Invokes a root transaction: `proc(args)` on the reactor named
+    /// `reactor`, blocking until it commits or aborts (§2.2.3 root
+    /// transactions are the unit clients interact with).
+    pub fn invoke(&self, reactor: &str, proc: &str, args: Vec<Value>) -> Result<Value> {
+        self.submit(reactor, proc, args)?.get_timeout(CLIENT_TIMEOUT)
+    }
+
+    /// Submits a root transaction and returns its future without waiting.
+    pub fn submit(&self, reactor: &str, proc: &str, args: Vec<Value>) -> Result<ReactorFuture> {
+        let inner = &self.inner;
+        if inner.shutdown.load(std::sync::atomic::Ordering::Acquire) {
+            return Err(TxnError::Runtime("database has shut down".into()));
+        }
+        let reactor_idx = inner.spec.reactor_id(reactor)?;
+        let reactor_id = ReactorId(reactor_idx as u64);
+        let root = RootTxn::new(inner.txn_ids.next());
+        let (future, writer) = ReactorFuture::pending();
+        let exec = inner.router.route_root(reactor_id);
+        let ok = inner.executors[exec.index()].enqueue(Request::Root {
+            root,
+            reactor: reactor_id,
+            proc: proc.to_owned(),
+            args,
+            writer,
+        });
+        if !ok {
+            return Err(TxnError::Runtime("executor queue closed".into()));
+        }
+        Ok(future)
+    }
+
+    /// Non-transactional bulk load of one row into a reactor's relation.
+    /// Only for benchmark loaders before measurement starts.
+    pub fn load_row(&self, reactor: &str, relation: &str, row: Tuple) -> Result<()> {
+        self.table(reactor, relation)?.load_row(row)
+    }
+
+    /// Direct access to a reactor's relation (bulk loading and test
+    /// assertions; transactional access goes through procedures).
+    pub fn table(&self, reactor: &str, relation: &str) -> Result<Arc<Table>> {
+        let inner = &self.inner;
+        let idx = inner.spec.reactor_id(reactor)?;
+        let reactor_id = ReactorId(idx as u64);
+        let container = inner.router.container_of(reactor_id);
+        inner.containers[container.index()].partition().table(reactor_id, relation)
+    }
+
+    /// Stops every worker thread and the epoch advancer. Called by `Drop`;
+    /// explicit shutdown lets callers join deterministically.
+    pub fn shutdown(&mut self) {
+        self.inner.shutdown.store(true, std::sync::atomic::Ordering::Release);
+        if self.threads.is_empty() {
+            return;
+        }
+        for exec in &self.inner.executors {
+            for _ in 0..exec.mpl() {
+                let _ = exec.enqueue(Request::Shutdown);
+            }
+        }
+        for handle in self.threads.drain(..) {
+            let _ = handle.join();
+        }
+        self.inner.epoch.stop();
+        if let Some(handle) = self.epoch_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ReactDB {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(inner: Arc<Inner>, executor_idx: usize) {
+    let exec = Arc::clone(&inner.executors[executor_idx]);
+    while let Some(request) = exec.recv() {
+        if matches!(request, Request::Shutdown) {
+            break;
+        }
+        inner.process(executor_idx, request);
+    }
+}
+
+/// Wait hook installed on remote-call futures: while the caller waits, its
+/// executor keeps draining requests (cooperative multitasking).
+struct ExecutorWaitHook {
+    inner: Arc<Inner>,
+    executor_idx: usize,
+}
+
+impl WaitHook for ExecutorWaitHook {
+    fn run_once(&self) -> bool {
+        match self.inner.executors[self.executor_idx].try_recv() {
+            Some(Request::Shutdown) => {
+                // Not ours to handle here; put it back for the worker loop.
+                let _ = self.inner.executors[self.executor_idx].enqueue(Request::Shutdown);
+                false
+            }
+            Some(request) => {
+                self.inner.process(self.executor_idx, request);
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+impl Inner {
+    fn process(self: &Arc<Self>, executor_idx: usize, request: Request) {
+        match request {
+            Request::Root { root, reactor, proc, args, writer } => {
+                let result = self.run_subtxn(executor_idx, &root, reactor, SubTxnId(0), &proc, &args);
+                let outcome = match result {
+                    Ok(value) => self.commit_root(executor_idx, &root).map(|_| value),
+                    Err(e) => {
+                        // Nothing was installed; drop the buffered participants.
+                        let _ = root.take_participants();
+                        Err(e)
+                    }
+                };
+                match &outcome {
+                    Ok(_) => self.stats.record_commit(),
+                    Err(e) if e.is_cc_abort() => self.stats.record_cc_abort(),
+                    Err(e) if e.is_dangerous_structure() => self.stats.record_dangerous_abort(),
+                    Err(_) => self.stats.record_user_abort(),
+                }
+                writer.fulfill(outcome);
+            }
+            Request::Sub { root, reactor, sub, proc, args, writer } => {
+                let result = self.run_subtxn(executor_idx, &root, reactor, sub, &proc, &args);
+                writer.fulfill(result);
+            }
+            Request::Shutdown => {}
+        }
+    }
+
+    fn commit_root(self: &Arc<Self>, executor_idx: usize, root: &Arc<RootTxn>) -> Result<()> {
+        let mut participants = root.take_participants();
+        if participants.is_empty() {
+            return Ok(());
+        }
+        Coordinator::commit(
+            &mut participants,
+            &self.epoch,
+            self.executors[executor_idx].tidgen(),
+        )
+        .map(|_| ())
+    }
+
+    /// Runs one (sub-)transaction: enforces the active-set safety condition,
+    /// executes the procedure, then waits for all of its children.
+    fn run_subtxn(
+        self: &Arc<Self>,
+        executor_idx: usize,
+        root: &Arc<RootTxn>,
+        reactor: ReactorId,
+        sub: SubTxnId,
+        proc: &str,
+        args: &[Value],
+    ) -> Result<Value> {
+        let reactor_name = self
+            .spec
+            .reactor_name(reactor.index())
+            .cloned()
+            .ok_or_else(|| TxnError::UnknownReactor(format!("#{}", reactor.raw())))?;
+        let entry = self.active.enter(reactor, &reactor_name, root.id(), sub)?;
+        let result =
+            self.run_procedure_body(executor_idx, root, reactor, &reactor_name, sub, proc, args);
+        self.active.exit(entry);
+        result
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn run_procedure_body(
+        self: &Arc<Self>,
+        executor_idx: usize,
+        root: &Arc<RootTxn>,
+        reactor: ReactorId,
+        reactor_name: &str,
+        sub: SubTxnId,
+        proc: &str,
+        args: &[Value],
+    ) -> Result<Value> {
+        let reactor_type = self
+            .spec
+            .reactor_type(reactor.index())
+            .ok_or_else(|| TxnError::UnknownReactor(reactor_name.to_owned()))?;
+        let procedure = reactor_type.procedure(proc)?;
+
+        let container = self.router.container_of(reactor);
+        let partition = self.containers[container.index()].partition();
+        let participant = root.participant(container);
+
+        let backend = EngineBackend {
+            inner: Arc::clone(self),
+            executor_idx,
+            root: Arc::clone(root),
+            caller_reactor: reactor,
+            caller_sub: sub,
+        };
+        let mut ctx = ReactorCtx::new(
+            reactor_name.to_owned(),
+            reactor,
+            partition,
+            participant,
+            &backend,
+        );
+        let mut result = procedure(&mut ctx, args);
+
+        // Completion rule (§2.2.3): wait for every nested sub-transaction,
+        // whether or not the procedure awaited it; any child failure aborts
+        // the enclosing (sub-)transaction.
+        for child in ctx.take_pending() {
+            let child_result = child.get();
+            if result.is_ok() {
+                if let Err(e) = child_result {
+                    result = Err(e);
+                }
+            }
+        }
+        result
+    }
+
+    /// Dispatch decision for a sub-transaction call (§3.2.1–3.2.2).
+    fn dispatch_call(
+        self: &Arc<Self>,
+        executor_idx: usize,
+        root: &Arc<RootTxn>,
+        caller_reactor: ReactorId,
+        caller_sub: SubTxnId,
+        target: &str,
+        proc: &str,
+        args: Vec<Value>,
+    ) -> Result<ReactorFuture> {
+        let target_idx = self.spec.reactor_id(target)?;
+        let target_id = ReactorId(target_idx as u64);
+        let target_container = self.router.container_of(target_id);
+        let caller_container = self.executors[executor_idx].container();
+
+        // Self-call: inlined into the calling sub-transaction, executed
+        // synchronously (§2.2.4).
+        if target_id == caller_reactor {
+            self.stats.record_sub_inline();
+            let result =
+                self.run_subtxn(executor_idx, root, target_id, caller_sub, proc, &args);
+            return Ok(ReactorFuture::resolved(result));
+        }
+
+        // Same container: a distinct sub-transaction, but executed
+        // synchronously on the calling executor to avoid migration of
+        // control (§3.2.1).
+        if target_container == caller_container {
+            self.stats.record_sub_inline();
+            let sub = root.next_sub();
+            let result = self.run_subtxn(executor_idx, root, target_id, sub, proc, &args);
+            return Ok(ReactorFuture::resolved(result));
+        }
+
+        // Cross-container: route to the affinity executor of the target
+        // reactor and return a pending future.
+        self.stats.record_sub_dispatch();
+        let sub = root.next_sub();
+        let target_exec = self.router.route_sub(target_id);
+        let hook = Arc::new(ExecutorWaitHook { inner: Arc::clone(self), executor_idx });
+        let (future, writer) = ReactorFuture::pending_with_hook(hook);
+        let ok = self.executors[target_exec.index()].enqueue(Request::Sub {
+            root: Arc::clone(root),
+            reactor: target_id,
+            sub,
+            proc: proc.to_owned(),
+            args,
+            writer,
+        });
+        if !ok {
+            return Err(TxnError::Runtime("target executor queue closed".into()));
+        }
+        Ok(future)
+    }
+}
+
+/// The [`CallBackend`] the engine hands to procedures.
+struct EngineBackend {
+    inner: Arc<Inner>,
+    executor_idx: usize,
+    root: Arc<RootTxn>,
+    caller_reactor: ReactorId,
+    caller_sub: SubTxnId,
+}
+
+impl CallBackend for EngineBackend {
+    fn call(&self, target: &ReactorName, proc: &str, args: Vec<Value>) -> Result<ReactorFuture> {
+        self.inner.dispatch_call(
+            self.executor_idx,
+            &self.root,
+            self.caller_reactor,
+            self.caller_sub,
+            target,
+            proc,
+            args,
+        )
+    }
+
+    fn current_reactor(&self) -> &str {
+        self.inner
+            .spec
+            .reactor_name(self.caller_reactor.index())
+            .map(|s| s.as_str())
+            .unwrap_or("")
+    }
+}
+
+/// Marker type kept for documentation: a root transaction identifier paired
+/// with the database it belongs to. Currently unused by the public API but
+/// handy for future durability hooks.
+#[allow(dead_code)]
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct TxnHandle(pub TxnId);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reactdb_core::ReactorType;
+    use reactdb_common::Key;
+    use reactdb_storage::{ColumnType, RelationDef, Schema};
+
+    /// A minimal two-type reactor database used across the engine tests:
+    /// `Account` reactors hold a single-row `balance` relation and support
+    /// `deposit`, `balance`, and `transfer_in` procedures; `transfer` on an
+    /// account invokes `transfer_in` on the destination account reactor.
+    fn bank_spec() -> ReactorDatabaseSpec {
+        let account = ReactorType::new("Account")
+            .with_relation(RelationDef::new(
+                "balance",
+                Schema::of(&[("id", ColumnType::Int), ("amount", ColumnType::Float)], &["id"]),
+            ))
+            .with_procedure("init", |ctx, _args| {
+                ctx.insert("balance", Tuple::of([Value::Int(0), Value::Float(0.0)]))?;
+                Ok(Value::Null)
+            })
+            .with_procedure("deposit", |ctx, args| {
+                let amount = args[0].as_float();
+                let row = ctx.update_with("balance", &Key::Int(0), |t| {
+                    let cur = t.at(1).as_float();
+                    t.values_mut()[1] = Value::Float(cur + amount);
+                })?;
+                Ok(Value::Float(row.at(1).as_float()))
+            })
+            .with_procedure("balance", |ctx, _args| {
+                let row = ctx.get_expected("balance", &Key::Int(0))?;
+                Ok(Value::Float(row.at(1).as_float()))
+            })
+            .with_procedure("transfer", |ctx, args| {
+                // args: [dst reactor name, amount]
+                let dst = args[0].as_str().to_owned();
+                let amount = args[1].as_float();
+                // Withdraw locally, deposit remotely (asynchronously).
+                ctx.update_with("balance", &Key::Int(0), |t| {
+                    let cur = t.at(1).as_float();
+                    t.values_mut()[1] = Value::Float(cur - amount);
+                })?;
+                ctx.call(&dst, "deposit", vec![Value::Float(amount)])?;
+                Ok(Value::Null)
+            })
+            .with_procedure("slow_deposit", |ctx, args| {
+                // A deposit that holds the reactor busy long enough for the
+                // dangerous-structure race below to manifest reliably.
+                let amount = args[0].as_float();
+                ctx.busy_work(30_000_000);
+                let row = ctx.update_with("balance", &Key::Int(0), |t| {
+                    let cur = t.at(1).as_float();
+                    t.values_mut()[1] = Value::Float(cur + amount);
+                })?;
+                Ok(Value::Float(row.at(1).as_float()))
+            })
+            .with_procedure("dangerous_fanout", |ctx, args| {
+                // Invokes slow_deposit twice asynchronously on the *same*
+                // target reactor: a dangerous structure that the runtime
+                // must abort.
+                let dst = args[0].as_str().to_owned();
+                ctx.call(&dst, "slow_deposit", vec![Value::Float(1.0)])?;
+                ctx.call(&dst, "slow_deposit", vec![Value::Float(1.0)])?;
+                Ok(Value::Null)
+            })
+            .with_procedure("failing_remote", |ctx, args| {
+                let dst = args[0].as_str().to_owned();
+                ctx.update_with("balance", &Key::Int(0), |t| {
+                    t.values_mut()[1] = Value::Float(12345.0);
+                })?;
+                ctx.call(&dst, "always_abort", vec![])?;
+                Ok(Value::Null)
+            })
+            .with_procedure("always_abort", |ctx, _| ctx.abort("no"))
+            .with_procedure("self_call", |ctx, _| {
+                // A synchronous call to the own reactor must be inlined.
+                let v = ctx.call_sync(&ctx.reactor_name().to_owned(), "balance", vec![])?;
+                Ok(v)
+            });
+
+        let mut spec = ReactorDatabaseSpec::new();
+        spec.add_type(account);
+        for i in 0..4 {
+            spec.add_reactor(format!("acct-{i}"), "Account");
+        }
+        spec
+    }
+
+    fn boot(config: DeploymentConfig) -> ReactDB {
+        let db = ReactDB::boot(bank_spec(), config);
+        for i in 0..4 {
+            db.invoke(&format!("acct-{i}"), "init", vec![]).unwrap();
+        }
+        db
+    }
+
+    fn all_deployments() -> Vec<DeploymentConfig> {
+        vec![
+            DeploymentConfig::shared_everything_without_affinity(2),
+            DeploymentConfig::shared_everything_with_affinity(2),
+            DeploymentConfig::shared_nothing(4),
+        ]
+    }
+
+    #[test]
+    fn deposit_and_balance_roundtrip_under_every_deployment() {
+        for config in all_deployments() {
+            let db = boot(config);
+            let v = db.invoke("acct-0", "deposit", vec![Value::Float(10.0)]).unwrap();
+            assert_eq!(v, Value::Float(10.0));
+            db.invoke("acct-0", "deposit", vec![Value::Float(5.0)]).unwrap();
+            let bal = db.invoke("acct-0", "balance", vec![]).unwrap();
+            assert_eq!(bal, Value::Float(15.0));
+            assert_eq!(db.stats().committed(), 4 + 3);
+        }
+    }
+
+    #[test]
+    fn cross_reactor_transfer_is_atomic_under_every_deployment() {
+        for config in all_deployments() {
+            let db = boot(config);
+            db.invoke("acct-0", "deposit", vec![Value::Float(100.0)]).unwrap();
+            db.invoke("acct-0", "transfer", vec![Value::Str("acct-3".into()), Value::Float(40.0)])
+                .unwrap();
+            assert_eq!(db.invoke("acct-0", "balance", vec![]).unwrap(), Value::Float(60.0));
+            assert_eq!(db.invoke("acct-3", "balance", vec![]).unwrap(), Value::Float(40.0));
+        }
+    }
+
+    #[test]
+    fn remote_abort_rolls_back_the_whole_root_transaction() {
+        for config in all_deployments() {
+            let db = boot(config);
+            let err = db
+                .invoke("acct-0", "failing_remote", vec![Value::Str("acct-3".into())])
+                .unwrap_err();
+            assert!(err.is_user_abort(), "expected user abort, got {err:?}");
+            // The local write of failing_remote was not installed.
+            assert_eq!(db.invoke("acct-0", "balance", vec![]).unwrap(), Value::Float(0.0));
+        }
+    }
+
+    #[test]
+    fn dangerous_structures_are_rejected_in_shared_nothing() {
+        // Two asynchronous sub-transactions of the same root on the same
+        // reactor violate the safety condition of §2.2.4. In shared-nothing
+        // the second dispatch races with the first; the runtime must either
+        // abort with DangerousStructure or (if the first already completed)
+        // execute both. Under shared-everything the calls are inlined
+        // sequentially, which is always safe.
+        let db = boot(DeploymentConfig::shared_nothing(4));
+        let mut saw_dangerous = false;
+        for _ in 0..8 {
+            match db.invoke("acct-0", "dangerous_fanout", vec![Value::Str("acct-1".into())]) {
+                Err(e) if e.is_dangerous_structure() => saw_dangerous = true,
+                Err(e) => panic!("unexpected error {e:?}"),
+                Ok(_) => {}
+            }
+            if saw_dangerous {
+                break;
+            }
+        }
+        // The target reactor is kept busy for tens of milliseconds per
+        // sub-transaction, so the two asynchronous invocations overlap and
+        // the safety condition fires.
+        assert!(saw_dangerous, "expected at least one DangerousStructure abort");
+        assert!(db.stats().dangerous_aborts() >= 1);
+    }
+
+    #[test]
+    fn self_calls_are_inlined() {
+        let db = boot(DeploymentConfig::shared_nothing(4));
+        db.invoke("acct-2", "deposit", vec![Value::Float(7.0)]).unwrap();
+        let v = db.invoke("acct-2", "self_call", vec![]).unwrap();
+        assert_eq!(v, Value::Float(7.0));
+        assert!(db.stats().sub_txns_inlined() >= 1);
+    }
+
+    #[test]
+    fn unknown_names_are_reported() {
+        let db = boot(DeploymentConfig::shared_everything_with_affinity(1));
+        assert!(matches!(
+            db.invoke("nope", "balance", vec![]).unwrap_err(),
+            TxnError::UnknownReactor(_)
+        ));
+        assert!(matches!(
+            db.invoke("acct-0", "nope", vec![]).unwrap_err(),
+            TxnError::UnknownProcedure { .. }
+        ));
+        assert!(db.table("acct-0", "balance").is_ok());
+        assert!(db.table("acct-0", "nope").is_err());
+    }
+
+    #[test]
+    fn concurrent_transfers_conserve_money() {
+        let db = Arc::new(boot(DeploymentConfig::shared_nothing(4)));
+        for i in 0..4 {
+            db.invoke(&format!("acct-{i}"), "deposit", vec![Value::Float(1000.0)]).unwrap();
+        }
+        let threads: Vec<_> = (0..4)
+            .map(|worker| {
+                let db = Arc::clone(&db);
+                std::thread::spawn(move || {
+                    let mut committed = 0;
+                    let mut attempts = 0;
+                    while committed < 25 && attempts < 2000 {
+                        attempts += 1;
+                        let src = worker;
+                        let dst = (worker + 1) % 4;
+                        match db.invoke(
+                            &format!("acct-{src}"),
+                            "transfer",
+                            vec![Value::Str(format!("acct-{dst}")), Value::Float(1.0)],
+                        ) {
+                            Ok(_) => committed += 1,
+                            Err(e) if e.is_cc_abort() || e.is_dangerous_structure() => {}
+                            Err(e) => panic!("unexpected error {e:?}"),
+                        }
+                    }
+                    committed
+                })
+            })
+            .collect();
+        let total_transfers: i32 = threads.into_iter().map(|t| t.join().unwrap()).sum();
+        assert!(total_transfers > 0);
+        let total: f64 = (0..4)
+            .map(|i| db.invoke(&format!("acct-{i}"), "balance", vec![]).unwrap().as_float())
+            .sum();
+        assert!((total - 4000.0).abs() < 1e-6, "money not conserved: {total}");
+    }
+
+    #[test]
+    fn load_row_bypasses_transactions_for_bulk_loading() {
+        let db = ReactDB::boot(bank_spec(), DeploymentConfig::shared_nothing(2));
+        db.load_row("acct-1", "balance", Tuple::of([Value::Int(0), Value::Float(500.0)])).unwrap();
+        assert_eq!(db.invoke("acct-1", "balance", vec![]).unwrap(), Value::Float(500.0));
+        assert_eq!(db.table("acct-1", "balance").unwrap().visible_len(), 1);
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_drops_cleanly() {
+        let mut db = boot(DeploymentConfig::shared_everything_with_affinity(2));
+        db.invoke("acct-0", "deposit", vec![Value::Float(1.0)]).unwrap();
+        db.shutdown();
+        db.shutdown();
+        // Submitting after shutdown reports a runtime error rather than
+        // hanging.
+        let err = db.invoke("acct-0", "deposit", vec![Value::Float(1.0)]).unwrap_err();
+        assert!(matches!(err, TxnError::Runtime(_)));
+    }
+}

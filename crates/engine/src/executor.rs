@@ -1,0 +1,125 @@
+//! Transaction executors: request queues plus the threads that drain them.
+//!
+//! "A transaction executor consists of a thread pool and a request queue,
+//! and is responsible for executing requests, namely asynchronous procedure
+//! calls. Each transaction executor is pinned to a core." (§3.1). In this
+//! reproduction executors are not pinned (see DESIGN.md §4.4); the queue,
+//! the configurable multi-programming level and the cooperative draining
+//! while blocked are implemented faithfully.
+
+use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+use reactdb_common::{ContainerId, ExecutorId};
+use reactdb_txn::TidGen;
+
+use crate::request::Request;
+
+/// Handle to one transaction executor: its queue endpoints and its TID
+/// generator. The worker threads themselves are owned by [`crate::ReactDB`].
+#[derive(Debug)]
+pub struct ExecutorHandle {
+    id: ExecutorId,
+    container: ContainerId,
+    mpl: usize,
+    sender: Sender<Request>,
+    receiver: Receiver<Request>,
+    tidgen: TidGen,
+}
+
+impl ExecutorHandle {
+    /// Creates an executor handle with an unbounded request queue.
+    pub fn new(id: ExecutorId, container: ContainerId, mpl: usize) -> Self {
+        let (sender, receiver) = unbounded();
+        Self { id, container, mpl: mpl.max(1), sender, receiver, tidgen: TidGen::new() }
+    }
+
+    /// Executor identifier.
+    pub fn id(&self) -> ExecutorId {
+        self.id
+    }
+
+    /// Container this executor is associated with.
+    pub fn container(&self) -> ContainerId {
+        self.container
+    }
+
+    /// Multi-programming level (number of worker threads draining the
+    /// queue).
+    pub fn mpl(&self) -> usize {
+        self.mpl
+    }
+
+    /// Enqueues a request. Returns `false` when the executor has shut down.
+    pub fn enqueue(&self, request: Request) -> bool {
+        self.sender.send(request).is_ok()
+    }
+
+    /// Blocking receive used by the worker loop. Returns `None` once the
+    /// queue is closed.
+    pub fn recv(&self) -> Option<Request> {
+        self.receiver.recv().ok()
+    }
+
+    /// Non-blocking receive used while a worker waits on a remote future
+    /// (cooperative multitasking).
+    pub fn try_recv(&self) -> Option<Request> {
+        match self.receiver.try_recv() {
+            Ok(req) => Some(req),
+            Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => None,
+        }
+    }
+
+    /// Number of requests currently queued.
+    pub fn queue_len(&self) -> usize {
+        self.receiver.len()
+    }
+
+    /// The executor's commit-TID generator.
+    pub fn tidgen(&self) -> &TidGen {
+        &self.tidgen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reactdb_common::TxnId;
+    use crate::request::RootTxn;
+    use reactdb_core::ReactorFuture;
+
+    fn dummy_root_request() -> Request {
+        let (_future, writer) = ReactorFuture::pending();
+        Request::Root {
+            root: RootTxn::new(TxnId(0)),
+            reactor: reactdb_common::ReactorId(0),
+            proc: "p".into(),
+            args: vec![],
+            writer,
+        }
+    }
+
+    #[test]
+    fn queue_roundtrip() {
+        let ex = ExecutorHandle::new(ExecutorId(0), ContainerId(0), 1);
+        assert_eq!(ex.mpl(), 1);
+        assert!(ex.enqueue(dummy_root_request()));
+        assert_eq!(ex.queue_len(), 1);
+        assert!(matches!(ex.recv(), Some(Request::Root { .. })));
+        assert!(ex.try_recv().is_none());
+    }
+
+    #[test]
+    fn mpl_is_clamped_to_one() {
+        let ex = ExecutorHandle::new(ExecutorId(1), ContainerId(0), 0);
+        assert_eq!(ex.mpl(), 1);
+    }
+
+    #[test]
+    fn try_recv_drains_in_fifo_order() {
+        let ex = ExecutorHandle::new(ExecutorId(0), ContainerId(0), 2);
+        ex.enqueue(Request::Shutdown);
+        ex.enqueue(dummy_root_request());
+        assert!(matches!(ex.try_recv(), Some(Request::Shutdown)));
+        assert!(matches!(ex.try_recv(), Some(Request::Root { .. })));
+        assert!(ex.try_recv().is_none());
+    }
+}

@@ -1,0 +1,153 @@
+//! Requests flowing through executor queues and per-root-transaction state.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use reactdb_common::{ContainerId, ReactorId, SubTxnId, TxnId, Value};
+use reactdb_core::FutureWriter;
+use reactdb_txn::OccTxn;
+
+/// Shared state of one root transaction, visible to every executor that runs
+/// one of its sub-transactions.
+#[derive(Debug)]
+pub struct RootTxn {
+    id: TxnId,
+    next_sub: AtomicU64,
+    participants: Mutex<HashMap<ContainerId, Arc<Mutex<OccTxn>>>>,
+}
+
+impl RootTxn {
+    /// Creates the state for a new root transaction.
+    pub fn new(id: TxnId) -> Arc<Self> {
+        Arc::new(Self {
+            id,
+            // Sub-transaction 0 is the root procedure itself.
+            next_sub: AtomicU64::new(1),
+            participants: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// Root transaction identifier.
+    pub fn id(&self) -> TxnId {
+        self.id
+    }
+
+    /// Allocates the identifier of the next nested sub-transaction.
+    pub fn next_sub(&self) -> SubTxnId {
+        SubTxnId(self.next_sub.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Returns (creating it if needed) the OCC participant of `container`
+    /// for this transaction.
+    pub fn participant(&self, container: ContainerId) -> Arc<Mutex<OccTxn>> {
+        let mut participants = self.participants.lock();
+        Arc::clone(
+            participants
+                .entry(container)
+                .or_insert_with(|| Arc::new(Mutex::new(OccTxn::new(container)))),
+        )
+    }
+
+    /// Number of containers touched so far.
+    pub fn participant_count(&self) -> usize {
+        self.participants.lock().len()
+    }
+
+    /// Takes ownership of all participants for the commit protocol, leaving
+    /// the map empty. Called once, after every sub-transaction completed.
+    pub fn take_participants(&self) -> Vec<OccTxn> {
+        let mut participants = self.participants.lock();
+        participants
+            .drain()
+            .map(|(container, arc)| {
+                // All sub-transactions completed, so we are the only owner;
+                // fall back to swapping the contents out if a stray clone of
+                // the Arc still exists (defensive, should not happen).
+                match Arc::try_unwrap(arc) {
+                    Ok(mutex) => mutex.into_inner(),
+                    Err(shared) => {
+                        let mut guard = shared.lock();
+                        std::mem::replace(&mut *guard, OccTxn::new(container))
+                    }
+                }
+            })
+            .collect()
+    }
+}
+
+/// A unit of work queued on a transaction executor.
+#[derive(Debug)]
+pub enum Request {
+    /// A root transaction invocation submitted by a client driver.
+    Root {
+        /// Shared root-transaction state.
+        root: Arc<RootTxn>,
+        /// Reactor the procedure must run on.
+        reactor: ReactorId,
+        /// Procedure name.
+        proc: String,
+        /// Procedure arguments.
+        args: Vec<Value>,
+        /// Where to deliver the final (post-commit) result.
+        writer: FutureWriter,
+    },
+    /// A sub-transaction dispatched from another container.
+    Sub {
+        /// Shared root-transaction state.
+        root: Arc<RootTxn>,
+        /// Target reactor.
+        reactor: ReactorId,
+        /// Sub-transaction identifier within the root transaction.
+        sub: SubTxnId,
+        /// Procedure name.
+        proc: String,
+        /// Procedure arguments.
+        args: Vec<Value>,
+        /// Where to deliver the sub-transaction result.
+        writer: FutureWriter,
+    },
+    /// Ask the receiving worker thread to exit.
+    Shutdown,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sub_ids_are_unique_and_start_after_root() {
+        let root = RootTxn::new(TxnId(7));
+        assert_eq!(root.id(), TxnId(7));
+        let a = root.next_sub();
+        let b = root.next_sub();
+        assert_eq!(a, SubTxnId(1));
+        assert_eq!(b, SubTxnId(2));
+    }
+
+    #[test]
+    fn participants_are_created_lazily_and_shared() {
+        let root = RootTxn::new(TxnId(1));
+        let p1 = root.participant(ContainerId(0));
+        let p2 = root.participant(ContainerId(0));
+        assert!(Arc::ptr_eq(&p1, &p2));
+        let _p3 = root.participant(ContainerId(1));
+        assert_eq!(root.participant_count(), 2);
+        drop((p1, p2));
+        let taken = root.take_participants();
+        assert_eq!(taken.len(), 2);
+        assert_eq!(root.participant_count(), 0);
+    }
+
+    #[test]
+    fn take_participants_survives_outstanding_clones() {
+        let root = RootTxn::new(TxnId(1));
+        let outstanding = root.participant(ContainerId(3));
+        let taken = root.take_participants();
+        assert_eq!(taken.len(), 1);
+        assert_eq!(taken[0].container(), ContainerId(3));
+        // The stray clone still works (now holding a fresh, empty participant).
+        assert_eq!(outstanding.lock().container(), ContainerId(3));
+    }
+}

@@ -1,0 +1,110 @@
+//! Database-wide commit/abort counters.
+//!
+//! The evaluation reports abort rates per deployment (§4.3.1); these
+//! counters let the harness and the tests observe them without instrumenting
+//! the workload code.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic counters describing what happened to root transactions.
+#[derive(Debug, Default)]
+pub struct DbStats {
+    committed: AtomicU64,
+    cc_aborts: AtomicU64,
+    user_aborts: AtomicU64,
+    dangerous_aborts: AtomicU64,
+    sub_txns_dispatched: AtomicU64,
+    sub_txns_inlined: AtomicU64,
+}
+
+impl DbStats {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn record_commit(&self) {
+        self.committed.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn record_cc_abort(&self) {
+        self.cc_aborts.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn record_user_abort(&self) {
+        self.user_aborts.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn record_dangerous_abort(&self) {
+        self.dangerous_aborts.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn record_sub_dispatch(&self) {
+        self.sub_txns_dispatched.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn record_sub_inline(&self) {
+        self.sub_txns_inlined.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Root transactions that committed.
+    pub fn committed(&self) -> u64 {
+        self.committed.load(Ordering::Relaxed)
+    }
+    /// Root transactions aborted by concurrency control (validation / 2PC).
+    pub fn cc_aborts(&self) -> u64 {
+        self.cc_aborts.load(Ordering::Relaxed)
+    }
+    /// Root transactions aborted by application logic.
+    pub fn user_aborts(&self) -> u64 {
+        self.user_aborts.load(Ordering::Relaxed)
+    }
+    /// Root transactions aborted by the intra-transaction safety condition.
+    pub fn dangerous_aborts(&self) -> u64 {
+        self.dangerous_aborts.load(Ordering::Relaxed)
+    }
+    /// Sub-transactions dispatched to another container's executor.
+    pub fn sub_txns_dispatched(&self) -> u64 {
+        self.sub_txns_dispatched.load(Ordering::Relaxed)
+    }
+    /// Sub-transactions executed synchronously on the calling executor.
+    pub fn sub_txns_inlined(&self) -> u64 {
+        self.sub_txns_inlined.load(Ordering::Relaxed)
+    }
+
+    /// Abort rate over attempted root transactions (cc aborts only, matching
+    /// the paper's reporting; user aborts are part of normal application
+    /// behaviour).
+    pub fn abort_rate(&self) -> f64 {
+        let attempts = self.committed() + self.cc_aborts();
+        if attempts == 0 {
+            0.0
+        } else {
+            self.cc_aborts() as f64 / attempts as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = DbStats::new();
+        s.record_commit();
+        s.record_commit();
+        s.record_cc_abort();
+        s.record_user_abort();
+        s.record_dangerous_abort();
+        s.record_sub_dispatch();
+        s.record_sub_inline();
+        assert_eq!(s.committed(), 2);
+        assert_eq!(s.cc_aborts(), 1);
+        assert_eq!(s.user_aborts(), 1);
+        assert_eq!(s.dangerous_aborts(), 1);
+        assert_eq!(s.sub_txns_dispatched(), 1);
+        assert_eq!(s.sub_txns_inlined(), 1);
+        assert!((s.abort_rate() - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn abort_rate_of_idle_database_is_zero() {
+        assert_eq!(DbStats::new().abort_rate(), 0.0);
+    }
+}

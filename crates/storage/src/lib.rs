@@ -1,0 +1,31 @@
+//! In-memory relational record manager for ReactDB-rs.
+//!
+//! This crate is the storage substrate referenced in §3.1 of the paper:
+//! ReactDB "accepts pre-compiled stored procedures ... against a record
+//! manager interface". It provides:
+//!
+//! * [`Schema`]/[`Column`] — relation schemas encapsulated by reactors,
+//! * [`Tuple`] — a row of [`reactdb_common::Value`]s,
+//! * [`Record`] — a stored row guarded by a Silo-style TID word,
+//! * [`Table`] — an ordered primary index plus optional secondary indexes,
+//!   supporting point reads, range scans and predicate scans,
+//! * [`Partition`] — the set of tables owned by the reactors mapped to one
+//!   database container.
+//!
+//! Concurrency control policy (read-set/write-set tracking, validation,
+//! commit) lives in `reactdb-txn`; this crate only provides the physical
+//! operations and the version metadata they rely on.
+
+pub mod partition;
+pub mod record;
+pub mod schema;
+pub mod table;
+pub mod tid;
+pub mod tuple;
+
+pub use partition::Partition;
+pub use record::{Record, RecordRef};
+pub use schema::{Column, ColumnType, RelationDef, Schema};
+pub use table::{SecondaryIndexDef, Table};
+pub use tid::TidWord;
+pub use tuple::Tuple;

@@ -1,0 +1,126 @@
+//! Partitions: the storage owned by one database container.
+//!
+//! Each container "abstracts a (portion of a) machine with its own storage
+//! (main memory)" (§3.1) and holds the relations of every reactor mapped to
+//! it. Because reactor states are disjoint by definition (§2.2.2), tables
+//! are addressed by the pair *(reactor, relation name)*.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use reactdb_common::{ReactorId, Result, TxnError};
+
+use crate::schema::RelationDef;
+use crate::table::Table;
+
+/// The set of tables hosted by one container.
+#[derive(Debug, Default)]
+pub struct Partition {
+    tables: RwLock<HashMap<(ReactorId, String), Arc<Table>>>,
+}
+
+impl Partition {
+    /// Creates an empty partition.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Instantiates the relations of a reactor according to its type's
+    /// relation definitions. Called once per reactor at bootstrap (the
+    /// "schema creation function" of §2.2.1).
+    pub fn create_reactor(&self, reactor: ReactorId, relations: &[RelationDef]) {
+        let mut tables = self.tables.write();
+        for def in relations {
+            let table = Arc::new(Table::with_indexes(
+                def.name.clone(),
+                def.schema.clone(),
+                &def.secondary_indexes,
+            ));
+            tables.insert((reactor, def.name.clone()), table);
+        }
+    }
+
+    /// Looks up a reactor's relation.
+    pub fn table(&self, reactor: ReactorId, relation: &str) -> Result<Arc<Table>> {
+        self.tables
+            .read()
+            .get(&(reactor, relation.to_owned()))
+            .cloned()
+            .ok_or_else(|| TxnError::UnknownRelation(format!("{relation} (reactor {reactor})")))
+    }
+
+    /// True if the reactor has at least one relation instantiated here.
+    pub fn hosts_reactor(&self, reactor: ReactorId) -> bool {
+        self.tables.read().keys().any(|(r, _)| *r == reactor)
+    }
+
+    /// Names of the relations instantiated for a reactor.
+    pub fn relations_of(&self, reactor: ReactorId) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .tables
+            .read()
+            .keys()
+            .filter(|(r, _)| *r == reactor)
+            .map(|(_, n)| n.clone())
+            .collect();
+        names.sort();
+        names
+    }
+
+    /// Total number of tables in this partition.
+    pub fn table_count(&self) -> usize {
+        self.tables.read().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColumnType, RelationDef, Schema};
+
+    fn defs() -> Vec<RelationDef> {
+        vec![
+            RelationDef::new("account", Schema::of(&[("name", ColumnType::Str)], &["name"])),
+            RelationDef::new(
+                "savings",
+                Schema::of(&[("cust_id", ColumnType::Int), ("balance", ColumnType::Float)], &["cust_id"]),
+            ),
+        ]
+    }
+
+    #[test]
+    fn create_and_lookup() {
+        let p = Partition::new();
+        p.create_reactor(ReactorId(0), &defs());
+        p.create_reactor(ReactorId(1), &defs());
+        assert_eq!(p.table_count(), 4);
+        assert!(p.hosts_reactor(ReactorId(0)));
+        assert!(!p.hosts_reactor(ReactorId(7)));
+        let t = p.table(ReactorId(0), "savings").unwrap();
+        assert_eq!(t.name(), "savings");
+        assert_eq!(p.relations_of(ReactorId(1)), vec!["account".to_owned(), "savings".to_owned()]);
+    }
+
+    #[test]
+    fn unknown_relation_is_an_error() {
+        let p = Partition::new();
+        p.create_reactor(ReactorId(0), &defs());
+        let err = p.table(ReactorId(0), "orders").unwrap_err();
+        assert!(matches!(err, TxnError::UnknownRelation(_)));
+        let err = p.table(ReactorId(3), "account").unwrap_err();
+        assert!(matches!(err, TxnError::UnknownRelation(_)));
+    }
+
+    #[test]
+    fn reactor_states_are_disjoint() {
+        let p = Partition::new();
+        p.create_reactor(ReactorId(0), &defs());
+        p.create_reactor(ReactorId(1), &defs());
+        let t0 = p.table(ReactorId(0), "account").unwrap();
+        let t1 = p.table(ReactorId(1), "account").unwrap();
+        t0.load_row(crate::tuple::Tuple::of(["alice"])).unwrap();
+        assert_eq!(t0.visible_len(), 1);
+        assert_eq!(t1.visible_len(), 0);
+    }
+}

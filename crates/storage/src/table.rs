@@ -1,0 +1,385 @@
+//! Tables: an ordered primary index over records plus optional secondary
+//! indexes.
+//!
+//! A table stores the rows of one relation of one reactor. The primary index
+//! is an ordered map from primary [`Key`] to [`RecordRef`]; secondary indexes
+//! map an index key to the set of primary keys currently carrying that
+//! value. All physical operations here are non-transactional — visibility
+//! and atomicity are the responsibility of the OCC layer, which holds
+//! [`RecordRef`] handles obtained from this table in its read and write
+//! sets.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::ops::Bound;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use reactdb_common::{Key, Result, TxnError};
+
+use crate::record::{Record, RecordRef};
+use crate::schema::Schema;
+use crate::tid::TidWord;
+use crate::tuple::Tuple;
+
+/// Definition of a secondary index: the positions of the indexed columns in
+/// the table schema.
+#[derive(Debug, Clone)]
+pub struct SecondaryIndexDef {
+    /// Human-readable name (derived from the column list).
+    pub name: String,
+    /// Column positions forming the index key, in order.
+    pub positions: Vec<usize>,
+}
+
+#[derive(Debug, Default)]
+struct SecondaryIndex {
+    def: SecondaryIndexDef,
+    map: RwLock<BTreeMap<Key, BTreeSet<Key>>>,
+}
+
+impl Default for SecondaryIndexDef {
+    fn default() -> Self {
+        Self { name: String::new(), positions: Vec::new() }
+    }
+}
+
+/// A relation instance: schema + primary index + secondary indexes.
+#[derive(Debug)]
+pub struct Table {
+    name: String,
+    schema: Schema,
+    primary: RwLock<BTreeMap<Key, RecordRef>>,
+    secondary: Vec<SecondaryIndex>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(name: impl Into<String>, schema: Schema) -> Self {
+        Self {
+            name: name.into(),
+            schema,
+            primary: RwLock::new(BTreeMap::new()),
+            secondary: Vec::new(),
+        }
+    }
+
+    /// Creates an empty table with secondary indexes over the named column
+    /// lists.
+    ///
+    /// # Panics
+    /// Panics if an indexed column does not exist in the schema.
+    pub fn with_indexes(
+        name: impl Into<String>,
+        schema: Schema,
+        secondary: &[Vec<String>],
+    ) -> Self {
+        let name = name.into();
+        let mut indexes = Vec::with_capacity(secondary.len());
+        for cols in secondary {
+            let positions: Vec<usize> = cols
+                .iter()
+                .map(|c| {
+                    schema
+                        .position_of(c)
+                        .unwrap_or_else(|| panic!("indexed column {c} not in {name}"))
+                })
+                .collect();
+            indexes.push(SecondaryIndex {
+                def: SecondaryIndexDef { name: cols.join("+"), positions },
+                map: RwLock::new(BTreeMap::new()),
+            });
+        }
+        Self { name, schema, primary: RwLock::new(BTreeMap::new()), secondary: indexes }
+    }
+
+    /// Table (relation) name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Table schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Definitions of the secondary indexes.
+    pub fn secondary_defs(&self) -> Vec<SecondaryIndexDef> {
+        self.secondary.iter().map(|s| s.def.clone()).collect()
+    }
+
+    /// Number of records physically present in the primary index (including
+    /// absent/deleted slots).
+    pub fn physical_len(&self) -> usize {
+        self.primary.read().len()
+    }
+
+    /// Number of visible rows.
+    pub fn visible_len(&self) -> usize {
+        self.primary.read().values().filter(|r| r.is_visible()).count()
+    }
+
+    /// Looks up the record slot for a primary key, visible or not.
+    pub fn get(&self, key: &Key) -> Option<RecordRef> {
+        self.primary.read().get(key).cloned()
+    }
+
+    /// Returns the record slot for `key`, creating an absent slot holding
+    /// `provisional` if none exists. The boolean is `true` when a new slot
+    /// was created. Used by transactional inserts: the slot only becomes
+    /// visible when the transaction commits.
+    pub fn get_or_create(&self, key: Key, provisional: Tuple) -> (RecordRef, bool) {
+        {
+            let read = self.primary.read();
+            if let Some(existing) = read.get(&key) {
+                return (Arc::clone(existing), false);
+            }
+        }
+        let mut write = self.primary.write();
+        if let Some(existing) = write.get(&key) {
+            return (Arc::clone(existing), false);
+        }
+        let record = Record::new_absent(provisional);
+        write.insert(key, Arc::clone(&record));
+        (record, true)
+    }
+
+    /// Non-transactional bulk load of one row (used by benchmark loaders
+    /// before measurement starts). Maintains secondary indexes.
+    pub fn load_row(&self, row: Tuple) -> Result<()> {
+        self.schema.validate(&self.name, row.values())?;
+        let key = row.primary_key(&self.schema);
+        let mut primary = self.primary.write();
+        if let Some(existing) = primary.get(&key) {
+            if existing.is_visible() {
+                return Err(TxnError::DuplicateKey {
+                    relation: self.name.clone(),
+                    key: key.to_string(),
+                });
+            }
+        }
+        let record = Record::new_loaded(row.clone(), TidWord::committed(0, 0));
+        primary.insert(key.clone(), record);
+        drop(primary);
+        self.index_insert(&key, &row);
+        Ok(())
+    }
+
+    /// Visible rows in primary-key order within `[low, high]` bounds
+    /// (unbounded when `None`). Returns cloned tuples with their keys and
+    /// the record handles so the OCC layer can register reads.
+    pub fn range(
+        &self,
+        low: Bound<&Key>,
+        high: Bound<&Key>,
+    ) -> Vec<(Key, RecordRef)> {
+        let primary = self.primary.read();
+        primary
+            .range((low.cloned(), high.cloned()))
+            .map(|(k, r)| (k.clone(), Arc::clone(r)))
+            .collect()
+    }
+
+    /// All record slots in primary-key order.
+    pub fn scan(&self) -> Vec<(Key, RecordRef)> {
+        let primary = self.primary.read();
+        primary.iter().map(|(k, r)| (k.clone(), Arc::clone(r))).collect()
+    }
+
+    /// Primary keys currently associated with `index_key` in secondary index
+    /// `index_id`.
+    ///
+    /// # Panics
+    /// Panics when `index_id` is out of range.
+    pub fn secondary_lookup(&self, index_id: usize, index_key: &Key) -> Vec<Key> {
+        let idx = &self.secondary[index_id];
+        idx.map
+            .read()
+            .get(index_key)
+            .map(|set| set.iter().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    /// Range lookup on a secondary index: all `(index key, primary key)`
+    /// pairs within the bounds, in index order.
+    pub fn secondary_range(
+        &self,
+        index_id: usize,
+        low: Bound<&Key>,
+        high: Bound<&Key>,
+    ) -> Vec<(Key, Key)> {
+        let idx = &self.secondary[index_id];
+        let map = idx.map.read();
+        map.range((low.cloned(), high.cloned()))
+            .flat_map(|(ik, pks)| pks.iter().map(move |pk| (ik.clone(), pk.clone())))
+            .collect()
+    }
+
+    /// Registers `row` (with primary key `pk`) in every secondary index.
+    /// Called by the commit write phase after installing an insert, and by
+    /// the bulk loader.
+    pub fn index_insert(&self, pk: &Key, row: &Tuple) {
+        for idx in &self.secondary {
+            if let Some(ik) = row.index_key(&idx.def.positions) {
+                idx.map.write().entry(ik).or_default().insert(pk.clone());
+            }
+        }
+    }
+
+    /// Removes `row`'s entries from every secondary index (commit write
+    /// phase of deletes, or index maintenance when an update changes indexed
+    /// columns).
+    pub fn index_remove(&self, pk: &Key, row: &Tuple) {
+        for idx in &self.secondary {
+            if let Some(ik) = row.index_key(&idx.def.positions) {
+                let mut map = idx.map.write();
+                if let Some(set) = map.get_mut(&ik) {
+                    set.remove(pk);
+                    if set.is_empty() {
+                        map.remove(&ik);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Updates secondary indexes when a row changes from `old` to `new`.
+    pub fn index_update(&self, pk: &Key, old: &Tuple, new: &Tuple) {
+        for idx in &self.secondary {
+            let old_key = old.index_key(&idx.def.positions);
+            let new_key = new.index_key(&idx.def.positions);
+            if old_key == new_key {
+                continue;
+            }
+            let mut map = idx.map.write();
+            if let Some(ok) = old_key {
+                if let Some(set) = map.get_mut(&ok) {
+                    set.remove(pk);
+                    if set.is_empty() {
+                        map.remove(&ok);
+                    }
+                }
+            }
+            if let Some(nk) = new_key {
+                map.entry(nk).or_default().insert(pk.clone());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColumnType, Schema};
+    use reactdb_common::Value;
+
+    fn customer_table() -> Table {
+        let schema = Schema::of(
+            &[
+                ("c_id", ColumnType::Int),
+                ("c_last", ColumnType::Str),
+                ("c_balance", ColumnType::Float),
+            ],
+            &["c_id"],
+        );
+        Table::with_indexes("customer", schema, &[vec!["c_last".to_owned()]])
+    }
+
+    fn row(id: i64, last: &str, bal: f64) -> Tuple {
+        Tuple::of([Value::Int(id), Value::Str(last.into()), Value::Float(bal)])
+    }
+
+    #[test]
+    fn load_and_point_lookup() {
+        let t = customer_table();
+        t.load_row(row(1, "SMITH", 10.0)).unwrap();
+        t.load_row(row(2, "JONES", 20.0)).unwrap();
+        assert_eq!(t.visible_len(), 2);
+        let rec = t.get(&Key::Int(1)).unwrap();
+        assert_eq!(rec.read_unguarded().get(t.schema(), "c_last"), &Value::Str("SMITH".into()));
+        assert!(t.get(&Key::Int(99)).is_none());
+    }
+
+    #[test]
+    fn duplicate_load_is_rejected() {
+        let t = customer_table();
+        t.load_row(row(1, "SMITH", 10.0)).unwrap();
+        let err = t.load_row(row(1, "SMITH", 10.0)).unwrap_err();
+        assert!(matches!(err, TxnError::DuplicateKey { .. }));
+    }
+
+    #[test]
+    fn schema_violation_rejected_at_load() {
+        let t = customer_table();
+        let bad = Tuple::of([Value::Str("not an id".into()), Value::Str("X".into()), Value::Float(0.0)]);
+        assert!(t.load_row(bad).is_err());
+    }
+
+    #[test]
+    fn range_scan_in_key_order() {
+        let t = customer_table();
+        for i in (1..=5).rev() {
+            t.load_row(row(i, "L", i as f64)).unwrap();
+        }
+        let hits = t.range(Bound::Included(&Key::Int(2)), Bound::Included(&Key::Int(4)));
+        let keys: Vec<_> = hits.iter().map(|(k, _)| k.clone()).collect();
+        assert_eq!(keys, vec![Key::Int(2), Key::Int(3), Key::Int(4)]);
+        let all = t.range(Bound::Unbounded, Bound::Unbounded);
+        assert_eq!(all.len(), 5);
+    }
+
+    #[test]
+    fn secondary_index_lookup_and_update() {
+        let t = customer_table();
+        t.load_row(row(1, "SMITH", 10.0)).unwrap();
+        t.load_row(row(2, "SMITH", 20.0)).unwrap();
+        t.load_row(row(3, "JONES", 30.0)).unwrap();
+        let smiths = t.secondary_lookup(0, &Key::Str("SMITH".into()));
+        assert_eq!(smiths, vec![Key::Int(1), Key::Int(2)]);
+
+        // Simulate an update changing the indexed column.
+        let old = row(2, "SMITH", 20.0);
+        let new = row(2, "BROWN", 20.0);
+        t.index_update(&Key::Int(2), &old, &new);
+        assert_eq!(t.secondary_lookup(0, &Key::Str("SMITH".into())), vec![Key::Int(1)]);
+        assert_eq!(t.secondary_lookup(0, &Key::Str("BROWN".into())), vec![Key::Int(2)]);
+
+        t.index_remove(&Key::Int(3), &row(3, "JONES", 30.0));
+        assert!(t.secondary_lookup(0, &Key::Str("JONES".into())).is_empty());
+    }
+
+    #[test]
+    fn secondary_range_returns_pairs_in_order() {
+        let t = customer_table();
+        t.load_row(row(1, "ADAMS", 1.0)).unwrap();
+        t.load_row(row(2, "BAKER", 2.0)).unwrap();
+        t.load_row(row(3, "CLARK", 3.0)).unwrap();
+        let hits = t.secondary_range(
+            0,
+            Bound::Included(&Key::Str("ADAMS".into())),
+            Bound::Included(&Key::Str("BAKER".into())),
+        );
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0].0, Key::Str("ADAMS".into()));
+        assert_eq!(hits[1].1, Key::Int(2));
+    }
+
+    #[test]
+    fn get_or_create_returns_same_slot() {
+        let t = customer_table();
+        let (a, created_a) = t.get_or_create(Key::Int(7), row(7, "NEW", 0.0));
+        let (b, created_b) = t.get_or_create(Key::Int(7), row(7, "NEW", 0.0));
+        assert!(created_a);
+        assert!(!created_b);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert!(!a.is_visible());
+        assert_eq!(t.physical_len(), 1);
+        assert_eq!(t.visible_len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "indexed column")]
+    fn unknown_indexed_column_panics() {
+        let schema = Schema::of(&[("a", ColumnType::Int)], &["a"]);
+        Table::with_indexes("t", schema, &[vec!["missing".to_owned()]]);
+    }
+}

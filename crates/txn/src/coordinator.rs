@@ -1,0 +1,330 @@
+//! Commit of transactions: Silo validation locally, two-phase commit across
+//! containers.
+//!
+//! A root transaction accumulates one [`OccTxn`] participant per container
+//! it touched (directly or through nested sub-transactions, §3.2.2). The
+//! [`Coordinator`] commits the set of participants:
+//!
+//! 1. **Lock phase** — all write-set records of all participants are locked
+//!    in a single global deterministic order (by record address), which
+//!    makes the protocol deadlock-free. With more than one participant this
+//!    is the "prepare" phase of 2PC: a participant whose locks or
+//!    validation fail votes no.
+//! 2. **Validation phase** — every read-set entry is checked: the record
+//!    must still carry the observed version and must not be locked by
+//!    another transaction.
+//! 3. **Write phase** — a commit TID is generated (greater than every
+//!    observed version, the executor's previous TID, and within the current
+//!    epoch) and all buffered writes are installed; secondary indexes are
+//!    maintained. If any vote was no, all locks are released and the
+//!    transaction aborts everywhere — sub-transactions never commit
+//!    partially (§2.2.3).
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use reactdb_common::{Result, TxnError};
+use reactdb_storage::TidWord;
+
+use crate::epoch::EpochManager;
+use crate::occ::{OccTxn, WriteKind};
+use crate::tidgen::TidGen;
+
+/// Outcome of a commit attempt, used by the engine for statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommitOutcome {
+    /// The transaction committed with the given TID.
+    Committed(TidWord),
+    /// Validation failed (or a participant voted no) and the transaction
+    /// was rolled back everywhere.
+    Aborted,
+}
+
+impl CommitOutcome {
+    /// True if the outcome is a commit.
+    pub fn is_committed(&self) -> bool {
+        matches!(self, CommitOutcome::Committed(_))
+    }
+}
+
+/// Stateless commit coordinator (all state lives in the participants).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Coordinator;
+
+impl Coordinator {
+    /// Attempts to commit the given participants atomically.
+    ///
+    /// Returns the commit TID on success. On failure every lock is released,
+    /// no write is installed anywhere and [`TxnError::ValidationFailed`] is
+    /// returned (the caller maps this to an abort of the root transaction).
+    pub fn commit(
+        participants: &mut [OccTxn],
+        epoch: &EpochManager,
+        tidgen: &TidGen,
+    ) -> Result<TidWord> {
+        // ---- Phase 1: lock the union of the write sets in address order.
+        let mut write_refs: Vec<(usize, usize)> = Vec::new(); // (participant, write idx)
+        for (pi, p) in participants.iter().enumerate() {
+            for wi in 0..p.writes().len() {
+                write_refs.push((pi, wi));
+            }
+        }
+        write_refs.sort_by_key(|(pi, wi)| {
+            Arc::as_ptr(&participants[*pi].writes()[*wi].record) as usize
+        });
+
+        let mut locked: Vec<(usize, usize)> = Vec::with_capacity(write_refs.len());
+        let mut own_write_records: HashSet<usize> = HashSet::with_capacity(write_refs.len());
+        let mut max_observed = TidWord::committed(0, 0);
+
+        for (pi, wi) in &write_refs {
+            let record = &participants[*pi].writes()[*wi].record;
+            record.lock();
+            locked.push((*pi, *wi));
+            own_write_records.insert(Arc::as_ptr(record) as usize);
+            let tid = record.tid();
+            if tid.version() > max_observed.version() {
+                max_observed = tid.unlocked();
+            }
+        }
+
+        // ---- Serialization point: read the epoch after acquiring locks.
+        let current_epoch = epoch.current();
+
+        // ---- Phase 2: validate the read sets of every participant.
+        let mut valid = true;
+        'validation: for p in participants.iter() {
+            if p.max_observed().version() > max_observed.version() {
+                max_observed = p.max_observed();
+            }
+            for r in p.reads() {
+                let now = r.record.tid();
+                if now.version() != r.observed.version() {
+                    valid = false;
+                    break 'validation;
+                }
+                if now.is_locked() && !own_write_records.contains(&(Arc::as_ptr(&r.record) as usize))
+                {
+                    valid = false;
+                    break 'validation;
+                }
+            }
+        }
+
+        if !valid {
+            // Vote no: release every lock without touching versions.
+            for (pi, wi) in &locked {
+                participants[*pi].writes()[*wi].record.unlock();
+            }
+            return Err(TxnError::ValidationFailed);
+        }
+
+        // ---- Phase 3: generate the commit TID and install the writes.
+        let commit_tid = tidgen.next(current_epoch, max_observed);
+        for (pi, wi) in &locked {
+            let w = &participants[*pi].writes()[*wi];
+            match &w.kind {
+                WriteKind::Insert(row) => {
+                    w.record.install(row.clone(), commit_tid);
+                    w.table.index_insert(&w.key, row);
+                }
+                WriteKind::Update(row) => {
+                    w.record.install(row.clone(), commit_tid);
+                    if let Some(before) = &w.before {
+                        w.table.index_update(&w.key, before, row);
+                    } else {
+                        w.table.index_insert(&w.key, row);
+                    }
+                }
+                WriteKind::Delete => {
+                    w.record.install_delete(commit_tid);
+                    if let Some(before) = &w.before {
+                        w.table.index_remove(&w.key, before);
+                    }
+                }
+            }
+        }
+        Ok(commit_tid)
+    }
+
+    /// Rolls back the participants without attempting to commit: nothing was
+    /// installed (writes are buffered), so this is a no-op provided for
+    /// symmetry and future durability hooks.
+    pub fn abort(_participants: &mut [OccTxn]) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reactdb_common::{ContainerId, Key, Value};
+    use reactdb_storage::{ColumnType, Schema, Table, Tuple};
+
+    fn table(name: &str) -> Arc<Table> {
+        let schema = Schema::of(&[("id", ColumnType::Int), ("v", ColumnType::Int)], &["id"]);
+        let t = Arc::new(Table::new(name, schema));
+        for i in 0..10i64 {
+            t.load_row(Tuple::of([Value::Int(i), Value::Int(0)])).unwrap();
+        }
+        t
+    }
+
+    fn env() -> (EpochManager, TidGen) {
+        (EpochManager::new(), TidGen::new())
+    }
+
+    #[test]
+    fn single_participant_commit_installs_writes() {
+        let t = table("t");
+        let (epoch, gen) = env();
+        let mut p = OccTxn::new(ContainerId(0));
+        p.update(&t, Tuple::of([Value::Int(1), Value::Int(42)])).unwrap();
+        p.insert(&t, Tuple::of([Value::Int(100), Value::Int(7)])).unwrap();
+        p.delete(&t, &Key::Int(2)).unwrap();
+        let tid = Coordinator::commit(&mut [p], &epoch, &gen).unwrap();
+        assert_eq!(tid.epoch(), 1);
+        assert_eq!(
+            t.get(&Key::Int(1)).unwrap().read_unguarded().at(1),
+            &Value::Int(42)
+        );
+        assert!(t.get(&Key::Int(100)).unwrap().is_visible());
+        assert!(!t.get(&Key::Int(2)).unwrap().is_visible());
+        assert_eq!(t.visible_len(), 10); // 10 - 1 deleted + 1 inserted
+    }
+
+    #[test]
+    fn stale_read_aborts() {
+        let t = table("t");
+        let (epoch, gen) = env();
+        let mut p1 = OccTxn::new(ContainerId(0));
+        p1.read(&t, &Key::Int(1)).unwrap();
+
+        // A concurrent transaction commits an update to the same record.
+        let mut p2 = OccTxn::new(ContainerId(0));
+        p2.update(&t, Tuple::of([Value::Int(1), Value::Int(5)])).unwrap();
+        Coordinator::commit(&mut [p2], &epoch, &gen).unwrap();
+
+        // p1 now writes something else but must fail validation on its read.
+        p1.update(&t, Tuple::of([Value::Int(3), Value::Int(9)])).unwrap();
+        let err = Coordinator::commit(&mut [p1], &epoch, &gen).unwrap_err();
+        assert_eq!(err, TxnError::ValidationFailed);
+        // The failed transaction's write was not installed.
+        assert_eq!(t.get(&Key::Int(3)).unwrap().read_unguarded().at(1), &Value::Int(0));
+    }
+
+    #[test]
+    fn read_own_write_record_does_not_self_conflict() {
+        let t = table("t");
+        let (epoch, gen) = env();
+        let mut p = OccTxn::new(ContainerId(0));
+        // Read and then update the same record: the record will be locked by
+        // ourselves during validation and must not trigger an abort.
+        p.read(&t, &Key::Int(4)).unwrap();
+        p.update(&t, Tuple::of([Value::Int(4), Value::Int(44)])).unwrap();
+        Coordinator::commit(&mut [p], &epoch, &gen).unwrap();
+        assert_eq!(t.get(&Key::Int(4)).unwrap().read_unguarded().at(1), &Value::Int(44));
+    }
+
+    #[test]
+    fn multi_participant_commit_is_atomic() {
+        let t0 = table("t0");
+        let t1 = table("t1");
+        let (epoch, gen) = env();
+        let mut p0 = OccTxn::new(ContainerId(0));
+        let mut p1 = OccTxn::new(ContainerId(1));
+        p0.update(&t0, Tuple::of([Value::Int(1), Value::Int(111)])).unwrap();
+        p1.update(&t1, Tuple::of([Value::Int(1), Value::Int(222)])).unwrap();
+        let tid = Coordinator::commit(&mut [p0, p1], &epoch, &gen).unwrap();
+        assert_eq!(t0.get(&Key::Int(1)).unwrap().tid().version(), tid.version());
+        assert_eq!(t1.get(&Key::Int(1)).unwrap().tid().version(), tid.version());
+    }
+
+    #[test]
+    fn multi_participant_abort_rolls_back_everywhere() {
+        let t0 = table("t0");
+        let t1 = table("t1");
+        let (epoch, gen) = env();
+
+        // p reads from t1, then a concurrent commit invalidates that read.
+        let mut p0 = OccTxn::new(ContainerId(0));
+        let mut p1 = OccTxn::new(ContainerId(1));
+        p0.update(&t0, Tuple::of([Value::Int(5), Value::Int(50)])).unwrap();
+        p1.read(&t1, &Key::Int(5)).unwrap();
+
+        let mut other = OccTxn::new(ContainerId(1));
+        other.update(&t1, Tuple::of([Value::Int(5), Value::Int(99)])).unwrap();
+        Coordinator::commit(&mut [other], &epoch, &gen).unwrap();
+
+        let err = Coordinator::commit(&mut [p0, p1], &epoch, &gen).unwrap_err();
+        assert_eq!(err, TxnError::ValidationFailed);
+        // Neither container saw the aborted transaction's write.
+        assert_eq!(t0.get(&Key::Int(5)).unwrap().read_unguarded().at(1), &Value::Int(0));
+        assert_eq!(t1.get(&Key::Int(5)).unwrap().read_unguarded().at(1), &Value::Int(99));
+        // Locks were released: a later transaction can commit.
+        let mut retry = OccTxn::new(ContainerId(0));
+        retry.update(&t0, Tuple::of([Value::Int(5), Value::Int(51)])).unwrap();
+        Coordinator::commit(&mut [retry], &epoch, &gen).unwrap();
+    }
+
+    #[test]
+    fn read_only_transaction_commits_without_installing() {
+        let t = table("t");
+        let (epoch, gen) = env();
+        let before = t.get(&Key::Int(1)).unwrap().tid();
+        let mut p = OccTxn::new(ContainerId(0));
+        p.read(&t, &Key::Int(1)).unwrap();
+        p.scan(&t).unwrap();
+        Coordinator::commit(&mut [p], &epoch, &gen).unwrap();
+        assert_eq!(t.get(&Key::Int(1)).unwrap().tid(), before);
+    }
+
+    #[test]
+    fn commit_tid_exceeds_all_observed_versions() {
+        let t = table("t");
+        let (epoch, gen) = env();
+        // Raise one record to a large version.
+        let rec = t.get(&Key::Int(7)).unwrap();
+        rec.lock();
+        rec.install(Tuple::of([Value::Int(7), Value::Int(7)]), TidWord::committed(1, 400));
+
+        let mut p = OccTxn::new(ContainerId(0));
+        p.read(&t, &Key::Int(7)).unwrap();
+        p.update(&t, Tuple::of([Value::Int(1), Value::Int(1)])).unwrap();
+        let tid = Coordinator::commit(&mut [p], &epoch, &gen).unwrap();
+        assert!(tid.version() > TidWord::committed(1, 400).version());
+    }
+
+    #[test]
+    fn concurrent_counter_increments_do_not_lose_updates() {
+        use std::thread;
+        let t = table("t");
+        let epoch = Arc::new(EpochManager::new());
+        let total_committed = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let t = Arc::clone(&t);
+                let epoch = Arc::clone(&epoch);
+                let total_committed = Arc::clone(&total_committed);
+                thread::spawn(move || {
+                    let gen = TidGen::new();
+                    let mut commits = 0u64;
+                    while commits < 100 {
+                        let mut p = OccTxn::new(ContainerId(0));
+                        let row = p.read_expected(&t, &Key::Int(0)).unwrap();
+                        let v = row.at(1).as_int();
+                        p.update(&t, Tuple::of([Value::Int(0), Value::Int(v + 1)])).unwrap();
+                        if Coordinator::commit(&mut [p], &epoch, &gen).is_ok() {
+                            commits += 1;
+                        }
+                    }
+                    total_committed.fetch_add(commits, std::sync::atomic::Ordering::Relaxed);
+                })
+            })
+            .collect();
+        for th in threads {
+            th.join().unwrap();
+        }
+        let final_v = t.get(&Key::Int(0)).unwrap().read_unguarded().at(1).as_int();
+        assert_eq!(final_v as u64, total_committed.load(std::sync::atomic::Ordering::Relaxed));
+        assert_eq!(final_v, 400);
+    }
+}

@@ -1,0 +1,529 @@
+//! Per-container transaction participant state (Silo-style OCC).
+//!
+//! An [`OccTxn`] tracks everything a (sub-)transaction did inside one
+//! container: the versions it read and the writes it buffered. The reactor
+//! execution context performs all its relational operations through this
+//! type, so that serializability follows from the Silo validation protocol
+//! run at commit (see [`crate::coordinator`]).
+
+use std::collections::HashMap;
+use std::ops::Bound;
+use std::sync::Arc;
+
+use reactdb_common::{ContainerId, Key, Result, TxnError};
+use reactdb_storage::{RecordRef, Table, TidWord, Tuple};
+
+/// The kind of buffered write.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WriteKind {
+    /// Insert of a new row (the slot was absent when the transaction wrote).
+    Insert(Tuple),
+    /// Update of an existing row to a new image.
+    Update(Tuple),
+    /// Deletion of an existing row.
+    Delete,
+}
+
+/// One entry of the read set: the record handle and the version observed.
+#[derive(Debug, Clone)]
+pub(crate) struct ReadEntry {
+    pub record: RecordRef,
+    pub observed: TidWord,
+}
+
+/// One entry of the write set.
+#[derive(Debug, Clone)]
+pub(crate) struct WriteEntry {
+    pub table: Arc<Table>,
+    pub key: Key,
+    pub record: RecordRef,
+    /// Image of the row before this transaction (None when inserting into a
+    /// previously absent slot); needed for secondary-index maintenance.
+    pub before: Option<Tuple>,
+    pub kind: WriteKind,
+}
+
+/// The participant state of a transaction within one container.
+#[derive(Debug)]
+pub struct OccTxn {
+    container: ContainerId,
+    reads: Vec<ReadEntry>,
+    read_index: HashMap<usize, usize>,
+    writes: Vec<WriteEntry>,
+    /// Largest committed version observed by any read or overwritten record.
+    max_observed: TidWord,
+    /// Count of record-level operations, used by the engine's profiler to
+    /// attribute processing cost.
+    ops: u64,
+}
+
+impl OccTxn {
+    /// Creates an empty participant for `container`.
+    pub fn new(container: ContainerId) -> Self {
+        Self {
+            container,
+            reads: Vec::new(),
+            read_index: HashMap::new(),
+            writes: Vec::new(),
+            max_observed: TidWord::committed(0, 0),
+            ops: 0,
+        }
+    }
+
+    /// Container this participant belongs to.
+    pub fn container(&self) -> ContainerId {
+        self.container
+    }
+
+    /// Number of entries in the read set.
+    pub fn read_set_len(&self) -> usize {
+        self.reads.len()
+    }
+
+    /// Number of entries in the write set.
+    pub fn write_set_len(&self) -> usize {
+        self.writes.len()
+    }
+
+    /// Number of record operations performed so far.
+    pub fn op_count(&self) -> u64 {
+        self.ops
+    }
+
+    /// Largest committed record version this participant observed.
+    pub fn max_observed(&self) -> TidWord {
+        self.max_observed
+    }
+
+    fn record_ptr(record: &RecordRef) -> usize {
+        Arc::as_ptr(record) as usize
+    }
+
+    fn track_read(&mut self, record: &RecordRef, observed: TidWord) {
+        if observed.version() > self.max_observed.version() {
+            self.max_observed = observed;
+        }
+        let ptr = Self::record_ptr(record);
+        if self.read_index.contains_key(&ptr) {
+            return;
+        }
+        self.read_index.insert(ptr, self.reads.len());
+        self.reads.push(ReadEntry { record: Arc::clone(record), observed });
+    }
+
+    fn find_write(&self, table: &Arc<Table>, key: &Key) -> Option<usize> {
+        self.writes
+            .iter()
+            .position(|w| Arc::ptr_eq(&w.table, table) && &w.key == key)
+    }
+
+    /// Transactional point read of `key` in `table`. Returns the row visible
+    /// to this transaction (its own writes first, then the committed state),
+    /// or `None` if the row does not exist.
+    pub fn read(&mut self, table: &Arc<Table>, key: &Key) -> Result<Option<Tuple>> {
+        self.ops += 1;
+        // Read-your-writes.
+        if let Some(idx) = self.find_write(table, key) {
+            return Ok(match &self.writes[idx].kind {
+                WriteKind::Insert(t) | WriteKind::Update(t) => Some(t.clone()),
+                WriteKind::Delete => None,
+            });
+        }
+        match table.get(key) {
+            None => Ok(None),
+            Some(record) => {
+                let (tid, data) = record.read_stable();
+                self.track_read(&record, tid);
+                if tid.is_absent() {
+                    Ok(None)
+                } else {
+                    Ok(Some(data))
+                }
+            }
+        }
+    }
+
+    /// Like [`OccTxn::read`] but returns an error if the row is missing.
+    pub fn read_expected(&mut self, table: &Arc<Table>, key: &Key) -> Result<Tuple> {
+        self.read(table, key)?.ok_or_else(|| TxnError::NotFound {
+            relation: table.name().to_owned(),
+            key: key.to_string(),
+        })
+    }
+
+    /// Transactional insert. Fails with [`TxnError::DuplicateKey`] if the row
+    /// already exists (either committed or inserted earlier by this
+    /// transaction).
+    pub fn insert(&mut self, table: &Arc<Table>, row: Tuple) -> Result<()> {
+        self.ops += 1;
+        table.schema().validate(table.name(), row.values())?;
+        let key = row.primary_key(table.schema());
+        if let Some(idx) = self.find_write(table, &key) {
+            match &self.writes[idx].kind {
+                WriteKind::Delete => {
+                    // Delete-then-insert within one transaction becomes an
+                    // update of the existing slot.
+                    let before = self.writes[idx].before.clone();
+                    self.writes[idx] = WriteEntry {
+                        table: Arc::clone(table),
+                        key,
+                        record: Arc::clone(&self.writes[idx].record),
+                        before,
+                        kind: WriteKind::Update(row),
+                    };
+                    return Ok(());
+                }
+                _ => {
+                    return Err(TxnError::DuplicateKey {
+                        relation: table.name().to_owned(),
+                        key: key.to_string(),
+                    })
+                }
+            }
+        }
+        let (record, _created) = table.get_or_create(key.clone(), row.clone());
+        let (tid, before) = record.read_stable();
+        self.track_read(&record, tid);
+        if !tid.is_absent() {
+            return Err(TxnError::DuplicateKey {
+                relation: table.name().to_owned(),
+                key: key.to_string(),
+            });
+        }
+        let _ = before;
+        self.writes.push(WriteEntry {
+            table: Arc::clone(table),
+            key,
+            record,
+            before: None,
+            kind: WriteKind::Insert(row),
+        });
+        Ok(())
+    }
+
+    /// Transactional full-row update. Fails with [`TxnError::NotFound`] if
+    /// the row does not exist.
+    pub fn update(&mut self, table: &Arc<Table>, row: Tuple) -> Result<()> {
+        self.ops += 1;
+        table.schema().validate(table.name(), row.values())?;
+        let key = row.primary_key(table.schema());
+        if let Some(idx) = self.find_write(table, &key) {
+            match self.writes[idx].kind.clone() {
+                WriteKind::Delete => {
+                    return Err(TxnError::NotFound {
+                        relation: table.name().to_owned(),
+                        key: key.to_string(),
+                    })
+                }
+                WriteKind::Insert(_) => {
+                    self.writes[idx].kind = WriteKind::Insert(row);
+                    return Ok(());
+                }
+                WriteKind::Update(_) => {
+                    self.writes[idx].kind = WriteKind::Update(row);
+                    return Ok(());
+                }
+            }
+        }
+        let record = table.get(&key).ok_or_else(|| TxnError::NotFound {
+            relation: table.name().to_owned(),
+            key: key.to_string(),
+        })?;
+        let (tid, before) = record.read_stable();
+        self.track_read(&record, tid);
+        if tid.is_absent() {
+            return Err(TxnError::NotFound {
+                relation: table.name().to_owned(),
+                key: key.to_string(),
+            });
+        }
+        self.writes.push(WriteEntry {
+            table: Arc::clone(table),
+            key,
+            record,
+            before: Some(before),
+            kind: WriteKind::Update(row),
+        });
+        Ok(())
+    }
+
+    /// Reads a row, applies `f` to it and buffers the modified image as an
+    /// update — the common read-modify-write shape of the benchmarks.
+    pub fn update_with<F>(&mut self, table: &Arc<Table>, key: &Key, f: F) -> Result<Tuple>
+    where
+        F: FnOnce(&mut Tuple),
+    {
+        let mut row = self.read_expected(table, key)?;
+        f(&mut row);
+        self.update(table, row.clone())?;
+        Ok(row)
+    }
+
+    /// Transactional delete. Fails with [`TxnError::NotFound`] if the row
+    /// does not exist.
+    pub fn delete(&mut self, table: &Arc<Table>, key: &Key) -> Result<()> {
+        self.ops += 1;
+        if let Some(idx) = self.find_write(table, &key.clone()) {
+            match self.writes[idx].kind.clone() {
+                WriteKind::Delete => {
+                    return Err(TxnError::NotFound {
+                        relation: table.name().to_owned(),
+                        key: key.to_string(),
+                    })
+                }
+                WriteKind::Insert(_) => {
+                    // Insert-then-delete cancels out; keep the slot absent.
+                    self.writes.remove(idx);
+                    return Ok(());
+                }
+                WriteKind::Update(_) => {
+                    self.writes[idx].kind = WriteKind::Delete;
+                    return Ok(());
+                }
+            }
+        }
+        let record = table.get(key).ok_or_else(|| TxnError::NotFound {
+            relation: table.name().to_owned(),
+            key: key.to_string(),
+        })?;
+        let (tid, before) = record.read_stable();
+        self.track_read(&record, tid);
+        if tid.is_absent() {
+            return Err(TxnError::NotFound {
+                relation: table.name().to_owned(),
+                key: key.to_string(),
+            });
+        }
+        self.writes.push(WriteEntry {
+            table: Arc::clone(table),
+            key: key.clone(),
+            record,
+            before: Some(before),
+            kind: WriteKind::Delete,
+        });
+        Ok(())
+    }
+
+    /// Transactional range scan over the primary key. Returns visible rows
+    /// (committed rows merged with this transaction's own writes) in key
+    /// order. Every committed row touched is added to the read set.
+    ///
+    /// Phantom protection is not implemented (see DESIGN.md §4.2): a
+    /// concurrent insert into the scanned range that commits first is not
+    /// detected by validation. The OLTP benchmarks of the paper do not rely
+    /// on phantom-free scans.
+    pub fn scan_range(
+        &mut self,
+        table: &Arc<Table>,
+        low: Bound<&Key>,
+        high: Bound<&Key>,
+    ) -> Result<Vec<(Key, Tuple)>> {
+        self.ops += 1;
+        let mut out: Vec<(Key, Tuple)> = Vec::new();
+        for (key, record) in table.range(low, high) {
+            if let Some(idx) = self.find_write(table, &key) {
+                match &self.writes[idx].kind {
+                    WriteKind::Insert(t) | WriteKind::Update(t) => out.push((key, t.clone())),
+                    WriteKind::Delete => {}
+                }
+                continue;
+            }
+            let (tid, data) = record.read_stable();
+            self.track_read(&record, tid);
+            if !tid.is_absent() {
+                out.push((key, data));
+            }
+        }
+        // Inserts buffered by this transaction whose slot was created by us
+        // are already present in `table.range` (the slot physically exists),
+        // so no extra merge step is needed.
+        Ok(out)
+    }
+
+    /// Full-table scan (range with no bounds).
+    pub fn scan(&mut self, table: &Arc<Table>) -> Result<Vec<(Key, Tuple)>> {
+        self.scan_range(table, Bound::Unbounded, Bound::Unbounded)
+    }
+
+    /// Secondary-index equality lookup: returns the matching visible rows.
+    pub fn secondary_lookup(
+        &mut self,
+        table: &Arc<Table>,
+        index_id: usize,
+        index_key: &Key,
+    ) -> Result<Vec<(Key, Tuple)>> {
+        self.ops += 1;
+        let mut out = Vec::new();
+        for pk in table.secondary_lookup(index_id, index_key) {
+            if let Some(row) = self.read(table, &pk)? {
+                out.push((pk, row));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Internal accessors for the commit coordinator.
+    pub(crate) fn reads(&self) -> &[ReadEntry] {
+        &self.reads
+    }
+
+    pub(crate) fn writes(&self) -> &[WriteEntry] {
+        &self.writes
+    }
+
+    /// True if this participant wrote nothing (read-only participants skip
+    /// the write phase but still validate their reads).
+    pub fn is_read_only(&self) -> bool {
+        self.writes.is_empty()
+    }
+
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reactdb_storage::{ColumnType, Schema};
+    use reactdb_common::Value;
+
+    fn table() -> Arc<Table> {
+        let schema = Schema::of(
+            &[("id", ColumnType::Int), ("val", ColumnType::Int)],
+            &["id"],
+        );
+        let t = Arc::new(Table::new("t", schema));
+        for i in 0..5i64 {
+            t.load_row(Tuple::of([Value::Int(i), Value::Int(i * 10)])).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn read_tracks_read_set_and_dedupes() {
+        let t = table();
+        let mut txn = OccTxn::new(ContainerId(0));
+        assert_eq!(
+            txn.read(&t, &Key::Int(1)).unwrap().unwrap().at(1),
+            &Value::Int(10)
+        );
+        txn.read(&t, &Key::Int(1)).unwrap();
+        txn.read(&t, &Key::Int(2)).unwrap();
+        assert_eq!(txn.read_set_len(), 2);
+        assert!(txn.read(&t, &Key::Int(77)).unwrap().is_none());
+        assert_eq!(txn.op_count(), 4);
+    }
+
+    #[test]
+    fn read_your_writes() {
+        let t = table();
+        let mut txn = OccTxn::new(ContainerId(0));
+        txn.update(&t, Tuple::of([Value::Int(1), Value::Int(999)])).unwrap();
+        assert_eq!(
+            txn.read(&t, &Key::Int(1)).unwrap().unwrap().at(1),
+            &Value::Int(999)
+        );
+        // The committed state is untouched before commit.
+        let committed = t.get(&Key::Int(1)).unwrap().read_unguarded();
+        assert_eq!(committed.at(1), &Value::Int(10));
+    }
+
+    #[test]
+    fn insert_duplicate_detection() {
+        let t = table();
+        let mut txn = OccTxn::new(ContainerId(0));
+        let err = txn.insert(&t, Tuple::of([Value::Int(1), Value::Int(0)])).unwrap_err();
+        assert!(matches!(err, TxnError::DuplicateKey { .. }));
+        txn.insert(&t, Tuple::of([Value::Int(100), Value::Int(0)])).unwrap();
+        let err = txn.insert(&t, Tuple::of([Value::Int(100), Value::Int(0)])).unwrap_err();
+        assert!(matches!(err, TxnError::DuplicateKey { .. }));
+        // The new row is visible to this transaction but not committed.
+        assert!(txn.read(&t, &Key::Int(100)).unwrap().is_some());
+        assert_eq!(t.visible_len(), 5);
+    }
+
+    #[test]
+    fn update_and_delete_of_missing_rows_fail() {
+        let t = table();
+        let mut txn = OccTxn::new(ContainerId(0));
+        assert!(matches!(
+            txn.update(&t, Tuple::of([Value::Int(50), Value::Int(1)])).unwrap_err(),
+            TxnError::NotFound { .. }
+        ));
+        assert!(matches!(
+            txn.delete(&t, &Key::Int(50)).unwrap_err(),
+            TxnError::NotFound { .. }
+        ));
+    }
+
+    #[test]
+    fn delete_then_read_sees_nothing() {
+        let t = table();
+        let mut txn = OccTxn::new(ContainerId(0));
+        txn.delete(&t, &Key::Int(1)).unwrap();
+        assert!(txn.read(&t, &Key::Int(1)).unwrap().is_none());
+        // delete then insert becomes an update
+        txn.insert(&t, Tuple::of([Value::Int(1), Value::Int(5)])).unwrap();
+        assert_eq!(txn.read(&t, &Key::Int(1)).unwrap().unwrap().at(1), &Value::Int(5));
+    }
+
+    #[test]
+    fn insert_then_delete_cancels() {
+        let t = table();
+        let mut txn = OccTxn::new(ContainerId(0));
+        txn.insert(&t, Tuple::of([Value::Int(200), Value::Int(5)])).unwrap();
+        txn.delete(&t, &Key::Int(200)).unwrap();
+        assert!(txn.read(&t, &Key::Int(200)).unwrap().is_none());
+        assert_eq!(txn.write_set_len(), 0);
+    }
+
+    #[test]
+    fn scan_merges_own_writes() {
+        let t = table();
+        let mut txn = OccTxn::new(ContainerId(0));
+        txn.update(&t, Tuple::of([Value::Int(0), Value::Int(-1)])).unwrap();
+        txn.delete(&t, &Key::Int(4)).unwrap();
+        txn.insert(&t, Tuple::of([Value::Int(10), Value::Int(100)])).unwrap();
+        let rows = txn.scan(&t).unwrap();
+        assert_eq!(rows.len(), 5); // 5 committed - 1 deleted + 1 inserted
+        assert_eq!(rows[0].1.at(1), &Value::Int(-1));
+        assert_eq!(rows.last().unwrap().0, Key::Int(10));
+        assert!(!rows.iter().any(|(k, _)| *k == Key::Int(4)));
+    }
+
+    #[test]
+    fn scan_range_respects_bounds() {
+        let t = table();
+        let mut txn = OccTxn::new(ContainerId(0));
+        let rows = txn
+            .scan_range(&t, Bound::Included(&Key::Int(1)), Bound::Excluded(&Key::Int(3)))
+            .unwrap();
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn update_with_applies_mutation() {
+        let t = table();
+        let mut txn = OccTxn::new(ContainerId(0));
+        let row = txn
+            .update_with(&t, &Key::Int(2), |r| {
+                let v = r.at(1).as_int();
+                r.values_mut()[1] = Value::Int(v + 1);
+            })
+            .unwrap();
+        assert_eq!(row.at(1), &Value::Int(21));
+        assert_eq!(txn.read(&t, &Key::Int(2)).unwrap().unwrap().at(1), &Value::Int(21));
+    }
+
+    #[test]
+    fn max_observed_tracks_largest_version() {
+        let t = table();
+        // Bump one record to a higher version.
+        let rec = t.get(&Key::Int(3)).unwrap();
+        rec.lock();
+        rec.install(Tuple::of([Value::Int(3), Value::Int(30)]), TidWord::committed(2, 9));
+        let mut txn = OccTxn::new(ContainerId(0));
+        txn.read(&t, &Key::Int(1)).unwrap();
+        txn.read(&t, &Key::Int(3)).unwrap();
+        assert_eq!(txn.max_observed().epoch(), 2);
+        assert_eq!(txn.max_observed().sequence(), 9);
+    }
+}

@@ -1,0 +1,403 @@
+//! The digital currency exchange of Figure 1 (§1) and Appendix G.
+//!
+//! The exchange authorises payments subject to two risk rules: a per-provider
+//! unsettled-exposure limit and a global risk-adjusted exposure limit whose
+//! computation (`sim_risk`) is expensive. The reactor-model formulation
+//! (Figure 1(b)) parallelises `calc_risk` across `Provider` reactors; the
+//! classic formulation (Figure 1(a)) runs everything inside one reactor.
+//! Appendix G compares three execution strategies: `sequential`,
+//! `query-parallelism` (only the exposure aggregation is parallelised) and
+//! `procedure-parallelism` (the full reactor-model decomposition).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use reactdb_common::{Key, Result, Value};
+use reactdb_core::{ReactorDatabaseSpec, ReactorType};
+use reactdb_engine::ReactDB;
+use reactdb_sim::SimTxn;
+use reactdb_storage::{ColumnType, RelationDef, Schema, Tuple};
+
+/// Name of the exchange reactor.
+pub const EXCHANGE: &str = "exchange";
+
+/// Name of the provider reactor with index `idx`.
+pub fn provider_name(idx: usize) -> String {
+    format!("provider-{idx}")
+}
+
+/// Execution strategies compared in Appendix G / Figure 19.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// Classic single-reactor formulation executed sequentially.
+    Sequential,
+    /// The exposure aggregation (the join) is parallelised across provider
+    /// partitions, but `sim_risk` runs sequentially on the exchange.
+    QueryParallelism,
+    /// Full reactor-model decomposition: `calc_risk` (including `sim_risk`)
+    /// runs on each provider reactor in parallel.
+    ProcedureParallelism,
+}
+
+impl Strategy {
+    /// All strategies in the order plotted in Figure 19.
+    pub fn all() -> [Strategy; 3] {
+        [Strategy::Sequential, Strategy::QueryParallelism, Strategy::ProcedureParallelism]
+    }
+
+    /// Label used in figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Strategy::Sequential => "sequential",
+            Strategy::QueryParallelism => "query-parallelism",
+            Strategy::ProcedureParallelism => "procedure-parallelism",
+        }
+    }
+}
+
+/// Builds the exchange reactor database: one `Exchange` reactor plus
+/// `providers` `Provider` reactors.
+pub fn spec(providers: usize) -> ReactorDatabaseSpec {
+    let provider = ReactorType::new("Provider")
+        .with_relation(RelationDef::new(
+            "provider_info",
+            Schema::of(
+                &[("id", ColumnType::Int), ("risk", ColumnType::Float), ("fresh", ColumnType::Bool)],
+                &["id"],
+            ),
+        ))
+        .with_relation(RelationDef::new(
+            "orders",
+            Schema::of(
+                &[
+                    ("order_id", ColumnType::Int),
+                    ("wallet", ColumnType::Int),
+                    ("value", ColumnType::Float),
+                    ("settled", ColumnType::Bool),
+                ],
+                &["order_id"],
+            ),
+        ))
+        .with_procedure("calc_risk", |ctx, args| {
+            // args: [p_exposure limit, sim_risk work units]
+            let p_exposure = args[0].as_float();
+            let work = args[1].as_int() as u64;
+            let exposure =
+                ctx.sum_where("orders", "value", |t| t.at(3) == &Value::Bool(false))?;
+            if exposure > p_exposure {
+                return ctx.abort("provider exposure limit exceeded");
+            }
+            let info = ctx.get_expected("provider_info", &Key::Int(0))?;
+            let mut risk = info.at(1).as_float();
+            if !info.at(2).as_bool() {
+                // Stale risk figure: recompute it (the expensive sim_risk).
+                ctx.busy_work(work);
+                risk = exposure * 0.1;
+                ctx.update(
+                    "provider_info",
+                    Tuple::of([Value::Int(0), Value::Float(risk), Value::Bool(true)]),
+                )?;
+            }
+            Ok(Value::Float(risk))
+        })
+        .with_procedure("add_entry", |ctx, args| {
+            // args: [wallet, value]
+            let next = ctx.scan("orders")?.len() as i64;
+            ctx.insert(
+                "orders",
+                Tuple::of([
+                    Value::Int(next),
+                    Value::Int(args[0].as_int()),
+                    Value::Float(args[1].as_float()),
+                    Value::Bool(false),
+                ]),
+            )?;
+            Ok(Value::Null)
+        })
+        .with_procedure("settle_window", |ctx, args| {
+            // Settles the oldest `n` unsettled orders, keeping the scanned
+            // window bounded as in Appendix G's setup.
+            let n = args[0].as_int() as usize;
+            let unsettled = ctx.select_where("orders", |t| t.at(3) == &Value::Bool(false))?;
+            for (key, row) in unsettled.into_iter().take(n) {
+                let mut settled = row.clone();
+                settled.values_mut()[3] = Value::Bool(true);
+                let _ = key;
+                ctx.update("orders", settled)?;
+            }
+            ctx.update_with("provider_info", &Key::Int(0), |t| {
+                t.values_mut()[2] = Value::Bool(false);
+            })?;
+            Ok(Value::Null)
+        });
+
+    let exchange = ReactorType::new("Exchange")
+        .with_relation(RelationDef::new(
+            "settlement_risk",
+            Schema::of(
+                &[("id", ColumnType::Int), ("p_exposure", ColumnType::Float), ("g_risk", ColumnType::Float)],
+                &["id"],
+            ),
+        ))
+        .with_relation(RelationDef::new(
+            "provider_names",
+            Schema::of(&[("value", ColumnType::Str)], &["value"]),
+        ))
+        .with_procedure("auth_pay", |ctx, args| {
+            // args: [provider name, wallet, value, sim_risk work units]
+            // The reactor-model formulation of Figure 1(b): calc_risk is
+            // invoked asynchronously on every provider reactor.
+            let pprovider = args[0].as_str().to_owned();
+            let pwallet = args[1].as_int();
+            let pvalue = args[2].as_float();
+            let work = args[3].as_int();
+
+            let limits = ctx.get_expected("settlement_risk", &Key::Int(0))?;
+            let p_exposure = limits.at(1).as_float();
+            let g_risk = limits.at(2).as_float();
+
+            let providers: Vec<String> =
+                ctx.scan("provider_names")?.into_iter().map(|(_, t)| t.at(0).as_str().to_owned()).collect();
+            let mut results = Vec::with_capacity(providers.len());
+            for p in &providers {
+                results.push(ctx.call(
+                    p,
+                    "calc_risk",
+                    vec![Value::Float(p_exposure), Value::Int(work)],
+                )?);
+            }
+            let mut total_risk = 0.0;
+            for res in results {
+                total_risk += res.get()?.as_float();
+            }
+            if total_risk + pvalue < g_risk {
+                ctx.call(&pprovider, "add_entry", vec![Value::Int(pwallet), Value::Float(pvalue)])?;
+                Ok(Value::Bool(true))
+            } else {
+                ctx.abort("global risk limit exceeded")
+            }
+        });
+
+    let mut spec = ReactorDatabaseSpec::new();
+    spec.add_type(provider);
+    spec.add_type(exchange);
+    spec.add_reactor(EXCHANGE, "Exchange");
+    for p in 0..providers {
+        spec.add_reactor(provider_name(p), "Provider");
+    }
+    spec
+}
+
+/// Loads the exchange database: risk limits on the exchange, provider names,
+/// and `orders_per_provider` unsettled orders per provider.
+pub fn load(
+    db: &ReactDB,
+    providers: usize,
+    orders_per_provider: usize,
+    p_exposure: f64,
+    g_risk: f64,
+) -> Result<()> {
+    db.load_row(
+        EXCHANGE,
+        "settlement_risk",
+        Tuple::of([Value::Int(0), Value::Float(p_exposure), Value::Float(g_risk)]),
+    )?;
+    for p in 0..providers {
+        let name = provider_name(p);
+        db.load_row(EXCHANGE, "provider_names", Tuple::of([Value::Str(name.clone())]))?;
+        db.load_row(&name, "provider_info", Tuple::of([Value::Int(0), Value::Float(0.0), Value::Bool(false)]))?;
+        for o in 0..orders_per_provider {
+            db.load_row(
+                &name,
+                "orders",
+                Tuple::of([
+                    Value::Int(o as i64),
+                    Value::Int((o % 97) as i64),
+                    Value::Float(1.0),
+                    Value::Bool(false),
+                ]),
+            )?;
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Simulator profiles for Figure 19.
+// ---------------------------------------------------------------------------
+
+/// Per-operation costs of the exchange workload in the simulator (µs).
+#[derive(Debug, Clone, Copy)]
+pub struct ExchangeSimCosts {
+    /// Scanning one provider's order window (the join fragment).
+    pub scan_window_us: f64,
+    /// Fixed auth_pay bookkeeping on the exchange.
+    pub auth_base_us: f64,
+    /// The sim_risk computation per provider, derived from the random-number
+    /// count of Figure 19's x axis.
+    pub sim_risk_us: f64,
+}
+
+/// Builds the simulator profile of one `auth_pay` under a strategy, with
+/// `providers` provider reactors. Reactor 0 is the exchange; providers are
+/// reactors `1..=providers`.
+pub fn sim_profile(strategy: Strategy, providers: usize, costs: ExchangeSimCosts) -> SimTxn {
+    let per_provider = costs.scan_window_us + costs.sim_risk_us;
+    match strategy {
+        Strategy::Sequential => {
+            // Everything on the exchange reactor.
+            SimTxn::leaf(0, costs.auth_base_us + providers as f64 * per_provider)
+        }
+        Strategy::QueryParallelism => {
+            // The scan/join is parallelised over provider partitions, but
+            // every sim_risk still runs on the exchange.
+            let mut txn =
+                SimTxn::leaf(0, costs.auth_base_us + providers as f64 * costs.sim_risk_us);
+            for p in 1..=providers {
+                txn = txn.with_async(SimTxn::leaf(p, costs.scan_window_us));
+            }
+            txn
+        }
+        Strategy::ProcedureParallelism => {
+            // calc_risk (scan + sim_risk) runs on each provider reactor.
+            let mut txn = SimTxn::leaf(0, costs.auth_base_us);
+            for p in 1..=providers {
+                txn = txn.with_async(SimTxn::leaf(p, per_provider));
+            }
+            txn
+        }
+    }
+}
+
+/// Simulator workload for Figure 19: a single worker issuing `auth_pay`
+/// transactions under a fixed strategy and sim_risk load.
+#[derive(Debug, Clone)]
+pub struct ExchangeSimWorkload {
+    /// Strategy under test.
+    pub strategy: Strategy,
+    /// Number of provider reactors (15 in Appendix G).
+    pub providers: usize,
+    /// Cost calibration.
+    pub costs: ExchangeSimCosts,
+}
+
+impl reactdb_sim::SimWorkload for ExchangeSimWorkload {
+    fn next_txn(&mut self, _worker: usize, _rng: &mut StdRng) -> SimTxn {
+        sim_profile(self.strategy, self.providers, self.costs)
+    }
+}
+
+/// Builds an `auth_pay` invocation against the engine for a random provider
+/// and wallet.
+pub fn auth_pay_invocation(providers: usize, work_units: u64, rng: &mut StdRng) -> Vec<Value> {
+    vec![
+        Value::Str(provider_name(rng.gen_range(0..providers))),
+        Value::Int(rng.gen_range(0..1000)),
+        Value::Float(rng.gen_range(1.0..10.0)),
+        Value::Int(work_units as i64),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use reactdb_common::DeploymentConfig;
+    use reactdb_common::TxnError;
+
+    fn boot(providers: usize, orders: usize, g_risk: f64) -> ReactDB {
+        let db = ReactDB::boot(spec(providers), DeploymentConfig::shared_nothing(providers + 1));
+        load(&db, providers, orders, 1_000.0, g_risk).unwrap();
+        db
+    }
+
+    #[test]
+    fn auth_pay_accepts_within_risk_and_records_the_order() {
+        let db = boot(3, 10, 100.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let args = auth_pay_invocation(3, 10, &mut rng);
+        let provider = args[0].as_str().to_owned();
+        let before = db.table(&provider, "orders").unwrap().visible_len();
+        let accepted = db.invoke(EXCHANGE, "auth_pay", args).unwrap();
+        assert_eq!(accepted, Value::Bool(true));
+        assert_eq!(db.table(&provider, "orders").unwrap().visible_len(), before + 1);
+        // Risk figures were cached on every provider.
+        for p in 0..3 {
+            let info = db.table(&provider_name(p), "provider_info").unwrap().get(&Key::Int(0)).unwrap();
+            assert_eq!(info.read_unguarded().at(2), &Value::Bool(true));
+        }
+    }
+
+    #[test]
+    fn auth_pay_rejects_when_global_risk_exceeded() {
+        // Each provider has 10 unsettled orders of value 1.0 → exposure 10,
+        // risk 1.0 per provider, total 3.0; a tiny g_risk forces rejection.
+        let db = boot(3, 10, 0.5);
+        let err = db
+            .invoke(
+                EXCHANGE,
+                "auth_pay",
+                vec![Value::Str(provider_name(0)), Value::Int(1), Value::Float(5.0), Value::Int(1)],
+            )
+            .unwrap_err();
+        assert!(matches!(err, TxnError::UserAbort(_)));
+        // The rejected payment left no order behind.
+        assert_eq!(db.table(&provider_name(0), "orders").unwrap().visible_len(), 10);
+    }
+
+    #[test]
+    fn provider_exposure_limit_aborts_the_payment() {
+        let db = ReactDB::boot(spec(2), DeploymentConfig::shared_nothing(3));
+        // p_exposure of 5 but 10 unsettled orders of value 1.0 → abort.
+        load(&db, 2, 10, 5.0, 1_000.0).unwrap();
+        let err = db
+            .invoke(
+                EXCHANGE,
+                "auth_pay",
+                vec![Value::Str(provider_name(1)), Value::Int(1), Value::Float(1.0), Value::Int(1)],
+            )
+            .unwrap_err();
+        assert!(err.is_user_abort());
+    }
+
+    #[test]
+    fn settle_window_marks_orders_and_invalidates_risk_cache() {
+        let db = boot(1, 10, 100.0);
+        db.invoke(
+            EXCHANGE,
+            "auth_pay",
+            vec![Value::Str(provider_name(0)), Value::Int(1), Value::Float(1.0), Value::Int(1)],
+        )
+        .unwrap();
+        db.invoke(&provider_name(0), "settle_window", vec![Value::Int(5)]).unwrap();
+        let unsettled = db
+            .table(&provider_name(0), "orders")
+            .unwrap()
+            .scan()
+            .iter()
+            .filter(|(_, r)| r.is_visible() && r.read_unguarded().at(3) == &Value::Bool(false))
+            .count();
+        assert_eq!(unsettled, 11 - 5);
+        let info = db.table(&provider_name(0), "provider_info").unwrap().get(&Key::Int(0)).unwrap();
+        assert_eq!(info.read_unguarded().at(2), &Value::Bool(false));
+    }
+
+    #[test]
+    fn sim_profiles_rank_strategies_as_in_figure_19() {
+        use reactdb_sim::{SimCosts, SimDeployment, SimStrategy, Simulator};
+        let costs = ExchangeSimCosts { scan_window_us: 50.0, auth_base_us: 5.0, sim_risk_us: 500.0 };
+        let deployment = SimDeployment::striped(SimStrategy::SharedNothing, 16, 16);
+        let latency = |strategy| {
+            let sim = Simulator::new(deployment.clone(), SimCosts::default());
+            let mut wl = ExchangeSimWorkload { strategy, providers: 15, costs };
+            sim.run(&mut wl, 1, 10, 1).avg_latency_us()
+        };
+        let sequential = latency(Strategy::Sequential);
+        let query = latency(Strategy::QueryParallelism);
+        let procedure = latency(Strategy::ProcedureParallelism);
+        assert!(procedure < query);
+        assert!(query < sequential);
+        // At heavy sim_risk load the procedure-parallel variant wins by a
+        // large factor (the paper reports ~8x).
+        assert!(sequential / procedure > 5.0);
+    }
+}

@@ -1,0 +1,30 @@
+//! OLTP benchmark workloads expressed in the reactor programming model.
+//!
+//! Each workload provides three artefacts, built from the same parameters:
+//!
+//! 1. a [`reactdb_core::ReactorDatabaseSpec`] with reactor types, relation
+//!    schemas and stored procedures, plus a loader, for execution on the
+//!    real engine (`reactdb-engine`);
+//! 2. transaction-profile generators ([`reactdb_sim::SimTxn`]) for the
+//!    virtual-time simulator that reproduces the paper's figures;
+//! 3. fork-join cost-model shapes ([`reactdb_core::costmodel::ForkJoinTxn`])
+//!    for the predicted curves of Figures 6 and 13 and Table 1.
+//!
+//! Workloads:
+//!
+//! * [`smallbank`] — the extended Smallbank benchmark with the
+//!   multi-transfer transaction and its four program formulations
+//!   (§4.1.3–4.1.4, Appendix H),
+//! * [`tpcc`] — TPC-C with one warehouse reactor per warehouse, the standard
+//!   mix, the cross-reactor probability knob and the new-order-delay variant
+//!   (§4.3, Appendices D–F),
+//! * [`ycsb`] — YCSB extended with the `multi_update` transaction over
+//!   key-reactors and zipfian skew (Appendix C),
+//! * [`exchange`] — the digital currency exchange of Figure 1 with the
+//!   sequential, query-parallelism and procedure-parallelism strategies
+//!   (Appendix G).
+
+pub mod exchange;
+pub mod smallbank;
+pub mod tpcc;
+pub mod ycsb;

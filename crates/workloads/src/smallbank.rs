@@ -1,0 +1,564 @@
+//! Extended Smallbank benchmark (§4.1.3–4.1.4, Appendices B and H).
+//!
+//! Every customer is modelled as a reactor encapsulating three relations —
+//! `account`, `savings` and `checking` — mirroring Figure 20. On top of the
+//! standard Smallbank procedures, the benchmark adds the *multi-transfer*
+//! transaction in the four program formulations whose latency behaviour
+//! Figure 5 studies: `fully-sync`, `partially-async`, `fully-async` and
+//! `opt`.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use reactdb_common::{Key, Result, TxnError, Value};
+use reactdb_core::costmodel::ForkJoinTxn;
+use reactdb_core::{ReactorCtx, ReactorDatabaseSpec, ReactorType};
+use reactdb_engine::ReactDB;
+use reactdb_sim::{SimDeployment, SimTxn};
+use reactdb_storage::{ColumnType, RelationDef, Schema, Tuple};
+
+/// Name of the customer reactor with the given index.
+pub fn customer_name(idx: usize) -> String {
+    format!("cust-{idx}")
+}
+
+/// Default initial balance loaded into both accounts of every customer.
+pub const INITIAL_BALANCE: f64 = 10_000.0;
+
+/// Approximate processing cost of one `transact_saving` sub-transaction in
+/// microseconds, used by the simulator profiles and the cost-model
+/// predictions (calibrated in the spirit of §4.2.2: a couple of record
+/// operations per call).
+pub const TRANSACT_COST_US: f64 = 2.0;
+
+/// Approximate fixed processing cost of the multi-transfer wrapper logic.
+pub const WRAPPER_COST_US: f64 = 1.0;
+
+/// The four multi-transfer program formulations of §4.1.4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Formulation {
+    /// Synchronous transfers, each a synchronous credit followed by a
+    /// synchronous debit.
+    FullySync,
+    /// Synchronous transfers, each an asynchronous credit overlapped with a
+    /// synchronous debit.
+    PartiallyAsync,
+    /// Asynchronous credits to all destinations, then synchronous debits.
+    FullyAsync,
+    /// Asynchronous credits and a single aggregated debit.
+    Opt,
+}
+
+impl Formulation {
+    /// All formulations in the order plotted in Figure 5.
+    pub fn all() -> [Formulation; 4] {
+        [Formulation::FullySync, Formulation::PartiallyAsync, Formulation::FullyAsync, Formulation::Opt]
+    }
+
+    /// The engine procedure implementing this formulation.
+    pub fn procedure(&self) -> &'static str {
+        match self {
+            Formulation::FullySync => "multi_transfer_sync",
+            Formulation::PartiallyAsync => "multi_transfer_partially_async",
+            Formulation::FullyAsync => "multi_transfer_fully_async",
+            Formulation::Opt => "multi_transfer_opt",
+        }
+    }
+
+    /// Label used in figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Formulation::FullySync => "fully-sync",
+            Formulation::PartiallyAsync => "partially-async",
+            Formulation::FullyAsync => "fully-async",
+            Formulation::Opt => "opt",
+        }
+    }
+}
+
+fn relations() -> Vec<RelationDef> {
+    vec![
+        RelationDef::new(
+            "account",
+            Schema::of(&[("name", ColumnType::Str), ("cust_id", ColumnType::Int)], &["name"]),
+        ),
+        RelationDef::new(
+            "savings",
+            Schema::of(&[("cust_id", ColumnType::Int), ("balance", ColumnType::Float)], &["cust_id"]),
+        ),
+        RelationDef::new(
+            "checking",
+            Schema::of(&[("cust_id", ColumnType::Int), ("balance", ColumnType::Float)], &["cust_id"]),
+        ),
+    ]
+}
+
+/// Looks up the customer id through the `account` relation, preserving the
+/// query footprint mandated by the benchmark specification (Appendix H).
+fn lookup_cust_id(ctx: &ReactorCtx<'_>) -> Result<i64> {
+    let rows = ctx.scan("account")?;
+    let (_, row) = rows.first().ok_or_else(|| TxnError::NotFound {
+        relation: "account".into(),
+        key: ctx.reactor_name().to_owned(),
+    })?;
+    Ok(row.at(1).as_int())
+}
+
+fn adjust_balance(ctx: &ReactorCtx<'_>, relation: &str, amount: f64) -> Result<f64> {
+    let cust_id = lookup_cust_id(ctx)?;
+    let row = ctx.get_expected(relation, &Key::Int(cust_id))?;
+    let balance = row.at(1).as_float();
+    if balance + amount < 0.0 {
+        return Err(TxnError::UserAbort(format!("insufficient funds in {relation}")));
+    }
+    ctx.update(relation, Tuple::of([Value::Int(cust_id), Value::Float(balance + amount)]))?;
+    Ok(balance + amount)
+}
+
+/// Builds the Smallbank reactor database specification with `customers`
+/// customer reactors.
+pub fn spec(customers: usize) -> ReactorDatabaseSpec {
+    let customer = ReactorType::new("Customer")
+        .with_relation(relations()[0].clone())
+        .with_relation(relations()[1].clone())
+        .with_relation(relations()[2].clone())
+        // --- standard Smallbank procedures -------------------------------
+        .with_procedure("balance", |ctx, _args| {
+            let cust_id = lookup_cust_id(ctx)?;
+            let savings = ctx.get_expected("savings", &Key::Int(cust_id))?.at(1).as_float();
+            let checking = ctx.get_expected("checking", &Key::Int(cust_id))?.at(1).as_float();
+            Ok(Value::Float(savings + checking))
+        })
+        .with_procedure("deposit_checking", |ctx, args| {
+            let amount = args[0].as_float();
+            if amount < 0.0 {
+                return ctx.abort("negative deposit");
+            }
+            Ok(Value::Float(adjust_balance(ctx, "checking", amount)?))
+        })
+        .with_procedure("write_check", |ctx, args| {
+            let amount = args[0].as_float();
+            let cust_id = lookup_cust_id(ctx)?;
+            let savings = ctx.get_expected("savings", &Key::Int(cust_id))?.at(1).as_float();
+            let checking = ctx.get_expected("checking", &Key::Int(cust_id))?.at(1).as_float();
+            let penalty = if savings + checking < amount { 1.0 } else { 0.0 };
+            ctx.update(
+                "checking",
+                Tuple::of([Value::Int(cust_id), Value::Float(checking - amount - penalty)]),
+            )?;
+            Ok(Value::Float(checking - amount - penalty))
+        })
+        .with_procedure("transact_saving", |ctx, args| {
+            let amount = args[0].as_float();
+            Ok(Value::Float(adjust_balance(ctx, "savings", amount)?))
+        })
+        .with_procedure("amalgamate", |ctx, args| {
+            // Move all funds of this customer into the destination
+            // customer's checking account.
+            let dst = args[0].as_str().to_owned();
+            let cust_id = lookup_cust_id(ctx)?;
+            let savings = ctx.get_expected("savings", &Key::Int(cust_id))?.at(1).as_float();
+            let checking = ctx.get_expected("checking", &Key::Int(cust_id))?.at(1).as_float();
+            ctx.update("savings", Tuple::of([Value::Int(cust_id), Value::Float(0.0)]))?;
+            ctx.update("checking", Tuple::of([Value::Int(cust_id), Value::Float(0.0)]))?;
+            ctx.call(&dst, "deposit_checking", vec![Value::Float(savings + checking)])?;
+            Ok(Value::Float(savings + checking))
+        })
+        // --- transfer and the multi-transfer formulations ----------------
+        .with_procedure("transfer", |ctx, args| {
+            // args: [src, dst, amount, sequential credit?]
+            let src = args[0].as_str().to_owned();
+            let dst = args[1].as_str().to_owned();
+            let amount = args[2].as_float();
+            let sequential = args[3].as_bool();
+            if amount <= 0.0 {
+                return ctx.abort("non-positive transfer");
+            }
+            let credit = ctx.call(&dst, "transact_saving", vec![Value::Float(amount)])?;
+            if sequential {
+                credit.get()?;
+            }
+            ctx.call(&src, "transact_saving", vec![Value::Float(-amount)])?;
+            Ok(Value::Null)
+        })
+        .with_procedure("multi_transfer_sync", |ctx, args| {
+            multi_transfer_via_transfer(ctx, args, true)
+        })
+        .with_procedure("multi_transfer_partially_async", |ctx, args| {
+            multi_transfer_via_transfer(ctx, args, false)
+        })
+        .with_procedure("multi_transfer_fully_async", |ctx, args| {
+            // args: [src, amount, dst...]
+            let (src, amount, dsts) = multi_transfer_args(args)?;
+            if amount <= 0.0 {
+                return ctx.abort("non-positive transfer");
+            }
+            for dst in &dsts {
+                ctx.call(dst, "transact_saving", vec![Value::Float(amount)])?;
+            }
+            for _ in &dsts {
+                let res = ctx.call(&src, "transact_saving", vec![Value::Float(-amount)])?;
+                res.get()?;
+            }
+            Ok(Value::Null)
+        })
+        .with_procedure("multi_transfer_opt", |ctx, args| {
+            let (src, amount, dsts) = multi_transfer_args(args)?;
+            if amount <= 0.0 {
+                return ctx.abort("non-positive transfer");
+            }
+            for dst in &dsts {
+                ctx.call(dst, "transact_saving", vec![Value::Float(amount)])?;
+            }
+            let total = amount * dsts.len() as f64;
+            ctx.call(&src, "transact_saving", vec![Value::Float(-total)])?.get()?;
+            Ok(Value::Null)
+        });
+
+    let mut spec = ReactorDatabaseSpec::new();
+    spec.add_type(customer);
+    for i in 0..customers {
+        spec.add_reactor(customer_name(i), "Customer");
+    }
+    spec
+}
+
+fn multi_transfer_args(args: &[Value]) -> Result<(String, f64, Vec<String>)> {
+    if args.len() < 3 {
+        return Err(TxnError::BadArguments("multi_transfer needs src, amount, dst...".into()));
+    }
+    let src = args[0].as_str().to_owned();
+    let amount = args[1].as_float();
+    let dsts = args[2..].iter().map(|v| v.as_str().to_owned()).collect();
+    Ok((src, amount, dsts))
+}
+
+fn multi_transfer_via_transfer(
+    ctx: &mut ReactorCtx<'_>,
+    args: &[Value],
+    sequential_credit: bool,
+) -> Result<Value> {
+    let (src, amount, dsts) = multi_transfer_args(args)?;
+    for dst in &dsts {
+        let res = ctx.call(
+            &src,
+            "transfer",
+            vec![
+                Value::Str(src.clone()),
+                Value::Str(dst.clone()),
+                Value::Float(amount),
+                Value::Bool(sequential_credit),
+            ],
+        )?;
+        res.get()?;
+    }
+    Ok(Value::Null)
+}
+
+/// Loads the Smallbank tables: every customer reactor gets one row in each
+/// of its three relations.
+pub fn load(db: &ReactDB, customers: usize) -> Result<()> {
+    for i in 0..customers {
+        let name = customer_name(i);
+        db.load_row(&name, "account", Tuple::of([Value::Str(name.clone()), Value::Int(i as i64)]))?;
+        db.load_row(&name, "savings", Tuple::of([Value::Int(i as i64), Value::Float(INITIAL_BALANCE)]))?;
+        db.load_row(&name, "checking", Tuple::of([Value::Int(i as i64), Value::Float(INITIAL_BALANCE)]))?;
+    }
+    Ok(())
+}
+
+/// Builds the argument vector for a multi-transfer invocation on the source
+/// customer reactor.
+pub fn multi_transfer_invocation(src: usize, dsts: &[usize], amount: f64) -> Vec<Value> {
+    let mut args = vec![Value::Str(customer_name(src)), Value::Float(amount)];
+    args.extend(dsts.iter().map(|d| Value::Str(customer_name(*d))));
+    args
+}
+
+// ---------------------------------------------------------------------------
+// Simulator profiles and cost-model shapes.
+// ---------------------------------------------------------------------------
+
+/// Builds the simulator profile of a multi-transfer transaction under a
+/// given formulation: the source customer reactor is `src`, the destination
+/// reactors are `dsts` (reactor indices).
+pub fn sim_profile(formulation: Formulation, src: usize, dsts: &[usize]) -> SimTxn {
+    let n = dsts.len() as f64;
+    match formulation {
+        Formulation::FullySync => {
+            // Each transfer: synchronous credit on the destination followed
+            // by a synchronous (inlined) debit on the source.
+            let mut root = SimTxn::leaf(src, WRAPPER_COST_US + n * TRANSACT_COST_US);
+            for d in dsts {
+                root = root.with_sync(SimTxn::leaf(*d, TRANSACT_COST_US));
+            }
+            root
+        }
+        Formulation::PartiallyAsync => {
+            // Each transfer overlaps its credit with the local debit, but
+            // transfers run one after another.
+            let mut root = SimTxn::leaf(src, WRAPPER_COST_US);
+            for d in dsts {
+                let transfer = SimTxn::leaf(src, 0.0)
+                    .with_async(SimTxn::leaf(*d, TRANSACT_COST_US))
+                    .with_overlap(TRANSACT_COST_US);
+                root = root.with_sync(transfer);
+            }
+            root
+        }
+        Formulation::FullyAsync => {
+            let mut root = SimTxn::leaf(src, WRAPPER_COST_US)
+                .with_overlap(n * TRANSACT_COST_US);
+            for d in dsts {
+                root = root.with_async(SimTxn::leaf(*d, TRANSACT_COST_US));
+            }
+            root
+        }
+        Formulation::Opt => {
+            let mut root =
+                SimTxn::leaf(src, WRAPPER_COST_US).with_overlap(TRANSACT_COST_US);
+            for d in dsts {
+                root = root.with_async(SimTxn::leaf(*d, TRANSACT_COST_US));
+            }
+            root
+        }
+    }
+}
+
+/// Cost-model (Figure 3) shape of a multi-transfer under a deployment: the
+/// prediction counterpart of [`sim_profile`], used for the `-pred` series of
+/// Figure 6.
+pub fn forkjoin_shape(
+    formulation: Formulation,
+    src: usize,
+    dsts: &[usize],
+    deployment: &SimDeployment,
+) -> ForkJoinTxn {
+    sim_to_forkjoin(&sim_profile(formulation, src, dsts), deployment)
+}
+
+/// Converts a simulator profile into the cost model's fork-join shape under
+/// a deployment (reactors become the executors that own them; children
+/// landing on the caller's executor are treated as inlined synchronous
+/// calls, matching both the engine and the simulator).
+pub fn sim_to_forkjoin(txn: &SimTxn, deployment: &SimDeployment) -> ForkJoinTxn {
+    fn convert(txn: &SimTxn, deployment: &SimDeployment, caller_exec: Option<usize>) -> ForkJoinTxn {
+        let exec = if deployment.inlines_subtxns() {
+            caller_exec.unwrap_or_else(|| deployment.executor_of(txn.reactor))
+        } else {
+            deployment.executor_of(txn.reactor)
+        };
+        let mut out = ForkJoinTxn::leaf(exec, txn.p_seq_us).with_overlapped_processing(txn.p_ovp_us);
+        for child in &txn.sync_children {
+            out = out.with_sync(convert(child, deployment, Some(exec)));
+        }
+        for child in &txn.async_children {
+            let converted = convert(child, deployment, Some(exec));
+            if converted.executor == exec {
+                // No parallelism is available on the same executor; the
+                // runtime executes the call synchronously.
+                out = out.with_sync(converted);
+            } else {
+                out = out.with_async(converted);
+            }
+        }
+        out
+    }
+    convert(txn, deployment, None)
+}
+
+/// A [`reactdb_sim::SimWorkload`] issuing multi-transfer transactions with a
+/// fixed formulation and size, choosing the source in the first container
+/// and each destination on a distinct other container — the setup of §4.2.1.
+#[derive(Debug, Clone)]
+pub struct MultiTransferSimWorkload {
+    /// Program formulation.
+    pub formulation: Formulation,
+    /// Number of destination accounts (the transaction size of Figure 5).
+    pub txn_size: usize,
+    /// Number of customer reactors per container range (1000 in §4.1.3).
+    pub reactors_per_container: usize,
+    /// Number of containers/executors in the deployment (7 in §4.2).
+    pub containers: usize,
+}
+
+impl reactdb_sim::SimWorkload for MultiTransferSimWorkload {
+    fn next_txn(&mut self, _worker: usize, rng: &mut StdRng) -> SimTxn {
+        let src = rng.gen_range(0..self.reactors_per_container);
+        let mut dsts = Vec::with_capacity(self.txn_size);
+        for i in 0..self.txn_size {
+            // Destination i lives on container (i+1) mod containers,
+            // skipping the source container when possible.
+            let container = 1 + (i % (self.containers.saturating_sub(1).max(1)));
+            let offset = rng.gen_range(0..self.reactors_per_container);
+            dsts.push(container * self.reactors_per_container + offset);
+        }
+        sim_profile(self.formulation, src, &dsts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reactdb_common::DeploymentConfig;
+    use reactdb_sim::{SimCosts, SimStrategy, Simulator};
+
+    fn small_db(customers: usize, config: DeploymentConfig) -> ReactDB {
+        let db = ReactDB::boot(spec(customers), config);
+        load(&db, customers).unwrap();
+        db
+    }
+
+    #[test]
+    fn balances_and_deposits() {
+        let db = small_db(4, DeploymentConfig::shared_everything_with_affinity(2));
+        let b = db.invoke(&customer_name(0), "balance", vec![]).unwrap();
+        assert_eq!(b, Value::Float(2.0 * INITIAL_BALANCE));
+        db.invoke(&customer_name(0), "deposit_checking", vec![Value::Float(100.0)]).unwrap();
+        let b = db.invoke(&customer_name(0), "balance", vec![]).unwrap();
+        assert_eq!(b, Value::Float(2.0 * INITIAL_BALANCE + 100.0));
+    }
+
+    #[test]
+    fn write_check_applies_overdraft_penalty() {
+        let db = small_db(2, DeploymentConfig::shared_everything_with_affinity(1));
+        // Withdraw more than the combined balance: one extra unit of penalty.
+        let v = db
+            .invoke(&customer_name(1), "write_check", vec![Value::Float(2.5 * INITIAL_BALANCE)])
+            .unwrap();
+        assert_eq!(v, Value::Float(INITIAL_BALANCE - 2.5 * INITIAL_BALANCE - 1.0));
+    }
+
+    #[test]
+    fn transact_saving_rejects_overdraft() {
+        let db = small_db(2, DeploymentConfig::shared_nothing(2));
+        let err = db
+            .invoke(&customer_name(0), "transact_saving", vec![Value::Float(-2.0 * INITIAL_BALANCE)])
+            .unwrap_err();
+        assert!(err.is_user_abort());
+    }
+
+    #[test]
+    fn all_multi_transfer_formulations_preserve_total_balance() {
+        for formulation in Formulation::all() {
+            for config in [
+                DeploymentConfig::shared_everything_with_affinity(2),
+                DeploymentConfig::shared_nothing(4),
+            ] {
+                let db = small_db(8, config);
+                let dsts = [1, 2, 3];
+                db.invoke(
+                    &customer_name(0),
+                    formulation.procedure(),
+                    multi_transfer_invocation(0, &dsts, 50.0),
+                )
+                .unwrap();
+                // Source lost 150, each destination gained 50.
+                let src_savings =
+                    db.table(&customer_name(0), "savings").unwrap().get(&Key::Int(0)).unwrap();
+                assert_eq!(
+                    src_savings.read_unguarded().at(1),
+                    &Value::Float(INITIAL_BALANCE - 150.0),
+                    "formulation {formulation:?}"
+                );
+                for d in dsts {
+                    let row = db
+                        .table(&customer_name(d), "savings")
+                        .unwrap()
+                        .get(&Key::Int(d as i64))
+                        .unwrap();
+                    assert_eq!(row.read_unguarded().at(1), &Value::Float(INITIAL_BALANCE + 50.0));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn amalgamate_moves_all_funds() {
+        let db = small_db(4, DeploymentConfig::shared_nothing(2));
+        db.invoke(&customer_name(2), "amalgamate", vec![Value::Str(customer_name(3))]).unwrap();
+        assert_eq!(db.invoke(&customer_name(2), "balance", vec![]).unwrap(), Value::Float(0.0));
+        assert_eq!(
+            db.invoke(&customer_name(3), "balance", vec![]).unwrap(),
+            Value::Float(4.0 * INITIAL_BALANCE)
+        );
+    }
+
+    #[test]
+    fn negative_multi_transfer_aborts() {
+        let db = small_db(3, DeploymentConfig::shared_nothing(3));
+        let err = db
+            .invoke(
+                &customer_name(0),
+                "multi_transfer_opt",
+                multi_transfer_invocation(0, &[1, 2], -5.0),
+            )
+            .unwrap_err();
+        assert!(err.is_user_abort());
+    }
+
+    #[test]
+    fn sim_profiles_reflect_formulation_structure() {
+        let dsts = [10, 20, 30];
+        let sync = sim_profile(Formulation::FullySync, 0, &dsts);
+        assert_eq!(sync.sync_children.len(), 3);
+        assert_eq!(sync.async_children.len(), 0);
+
+        let opt = sim_profile(Formulation::Opt, 0, &dsts);
+        assert_eq!(opt.async_children.len(), 3);
+        assert_eq!(opt.p_ovp_us, TRANSACT_COST_US);
+
+        let fully_async = sim_profile(Formulation::FullyAsync, 0, &dsts);
+        assert_eq!(fully_async.p_ovp_us, 3.0 * TRANSACT_COST_US);
+
+        // Total work is identical for fully-sync and fully-async.
+        assert!(
+            (sync.total_processing_us() - fully_async.total_processing_us()).abs() < 1e-9
+        );
+    }
+
+    #[test]
+    fn simulated_latency_ordering_matches_figure_5() {
+        // fully-sync slowest, opt fastest, the others in between, for a
+        // transaction spanning 7 remote containers.
+        let deployment = SimDeployment::striped(SimStrategy::SharedNothing, 8, 8);
+        let costs = SimCosts::default();
+        let dsts: Vec<usize> = (1..=7).collect();
+        let latency = |f: Formulation| {
+            let sim = Simulator::new(deployment.clone(), costs);
+            let d = dsts.clone();
+            let mut wl = move |_: usize, _: &mut StdRng| sim_profile(f, 0, &d);
+            sim.run(&mut wl, 1, 50, 7).avg_latency_us()
+        };
+        let fully_sync = latency(Formulation::FullySync);
+        let partially = latency(Formulation::PartiallyAsync);
+        let fully_async = latency(Formulation::FullyAsync);
+        let opt = latency(Formulation::Opt);
+        assert!(fully_sync > partially);
+        assert!(partially > fully_async);
+        assert!(fully_async >= opt);
+    }
+
+    #[test]
+    fn cost_model_prediction_tracks_simulation_for_single_transactions() {
+        let deployment = SimDeployment::striped(SimStrategy::SharedNothing, 8, 8);
+        let dsts: Vec<usize> = (1..=5).collect();
+        let costs = SimCosts::default();
+        let params = reactdb_core::costmodel::CostParams {
+            cs_remote_us: costs.cs_us,
+            cr_remote_us: costs.cr_us,
+            cs_local_us: 0.0,
+            cr_local_us: 0.0,
+            commit_us: costs.commit_us + costs.dispatch_us + 5.0 * costs.commit_remote_us,
+            input_gen_us: costs.input_gen_us,
+        };
+        for f in Formulation::all() {
+            let predicted = forkjoin_shape(f, 0, &dsts, &deployment).root_latency_us(&params);
+            let sim = Simulator::new(deployment.clone(), costs);
+            let d = dsts.clone();
+            let mut wl = move |_: usize, _: &mut StdRng| sim_profile(f, 0, &d);
+            let observed = sim.run(&mut wl, 1, 20, 3).avg_latency_us();
+            let diff = (predicted - observed).abs() / observed;
+            assert!(diff < 0.25, "{f:?}: predicted {predicted:.1} vs simulated {observed:.1}");
+        }
+    }
+}

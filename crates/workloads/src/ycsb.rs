@@ -1,0 +1,213 @@
+//! YCSB with the `multi_update` transaction (Appendix C).
+//!
+//! Each key is modelled as a reactor holding a single-row `usertable`
+//! relation. The `multi_update` transaction performs a read-modify-write on
+//! ten keys, invoking an `update` sub-transaction asynchronously on each key
+//! reactor; keys are selected from a zipfian distribution whose constant
+//! controls skew. Keys owned by remote executors are sorted before local
+//! ones so that transactions remain fork-join (as the appendix describes).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use reactdb_common::zipf::Zipfian;
+use reactdb_common::{Key, Result, Value};
+use reactdb_core::{ReactorDatabaseSpec, ReactorType};
+use reactdb_engine::ReactDB;
+use reactdb_sim::SimTxn;
+use reactdb_storage::{ColumnType, RelationDef, Schema, Tuple};
+
+/// Name of the key reactor with index `idx`.
+pub fn key_name(idx: usize) -> String {
+    format!("key-{idx}")
+}
+
+/// Number of keys touched by one `multi_update` transaction.
+pub const KEYS_PER_TXN: usize = 10;
+
+/// Record payload size in bytes (the appendix uses 100-byte records).
+pub const RECORD_SIZE: usize = 100;
+
+/// Processing cost of a single read-modify-write update, for the simulator
+/// and the cost-model prediction (µs).
+pub const UPDATE_COST_US: f64 = 1.5;
+
+/// Builds the YCSB reactor database specification with `keys` key-reactors.
+pub fn spec(keys: usize) -> ReactorDatabaseSpec {
+    let key_type = ReactorType::new("YcsbKey")
+        .with_relation(RelationDef::new(
+            "usertable",
+            Schema::of(&[("id", ColumnType::Int), ("field", ColumnType::Str)], &["id"]),
+        ))
+        .with_procedure("read", |ctx, _args| {
+            let row = ctx.get_expected("usertable", &Key::Int(0))?;
+            Ok(row.at(1).clone())
+        })
+        .with_procedure("update", |ctx, args| {
+            // Read-modify-write of the single record held by this reactor.
+            let suffix = args[0].as_str().to_owned();
+            let row = ctx.update_with("usertable", &Key::Int(0), |t| {
+                let mut field = t.at(1).as_str().to_owned();
+                field.truncate(RECORD_SIZE.saturating_sub(suffix.len()));
+                field.push_str(&suffix);
+                t.values_mut()[1] = Value::Str(field);
+            })?;
+            Ok(Value::Int(row.at(1).as_str().len() as i64))
+        })
+        .with_procedure("multi_update", |ctx, args| {
+            // args: payload suffix followed by the target key reactor names.
+            let suffix = args[0].as_str().to_owned();
+            for target in &args[1..] {
+                ctx.call(target.as_str(), "update", vec![Value::Str(suffix.clone())])?;
+            }
+            Ok(Value::Int((args.len() - 1) as i64))
+        });
+
+    let mut spec = ReactorDatabaseSpec::new();
+    spec.add_type(key_type);
+    for i in 0..keys {
+        spec.add_reactor(key_name(i), "YcsbKey");
+    }
+    spec
+}
+
+/// Loads one 100-byte record into every key reactor.
+pub fn load(db: &ReactDB, keys: usize) -> Result<()> {
+    for i in 0..keys {
+        db.load_row(
+            &key_name(i),
+            "usertable",
+            Tuple::of([Value::Int(0), Value::Str("x".repeat(RECORD_SIZE))]),
+        )?;
+    }
+    Ok(())
+}
+
+/// Generates the keys of one `multi_update`: zipfian-distributed, deduplicated,
+/// sorted so that remote keys precede local ones (fork-join shape).
+pub fn pick_keys(
+    zipf: &Zipfian,
+    rng: &mut StdRng,
+    executor_of: impl Fn(usize) -> usize,
+    home_executor: usize,
+) -> Vec<usize> {
+    let mut keys = Vec::with_capacity(KEYS_PER_TXN);
+    while keys.len() < KEYS_PER_TXN {
+        let k = zipf.sample(rng) as usize;
+        if !keys.contains(&k) {
+            keys.push(k);
+        } else if zipf.theta() >= 4.0 {
+            // Extremely skewed distributions may not have ten distinct keys
+            // in practice; allow duplicates so the loop terminates (the
+            // appendix's 5.0-skew case effectively touches a single key).
+            keys.push(k);
+        }
+    }
+    keys.sort_by_key(|k| if executor_of(*k) == home_executor { 1 } else { 0 });
+    keys
+}
+
+/// Builds the engine invocation for a `multi_update` over `keys`, invoked on
+/// the first key's reactor.
+pub fn multi_update_invocation(keys: &[usize]) -> (String, Vec<Value>) {
+    let target = key_name(keys[0]);
+    let mut args = vec![Value::Str("y".repeat(8))];
+    args.extend(keys.iter().map(|k| Value::Str(key_name(*k))));
+    (target, args)
+}
+
+/// Simulator workload for the skew experiment of Appendix C.
+#[derive(Debug, Clone)]
+pub struct YcsbSimWorkload {
+    /// Total number of key reactors (scale factor × 10 000).
+    pub keys: usize,
+    /// Number of executors the keys are striped over.
+    pub executors: usize,
+    /// Zipfian constant controlling skew.
+    pub theta: f64,
+    zipf: Zipfian,
+}
+
+impl YcsbSimWorkload {
+    /// Creates the workload.
+    pub fn new(keys: usize, executors: usize, theta: f64) -> Self {
+        Self { keys, executors, theta, zipf: Zipfian::new(keys as u64, theta) }
+    }
+}
+
+impl reactdb_sim::SimWorkload for YcsbSimWorkload {
+    fn next_txn(&mut self, _worker: usize, rng: &mut StdRng) -> SimTxn {
+        let executors = self.executors;
+        let keys = pick_keys(&self.zipf, rng, |k| k % executors, usize::MAX);
+        // The transaction is invoked on a randomly chosen reactor among the
+        // ten keys (Appendix C).
+        let root_key = keys[rng.gen_range(0..keys.len())];
+        let home_exec = root_key % executors;
+        let mut txn = SimTxn::leaf(root_key, 1.0);
+        let mut local_work = 0.0;
+        for k in keys {
+            if k % executors == home_exec {
+                local_work += UPDATE_COST_US;
+            } else {
+                txn = txn.with_async(SimTxn::leaf(k, UPDATE_COST_US));
+            }
+        }
+        txn.with_overlap(local_work)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use reactdb_common::DeploymentConfig;
+    use reactdb_sim::SimWorkload as _;
+
+    #[test]
+    fn multi_update_touches_every_target_reactor() {
+        let db = ReactDB::boot(spec(12), DeploymentConfig::shared_nothing(4));
+        load(&db, 12).unwrap();
+        let keys = [3, 7, 11];
+        let (target, args) = multi_update_invocation(&keys);
+        let touched = db.invoke(&target, "multi_update", args).unwrap();
+        assert_eq!(touched, Value::Int(3));
+        for k in keys {
+            let len = db.invoke(&key_name(k), "read", vec![]).unwrap();
+            assert_eq!(len, Value::Str(format!("{}{}", "x".repeat(RECORD_SIZE - 8), "y".repeat(8))));
+        }
+        // Untouched keys keep their original payload.
+        assert_eq!(
+            db.invoke(&key_name(0), "read", vec![]).unwrap(),
+            Value::Str("x".repeat(RECORD_SIZE))
+        );
+    }
+
+    #[test]
+    fn pick_keys_orders_remote_before_local() {
+        let zipf = Zipfian::new(1000, 0.5);
+        let mut rng = StdRng::seed_from_u64(5);
+        let keys = pick_keys(&zipf, &mut rng, |k| k % 4, 2);
+        assert_eq!(keys.len(), KEYS_PER_TXN);
+        let first_local = keys.iter().position(|k| k % 4 == 2);
+        if let Some(pos) = first_local {
+            assert!(keys[pos..].iter().all(|k| k % 4 == 2), "locals are a suffix: {keys:?}");
+        }
+    }
+
+    #[test]
+    fn higher_skew_means_fewer_remote_children() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut low = YcsbSimWorkload::new(40_000, 4, 0.01);
+        let mut high = YcsbSimWorkload::new(40_000, 4, 5.0);
+        let avg_remote = |wl: &mut YcsbSimWorkload, rng: &mut StdRng| {
+            let total: usize = (0..200).map(|_| wl.next_txn(0, rng).async_children.len()).sum();
+            total as f64 / 200.0
+        };
+        let low_remote = avg_remote(&mut low, &mut rng);
+        let high_remote = avg_remote(&mut high, &mut rng);
+        assert!(
+            low_remote > high_remote,
+            "uniform access should hit more remote executors ({low_remote} vs {high_remote})"
+        );
+        assert!(high_remote < 1.0, "at skew 5.0 nearly everything is the same key");
+    }
+}

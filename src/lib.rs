@@ -1,0 +1,13 @@
+//! ReactDB-rs facade crate.
+//!
+//! Re-exports the public API of the workspace crates so that applications
+//! can depend on a single crate. See the README for a quickstart and
+//! `DESIGN.md` for the system inventory.
+
+pub use reactdb_common as common;
+pub use reactdb_core as core;
+pub use reactdb_engine as engine;
+pub use reactdb_sim as sim;
+pub use reactdb_storage as storage;
+pub use reactdb_txn as txn;
+pub use reactdb_workloads as workloads;
