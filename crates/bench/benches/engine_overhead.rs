@@ -28,7 +28,10 @@ fn bench_engine(c: &mut Criterion) {
     // A size-3 multi-transfer (opt formulation) on the live engine under a
     // shared-nothing deployment.
     let customers = 16;
-    let bank = ReactDB::boot(smallbank::spec(customers), DeploymentConfig::shared_nothing(4));
+    let bank = ReactDB::boot(
+        smallbank::spec(customers),
+        DeploymentConfig::shared_nothing(4),
+    );
     smallbank::load(&bank, customers).unwrap();
     c.bench_function("engine/smallbank_multi_transfer_opt_size3", |b| {
         b.iter(|| {

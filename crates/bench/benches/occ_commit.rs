@@ -11,7 +11,8 @@ fn table(rows: i64) -> Arc<Table> {
     let schema = Schema::of(&[("id", ColumnType::Int), ("v", ColumnType::Int)], &["id"]);
     let t = Arc::new(Table::new("t", schema));
     for i in 0..rows {
-        t.load_row(Tuple::of([Value::Int(i), Value::Int(0)])).unwrap();
+        t.load_row(Tuple::of([Value::Int(i), Value::Int(0)]))
+            .unwrap();
     }
     t
 }
@@ -39,7 +40,8 @@ fn bench_occ(c: &mut Criterion) {
             let mut p = OccTxn::new(ContainerId(0));
             let row = p.read_expected(&t0, &Key::Int(i)).unwrap();
             let v = row.at(1).as_int();
-            p.update(&t0, Tuple::of([Value::Int(i), Value::Int(v + 1)])).unwrap();
+            p.update(&t0, Tuple::of([Value::Int(i), Value::Int(v + 1)]))
+                .unwrap();
             Coordinator::commit(std::slice::from_mut(&mut p), &epoch, &gen).unwrap();
         })
     });
@@ -50,8 +52,10 @@ fn bench_occ(c: &mut Criterion) {
             i = (i + 1) % 10_000;
             let mut p0 = OccTxn::new(ContainerId(0));
             let mut p1 = OccTxn::new(ContainerId(1));
-            p0.update(&t0, Tuple::of([Value::Int(i), Value::Int(1)])).unwrap();
-            p1.update(&t1, Tuple::of([Value::Int(i), Value::Int(1)])).unwrap();
+            p0.update(&t0, Tuple::of([Value::Int(i), Value::Int(1)]))
+                .unwrap();
+            p1.update(&t1, Tuple::of([Value::Int(i), Value::Int(1)]))
+                .unwrap();
             Coordinator::commit(&mut [p0, p1], &epoch, &gen).unwrap();
         })
     });

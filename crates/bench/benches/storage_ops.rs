@@ -8,13 +8,25 @@ use std::sync::Arc;
 
 fn table_with_rows(rows: i64) -> Arc<Table> {
     let schema = Schema::of(
-        &[("id", ColumnType::Int), ("grp", ColumnType::Int), ("val", ColumnType::Float)],
+        &[
+            ("id", ColumnType::Int),
+            ("grp", ColumnType::Int),
+            ("val", ColumnType::Float),
+        ],
         &["id"],
     );
-    let table = Arc::new(Table::with_indexes("bench", schema, &[vec!["grp".to_owned()]]));
+    let table = Arc::new(Table::with_indexes(
+        "bench",
+        schema,
+        &[vec!["grp".to_owned()]],
+    ));
     for i in 0..rows {
         table
-            .load_row(Tuple::of([Value::Int(i), Value::Int(i % 100), Value::Float(i as f64)]))
+            .load_row(Tuple::of([
+                Value::Int(i),
+                Value::Int(i % 100),
+                Value::Float(i as f64),
+            ]))
             .unwrap();
     }
     table

@@ -1,0 +1,65 @@
+//! Durability-cost micro-benchmark: the same single-reactor deposit
+//! workload on the live engine with durability off, buffered logging, and
+//! epoch-based group commit. The interesting quantity is the overhead the
+//! logging fast path (render redo records + buffered append under the
+//! writer mutex) adds to a commit — with group commit it should be small,
+//! because no disk I/O ever happens on the commit path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use reactdb_common::{DeploymentConfig, DurabilityConfig, Value};
+use reactdb_engine::ReactDB;
+use reactdb_workloads::smallbank::{self, customer_name};
+
+const CUSTOMERS: usize = 8;
+
+fn bench_dir(tag: &str) -> String {
+    let dir = std::env::temp_dir().join(format!("reactdb-bench-wal-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir.to_string_lossy().into_owned()
+}
+
+fn boot(durability: DurabilityConfig) -> ReactDB {
+    let config = DeploymentConfig::shared_nothing(2).with_durability(durability);
+    let db = ReactDB::boot(smallbank::spec(CUSTOMERS), config);
+    smallbank::load(&db, CUSTOMERS).unwrap();
+    db
+}
+
+fn run_deposits(c: &mut Criterion, name: &str, db: &ReactDB) {
+    c.bench_function(name, |b| {
+        b.iter(|| {
+            db.invoke(
+                &customer_name(0),
+                "deposit_checking",
+                vec![Value::Float(0.01)],
+            )
+            .unwrap()
+        })
+    });
+}
+
+fn bench_wal(c: &mut Criterion) {
+    let off = boot(DurabilityConfig::off());
+    run_deposits(c, "wal/deposit_durability_off", &off);
+    drop(off);
+
+    let buffered_dir = bench_dir("buffered");
+    let buffered = boot(DurabilityConfig::buffered(&buffered_dir));
+    run_deposits(c, "wal/deposit_buffered", &buffered);
+    drop(buffered);
+    let _ = std::fs::remove_dir_all(&buffered_dir);
+
+    // Group commit with the default 10 ms daemon: commits only pay the
+    // buffered append; the daemon fsyncs on epoch boundaries concurrently.
+    let sync_dir = bench_dir("epoch-sync");
+    let epoch_sync = boot(DurabilityConfig::epoch_sync(&sync_dir));
+    run_deposits(c, "wal/deposit_epoch_sync_group_commit", &epoch_sync);
+    let synced = epoch_sync.stats().log_syncs();
+    let bytes = epoch_sync.stats().log_bytes();
+    drop(epoch_sync);
+    println!("wal/deposit_epoch_sync_group_commit: {synced} group commits, {bytes} log bytes");
+    let _ = std::fs::remove_dir_all(&sync_dir);
+}
+
+criterion_group!(benches, bench_wal);
+criterion_main!(benches);

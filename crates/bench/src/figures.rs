@@ -44,7 +44,9 @@ fn smallbank_deployment() -> SimDeployment {
     SimDeployment::explicit(
         SimStrategy::SharedNothing,
         containers,
-        (0..containers * reactors_per_container).map(|r| r / reactors_per_container).collect(),
+        (0..containers * reactors_per_container)
+            .map(|r| r / reactors_per_container)
+            .collect(),
     )
 }
 
@@ -55,8 +57,7 @@ fn multi_transfer_latency(
 ) -> f64 {
     let sim = Simulator::new(deployment.clone(), SimCosts::default());
     let dests = dests.to_vec();
-    let mut wl =
-        move |_: usize, _: &mut StdRng| smallbank::sim_profile(formulation, 0, &dests);
+    let mut wl = move |_: usize, _: &mut StdRng| smallbank::sim_profile(formulation, 0, &dests);
     sim.run(&mut wl, 1, TXNS_PER_POINT, SEED).avg_latency_ms()
 }
 
@@ -75,11 +76,20 @@ pub fn fig05() {
             x: size as f64,
             values: Formulation::all()
                 .iter()
-                .map(|f| (f.label().to_owned(), multi_transfer_latency(*f, &spread_dests(size), &deployment)))
+                .map(|f| {
+                    (
+                        f.label().to_owned(),
+                        multi_transfer_latency(*f, &spread_dests(size), &deployment),
+                    )
+                })
                 .collect(),
         })
         .collect();
-    print_series("Figure 5: latency [ms] vs txn size per program formulation", "txn_size", &points);
+    print_series(
+        "Figure 5: latency [ms] vs txn size per program formulation",
+        "txn_size",
+        &points,
+    );
 }
 
 /// Figure 6: breakdown of observed (simulated) latency and cost-model
@@ -94,7 +104,11 @@ pub fn fig06() {
             let dests = spread_dests(size);
             let observed_ms = multi_transfer_latency(f, &dests, &deployment);
             let shape = smallbank::forkjoin_shape(f, 0, &dests, &deployment);
-            let spanned = 1 + dests.iter().map(|d| d / 1000).collect::<std::collections::HashSet<_>>().len();
+            let spanned = 1 + dests
+                .iter()
+                .map(|d| d / 1000)
+                .collect::<std::collections::HashSet<_>>()
+                .len();
             let breakdown = shape.breakdown(&cost_params_from(&costs, spanned));
             rows.push(vec![
                 size.to_string(),
@@ -128,9 +142,15 @@ pub fn fig06() {
 
 fn tpcc_strategies() -> Vec<(&'static str, SimStrategy)> {
     vec![
-        ("shared-everything-without-affinity", SimStrategy::SharedEverythingWithoutAffinity),
+        (
+            "shared-everything-without-affinity",
+            SimStrategy::SharedEverythingWithoutAffinity,
+        ),
         ("shared-nothing-async", SimStrategy::SharedNothing),
-        ("shared-everything-with-affinity", SimStrategy::SharedEverythingWithAffinity),
+        (
+            "shared-everything-with-affinity",
+            SimStrategy::SharedEverythingWithAffinity,
+        ),
     ]
 }
 
@@ -155,15 +175,34 @@ pub fn fig07_08() {
         let mut tput_values = Vec::new();
         let mut lat_values = Vec::new();
         for (label, strategy) in tpcc_strategies() {
-            let report = run_tpcc(strategy, warehouses, workers, TpccSimWorkload::standard(warehouses));
+            let report = run_tpcc(
+                strategy,
+                warehouses,
+                workers,
+                TpccSimWorkload::standard(warehouses),
+            );
             tput_values.push((label.to_owned(), report.throughput_tps() / 1000.0));
             lat_values.push((label.to_owned(), report.avg_latency_ms()));
         }
-        tput.push(SeriesPoint { x: workers as f64, values: tput_values });
-        lat.push(SeriesPoint { x: workers as f64, values: lat_values });
+        tput.push(SeriesPoint {
+            x: workers as f64,
+            values: tput_values,
+        });
+        lat.push(SeriesPoint {
+            x: workers as f64,
+            values: lat_values,
+        });
     }
-    print_series("Figure 7: TPC-C throughput [Ktxn/s] vs workers (SF 4)", "workers", &tput);
-    print_series("Figure 8: TPC-C avg latency [ms] vs workers (SF 4)", "workers", &lat);
+    print_series(
+        "Figure 7: TPC-C throughput [Ktxn/s] vs workers (SF 4)",
+        "workers",
+        &tput,
+    );
+    print_series(
+        "Figure 8: TPC-C avg latency [ms] vs workers (SF 4)",
+        "workers",
+        &lat,
+    );
 }
 
 /// Figures 9 and 10: 100% new-order with a 300–400 µs stock-replenishment
@@ -172,7 +211,10 @@ pub fn fig09_10() {
     let warehouses = 8;
     let strategies = vec![
         ("shared-nothing-async", SimStrategy::SharedNothing),
-        ("shared-everything-with-affinity", SimStrategy::SharedEverythingWithAffinity),
+        (
+            "shared-everything-with-affinity",
+            SimStrategy::SharedEverythingWithAffinity,
+        ),
     ];
     let mut tput = Vec::new();
     let mut lat = Vec::new();
@@ -192,11 +234,25 @@ pub fn fig09_10() {
             tput_values.push(((*label).to_owned(), report.throughput_tps()));
             lat_values.push(((*label).to_owned(), report.avg_latency_ms()));
         }
-        tput.push(SeriesPoint { x: workers as f64, values: tput_values });
-        lat.push(SeriesPoint { x: workers as f64, values: lat_values });
+        tput.push(SeriesPoint {
+            x: workers as f64,
+            values: tput_values,
+        });
+        lat.push(SeriesPoint {
+            x: workers as f64,
+            values: lat_values,
+        });
     }
-    print_series("Figure 9: new-order-delay throughput [txn/s] vs workers (SF 8)", "workers", &tput);
-    print_series("Figure 10: new-order-delay avg latency [ms] vs workers (SF 8)", "workers", &lat);
+    print_series(
+        "Figure 9: new-order-delay throughput [txn/s] vs workers (SF 8)",
+        "workers",
+        &tput,
+    );
+    print_series(
+        "Figure 10: new-order-delay avg latency [ms] vs workers (SF 8)",
+        "workers",
+        &lat,
+    );
 }
 
 /// Figure 11: multi-transfer latency when destinations are co-located with
@@ -230,7 +286,11 @@ pub fn fig11() {
             }
         })
         .collect();
-    print_series("Figure 11: latency [ms] vs size, local vs remote destinations", "txn_size", &points);
+    print_series(
+        "Figure 11: latency [ms] vs size, local vs remote destinations",
+        "txn_size",
+        &points,
+    );
 }
 
 /// Figure 12: fully-sync multi-transfer of size 7 spanning a varying number
@@ -299,7 +359,10 @@ pub fn fig13_14() {
             let mut wl = YcsbSimWorkload::new(keys, executors, theta);
             let report = sim.run(&mut wl, workers, TXNS_PER_POINT, SEED);
             lat_values.push((format!("{workers} worker obs"), report.avg_latency_ms()));
-            tput_values.push((format!("{workers} workers obs"), report.throughput_tps() / 1000.0));
+            tput_values.push((
+                format!("{workers} workers obs"),
+                report.throughput_tps() / 1000.0,
+            ));
         }
         // Cost-model prediction for one worker: average the fork-join
         // latency over a sample of generated profiles.
@@ -311,15 +374,34 @@ pub fn fig13_14() {
         for _ in 0..samples {
             let profile = wl.next_txn(0, &mut rng);
             let shape = smallbank::sim_to_forkjoin(&profile, &striped);
-            let spanned = profile.reactors_touched().iter().map(|r| r % executors).collect::<std::collections::HashSet<_>>().len();
+            let spanned = profile
+                .reactors_touched()
+                .iter()
+                .map(|r| r % executors)
+                .collect::<std::collections::HashSet<_>>()
+                .len();
             predicted += ForkJoinTxn::root_latency_us(&shape, &cost_params_from(&costs, spanned));
         }
         lat_values.push(("1 worker pred".into(), predicted / samples as f64 / 1000.0));
-        lat_points.push(SeriesPoint { x: theta, values: lat_values });
-        tput_points.push(SeriesPoint { x: theta, values: tput_values });
+        lat_points.push(SeriesPoint {
+            x: theta,
+            values: lat_values,
+        });
+        tput_points.push(SeriesPoint {
+            x: theta,
+            values: tput_values,
+        });
     }
-    print_series("Figure 13: YCSB multi_update latency [ms] vs zipfian skew", "zipf", &lat_points);
-    print_series("Figure 14: YCSB multi_update throughput [Ktxn/s] vs zipfian skew", "zipf", &tput_points);
+    print_series(
+        "Figure 13: YCSB multi_update latency [ms] vs zipfian skew",
+        "zipf",
+        &lat_points,
+    );
+    print_series(
+        "Figure 14: YCSB multi_update throughput [Ktxn/s] vs zipfian skew",
+        "zipf",
+        &tput_points,
+    );
 }
 
 /// Table 1: TPC-C 100% new-order at scale factor 4 — observed vs predicted
@@ -354,7 +436,8 @@ pub fn table1() {
                     delay_us: None,
                     costs: Default::default(),
                 };
-                let deployment = SimDeployment::striped(SimStrategy::SharedNothing, warehouses, warehouses);
+                let deployment =
+                    SimDeployment::striped(SimStrategy::SharedNothing, warehouses, warehouses);
                 let mut predicted = 0.0;
                 let samples = 200;
                 for _ in 0..samples {
@@ -426,11 +509,20 @@ pub fn fig15_16() {
         let mut inner = sync_workload;
         let mut wl = move |worker: usize, rng: &mut StdRng| make_sync(&inner.next_txn(worker, rng));
         let report = sim.run(&mut wl, workers, TXNS_PER_POINT, SEED);
-        tput_values.push(("shared-nothing-sync".into(), report.throughput_tps() / 1000.0));
+        tput_values.push((
+            "shared-nothing-sync".into(),
+            report.throughput_tps() / 1000.0,
+        ));
         lat_values.push(("shared-nothing-sync".into(), report.avg_latency_ms()));
 
-        tput_points.push(SeriesPoint { x: cross * 100.0, values: tput_values });
-        lat_points.push(SeriesPoint { x: cross * 100.0, values: lat_values });
+        tput_points.push(SeriesPoint {
+            x: cross * 100.0,
+            values: tput_values,
+        });
+        lat_points.push(SeriesPoint {
+            x: cross * 100.0,
+            values: lat_values,
+        });
     }
     print_series(
         "Figure 15: new-order throughput [Ktxn/s] vs % cross-reactor transactions (SF 8)",
@@ -456,11 +548,25 @@ pub fn fig17_18() {
             tput_values.push((label.to_owned(), report.throughput_tps() / 1000.0));
             lat_values.push((label.to_owned(), report.avg_latency_ms()));
         }
-        tput_points.push(SeriesPoint { x: scale as f64, values: tput_values });
-        lat_points.push(SeriesPoint { x: scale as f64, values: lat_values });
+        tput_points.push(SeriesPoint {
+            x: scale as f64,
+            values: tput_values,
+        });
+        lat_points.push(SeriesPoint {
+            x: scale as f64,
+            values: lat_values,
+        });
     }
-    print_series("Figure 17: TPC-C throughput [Ktxn/s] vs scale factor", "scale_factor", &tput_points);
-    print_series("Figure 18: TPC-C avg latency [ms] vs scale factor", "scale_factor", &lat_points);
+    print_series(
+        "Figure 17: TPC-C throughput [Ktxn/s] vs scale factor",
+        "scale_factor",
+        &tput_points,
+    );
+    print_series(
+        "Figure 18: TPC-C avg latency [ms] vs scale factor",
+        "scale_factor",
+        &lat_points,
+    );
 }
 
 /// Figure 19: latency of auth_pay under the three execution strategies as
@@ -473,12 +579,19 @@ pub fn fig19() {
     let mut points = Vec::new();
     for n in random_numbers {
         let sim_risk_us = n / 100.0;
-        let costs =
-            ExchangeSimCosts { scan_window_us: 40.0, auth_base_us: 5.0, sim_risk_us };
+        let costs = ExchangeSimCosts {
+            scan_window_us: 40.0,
+            auth_base_us: 5.0,
+            sim_risk_us,
+        };
         let mut values = Vec::new();
         for strategy in Strategy::all() {
             let sim = Simulator::new(deployment.clone(), SimCosts::default());
-            let mut wl = ExchangeSimWorkload { strategy, providers, costs };
+            let mut wl = ExchangeSimWorkload {
+                strategy,
+                providers,
+                costs,
+            };
             let report = sim.run(&mut wl, 1, 100, SEED);
             values.push((strategy.label().to_owned(), report.avg_latency_ms()));
         }
@@ -516,12 +629,17 @@ mod tests {
     fn spread_dests_are_remote_containers() {
         let d = spread_dests(7);
         assert_eq!(d.len(), 7);
-        assert!(d.iter().all(|x| *x >= 1000), "all destinations outside the source container");
+        assert!(
+            d.iter().all(|x| *x >= 1000),
+            "all destinations outside the source container"
+        );
     }
 
     #[test]
     fn make_sync_flattens_async_children() {
-        let t = SimTxn::leaf(0, 1.0).with_async(SimTxn::leaf(1, 2.0)).with_overlap(3.0);
+        let t = SimTxn::leaf(0, 1.0)
+            .with_async(SimTxn::leaf(1, 2.0))
+            .with_overlap(3.0);
         let s = make_sync(&t);
         assert!(s.async_children.is_empty());
         assert_eq!(s.sync_children.len(), 1);
@@ -538,6 +656,9 @@ mod tests {
         // the end-to-end gap in the harness configuration is smaller than
         // the program-only gap of Figure 5; the ordering and a clear margin
         // must still hold.
-        assert!(fully_sync > 1.3 * opt, "fully-sync {fully_sync} vs opt {opt}");
+        assert!(
+            fully_sync > 1.3 * opt,
+            "fully-sync {fully_sync} vs opt {opt}"
+        );
     }
 }

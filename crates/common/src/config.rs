@@ -81,6 +81,94 @@ pub enum DeploymentStrategy {
     },
 }
 
+/// Durability policy of a deployment. ReactDB reuses Silo's epoch-based
+/// group commit: redo records are buffered per executor and the log is
+/// synchronized on epoch boundaries, so the logging fast path never issues a
+/// synchronous disk write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DurabilityMode {
+    /// No logging: every commit is volatile (the seed behaviour).
+    Off,
+    /// Redo records are buffered and written to the log files opportunistically
+    /// (on buffer pressure and clean shutdown) without fsync and without a
+    /// durable-epoch marker. Recovery replays every intact record.
+    Buffered,
+    /// Full epoch-based group commit: a daemon flushes and fsyncs all log
+    /// writers on epoch boundaries and advances the durable-epoch marker.
+    /// Recovery replays exactly the transactions of fully synced epochs.
+    EpochSync,
+}
+
+/// Durability section of a [`DeploymentConfig`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DurabilityConfig {
+    /// Logging / group-commit policy.
+    pub mode: DurabilityMode,
+    /// Directory holding the log segments and the durable-epoch marker.
+    /// Required unless `mode` is [`DurabilityMode::Off`].
+    pub log_dir: Option<String>,
+    /// Period of the group-commit daemon in milliseconds. `0` disables the
+    /// background daemon; syncs then happen only on explicit request (used
+    /// by deterministic tests) and on clean shutdown.
+    pub group_commit_interval_ms: u64,
+}
+
+impl Default for DurabilityConfig {
+    fn default() -> Self {
+        Self {
+            mode: DurabilityMode::Off,
+            log_dir: None,
+            group_commit_interval_ms: 10,
+        }
+    }
+}
+
+impl DurabilityConfig {
+    /// Durability disabled (volatile commits).
+    pub fn off() -> Self {
+        Self::default()
+    }
+
+    /// Buffered logging into `log_dir` without epoch-boundary fsyncs.
+    pub fn buffered(log_dir: impl Into<String>) -> Self {
+        Self {
+            mode: DurabilityMode::Buffered,
+            log_dir: Some(log_dir.into()),
+            group_commit_interval_ms: 0,
+        }
+    }
+
+    /// Epoch-based group commit into `log_dir` with the default daemon
+    /// period.
+    pub fn epoch_sync(log_dir: impl Into<String>) -> Self {
+        Self {
+            mode: DurabilityMode::EpochSync,
+            log_dir: Some(log_dir.into()),
+            group_commit_interval_ms: 10,
+        }
+    }
+
+    /// Sets the group-commit daemon period (`0` = manual syncs only).
+    pub fn with_interval_ms(mut self, ms: u64) -> Self {
+        self.group_commit_interval_ms = ms;
+        self
+    }
+
+    /// True when logging is enabled.
+    pub fn is_enabled(&self) -> bool {
+        self.mode != DurabilityMode::Off
+    }
+
+    /// Resolves the configured log directory, reporting a consistent error
+    /// when durability is enabled without one.
+    pub fn log_dir_path(&self) -> std::io::Result<std::path::PathBuf> {
+        self.log_dir
+            .as_deref()
+            .map(std::path::PathBuf::from)
+            .ok_or_else(|| std::io::Error::other("durability enabled but log_dir is unset"))
+    }
+}
+
 /// A complete deployment: strategy plus knobs shared by all strategies.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct DeploymentConfig {
@@ -89,6 +177,9 @@ pub struct DeploymentConfig {
     /// Default multi-programming level per executor for the non-custom
     /// strategies.
     pub default_mpl: usize,
+    /// Durability policy (off by default, matching the paper's in-memory
+    /// evaluation).
+    pub durability: DurabilityConfig,
 }
 
 impl DeploymentConfig {
@@ -97,6 +188,7 @@ impl DeploymentConfig {
         Self {
             strategy: DeploymentStrategy::SharedEverythingWithoutAffinity { executors },
             default_mpl: 1,
+            durability: DurabilityConfig::default(),
         }
     }
 
@@ -105,6 +197,7 @@ impl DeploymentConfig {
         Self {
             strategy: DeploymentStrategy::SharedEverythingWithAffinity { executors },
             default_mpl: 1,
+            durability: DurabilityConfig::default(),
         }
     }
 
@@ -114,12 +207,19 @@ impl DeploymentConfig {
         Self {
             strategy: DeploymentStrategy::SharedNothing { executors },
             default_mpl: 4,
+            durability: DurabilityConfig::default(),
         }
     }
 
     /// Sets the default multi-programming level.
     pub fn with_mpl(mut self, mpl: usize) -> Self {
         self.default_mpl = mpl.max(1);
+        self
+    }
+
+    /// Sets the durability policy.
+    pub fn with_durability(mut self, durability: DurabilityConfig) -> Self {
+        self.durability = durability;
         self
     }
 
@@ -139,9 +239,11 @@ impl DeploymentConfig {
             DeploymentStrategy::SharedEverythingWithoutAffinity { .. }
             | DeploymentStrategy::SharedEverythingWithAffinity { .. } => 1,
             DeploymentStrategy::SharedNothing { executors } => *executors,
-            DeploymentStrategy::Custom { executors, .. } => {
-                executors.iter().map(|e| e.container.raw() + 1).max().unwrap_or(0) as usize
-            }
+            DeploymentStrategy::Custom { executors, .. } => executors
+                .iter()
+                .map(|e| e.container.raw() + 1)
+                .max()
+                .unwrap_or(0) as usize,
         }
     }
 
@@ -170,7 +272,9 @@ impl DeploymentConfig {
             DeploymentStrategy::Custom { container_of, .. } => container_of
                 .get(reactor_idx)
                 .copied()
-                .unwrap_or(ContainerId((reactor_idx % container_of.len().max(1)) as u64)),
+                .unwrap_or(ContainerId(
+                    (reactor_idx % container_of.len().max(1)) as u64,
+                )),
         }
     }
 
@@ -261,12 +365,21 @@ mod tests {
             strategy: DeploymentStrategy::Custom {
                 router: RouterPolicy::Affinity,
                 executors: vec![
-                    ExecutorConfig { id: ExecutorId(0), container: ContainerId(0), mpl: 1 },
-                    ExecutorConfig { id: ExecutorId(1), container: ContainerId(1), mpl: 1 },
+                    ExecutorConfig {
+                        id: ExecutorId(0),
+                        container: ContainerId(0),
+                        mpl: 1,
+                    },
+                    ExecutorConfig {
+                        id: ExecutorId(1),
+                        container: ContainerId(1),
+                        mpl: 1,
+                    },
                 ],
                 container_of: vec![ContainerId(0), ContainerId(0), ContainerId(1)],
             },
             default_mpl: 1,
+            durability: DurabilityConfig::default(),
         };
         assert_eq!(cfg.container_count(), 2);
         assert_eq!(cfg.container_of_reactor(2, 3), ContainerId(1));

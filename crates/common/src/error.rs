@@ -101,8 +101,14 @@ impl fmt::Display for TxnError {
                 write!(f, "dangerous call structure on reactor {reactor}")
             }
             TxnError::UnknownReactor(name) => write!(f, "unknown reactor {name}"),
-            TxnError::UnknownProcedure { reactor_type, procedure } => {
-                write!(f, "unknown procedure {procedure} on reactor type {reactor_type}")
+            TxnError::UnknownProcedure {
+                reactor_type,
+                procedure,
+            } => {
+                write!(
+                    f,
+                    "unknown procedure {procedure} on reactor type {reactor_type}"
+                )
             }
             TxnError::UnknownRelation(name) => write!(f, "unknown relation {name}"),
             TxnError::UnknownColumn { relation, column } => {
@@ -132,12 +138,18 @@ mod tests {
         assert!(TxnError::CommitAborted.is_cc_abort());
         assert!(!TxnError::UserAbort("x".into()).is_cc_abort());
         assert!(TxnError::UserAbort("x".into()).is_user_abort());
-        assert!(TxnError::DangerousStructure { reactor: "r".into() }.is_dangerous_structure());
+        assert!(TxnError::DangerousStructure {
+            reactor: "r".into()
+        }
+        .is_dangerous_structure());
     }
 
     #[test]
     fn display_is_human_readable() {
-        let e = TxnError::NotFound { relation: "orders".into(), key: "42".into() };
+        let e = TxnError::NotFound {
+            relation: "orders".into(),
+            key: "42".into(),
+        };
         assert_eq!(e.to_string(), "key 42 not found in relation orders");
         let e = TxnError::UnknownProcedure {
             reactor_type: "Provider".into(),

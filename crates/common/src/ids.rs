@@ -89,7 +89,9 @@ pub struct TxnIdGen {
 impl TxnIdGen {
     /// Creates a generator starting at zero.
     pub fn new() -> Self {
-        Self { next: AtomicU64::new(0) }
+        Self {
+            next: AtomicU64::new(0),
+        }
     }
 
     /// Allocates the next transaction id.

@@ -18,7 +18,10 @@ pub mod stats;
 pub mod value;
 pub mod zipf;
 
-pub use config::{DeploymentConfig, DeploymentStrategy, ExecutorConfig, RouterPolicy};
+pub use config::{
+    DeploymentConfig, DeploymentStrategy, DurabilityConfig, DurabilityMode, ExecutorConfig,
+    RouterPolicy,
+};
 pub use error::{Result, TxnError};
 pub use ids::{ContainerId, ExecutorId, ReactorId, ReactorName, SubTxnId, TxnId};
 pub use value::{Key, Value};

@@ -110,12 +110,18 @@ impl MeanStd {
     /// Computes mean and standard deviation of the given samples.
     pub fn of(samples: &[f64]) -> Self {
         if samples.is_empty() {
-            return Self { mean: 0.0, std: 0.0 };
+            return Self {
+                mean: 0.0,
+                std: 0.0,
+            };
         }
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-        let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>()
-            / samples.len() as f64;
-        Self { mean, std: var.sqrt() }
+        let var =
+            samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / samples.len() as f64;
+        Self {
+            mean,
+            std: var.sqrt(),
+        }
     }
 }
 

@@ -245,12 +245,8 @@ pub fn compare_values(a: &Value, b: &Value) -> Ordering {
     match (a, b) {
         (Value::Int(x), Value::Int(y)) => x.cmp(y),
         (Value::Float(x), Value::Float(y)) => x.partial_cmp(y).unwrap_or(Ordering::Equal),
-        (Value::Int(x), Value::Float(y)) => {
-            (*x as f64).partial_cmp(y).unwrap_or(Ordering::Equal)
-        }
-        (Value::Float(x), Value::Int(y)) => {
-            x.partial_cmp(&(*y as f64)).unwrap_or(Ordering::Equal)
-        }
+        (Value::Int(x), Value::Float(y)) => (*x as f64).partial_cmp(y).unwrap_or(Ordering::Equal),
+        (Value::Float(x), Value::Int(y)) => x.partial_cmp(&(*y as f64)).unwrap_or(Ordering::Equal),
         (Value::Str(x), Value::Str(y)) => x.cmp(y),
         (Value::Bool(x), Value::Bool(y)) => x.cmp(y),
         (Value::Null, Value::Null) => Ordering::Equal,
@@ -307,8 +303,14 @@ mod tests {
 
     #[test]
     fn compare_values_handles_mixed_numeric() {
-        assert_eq!(compare_values(&Value::Int(2), &Value::Float(2.0)), Ordering::Equal);
-        assert_eq!(compare_values(&Value::Int(1), &Value::Float(1.5)), Ordering::Less);
+        assert_eq!(
+            compare_values(&Value::Int(2), &Value::Float(2.0)),
+            Ordering::Equal
+        );
+        assert_eq!(
+            compare_values(&Value::Int(1), &Value::Float(1.5)),
+            Ordering::Less
+        );
         assert_eq!(compare_values(&Value::Null, &Value::Int(0)), Ordering::Less);
     }
 
@@ -316,6 +318,9 @@ mod tests {
     fn display_formats() {
         assert_eq!(Value::Int(3).to_string(), "3");
         assert_eq!(Value::Null.to_string(), "NULL");
-        assert_eq!(Key::composite([Key::Int(1), Key::Str("a".into())]).to_string(), "(1,a)");
+        assert_eq!(
+            Key::composite([Key::Int(1), Key::Str("a".into())]).to_string(),
+            "(1,a)"
+        );
     }
 }

@@ -36,7 +36,13 @@ impl Zipfian {
         } else {
             0.0
         };
-        Self { n, theta, alpha, zetan, eta }
+        Self {
+            n,
+            theta,
+            alpha,
+            zetan,
+            eta,
+        }
     }
 
     fn zeta(n: u64, theta: f64) -> f64 {
@@ -132,9 +138,11 @@ mod tests {
     fn zipfian_high_skew_concentrates_on_head() {
         let mut rng = StdRng::seed_from_u64(2);
         let z = Zipfian::new(1000, 2.0);
-        let hits_head =
-            (0..10_000).filter(|_| z.sample(&mut rng) < 10).count();
-        assert!(hits_head > 8_000, "expected >80% of draws in the head, got {hits_head}");
+        let hits_head = (0..10_000).filter(|_| z.sample(&mut rng) < 10).count();
+        assert!(
+            hits_head > 8_000,
+            "expected >80% of draws in the head, got {hits_head}"
+        );
     }
 
     #[test]
@@ -142,7 +150,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let z = Zipfian::new(1000, 0.01);
         let hits_head = (0..10_000).filter(|_| z.sample(&mut rng) < 10).count();
-        assert!(hits_head < 1_000, "low skew should not concentrate, got {hits_head}");
+        assert!(
+            hits_head < 1_000,
+            "low skew should not concentrate, got {hits_head}"
+        );
     }
 
     #[test]

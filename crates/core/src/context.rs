@@ -83,7 +83,11 @@ impl<'a> ReactorCtx<'a> {
 
     /// Schema of one of this reactor's relations (cloned; schemas are small).
     pub fn schema(&self, relation: &str) -> Result<Schema> {
-        Ok(self.partition.table(self.reactor_id, relation)?.schema().clone())
+        Ok(self
+            .partition
+            .table(self.reactor_id, relation)?
+            .schema()
+            .clone())
     }
 
     // ----------------------------------------------------------------
@@ -151,7 +155,11 @@ impl<'a> ReactorCtx<'a> {
     where
         P: Fn(&Tuple) -> bool,
     {
-        Ok(self.scan(relation)?.into_iter().filter(|(_, t)| pred(t)).collect())
+        Ok(self
+            .scan(relation)?
+            .into_iter()
+            .filter(|(_, t)| pred(t))
+            .collect())
     }
 
     /// `SELECT SUM(column) FROM relation WHERE pred` over the current
@@ -183,7 +191,9 @@ impl<'a> ReactorCtx<'a> {
         index_key: &Key,
     ) -> Result<Vec<(Key, Tuple)>> {
         let table = self.partition.table(self.reactor_id, relation)?;
-        self.occ.lock().secondary_lookup(&table, index_id, index_key)
+        self.occ
+            .lock()
+            .secondary_lookup(&table, index_id, index_key)
     }
 
     // ----------------------------------------------------------------
@@ -258,8 +268,15 @@ mod tests {
     }
 
     impl CallBackend for MockBackend {
-        fn call(&self, target: &ReactorName, proc: &str, _args: Vec<Value>) -> Result<ReactorFuture> {
-            Ok(ReactorFuture::resolved(Ok(Value::Str(format!("{proc}@{target}")))))
+        fn call(
+            &self,
+            target: &ReactorName,
+            proc: &str,
+            _args: Vec<Value>,
+        ) -> Result<ReactorFuture> {
+            Ok(ReactorFuture::resolved(Ok(Value::Str(format!(
+                "{proc}@{target}"
+            )))))
         }
         fn current_reactor(&self) -> &str {
             &self.name
@@ -302,14 +319,25 @@ mod tests {
     #[test]
     fn crud_and_aggregate_through_context() {
         let (partition, occ) = setup();
-        let backend = MockBackend { name: "exchange".into() };
+        let backend = MockBackend {
+            name: "exchange".into(),
+        };
         let c = ctx(&partition, &occ, &backend);
 
-        c.insert("orders", Tuple::of([Value::Int(1), Value::Float(100.0), Value::Bool(false)]))
-            .unwrap();
-        c.insert("orders", Tuple::of([Value::Int(2), Value::Float(50.0), Value::Bool(true)]))
-            .unwrap();
-        assert_eq!(c.get("orders", &Key::Int(1)).unwrap().unwrap().at(1), &Value::Float(100.0));
+        c.insert(
+            "orders",
+            Tuple::of([Value::Int(1), Value::Float(100.0), Value::Bool(false)]),
+        )
+        .unwrap();
+        c.insert(
+            "orders",
+            Tuple::of([Value::Int(2), Value::Float(50.0), Value::Bool(true)]),
+        )
+        .unwrap();
+        assert_eq!(
+            c.get("orders", &Key::Int(1)).unwrap().unwrap().at(1),
+            &Value::Float(100.0)
+        );
         assert!(c.get("orders", &Key::Int(9)).unwrap().is_none());
 
         let unsettled = c
@@ -317,33 +345,50 @@ mod tests {
             .unwrap();
         assert_eq!(unsettled, 100.0);
 
-        c.update_with("orders", &Key::Int(1), |t| t.values_mut()[2] = Value::Bool(true)).unwrap();
+        c.update_with("orders", &Key::Int(1), |t| {
+            t.values_mut()[2] = Value::Bool(true)
+        })
+        .unwrap();
         let all = c.sum_where("orders", "value", |_| true).unwrap();
         assert_eq!(all, 150.0);
 
         c.delete("orders", &Key::Int(2)).unwrap();
         assert_eq!(c.scan("orders").unwrap().len(), 1);
-        assert_eq!(c.select_where("orders", |t| t.at(2) == &Value::Bool(true)).unwrap().len(), 1);
+        assert_eq!(
+            c.select_where("orders", |t| t.at(2) == &Value::Bool(true))
+                .unwrap()
+                .len(),
+            1
+        );
     }
 
     #[test]
     fn unknown_relation_is_reported() {
         let (partition, occ) = setup();
-        let backend = MockBackend { name: "exchange".into() };
+        let backend = MockBackend {
+            name: "exchange".into(),
+        };
         let c = ctx(&partition, &occ, &backend);
         assert!(matches!(
             c.get("nope", &Key::Int(1)).unwrap_err(),
             TxnError::UnknownRelation(_)
         ));
-        assert!(matches!(c.schema("nope").unwrap_err(), TxnError::UnknownRelation(_)));
+        assert!(matches!(
+            c.schema("nope").unwrap_err(),
+            TxnError::UnknownRelation(_)
+        ));
     }
 
     #[test]
     fn call_records_pending_futures() {
         let (partition, occ) = setup();
-        let backend = MockBackend { name: "exchange".into() };
+        let backend = MockBackend {
+            name: "exchange".into(),
+        };
         let mut c = ctx(&partition, &occ, &backend);
-        let f = c.call("MC_US", "calc_risk", vec![Value::Float(1.0)]).unwrap();
+        let f = c
+            .call("MC_US", "calc_risk", vec![Value::Float(1.0)])
+            .unwrap();
         assert_eq!(f.get().unwrap(), Value::Str("calc_risk@MC_US".into()));
         let sync = c.call_sync("VISA_DK", "calc_risk", vec![]).unwrap();
         assert_eq!(sync, Value::Str("calc_risk@VISA_DK".into()));
@@ -354,7 +399,9 @@ mod tests {
     #[test]
     fn abort_helper_produces_user_abort() {
         let (partition, occ) = setup();
-        let backend = MockBackend { name: "exchange".into() };
+        let backend = MockBackend {
+            name: "exchange".into(),
+        };
         let c = ctx(&partition, &occ, &backend);
         let res: Result<()> = c.abort("exposure exceeded");
         assert!(matches!(res.unwrap_err(), TxnError::UserAbort(msg) if msg == "exposure exceeded"));
@@ -363,7 +410,9 @@ mod tests {
     #[test]
     fn busy_work_accumulates_units() {
         let (partition, occ) = setup();
-        let backend = MockBackend { name: "exchange".into() };
+        let backend = MockBackend {
+            name: "exchange".into(),
+        };
         let mut c = ctx(&partition, &occ, &backend);
         let a = c.busy_work(100);
         let b = c.busy_work(100);
@@ -375,16 +424,22 @@ mod tests {
     fn writes_are_visible_after_commit_via_coordinator() {
         use reactdb_txn::{Coordinator, EpochManager, TidGen};
         let (partition, occ) = setup();
-        let backend = MockBackend { name: "exchange".into() };
+        let backend = MockBackend {
+            name: "exchange".into(),
+        };
         {
             let c = ctx(&partition, &occ, &backend);
-            c.insert("orders", Tuple::of([Value::Int(7), Value::Float(9.0), Value::Bool(false)]))
-                .unwrap();
+            c.insert(
+                "orders",
+                Tuple::of([Value::Int(7), Value::Float(9.0), Value::Bool(false)]),
+            )
+            .unwrap();
         }
         let epoch = EpochManager::new();
         let gen = TidGen::new();
-        let mut participant =
-            Arc::try_unwrap(occ).ok().expect("sole owner after ctx drop").into_inner();
+        let mut participant = Arc::try_unwrap(occ)
+            .expect("sole owner after ctx drop")
+            .into_inner();
         Coordinator::commit(std::slice::from_mut(&mut participant), &epoch, &gen).unwrap();
         let table = partition.table(ReactorId(0), "orders").unwrap();
         assert_eq!(table.visible_len(), 1);

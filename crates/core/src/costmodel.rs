@@ -211,8 +211,7 @@ impl ForkJoinTxn {
         let mut send_prefix = 0.0;
         for child in &self.async_calls {
             send_prefix += params.cs(k, child.executor);
-            let candidate =
-                child.latency_us(params) + params.cr(child.executor, k) + send_prefix;
+            let candidate = child.latency_us(params) + params.cr(child.executor, k) + send_prefix;
             async_branch = async_branch.max(candidate);
         }
 

@@ -66,21 +66,39 @@ impl ReactorFuture {
     /// A future that is already resolved with `result` (synchronously
     /// executed calls).
     pub fn resolved(result: Result<Value>) -> Self {
-        let state = FutureState { slot: Mutex::new(Some(result)), cond: Condvar::new() };
-        Self { state: Arc::new(state), hook: None }
+        let state = FutureState {
+            slot: Mutex::new(Some(result)),
+            cond: Condvar::new(),
+        };
+        Self {
+            state: Arc::new(state),
+            hook: None,
+        }
     }
 
     /// Creates an unresolved future and its writer.
     pub fn pending() -> (Self, FutureWriter) {
         let state = Arc::new(FutureState::default());
-        (Self { state: Arc::clone(&state), hook: None }, FutureWriter { state })
+        (
+            Self {
+                state: Arc::clone(&state),
+                hook: None,
+            },
+            FutureWriter { state },
+        )
     }
 
     /// Creates an unresolved future whose wait loop cooperates with the
     /// runtime through `hook`.
     pub fn pending_with_hook(hook: Arc<dyn WaitHook>) -> (Self, FutureWriter) {
         let state = Arc::new(FutureState::default());
-        (Self { state: Arc::clone(&state), hook: Some(hook) }, FutureWriter { state })
+        (
+            Self {
+                state: Arc::clone(&state),
+                hook: Some(hook),
+            },
+            FutureWriter { state },
+        )
     }
 
     /// True if the future has been fulfilled.
@@ -116,7 +134,9 @@ impl ReactorFuture {
             // Park briefly; fulfilment notifies the condvar, and the timeout
             // keeps the cooperative hook responsive even under missed
             // wakeups.
-            self.state.cond.wait_for(&mut slot, Duration::from_micros(50));
+            self.state
+                .cond
+                .wait_for(&mut slot, Duration::from_micros(50));
         }
     }
 
@@ -141,7 +161,9 @@ impl ReactorFuture {
             if slot.is_some() {
                 return slot.clone().expect("checked above");
             }
-            self.state.cond.wait_for(&mut slot, Duration::from_micros(100));
+            self.state
+                .cond
+                .wait_for(&mut slot, Duration::from_micros(100));
         }
     }
 }
@@ -207,7 +229,10 @@ mod tests {
                 true
             }
         }
-        let hook = Arc::new(Hook { calls: AtomicUsize::new(0), writer: Mutex::new(None) });
+        let hook = Arc::new(Hook {
+            calls: AtomicUsize::new(0),
+            writer: Mutex::new(None),
+        });
         let (f, w) = ReactorFuture::pending_with_hook(hook.clone());
         *hook.writer.lock() = Some(w);
         assert_eq!(f.get().unwrap(), Value::Int(99));

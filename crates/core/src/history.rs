@@ -40,12 +40,24 @@ pub struct Op {
 impl Op {
     /// A read of `item` on `reactor` by sub-transaction `(txn, sub)`.
     pub fn read(txn: u64, sub: u64, reactor: u64, item: u64) -> Self {
-        Self { txn, sub, reactor, item, is_write: false }
+        Self {
+            txn,
+            sub,
+            reactor,
+            item,
+            is_write: false,
+        }
     }
 
     /// A write of `item` on `reactor` by sub-transaction `(txn, sub)`.
     pub fn write(txn: u64, sub: u64, reactor: u64, item: u64) -> Self {
-        Self { txn, sub, reactor, item, is_write: true }
+        Self {
+            txn,
+            sub,
+            reactor,
+            item,
+            is_write: true,
+        }
     }
 
     /// True if two operations conflict: same reactor, same item, at least
@@ -74,9 +86,7 @@ pub struct ClassicOp {
 impl ClassicOp {
     /// True if two classic operations conflict.
     pub fn conflicts_with(&self, other: &ClassicOp) -> bool {
-        self.txn != other.txn
-            && self.item == other.item
-            && (self.is_write || other.is_write)
+        self.txn != other.txn && self.item == other.item && (self.is_write || other.is_write)
     }
 }
 
@@ -114,7 +124,11 @@ impl History {
 
     /// Identifiers of the transactions appearing in the history.
     pub fn transactions(&self) -> Vec<u64> {
-        let mut txns: Vec<u64> = self.ops.iter().map(|o| o.txn).collect::<HashSet<_>>()
+        let mut txns: Vec<u64> = self
+            .ops
+            .iter()
+            .map(|o| o.txn)
+            .collect::<HashSet<_>>()
             .into_iter()
             .collect();
         txns.sort_unstable();
@@ -175,8 +189,13 @@ impl ClassicHistory {
 
     /// Identifiers of the transactions appearing in the history.
     pub fn transactions(&self) -> Vec<u64> {
-        let mut txns: Vec<u64> =
-            self.ops.iter().map(|o| o.txn).collect::<HashSet<_>>().into_iter().collect();
+        let mut txns: Vec<u64> = self
+            .ops
+            .iter()
+            .map(|o| o.txn)
+            .collect::<HashSet<_>>()
+            .into_iter()
+            .collect();
         txns.sort_unstable();
         txns
     }
@@ -210,7 +229,10 @@ pub struct ConflictGraph {
 impl ConflictGraph {
     /// Creates a graph with the given nodes and no edges.
     pub fn new(nodes: Vec<u64>) -> Self {
-        Self { nodes, edges: HashSet::new() }
+        Self {
+            nodes,
+            edges: HashSet::new(),
+        }
     }
 
     /// Adds a directed edge (self-loops are ignored).
@@ -236,8 +258,11 @@ impl ConflictGraph {
             indegree.entry(*from).or_insert(0);
             out.entry(*from).or_default().push(*to);
         }
-        let mut queue: Vec<u64> =
-            indegree.iter().filter(|(_, d)| **d == 0).map(|(n, _)| *n).collect();
+        let mut queue: Vec<u64> = indegree
+            .iter()
+            .filter(|(_, d)| **d == 0)
+            .map(|(n, _)| *n)
+            .collect();
         let mut visited = 0usize;
         while let Some(n) = queue.pop() {
             visited += 1;
@@ -267,8 +292,11 @@ impl ConflictGraph {
             indegree.entry(*from).or_insert(0);
             out.entry(*from).or_default().push(*to);
         }
-        let mut queue: Vec<u64> =
-            indegree.iter().filter(|(_, d)| **d == 0).map(|(n, _)| *n).collect();
+        let mut queue: Vec<u64> = indegree
+            .iter()
+            .filter(|(_, d)| **d == 0)
+            .map(|(n, _)| *n)
+            .collect();
         queue.sort_unstable();
         let mut order = Vec::with_capacity(indegree.len());
         while let Some(n) = queue.pop() {

@@ -29,7 +29,9 @@ impl std::fmt::Debug for ProcedureRegistry {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let mut names: Vec<&String> = self.procedures.keys().collect();
         names.sort();
-        f.debug_struct("ProcedureRegistry").field("procedures", &names).finish()
+        f.debug_struct("ProcedureRegistry")
+            .field("procedures", &names)
+            .finish()
     }
 }
 
@@ -76,7 +78,11 @@ pub struct ReactorType {
 impl ReactorType {
     /// Creates a reactor type with no relations or procedures.
     pub fn new(name: impl Into<String>) -> Self {
-        Self { name: name.into(), relations: Vec::new(), procedures: ProcedureRegistry::new() }
+        Self {
+            name: name.into(),
+            relations: Vec::new(),
+            procedures: ProcedureRegistry::new(),
+        }
     }
 
     /// Adds a relation definition.
@@ -96,10 +102,12 @@ impl ReactorType {
 
     /// Looks up a procedure, reporting a transaction error when missing.
     pub fn procedure(&self, name: &str) -> Result<Procedure> {
-        self.procedures.get(name).ok_or_else(|| TxnError::UnknownProcedure {
-            reactor_type: self.name.clone(),
-            procedure: name.to_owned(),
-        })
+        self.procedures
+            .get(name)
+            .ok_or_else(|| TxnError::UnknownProcedure {
+                reactor_type: self.name.clone(),
+                procedure: name.to_owned(),
+            })
     }
 }
 
@@ -145,7 +153,10 @@ impl ReactorDatabaseSpec {
             .type_index
             .get(type_name)
             .unwrap_or_else(|| panic!("unknown reactor type {type_name}"));
-        assert!(!self.reactor_index.contains_key(&name), "duplicate reactor name {name}");
+        assert!(
+            !self.reactor_index.contains_key(&name),
+            "duplicate reactor name {name}"
+        );
         self.reactor_index.insert(name.clone(), self.reactors.len());
         self.reactors.push((name, ty));
         self
@@ -176,7 +187,9 @@ impl ReactorDatabaseSpec {
 
     /// Type of the reactor with the given dense index.
     pub fn reactor_type(&self, idx: usize) -> Option<Arc<ReactorType>> {
-        self.reactors.get(idx).map(|(_, t)| Arc::clone(&self.types[*t]))
+        self.reactors
+            .get(idx)
+            .map(|(_, t)| Arc::clone(&self.types[*t]))
     }
 
     /// Type of the reactor with the given name.
@@ -209,9 +222,10 @@ mod tests {
                 ))
                 .with_procedure("add_entry", |_ctx, _args| Ok(Value::Null)),
         );
-        spec.add_type(ReactorType::new("Exchange").with_procedure("auth_pay", |_ctx, _args| {
-            Ok(Value::Bool(true))
-        }));
+        spec.add_type(
+            ReactorType::new("Exchange")
+                .with_procedure("auth_pay", |_ctx, _args| Ok(Value::Bool(true))),
+        );
         spec.add_reactor("exchange", "Exchange");
         spec.add_reactor("MC_US", "Provider");
         spec.add_reactor("VISA_DK", "Provider");
@@ -225,7 +239,10 @@ mod tests {
         assert_eq!(s.reactor_id("exchange").unwrap(), 0);
         assert_eq!(s.reactor_id("VISA_DK").unwrap(), 2);
         assert_eq!(s.reactor_name(1), Some(&"MC_US".to_owned()));
-        assert!(matches!(s.reactor_id("nope"), Err(TxnError::UnknownReactor(_))));
+        assert!(matches!(
+            s.reactor_id("nope"),
+            Err(TxnError::UnknownReactor(_))
+        ));
     }
 
     #[test]
@@ -235,7 +252,10 @@ mod tests {
         assert_eq!(provider.name, "Provider");
         assert_eq!(provider.relations.len(), 1);
         assert!(provider.procedure("add_entry").is_ok());
-        let err = provider.procedure("does_not_exist").err().expect("missing procedure");
+        let err = provider
+            .procedure("does_not_exist")
+            .err()
+            .expect("missing procedure");
         assert!(matches!(err, TxnError::UnknownProcedure { .. }));
         assert_eq!(provider.procedures.names(), vec!["add_entry".to_owned()]);
     }
@@ -257,7 +277,10 @@ mod tests {
     #[test]
     fn registry_debug_lists_names() {
         let s = spec();
-        let dbg = format!("{:?}", s.reactor_type_by_name("exchange").unwrap().procedures);
+        let dbg = format!(
+            "{:?}",
+            s.reactor_type_by_name("exchange").unwrap().procedures
+        );
         assert!(dbg.contains("auth_pay"));
     }
 }

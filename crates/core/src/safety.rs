@@ -70,7 +70,9 @@ impl ActiveSet {
                 *depth += 1;
                 Ok(ActiveEntry { reactor, txn, sub })
             }
-            Some(_) => Err(TxnError::DangerousStructure { reactor: reactor_name.to_owned() }),
+            Some(_) => Err(TxnError::DangerousStructure {
+                reactor: reactor_name.to_owned(),
+            }),
         }
     }
 
@@ -80,7 +82,10 @@ impl ActiveSet {
     pub fn exit(&self, entry: ActiveEntry) {
         let mut inner = self.inner.lock();
         if let Some((active_sub, depth)) = inner.get_mut(&(entry.reactor, entry.txn)) {
-            debug_assert_eq!(*active_sub, entry.sub, "exit of a non-active sub-transaction");
+            debug_assert_eq!(
+                *active_sub, entry.sub,
+                "exit of a non-active sub-transaction"
+            );
             *depth -= 1;
             if *depth == 0 {
                 inner.remove(&(entry.reactor, entry.txn));
@@ -145,8 +150,12 @@ mod tests {
     #[test]
     fn different_reactors_do_not_conflict() {
         let set = ActiveSet::new();
-        let _a = set.enter(ReactorId(1), "r1", TxnId(1), SubTxnId(0)).unwrap();
-        let _b = set.enter(ReactorId(2), "r2", TxnId(1), SubTxnId(1)).unwrap();
+        let _a = set
+            .enter(ReactorId(1), "r1", TxnId(1), SubTxnId(0))
+            .unwrap();
+        let _b = set
+            .enter(ReactorId(2), "r2", TxnId(1), SubTxnId(1))
+            .unwrap();
         assert_eq!(set.len(), 2);
     }
 

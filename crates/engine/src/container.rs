@@ -24,7 +24,10 @@ pub struct Container {
 impl Container {
     /// Creates an empty container.
     pub fn new(id: ContainerId) -> Self {
-        Self { id, partition: Arc::new(Partition::new()) }
+        Self {
+            id,
+            partition: Arc::new(Partition::new()),
+        }
     }
 
     /// Container identifier.
@@ -51,7 +54,10 @@ mod tests {
         assert_eq!(c0.id(), ContainerId(0));
         c0.partition().create_reactor(
             ReactorId(0),
-            &[RelationDef::new("r", Schema::of(&[("id", ColumnType::Int)], &["id"]))],
+            &[RelationDef::new(
+                "r",
+                Schema::of(&[("id", ColumnType::Int)], &["id"]),
+            )],
         );
         assert!(c0.partition().hosts_reactor(ReactorId(0)));
         assert!(!c1.partition().hosts_reactor(ReactorId(0)));

@@ -34,10 +34,11 @@ use reactdb_common::{
     ContainerId, DeploymentConfig, ExecutorId, ReactorId, ReactorName, Result, SubTxnId, TxnError,
     TxnId, Value,
 };
-use reactdb_core::{ActiveSet, CallBackend, ReactorCtx, ReactorDatabaseSpec, ReactorFuture};
 use reactdb_core::future::WaitHook;
+use reactdb_core::{ActiveSet, CallBackend, ReactorCtx, ReactorDatabaseSpec, ReactorFuture};
 use reactdb_storage::{Table, Tuple};
-use reactdb_txn::{Coordinator, EpochManager};
+use reactdb_txn::{Coordinator, EpochManager, LogSink};
+use reactdb_wal::Wal;
 
 use crate::container::Container;
 use crate::executor::ExecutorHandle;
@@ -62,6 +63,8 @@ struct Inner {
     active: ActiveSet,
     txn_ids: TxnIdGen,
     stats: DbStats,
+    /// Write-ahead log; `None` when the deployment's durability mode is off.
+    wal: Option<Arc<Wal>>,
     shutdown: std::sync::atomic::AtomicBool,
 }
 
@@ -71,6 +74,10 @@ pub struct ReactDB {
     inner: Arc<Inner>,
     threads: Vec<JoinHandle<()>>,
     epoch_thread: Option<JoinHandle<()>>,
+    /// Set by [`ReactDB::simulate_crash`]: the final WAL flush is skipped so
+    /// buffered (not yet group-committed) redo records are lost, exactly as
+    /// a process crash would lose them.
+    crashed: bool,
 }
 
 impl std::fmt::Debug for ReactDB {
@@ -87,16 +94,44 @@ impl ReactDB {
     /// Boots a reactor database under the given deployment. Creates the
     /// containers, instantiates every reactor's relations in its container,
     /// starts the executor worker threads and the epoch advancer.
+    ///
+    /// # Panics
+    /// Panics when the deployment enables durability but the log directory
+    /// cannot be initialised; use [`ReactDB::recover`] for a fallible boot
+    /// that also replays an existing log.
     pub fn boot(spec: ReactorDatabaseSpec, config: DeploymentConfig) -> Self {
+        Self::boot_inner(spec, config, false).expect("boot: durability initialisation failed")
+    }
+
+    /// Boots a reactor database and replays the write-ahead log found in the
+    /// deployment's log directory: every transaction of a fully synced epoch
+    /// (and, in buffered mode, every intact logged transaction) is
+    /// re-applied in commit-TID order before the database starts serving,
+    /// and the epoch / TID-generator high-water marks resume beyond
+    /// everything observed in the log.
+    pub fn recover(spec: ReactorDatabaseSpec, config: DeploymentConfig) -> Result<Self> {
+        Self::boot_inner(spec, config, true)
+            .map_err(|e| TxnError::Runtime(format!("crash recovery failed: {e}")))
+    }
+
+    fn boot_inner(
+        spec: ReactorDatabaseSpec,
+        config: DeploymentConfig,
+        recover: bool,
+    ) -> std::io::Result<Self> {
         let spec = Arc::new(spec);
         let n_reactors = spec.reactor_count();
 
         let executor_configs = config.executor_configs();
-        assert!(!executor_configs.is_empty(), "deployment must define at least one executor");
+        assert!(
+            !executor_configs.is_empty(),
+            "deployment must define at least one executor"
+        );
         let n_containers = config.container_count().max(1);
 
-        let containers: Vec<Arc<Container>> =
-            (0..n_containers).map(|c| Arc::new(Container::new(ContainerId(c as u64)))).collect();
+        let containers: Vec<Arc<Container>> = (0..n_containers)
+            .map(|c| Arc::new(Container::new(ContainerId(c as u64))))
+            .collect();
 
         // Map reactors to containers and instantiate their relations there.
         let container_of_reactor: Vec<ContainerId> = (0..n_reactors)
@@ -119,8 +154,74 @@ impl ReactDB {
             executors_of_container[cfg.container.index()].push(cfg.id);
         }
 
-        let router = Router::new(config.router_policy(), executors_of_container, container_of_reactor);
         let epoch = Arc::new(EpochManager::new());
+        let stats = DbStats::new();
+
+        // ---- Durability preflight: a non-recovery boot must refuse a log
+        // directory that already holds WAL state — a fresh instance
+        // restarts at epoch 1 and would reissue (epoch, sequence) pairs
+        // already present in the old segments, corrupting the TID-ordered
+        // replay of any later recovery.
+        if config.durability.is_enabled() {
+            let dir = config.durability.log_dir_path()?;
+            if !recover && reactdb_wal::log_dir_has_state(&dir)? {
+                return Err(std::io::Error::other(format!(
+                    "log directory {} already contains WAL state; \
+                     use ReactDB::recover or clear the directory",
+                    dir.display()
+                )));
+            }
+        }
+
+        // ---- Crash recovery: replay the log before anything can run.
+        if recover && config.durability.is_enabled() {
+            let dir = config.durability.log_dir_path()?;
+            let recovered = reactdb_wal::recover_and_compact(&dir, config.durability.mode)?;
+            for (tid, records) in &recovered.batches {
+                for record in records {
+                    // Route by the *current* reactor-to-container mapping:
+                    // recovery may legitimately restore the log under a
+                    // different deployment of the same reactor database. A
+                    // record for a reactor the new spec does not declare
+                    // has no home; skip it rather than guess (the logged
+                    // container id belongs to the *old* deployment).
+                    let Some(container) = container_of_reactor.get(record.reactor.index()).copied()
+                    else {
+                        continue;
+                    };
+                    if let Ok(table) = containers[container.index()]
+                        .partition()
+                        .table(record.reactor, &record.relation)
+                    {
+                        table.replay(&record.key, record.image.as_ref(), *tid);
+                    }
+                }
+            }
+            // Resume beyond every epoch observed in the log (durable or
+            // discarded) so no pre-crash (epoch, sequence) pair is reissued.
+            let mut resume = recovered.max_epoch_seen;
+            if recovered.durable_epoch != u64::MAX {
+                resume = resume.max(recovered.durable_epoch);
+            }
+            epoch.advance_to(resume + 1);
+            for exec in &executors {
+                exec.tidgen().observe(recovered.max_tid);
+            }
+            stats.record_recovered(recovered.batches.len() as u64);
+        }
+
+        // ---- Durability: fresh log segments for this instance.
+        let wal = Wal::open(&config.durability, executors.len(), Arc::clone(&epoch))?;
+        if let Some(wal) = &wal {
+            wal.start_daemon(config.durability.group_commit_interval_ms);
+            stats.attach_wal(Arc::clone(wal.stats()));
+        }
+
+        let router = Router::new(
+            config.router_policy(),
+            executors_of_container,
+            container_of_reactor,
+        );
         let epoch_thread = epoch.start_advancer(EPOCH_PERIOD);
 
         let inner = Arc::new(Inner {
@@ -132,7 +233,8 @@ impl ReactDB {
             epoch,
             active: ActiveSet::new(),
             txn_ids: TxnIdGen::new(),
-            stats: DbStats::new(),
+            stats,
+            wal,
             shutdown: std::sync::atomic::AtomicBool::new(false),
         });
 
@@ -149,7 +251,12 @@ impl ReactDB {
             }
         }
 
-        Self { inner, threads, epoch_thread: Some(epoch_thread) }
+        Ok(Self {
+            inner,
+            threads,
+            epoch_thread: Some(epoch_thread),
+            crashed: false,
+        })
     }
 
     /// The reactor database specification this instance serves.
@@ -167,6 +274,46 @@ impl ReactDB {
         &self.inner.stats
     }
 
+    /// The write-ahead log, when the deployment enables durability.
+    pub fn wal(&self) -> Option<&Arc<Wal>> {
+        self.inner.wal.as_ref()
+    }
+
+    /// Closes the current epoch and forces one group commit (flush, fsync,
+    /// durable-epoch advance), making every transaction committed so far
+    /// durable. Returns the resulting durable epoch. Errors distinguish the
+    /// two failure modes: durability not configured, and a group commit
+    /// that failed with an I/O error (also counted in
+    /// [`DbStats::log_sync_failures`]). Tests use this instead of waiting
+    /// for the group-commit daemon.
+    pub fn wal_sync(&self) -> Result<u64> {
+        let wal = self
+            .inner
+            .wal
+            .as_ref()
+            .ok_or_else(|| TxnError::Runtime("durability is off".into()))?;
+        // Commits already in flight keep the epoch they read; advancing
+        // first guarantees the fence lies beyond every *completed* commit.
+        self.inner.epoch.advance();
+        wal.sync()
+            .map_err(|e| TxnError::Runtime(format!("group commit failed: {e}")))
+    }
+
+    /// Highest epoch whose transactions are guaranteed durable; `None` when
+    /// durability is off.
+    pub fn durable_epoch(&self) -> Option<u64> {
+        self.inner.wal.as_ref().map(|w| w.durable_epoch())
+    }
+
+    /// Tears the database down as a crash would: worker threads stop, but
+    /// the write-ahead log is *not* flushed, so every redo record buffered
+    /// since the last group commit is lost. Recover with
+    /// [`ReactDB::recover`] on the same deployment config.
+    pub fn simulate_crash(mut self) {
+        self.crashed = true;
+        // Drop runs the ordinary shutdown, minus the final WAL flush.
+    }
+
     /// Number of transaction executors.
     pub fn executor_count(&self) -> usize {
         self.inner.executors.len()
@@ -181,7 +328,8 @@ impl ReactDB {
     /// `reactor`, blocking until it commits or aborts (§2.2.3 root
     /// transactions are the unit clients interact with).
     pub fn invoke(&self, reactor: &str, proc: &str, args: Vec<Value>) -> Result<Value> {
-        self.submit(reactor, proc, args)?.get_timeout(CLIENT_TIMEOUT)
+        self.submit(reactor, proc, args)?
+            .get_timeout(CLIENT_TIMEOUT)
     }
 
     /// Submits a root transaction and returns its future without waiting.
@@ -210,8 +358,49 @@ impl ReactDB {
 
     /// Non-transactional bulk load of one row into a reactor's relation.
     /// Only for benchmark loaders before measurement starts.
+    ///
+    /// With durability enabled the load is logged as a redo record, and the
+    /// row is installed under the *same* real TID that is logged (drawn
+    /// from executor 0's generator, dominating any version previously in
+    /// the slot). Matching physical and logged TIDs is what keeps
+    /// TID-ordered replay consistent with the conflict order: any later
+    /// commit that touches the row observes this TID and must exceed it,
+    /// while unrelated commits may order either way, harmlessly.
     pub fn load_row(&self, reactor: &str, relation: &str, row: Tuple) -> Result<()> {
-        self.table(reactor, relation)?.load_row(row)
+        let inner = &self.inner;
+        let reactor_idx = inner.spec.reactor_id(reactor)?;
+        let reactor_id = ReactorId(reactor_idx as u64);
+        let table = self.table(reactor, relation)?;
+        let Some(wal) = &inner.wal else {
+            return table.load_row(row);
+        };
+        // Validate before touching the primary key: key extraction panics
+        // on malformed rows, and the durability-off path reports
+        // BadArguments instead — keep the two paths behaviourally equal.
+        table.schema().validate(table.name(), row.values())?;
+        let _gate = wal.commit_guard();
+        let key = row.primary_key(table.schema());
+        // Dominate whatever version occupies the slot (e.g. a replayed
+        // delete from a previous life of this database).
+        let observed = table
+            .get(&key)
+            .map(|record| record.tid().unlocked())
+            .unwrap_or_else(|| reactdb_storage::TidWord::committed(0, 0));
+        let tid = inner.executors[0]
+            .tidgen()
+            .next(inner.epoch.current(), observed);
+        table.load_row_with_tid(row.clone(), tid)?;
+        wal.writer(0).log_commit(
+            tid,
+            &[reactdb_txn::RedoRecord {
+                container: inner.router.container_of(reactor_id),
+                reactor: reactor_id,
+                relation: relation.to_owned(),
+                key,
+                image: Some(row),
+            }],
+        );
+        Ok(())
     }
 
     /// Direct access to a reactor's relation (bulk loading and test
@@ -221,13 +410,18 @@ impl ReactDB {
         let idx = inner.spec.reactor_id(reactor)?;
         let reactor_id = ReactorId(idx as u64);
         let container = inner.router.container_of(reactor_id);
-        inner.containers[container.index()].partition().table(reactor_id, relation)
+        inner.containers[container.index()]
+            .partition()
+            .table(reactor_id, relation)
     }
 
-    /// Stops every worker thread and the epoch advancer. Called by `Drop`;
-    /// explicit shutdown lets callers join deterministically.
+    /// Stops every worker thread, the epoch advancer and the group-commit
+    /// daemon (flushing the log unless a crash is being simulated). Called
+    /// by `Drop`; explicit shutdown lets callers join deterministically.
     pub fn shutdown(&mut self) {
-        self.inner.shutdown.store(true, std::sync::atomic::Ordering::Release);
+        self.inner
+            .shutdown
+            .store(true, std::sync::atomic::Ordering::Release);
         if self.threads.is_empty() {
             return;
         }
@@ -242,6 +436,9 @@ impl ReactDB {
         self.inner.epoch.stop();
         if let Some(handle) = self.epoch_thread.take() {
             let _ = handle.join();
+        }
+        if let Some(wal) = &self.inner.wal {
+            wal.shutdown(!self.crashed);
         }
     }
 }
@@ -289,8 +486,15 @@ impl WaitHook for ExecutorWaitHook {
 impl Inner {
     fn process(self: &Arc<Self>, executor_idx: usize, request: Request) {
         match request {
-            Request::Root { root, reactor, proc, args, writer } => {
-                let result = self.run_subtxn(executor_idx, &root, reactor, SubTxnId(0), &proc, &args);
+            Request::Root {
+                root,
+                reactor,
+                proc,
+                args,
+                writer,
+            } => {
+                let result =
+                    self.run_subtxn(executor_idx, &root, reactor, SubTxnId(0), &proc, &args);
                 let outcome = match result {
                     Ok(value) => self.commit_root(executor_idx, &root).map(|_| value),
                     Err(e) => {
@@ -307,7 +511,14 @@ impl Inner {
                 }
                 writer.fulfill(outcome);
             }
-            Request::Sub { root, reactor, sub, proc, args, writer } => {
+            Request::Sub {
+                root,
+                reactor,
+                sub,
+                proc,
+                args,
+                writer,
+            } => {
                 let result = self.run_subtxn(executor_idx, &root, reactor, sub, &proc, &args);
                 writer.fulfill(result);
             }
@@ -320,10 +531,17 @@ impl Inner {
         if participants.is_empty() {
             return Ok(());
         }
-        Coordinator::commit(
+        // Hold the WAL's commit gate across the serialization point and the
+        // log append: the group-commit daemon drains these guards before
+        // declaring an epoch durable (see `reactdb_wal::Wal::sync`).
+        let wal = self.wal.as_deref();
+        let _commit_gate = wal.map(|w| w.commit_guard());
+        let sink = wal.map(|w| &**w.writer(executor_idx) as &dyn LogSink);
+        Coordinator::commit_logged(
             &mut participants,
             &self.epoch,
             self.executors[executor_idx].tidgen(),
+            sink,
         )
         .map(|_| ())
     }
@@ -403,6 +621,7 @@ impl Inner {
     }
 
     /// Dispatch decision for a sub-transaction call (§3.2.1–3.2.2).
+    #[allow(clippy::too_many_arguments)]
     fn dispatch_call(
         self: &Arc<Self>,
         executor_idx: usize,
@@ -422,8 +641,7 @@ impl Inner {
         // synchronously (§2.2.4).
         if target_id == caller_reactor {
             self.stats.record_sub_inline();
-            let result =
-                self.run_subtxn(executor_idx, root, target_id, caller_sub, proc, &args);
+            let result = self.run_subtxn(executor_idx, root, target_id, caller_sub, proc, &args);
             return Ok(ReactorFuture::resolved(result));
         }
 
@@ -442,7 +660,10 @@ impl Inner {
         self.stats.record_sub_dispatch();
         let sub = root.next_sub();
         let target_exec = self.router.route_sub(target_id);
-        let hook = Arc::new(ExecutorWaitHook { inner: Arc::clone(self), executor_idx });
+        let hook = Arc::new(ExecutorWaitHook {
+            inner: Arc::clone(self),
+            executor_idx,
+        });
         let (future, writer) = ReactorFuture::pending_with_hook(hook);
         let ok = self.executors[target_exec.index()].enqueue(Request::Sub {
             root: Arc::clone(root),
@@ -500,8 +721,8 @@ pub(crate) struct TxnHandle(pub TxnId);
 #[cfg(test)]
 mod tests {
     use super::*;
-    use reactdb_core::ReactorType;
     use reactdb_common::Key;
+    use reactdb_core::ReactorType;
     use reactdb_storage::{ColumnType, RelationDef, Schema};
 
     /// A minimal two-type reactor database used across the engine tests:
@@ -512,7 +733,10 @@ mod tests {
         let account = ReactorType::new("Account")
             .with_relation(RelationDef::new(
                 "balance",
-                Schema::of(&[("id", ColumnType::Int), ("amount", ColumnType::Float)], &["id"]),
+                Schema::of(
+                    &[("id", ColumnType::Int), ("amount", ColumnType::Float)],
+                    &["id"],
+                ),
             ))
             .with_procedure("init", |ctx, _args| {
                 ctx.insert("balance", Tuple::of([Value::Int(0), Value::Float(0.0)]))?;
@@ -573,7 +797,8 @@ mod tests {
             .with_procedure("always_abort", |ctx, _| ctx.abort("no"))
             .with_procedure("self_call", |ctx, _| {
                 // A synchronous call to the own reactor must be inlined.
-                let v = ctx.call_sync(&ctx.reactor_name().to_owned(), "balance", vec![])?;
+                let own_name = ctx.reactor_name().to_owned();
+                let v = ctx.call_sync(&own_name, "balance", vec![])?;
                 Ok(v)
             });
 
@@ -605,9 +830,12 @@ mod tests {
     fn deposit_and_balance_roundtrip_under_every_deployment() {
         for config in all_deployments() {
             let db = boot(config);
-            let v = db.invoke("acct-0", "deposit", vec![Value::Float(10.0)]).unwrap();
+            let v = db
+                .invoke("acct-0", "deposit", vec![Value::Float(10.0)])
+                .unwrap();
             assert_eq!(v, Value::Float(10.0));
-            db.invoke("acct-0", "deposit", vec![Value::Float(5.0)]).unwrap();
+            db.invoke("acct-0", "deposit", vec![Value::Float(5.0)])
+                .unwrap();
             let bal = db.invoke("acct-0", "balance", vec![]).unwrap();
             assert_eq!(bal, Value::Float(15.0));
             assert_eq!(db.stats().committed(), 4 + 3);
@@ -618,11 +846,22 @@ mod tests {
     fn cross_reactor_transfer_is_atomic_under_every_deployment() {
         for config in all_deployments() {
             let db = boot(config);
-            db.invoke("acct-0", "deposit", vec![Value::Float(100.0)]).unwrap();
-            db.invoke("acct-0", "transfer", vec![Value::Str("acct-3".into()), Value::Float(40.0)])
+            db.invoke("acct-0", "deposit", vec![Value::Float(100.0)])
                 .unwrap();
-            assert_eq!(db.invoke("acct-0", "balance", vec![]).unwrap(), Value::Float(60.0));
-            assert_eq!(db.invoke("acct-3", "balance", vec![]).unwrap(), Value::Float(40.0));
+            db.invoke(
+                "acct-0",
+                "transfer",
+                vec![Value::Str("acct-3".into()), Value::Float(40.0)],
+            )
+            .unwrap();
+            assert_eq!(
+                db.invoke("acct-0", "balance", vec![]).unwrap(),
+                Value::Float(60.0)
+            );
+            assert_eq!(
+                db.invoke("acct-3", "balance", vec![]).unwrap(),
+                Value::Float(40.0)
+            );
         }
     }
 
@@ -631,11 +870,18 @@ mod tests {
         for config in all_deployments() {
             let db = boot(config);
             let err = db
-                .invoke("acct-0", "failing_remote", vec![Value::Str("acct-3".into())])
+                .invoke(
+                    "acct-0",
+                    "failing_remote",
+                    vec![Value::Str("acct-3".into())],
+                )
                 .unwrap_err();
             assert!(err.is_user_abort(), "expected user abort, got {err:?}");
             // The local write of failing_remote was not installed.
-            assert_eq!(db.invoke("acct-0", "balance", vec![]).unwrap(), Value::Float(0.0));
+            assert_eq!(
+                db.invoke("acct-0", "balance", vec![]).unwrap(),
+                Value::Float(0.0)
+            );
         }
     }
 
@@ -650,7 +896,11 @@ mod tests {
         let db = boot(DeploymentConfig::shared_nothing(4));
         let mut saw_dangerous = false;
         for _ in 0..8 {
-            match db.invoke("acct-0", "dangerous_fanout", vec![Value::Str("acct-1".into())]) {
+            match db.invoke(
+                "acct-0",
+                "dangerous_fanout",
+                vec![Value::Str("acct-1".into())],
+            ) {
                 Err(e) if e.is_dangerous_structure() => saw_dangerous = true,
                 Err(e) => panic!("unexpected error {e:?}"),
                 Ok(_) => {}
@@ -662,14 +912,18 @@ mod tests {
         // The target reactor is kept busy for tens of milliseconds per
         // sub-transaction, so the two asynchronous invocations overlap and
         // the safety condition fires.
-        assert!(saw_dangerous, "expected at least one DangerousStructure abort");
+        assert!(
+            saw_dangerous,
+            "expected at least one DangerousStructure abort"
+        );
         assert!(db.stats().dangerous_aborts() >= 1);
     }
 
     #[test]
     fn self_calls_are_inlined() {
         let db = boot(DeploymentConfig::shared_nothing(4));
-        db.invoke("acct-2", "deposit", vec![Value::Float(7.0)]).unwrap();
+        db.invoke("acct-2", "deposit", vec![Value::Float(7.0)])
+            .unwrap();
         let v = db.invoke("acct-2", "self_call", vec![]).unwrap();
         assert_eq!(v, Value::Float(7.0));
         assert!(db.stats().sub_txns_inlined() >= 1);
@@ -694,7 +948,8 @@ mod tests {
     fn concurrent_transfers_conserve_money() {
         let db = Arc::new(boot(DeploymentConfig::shared_nothing(4)));
         for i in 0..4 {
-            db.invoke(&format!("acct-{i}"), "deposit", vec![Value::Float(1000.0)]).unwrap();
+            db.invoke(&format!("acct-{i}"), "deposit", vec![Value::Float(1000.0)])
+                .unwrap();
         }
         let threads: Vec<_> = (0..4)
             .map(|worker| {
@@ -723,28 +978,201 @@ mod tests {
         let total_transfers: i32 = threads.into_iter().map(|t| t.join().unwrap()).sum();
         assert!(total_transfers > 0);
         let total: f64 = (0..4)
-            .map(|i| db.invoke(&format!("acct-{i}"), "balance", vec![]).unwrap().as_float())
+            .map(|i| {
+                db.invoke(&format!("acct-{i}"), "balance", vec![])
+                    .unwrap()
+                    .as_float()
+            })
             .sum();
-        assert!((total - 4000.0).abs() < 1e-6, "money not conserved: {total}");
+        assert!(
+            (total - 4000.0).abs() < 1e-6,
+            "money not conserved: {total}"
+        );
+    }
+
+    fn wal_dir(tag: &str) -> String {
+        let dir = std::env::temp_dir().join(format!(
+            "reactdb-engine-wal-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn durable_deployment_logs_commits_and_recovers_them() {
+        use reactdb_common::DurabilityConfig;
+        let dir = wal_dir("roundtrip");
+        // Manual group commit (interval 0) keeps the test deterministic.
+        let config = DeploymentConfig::shared_nothing(2)
+            .with_durability(DurabilityConfig::epoch_sync(&dir).with_interval_ms(0));
+
+        let db = boot(config.clone());
+        db.invoke("acct-0", "deposit", vec![Value::Float(25.0)])
+            .unwrap();
+        db.invoke("acct-1", "deposit", vec![Value::Float(5.0)])
+            .unwrap();
+        // Cross-container 2PC transaction: both participants' writes must be
+        // in the same logged batch.
+        db.invoke(
+            "acct-0",
+            "transfer",
+            vec![Value::Str("acct-1".into()), Value::Float(10.0)],
+        )
+        .unwrap();
+        assert!(db.stats().log_bytes() > 0);
+        assert!(db.stats().log_records() >= 4);
+
+        // Everything so far becomes durable; the next write is lost in the
+        // crash.
+        db.wal_sync().unwrap();
+        assert!(db.stats().log_syncs() >= 1);
+        db.invoke("acct-0", "deposit", vec![Value::Float(1000.0)])
+            .unwrap();
+        db.simulate_crash();
+
+        let recovered = ReactDB::recover(bank_spec(), config).unwrap();
+        assert!(recovered.stats().recovered_txns() >= 5);
+        assert_eq!(
+            recovered.invoke("acct-0", "balance", vec![]).unwrap(),
+            Value::Float(15.0),
+            "synced prefix survives, unsynced deposit is lost"
+        );
+        assert_eq!(
+            recovered.invoke("acct-1", "balance", vec![]).unwrap(),
+            Value::Float(15.0)
+        );
+        // The recovered database keeps committing.
+        recovered
+            .invoke("acct-0", "deposit", vec![Value::Float(2.0)])
+            .unwrap();
+        assert_eq!(
+            recovered.invoke("acct-0", "balance", vec![]).unwrap(),
+            Value::Float(17.0)
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recovered_tids_stay_monotonic_over_replayed_state() {
+        use reactdb_common::DurabilityConfig;
+        let dir = wal_dir("monotonic");
+        let config = DeploymentConfig::shared_everything_with_affinity(1)
+            .with_durability(DurabilityConfig::epoch_sync(&dir).with_interval_ms(0));
+
+        let db = boot(config.clone());
+        for _ in 0..5 {
+            db.invoke("acct-0", "deposit", vec![Value::Float(1.0)])
+                .unwrap();
+        }
+        db.wal_sync().unwrap();
+        db.simulate_crash();
+
+        let recovered = ReactDB::recover(bank_spec(), config).unwrap();
+        let table = recovered.table("acct-0", "balance").unwrap();
+        let replayed_tid = table.get(&reactdb_common::Key::Int(0)).unwrap().tid();
+        assert!(
+            replayed_tid.version() > 0,
+            "replay restores real commit TIDs"
+        );
+        recovered
+            .invoke("acct-0", "deposit", vec![Value::Float(1.0)])
+            .unwrap();
+        let new_tid = table.get(&reactdb_common::Key::Int(0)).unwrap().tid();
+        assert!(
+            new_tid.version() > replayed_tid.version(),
+            "post-recovery commits dominate every replayed TID"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn clean_shutdown_makes_every_commit_durable() {
+        use reactdb_common::DurabilityConfig;
+        let dir = wal_dir("clean");
+        let config = DeploymentConfig::shared_nothing(2)
+            .with_durability(DurabilityConfig::epoch_sync(&dir).with_interval_ms(0));
+        let mut db = boot(config.clone());
+        db.invoke("acct-2", "deposit", vec![Value::Float(42.0)])
+            .unwrap();
+        db.shutdown();
+        drop(db);
+        let recovered = ReactDB::recover(bank_spec(), config).unwrap();
+        assert_eq!(
+            recovered.invoke("acct-2", "balance", vec![]).unwrap(),
+            Value::Float(42.0)
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn boot_refuses_a_log_directory_with_existing_state() {
+        use reactdb_common::DurabilityConfig;
+        let dir = wal_dir("refuse-reuse");
+        let config = DeploymentConfig::shared_everything_with_affinity(1)
+            .with_durability(DurabilityConfig::epoch_sync(&dir).with_interval_ms(0));
+        let db = boot(config.clone());
+        db.invoke("acct-0", "deposit", vec![Value::Float(1.0)])
+            .unwrap();
+        db.wal_sync().unwrap();
+        db.simulate_crash();
+        // A plain boot over the surviving segments would restart at epoch 1
+        // and reissue TIDs the old segments already contain; it must refuse.
+        let result = std::panic::catch_unwind(|| ReactDB::boot(bank_spec(), config.clone()));
+        assert!(result.is_err(), "boot over existing WAL state must refuse");
+        // Recovery remains the sanctioned way in.
+        let recovered = ReactDB::recover(bank_spec(), config).unwrap();
+        assert_eq!(
+            recovered.invoke("acct-0", "balance", vec![]).unwrap(),
+            Value::Float(1.0)
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn durability_off_keeps_stats_at_zero() {
+        let db = boot(DeploymentConfig::shared_nothing(2));
+        db.invoke("acct-0", "deposit", vec![Value::Float(1.0)])
+            .unwrap();
+        assert!(db.wal().is_none());
+        assert!(
+            db.wal_sync().is_err(),
+            "sync without durability is an error"
+        );
+        assert_eq!(db.durable_epoch(), None);
+        assert_eq!(db.stats().log_bytes(), 0);
+        assert_eq!(db.stats().log_syncs(), 0);
     }
 
     #[test]
     fn load_row_bypasses_transactions_for_bulk_loading() {
         let db = ReactDB::boot(bank_spec(), DeploymentConfig::shared_nothing(2));
-        db.load_row("acct-1", "balance", Tuple::of([Value::Int(0), Value::Float(500.0)])).unwrap();
-        assert_eq!(db.invoke("acct-1", "balance", vec![]).unwrap(), Value::Float(500.0));
+        db.load_row(
+            "acct-1",
+            "balance",
+            Tuple::of([Value::Int(0), Value::Float(500.0)]),
+        )
+        .unwrap();
+        assert_eq!(
+            db.invoke("acct-1", "balance", vec![]).unwrap(),
+            Value::Float(500.0)
+        );
         assert_eq!(db.table("acct-1", "balance").unwrap().visible_len(), 1);
     }
 
     #[test]
     fn shutdown_is_idempotent_and_drops_cleanly() {
         let mut db = boot(DeploymentConfig::shared_everything_with_affinity(2));
-        db.invoke("acct-0", "deposit", vec![Value::Float(1.0)]).unwrap();
+        db.invoke("acct-0", "deposit", vec![Value::Float(1.0)])
+            .unwrap();
         db.shutdown();
         db.shutdown();
         // Submitting after shutdown reports a runtime error rather than
         // hanging.
-        let err = db.invoke("acct-0", "deposit", vec![Value::Float(1.0)]).unwrap_err();
+        let err = db
+            .invoke("acct-0", "deposit", vec![Value::Float(1.0)])
+            .unwrap_err();
         assert!(matches!(err, TxnError::Runtime(_)));
     }
 }

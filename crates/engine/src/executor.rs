@@ -29,7 +29,14 @@ impl ExecutorHandle {
     /// Creates an executor handle with an unbounded request queue.
     pub fn new(id: ExecutorId, container: ContainerId, mpl: usize) -> Self {
         let (sender, receiver) = unbounded();
-        Self { id, container, mpl: mpl.max(1), sender, receiver, tidgen: TidGen::new() }
+        Self {
+            id,
+            container,
+            mpl: mpl.max(1),
+            sender,
+            receiver,
+            tidgen: TidGen::new(),
+        }
     }
 
     /// Executor identifier.
@@ -82,8 +89,8 @@ impl ExecutorHandle {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use reactdb_common::TxnId;
     use crate::request::RootTxn;
+    use reactdb_common::TxnId;
     use reactdb_core::ReactorFuture;
 
     fn dummy_root_request() -> Request {

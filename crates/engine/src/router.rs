@@ -110,8 +110,7 @@ mod tests {
     #[test]
     fn round_robin_spreads_roots_across_executors() {
         let r = shared_everything_router(RouterPolicy::RoundRobin);
-        let picks: Vec<ExecutorId> =
-            (0..8).map(|_| r.route_root(ReactorId(0))).collect();
+        let picks: Vec<ExecutorId> = (0..8).map(|_| r.route_root(ReactorId(0))).collect();
         assert_eq!(picks[0], ExecutorId(0));
         assert_eq!(picks[1], ExecutorId(1));
         assert_eq!(picks[4], ExecutorId(0));
@@ -131,7 +130,10 @@ mod tests {
             assert_eq!(r.route_sub(ReactorId(reactor)), first);
         }
         // Reactors stripe over executors.
-        assert_ne!(r.affinity_executor_of(ReactorId(0)), r.affinity_executor_of(ReactorId(1)));
+        assert_ne!(
+            r.affinity_executor_of(ReactorId(0)),
+            r.affinity_executor_of(ReactorId(1))
+        );
     }
 
     #[test]
@@ -140,7 +142,11 @@ mod tests {
         // over containers by the deployment config.
         let r = Router::new(
             RouterPolicy::Affinity,
-            vec![vec![ExecutorId(0)], vec![ExecutorId(1)], vec![ExecutorId(2)]],
+            vec![
+                vec![ExecutorId(0)],
+                vec![ExecutorId(1)],
+                vec![ExecutorId(2)],
+            ],
             (0..9).map(|i| ContainerId(i % 3)).collect(),
         );
         assert_eq!(r.container_of(ReactorId(4)), ContainerId(1));

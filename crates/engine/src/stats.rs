@@ -5,6 +5,9 @@
 //! the workload code.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use reactdb_wal::WalStats;
 
 /// Monotonic counters describing what happened to root transactions.
 #[derive(Debug, Default)]
@@ -15,6 +18,10 @@ pub struct DbStats {
     dangerous_aborts: AtomicU64,
     sub_txns_dispatched: AtomicU64,
     sub_txns_inlined: AtomicU64,
+    recovered_txns: AtomicU64,
+    /// Durability counters, shared with the write-ahead log when one is
+    /// configured.
+    wal: OnceLock<Arc<WalStats>>,
 }
 
 impl DbStats {
@@ -41,6 +48,12 @@ impl DbStats {
     pub(crate) fn record_sub_inline(&self) {
         self.sub_txns_inlined.fetch_add(1, Ordering::Relaxed);
     }
+    pub(crate) fn record_recovered(&self, n: u64) {
+        self.recovered_txns.fetch_add(n, Ordering::Relaxed);
+    }
+    pub(crate) fn attach_wal(&self, stats: Arc<WalStats>) {
+        let _ = self.wal.set(stats);
+    }
 
     /// Root transactions that committed.
     pub fn committed(&self) -> u64 {
@@ -65,6 +78,34 @@ impl DbStats {
     /// Sub-transactions executed synchronously on the calling executor.
     pub fn sub_txns_inlined(&self) -> u64 {
         self.sub_txns_inlined.load(Ordering::Relaxed)
+    }
+
+    /// Transactions replayed from the write-ahead log by crash recovery.
+    pub fn recovered_txns(&self) -> u64 {
+        self.recovered_txns.load(Ordering::Relaxed)
+    }
+    /// Bytes of redo frames appended to the write-ahead log (0 when
+    /// durability is off).
+    pub fn log_bytes(&self) -> u64 {
+        self.wal.get().map(|w| w.bytes_logged()).unwrap_or(0)
+    }
+    /// Redo records appended to the write-ahead log.
+    pub fn log_records(&self) -> u64 {
+        self.wal.get().map(|w| w.records_logged()).unwrap_or(0)
+    }
+    /// Group commits (flush + fsync + durable-epoch advance) performed.
+    pub fn log_syncs(&self) -> u64 {
+        self.wal.get().map(|w| w.syncs()).unwrap_or(0)
+    }
+    /// Group commits that failed with an I/O error: non-zero and climbing
+    /// means the log device is unhealthy and the durable epoch is stalling.
+    pub fn log_sync_failures(&self) -> u64 {
+        self.wal.get().map(|w| w.sync_failures()).unwrap_or(0)
+    }
+    /// Highest epoch currently guaranteed durable (0 when durability is off
+    /// or nothing has been synced).
+    pub fn durable_epoch(&self) -> u64 {
+        self.wal.get().map(|w| w.durable_epoch()).unwrap_or(0)
     }
 
     /// Abort rate over attempted root transactions (cc aborts only, matching

@@ -1,0 +1,179 @@
+//! Offline shim for the `criterion` crate.
+//!
+//! Implements the API surface the workspace's benches use:
+//! [`Criterion::bench_function`], [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], [`black_box`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros. Measurement is a
+//! simple warm-up + timed-batch loop that reports the mean time per
+//! iteration; there is no statistical analysis or HTML report. Each bench
+//! function is budgeted ~`CRITERION_MEASURE_MS` milliseconds (env var,
+//! default 100) so that `cargo test`/`cargo bench` stay fast.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier, preventing the optimiser from deleting benchmarked
+/// work.
+pub fn black_box<T>(value: T) -> T {
+    hint::black_box(value)
+}
+
+/// Batch sizing hints for [`Bencher::iter_batched`]; the shim treats them
+/// identically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Timing collector handed to the closure of
+/// [`Criterion::bench_function`].
+pub struct Bencher {
+    measure_for: Duration,
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly and records the mean cost.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: a few unrecorded runs populate caches and lazy state.
+        for _ in 0..3 {
+            black_box(routine());
+        }
+        let start = Instant::now();
+        let mut iterations = 0u64;
+        while start.elapsed() < self.measure_for {
+            black_box(routine());
+            iterations += 1;
+        }
+        self.iterations = iterations.max(1);
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` on inputs produced by `setup`, excluding setup cost
+    /// from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..3 {
+            black_box(routine(setup()));
+        }
+        let mut measured = Duration::ZERO;
+        let mut iterations = 0u64;
+        let wall = Instant::now();
+        while measured < self.measure_for && wall.elapsed() < self.measure_for * 4 {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            measured += start.elapsed();
+            iterations += 1;
+        }
+        self.iterations = iterations.max(1);
+        self.elapsed = measured;
+    }
+}
+
+/// Benchmark registry and runner.
+pub struct Criterion {
+    measure_for: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let ms = std::env::var("CRITERION_MEASURE_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(100u64);
+        Self {
+            measure_for: Duration::from_millis(ms),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the per-benchmark measurement budget.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measure_for = d;
+        self
+    }
+
+    /// Runs one named benchmark and prints its mean iteration time.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher {
+            measure_for: self.measure_for,
+            iterations: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        let per_iter_ns = if bencher.iterations == 0 {
+            0.0
+        } else {
+            bencher.elapsed.as_nanos() as f64 / bencher.iterations as f64
+        };
+        println!(
+            "bench {name:<48} {:>12.1} ns/iter ({} iterations)",
+            per_iter_ns, bencher.iterations
+        );
+        self
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running every listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo test` runs bench binaries with `--test`; honour the
+            // flag by shrinking the measurement budget so the run is a
+            // compile-and-smoke check rather than a measurement.
+            if std::env::args().any(|a| a == "--test") {
+                std::env::set_var("CRITERION_MEASURE_MS", "1");
+            }
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_counts_iterations() {
+        let mut c = Criterion::default().measurement_time(Duration::from_millis(5));
+        let mut ran = 0u64;
+        c.bench_function("shim/self_test", |b| {
+            b.iter(|| {
+                ran += 1;
+                black_box(ran)
+            })
+        });
+        assert!(ran > 3, "routine should run during warm-up and measurement");
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        let mut c = Criterion::default().measurement_time(Duration::from_millis(5));
+        c.bench_function("shim/batched", |b| {
+            b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput)
+        });
+    }
+}

@@ -1,0 +1,424 @@
+//! Offline shim for the `serde` crate.
+//!
+//! The real serde is visitor-based; this shim uses a simple tree data model
+//! ([`Content`]) instead: `Serialize` renders a value into a `Content` tree
+//! and `Deserialize` rebuilds a value from one. The derive macros (from the
+//! sibling `serde_derive` shim) generate impls following serde's external
+//! tagging conventions, so JSON produced by `serde_json` (shim) is
+//! byte-compatible with what the real stack would emit for the types in
+//! this workspace.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The serialized form of any value: a JSON-like tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// Null / unit.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer.
+    U64(u64),
+    /// Floating point.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Sequence (array).
+    Seq(Vec<Content>),
+    /// Ordered map with string keys (object).
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// The fields of a map, if this is one.
+    pub fn as_map(&self) -> Option<&[(String, Content)]> {
+        match self {
+            Content::Map(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// The elements of a sequence, if this is one.
+    pub fn as_seq(&self) -> Option<&[Content]> {
+        match self {
+            Content::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string, if this is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Content::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Error produced when a [`Content`] tree does not match the target type.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// Builds a "wrong shape" error.
+    pub fn expected(what: &str, ty: &str) -> Self {
+        DeError(format!("expected {what} while deserializing {ty}"))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "deserialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Looks up a field in a map's entries; used by derived `Deserialize`
+/// impls.
+pub fn content_field<'a>(
+    entries: &'a [(String, Content)],
+    name: &str,
+    ty: &str,
+) -> Result<&'a Content, DeError> {
+    entries
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v)
+        .ok_or_else(|| DeError(format!("missing field `{name}` while deserializing {ty}")))
+}
+
+/// Serialization into the [`Content`] tree model.
+pub trait Serialize {
+    /// Renders `self` as a content tree.
+    fn serialize_content(&self) -> Content;
+}
+
+/// Deserialization from the [`Content`] tree model.
+pub trait Deserialize: Sized {
+    /// Rebuilds a value from a content tree.
+    fn deserialize_content(content: &Content) -> Result<Self, DeError>;
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! ser_de_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_content(&self) -> Content {
+                Content::I64(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_content(content: &Content) -> Result<Self, DeError> {
+                match content {
+                    Content::I64(v) => Ok(*v as $t),
+                    Content::U64(v) => Ok(*v as $t),
+                    _ => Err(DeError::expected("integer", stringify!($t))),
+                }
+            }
+        }
+    )*};
+}
+
+macro_rules! ser_de_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_content(&self) -> Content {
+                Content::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_content(content: &Content) -> Result<Self, DeError> {
+                match content {
+                    Content::U64(v) => Ok(*v as $t),
+                    Content::I64(v) if *v >= 0 => Ok(*v as $t),
+                    _ => Err(DeError::expected("unsigned integer", stringify!($t))),
+                }
+            }
+        }
+    )*};
+}
+
+ser_de_signed!(i8, i16, i32, i64, isize);
+ser_de_unsigned!(u8, u16, u32, u64, usize);
+
+impl Serialize for f64 {
+    fn serialize_content(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::F64(v) => Ok(*v),
+            Content::I64(v) => Ok(*v as f64),
+            Content::U64(v) => Ok(*v as f64),
+            _ => Err(DeError::expected("number", "f64")),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize_content(&self) -> Content {
+        Content::F64(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize_content(content: &Content) -> Result<Self, DeError> {
+        f64::deserialize_content(content).map(|v| v as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn serialize_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Bool(v) => Ok(*v),
+            _ => Err(DeError::expected("boolean", "bool")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Str(s) => Ok(s.clone()),
+            _ => Err(DeError::expected("string", "String")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize_content(&self) -> Content {
+        Content::Str(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn serialize_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Serialize for () {
+    fn serialize_content(&self) -> Content {
+        Content::Null
+    }
+}
+
+impl Deserialize for () {
+    fn deserialize_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Null => Ok(()),
+            _ => Err(DeError::expected("null", "()")),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Containers
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_content(&self) -> Content {
+        (**self).serialize_content()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize_content(&self) -> Content {
+        (**self).serialize_content()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize_content(content: &Content) -> Result<Self, DeError> {
+        T::deserialize_content(content).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_content(&self) -> Content {
+        match self {
+            Some(v) => v.serialize_content(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Null => Ok(None),
+            other => T::deserialize_content(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_content(content: &Content) -> Result<Self, DeError> {
+        content
+            .as_seq()
+            .ok_or_else(|| DeError::expected("sequence", "Vec"))?
+            .iter()
+            .map(T::deserialize_content)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize_content).collect())
+    }
+}
+
+macro_rules! tuple_ser_de {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize_content(&self) -> Content {
+                Content::Seq(vec![$(self.$idx.serialize_content()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn deserialize_content(content: &Content) -> Result<Self, DeError> {
+                let items = content
+                    .as_seq()
+                    .ok_or_else(|| DeError::expected("sequence", "tuple"))?;
+                let mut iter = items.iter();
+                let out = ($(
+                    $name::deserialize_content(
+                        iter.next().ok_or_else(|| DeError::expected("longer sequence", "tuple"))?,
+                    )?,
+                )+);
+                Ok(out)
+            }
+        }
+    )*};
+}
+
+tuple_ser_de! {
+    (A:0)
+    (A:0, B:1)
+    (A:0, B:1, C:2)
+    (A:0, B:1, C:2, D:3)
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn serialize_content(&self) -> Content {
+        let mut entries: Vec<(String, Content)> = self
+            .iter()
+            .map(|(k, v)| (k.clone(), v.serialize_content()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Content::Map(entries)
+    }
+}
+
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn deserialize_content(content: &Content) -> Result<Self, DeError> {
+        content
+            .as_map()
+            .ok_or_else(|| DeError::expected("map", "HashMap"))?
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::deserialize_content(v)?)))
+            .collect()
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn serialize_content(&self) -> Content {
+        Content::Map(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.serialize_content()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn deserialize_content(content: &Content) -> Result<Self, DeError> {
+        content
+            .as_map()
+            .ok_or_else(|| DeError::expected("map", "BTreeMap"))?
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::deserialize_content(v)?)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(i64::deserialize_content(&5i64.serialize_content()), Ok(5));
+        assert_eq!(u64::deserialize_content(&7u64.serialize_content()), Ok(7));
+        assert_eq!(
+            f64::deserialize_content(&1.5f64.serialize_content()),
+            Ok(1.5)
+        );
+        assert_eq!(
+            bool::deserialize_content(&true.serialize_content()),
+            Ok(true)
+        );
+        assert_eq!(
+            String::deserialize_content(&"x".to_owned().serialize_content()),
+            Ok("x".to_owned())
+        );
+    }
+
+    #[test]
+    fn options_and_vecs_roundtrip() {
+        let v: Option<u64> = None;
+        assert_eq!(v.serialize_content(), Content::Null);
+        assert_eq!(Option::<u64>::deserialize_content(&Content::Null), Ok(None));
+        let xs = vec![1u64, 2, 3];
+        assert_eq!(
+            Vec::<u64>::deserialize_content(&xs.serialize_content()),
+            Ok(xs)
+        );
+    }
+
+    #[test]
+    fn tuples_roundtrip() {
+        let t = ("a".to_owned(), 2.5f64);
+        let c = t.serialize_content();
+        assert_eq!(<(String, f64)>::deserialize_content(&c), Ok(t));
+    }
+
+    #[test]
+    fn shape_mismatch_is_reported() {
+        assert!(bool::deserialize_content(&Content::I64(1)).is_err());
+        assert!(Vec::<u64>::deserialize_content(&Content::Str("no".into())).is_err());
+        let err = content_field(&[], "missing", "T").unwrap_err();
+        assert!(err.0.contains("missing"));
+    }
+}

@@ -1,0 +1,446 @@
+//! Offline shim for `serde_derive`.
+//!
+//! A hand-written proc macro (the environment has no `syn`/`quote`) that
+//! parses the derive input token stream directly and emits impls of the shim
+//! serde's tree-model traits. Supports the shapes used in this workspace:
+//!
+//! * structs with named fields,
+//! * tuple structs (including newtypes such as the id types),
+//! * unit structs,
+//! * enums with unit, newtype, tuple and struct variants,
+//!
+//! following serde's externally-tagged representation. Generic types are not
+//! supported and produce a compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Fields {
+    /// Named fields, in declaration order.
+    Named(Vec<String>),
+    /// Tuple fields; only the count matters.
+    Tuple(usize),
+    /// No fields.
+    Unit,
+}
+
+#[derive(Debug)]
+enum Shape {
+    Struct(Fields),
+    Enum(Vec<(String, Fields)>),
+}
+
+struct Input {
+    name: String,
+    shape: Shape,
+}
+
+/// Derives the shim `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+/// Derives the shim `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, generate: fn(&Input) -> String) -> TokenStream {
+    match parse_input(input) {
+        Ok(parsed) => generate(&parsed).parse().expect("generated impl parses"),
+        Err(msg) => format!("compile_error!({msg:?});")
+            .parse()
+            .expect("error token"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_input(input: TokenStream) -> Result<Input, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0usize;
+
+    skip_attributes(&tokens, &mut i);
+    skip_visibility(&tokens, &mut i);
+
+    let keyword = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    i += 1;
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    i += 1;
+
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde shim derive does not support generic type `{name}`"
+        ));
+    }
+
+    let shape = match keyword.as_str() {
+        "struct" => Shape::Struct(parse_struct_body(&tokens, &mut i)?),
+        "enum" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => return Err(format!("expected enum body, found {other:?}")),
+            };
+            Shape::Enum(parse_variants(body)?)
+        }
+        other => return Err(format!("expected `struct` or `enum`, found `{other}`")),
+    };
+
+    Ok(Input { name, shape })
+}
+
+fn skip_attributes(tokens: &[TokenTree], i: &mut usize) {
+    while matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        *i += 1;
+        if matches!(tokens.get(*i), Some(TokenTree::Group(_))) {
+            *i += 1;
+        }
+    }
+}
+
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(tokens.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(
+            tokens.get(*i),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            *i += 1;
+        }
+    }
+}
+
+fn parse_struct_body(tokens: &[TokenTree], i: &mut usize) -> Result<Fields, String> {
+    match tokens.get(*i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            Ok(Fields::Named(parse_named_fields(g.stream())?))
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Ok(Fields::Tuple(count_tuple_fields(g.stream())))
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Fields::Unit),
+        other => Err(format!("unsupported struct body: {other:?}")),
+    }
+}
+
+/// Parses `name: Type, ...` field lists, skipping attributes, visibility and
+/// type tokens (commas inside generic angle brackets are not separators).
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut names = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i);
+        skip_visibility(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => {
+                return Err(format!(
+                    "expected `:` after field `{name}`, found {other:?}"
+                ))
+            }
+        }
+        names.push(name);
+        skip_type(&tokens, &mut i);
+    }
+    Ok(names)
+}
+
+/// Advances past a type, stopping after the next top-level `,` (or at the
+/// end). Tracks angle-bracket depth so `Vec<(String, f64)>`-style types do
+/// not split early.
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0i32;
+    while let Some(tok) = tokens.get(*i) {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                *i += 1;
+                return;
+            }
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 0usize;
+    let mut i = 0usize;
+    while i < tokens.len() {
+        count += 1;
+        skip_type(&tokens, &mut i);
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<(String, Fields)>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push((name, fields));
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Code generation: Serialize
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::Struct(Fields::Named(fields)) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), \
+                         ::serde::Serialize::serialize_content(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Content::Map(::std::vec![{}])", entries.join(", "))
+        }
+        Shape::Struct(Fields::Tuple(1)) => {
+            "::serde::Serialize::serialize_content(&self.0)".to_owned()
+        }
+        Shape::Struct(Fields::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|idx| format!("::serde::Serialize::serialize_content(&self.{idx})"))
+                .collect();
+            format!("::serde::Content::Seq(::std::vec![{}])", items.join(", "))
+        }
+        Shape::Struct(Fields::Unit) => "::serde::Content::Null".to_owned(),
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(vname, fields)| match fields {
+                    Fields::Unit => format!(
+                        "{name}::{vname} => \
+                         ::serde::Content::Str(::std::string::String::from({vname:?})),"
+                    ),
+                    Fields::Tuple(1) => format!(
+                        "{name}::{vname}(f0) => ::serde::Content::Map(::std::vec![(\
+                         ::std::string::String::from({vname:?}), \
+                         ::serde::Serialize::serialize_content(f0))]),"
+                    ),
+                    Fields::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|k| format!("f{k}")).collect();
+                        let items: Vec<String> = (0..*n)
+                            .map(|k| format!("::serde::Serialize::serialize_content(f{k})"))
+                            .collect();
+                        format!(
+                            "{name}::{vname}({binds}) => ::serde::Content::Map(::std::vec![(\
+                             ::std::string::String::from({vname:?}), \
+                             ::serde::Content::Seq(::std::vec![{items}]))]),",
+                            binds = binders.join(", "),
+                            items = items.join(", ")
+                        )
+                    }
+                    Fields::Named(fs) => {
+                        let binders = fs.join(", ");
+                        let entries: Vec<String> = fs
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from({f:?}), \
+                                     ::serde::Serialize::serialize_content({f}))"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{vname} {{ {binders} }} => ::serde::Content::Map(::std::vec![(\
+                             ::std::string::String::from({vname:?}), \
+                             ::serde::Content::Map(::std::vec![{entries}]))]),",
+                            entries = entries.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join("\n"))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn serialize_content(&self) -> ::serde::Content {{ {body} }}\n\
+         }}"
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Code generation: Deserialize
+// ---------------------------------------------------------------------------
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::Struct(Fields::Named(fields)) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::deserialize_content(\
+                         ::serde::content_field(entries, {f:?}, {name:?})?)?,"
+                    )
+                })
+                .collect();
+            format!(
+                "let entries = content.as_map().ok_or_else(|| \
+                 ::serde::DeError::expected(\"map\", {name:?}))?;\n\
+                 ::std::result::Result::Ok({name} {{ {} }})",
+                inits.join("\n")
+            )
+        }
+        Shape::Struct(Fields::Tuple(1)) => format!(
+            "::std::result::Result::Ok({name}(\
+             ::serde::Deserialize::deserialize_content(content)?))"
+        ),
+        Shape::Struct(Fields::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Deserialize::deserialize_content(&items[{k}])?"))
+                .collect();
+            format!(
+                "let items = content.as_seq().ok_or_else(|| \
+                 ::serde::DeError::expected(\"sequence\", {name:?}))?;\n\
+                 if items.len() != {n} {{ return ::std::result::Result::Err(\
+                 ::serde::DeError::expected(\"{n} elements\", {name:?})); }}\n\
+                 ::std::result::Result::Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Shape::Struct(Fields::Unit) => format!(
+            "match content {{\n\
+             ::serde::Content::Null => ::std::result::Result::Ok({name}),\n\
+             _ => ::std::result::Result::Err(::serde::DeError::expected(\"null\", {name:?})),\n\
+             }}"
+        ),
+        Shape::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, f)| matches!(f, Fields::Unit))
+                .map(|(vname, _)| {
+                    format!("{vname:?} => ::std::result::Result::Ok({name}::{vname}),")
+                })
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, f)| !matches!(f, Fields::Unit))
+                .map(|(vname, fields)| match fields {
+                    Fields::Tuple(1) => format!(
+                        "{vname:?} => ::std::result::Result::Ok({name}::{vname}(\
+                         ::serde::Deserialize::deserialize_content(payload)?)),"
+                    ),
+                    Fields::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|k| {
+                                format!("::serde::Deserialize::deserialize_content(&items[{k}])?")
+                            })
+                            .collect();
+                        format!(
+                            "{vname:?} => {{\n\
+                             let items = payload.as_seq().ok_or_else(|| \
+                             ::serde::DeError::expected(\"sequence\", {name:?}))?;\n\
+                             if items.len() != {n} {{ return ::std::result::Result::Err(\
+                             ::serde::DeError::expected(\"{n} elements\", {name:?})); }}\n\
+                             ::std::result::Result::Ok({name}::{vname}({}))\n\
+                             }}",
+                            items.join(", ")
+                        )
+                    }
+                    Fields::Named(fs) => {
+                        let inits: Vec<String> = fs
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::Deserialize::deserialize_content(\
+                                     ::serde::content_field(fields, {f:?}, {name:?})?)?,"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{vname:?} => {{\n\
+                             let fields = payload.as_map().ok_or_else(|| \
+                             ::serde::DeError::expected(\"map\", {name:?}))?;\n\
+                             ::std::result::Result::Ok({name}::{vname} {{ {} }})\n\
+                             }}",
+                            inits.join("\n")
+                        )
+                    }
+                    Fields::Unit => unreachable!("filtered above"),
+                })
+                .collect();
+            format!(
+                "match content {{\n\
+                 ::serde::Content::Str(s) => match s.as_str() {{\n\
+                 {unit_arms}\n\
+                 other => ::std::result::Result::Err(::serde::DeError(::std::format!(\
+                 \"unknown variant `{{other}}` of {name}\"))),\n\
+                 }},\n\
+                 ::serde::Content::Map(entries) if entries.len() == 1 => {{\n\
+                 let (tag, payload) = &entries[0];\n\
+                 match tag.as_str() {{\n\
+                 {tagged_arms}\n\
+                 other => ::std::result::Result::Err(::serde::DeError(::std::format!(\
+                 \"unknown variant `{{other}}` of {name}\"))),\n\
+                 }}\n\
+                 }},\n\
+                 _ => ::std::result::Result::Err(::serde::DeError::expected(\
+                 \"variant string or single-entry map\", {name:?})),\n\
+                 }}",
+                unit_arms = unit_arms.join("\n"),
+                tagged_arms = tagged_arms.join("\n"),
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn deserialize_content(content: &::serde::Content) -> \
+         ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n\
+         }}"
+    )
+}

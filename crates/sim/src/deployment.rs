@@ -45,13 +45,21 @@ impl SimDeployment {
     }
 
     /// Builds a deployment with an explicit reactor-to-executor map.
-    pub fn explicit(strategy: SimStrategy, executors: usize, executor_of_reactor: Vec<usize>) -> Self {
+    pub fn explicit(
+        strategy: SimStrategy,
+        executors: usize,
+        executor_of_reactor: Vec<usize>,
+    ) -> Self {
         assert!(executors > 0, "need at least one executor");
         assert!(
             executor_of_reactor.iter().all(|e| *e < executors),
             "reactor mapped to a nonexistent executor"
         );
-        Self { strategy, executors, executor_of_reactor }
+        Self {
+            strategy,
+            executors,
+            executor_of_reactor,
+        }
     }
 
     /// Executor owning `reactor`.
@@ -67,7 +75,8 @@ impl SimDeployment {
     pub fn inlines_subtxns(&self) -> bool {
         matches!(
             self.strategy,
-            SimStrategy::SharedEverythingWithoutAffinity | SimStrategy::SharedEverythingWithAffinity
+            SimStrategy::SharedEverythingWithoutAffinity
+                | SimStrategy::SharedEverythingWithAffinity
         )
     }
 

@@ -64,7 +64,10 @@ impl SimReport {
         if self.makespan_us <= 0.0 {
             return vec![0.0; self.busy_us.len()];
         }
-        self.busy_us.iter().map(|b| (b / self.makespan_us).min(1.0)).collect()
+        self.busy_us
+            .iter()
+            .map(|b| (b / self.makespan_us).min(1.0))
+            .collect()
     }
 
     /// p-th latency percentile in microseconds.
@@ -86,9 +89,21 @@ mod tests {
     fn report() -> SimReport {
         SimReport {
             samples: vec![
-                TxnSample { worker: 0, start_us: 0.0, end_us: 100.0 },
-                TxnSample { worker: 0, start_us: 100.0, end_us: 300.0 },
-                TxnSample { worker: 1, start_us: 0.0, end_us: 200.0 },
+                TxnSample {
+                    worker: 0,
+                    start_us: 0.0,
+                    end_us: 100.0,
+                },
+                TxnSample {
+                    worker: 0,
+                    start_us: 100.0,
+                    end_us: 300.0,
+                },
+                TxnSample {
+                    worker: 1,
+                    start_us: 0.0,
+                    end_us: 200.0,
+                },
             ],
             busy_us: vec![150.0, 300.0],
             makespan_us: 300.0,

@@ -110,7 +110,7 @@ impl Simulator {
             let mut next: Option<usize> = None;
             for w in 0..workers {
                 if issued[w] < txns_per_worker
-                    && next.map_or(true, |n| worker_ready[w] < worker_ready[n])
+                    && next.is_none_or(|n| worker_ready[w] < worker_ready[n])
                 {
                     next = Some(w);
                 }
@@ -121,12 +121,20 @@ impl Simulator {
             let txn = workload.next_txn(w, &mut rng);
             let start = worker_ready[w];
             let end = self.run_root(&txn, start, &mut state);
-            samples.push(TxnSample { worker: w, start_us: start, end_us: end });
+            samples.push(TxnSample {
+                worker: w,
+                start_us: start,
+                end_us: end,
+            });
             worker_ready[w] = end;
             makespan = makespan.max(end);
         }
 
-        SimReport { samples, busy_us: state.busy_us, makespan_us: makespan }
+        SimReport {
+            samples,
+            busy_us: state.busy_us,
+            makespan_us: makespan,
+        }
     }
 
     /// Executes one root transaction starting (from the client's point of
@@ -349,9 +357,8 @@ mod tests {
     #[test]
     fn two_pc_surcharge_applies_only_to_multi_container_transactions() {
         let local = |_: usize, _: &mut StdRng| SimTxn::leaf(0, 10.0);
-        let remote = |_: usize, _: &mut StdRng| {
-            SimTxn::leaf(0, 10.0).with_sync(SimTxn::leaf(1, 0.0))
-        };
+        let remote =
+            |_: usize, _: &mut StdRng| SimTxn::leaf(0, 10.0).with_sync(SimTxn::leaf(1, 0.0));
         let sim = Simulator::new(
             SimDeployment::striped(SimStrategy::SharedNothing, 2, 2),
             costs(),

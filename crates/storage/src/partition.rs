@@ -32,11 +32,10 @@ impl Partition {
     pub fn create_reactor(&self, reactor: ReactorId, relations: &[RelationDef]) {
         let mut tables = self.tables.write();
         for def in relations {
-            let table = Arc::new(Table::with_indexes(
-                def.name.clone(),
-                def.schema.clone(),
-                &def.secondary_indexes,
-            ));
+            let table = Arc::new(
+                Table::with_indexes(def.name.clone(), def.schema.clone(), &def.secondary_indexes)
+                    .with_owner(reactor),
+            );
             tables.insert((reactor, def.name.clone()), table);
         }
     }
@@ -81,10 +80,16 @@ mod tests {
 
     fn defs() -> Vec<RelationDef> {
         vec![
-            RelationDef::new("account", Schema::of(&[("name", ColumnType::Str)], &["name"])),
+            RelationDef::new(
+                "account",
+                Schema::of(&[("name", ColumnType::Str)], &["name"]),
+            ),
             RelationDef::new(
                 "savings",
-                Schema::of(&[("cust_id", ColumnType::Int), ("balance", ColumnType::Float)], &["cust_id"]),
+                Schema::of(
+                    &[("cust_id", ColumnType::Int), ("balance", ColumnType::Float)],
+                    &["cust_id"],
+                ),
             ),
         ]
     }
@@ -99,7 +104,10 @@ mod tests {
         assert!(!p.hosts_reactor(ReactorId(7)));
         let t = p.table(ReactorId(0), "savings").unwrap();
         assert_eq!(t.name(), "savings");
-        assert_eq!(p.relations_of(ReactorId(1)), vec!["account".to_owned(), "savings".to_owned()]);
+        assert_eq!(
+            p.relations_of(ReactorId(1)),
+            vec!["account".to_owned(), "savings".to_owned()]
+        );
     }
 
     #[test]

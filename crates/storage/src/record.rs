@@ -39,7 +39,10 @@ impl Record {
     /// Creates a record that is immediately visible with the given TID.
     /// Used by non-transactional bulk loading.
     pub fn new_loaded(data: Tuple, tid: TidWord) -> RecordRef {
-        Arc::new(Self { meta: AtomicU64::new(tid.raw()), data: RwLock::new(data) })
+        Arc::new(Self {
+            meta: AtomicU64::new(tid.raw()),
+            data: RwLock::new(data),
+        })
     }
 
     /// Loads the current TID word.
@@ -82,7 +85,12 @@ impl Record {
             return false;
         }
         self.meta
-            .compare_exchange(cur, word.locked().raw(), Ordering::AcqRel, Ordering::Acquire)
+            .compare_exchange(
+                cur,
+                word.locked().raw(),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            )
             .is_ok()
     }
 
@@ -110,14 +118,19 @@ impl Record {
     pub fn install(&self, data: Tuple, tid: TidWord) {
         debug_assert!(self.tid().is_locked(), "install requires the record lock");
         *self.data.write() = data;
-        self.meta.store(tid.as_present().unlocked().raw(), Ordering::Release);
+        self.meta
+            .store(tid.as_present().unlocked().raw(), Ordering::Release);
     }
 
     /// Marks the record logically deleted with the given commit TID and
     /// releases the lock. Must be called while holding the record lock.
     pub fn install_delete(&self, tid: TidWord) {
-        debug_assert!(self.tid().is_locked(), "install_delete requires the record lock");
-        self.meta.store(tid.as_absent().unlocked().raw(), Ordering::Release);
+        debug_assert!(
+            self.tid().is_locked(),
+            "install_delete requires the record lock"
+        );
+        self.meta
+            .store(tid.as_absent().unlocked().raw(), Ordering::Release);
     }
 
     /// True if the record is currently visible (committed, not deleted).
@@ -187,7 +200,10 @@ mod tests {
     fn concurrent_readers_never_observe_torn_versions() {
         use std::sync::atomic::{AtomicBool, Ordering};
         use std::sync::Arc;
-        let r = Record::new_loaded(Tuple::of([Value::Int(0), Value::Int(0)]), TidWord::committed(1, 0));
+        let r = Record::new_loaded(
+            Tuple::of([Value::Int(0), Value::Int(0)]),
+            TidWord::committed(1, 0),
+        );
         let stop = Arc::new(AtomicBool::new(false));
         let reader = {
             let r = Arc::clone(&r);
@@ -203,7 +219,10 @@ mod tests {
         };
         for i in 1..500i64 {
             r.lock();
-            r.install(Tuple::of([Value::Int(i), Value::Int(i)]), TidWord::committed(1, i as u64));
+            r.install(
+                Tuple::of([Value::Int(i), Value::Int(i)]),
+                TidWord::committed(1, i as u64),
+            );
         }
         stop.store(true, Ordering::Relaxed);
         reader.join().unwrap();

@@ -50,7 +50,10 @@ pub struct Column {
 impl Column {
     /// Creates a column.
     pub fn new(name: impl Into<String>, ty: ColumnType) -> Self {
-        Self { name: name.into(), ty }
+        Self {
+            name: name.into(),
+            ty,
+        }
     }
 }
 
@@ -71,7 +74,11 @@ impl Schema {
     pub fn new(columns: Vec<Column>, key_columns: &[&str]) -> Self {
         let mut seen = std::collections::HashSet::new();
         for c in &columns {
-            assert!(seen.insert(c.name.clone()), "duplicate column name {}", c.name);
+            assert!(
+                seen.insert(c.name.clone()),
+                "duplicate column name {}",
+                c.name
+            );
         }
         let key_positions = key_columns
             .iter()
@@ -82,12 +89,18 @@ impl Schema {
                     .unwrap_or_else(|| panic!("key column {k} not in schema"))
             })
             .collect();
-        Self { columns, key_positions }
+        Self {
+            columns,
+            key_positions,
+        }
     }
 
     /// Convenience constructor from `(name, type)` pairs.
     pub fn of(cols: &[(&str, ColumnType)], key_columns: &[&str]) -> Self {
-        Self::new(cols.iter().map(|(n, t)| Column::new(*n, *t)).collect(), key_columns)
+        Self::new(
+            cols.iter().map(|(n, t)| Column::new(*n, *t)).collect(),
+            key_columns,
+        )
     }
 
     /// The columns in declaration order.
@@ -113,10 +126,11 @@ impl Schema {
     /// Resolves a column name to its position, reporting a transaction
     /// error mentioning `relation` when it does not exist.
     pub fn require(&self, relation: &str, name: &str) -> Result<usize, TxnError> {
-        self.position_of(name).ok_or_else(|| TxnError::UnknownColumn {
-            relation: relation.to_owned(),
-            column: name.to_owned(),
-        })
+        self.position_of(name)
+            .ok_or_else(|| TxnError::UnknownColumn {
+                relation: relation.to_owned(),
+                column: name.to_owned(),
+            })
     }
 
     /// Validates a row against the schema: arity and column types.
@@ -155,12 +169,17 @@ pub struct RelationDef {
 impl RelationDef {
     /// Creates a relation definition without secondary indexes.
     pub fn new(name: impl Into<String>, schema: Schema) -> Self {
-        Self { name: name.into(), schema, secondary_indexes: Vec::new() }
+        Self {
+            name: name.into(),
+            schema,
+            secondary_indexes: Vec::new(),
+        }
     }
 
     /// Adds a secondary index over the named columns.
     pub fn with_index(mut self, columns: &[&str]) -> Self {
-        self.secondary_indexes.push(columns.iter().map(|c| (*c).to_owned()).collect());
+        self.secondary_indexes
+            .push(columns.iter().map(|c| (*c).to_owned()).collect());
         self
     }
 }
@@ -171,7 +190,11 @@ mod tests {
 
     fn account_schema() -> Schema {
         Schema::of(
-            &[("name", ColumnType::Str), ("cust_id", ColumnType::Int), ("balance", ColumnType::Float)],
+            &[
+                ("name", ColumnType::Str),
+                ("cust_id", ColumnType::Int),
+                ("balance", ColumnType::Float),
+            ],
             &["name"],
         )
     }
@@ -200,7 +223,9 @@ mod tests {
             .validate("account", &["bob".into(), 1i64.into(), 10.5f64.into()])
             .is_ok());
         // Int admissible in Float column.
-        assert!(s.validate("account", &["bob".into(), 1i64.into(), 10i64.into()]).is_ok());
+        assert!(s
+            .validate("account", &["bob".into(), 1i64.into(), 10i64.into()])
+            .is_ok());
         // NULL admissible anywhere.
         assert!(s
             .validate("account", &[Value::Null, Value::Null, Value::Null])

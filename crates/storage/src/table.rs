@@ -14,7 +14,7 @@ use std::ops::Bound;
 use std::sync::Arc;
 
 use parking_lot::RwLock;
-use reactdb_common::{Key, Result, TxnError};
+use reactdb_common::{Key, ReactorId, Result, TxnError};
 
 use crate::record::{Record, RecordRef};
 use crate::schema::Schema;
@@ -23,7 +23,7 @@ use crate::tuple::Tuple;
 
 /// Definition of a secondary index: the positions of the indexed columns in
 /// the table schema.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct SecondaryIndexDef {
     /// Human-readable name (derived from the column list).
     pub name: String,
@@ -37,17 +37,15 @@ struct SecondaryIndex {
     map: RwLock<BTreeMap<Key, BTreeSet<Key>>>,
 }
 
-impl Default for SecondaryIndexDef {
-    fn default() -> Self {
-        Self { name: String::new(), positions: Vec::new() }
-    }
-}
-
 /// A relation instance: schema + primary index + secondary indexes.
 #[derive(Debug)]
 pub struct Table {
     name: String,
     schema: Schema,
+    /// Reactor whose state this relation instance belongs to. Defaults to
+    /// reactor 0 for tables created outside a partition (unit tests); the
+    /// durability layer uses it to address redo records.
+    owner: ReactorId,
     primary: RwLock<BTreeMap<Key, RecordRef>>,
     secondary: Vec<SecondaryIndex>,
 }
@@ -58,6 +56,7 @@ impl Table {
         Self {
             name: name.into(),
             schema,
+            owner: ReactorId(0),
             primary: RwLock::new(BTreeMap::new()),
             secondary: Vec::new(),
         }
@@ -85,11 +84,32 @@ impl Table {
                 })
                 .collect();
             indexes.push(SecondaryIndex {
-                def: SecondaryIndexDef { name: cols.join("+"), positions },
+                def: SecondaryIndexDef {
+                    name: cols.join("+"),
+                    positions,
+                },
                 map: RwLock::new(BTreeMap::new()),
             });
         }
-        Self { name, schema, primary: RwLock::new(BTreeMap::new()), secondary: indexes }
+        Self {
+            name,
+            schema,
+            owner: ReactorId(0),
+            primary: RwLock::new(BTreeMap::new()),
+            secondary: indexes,
+        }
+    }
+
+    /// Sets the owning reactor (builder style; used by
+    /// [`crate::Partition::create_reactor`]).
+    pub fn with_owner(mut self, owner: ReactorId) -> Self {
+        self.owner = owner;
+        self
+    }
+
+    /// Reactor whose state this relation instance belongs to.
+    pub fn owner(&self) -> ReactorId {
+        self.owner
     }
 
     /// Table (relation) name.
@@ -115,7 +135,11 @@ impl Table {
 
     /// Number of visible rows.
     pub fn visible_len(&self) -> usize {
-        self.primary.read().values().filter(|r| r.is_visible()).count()
+        self.primary
+            .read()
+            .values()
+            .filter(|r| r.is_visible())
+            .count()
     }
 
     /// Looks up the record slot for a primary key, visible or not.
@@ -146,6 +170,15 @@ impl Table {
     /// Non-transactional bulk load of one row (used by benchmark loaders
     /// before measurement starts). Maintains secondary indexes.
     pub fn load_row(&self, row: Tuple) -> Result<()> {
+        self.load_row_with_tid(row, TidWord::committed(0, 0))
+    }
+
+    /// Like [`Table::load_row`] but installs the row under a caller-chosen
+    /// version. The durability layer uses this so the physical TID matches
+    /// the logged TID: any later commit touching the row then observes (and
+    /// exceeds) it, which is what makes TID-ordered replay consistent with
+    /// the conflict order.
+    pub fn load_row_with_tid(&self, row: Tuple, tid: TidWord) -> Result<()> {
         self.schema.validate(&self.name, row.values())?;
         let key = row.primary_key(&self.schema);
         let mut primary = self.primary.write();
@@ -157,7 +190,7 @@ impl Table {
                 });
             }
         }
-        let record = Record::new_loaded(row.clone(), TidWord::committed(0, 0));
+        let record = Record::new_loaded(row.clone(), tid);
         primary.insert(key.clone(), record);
         drop(primary);
         self.index_insert(&key, &row);
@@ -167,11 +200,7 @@ impl Table {
     /// Visible rows in primary-key order within `[low, high]` bounds
     /// (unbounded when `None`). Returns cloned tuples with their keys and
     /// the record handles so the OCC layer can register reads.
-    pub fn range(
-        &self,
-        low: Bound<&Key>,
-        high: Bound<&Key>,
-    ) -> Vec<(Key, RecordRef)> {
+    pub fn range(&self, low: Bound<&Key>, high: Bound<&Key>) -> Vec<(Key, RecordRef)> {
         let primary = self.primary.read();
         primary
             .range((low.cloned(), high.cloned()))
@@ -182,7 +211,10 @@ impl Table {
     /// All record slots in primary-key order.
     pub fn scan(&self) -> Vec<(Key, RecordRef)> {
         let primary = self.primary.read();
-        primary.iter().map(|(k, r)| (k.clone(), Arc::clone(r))).collect()
+        primary
+            .iter()
+            .map(|(k, r)| (k.clone(), Arc::clone(r)))
+            .collect()
     }
 
     /// Primary keys currently associated with `index_key` in secondary index
@@ -212,6 +244,40 @@ impl Table {
         map.range((low.cloned(), high.cloned()))
             .flat_map(|(ik, pks)| pks.iter().map(move |pk| (ik.clone(), pk.clone())))
             .collect()
+    }
+
+    /// Applies one redo record during crash recovery: installs `image` (or a
+    /// logical delete when `None`) at `key` with the recorded commit TID,
+    /// maintaining secondary indexes. Recovery replays records in TID order
+    /// on a database that is not yet accepting transactions, so the record
+    /// lock is only held to satisfy the install protocol.
+    pub fn replay(&self, key: &Key, image: Option<&Tuple>, tid: TidWord) {
+        match image {
+            Some(row) => {
+                let (record, _created) = self.get_or_create(key.clone(), row.clone());
+                let was_visible = record.is_visible();
+                let before = record.read_unguarded();
+                record.lock();
+                record.install(row.clone(), tid);
+                if was_visible {
+                    self.index_update(key, &before, row);
+                } else {
+                    self.index_insert(key, row);
+                }
+            }
+            None => {
+                // The slot exists whenever the matching insert was replayed;
+                // epoch-prefix durability guarantees that, because the insert
+                // committed in an epoch no later than the delete's.
+                if let Some(record) = self.get(key) {
+                    if record.is_visible() {
+                        self.index_remove(key, &record.read_unguarded());
+                    }
+                    record.lock();
+                    record.install_delete(tid);
+                }
+            }
+        }
     }
 
     /// Registers `row` (with primary key `pk`) in every secondary index.
@@ -295,7 +361,10 @@ mod tests {
         t.load_row(row(2, "JONES", 20.0)).unwrap();
         assert_eq!(t.visible_len(), 2);
         let rec = t.get(&Key::Int(1)).unwrap();
-        assert_eq!(rec.read_unguarded().get(t.schema(), "c_last"), &Value::Str("SMITH".into()));
+        assert_eq!(
+            rec.read_unguarded().get(t.schema(), "c_last"),
+            &Value::Str("SMITH".into())
+        );
         assert!(t.get(&Key::Int(99)).is_none());
     }
 
@@ -310,7 +379,11 @@ mod tests {
     #[test]
     fn schema_violation_rejected_at_load() {
         let t = customer_table();
-        let bad = Tuple::of([Value::Str("not an id".into()), Value::Str("X".into()), Value::Float(0.0)]);
+        let bad = Tuple::of([
+            Value::Str("not an id".into()),
+            Value::Str("X".into()),
+            Value::Float(0.0),
+        ]);
         assert!(t.load_row(bad).is_err());
     }
 
@@ -340,8 +413,14 @@ mod tests {
         let old = row(2, "SMITH", 20.0);
         let new = row(2, "BROWN", 20.0);
         t.index_update(&Key::Int(2), &old, &new);
-        assert_eq!(t.secondary_lookup(0, &Key::Str("SMITH".into())), vec![Key::Int(1)]);
-        assert_eq!(t.secondary_lookup(0, &Key::Str("BROWN".into())), vec![Key::Int(2)]);
+        assert_eq!(
+            t.secondary_lookup(0, &Key::Str("SMITH".into())),
+            vec![Key::Int(1)]
+        );
+        assert_eq!(
+            t.secondary_lookup(0, &Key::Str("BROWN".into())),
+            vec![Key::Int(2)]
+        );
 
         t.index_remove(&Key::Int(3), &row(3, "JONES", 30.0));
         assert!(t.secondary_lookup(0, &Key::Str("JONES".into())).is_empty());

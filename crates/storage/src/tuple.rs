@@ -23,7 +23,9 @@ impl Tuple {
         I: IntoIterator<Item = V>,
         V: Into<Value>,
     {
-        Self { values: values.into_iter().map(Into::into).collect() }
+        Self {
+            values: values.into_iter().map(Into::into).collect(),
+        }
     }
 
     /// The raw values.
@@ -130,7 +132,11 @@ mod tests {
 
     fn schema() -> Schema {
         Schema::of(
-            &[("w_id", ColumnType::Int), ("d_id", ColumnType::Int), ("name", ColumnType::Str)],
+            &[
+                ("w_id", ColumnType::Int),
+                ("d_id", ColumnType::Int),
+                ("name", ColumnType::Str),
+            ],
             &["w_id", "d_id"],
         )
     }
@@ -149,12 +155,18 @@ mod tests {
     fn composite_primary_key_extraction() {
         let s = schema();
         let t = Tuple::of([Value::Int(1), Value::Int(2), Value::Str("x".into())]);
-        assert_eq!(t.primary_key(&s), Key::composite([Key::Int(1), Key::Int(2)]));
+        assert_eq!(
+            t.primary_key(&s),
+            Key::composite([Key::Int(1), Key::Int(2)])
+        );
     }
 
     #[test]
     fn single_column_primary_key() {
-        let s = Schema::of(&[("id", ColumnType::Int), ("v", ColumnType::Float)], &["id"]);
+        let s = Schema::of(
+            &[("id", ColumnType::Int), ("v", ColumnType::Float)],
+            &["id"],
+        );
         let t = Tuple::of([Value::Int(9), Value::Float(1.0)]);
         assert_eq!(t.primary_key(&s), Key::Int(9));
     }
@@ -164,7 +176,10 @@ mod tests {
         let t = Tuple::of([Value::Float(1.0), Value::Int(3)]);
         assert_eq!(t.index_key(&[0]), None);
         assert_eq!(t.index_key(&[1]), Some(Key::Int(3)));
-        assert_eq!(t.index_key(&[1, 1]), Some(Key::composite([Key::Int(3), Key::Int(3)])));
+        assert_eq!(
+            t.index_key(&[1, 1]),
+            Some(Key::composite([Key::Int(3), Key::Int(3)]))
+        );
     }
 
     #[test]

@@ -27,6 +27,7 @@ use reactdb_common::{Result, TxnError};
 use reactdb_storage::TidWord;
 
 use crate::epoch::EpochManager;
+use crate::logging::{LogSink, RedoRecord};
 use crate::occ::{OccTxn, WriteKind};
 use crate::tidgen::TidGen;
 
@@ -62,6 +63,21 @@ impl Coordinator {
         epoch: &EpochManager,
         tidgen: &TidGen,
     ) -> Result<TidWord> {
+        Self::commit_logged(participants, epoch, tidgen, None)
+    }
+
+    /// Like [`Coordinator::commit`], but additionally renders the validated
+    /// write set of every participant as [`RedoRecord`]s and hands the batch
+    /// to `sink` once the writes are installed. Transactions spanning
+    /// several containers (2PC) log the records of every participating
+    /// container in the same batch, so recovery can never observe a
+    /// partially persisted distributed transaction.
+    pub fn commit_logged(
+        participants: &mut [OccTxn],
+        epoch: &EpochManager,
+        tidgen: &TidGen,
+        sink: Option<&dyn LogSink>,
+    ) -> Result<TidWord> {
         // ---- Phase 1: lock the union of the write sets in address order.
         let mut write_refs: Vec<(usize, usize)> = Vec::new(); // (participant, write idx)
         for (pi, p) in participants.iter().enumerate() {
@@ -69,9 +85,8 @@ impl Coordinator {
                 write_refs.push((pi, wi));
             }
         }
-        write_refs.sort_by_key(|(pi, wi)| {
-            Arc::as_ptr(&participants[*pi].writes()[*wi].record) as usize
-        });
+        write_refs
+            .sort_by_key(|(pi, wi)| Arc::as_ptr(&participants[*pi].writes()[*wi].record) as usize);
 
         let mut locked: Vec<(usize, usize)> = Vec::with_capacity(write_refs.len());
         let mut own_write_records: HashSet<usize> = HashSet::with_capacity(write_refs.len());
@@ -103,7 +118,8 @@ impl Coordinator {
                     valid = false;
                     break 'validation;
                 }
-                if now.is_locked() && !own_write_records.contains(&(Arc::as_ptr(&r.record) as usize))
+                if now.is_locked()
+                    && !own_write_records.contains(&(Arc::as_ptr(&r.record) as usize))
                 {
                     valid = false;
                     break 'validation;
@@ -144,6 +160,28 @@ impl Coordinator {
                 }
             }
         }
+
+        // ---- Durability hook: emit the redo batch for the whole commit.
+        if let Some(sink) = sink {
+            let mut records = Vec::with_capacity(locked.len());
+            for (pi, wi) in &locked {
+                let p = &participants[*pi];
+                let w = &p.writes()[*wi];
+                records.push(RedoRecord {
+                    container: p.container(),
+                    reactor: w.table.owner(),
+                    relation: w.table.name().to_owned(),
+                    key: w.key.clone(),
+                    image: match &w.kind {
+                        WriteKind::Insert(row) | WriteKind::Update(row) => Some(row.clone()),
+                        WriteKind::Delete => None,
+                    },
+                });
+            }
+            if !records.is_empty() {
+                sink.log_commit(commit_tid, &records);
+            }
+        }
         Ok(commit_tid)
     }
 
@@ -163,7 +201,8 @@ mod tests {
         let schema = Schema::of(&[("id", ColumnType::Int), ("v", ColumnType::Int)], &["id"]);
         let t = Arc::new(Table::new(name, schema));
         for i in 0..10i64 {
-            t.load_row(Tuple::of([Value::Int(i), Value::Int(0)])).unwrap();
+            t.load_row(Tuple::of([Value::Int(i), Value::Int(0)]))
+                .unwrap();
         }
         t
     }
@@ -177,8 +216,10 @@ mod tests {
         let t = table("t");
         let (epoch, gen) = env();
         let mut p = OccTxn::new(ContainerId(0));
-        p.update(&t, Tuple::of([Value::Int(1), Value::Int(42)])).unwrap();
-        p.insert(&t, Tuple::of([Value::Int(100), Value::Int(7)])).unwrap();
+        p.update(&t, Tuple::of([Value::Int(1), Value::Int(42)]))
+            .unwrap();
+        p.insert(&t, Tuple::of([Value::Int(100), Value::Int(7)]))
+            .unwrap();
         p.delete(&t, &Key::Int(2)).unwrap();
         let tid = Coordinator::commit(&mut [p], &epoch, &gen).unwrap();
         assert_eq!(tid.epoch(), 1);
@@ -200,15 +241,20 @@ mod tests {
 
         // A concurrent transaction commits an update to the same record.
         let mut p2 = OccTxn::new(ContainerId(0));
-        p2.update(&t, Tuple::of([Value::Int(1), Value::Int(5)])).unwrap();
+        p2.update(&t, Tuple::of([Value::Int(1), Value::Int(5)]))
+            .unwrap();
         Coordinator::commit(&mut [p2], &epoch, &gen).unwrap();
 
         // p1 now writes something else but must fail validation on its read.
-        p1.update(&t, Tuple::of([Value::Int(3), Value::Int(9)])).unwrap();
+        p1.update(&t, Tuple::of([Value::Int(3), Value::Int(9)]))
+            .unwrap();
         let err = Coordinator::commit(&mut [p1], &epoch, &gen).unwrap_err();
         assert_eq!(err, TxnError::ValidationFailed);
         // The failed transaction's write was not installed.
-        assert_eq!(t.get(&Key::Int(3)).unwrap().read_unguarded().at(1), &Value::Int(0));
+        assert_eq!(
+            t.get(&Key::Int(3)).unwrap().read_unguarded().at(1),
+            &Value::Int(0)
+        );
     }
 
     #[test]
@@ -219,9 +265,13 @@ mod tests {
         // Read and then update the same record: the record will be locked by
         // ourselves during validation and must not trigger an abort.
         p.read(&t, &Key::Int(4)).unwrap();
-        p.update(&t, Tuple::of([Value::Int(4), Value::Int(44)])).unwrap();
+        p.update(&t, Tuple::of([Value::Int(4), Value::Int(44)]))
+            .unwrap();
         Coordinator::commit(&mut [p], &epoch, &gen).unwrap();
-        assert_eq!(t.get(&Key::Int(4)).unwrap().read_unguarded().at(1), &Value::Int(44));
+        assert_eq!(
+            t.get(&Key::Int(4)).unwrap().read_unguarded().at(1),
+            &Value::Int(44)
+        );
     }
 
     #[test]
@@ -231,8 +281,10 @@ mod tests {
         let (epoch, gen) = env();
         let mut p0 = OccTxn::new(ContainerId(0));
         let mut p1 = OccTxn::new(ContainerId(1));
-        p0.update(&t0, Tuple::of([Value::Int(1), Value::Int(111)])).unwrap();
-        p1.update(&t1, Tuple::of([Value::Int(1), Value::Int(222)])).unwrap();
+        p0.update(&t0, Tuple::of([Value::Int(1), Value::Int(111)]))
+            .unwrap();
+        p1.update(&t1, Tuple::of([Value::Int(1), Value::Int(222)]))
+            .unwrap();
         let tid = Coordinator::commit(&mut [p0, p1], &epoch, &gen).unwrap();
         assert_eq!(t0.get(&Key::Int(1)).unwrap().tid().version(), tid.version());
         assert_eq!(t1.get(&Key::Int(1)).unwrap().tid().version(), tid.version());
@@ -247,21 +299,32 @@ mod tests {
         // p reads from t1, then a concurrent commit invalidates that read.
         let mut p0 = OccTxn::new(ContainerId(0));
         let mut p1 = OccTxn::new(ContainerId(1));
-        p0.update(&t0, Tuple::of([Value::Int(5), Value::Int(50)])).unwrap();
+        p0.update(&t0, Tuple::of([Value::Int(5), Value::Int(50)]))
+            .unwrap();
         p1.read(&t1, &Key::Int(5)).unwrap();
 
         let mut other = OccTxn::new(ContainerId(1));
-        other.update(&t1, Tuple::of([Value::Int(5), Value::Int(99)])).unwrap();
+        other
+            .update(&t1, Tuple::of([Value::Int(5), Value::Int(99)]))
+            .unwrap();
         Coordinator::commit(&mut [other], &epoch, &gen).unwrap();
 
         let err = Coordinator::commit(&mut [p0, p1], &epoch, &gen).unwrap_err();
         assert_eq!(err, TxnError::ValidationFailed);
         // Neither container saw the aborted transaction's write.
-        assert_eq!(t0.get(&Key::Int(5)).unwrap().read_unguarded().at(1), &Value::Int(0));
-        assert_eq!(t1.get(&Key::Int(5)).unwrap().read_unguarded().at(1), &Value::Int(99));
+        assert_eq!(
+            t0.get(&Key::Int(5)).unwrap().read_unguarded().at(1),
+            &Value::Int(0)
+        );
+        assert_eq!(
+            t1.get(&Key::Int(5)).unwrap().read_unguarded().at(1),
+            &Value::Int(99)
+        );
         // Locks were released: a later transaction can commit.
         let mut retry = OccTxn::new(ContainerId(0));
-        retry.update(&t0, Tuple::of([Value::Int(5), Value::Int(51)])).unwrap();
+        retry
+            .update(&t0, Tuple::of([Value::Int(5), Value::Int(51)]))
+            .unwrap();
         Coordinator::commit(&mut [retry], &epoch, &gen).unwrap();
     }
 
@@ -284,13 +347,79 @@ mod tests {
         // Raise one record to a large version.
         let rec = t.get(&Key::Int(7)).unwrap();
         rec.lock();
-        rec.install(Tuple::of([Value::Int(7), Value::Int(7)]), TidWord::committed(1, 400));
+        rec.install(
+            Tuple::of([Value::Int(7), Value::Int(7)]),
+            TidWord::committed(1, 400),
+        );
 
         let mut p = OccTxn::new(ContainerId(0));
         p.read(&t, &Key::Int(7)).unwrap();
-        p.update(&t, Tuple::of([Value::Int(1), Value::Int(1)])).unwrap();
+        p.update(&t, Tuple::of([Value::Int(1), Value::Int(1)]))
+            .unwrap();
         let tid = Coordinator::commit(&mut [p], &epoch, &gen).unwrap();
         assert!(tid.version() > TidWord::committed(1, 400).version());
+    }
+
+    #[test]
+    fn multi_participant_commit_logs_every_container_atomically() {
+        use crate::logging::test_support::MemorySink;
+        let t0 = table("t0");
+        let t1 = table("t1");
+        let (epoch, gen) = env();
+        let sink = MemorySink::default();
+        let mut p0 = OccTxn::new(ContainerId(0));
+        let mut p1 = OccTxn::new(ContainerId(1));
+        p0.update(&t0, Tuple::of([Value::Int(1), Value::Int(11)]))
+            .unwrap();
+        p0.delete(&t0, &Key::Int(2)).unwrap();
+        p1.insert(&t1, Tuple::of([Value::Int(100), Value::Int(22)]))
+            .unwrap();
+        let tid = Coordinator::commit_logged(&mut [p0, p1], &epoch, &gen, Some(&sink)).unwrap();
+
+        let batches = sink.batches.lock().unwrap();
+        assert_eq!(batches.len(), 1, "one batch per commit");
+        let (logged_tid, records) = &batches[0];
+        assert_eq!(*logged_tid, tid);
+        assert_eq!(records.len(), 3);
+        let containers: std::collections::HashSet<_> =
+            records.iter().map(|r| r.container).collect();
+        assert!(containers.contains(&ContainerId(0)) && containers.contains(&ContainerId(1)));
+        let delete = records.iter().find(|r| r.key == Key::Int(2)).unwrap();
+        assert!(delete.image.is_none(), "deletes log a tombstone");
+        let update = records.iter().find(|r| r.key == Key::Int(1)).unwrap();
+        assert_eq!(update.image.as_ref().unwrap().at(1), &Value::Int(11));
+    }
+
+    #[test]
+    fn aborted_and_read_only_commits_log_nothing() {
+        use crate::logging::test_support::MemorySink;
+        let t = table("t");
+        let (epoch, gen) = env();
+        let sink = MemorySink::default();
+
+        // Read-only: no write set, nothing to log.
+        let mut ro = OccTxn::new(ContainerId(0));
+        ro.read(&t, &Key::Int(1)).unwrap();
+        Coordinator::commit_logged(&mut [ro], &epoch, &gen, Some(&sink)).unwrap();
+        assert!(sink.batches.lock().unwrap().is_empty());
+
+        // Aborted: validation fails before the durability hook runs.
+        let mut stale = OccTxn::new(ContainerId(0));
+        stale.read(&t, &Key::Int(3)).unwrap();
+        let mut other = OccTxn::new(ContainerId(0));
+        other
+            .update(&t, Tuple::of([Value::Int(3), Value::Int(9)]))
+            .unwrap();
+        Coordinator::commit(&mut [other], &epoch, &gen).unwrap();
+        stale
+            .update(&t, Tuple::of([Value::Int(4), Value::Int(4)]))
+            .unwrap();
+        let err = Coordinator::commit_logged(&mut [stale], &epoch, &gen, Some(&sink)).unwrap_err();
+        assert_eq!(err, TxnError::ValidationFailed);
+        assert!(
+            sink.batches.lock().unwrap().is_empty(),
+            "aborts must not reach the log"
+        );
     }
 
     #[test]
@@ -311,7 +440,8 @@ mod tests {
                         let mut p = OccTxn::new(ContainerId(0));
                         let row = p.read_expected(&t, &Key::Int(0)).unwrap();
                         let v = row.at(1).as_int();
-                        p.update(&t, Tuple::of([Value::Int(0), Value::Int(v + 1)])).unwrap();
+                        p.update(&t, Tuple::of([Value::Int(0), Value::Int(v + 1)]))
+                            .unwrap();
                         if Coordinator::commit(&mut [p], &epoch, &gen).is_ok() {
                             commits += 1;
                         }
@@ -324,7 +454,10 @@ mod tests {
             th.join().unwrap();
         }
         let final_v = t.get(&Key::Int(0)).unwrap().read_unguarded().at(1).as_int();
-        assert_eq!(final_v as u64, total_committed.load(std::sync::atomic::Ordering::Relaxed));
+        assert_eq!(
+            final_v as u64,
+            total_committed.load(std::sync::atomic::Ordering::Relaxed)
+        );
         assert_eq!(final_v, 400);
     }
 }

@@ -27,7 +27,10 @@ impl EpochManager {
     /// Creates a manager starting at epoch 1 (epoch 0 is reserved for bulk
     /// loaded data).
     pub fn new() -> Self {
-        Self { epoch: AtomicU64::new(1), stop: AtomicU64::new(0) }
+        Self {
+            epoch: AtomicU64::new(1),
+            stop: AtomicU64::new(0),
+        }
     }
 
     /// Current epoch.
@@ -38,6 +41,24 @@ impl EpochManager {
     /// Advances the epoch by one and returns the new value.
     pub fn advance(&self) -> u64 {
         self.epoch.fetch_add(1, Ordering::AcqRel) + 1
+    }
+
+    /// Raises the epoch to at least `target`. Used by crash recovery to
+    /// resume beyond the highest epoch observed in the log, so recovered
+    /// commits never reuse a pre-crash (epoch, sequence) pair.
+    pub fn advance_to(&self, target: u64) {
+        let mut current = self.epoch.load(Ordering::Acquire);
+        while current < target {
+            match self.epoch.compare_exchange_weak(
+                current,
+                target,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return,
+                Err(observed) => current = observed,
+            }
+        }
     }
 
     /// Spawns a background thread that advances the epoch every `period`

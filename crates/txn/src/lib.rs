@@ -12,14 +12,20 @@
 //!   set, write set, and the transactional read/insert/update/delete/scan
 //!   operations used by the reactor execution context,
 //! * [`Coordinator`] — commit of a set of participants, running the Silo
-//!   validation protocol locally and two-phase commit across containers.
+//!   validation protocol locally and two-phase commit across containers,
+//! * [`LogSink`]/[`RedoRecord`] — the commit-time durability hook: the
+//!   coordinator renders the validated write set as redo records and hands
+//!   them to a sink (implemented by `reactdb-wal`) for epoch-based group
+//!   commit.
 
 pub mod coordinator;
 pub mod epoch;
+pub mod logging;
 pub mod occ;
 pub mod tidgen;
 
 pub use coordinator::{CommitOutcome, Coordinator};
 pub use epoch::EpochManager;
+pub use logging::{LogSink, NullSink, RedoRecord};
 pub use occ::{OccTxn, WriteKind};
 pub use tidgen::TidGen;

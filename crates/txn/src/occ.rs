@@ -108,7 +108,10 @@ impl OccTxn {
             return;
         }
         self.read_index.insert(ptr, self.reads.len());
-        self.reads.push(ReadEntry { record: Arc::clone(record), observed });
+        self.reads.push(ReadEntry {
+            record: Arc::clone(record),
+            observed,
+        });
     }
 
     fn find_write(&self, table: &Arc<Table>, key: &Key) -> Option<usize> {
@@ -376,14 +379,13 @@ impl OccTxn {
     pub fn is_read_only(&self) -> bool {
         self.writes.is_empty()
     }
-
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use reactdb_storage::{ColumnType, Schema};
     use reactdb_common::Value;
+    use reactdb_storage::{ColumnType, Schema};
 
     fn table() -> Arc<Table> {
         let schema = Schema::of(
@@ -392,7 +394,8 @@ mod tests {
         );
         let t = Arc::new(Table::new("t", schema));
         for i in 0..5i64 {
-            t.load_row(Tuple::of([Value::Int(i), Value::Int(i * 10)])).unwrap();
+            t.load_row(Tuple::of([Value::Int(i), Value::Int(i * 10)]))
+                .unwrap();
         }
         t
     }
@@ -416,7 +419,8 @@ mod tests {
     fn read_your_writes() {
         let t = table();
         let mut txn = OccTxn::new(ContainerId(0));
-        txn.update(&t, Tuple::of([Value::Int(1), Value::Int(999)])).unwrap();
+        txn.update(&t, Tuple::of([Value::Int(1), Value::Int(999)]))
+            .unwrap();
         assert_eq!(
             txn.read(&t, &Key::Int(1)).unwrap().unwrap().at(1),
             &Value::Int(999)
@@ -430,10 +434,15 @@ mod tests {
     fn insert_duplicate_detection() {
         let t = table();
         let mut txn = OccTxn::new(ContainerId(0));
-        let err = txn.insert(&t, Tuple::of([Value::Int(1), Value::Int(0)])).unwrap_err();
+        let err = txn
+            .insert(&t, Tuple::of([Value::Int(1), Value::Int(0)]))
+            .unwrap_err();
         assert!(matches!(err, TxnError::DuplicateKey { .. }));
-        txn.insert(&t, Tuple::of([Value::Int(100), Value::Int(0)])).unwrap();
-        let err = txn.insert(&t, Tuple::of([Value::Int(100), Value::Int(0)])).unwrap_err();
+        txn.insert(&t, Tuple::of([Value::Int(100), Value::Int(0)]))
+            .unwrap();
+        let err = txn
+            .insert(&t, Tuple::of([Value::Int(100), Value::Int(0)]))
+            .unwrap_err();
         assert!(matches!(err, TxnError::DuplicateKey { .. }));
         // The new row is visible to this transaction but not committed.
         assert!(txn.read(&t, &Key::Int(100)).unwrap().is_some());
@@ -445,7 +454,8 @@ mod tests {
         let t = table();
         let mut txn = OccTxn::new(ContainerId(0));
         assert!(matches!(
-            txn.update(&t, Tuple::of([Value::Int(50), Value::Int(1)])).unwrap_err(),
+            txn.update(&t, Tuple::of([Value::Int(50), Value::Int(1)]))
+                .unwrap_err(),
             TxnError::NotFound { .. }
         ));
         assert!(matches!(
@@ -461,15 +471,20 @@ mod tests {
         txn.delete(&t, &Key::Int(1)).unwrap();
         assert!(txn.read(&t, &Key::Int(1)).unwrap().is_none());
         // delete then insert becomes an update
-        txn.insert(&t, Tuple::of([Value::Int(1), Value::Int(5)])).unwrap();
-        assert_eq!(txn.read(&t, &Key::Int(1)).unwrap().unwrap().at(1), &Value::Int(5));
+        txn.insert(&t, Tuple::of([Value::Int(1), Value::Int(5)]))
+            .unwrap();
+        assert_eq!(
+            txn.read(&t, &Key::Int(1)).unwrap().unwrap().at(1),
+            &Value::Int(5)
+        );
     }
 
     #[test]
     fn insert_then_delete_cancels() {
         let t = table();
         let mut txn = OccTxn::new(ContainerId(0));
-        txn.insert(&t, Tuple::of([Value::Int(200), Value::Int(5)])).unwrap();
+        txn.insert(&t, Tuple::of([Value::Int(200), Value::Int(5)]))
+            .unwrap();
         txn.delete(&t, &Key::Int(200)).unwrap();
         assert!(txn.read(&t, &Key::Int(200)).unwrap().is_none());
         assert_eq!(txn.write_set_len(), 0);
@@ -479,9 +494,11 @@ mod tests {
     fn scan_merges_own_writes() {
         let t = table();
         let mut txn = OccTxn::new(ContainerId(0));
-        txn.update(&t, Tuple::of([Value::Int(0), Value::Int(-1)])).unwrap();
+        txn.update(&t, Tuple::of([Value::Int(0), Value::Int(-1)]))
+            .unwrap();
         txn.delete(&t, &Key::Int(4)).unwrap();
-        txn.insert(&t, Tuple::of([Value::Int(10), Value::Int(100)])).unwrap();
+        txn.insert(&t, Tuple::of([Value::Int(10), Value::Int(100)]))
+            .unwrap();
         let rows = txn.scan(&t).unwrap();
         assert_eq!(rows.len(), 5); // 5 committed - 1 deleted + 1 inserted
         assert_eq!(rows[0].1.at(1), &Value::Int(-1));
@@ -494,7 +511,11 @@ mod tests {
         let t = table();
         let mut txn = OccTxn::new(ContainerId(0));
         let rows = txn
-            .scan_range(&t, Bound::Included(&Key::Int(1)), Bound::Excluded(&Key::Int(3)))
+            .scan_range(
+                &t,
+                Bound::Included(&Key::Int(1)),
+                Bound::Excluded(&Key::Int(3)),
+            )
             .unwrap();
         assert_eq!(rows.len(), 2);
     }
@@ -510,7 +531,10 @@ mod tests {
             })
             .unwrap();
         assert_eq!(row.at(1), &Value::Int(21));
-        assert_eq!(txn.read(&t, &Key::Int(2)).unwrap().unwrap().at(1), &Value::Int(21));
+        assert_eq!(
+            txn.read(&t, &Key::Int(2)).unwrap().unwrap().at(1),
+            &Value::Int(21)
+        );
     }
 
     #[test]
@@ -519,7 +543,10 @@ mod tests {
         // Bump one record to a higher version.
         let rec = t.get(&Key::Int(3)).unwrap();
         rec.lock();
-        rec.install(Tuple::of([Value::Int(3), Value::Int(30)]), TidWord::committed(2, 9));
+        rec.install(
+            Tuple::of([Value::Int(3), Value::Int(30)]),
+            TidWord::committed(2, 9),
+        );
         let mut txn = OccTxn::new(ContainerId(0));
         txn.read(&t, &Key::Int(1)).unwrap();
         txn.read(&t, &Key::Int(3)).unwrap();

@@ -73,6 +73,23 @@ impl TidGen {
     pub fn last(&self) -> TidWord {
         TidWord(self.last.load(Ordering::Relaxed))
     }
+
+    /// Raises the generator's high-water mark to at least `tid`. Used by
+    /// crash recovery so that a recovered database keeps handing out TIDs
+    /// strictly greater than every TID replayed from the log.
+    pub fn observe(&self, tid: TidWord) {
+        let target = tid.unlocked().as_present().raw();
+        let mut last = self.last.load(Ordering::Relaxed);
+        while TidWord(last).version() < TidWord(target).version() {
+            match self
+                .last
+                .compare_exchange_weak(last, target, Ordering::AcqRel, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(observed) => last = observed,
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -107,6 +124,72 @@ mod tests {
         let t = g.next(2, observed);
         assert_eq!(t.epoch(), 3);
         assert!(t.version() > observed.version());
+    }
+
+    /// Silo invariant (a)+(b): the commit TID is strictly greater than the
+    /// largest observed record version *and* the worker's previous TID, for
+    /// every interleaving of observations.
+    #[test]
+    fn tid_strictly_dominates_observed_and_previous() {
+        let g = TidGen::new();
+        let mut prev = TidWord(0);
+        for (epoch, obs_epoch, obs_seq) in [
+            (1, 0, 0),
+            (1, 1, 3),
+            (1, 1, 3),
+            (2, 1, 900),
+            (3, 3, 1),
+            (3, 2, 77),
+        ] {
+            let observed = TidWord::committed(obs_epoch, obs_seq);
+            let t = g.next(epoch, observed);
+            assert!(
+                t.version() > observed.version(),
+                "{t:?} !> observed {observed:?}"
+            );
+            assert!(t.version() > prev.version(), "{t:?} !> previous {prev:?}");
+            prev = t;
+        }
+    }
+
+    /// Silo invariant (c): the TID lies in the current global epoch, and
+    /// stays within it as the [`EpochManager`] advances (adopting a later
+    /// epoch only when a record from it was already observed).
+    #[test]
+    fn tid_tracks_epoch_manager_across_advances() {
+        use crate::epoch::EpochManager;
+        let mgr = EpochManager::new();
+        let g = TidGen::new();
+        for _ in 0..5 {
+            let epoch = mgr.current();
+            let t = g.next(epoch, TidWord::committed(0, 0));
+            assert_eq!(t.epoch(), epoch, "TID must carry the current epoch");
+            let t2 = g.next(epoch, TidWord::committed(epoch, 40));
+            assert_eq!(t2.epoch(), epoch);
+            assert!(t2.sequence() > 40);
+            mgr.advance();
+        }
+        // After an advance, the sequence restarts but the version ordering
+        // still strictly increases thanks to the epoch's high-order bits.
+        let before = g.last();
+        let t = g.next(mgr.current(), TidWord::committed(0, 0));
+        assert_eq!(t.sequence(), 1);
+        assert!(t.version() > before.version());
+    }
+
+    /// Recovery hook: `observe` raises the high-water mark so post-recovery
+    /// TIDs dominate every replayed TID, and never lowers it.
+    #[test]
+    fn observe_is_monotonic_and_bounds_next_tid() {
+        let g = TidGen::new();
+        g.observe(TidWord::committed(4, 123));
+        assert_eq!(g.last().epoch(), 4);
+        g.observe(TidWord::committed(2, 999)); // lower: ignored
+        assert_eq!(g.last().epoch(), 4);
+        assert_eq!(g.last().sequence(), 123);
+        let t = g.next(4, TidWord::committed(0, 0));
+        assert_eq!(t.epoch(), 4);
+        assert_eq!(t.sequence(), 124);
     }
 
     proptest! {

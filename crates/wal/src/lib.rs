@@ -1,0 +1,745 @@
+//! Epoch-based group-commit write-ahead logging and crash recovery for
+//! ReactDB-rs.
+//!
+//! The seed engine committed every transaction in volatile memory. This
+//! crate adds the durability design that Silo (whose OCC protocol ReactDB
+//! reuses, §3.2.1) pairs with its epoch machinery:
+//!
+//! * **Per-executor log writers** ([`LogWriter`]) implement the
+//!   [`reactdb_txn::LogSink`] hook: at commit time the coordinator renders
+//!   the validated write set as [`reactdb_txn::RedoRecord`]s and the writer
+//!   appends one checksummed frame to an in-memory buffer — no disk I/O on
+//!   the commit path. 2PC commits log the records of every participating
+//!   container in the same frame.
+//! * **Group commit** ([`Wal::sync`]): driven by the
+//!   [`reactdb_txn::EpochManager`], a daemon periodically fences the current
+//!   epoch, drains in-flight commits through a reader-writer gate, flushes
+//!   and fsyncs every writer, and advances the on-disk durable-epoch marker
+//!   to `fence - 1`. The fence/drain order guarantees that every record of
+//!   an epoch `<=` the marker is on disk (see `Wal::sync` for the argument).
+//! * **Recovery** ([`recover_and_compact`]): scans every segment in the log
+//!   directory, discards torn tails and (under
+//!   [`DurabilityMode::EpochSync`]) frames beyond the durable epoch, sorts
+//!   the surviving batches by commit TID and hands them to the engine for
+//!   replay into `reactdb_storage::Partition`s; the kept prefix is rewritten
+//!   into a fresh checkpoint segment and stale segments are deleted, so
+//!   discarded (never-durable) frames cannot resurrect on a later recovery.
+//!
+//! Unlike Silo proper, the engine releases a transaction's result to the
+//! client as soon as its writes are installed, before its epoch is synced —
+//! group commit bounds the window of acknowledged-but-lost work to one epoch
+//! rather than eliminating it. This matches the repository's goal of
+//! reproducing the performance architecture; early result release is
+//! documented here so nobody mistakes `Buffered`/`EpochSync` for synchronous
+//! commit.
+
+pub mod codec;
+pub mod stats;
+pub mod writer;
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use parking_lot::{Mutex, RwLock, RwLockReadGuard};
+use reactdb_common::{DurabilityConfig, DurabilityMode};
+use reactdb_storage::TidWord;
+use reactdb_txn::{EpochManager, RedoRecord};
+
+pub use stats::WalStats;
+pub use writer::LogWriter;
+
+/// File name of the durable-epoch marker.
+const MARKER_FILE: &str = "durable_epoch";
+/// Magic bytes opening the marker file.
+const MARKER_MAGIC: [u8; 8] = *b"RDBEPOCH";
+
+/// The write-ahead log of one database instance: one writer per executor, a
+/// commit gate, and the group-commit state.
+pub struct Wal {
+    dir: PathBuf,
+    mode: DurabilityMode,
+    writers: Vec<Arc<LogWriter>>,
+    /// Commit gate: committers hold the read side across epoch read, write
+    /// installation and log append; [`Wal::sync`] acquires the write side to
+    /// drain them before flushing.
+    gate: RwLock<()>,
+    /// Serializes [`Wal::sync`] calls: the daemon and explicit syncs would
+    /// otherwise race on the shared marker temp file and could move the
+    /// on-disk marker backwards relative to what a caller was told.
+    sync_lock: Mutex<()>,
+    epoch: Arc<EpochManager>,
+    stats: Arc<WalStats>,
+    stop: AtomicBool,
+    daemon: Mutex<Option<JoinHandle<()>>>,
+}
+
+/// True when `dir` already holds WAL state (segments or a durable-epoch
+/// marker). [`reactdb_engine`]-level boots that are *not* recoveries must
+/// refuse such a directory: a fresh instance restarts at epoch 1 and would
+/// reissue (epoch, sequence) pairs already present in the old segments,
+/// which a later recovery would replay in the wrong order.
+pub fn log_dir_has_state(dir: &Path) -> io::Result<bool> {
+    if !dir.exists() {
+        return Ok(false);
+    }
+    if dir.join(MARKER_FILE).exists() {
+        return Ok(true);
+    }
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if name.starts_with("wal-") && name.ends_with(".log") {
+            return Ok(true);
+        }
+    }
+    Ok(false)
+}
+
+impl Wal {
+    /// Opens the log for a new database instance: creates the log directory
+    /// if needed and a fresh segment generation with one writer per
+    /// executor. Returns `None` when durability is off.
+    pub fn open(
+        config: &DurabilityConfig,
+        executors: usize,
+        epoch: Arc<EpochManager>,
+    ) -> io::Result<Option<Arc<Self>>> {
+        if !config.is_enabled() {
+            return Ok(None);
+        }
+        let dir = config.log_dir_path()?;
+        fs::create_dir_all(&dir)?;
+        let generation = next_generation(&dir)?;
+        let stats = Arc::new(WalStats::new());
+        let mut writers = Vec::with_capacity(executors);
+        for executor in 0..executors {
+            let path = dir.join(segment_name(executor, generation));
+            writers.push(Arc::new(LogWriter::create(
+                &path,
+                executor,
+                generation,
+                config.mode,
+                Arc::clone(&stats),
+            )?));
+        }
+        // Resuming instances inherit the previous durable epoch so the
+        // marker (and the stats) never move backwards; this seeds the epoch
+        // only and does not count as a performed group commit.
+        if config.mode == DurabilityMode::EpochSync {
+            if let Some(durable) = read_marker(&dir)? {
+                stats.seed_durable_epoch(durable);
+            }
+        }
+        Ok(Some(Arc::new(Self {
+            dir,
+            mode: config.mode,
+            writers,
+            gate: RwLock::new(()),
+            sync_lock: Mutex::new(()),
+            epoch,
+            stats,
+            stop: AtomicBool::new(false),
+            daemon: Mutex::new(None),
+        })))
+    }
+
+    /// The log directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The configured durability mode (never `Off`).
+    pub fn mode(&self) -> DurabilityMode {
+        self.mode
+    }
+
+    /// The writer (commit-path [`reactdb_txn::LogSink`]) of one executor.
+    pub fn writer(&self, executor: usize) -> &Arc<LogWriter> {
+        &self.writers[executor]
+    }
+
+    /// Durability counters.
+    pub fn stats(&self) -> &Arc<WalStats> {
+        &self.stats
+    }
+
+    /// Highest epoch currently guaranteed durable.
+    pub fn durable_epoch(&self) -> u64 {
+        self.stats.durable_epoch()
+    }
+
+    /// Enters the commit critical section. The engine holds the returned
+    /// guard across `Coordinator::commit_logged` so that [`Wal::sync`]'s
+    /// drain step can wait for every in-flight commit.
+    pub fn commit_guard(&self) -> RwLockReadGuard<'_, ()> {
+        self.gate.read()
+    }
+
+    /// Performs one group commit and returns the durable epoch.
+    ///
+    /// Correctness of the fence/drain order: let `f` be the epoch read at
+    /// step 1. Any commit that started before the drain (step 2) completed
+    /// its log append before the flush (step 3) because it held the gate's
+    /// read side throughout. Any commit starting after the drain reads an
+    /// epoch `>= f` (epochs are monotone and `f` was already current), so no
+    /// record with epoch `<= f - 1` can be appended after the flush. Every
+    /// record of epochs `<= f - 1` is therefore on disk when the marker
+    /// advances to `f - 1`.
+    pub fn sync(&self) -> io::Result<u64> {
+        let result = self.sync_inner();
+        if result.is_err() {
+            // Make persistent I/O failures observable: the daemon (and the
+            // engine's `wal_sync`) drop the error itself, but the counter
+            // keeps climbing and `durable_epoch` visibly stalls.
+            self.stats.record_sync_failure();
+        }
+        result
+    }
+
+    fn sync_inner(&self) -> io::Result<u64> {
+        let _serial = self.sync_lock.lock();
+        match self.mode {
+            DurabilityMode::EpochSync => {
+                let fence = self.epoch.current(); // 1. fence
+                drop(self.gate.write()); // 2. drain in-flight commits
+                for writer in &self.writers {
+                    writer.flush(true)?; // 3. flush + fsync
+                }
+                let durable = fence.saturating_sub(1);
+                if durable > self.stats.durable_epoch() {
+                    write_marker(&self.dir, durable)?; // 4. advance marker
+                }
+                self.stats.record_sync(durable);
+                Ok(durable)
+            }
+            DurabilityMode::Buffered => {
+                for writer in &self.writers {
+                    writer.flush(false)?;
+                }
+                self.stats.record_sync(self.stats.durable_epoch());
+                Ok(self.stats.durable_epoch())
+            }
+            DurabilityMode::Off => unreachable!("Wal::open returns None for Off"),
+        }
+    }
+
+    /// Starts the group-commit daemon with the configured interval; a zero
+    /// interval means syncs happen only on explicit [`Wal::sync`] calls and
+    /// on clean shutdown.
+    pub fn start_daemon(self: &Arc<Self>, interval_ms: u64) {
+        if interval_ms == 0 {
+            return;
+        }
+        let wal = Arc::clone(self);
+        let handle = std::thread::Builder::new()
+            .name("reactdb-wal-sync".into())
+            .spawn(move || {
+                let period = Duration::from_millis(interval_ms);
+                let mut last_fence = 0u64;
+                while !wal.stop.load(Ordering::Acquire) {
+                    std::thread::sleep(period);
+                    // Skip the I/O when no new epoch can have completed.
+                    let fence = wal.epoch.current();
+                    if fence == last_fence {
+                        continue;
+                    }
+                    last_fence = fence;
+                    let _ = wal.sync();
+                }
+            })
+            .expect("spawn wal daemon");
+        *self.daemon.lock() = Some(handle);
+    }
+
+    /// Stops the daemon and, unless the caller simulates a crash, performs a
+    /// final flush that makes every committed transaction durable (the
+    /// epoch is advanced first so the marker can cover the last epoch).
+    pub fn shutdown(&self, flush: bool) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(handle) = self.daemon.lock().take() {
+            let _ = handle.join();
+        }
+        if flush {
+            if self.mode == DurabilityMode::EpochSync {
+                self.epoch.advance();
+            }
+            let _ = self.sync();
+        }
+    }
+}
+
+impl std::fmt::Debug for Wal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Wal")
+            .field("dir", &self.dir)
+            .field("mode", &self.mode)
+            .field("writers", &self.writers.len())
+            .field("durable_epoch", &self.durable_epoch())
+            .finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Recovery
+// ---------------------------------------------------------------------------
+
+/// Everything recovery extracted from a log directory.
+#[derive(Debug)]
+pub struct RecoveredLog {
+    /// Redo batches to replay, sorted by commit TID.
+    pub batches: Vec<(TidWord, Vec<RedoRecord>)>,
+    /// Largest commit TID among the kept batches (zero when none).
+    pub max_tid: TidWord,
+    /// Largest epoch observed in *any* frame, kept or discarded. The
+    /// recovered instance resumes beyond it so pre-crash (epoch, sequence)
+    /// pairs are never reissued.
+    pub max_epoch_seen: u64,
+    /// The durable epoch the scan honoured (`u64::MAX` in buffered mode).
+    pub durable_epoch: u64,
+    /// Segments whose frame stream ended early (torn tail or mid-file
+    /// corruption). Expected to be non-zero after a genuine crash; a
+    /// non-zero value on a cleanly shut down log indicates media
+    /// corruption, and the offending bytes are preserved next to the log
+    /// under a `.corrupt` name.
+    pub truncated_segments: usize,
+}
+
+/// Scans `dir`, keeps the replayable prefix, rewrites it as a checkpoint
+/// segment and removes stale segments.
+///
+/// Under [`DurabilityMode::EpochSync`] only frames with `tid.epoch() <=`
+/// the on-disk durable-epoch marker survive; later frames belong to epochs
+/// whose group commit never completed and are discarded together with their
+/// segments (that deletion is what prevents a discarded transaction from
+/// resurfacing once the marker later passes its epoch). Under
+/// [`DurabilityMode::Buffered`] every intact frame survives.
+///
+/// # Concurrency
+/// The caller must guarantee no live [`Wal`] instance is writing to `dir`:
+/// compaction unlinks segment files, and a live writer would keep appending
+/// to the unlinked inode, silently losing everything it "syncs" afterwards.
+/// `ReactDB::recover` upholds this by only scanning before its own WAL
+/// opens; coordinating multiple processes over one log directory is out of
+/// scope here (see ROADMAP).
+pub fn recover_and_compact(dir: &Path, mode: DurabilityMode) -> io::Result<RecoveredLog> {
+    let durable_epoch = match mode {
+        DurabilityMode::EpochSync => read_marker(dir)?.unwrap_or(0),
+        _ => u64::MAX,
+    };
+
+    let mut segments: Vec<PathBuf> = Vec::new();
+    if dir.exists() {
+        for entry in fs::read_dir(dir)? {
+            let path = entry?.path();
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if name.starts_with("wal-") && name.ends_with(".log") {
+                segments.push(path);
+            }
+        }
+    }
+    segments.sort();
+
+    let mut batches: Vec<(TidWord, Vec<RedoRecord>)> = Vec::new();
+    let mut max_epoch_seen = 0u64;
+    let mut max_generation = 0u32;
+    // Only segments we actually decoded are rewritten into the checkpoint
+    // and eligible for removal; foreign `wal-*.log` files are left alone.
+    let mut scanned: Vec<PathBuf> = Vec::new();
+    let mut truncated: Vec<PathBuf> = Vec::new();
+    for path in &segments {
+        if let Some(generation) = parse_generation(path) {
+            max_generation = max_generation.max(generation);
+        }
+        let bytes = fs::read(path)?;
+        let Some(scan) = codec::decode_segment(&bytes) else {
+            continue; // foreign or headerless file: leave it alone
+        };
+        if scan.truncated_tail {
+            truncated.push(path.clone());
+        }
+        scanned.push(path.clone());
+        for (tid, records) in scan.batches {
+            max_epoch_seen = max_epoch_seen.max(tid.epoch());
+            if tid.epoch() <= durable_epoch {
+                batches.push((tid, records));
+            }
+        }
+    }
+
+    // Replay order: commit TID order makes the last writer win per key,
+    // reproducing the pre-crash version order regardless of which
+    // executor's segment a record came from.
+    batches.sort_by_key(|(tid, _)| tid.version());
+    let max_tid = batches.last().map(|(tid, _)| *tid).unwrap_or(TidWord(0));
+
+    // Compact: rewrite the kept prefix into a single checkpoint segment,
+    // fsync it, then retire the scanned segments.
+    if !scanned.is_empty() {
+        let checkpoint = dir.join(segment_name(usize::MAX, max_generation + 1));
+        let mut out = Vec::new();
+        codec::encode_header(&mut out, u32::MAX, max_generation + 1);
+        for (tid, records) in &batches {
+            codec::encode_batch(&mut out, *tid, records);
+        }
+        let tmp = dir.join("checkpoint.tmp");
+        fs::write(&tmp, &out)?;
+        let file = fs::File::open(&tmp)?;
+        file.sync_data()?;
+        drop(file);
+        fs::rename(&tmp, &checkpoint)?;
+        // Persist the rename before unlinking the sources: if power fails
+        // between the two, the worst case is a duplicate replay (idempotent,
+        // records are keyed by TID), never a lost checkpoint.
+        sync_dir(dir)?;
+        for path in &scanned {
+            if truncated.contains(path) {
+                // A torn tail after a crash is expected, but mid-file
+                // corruption of a synced segment would mean durable frames
+                // were dropped. Either way, keep the bytes as evidence
+                // under a `.corrupt` name (ignored by future scans) instead
+                // of destroying them.
+                let _ = fs::rename(path, path.with_extension("log.corrupt"));
+            } else {
+                let _ = fs::remove_file(path);
+            }
+        }
+        sync_dir(dir)?;
+    }
+
+    Ok(RecoveredLog {
+        batches,
+        max_tid,
+        max_epoch_seen,
+        durable_epoch,
+        truncated_segments: truncated.len(),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Segment and marker files
+// ---------------------------------------------------------------------------
+
+/// Makes renames and unlinks inside `dir` durable by fsyncing the directory
+/// itself (file-content fsyncs do not cover directory metadata). Opening a
+/// directory handle can fail on exotic platforms; that is treated as "no
+/// directory sync available" rather than an error.
+fn sync_dir(dir: &Path) -> io::Result<()> {
+    match fs::File::open(dir) {
+        Ok(handle) => handle.sync_all(),
+        Err(_) => Ok(()),
+    }
+}
+
+fn segment_name(executor: usize, generation: u32) -> String {
+    if executor == usize::MAX {
+        format!("wal-checkpoint-g{generation:06}.log")
+    } else {
+        format!("wal-e{executor:04}-g{generation:06}.log")
+    }
+}
+
+fn parse_generation(path: &Path) -> Option<u32> {
+    let name = path.file_name()?.to_str()?;
+    let g = name.rfind("-g")?;
+    name[g + 2..].strip_suffix(".log")?.parse().ok()
+}
+
+fn next_generation(dir: &Path) -> io::Result<u32> {
+    let mut max = 0u32;
+    if dir.exists() {
+        for entry in fs::read_dir(dir)? {
+            if let Some(generation) = parse_generation(&entry?.path()) {
+                max = max.max(generation);
+            }
+        }
+    }
+    Ok(max + 1)
+}
+
+/// Reads the durable-epoch marker; `None` when absent or corrupt (both mean
+/// "nothing was ever synced").
+fn read_marker(dir: &Path) -> io::Result<Option<u64>> {
+    let path = dir.join(MARKER_FILE);
+    let bytes = match fs::read(&path) {
+        Ok(bytes) => bytes,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e),
+    };
+    if bytes.len() != 20 || bytes[..8] != MARKER_MAGIC {
+        return Ok(None);
+    }
+    let epoch = u64::from_le_bytes(bytes[8..16].try_into().expect("len 8"));
+    let crc = u32::from_le_bytes(bytes[16..20].try_into().expect("len 4"));
+    if codec::crc32(&bytes[8..16]) != crc {
+        return Ok(None);
+    }
+    Ok(Some(epoch))
+}
+
+/// Atomically replaces the durable-epoch marker (write temp, fsync,
+/// rename).
+fn write_marker(dir: &Path, epoch: u64) -> io::Result<()> {
+    let mut bytes = Vec::with_capacity(20);
+    bytes.extend_from_slice(&MARKER_MAGIC);
+    bytes.extend_from_slice(&epoch.to_le_bytes());
+    bytes.extend_from_slice(&codec::crc32(&epoch.to_le_bytes()).to_le_bytes());
+    let tmp = dir.join("durable_epoch.tmp");
+    fs::write(&tmp, &bytes)?;
+    let file = fs::File::open(&tmp)?;
+    file.sync_data()?;
+    drop(file);
+    fs::rename(&tmp, dir.join(MARKER_FILE))?;
+    sync_dir(dir)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reactdb_common::{ContainerId, Key, ReactorId, Value};
+    use reactdb_storage::Tuple;
+    use reactdb_txn::LogSink;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "reactdb-wal-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn record(reactor: u64, key: i64, value: f64) -> RedoRecord {
+        RedoRecord {
+            container: ContainerId(0),
+            reactor: ReactorId(reactor),
+            relation: "savings".into(),
+            key: Key::Int(key),
+            image: Some(Tuple::of([Value::Int(key), Value::Float(value)])),
+        }
+    }
+
+    fn open(dir: &Path, mode: DurabilityMode, epoch: &Arc<EpochManager>) -> Arc<Wal> {
+        let config = DurabilityConfig {
+            mode,
+            log_dir: Some(dir.to_string_lossy().into_owned()),
+            group_commit_interval_ms: 0,
+        };
+        Wal::open(&config, 2, Arc::clone(epoch)).unwrap().unwrap()
+    }
+
+    #[test]
+    fn off_mode_opens_nothing() {
+        let epoch = Arc::new(EpochManager::new());
+        assert!(Wal::open(&DurabilityConfig::off(), 2, epoch)
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn epoch_sync_recovers_only_fenced_epochs() {
+        let dir = temp_dir("fence");
+        let epoch = Arc::new(EpochManager::new());
+        let wal = open(&dir, DurabilityMode::EpochSync, &epoch);
+
+        // Epoch 1: two commits, then the epoch advances and we group-commit.
+        wal.writer(0)
+            .log_commit(TidWord::committed(1, 1), &[record(0, 1, 10.0)]);
+        wal.writer(1)
+            .log_commit(TidWord::committed(1, 2), &[record(1, 2, 20.0)]);
+        epoch.advance();
+        let durable = wal.sync().unwrap();
+        assert_eq!(durable, 1);
+        assert_eq!(wal.durable_epoch(), 1);
+
+        // Epoch 2: a commit that is never synced — lost by the crash.
+        wal.writer(0)
+            .log_commit(TidWord::committed(2, 1), &[record(0, 1, 99.0)]);
+        drop(wal); // crash: no shutdown flush
+
+        let recovered = recover_and_compact(&dir, DurabilityMode::EpochSync).unwrap();
+        assert_eq!(recovered.durable_epoch, 1);
+        assert_eq!(recovered.batches.len(), 2);
+        assert_eq!(recovered.max_tid, TidWord::committed(1, 2));
+        assert!(recovered
+            .batches
+            .windows(2)
+            .all(|w| w[0].0.version() < w[1].0.version()));
+        // The unsynced epoch-2 record never reached the OS (it was only in
+        // the writer buffer), so even max_epoch_seen is 1 here.
+        assert_eq!(recovered.max_epoch_seen, 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn discarded_frames_do_not_resurrect_after_compaction() {
+        let dir = temp_dir("resurrect");
+        let epoch = Arc::new(EpochManager::new());
+        let wal = open(&dir, DurabilityMode::EpochSync, &epoch);
+        wal.writer(0)
+            .log_commit(TidWord::committed(1, 1), &[record(0, 1, 10.0)]);
+        epoch.advance(); // now 2
+        wal.sync().unwrap(); // durable = 1
+        wal.writer(0)
+            .log_commit(TidWord::committed(2, 1), &[record(0, 1, 50.0)]);
+        // The epoch-2 frame reaches the OS via a buffered-style flush but
+        // its epoch is never fenced: it must be discarded by recovery.
+        wal.writer(0).flush(false).unwrap();
+        drop(wal);
+
+        let first = recover_and_compact(&dir, DurabilityMode::EpochSync).unwrap();
+        assert_eq!(first.batches.len(), 1);
+        assert_eq!(
+            first.max_epoch_seen, 2,
+            "discarded frame's epoch is observed"
+        );
+
+        // A later instance syncs past epoch 2; the discarded frame must not
+        // reappear because compaction removed its segment.
+        let epoch2 = Arc::new(EpochManager::new());
+        epoch2.advance_to(5);
+        let wal2 = open(&dir, DurabilityMode::EpochSync, &epoch2);
+        wal2.writer(0)
+            .log_commit(TidWord::committed(5, 1), &[record(0, 9, 1.0)]);
+        epoch2.advance();
+        wal2.sync().unwrap(); // durable = 5 > 2
+        drop(wal2);
+
+        let second = recover_and_compact(&dir, DurabilityMode::EpochSync).unwrap();
+        assert_eq!(second.batches.len(), 2);
+        assert!(
+            second
+                .batches
+                .iter()
+                .flat_map(|(_, rs)| rs.iter())
+                .all(|r| r.image.as_ref().map(|t| t.at(1).as_float()) != Some(50.0)),
+            "discarded epoch-2 write resurfaced"
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn buffered_mode_recovers_flushed_frames_without_marker() {
+        let dir = temp_dir("buffered");
+        let epoch = Arc::new(EpochManager::new());
+        let wal = open(&dir, DurabilityMode::Buffered, &epoch);
+        wal.writer(0)
+            .log_commit(TidWord::committed(1, 1), &[record(0, 1, 10.0)]);
+        wal.sync().unwrap();
+        // Never-flushed frame: lost on crash.
+        wal.writer(1)
+            .log_commit(TidWord::committed(1, 2), &[record(1, 2, 20.0)]);
+        drop(wal);
+        let recovered = recover_and_compact(&dir, DurabilityMode::Buffered).unwrap();
+        assert_eq!(recovered.batches.len(), 1);
+        assert_eq!(recovered.durable_epoch, u64::MAX);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn shutdown_flush_covers_the_last_epoch() {
+        let dir = temp_dir("shutdown");
+        let epoch = Arc::new(EpochManager::new());
+        let wal = open(&dir, DurabilityMode::EpochSync, &epoch);
+        wal.writer(0)
+            .log_commit(TidWord::committed(1, 1), &[record(0, 1, 10.0)]);
+        wal.shutdown(true);
+        let recovered = recover_and_compact(&dir, DurabilityMode::EpochSync).unwrap();
+        assert_eq!(
+            recovered.batches.len(),
+            1,
+            "clean shutdown persists everything"
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn log_dir_state_detection() {
+        let dir = temp_dir("state");
+        assert!(!log_dir_has_state(&dir).unwrap());
+        assert!(!log_dir_has_state(&dir.join("missing")).unwrap());
+        let epoch = Arc::new(EpochManager::new());
+        let wal = open(&dir, DurabilityMode::EpochSync, &epoch);
+        drop(wal);
+        assert!(log_dir_has_state(&dir).unwrap(), "segments count as state");
+        for entry in fs::read_dir(&dir).unwrap() {
+            let _ = fs::remove_file(entry.unwrap().path());
+        }
+        write_marker(&dir, 3).unwrap();
+        assert!(
+            log_dir_has_state(&dir).unwrap(),
+            "marker alone counts as state"
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn failed_group_commit_is_counted() {
+        let dir = temp_dir("sync-failure");
+        let epoch = Arc::new(EpochManager::new());
+        let wal = open(&dir, DurabilityMode::EpochSync, &epoch);
+        wal.writer(0)
+            .log_commit(TidWord::committed(1, 1), &[record(0, 1, 1.0)]);
+        epoch.advance();
+        // Deleting the directory makes the marker's temp-file write fail;
+        // the error must surface *and* be counted.
+        fs::remove_dir_all(&dir).unwrap();
+        assert!(wal.sync().is_err());
+        assert_eq!(wal.stats().sync_failures(), 1);
+        assert_eq!(
+            wal.durable_epoch(),
+            0,
+            "durable epoch must not advance on failure"
+        );
+    }
+
+    #[test]
+    fn marker_roundtrip_and_corruption_handling() {
+        let dir = temp_dir("marker");
+        assert_eq!(read_marker(&dir).unwrap(), None);
+        write_marker(&dir, 17).unwrap();
+        assert_eq!(read_marker(&dir).unwrap(), Some(17));
+        fs::write(dir.join(MARKER_FILE), b"garbage").unwrap();
+        assert_eq!(read_marker(&dir).unwrap(), None);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_or_missing_directory_recovers_cleanly() {
+        let dir = temp_dir("empty");
+        let recovered = recover_and_compact(&dir, DurabilityMode::EpochSync).unwrap();
+        assert!(recovered.batches.is_empty());
+        assert_eq!(recovered.max_tid, TidWord(0));
+        let gone = dir.join("never-created");
+        let recovered = recover_and_compact(&gone, DurabilityMode::EpochSync).unwrap();
+        assert!(recovered.batches.is_empty());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn generations_do_not_collide_across_instances() {
+        let dir = temp_dir("generations");
+        let epoch = Arc::new(EpochManager::new());
+        let wal1 = open(&dir, DurabilityMode::EpochSync, &epoch);
+        wal1.writer(0)
+            .log_commit(TidWord::committed(1, 1), &[record(0, 1, 1.0)]);
+        wal1.shutdown(true);
+        drop(wal1);
+        // A second instance in the same directory must not clobber the first
+        // instance's segments.
+        let wal2 = open(&dir, DurabilityMode::EpochSync, &epoch);
+        wal2.writer(0)
+            .log_commit(TidWord::committed(epoch.current(), 1), &[record(0, 2, 2.0)]);
+        wal2.shutdown(true);
+        drop(wal2);
+        let recovered = recover_and_compact(&dir, DurabilityMode::EpochSync).unwrap();
+        assert_eq!(recovered.batches.len(), 2);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,78 @@
+//! Durability counters exposed to the engine's statistics.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic counters describing the write-ahead log's activity. Shared
+/// between the WAL and `reactdb-engine`'s `DbStats`.
+#[derive(Debug, Default)]
+pub struct WalStats {
+    bytes_logged: AtomicU64,
+    records_logged: AtomicU64,
+    batches_logged: AtomicU64,
+    syncs: AtomicU64,
+    sync_failures: AtomicU64,
+    durable_epoch: AtomicU64,
+}
+
+impl WalStats {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn record_batch(&self, bytes: u64, records: u64) {
+        self.bytes_logged.fetch_add(bytes, Ordering::Relaxed);
+        self.records_logged.fetch_add(records, Ordering::Relaxed);
+        self.batches_logged.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_sync(&self, durable_epoch: u64) {
+        self.syncs.fetch_add(1, Ordering::Relaxed);
+        self.durable_epoch
+            .fetch_max(durable_epoch, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_sync_failure(&self) {
+        self.sync_failures.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Seeds the durable epoch from an on-disk marker at open, without
+    /// counting a group commit.
+    pub(crate) fn seed_durable_epoch(&self, durable_epoch: u64) {
+        self.durable_epoch
+            .fetch_max(durable_epoch, Ordering::Relaxed);
+    }
+
+    /// Total bytes of redo frames appended to log buffers.
+    pub fn bytes_logged(&self) -> u64 {
+        self.bytes_logged.load(Ordering::Relaxed)
+    }
+
+    /// Total redo records logged.
+    pub fn records_logged(&self) -> u64 {
+        self.records_logged.load(Ordering::Relaxed)
+    }
+
+    /// Total commit batches logged.
+    pub fn batches_logged(&self) -> u64 {
+        self.batches_logged.load(Ordering::Relaxed)
+    }
+
+    /// Number of group commits (flush + fsync + marker advance) performed.
+    pub fn syncs(&self) -> u64 {
+        self.syncs.load(Ordering::Relaxed)
+    }
+
+    /// Number of group commits that failed with an I/O error. A non-zero,
+    /// climbing value with a stalled [`WalStats::durable_epoch`] means the
+    /// log device is unhealthy and acknowledged commits are accumulating in
+    /// the at-risk window.
+    pub fn sync_failures(&self) -> u64 {
+        self.sync_failures.load(Ordering::Relaxed)
+    }
+
+    /// Highest epoch declared durable so far (0 before the first sync).
+    pub fn durable_epoch(&self) -> u64 {
+        self.durable_epoch.load(Ordering::Relaxed)
+    }
+}

@@ -1,0 +1,120 @@
+//! Per-executor log writers.
+//!
+//! Each transaction executor owns one [`LogWriter`] appending to its own
+//! segment file, mirroring Silo's per-worker logs: the commit fast path only
+//! touches the writer's in-memory buffer under a short mutex, never the
+//! disk. A distributed (2PC) commit passes through the committing executor's
+//! writer with the records of *every* participating container in one
+//! checksummed frame, so recovery sees distributed transactions atomically.
+
+use std::fs::File;
+use std::io::Write;
+use std::path::Path;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use reactdb_common::DurabilityMode;
+use reactdb_storage::TidWord;
+use reactdb_txn::{LogSink, RedoRecord};
+
+use crate::codec;
+use crate::stats::WalStats;
+
+/// Flush threshold for [`DurabilityMode::Buffered`] writers. EpochSync
+/// writers never flush outside a group commit: buffered bytes must not reach
+/// the OS before their epoch is declared durable, or a crash could surface
+/// transactions from an unsynced epoch.
+const BUFFERED_FLUSH_BYTES: usize = 1 << 20;
+
+struct WriterInner {
+    buf: Vec<u8>,
+    file: File,
+}
+
+/// The log writer of one executor; implements [`LogSink`] for the commit
+/// path.
+pub struct LogWriter {
+    executor: usize,
+    mode: DurabilityMode,
+    inner: Mutex<WriterInner>,
+    stats: Arc<WalStats>,
+}
+
+impl LogWriter {
+    /// Creates the writer and its segment file, writing the header
+    /// immediately so even an empty segment is recognisable.
+    pub(crate) fn create(
+        path: &Path,
+        executor: usize,
+        generation: u32,
+        mode: DurabilityMode,
+        stats: Arc<WalStats>,
+    ) -> std::io::Result<Self> {
+        let file = File::create(path)?;
+        let mut header = Vec::with_capacity(16);
+        codec::encode_header(&mut header, executor as u32, generation);
+        let mut inner = WriterInner { buf: header, file };
+        // The header is metadata, not redo payload: push it to the OS right
+        // away (without fsync) so scans never mistake the file for garbage.
+        Self::write_out(&mut inner)?;
+        Ok(Self {
+            executor,
+            mode,
+            inner: Mutex::new(inner),
+            stats,
+        })
+    }
+
+    /// Executor this writer belongs to.
+    pub fn executor(&self) -> usize {
+        self.executor
+    }
+
+    fn write_out(inner: &mut WriterInner) -> std::io::Result<()> {
+        if !inner.buf.is_empty() {
+            inner.file.write_all(&inner.buf)?;
+            inner.buf.clear();
+        }
+        Ok(())
+    }
+
+    /// Writes buffered bytes to the OS and optionally fsyncs. Called by the
+    /// group-commit daemon (with `fsync`) and by buffered-mode flushes
+    /// (without).
+    pub(crate) fn flush(&self, fsync: bool) -> std::io::Result<()> {
+        let mut inner = self.inner.lock();
+        Self::write_out(&mut inner)?;
+        if fsync {
+            inner.file.sync_data()?;
+        }
+        Ok(())
+    }
+
+    /// Bytes currently buffered in memory (not yet handed to the OS).
+    pub fn buffered_bytes(&self) -> usize {
+        self.inner.lock().buf.len()
+    }
+}
+
+impl LogSink for LogWriter {
+    fn log_commit(&self, tid: TidWord, records: &[RedoRecord]) {
+        let mut inner = self.inner.lock();
+        let written = codec::encode_batch(&mut inner.buf, tid, records);
+        self.stats
+            .record_batch(written as u64, records.len() as u64);
+        if self.mode == DurabilityMode::Buffered && inner.buf.len() >= BUFFERED_FLUSH_BYTES {
+            // Opportunistic flush; an I/O error here surfaces on the next
+            // explicit flush, buffered mode offers no durability guarantee.
+            let _ = Self::write_out(&mut inner);
+        }
+    }
+}
+
+impl std::fmt::Debug for LogWriter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LogWriter")
+            .field("executor", &self.executor)
+            .field("mode", &self.mode)
+            .finish()
+    }
+}

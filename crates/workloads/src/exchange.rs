@@ -41,7 +41,11 @@ pub enum Strategy {
 impl Strategy {
     /// All strategies in the order plotted in Figure 19.
     pub fn all() -> [Strategy; 3] {
-        [Strategy::Sequential, Strategy::QueryParallelism, Strategy::ProcedureParallelism]
+        [
+            Strategy::Sequential,
+            Strategy::QueryParallelism,
+            Strategy::ProcedureParallelism,
+        ]
     }
 
     /// Label used in figures.
@@ -61,7 +65,11 @@ pub fn spec(providers: usize) -> ReactorDatabaseSpec {
         .with_relation(RelationDef::new(
             "provider_info",
             Schema::of(
-                &[("id", ColumnType::Int), ("risk", ColumnType::Float), ("fresh", ColumnType::Bool)],
+                &[
+                    ("id", ColumnType::Int),
+                    ("risk", ColumnType::Float),
+                    ("fresh", ColumnType::Bool),
+                ],
                 &["id"],
             ),
         ))
@@ -81,8 +89,7 @@ pub fn spec(providers: usize) -> ReactorDatabaseSpec {
             // args: [p_exposure limit, sim_risk work units]
             let p_exposure = args[0].as_float();
             let work = args[1].as_int() as u64;
-            let exposure =
-                ctx.sum_where("orders", "value", |t| t.at(3) == &Value::Bool(false))?;
+            let exposure = ctx.sum_where("orders", "value", |t| t.at(3) == &Value::Bool(false))?;
             if exposure > p_exposure {
                 return ctx.abort("provider exposure limit exceeded");
             }
@@ -134,7 +141,11 @@ pub fn spec(providers: usize) -> ReactorDatabaseSpec {
         .with_relation(RelationDef::new(
             "settlement_risk",
             Schema::of(
-                &[("id", ColumnType::Int), ("p_exposure", ColumnType::Float), ("g_risk", ColumnType::Float)],
+                &[
+                    ("id", ColumnType::Int),
+                    ("p_exposure", ColumnType::Float),
+                    ("g_risk", ColumnType::Float),
+                ],
                 &["id"],
             ),
         ))
@@ -155,8 +166,11 @@ pub fn spec(providers: usize) -> ReactorDatabaseSpec {
             let p_exposure = limits.at(1).as_float();
             let g_risk = limits.at(2).as_float();
 
-            let providers: Vec<String> =
-                ctx.scan("provider_names")?.into_iter().map(|(_, t)| t.at(0).as_str().to_owned()).collect();
+            let providers: Vec<String> = ctx
+                .scan("provider_names")?
+                .into_iter()
+                .map(|(_, t)| t.at(0).as_str().to_owned())
+                .collect();
             let mut results = Vec::with_capacity(providers.len());
             for p in &providers {
                 results.push(ctx.call(
@@ -170,7 +184,11 @@ pub fn spec(providers: usize) -> ReactorDatabaseSpec {
                 total_risk += res.get()?.as_float();
             }
             if total_risk + pvalue < g_risk {
-                ctx.call(&pprovider, "add_entry", vec![Value::Int(pwallet), Value::Float(pvalue)])?;
+                ctx.call(
+                    &pprovider,
+                    "add_entry",
+                    vec![Value::Int(pwallet), Value::Float(pvalue)],
+                )?;
                 Ok(Value::Bool(true))
             } else {
                 ctx.abort("global risk limit exceeded")
@@ -199,12 +217,24 @@ pub fn load(
     db.load_row(
         EXCHANGE,
         "settlement_risk",
-        Tuple::of([Value::Int(0), Value::Float(p_exposure), Value::Float(g_risk)]),
+        Tuple::of([
+            Value::Int(0),
+            Value::Float(p_exposure),
+            Value::Float(g_risk),
+        ]),
     )?;
     for p in 0..providers {
         let name = provider_name(p);
-        db.load_row(EXCHANGE, "provider_names", Tuple::of([Value::Str(name.clone())]))?;
-        db.load_row(&name, "provider_info", Tuple::of([Value::Int(0), Value::Float(0.0), Value::Bool(false)]))?;
+        db.load_row(
+            EXCHANGE,
+            "provider_names",
+            Tuple::of([Value::Str(name.clone())]),
+        )?;
+        db.load_row(
+            &name,
+            "provider_info",
+            Tuple::of([Value::Int(0), Value::Float(0.0), Value::Bool(false)]),
+        )?;
         for o in 0..orders_per_provider {
             db.load_row(
                 &name,
@@ -305,7 +335,10 @@ mod tests {
     use reactdb_common::TxnError;
 
     fn boot(providers: usize, orders: usize, g_risk: f64) -> ReactDB {
-        let db = ReactDB::boot(spec(providers), DeploymentConfig::shared_nothing(providers + 1));
+        let db = ReactDB::boot(
+            spec(providers),
+            DeploymentConfig::shared_nothing(providers + 1),
+        );
         load(&db, providers, orders, 1_000.0, g_risk).unwrap();
         db
     }
@@ -319,10 +352,17 @@ mod tests {
         let before = db.table(&provider, "orders").unwrap().visible_len();
         let accepted = db.invoke(EXCHANGE, "auth_pay", args).unwrap();
         assert_eq!(accepted, Value::Bool(true));
-        assert_eq!(db.table(&provider, "orders").unwrap().visible_len(), before + 1);
+        assert_eq!(
+            db.table(&provider, "orders").unwrap().visible_len(),
+            before + 1
+        );
         // Risk figures were cached on every provider.
         for p in 0..3 {
-            let info = db.table(&provider_name(p), "provider_info").unwrap().get(&Key::Int(0)).unwrap();
+            let info = db
+                .table(&provider_name(p), "provider_info")
+                .unwrap()
+                .get(&Key::Int(0))
+                .unwrap();
             assert_eq!(info.read_unguarded().at(2), &Value::Bool(true));
         }
     }
@@ -336,12 +376,20 @@ mod tests {
             .invoke(
                 EXCHANGE,
                 "auth_pay",
-                vec![Value::Str(provider_name(0)), Value::Int(1), Value::Float(5.0), Value::Int(1)],
+                vec![
+                    Value::Str(provider_name(0)),
+                    Value::Int(1),
+                    Value::Float(5.0),
+                    Value::Int(1),
+                ],
             )
             .unwrap_err();
         assert!(matches!(err, TxnError::UserAbort(_)));
         // The rejected payment left no order behind.
-        assert_eq!(db.table(&provider_name(0), "orders").unwrap().visible_len(), 10);
+        assert_eq!(
+            db.table(&provider_name(0), "orders").unwrap().visible_len(),
+            10
+        );
     }
 
     #[test]
@@ -353,7 +401,12 @@ mod tests {
             .invoke(
                 EXCHANGE,
                 "auth_pay",
-                vec![Value::Str(provider_name(1)), Value::Int(1), Value::Float(1.0), Value::Int(1)],
+                vec![
+                    Value::Str(provider_name(1)),
+                    Value::Int(1),
+                    Value::Float(1.0),
+                    Value::Int(1),
+                ],
             )
             .unwrap_err();
         assert!(err.is_user_abort());
@@ -365,10 +418,16 @@ mod tests {
         db.invoke(
             EXCHANGE,
             "auth_pay",
-            vec![Value::Str(provider_name(0)), Value::Int(1), Value::Float(1.0), Value::Int(1)],
+            vec![
+                Value::Str(provider_name(0)),
+                Value::Int(1),
+                Value::Float(1.0),
+                Value::Int(1),
+            ],
         )
         .unwrap();
-        db.invoke(&provider_name(0), "settle_window", vec![Value::Int(5)]).unwrap();
+        db.invoke(&provider_name(0), "settle_window", vec![Value::Int(5)])
+            .unwrap();
         let unsettled = db
             .table(&provider_name(0), "orders")
             .unwrap()
@@ -377,18 +436,30 @@ mod tests {
             .filter(|(_, r)| r.is_visible() && r.read_unguarded().at(3) == &Value::Bool(false))
             .count();
         assert_eq!(unsettled, 11 - 5);
-        let info = db.table(&provider_name(0), "provider_info").unwrap().get(&Key::Int(0)).unwrap();
+        let info = db
+            .table(&provider_name(0), "provider_info")
+            .unwrap()
+            .get(&Key::Int(0))
+            .unwrap();
         assert_eq!(info.read_unguarded().at(2), &Value::Bool(false));
     }
 
     #[test]
     fn sim_profiles_rank_strategies_as_in_figure_19() {
         use reactdb_sim::{SimCosts, SimDeployment, SimStrategy, Simulator};
-        let costs = ExchangeSimCosts { scan_window_us: 50.0, auth_base_us: 5.0, sim_risk_us: 500.0 };
+        let costs = ExchangeSimCosts {
+            scan_window_us: 50.0,
+            auth_base_us: 5.0,
+            sim_risk_us: 500.0,
+        };
         let deployment = SimDeployment::striped(SimStrategy::SharedNothing, 16, 16);
         let latency = |strategy| {
             let sim = Simulator::new(deployment.clone(), SimCosts::default());
-            let mut wl = ExchangeSimWorkload { strategy, providers: 15, costs };
+            let mut wl = ExchangeSimWorkload {
+                strategy,
+                providers: 15,
+                costs,
+            };
             sim.run(&mut wl, 1, 10, 1).avg_latency_us()
         };
         let sequential = latency(Strategy::Sequential);

@@ -51,7 +51,12 @@ pub enum Formulation {
 impl Formulation {
     /// All formulations in the order plotted in Figure 5.
     pub fn all() -> [Formulation; 4] {
-        [Formulation::FullySync, Formulation::PartiallyAsync, Formulation::FullyAsync, Formulation::Opt]
+        [
+            Formulation::FullySync,
+            Formulation::PartiallyAsync,
+            Formulation::FullyAsync,
+            Formulation::Opt,
+        ]
     }
 
     /// The engine procedure implementing this formulation.
@@ -79,15 +84,24 @@ fn relations() -> Vec<RelationDef> {
     vec![
         RelationDef::new(
             "account",
-            Schema::of(&[("name", ColumnType::Str), ("cust_id", ColumnType::Int)], &["name"]),
+            Schema::of(
+                &[("name", ColumnType::Str), ("cust_id", ColumnType::Int)],
+                &["name"],
+            ),
         ),
         RelationDef::new(
             "savings",
-            Schema::of(&[("cust_id", ColumnType::Int), ("balance", ColumnType::Float)], &["cust_id"]),
+            Schema::of(
+                &[("cust_id", ColumnType::Int), ("balance", ColumnType::Float)],
+                &["cust_id"],
+            ),
         ),
         RelationDef::new(
             "checking",
-            Schema::of(&[("cust_id", ColumnType::Int), ("balance", ColumnType::Float)], &["cust_id"]),
+            Schema::of(
+                &[("cust_id", ColumnType::Int), ("balance", ColumnType::Float)],
+                &["cust_id"],
+            ),
         ),
     ]
 }
@@ -108,9 +122,14 @@ fn adjust_balance(ctx: &ReactorCtx<'_>, relation: &str, amount: f64) -> Result<f
     let row = ctx.get_expected(relation, &Key::Int(cust_id))?;
     let balance = row.at(1).as_float();
     if balance + amount < 0.0 {
-        return Err(TxnError::UserAbort(format!("insufficient funds in {relation}")));
+        return Err(TxnError::UserAbort(format!(
+            "insufficient funds in {relation}"
+        )));
     }
-    ctx.update(relation, Tuple::of([Value::Int(cust_id), Value::Float(balance + amount)]))?;
+    ctx.update(
+        relation,
+        Tuple::of([Value::Int(cust_id), Value::Float(balance + amount)]),
+    )?;
     Ok(balance + amount)
 }
 
@@ -124,8 +143,14 @@ pub fn spec(customers: usize) -> ReactorDatabaseSpec {
         // --- standard Smallbank procedures -------------------------------
         .with_procedure("balance", |ctx, _args| {
             let cust_id = lookup_cust_id(ctx)?;
-            let savings = ctx.get_expected("savings", &Key::Int(cust_id))?.at(1).as_float();
-            let checking = ctx.get_expected("checking", &Key::Int(cust_id))?.at(1).as_float();
+            let savings = ctx
+                .get_expected("savings", &Key::Int(cust_id))?
+                .at(1)
+                .as_float();
+            let checking = ctx
+                .get_expected("checking", &Key::Int(cust_id))?
+                .at(1)
+                .as_float();
             Ok(Value::Float(savings + checking))
         })
         .with_procedure("deposit_checking", |ctx, args| {
@@ -138,12 +163,25 @@ pub fn spec(customers: usize) -> ReactorDatabaseSpec {
         .with_procedure("write_check", |ctx, args| {
             let amount = args[0].as_float();
             let cust_id = lookup_cust_id(ctx)?;
-            let savings = ctx.get_expected("savings", &Key::Int(cust_id))?.at(1).as_float();
-            let checking = ctx.get_expected("checking", &Key::Int(cust_id))?.at(1).as_float();
-            let penalty = if savings + checking < amount { 1.0 } else { 0.0 };
+            let savings = ctx
+                .get_expected("savings", &Key::Int(cust_id))?
+                .at(1)
+                .as_float();
+            let checking = ctx
+                .get_expected("checking", &Key::Int(cust_id))?
+                .at(1)
+                .as_float();
+            let penalty = if savings + checking < amount {
+                1.0
+            } else {
+                0.0
+            };
             ctx.update(
                 "checking",
-                Tuple::of([Value::Int(cust_id), Value::Float(checking - amount - penalty)]),
+                Tuple::of([
+                    Value::Int(cust_id),
+                    Value::Float(checking - amount - penalty),
+                ]),
             )?;
             Ok(Value::Float(checking - amount - penalty))
         })
@@ -156,11 +194,27 @@ pub fn spec(customers: usize) -> ReactorDatabaseSpec {
             // customer's checking account.
             let dst = args[0].as_str().to_owned();
             let cust_id = lookup_cust_id(ctx)?;
-            let savings = ctx.get_expected("savings", &Key::Int(cust_id))?.at(1).as_float();
-            let checking = ctx.get_expected("checking", &Key::Int(cust_id))?.at(1).as_float();
-            ctx.update("savings", Tuple::of([Value::Int(cust_id), Value::Float(0.0)]))?;
-            ctx.update("checking", Tuple::of([Value::Int(cust_id), Value::Float(0.0)]))?;
-            ctx.call(&dst, "deposit_checking", vec![Value::Float(savings + checking)])?;
+            let savings = ctx
+                .get_expected("savings", &Key::Int(cust_id))?
+                .at(1)
+                .as_float();
+            let checking = ctx
+                .get_expected("checking", &Key::Int(cust_id))?
+                .at(1)
+                .as_float();
+            ctx.update(
+                "savings",
+                Tuple::of([Value::Int(cust_id), Value::Float(0.0)]),
+            )?;
+            ctx.update(
+                "checking",
+                Tuple::of([Value::Int(cust_id), Value::Float(0.0)]),
+            )?;
+            ctx.call(
+                &dst,
+                "deposit_checking",
+                vec![Value::Float(savings + checking)],
+            )?;
             Ok(Value::Float(savings + checking))
         })
         // --- transfer and the multi-transfer formulations ----------------
@@ -210,7 +264,8 @@ pub fn spec(customers: usize) -> ReactorDatabaseSpec {
                 ctx.call(dst, "transact_saving", vec![Value::Float(amount)])?;
             }
             let total = amount * dsts.len() as f64;
-            ctx.call(&src, "transact_saving", vec![Value::Float(-total)])?.get()?;
+            ctx.call(&src, "transact_saving", vec![Value::Float(-total)])?
+                .get()?;
             Ok(Value::Null)
         });
 
@@ -224,7 +279,9 @@ pub fn spec(customers: usize) -> ReactorDatabaseSpec {
 
 fn multi_transfer_args(args: &[Value]) -> Result<(String, f64, Vec<String>)> {
     if args.len() < 3 {
-        return Err(TxnError::BadArguments("multi_transfer needs src, amount, dst...".into()));
+        return Err(TxnError::BadArguments(
+            "multi_transfer needs src, amount, dst...".into(),
+        ));
     }
     let src = args[0].as_str().to_owned();
     let amount = args[1].as_float();
@@ -259,9 +316,21 @@ fn multi_transfer_via_transfer(
 pub fn load(db: &ReactDB, customers: usize) -> Result<()> {
     for i in 0..customers {
         let name = customer_name(i);
-        db.load_row(&name, "account", Tuple::of([Value::Str(name.clone()), Value::Int(i as i64)]))?;
-        db.load_row(&name, "savings", Tuple::of([Value::Int(i as i64), Value::Float(INITIAL_BALANCE)]))?;
-        db.load_row(&name, "checking", Tuple::of([Value::Int(i as i64), Value::Float(INITIAL_BALANCE)]))?;
+        db.load_row(
+            &name,
+            "account",
+            Tuple::of([Value::Str(name.clone()), Value::Int(i as i64)]),
+        )?;
+        db.load_row(
+            &name,
+            "savings",
+            Tuple::of([Value::Int(i as i64), Value::Float(INITIAL_BALANCE)]),
+        )?;
+        db.load_row(
+            &name,
+            "checking",
+            Tuple::of([Value::Int(i as i64), Value::Float(INITIAL_BALANCE)]),
+        )?;
     }
     Ok(())
 }
@@ -306,16 +375,14 @@ pub fn sim_profile(formulation: Formulation, src: usize, dsts: &[usize]) -> SimT
             root
         }
         Formulation::FullyAsync => {
-            let mut root = SimTxn::leaf(src, WRAPPER_COST_US)
-                .with_overlap(n * TRANSACT_COST_US);
+            let mut root = SimTxn::leaf(src, WRAPPER_COST_US).with_overlap(n * TRANSACT_COST_US);
             for d in dsts {
                 root = root.with_async(SimTxn::leaf(*d, TRANSACT_COST_US));
             }
             root
         }
         Formulation::Opt => {
-            let mut root =
-                SimTxn::leaf(src, WRAPPER_COST_US).with_overlap(TRANSACT_COST_US);
+            let mut root = SimTxn::leaf(src, WRAPPER_COST_US).with_overlap(TRANSACT_COST_US);
             for d in dsts {
                 root = root.with_async(SimTxn::leaf(*d, TRANSACT_COST_US));
             }
@@ -341,13 +408,18 @@ pub fn forkjoin_shape(
 /// landing on the caller's executor are treated as inlined synchronous
 /// calls, matching both the engine and the simulator).
 pub fn sim_to_forkjoin(txn: &SimTxn, deployment: &SimDeployment) -> ForkJoinTxn {
-    fn convert(txn: &SimTxn, deployment: &SimDeployment, caller_exec: Option<usize>) -> ForkJoinTxn {
+    fn convert(
+        txn: &SimTxn,
+        deployment: &SimDeployment,
+        caller_exec: Option<usize>,
+    ) -> ForkJoinTxn {
         let exec = if deployment.inlines_subtxns() {
             caller_exec.unwrap_or_else(|| deployment.executor_of(txn.reactor))
         } else {
             deployment.executor_of(txn.reactor)
         };
-        let mut out = ForkJoinTxn::leaf(exec, txn.p_seq_us).with_overlapped_processing(txn.p_ovp_us);
+        let mut out =
+            ForkJoinTxn::leaf(exec, txn.p_seq_us).with_overlapped_processing(txn.p_ovp_us);
         for child in &txn.sync_children {
             out = out.with_sync(convert(child, deployment, Some(exec)));
         }
@@ -413,7 +485,12 @@ mod tests {
         let db = small_db(4, DeploymentConfig::shared_everything_with_affinity(2));
         let b = db.invoke(&customer_name(0), "balance", vec![]).unwrap();
         assert_eq!(b, Value::Float(2.0 * INITIAL_BALANCE));
-        db.invoke(&customer_name(0), "deposit_checking", vec![Value::Float(100.0)]).unwrap();
+        db.invoke(
+            &customer_name(0),
+            "deposit_checking",
+            vec![Value::Float(100.0)],
+        )
+        .unwrap();
         let b = db.invoke(&customer_name(0), "balance", vec![]).unwrap();
         assert_eq!(b, Value::Float(2.0 * INITIAL_BALANCE + 100.0));
     }
@@ -423,16 +500,27 @@ mod tests {
         let db = small_db(2, DeploymentConfig::shared_everything_with_affinity(1));
         // Withdraw more than the combined balance: one extra unit of penalty.
         let v = db
-            .invoke(&customer_name(1), "write_check", vec![Value::Float(2.5 * INITIAL_BALANCE)])
+            .invoke(
+                &customer_name(1),
+                "write_check",
+                vec![Value::Float(2.5 * INITIAL_BALANCE)],
+            )
             .unwrap();
-        assert_eq!(v, Value::Float(INITIAL_BALANCE - 2.5 * INITIAL_BALANCE - 1.0));
+        assert_eq!(
+            v,
+            Value::Float(INITIAL_BALANCE - 2.5 * INITIAL_BALANCE - 1.0)
+        );
     }
 
     #[test]
     fn transact_saving_rejects_overdraft() {
         let db = small_db(2, DeploymentConfig::shared_nothing(2));
         let err = db
-            .invoke(&customer_name(0), "transact_saving", vec![Value::Float(-2.0 * INITIAL_BALANCE)])
+            .invoke(
+                &customer_name(0),
+                "transact_saving",
+                vec![Value::Float(-2.0 * INITIAL_BALANCE)],
+            )
             .unwrap_err();
         assert!(err.is_user_abort());
     }
@@ -453,8 +541,11 @@ mod tests {
                 )
                 .unwrap();
                 // Source lost 150, each destination gained 50.
-                let src_savings =
-                    db.table(&customer_name(0), "savings").unwrap().get(&Key::Int(0)).unwrap();
+                let src_savings = db
+                    .table(&customer_name(0), "savings")
+                    .unwrap()
+                    .get(&Key::Int(0))
+                    .unwrap();
                 assert_eq!(
                     src_savings.read_unguarded().at(1),
                     &Value::Float(INITIAL_BALANCE - 150.0),
@@ -466,7 +557,10 @@ mod tests {
                         .unwrap()
                         .get(&Key::Int(d as i64))
                         .unwrap();
-                    assert_eq!(row.read_unguarded().at(1), &Value::Float(INITIAL_BALANCE + 50.0));
+                    assert_eq!(
+                        row.read_unguarded().at(1),
+                        &Value::Float(INITIAL_BALANCE + 50.0)
+                    );
                 }
             }
         }
@@ -475,8 +569,16 @@ mod tests {
     #[test]
     fn amalgamate_moves_all_funds() {
         let db = small_db(4, DeploymentConfig::shared_nothing(2));
-        db.invoke(&customer_name(2), "amalgamate", vec![Value::Str(customer_name(3))]).unwrap();
-        assert_eq!(db.invoke(&customer_name(2), "balance", vec![]).unwrap(), Value::Float(0.0));
+        db.invoke(
+            &customer_name(2),
+            "amalgamate",
+            vec![Value::Str(customer_name(3))],
+        )
+        .unwrap();
+        assert_eq!(
+            db.invoke(&customer_name(2), "balance", vec![]).unwrap(),
+            Value::Float(0.0)
+        );
         assert_eq!(
             db.invoke(&customer_name(3), "balance", vec![]).unwrap(),
             Value::Float(4.0 * INITIAL_BALANCE)
@@ -511,9 +613,7 @@ mod tests {
         assert_eq!(fully_async.p_ovp_us, 3.0 * TRANSACT_COST_US);
 
         // Total work is identical for fully-sync and fully-async.
-        assert!(
-            (sync.total_processing_us() - fully_async.total_processing_us()).abs() < 1e-9
-        );
+        assert!((sync.total_processing_us() - fully_async.total_processing_us()).abs() < 1e-9);
     }
 
     #[test]
@@ -558,7 +658,10 @@ mod tests {
             let mut wl = move |_: usize, _: &mut StdRng| sim_profile(f, 0, &d);
             let observed = sim.run(&mut wl, 1, 20, 3).avg_latency_us();
             let diff = (predicted - observed).abs() / observed;
-            assert!(diff < 0.25, "{f:?}: predicted {predicted:.1} vs simulated {observed:.1}");
+            assert!(
+                diff < 0.25,
+                "{f:?}: predicted {predicted:.1} vs simulated {observed:.1}"
+            );
         }
     }
 }

@@ -46,12 +46,22 @@ pub struct TpccScale {
 impl TpccScale {
     /// The standard TPC-C cardinalities at the given scale factor.
     pub fn standard(warehouses: usize) -> Self {
-        Self { warehouses, districts: 10, customers_per_district: 3000, items: 100_000 }
+        Self {
+            warehouses,
+            districts: 10,
+            customers_per_district: 3000,
+            items: 100_000,
+        }
     }
 
     /// A small scale for functional tests.
     pub fn tiny(warehouses: usize) -> Self {
-        Self { warehouses, districts: 2, customers_per_district: 5, items: 50 }
+        Self {
+            warehouses,
+            districts: 2,
+            customers_per_district: 5,
+            items: 50,
+        }
     }
 }
 
@@ -60,7 +70,11 @@ fn relations() -> Vec<RelationDef> {
         RelationDef::new(
             "warehouse",
             Schema::of(
-                &[("w_id", ColumnType::Int), ("w_tax", ColumnType::Float), ("w_ytd", ColumnType::Float)],
+                &[
+                    ("w_id", ColumnType::Int),
+                    ("w_tax", ColumnType::Float),
+                    ("w_ytd", ColumnType::Float),
+                ],
                 &["w_id"],
             ),
         ),
@@ -96,7 +110,11 @@ fn relations() -> Vec<RelationDef> {
         RelationDef::new(
             "item",
             Schema::of(
-                &[("i_id", ColumnType::Int), ("i_name", ColumnType::Str), ("i_price", ColumnType::Float)],
+                &[
+                    ("i_id", ColumnType::Int),
+                    ("i_name", ColumnType::Str),
+                    ("i_price", ColumnType::Float),
+                ],
                 &["i_id"],
             ),
         ),
@@ -129,7 +147,10 @@ fn relations() -> Vec<RelationDef> {
         .with_index(&["d_id", "o_c_id"]),
         RelationDef::new(
             "new_order",
-            Schema::of(&[("d_id", ColumnType::Int), ("o_id", ColumnType::Int)], &["d_id", "o_id"]),
+            Schema::of(
+                &[("d_id", ColumnType::Int), ("o_id", ColumnType::Int)],
+                &["d_id", "o_id"],
+            ),
         ),
         RelationDef::new(
             "order_line",
@@ -175,8 +196,11 @@ fn stock_update(ctx: &mut ReactorCtx<'_>, args: &[Value]) -> Result<Value> {
     }
     let row = ctx.update_with("stock", &Key::Int(i_id), |t| {
         let s_quantity = t.at(1).as_int();
-        let new_quantity =
-            if s_quantity - quantity >= 10 { s_quantity - quantity } else { s_quantity - quantity + 91 };
+        let new_quantity = if s_quantity - quantity >= 10 {
+            s_quantity - quantity
+        } else {
+            s_quantity - quantity + 91
+        };
         t.values_mut()[1] = Value::Int(new_quantity);
         t.values_mut()[2] = Value::Int(t.at(2).as_int() + quantity);
         t.values_mut()[3] = Value::Int(t.at(3).as_int() + 1);
@@ -194,8 +218,10 @@ fn new_order(ctx: &mut ReactorCtx<'_>, args: &[Value]) -> Result<Value> {
     let c_id = args[1].as_int();
     let delay_units = args[2].as_int();
     let lines = &args[3..];
-    if lines.is_empty() || lines.len() % 3 != 0 {
-        return Err(TxnError::BadArguments("new_order needs (item, warehouse, qty) triples".into()));
+    if lines.is_empty() || !lines.len().is_multiple_of(3) {
+        return Err(TxnError::BadArguments(
+            "new_order needs (item, warehouse, qty) triples".into(),
+        ));
     }
     let ol_cnt = lines.len() / 3;
 
@@ -205,8 +231,10 @@ fn new_order(ctx: &mut ReactorCtx<'_>, args: &[Value]) -> Result<Value> {
         t.values_mut()[3] = Value::Int(t.at(3).as_int() + 1);
     })?;
     let o_id = district.at(3).as_int() - 1;
-    let _customer =
-        ctx.get_expected("customer", &Key::composite([Key::Int(d_id), Key::Int(c_id)]))?;
+    let _customer = ctx.get_expected(
+        "customer",
+        &Key::composite([Key::Int(d_id), Key::Int(c_id)]),
+    )?;
 
     ctx.insert(
         "orders",
@@ -297,7 +325,11 @@ fn payment(ctx: &mut ReactorCtx<'_>, args: &[Value]) -> Result<Value> {
     let seq = ctx
         .scan_range(
             "history",
-            std::ops::Bound::Included(&Key::composite([Key::Int(d_id), Key::Int(c_id), Key::Int(0)])),
+            std::ops::Bound::Included(&Key::composite([
+                Key::Int(d_id),
+                Key::Int(c_id),
+                Key::Int(0),
+            ])),
             std::ops::Bound::Included(&Key::composite([
                 Key::Int(d_id),
                 Key::Int(c_id),
@@ -307,17 +339,26 @@ fn payment(ctx: &mut ReactorCtx<'_>, args: &[Value]) -> Result<Value> {
         .len() as i64;
     ctx.insert(
         "history",
-        Tuple::of([Value::Int(d_id), Value::Int(c_id), Value::Int(seq), Value::Float(amount)]),
+        Tuple::of([
+            Value::Int(d_id),
+            Value::Int(c_id),
+            Value::Int(seq),
+            Value::Float(amount),
+        ]),
     )?;
     Ok(Value::Null)
 }
 
 fn apply_customer_payment(ctx: &ReactorCtx<'_>, d_id: i64, c_id: i64, amount: f64) -> Result<()> {
-    ctx.update_with("customer", &Key::composite([Key::Int(d_id), Key::Int(c_id)]), |t| {
-        t.values_mut()[4] = Value::Float(t.at(4).as_float() - amount);
-        t.values_mut()[5] = Value::Float(t.at(5).as_float() + amount);
-        t.values_mut()[6] = Value::Int(t.at(6).as_int() + 1);
-    })?;
+    ctx.update_with(
+        "customer",
+        &Key::composite([Key::Int(d_id), Key::Int(c_id)]),
+        |t| {
+            t.values_mut()[4] = Value::Float(t.at(4).as_float() - amount);
+            t.values_mut()[5] = Value::Float(t.at(5).as_float() + amount);
+            t.values_mut()[6] = Value::Int(t.at(6).as_int() + 1);
+        },
+    )?;
     Ok(())
 }
 
@@ -331,16 +372,32 @@ fn payment_customer(ctx: &mut ReactorCtx<'_>, args: &[Value]) -> Result<Value> {
 fn order_status(ctx: &mut ReactorCtx<'_>, args: &[Value]) -> Result<Value> {
     let d_id = args[0].as_int();
     let c_id = args[1].as_int();
-    let _customer =
-        ctx.get_expected("customer", &Key::composite([Key::Int(d_id), Key::Int(c_id)]))?;
+    let _customer = ctx.get_expected(
+        "customer",
+        &Key::composite([Key::Int(d_id), Key::Int(c_id)]),
+    )?;
     // Most recent order of this customer via the (d_id, o_c_id) index.
-    let orders = ctx.index_lookup("orders", 0, &Key::composite([Key::Int(d_id), Key::Int(c_id)]))?;
+    let orders = ctx.index_lookup(
+        "orders",
+        0,
+        &Key::composite([Key::Int(d_id), Key::Int(c_id)]),
+    )?;
     let last = orders.iter().map(|(_, t)| t.at(1).as_int()).max();
-    let Some(o_id) = last else { return Ok(Value::Int(-1)) };
+    let Some(o_id) = last else {
+        return Ok(Value::Int(-1));
+    };
     let lines = ctx.scan_range(
         "order_line",
-        std::ops::Bound::Included(&Key::composite([Key::Int(d_id), Key::Int(o_id), Key::Int(0)])),
-        std::ops::Bound::Included(&Key::composite([Key::Int(d_id), Key::Int(o_id), Key::Int(i64::MAX)])),
+        std::ops::Bound::Included(&Key::composite([
+            Key::Int(d_id),
+            Key::Int(o_id),
+            Key::Int(0),
+        ])),
+        std::ops::Bound::Included(&Key::composite([
+            Key::Int(d_id),
+            Key::Int(o_id),
+            Key::Int(i64::MAX),
+        ])),
     )?;
     Ok(Value::Int(lines.len() as i64))
 }
@@ -357,16 +414,29 @@ fn delivery(ctx: &mut ReactorCtx<'_>, args: &[Value]) -> Result<Value> {
             std::ops::Bound::Included(&Key::composite([Key::Int(d_id), Key::Int(0)])),
             std::ops::Bound::Included(&Key::composite([Key::Int(d_id), Key::Int(i64::MAX)])),
         )?;
-        let Some((_, oldest)) = pending.first() else { continue };
+        let Some((_, oldest)) = pending.first() else {
+            continue;
+        };
         let o_id = oldest.at(1).as_int();
-        ctx.delete("new_order", &Key::composite([Key::Int(d_id), Key::Int(o_id)]))?;
-        let order = ctx.update_with("orders", &Key::composite([Key::Int(d_id), Key::Int(o_id)]), |t| {
-            t.values_mut()[3] = Value::Int(carrier);
-        })?;
+        ctx.delete(
+            "new_order",
+            &Key::composite([Key::Int(d_id), Key::Int(o_id)]),
+        )?;
+        let order = ctx.update_with(
+            "orders",
+            &Key::composite([Key::Int(d_id), Key::Int(o_id)]),
+            |t| {
+                t.values_mut()[3] = Value::Int(carrier);
+            },
+        )?;
         let c_id = order.at(2).as_int();
         let lines = ctx.scan_range(
             "order_line",
-            std::ops::Bound::Included(&Key::composite([Key::Int(d_id), Key::Int(o_id), Key::Int(0)])),
+            std::ops::Bound::Included(&Key::composite([
+                Key::Int(d_id),
+                Key::Int(o_id),
+                Key::Int(0),
+            ])),
             std::ops::Bound::Included(&Key::composite([
                 Key::Int(d_id),
                 Key::Int(o_id),
@@ -381,10 +451,14 @@ fn delivery(ctx: &mut ReactorCtx<'_>, args: &[Value]) -> Result<Value> {
             let _ = key;
             ctx.update("order_line", updated)?;
         }
-        ctx.update_with("customer", &Key::composite([Key::Int(d_id), Key::Int(c_id)]), |t| {
-            t.values_mut()[4] = Value::Float(t.at(4).as_float() + total);
-            t.values_mut()[7] = Value::Int(t.at(7).as_int() + 1);
-        })?;
+        ctx.update_with(
+            "customer",
+            &Key::composite([Key::Int(d_id), Key::Int(c_id)]),
+            |t| {
+                t.values_mut()[4] = Value::Float(t.at(4).as_float() + total);
+                t.values_mut()[7] = Value::Int(t.at(7).as_int() + 1);
+            },
+        )?;
         delivered += 1;
     }
     Ok(Value::Int(delivered))
@@ -399,8 +473,16 @@ fn stock_level(ctx: &mut ReactorCtx<'_>, args: &[Value]) -> Result<Value> {
     let low = (next_o_id - 20).max(0);
     let lines = ctx.scan_range(
         "order_line",
-        std::ops::Bound::Included(&Key::composite([Key::Int(d_id), Key::Int(low), Key::Int(0)])),
-        std::ops::Bound::Included(&Key::composite([Key::Int(d_id), Key::Int(next_o_id), Key::Int(i64::MAX)])),
+        std::ops::Bound::Included(&Key::composite([
+            Key::Int(d_id),
+            Key::Int(low),
+            Key::Int(0),
+        ])),
+        std::ops::Bound::Included(&Key::composite([
+            Key::Int(d_id),
+            Key::Int(next_o_id),
+            Key::Int(i64::MAX),
+        ])),
     )?;
     let mut item_ids: Vec<i64> = lines.iter().map(|(_, l)| l.at(3).as_int()).collect();
     item_ids.sort_unstable();
@@ -442,12 +524,21 @@ pub fn spec(warehouses: usize) -> ReactorDatabaseSpec {
 pub fn load(db: &ReactDB, scale: TpccScale) -> Result<()> {
     for w in 0..scale.warehouses {
         let name = warehouse_name(w);
-        db.load_row(&name, "warehouse", Tuple::of([Value::Int(0), Value::Float(0.1), Value::Float(0.0)]))?;
+        db.load_row(
+            &name,
+            "warehouse",
+            Tuple::of([Value::Int(0), Value::Float(0.1), Value::Float(0.0)]),
+        )?;
         for d in 0..scale.districts {
             db.load_row(
                 &name,
                 "district",
-                Tuple::of([Value::Int(d as i64), Value::Float(0.05), Value::Float(0.0), Value::Int(1)]),
+                Tuple::of([
+                    Value::Int(d as i64),
+                    Value::Float(0.05),
+                    Value::Float(0.0),
+                    Value::Int(1),
+                ]),
             )?;
             for c in 0..scale.customers_per_district {
                 db.load_row(
@@ -470,12 +561,22 @@ pub fn load(db: &ReactDB, scale: TpccScale) -> Result<()> {
             db.load_row(
                 &name,
                 "item",
-                Tuple::of([Value::Int(i as i64), Value::Str(format!("item-{i}")), Value::Float(1.0 + (i % 100) as f64)]),
+                Tuple::of([
+                    Value::Int(i as i64),
+                    Value::Str(format!("item-{i}")),
+                    Value::Float(1.0 + (i % 100) as f64),
+                ]),
             )?;
             db.load_row(
                 &name,
                 "stock",
-                Tuple::of([Value::Int(i as i64), Value::Int(100), Value::Int(0), Value::Int(0), Value::Int(0)]),
+                Tuple::of([
+                    Value::Int(i as i64),
+                    Value::Int(100),
+                    Value::Int(0),
+                    Value::Int(0),
+                    Value::Int(0),
+                ]),
             )?;
         }
     }
@@ -593,7 +694,10 @@ impl TpccGenerator {
                 kind,
                 warehouse: home,
                 proc: "delivery",
-                args: vec![Value::Int(rng.gen_range(1..=10)), Value::Int(self.scale.districts as i64)],
+                args: vec![
+                    Value::Int(rng.gen_range(1..=10)),
+                    Value::Int(self.scale.districts as i64),
+                ],
             },
             TpccTxnKind::StockLevel => TpccInvocation {
                 kind,
@@ -627,7 +731,12 @@ impl TpccGenerator {
             args.push(Value::Str(warehouse_name(supply)));
             args.push(Value::Int(rng.gen_range(1..=10)));
         }
-        TpccInvocation { kind: TpccTxnKind::NewOrder, warehouse: home, proc: "new_order", args }
+        TpccInvocation {
+            kind: TpccTxnKind::NewOrder,
+            warehouse: home,
+            proc: "new_order",
+            args,
+        }
     }
 
     fn gen_payment(&self, home: usize, rng: &mut StdRng) -> TpccInvocation {
@@ -816,23 +925,47 @@ mod tests {
     fn new_order_allocates_ids_and_inserts_lines() {
         let db = tiny_db(2, DeploymentConfig::shared_nothing(2));
         let o1 = db
-            .invoke(&warehouse_name(0), "new_order", new_order_args(0, 1, &[(1, 0, 3), (2, 0, 1)]))
+            .invoke(
+                &warehouse_name(0),
+                "new_order",
+                new_order_args(0, 1, &[(1, 0, 3), (2, 0, 1)]),
+            )
             .unwrap();
         let o2 = db
-            .invoke(&warehouse_name(0), "new_order", new_order_args(0, 2, &[(3, 0, 2)]))
+            .invoke(
+                &warehouse_name(0),
+                "new_order",
+                new_order_args(0, 2, &[(3, 0, 2)]),
+            )
             .unwrap();
         assert_eq!(o1, Value::Int(1));
         assert_eq!(o2, Value::Int(2));
-        assert_eq!(db.table(&warehouse_name(0), "orders").unwrap().visible_len(), 2);
-        assert_eq!(db.table(&warehouse_name(0), "order_line").unwrap().visible_len(), 3);
-        assert_eq!(db.table(&warehouse_name(0), "new_order").unwrap().visible_len(), 2);
+        assert_eq!(
+            db.table(&warehouse_name(0), "orders")
+                .unwrap()
+                .visible_len(),
+            2
+        );
+        assert_eq!(
+            db.table(&warehouse_name(0), "order_line")
+                .unwrap()
+                .visible_len(),
+            3
+        );
+        assert_eq!(
+            db.table(&warehouse_name(0), "new_order")
+                .unwrap()
+                .visible_len(),
+            2
+        );
     }
 
     #[test]
     fn remote_items_update_the_remote_warehouse_stock() {
-        for config in
-            [DeploymentConfig::shared_nothing(2), DeploymentConfig::shared_everything_with_affinity(2)]
-        {
+        for config in [
+            DeploymentConfig::shared_nothing(2),
+            DeploymentConfig::shared_everything_with_affinity(2),
+        ] {
             let db = tiny_db(2, config);
             db.invoke(
                 &warehouse_name(0),
@@ -840,11 +973,19 @@ mod tests {
                 new_order_args(0, 1, &[(7, 1, 5), (8, 0, 2)]),
             )
             .unwrap();
-            let remote_stock = db.table(&warehouse_name(1), "stock").unwrap().get(&Key::Int(7)).unwrap();
+            let remote_stock = db
+                .table(&warehouse_name(1), "stock")
+                .unwrap()
+                .get(&Key::Int(7))
+                .unwrap();
             let row = remote_stock.read_unguarded();
             assert_eq!(row.at(1), &Value::Int(95));
             assert_eq!(row.at(4), &Value::Int(1), "remote counter must increase");
-            let local_stock = db.table(&warehouse_name(0), "stock").unwrap().get(&Key::Int(8)).unwrap();
+            let local_stock = db
+                .table(&warehouse_name(0), "stock")
+                .unwrap()
+                .get(&Key::Int(8))
+                .unwrap();
             assert_eq!(local_stock.read_unguarded().at(1), &Value::Int(98));
         }
     }
@@ -853,9 +994,18 @@ mod tests {
     fn stock_wraps_around_below_threshold() {
         let db = tiny_db(1, DeploymentConfig::shared_everything_with_affinity(1));
         for _ in 0..11 {
-            db.invoke(&warehouse_name(0), "new_order", new_order_args(0, 0, &[(5, 0, 9)])).unwrap();
+            db.invoke(
+                &warehouse_name(0),
+                "new_order",
+                new_order_args(0, 0, &[(5, 0, 9)]),
+            )
+            .unwrap();
         }
-        let stock = db.table(&warehouse_name(0), "stock").unwrap().get(&Key::Int(5)).unwrap();
+        let stock = db
+            .table(&warehouse_name(0), "stock")
+            .unwrap()
+            .get(&Key::Int(5))
+            .unwrap();
         // 100 - 11*9 = 1 without wrap; the wrap adds 91 once the quantity
         // would fall below 10.
         let q = stock.read_unguarded().at(1).as_int();
@@ -891,7 +1041,11 @@ mod tests {
             ],
         )
         .unwrap();
-        let w = db.table(&warehouse_name(0), "warehouse").unwrap().get(&Key::Int(0)).unwrap();
+        let w = db
+            .table(&warehouse_name(0), "warehouse")
+            .unwrap()
+            .get(&Key::Int(0))
+            .unwrap();
         assert_eq!(w.read_unguarded().at(2), &Value::Float(150.0));
         let local_cust = db
             .table(&warehouse_name(0), "customer")
@@ -905,25 +1059,47 @@ mod tests {
             .get(&Key::composite([Key::Int(1), Key::Int(2)]))
             .unwrap();
         assert_eq!(remote_cust.read_unguarded().at(4), &Value::Float(-50.0));
-        assert_eq!(db.table(&warehouse_name(0), "history").unwrap().visible_len(), 2);
+        assert_eq!(
+            db.table(&warehouse_name(0), "history")
+                .unwrap()
+                .visible_len(),
+            2
+        );
     }
 
     #[test]
     fn order_status_delivery_and_stock_level_run() {
         let db = tiny_db(1, DeploymentConfig::shared_everything_with_affinity(1));
-        db.invoke(&warehouse_name(0), "new_order", new_order_args(1, 3, &[(1, 0, 1), (2, 0, 2)]))
-            .unwrap();
+        db.invoke(
+            &warehouse_name(0),
+            "new_order",
+            new_order_args(1, 3, &[(1, 0, 1), (2, 0, 2)]),
+        )
+        .unwrap();
         let status = db
-            .invoke(&warehouse_name(0), "order_status", vec![Value::Int(1), Value::Int(3)])
+            .invoke(
+                &warehouse_name(0),
+                "order_status",
+                vec![Value::Int(1), Value::Int(3)],
+            )
             .unwrap();
         assert_eq!(status, Value::Int(2));
 
         let delivered = db
-            .invoke(&warehouse_name(0), "delivery", vec![Value::Int(5), Value::Int(2)])
+            .invoke(
+                &warehouse_name(0),
+                "delivery",
+                vec![Value::Int(5), Value::Int(2)],
+            )
             .unwrap();
         assert_eq!(delivered, Value::Int(1));
         // The new_order entry is consumed.
-        assert_eq!(db.table(&warehouse_name(0), "new_order").unwrap().visible_len(), 0);
+        assert_eq!(
+            db.table(&warehouse_name(0), "new_order")
+                .unwrap()
+                .visible_len(),
+            0
+        );
         // Customer balance now carries the order total.
         let cust = db
             .table(&warehouse_name(0), "customer")
@@ -933,9 +1109,17 @@ mod tests {
         assert!(cust.read_unguarded().at(4).as_float() > 0.0);
 
         let low = db
-            .invoke(&warehouse_name(0), "stock_level", vec![Value::Int(1), Value::Int(200)])
+            .invoke(
+                &warehouse_name(0),
+                "stock_level",
+                vec![Value::Int(1), Value::Int(200)],
+            )
             .unwrap();
-        assert_eq!(low, Value::Int(2), "both touched items are below an impossible threshold");
+        assert_eq!(
+            low,
+            Value::Int(2),
+            "both touched items are below an impossible threshold"
+        );
     }
 
     #[test]
@@ -989,7 +1173,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let txn = wl.next_txn(0, &mut rng);
         assert!(txn.async_children.len() >= 5, "all items remote");
-        let mut wl_local = TpccSimWorkload { remote_item_prob: 0.0, ..wl.clone() };
+        let mut wl_local = TpccSimWorkload {
+            remote_item_prob: 0.0,
+            ..wl.clone()
+        };
         let txn = wl_local.next_txn(0, &mut rng);
         assert!(txn.async_children.is_empty());
     }

@@ -36,7 +36,10 @@ pub fn spec(keys: usize) -> ReactorDatabaseSpec {
     let key_type = ReactorType::new("YcsbKey")
         .with_relation(RelationDef::new(
             "usertable",
-            Schema::of(&[("id", ColumnType::Int), ("field", ColumnType::Str)], &["id"]),
+            Schema::of(
+                &[("id", ColumnType::Int), ("field", ColumnType::Str)],
+                &["id"],
+            ),
         ))
         .with_procedure("read", |ctx, _args| {
             let row = ctx.get_expected("usertable", &Key::Int(0))?;
@@ -102,7 +105,13 @@ pub fn pick_keys(
             keys.push(k);
         }
     }
-    keys.sort_by_key(|k| if executor_of(*k) == home_executor { 1 } else { 0 });
+    keys.sort_by_key(|k| {
+        if executor_of(*k) == home_executor {
+            1
+        } else {
+            0
+        }
+    });
     keys
 }
 
@@ -130,7 +139,12 @@ pub struct YcsbSimWorkload {
 impl YcsbSimWorkload {
     /// Creates the workload.
     pub fn new(keys: usize, executors: usize, theta: f64) -> Self {
-        Self { keys, executors, theta, zipf: Zipfian::new(keys as u64, theta) }
+        Self {
+            keys,
+            executors,
+            theta,
+            zipf: Zipfian::new(keys as u64, theta),
+        }
     }
 }
 
@@ -172,7 +186,10 @@ mod tests {
         assert_eq!(touched, Value::Int(3));
         for k in keys {
             let len = db.invoke(&key_name(k), "read", vec![]).unwrap();
-            assert_eq!(len, Value::Str(format!("{}{}", "x".repeat(RECORD_SIZE - 8), "y".repeat(8))));
+            assert_eq!(
+                len,
+                Value::Str(format!("{}{}", "x".repeat(RECORD_SIZE - 8), "y".repeat(8)))
+            );
         }
         // Untouched keys keep their original payload.
         assert_eq!(
@@ -189,7 +206,10 @@ mod tests {
         assert_eq!(keys.len(), KEYS_PER_TXN);
         let first_local = keys.iter().position(|k| k % 4 == 2);
         if let Some(pos) = first_local {
-            assert!(keys[pos..].iter().all(|k| k % 4 == 2), "locals are a suffix: {keys:?}");
+            assert!(
+                keys[pos..].iter().all(|k| k % 4 == 2),
+                "locals are a suffix: {keys:?}"
+            );
         }
     }
 
@@ -199,7 +219,9 @@ mod tests {
         let mut low = YcsbSimWorkload::new(40_000, 4, 0.01);
         let mut high = YcsbSimWorkload::new(40_000, 4, 5.0);
         let avg_remote = |wl: &mut YcsbSimWorkload, rng: &mut StdRng| {
-            let total: usize = (0..200).map(|_| wl.next_txn(0, rng).async_children.len()).sum();
+            let total: usize = (0..200)
+                .map(|_| wl.next_txn(0, rng).async_children.len())
+                .sum();
             total as f64 / 200.0
         };
         let low_remote = avg_remote(&mut low, &mut rng);
@@ -208,6 +230,9 @@ mod tests {
             low_remote > high_remote,
             "uniform access should hit more remote executors ({low_remote} vs {high_remote})"
         );
-        assert!(high_remote < 1.0, "at skew 5.0 nearly everything is the same key");
+        assert!(
+            high_remote < 1.0,
+            "at skew 5.0 nearly everything is the same key"
+        );
     }
 }

@@ -17,7 +17,10 @@ fn account_type() -> ReactorType {
     ReactorType::new("Account")
         .with_relation(RelationDef::new(
             "balance",
-            Schema::of(&[("id", ColumnType::Int), ("amount", ColumnType::Float)], &["id"]),
+            Schema::of(
+                &[("id", ColumnType::Int), ("amount", ColumnType::Float)],
+                &["id"],
+            ),
         ))
         .with_procedure("open", |ctx, args| {
             ctx.insert("balance", Tuple::of([Value::Int(0), args[0].clone()]))?;
@@ -31,7 +34,9 @@ fn account_type() -> ReactorType {
             Ok(Value::Float(row.at(1).as_float()))
         })
         .with_procedure("balance", |ctx, _args| {
-            Ok(Value::Float(ctx.get_expected("balance", &Key::Int(0))?.at(1).as_float()))
+            Ok(Value::Float(
+                ctx.get_expected("balance", &Key::Int(0))?.at(1).as_float(),
+            ))
         })
         .with_procedure("transfer", |ctx, args| {
             let destination = args[0].as_str().to_owned();
@@ -67,11 +72,25 @@ fn main() {
     for name in ["alice", "bob", "carol"] {
         db.invoke(name, "open", vec![Value::Float(100.0)]).unwrap();
     }
-    db.invoke("alice", "transfer", vec![Value::Str("bob".into()), Value::Float(30.0)]).unwrap();
-    db.invoke("bob", "transfer", vec![Value::Str("carol".into()), Value::Float(55.0)]).unwrap();
+    db.invoke(
+        "alice",
+        "transfer",
+        vec![Value::Str("bob".into()), Value::Float(30.0)],
+    )
+    .unwrap();
+    db.invoke(
+        "bob",
+        "transfer",
+        vec![Value::Str("carol".into()), Value::Float(55.0)],
+    )
+    .unwrap();
 
     // An over-draft is rejected by application logic and rolls back cleanly.
-    let rejected = db.invoke("carol", "transfer", vec![Value::Str("alice".into()), Value::Float(1e6)]);
+    let rejected = db.invoke(
+        "carol",
+        "transfer",
+        vec![Value::Str("alice".into()), Value::Float(1e6)],
+    );
     println!("overdraft rejected: {}", rejected.is_err());
 
     for name in ["alice", "bob", "carol"] {

@@ -17,7 +17,10 @@ use reactdb::workloads::smallbank::{self, Formulation};
 fn main() {
     let containers = 4;
     let customers = 64;
-    let db = ReactDB::boot(smallbank::spec(customers), DeploymentConfig::shared_nothing(containers));
+    let db = ReactDB::boot(
+        smallbank::spec(customers),
+        DeploymentConfig::shared_nothing(containers),
+    );
     smallbank::load(&db, customers).unwrap();
 
     let txn_size = 3;
@@ -36,7 +39,10 @@ fn main() {
     };
 
     println!("multi-transfer, size {txn_size}, shared-nothing over {containers} executors\n");
-    println!("{:<18} {:>14} {:>14} {:>14}", "formulation", "engine [µs]", "sim [µs]", "model [µs]");
+    println!(
+        "{:<18} {:>14} {:>14} {:>14}",
+        "formulation", "engine [µs]", "sim [µs]", "model [µs]"
+    );
     for formulation in Formulation::all() {
         // Live engine measurement.
         let iterations = 300;

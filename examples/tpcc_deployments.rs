@@ -15,7 +15,12 @@ use reactdb::workloads::tpcc::{self, TpccGenerator, TpccScale};
 
 fn run(label: &str, config: DeploymentConfig) {
     let warehouses = 2;
-    let scale = TpccScale { warehouses, districts: 4, customers_per_district: 20, items: 200 };
+    let scale = TpccScale {
+        warehouses,
+        districts: 4,
+        customers_per_district: 20,
+        items: 200,
+    };
     let db = ReactDB::boot(tpcc::spec(warehouses), config);
     tpcc::load(&db, scale).unwrap();
 
@@ -46,6 +51,9 @@ fn main() {
         "shared-everything-without-affinity",
         DeploymentConfig::shared_everything_without_affinity(2),
     );
-    run("shared-everything-with-affinity", DeploymentConfig::shared_everything_with_affinity(2));
+    run(
+        "shared-everything-with-affinity",
+        DeploymentConfig::shared_everything_with_affinity(2),
+    );
     run("shared-nothing", DeploymentConfig::shared_nothing(2));
 }

@@ -10,4 +10,5 @@ pub use reactdb_engine as engine;
 pub use reactdb_sim as sim;
 pub use reactdb_storage as storage;
 pub use reactdb_txn as txn;
+pub use reactdb_wal as wal;
 pub use reactdb_workloads as workloads;

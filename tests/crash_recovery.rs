@@ -1,0 +1,213 @@
+//! Crash-recovery integration test: a SmallBank prefix is committed under
+//! epoch-based group commit, the database "crashes" mid-epoch, and recovery
+//! must restore exactly the transactions of fully synced epochs — then keep
+//! committing with monotonically increasing TIDs.
+
+use reactdb::common::{DeploymentConfig, DurabilityConfig, Key, Value};
+use reactdb::engine::ReactDB;
+use reactdb::workloads::smallbank::{self, customer_name, INITIAL_BALANCE};
+
+const CUSTOMERS: usize = 8;
+
+fn wal_dir(tag: &str) -> String {
+    let dir = std::env::temp_dir().join(format!(
+        "reactdb-crash-recovery-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir.to_string_lossy().into_owned()
+}
+
+fn durable_config(dir: &str) -> DeploymentConfig {
+    // Manual group commit (interval 0) makes the durable/lost boundary
+    // deterministic; the daemon path is exercised by the engine unit tests.
+    DeploymentConfig::shared_nothing(4)
+        .with_durability(DurabilityConfig::epoch_sync(dir).with_interval_ms(0))
+}
+
+fn savings_balance(db: &ReactDB, customer: usize) -> f64 {
+    db.table(&customer_name(customer), "savings")
+        .unwrap()
+        .get(&Key::Int(customer as i64))
+        .unwrap()
+        .read_unguarded()
+        .at(1)
+        .as_float()
+}
+
+#[test]
+fn smallbank_prefix_survives_crash_and_database_resumes() {
+    let dir = wal_dir("smallbank");
+    let config = durable_config(&dir);
+
+    let db = ReactDB::boot(smallbank::spec(CUSTOMERS), config.clone());
+    smallbank::load(&db, CUSTOMERS).unwrap();
+
+    // --- Durable prefix: deposits plus a cross-container multi-transfer.
+    for customer in 0..4 {
+        db.invoke(
+            &customer_name(customer),
+            "deposit_checking",
+            vec![Value::Float(100.0 + customer as f64)],
+        )
+        .unwrap();
+    }
+    db.invoke(
+        &customer_name(0),
+        "multi_transfer_opt",
+        smallbank::multi_transfer_invocation(0, &[1, 2, 3], 50.0),
+    )
+    .unwrap();
+    let durable_epoch = db.wal_sync().expect("durability enabled");
+    assert!(durable_epoch >= 1);
+    assert!(db.stats().log_syncs() >= 1);
+    assert!(db.stats().log_bytes() > 0);
+
+    // --- Mid-epoch suffix: committed and acknowledged, but never synced;
+    // the simulated crash must lose it.
+    db.invoke(
+        &customer_name(5),
+        "deposit_checking",
+        vec![Value::Float(77_777.0)],
+    )
+    .unwrap();
+    db.invoke(
+        &customer_name(4),
+        "multi_transfer_opt",
+        smallbank::multi_transfer_invocation(4, &[5, 6], 1_000.0),
+    )
+    .unwrap();
+    db.simulate_crash();
+
+    // --- Recover and verify the durable prefix, row by row.
+    let recovered = ReactDB::recover(smallbank::spec(CUSTOMERS), config.clone()).unwrap();
+    assert!(
+        recovered.stats().recovered_txns() >= 5,
+        "expected the synced prefix to replay, got {}",
+        recovered.stats().recovered_txns()
+    );
+    for customer in 0..4 {
+        let balance = recovered
+            .invoke(&customer_name(customer), "balance", vec![])
+            .unwrap()
+            .as_float();
+        let expected = 2.0 * INITIAL_BALANCE
+            + 100.0
+            + customer as f64
+            + if customer == 0 { -150.0 } else { 50.0 };
+        assert!(
+            (balance - expected).abs() < 1e-9,
+            "customer {customer}: got {balance}, expected {expected}"
+        );
+    }
+    // The unsynced suffix is gone: balances 4..=6 are untouched.
+    assert_eq!(savings_balance(&recovered, 4), INITIAL_BALANCE);
+    assert_eq!(savings_balance(&recovered, 5), INITIAL_BALANCE);
+    let checking5 = recovered
+        .table(&customer_name(5), "checking")
+        .unwrap()
+        .get(&Key::Int(5))
+        .unwrap()
+        .read_unguarded()
+        .at(1)
+        .as_float();
+    assert_eq!(
+        checking5, INITIAL_BALANCE,
+        "unsynced deposit must not resurface"
+    );
+
+    // --- The recovered database resumes committing, with commit TIDs that
+    // dominate every replayed TID.
+    let replayed_tid = recovered
+        .table(&customer_name(1), "savings")
+        .unwrap()
+        .get(&Key::Int(1))
+        .unwrap()
+        .tid();
+    assert!(replayed_tid.version() > 0);
+    recovered
+        .invoke(
+            &customer_name(1),
+            "transact_saving",
+            vec![Value::Float(5.0)],
+        )
+        .unwrap();
+    let new_tid = recovered
+        .table(&customer_name(1), "savings")
+        .unwrap()
+        .get(&Key::Int(1))
+        .unwrap()
+        .tid();
+    assert!(
+        new_tid.version() > replayed_tid.version(),
+        "recovered TID generation must stay monotonic: {replayed_tid:?} -> {new_tid:?}"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn double_crash_recovery_is_stable() {
+    // Recover, commit more, crash again, recover again: both durable
+    // generations must be visible exactly once.
+    let dir = wal_dir("double");
+    let config = durable_config(&dir);
+
+    let db = ReactDB::boot(smallbank::spec(CUSTOMERS), config.clone());
+    smallbank::load(&db, CUSTOMERS).unwrap();
+    db.invoke(
+        &customer_name(0),
+        "transact_saving",
+        vec![Value::Float(10.0)],
+    )
+    .unwrap();
+    db.wal_sync().unwrap();
+    db.simulate_crash();
+
+    let db = ReactDB::recover(smallbank::spec(CUSTOMERS), config.clone()).unwrap();
+    db.invoke(
+        &customer_name(0),
+        "transact_saving",
+        vec![Value::Float(7.0)],
+    )
+    .unwrap();
+    db.wal_sync().unwrap();
+    db.invoke(
+        &customer_name(0),
+        "transact_saving",
+        vec![Value::Float(100_000.0)],
+    )
+    .unwrap();
+    db.simulate_crash();
+
+    let db = ReactDB::recover(smallbank::spec(CUSTOMERS), config.clone()).unwrap();
+    assert_eq!(
+        savings_balance(&db, 0),
+        INITIAL_BALANCE + 17.0,
+        "both durable increments applied exactly once, unsynced one lost"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn buffered_mode_replays_flushed_commits() {
+    let dir = wal_dir("buffered");
+    let config = DeploymentConfig::shared_everything_with_affinity(2)
+        .with_durability(DurabilityConfig::buffered(&dir));
+
+    let db = ReactDB::boot(smallbank::spec(CUSTOMERS), config.clone());
+    smallbank::load(&db, CUSTOMERS).unwrap();
+    db.invoke(
+        &customer_name(3),
+        "transact_saving",
+        vec![Value::Float(123.0)],
+    )
+    .unwrap();
+    db.wal_sync().unwrap(); // buffered flush, no fsync/marker
+    db.simulate_crash();
+
+    let recovered = ReactDB::recover(smallbank::spec(CUSTOMERS), config).unwrap();
+    assert_eq!(savings_balance(&recovered, 3), INITIAL_BALANCE + 123.0);
+    let _ = std::fs::remove_dir_all(&dir);
+}

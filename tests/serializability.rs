@@ -16,7 +16,11 @@ fn boot(customers: usize, config: DeploymentConfig) -> ReactDB {
 
 fn total_money(db: &ReactDB, customers: usize) -> f64 {
     (0..customers)
-        .map(|i| db.invoke(&smallbank::customer_name(i), "balance", vec![]).unwrap().as_float())
+        .map(|i| {
+            db.invoke(&smallbank::customer_name(i), "balance", vec![])
+                .unwrap()
+                .as_float()
+        })
         .sum()
 }
 
@@ -65,7 +69,11 @@ fn concurrent_multi_transfers_conserve_money_across_deployments() {
             (total - customers as f64 * 2.0 * INITIAL_BALANCE).abs() < 1e-6,
             "money not conserved under {config:?}: {total}"
         );
-        assert_eq!(db.stats().committed() as usize, total_commits + customers, "commit accounting");
+        assert_eq!(
+            db.stats().committed() as usize,
+            total_commits + customers,
+            "commit accounting"
+        );
     }
 }
 
@@ -87,9 +95,15 @@ fn failed_multi_transfer_leaves_no_partial_effects() {
         .unwrap_err();
     assert!(err.is_user_abort());
     for i in 0..customers {
-        let balance =
-            db.invoke(&smallbank::customer_name(i), "balance", vec![]).unwrap().as_float();
-        assert_eq!(balance, 2.0 * INITIAL_BALANCE, "customer {i} must be untouched");
+        let balance = db
+            .invoke(&smallbank::customer_name(i), "balance", vec![])
+            .unwrap()
+            .as_float();
+        assert_eq!(
+            balance,
+            2.0 * INITIAL_BALANCE,
+            "customer {i} must be untouched"
+        );
     }
 }
 
@@ -99,8 +113,12 @@ fn failed_multi_transfer_leaves_no_partial_effects() {
 #[test]
 fn deployments_are_semantically_equivalent() {
     let customers = 6;
-    let script: Vec<(usize, Vec<usize>, f64)> =
-        vec![(0, vec![1, 2], 10.0), (3, vec![4], 25.0), (5, vec![0, 1, 2, 3], 5.0), (2, vec![5], 7.5)];
+    let script: Vec<(usize, Vec<usize>, f64)> = vec![
+        (0, vec![1, 2], 10.0),
+        (3, vec![4], 25.0),
+        (5, vec![0, 1, 2, 3], 5.0),
+        (2, vec![5], 7.5),
+    ];
 
     let mut final_states: Vec<Vec<f64>> = Vec::new();
     for config in [
@@ -120,7 +138,9 @@ fn deployments_are_semantically_equivalent() {
         final_states.push(
             (0..customers)
                 .map(|i| {
-                    db.invoke(&smallbank::customer_name(i), "balance", vec![]).unwrap().as_float()
+                    db.invoke(&smallbank::customer_name(i), "balance", vec![])
+                        .unwrap()
+                        .as_float()
                 })
                 .collect(),
         );

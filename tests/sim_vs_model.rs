@@ -149,8 +149,14 @@ fn ycsb_skew_effect_reverses_under_queueing() {
     // reverses) that advantage — the relative gain of skew must shrink.
     let gain_1 = latency(0.01, 1) / latency(5.0, 1);
     let gain_4 = latency(0.01, 4) / latency(5.0, 4);
-    assert!(gain_4 < gain_1, "queueing must reduce the benefit of locality: {gain_1:.2} -> {gain_4:.2}");
-    assert!(latency(5.0, 4) > latency(5.0, 1), "queueing delays must be visible at high skew");
+    assert!(
+        gain_4 < gain_1,
+        "queueing must reduce the benefit of locality: {gain_1:.2} -> {gain_4:.2}"
+    );
+    assert!(
+        latency(5.0, 4) > latency(5.0, 1),
+        "queueing delays must be visible at high skew"
+    );
 }
 
 /// The simulator's utilization accounting mirrors the paper's observation
@@ -177,8 +183,15 @@ fn utilization_profile_distinguishes_architectures() {
     let busy_executors = |report: &reactdb_sim::SimReport| {
         report.utilization().iter().filter(|u| **u > 0.05).count()
     };
-    assert_eq!(busy_executors(&se), 1, "affinity keeps the single worker on one core");
-    assert!(busy_executors(&sn) >= 3, "async fan-out spreads stock updates over the cores");
+    assert_eq!(
+        busy_executors(&se),
+        1,
+        "affinity keeps the single worker on one core"
+    );
+    assert!(
+        busy_executors(&sn) >= 3,
+        "async fan-out spreads stock updates over the cores"
+    );
 }
 
 /// The workload generators are deterministic for a fixed seed, which the
@@ -191,6 +204,9 @@ fn workload_generation_is_deterministic() {
     let mut rng_a = StdRng::seed_from_u64(77);
     let mut rng_b = StdRng::seed_from_u64(77);
     for worker in 0..16 {
-        assert_eq!(a.next_txn(worker, &mut rng_a), b.next_txn(worker, &mut rng_b));
+        assert_eq!(
+            a.next_txn(worker, &mut rng_a),
+            b.next_txn(worker, &mut rng_b)
+        );
     }
 }

@@ -10,7 +10,12 @@ use reactdb_workloads::tpcc::{self, TpccGenerator, TpccScale};
 
 fn run_mix(config: DeploymentConfig, txns: usize, seed: u64) -> (ReactDB, TpccScale) {
     let warehouses = 2;
-    let scale = TpccScale { warehouses, districts: 3, customers_per_district: 10, items: 100 };
+    let scale = TpccScale {
+        warehouses,
+        districts: 3,
+        customers_per_district: 10,
+        items: 100,
+    };
     let db = ReactDB::boot(tpcc::spec(warehouses), config);
     tpcc::load(&db, scale).unwrap();
     let generator = TpccGenerator::standard(scale);
@@ -83,7 +88,11 @@ fn order_id_allocation_is_consistent() {
 /// condition 2 analogue), since every payment updates both.
 #[test]
 fn payment_ytd_sums_are_consistent() {
-    let (db, scale) = run_mix(DeploymentConfig::shared_everything_with_affinity(2), 250, 13);
+    let (db, scale) = run_mix(
+        DeploymentConfig::shared_everything_with_affinity(2),
+        250,
+        13,
+    );
     for w in 0..scale.warehouses {
         let name = tpcc::warehouse_name(w);
         let w_ytd = db
@@ -101,7 +110,10 @@ fn payment_ytd_sums_are_consistent() {
             .iter()
             .map(|(_, r)| r.read_unguarded().at(2).as_float())
             .sum();
-        assert!((w_ytd - d_ytd_sum).abs() < 1e-6, "warehouse {w}: {w_ytd} vs {d_ytd_sum}");
+        assert!(
+            (w_ytd - d_ytd_sum).abs() < 1e-6,
+            "warehouse {w}: {w_ytd} vs {d_ytd_sum}"
+        );
     }
 }
 
@@ -110,7 +122,12 @@ fn payment_ytd_sums_are_consistent() {
 #[test]
 fn remote_counters_reflect_cross_reactor_work() {
     let warehouses = 2;
-    let scale = TpccScale { warehouses, districts: 2, customers_per_district: 5, items: 50 };
+    let scale = TpccScale {
+        warehouses,
+        districts: 2,
+        customers_per_district: 5,
+        items: 50,
+    };
     let db = ReactDB::boot(tpcc::spec(warehouses), DeploymentConfig::shared_nothing(2));
     tpcc::load(&db, scale).unwrap();
     let mut generator = TpccGenerator::standard(scale);
@@ -120,7 +137,10 @@ fn remote_counters_reflect_cross_reactor_work() {
     let mut committed = 0;
     for i in 0..60 {
         let inv = generator.next(i % warehouses, &mut rng);
-        if db.invoke(&tpcc::warehouse_name(inv.warehouse), inv.proc, inv.args).is_ok() {
+        if db
+            .invoke(&tpcc::warehouse_name(inv.warehouse), inv.proc, inv.args)
+            .is_ok()
+        {
             committed += 1;
         }
     }
@@ -135,8 +155,14 @@ fn remote_counters_reflect_cross_reactor_work() {
                 .sum::<i64>()
         })
         .sum();
-    assert!(remote_updates > 0, "100% remote items must bump remote counters");
-    assert!(db.stats().sub_txns_dispatched() > 0, "cross-container sub-transactions were dispatched");
+    assert!(
+        remote_updates > 0,
+        "100% remote items must bump remote counters"
+    );
+    assert!(
+        db.stats().sub_txns_dispatched() > 0,
+        "cross-container sub-transactions were dispatched"
+    );
 }
 
 /// The abort rate of the engine under the standard mix at low contention is
@@ -144,7 +170,11 @@ fn remote_counters_reflect_cross_reactor_work() {
 #[test]
 fn low_contention_mix_has_negligible_abort_rate() {
     let (db, _) = run_mix(DeploymentConfig::shared_nothing(2), 200, 17);
-    assert!(db.stats().abort_rate() < 0.05, "abort rate {}", db.stats().abort_rate());
+    assert!(
+        db.stats().abort_rate() < 0.05,
+        "abort rate {}",
+        db.stats().abort_rate()
+    );
     assert_eq!(db.stats().dangerous_aborts(), 0);
     let _ = Value::Null;
 }
