@@ -19,10 +19,11 @@ fn empty_txn_db() -> ReactDB {
 
 fn bench_engine(c: &mut Criterion) {
     // Appendix F.3: overhead of an empty transaction invocation through the
-    // full container/executor/commit path.
+    // full container/executor/commit path (client session API).
     let db = empty_txn_db();
+    let client = db.client();
     c.bench_function("engine/empty_transaction_overhead", |b| {
-        b.iter(|| db.invoke("empty-0", "noop", vec![]).unwrap())
+        b.iter(|| client.invoke("empty-0", "noop", vec![]).unwrap())
     });
 
     // A size-3 multi-transfer (opt formulation) on the live engine under a
@@ -33,14 +34,16 @@ fn bench_engine(c: &mut Criterion) {
         DeploymentConfig::shared_nothing(4),
     );
     smallbank::load(&bank, customers).unwrap();
+    let bank_client = bank.client();
     c.bench_function("engine/smallbank_multi_transfer_opt_size3", |b| {
         b.iter(|| {
-            bank.invoke(
-                &smallbank::customer_name(0),
-                "multi_transfer_opt",
-                smallbank::multi_transfer_invocation(0, &[1, 2, 3], 0.01),
-            )
-            .unwrap()
+            bank_client
+                .invoke(
+                    &smallbank::customer_name(0),
+                    "multi_transfer_opt",
+                    smallbank::multi_transfer_invocation(0, &[1, 2, 3], 0.01),
+                )
+                .unwrap()
         })
     });
 }

@@ -1,9 +1,14 @@
 //! Micro-benchmarks of the Silo OCC commit path: read-only validation,
-//! single-record updates and multi-participant (2PC) commits.
+//! single-record updates and multi-participant (2PC) commits — plus the
+//! same update-commit shape through the full client session API, so the
+//! cost the engine layers (routing, executor queue, handle resolution) add
+//! over the raw coordinator stays measured.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use reactdb_common::{ContainerId, Key, Value};
-use reactdb_storage::{ColumnType, Schema, Table, Tuple};
+use reactdb_common::{ContainerId, DeploymentConfig, Key, Value};
+use reactdb_core::{ReactorDatabaseSpec, ReactorType};
+use reactdb_engine::ReactDB;
+use reactdb_storage::{ColumnType, RelationDef, Schema, Table, Tuple};
 use reactdb_txn::{Coordinator, EpochManager, OccTxn, TidGen};
 use std::sync::Arc;
 
@@ -61,5 +66,45 @@ fn bench_occ(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_occ);
+/// The update-commit shape of `occ/update_commit`, but entered through the
+/// client session API: submit → route → execute → Silo commit → handle
+/// resolution. The delta against the raw-coordinator number is the full
+/// engine + session overhead per transaction.
+fn bench_occ_client(c: &mut Criterion) {
+    let rows = 10_000i64;
+    let counter = ReactorType::new("Counter")
+        .with_relation(RelationDef::new(
+            "t",
+            Schema::of(&[("id", ColumnType::Int), ("v", ColumnType::Int)], &["id"]),
+        ))
+        .with_procedure("bump", |ctx, args| {
+            let key = Key::Int(args[0].as_int());
+            let row = ctx.update_with("t", &key, |t| {
+                let v = t.at(1).as_int();
+                t.values_mut()[1] = Value::Int(v + 1);
+            })?;
+            Ok(Value::Int(row.at(1).as_int()))
+        });
+    let mut spec = ReactorDatabaseSpec::new();
+    spec.add_type(counter);
+    spec.add_reactor("counter-0", "Counter");
+    let db = ReactDB::boot(spec, DeploymentConfig::shared_everything_with_affinity(1));
+    for i in 0..rows {
+        db.load_row("counter-0", "t", Tuple::of([Value::Int(i), Value::Int(0)]))
+            .unwrap();
+    }
+
+    let client = db.client();
+    let mut i = 0i64;
+    c.bench_function("occ/update_commit_via_client_session", |b| {
+        b.iter(|| {
+            i = (i + 1) % rows;
+            client
+                .invoke("counter-0", "bump", vec![Value::Int(i)])
+                .unwrap()
+        })
+    });
+}
+
+criterion_group!(benches, bench_occ, bench_occ_client);
 criterion_main!(benches);

@@ -12,6 +12,7 @@
 //! draining its request queue (the cooperative multitasking of §3.2.3), and
 //! the simulator installs one that advances virtual time.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -29,10 +30,21 @@ pub trait WaitHook: Send + Sync {
     fn run_once(&self) -> bool;
 }
 
+/// Callback run exactly once when the future is fulfilled (or its writer is
+/// dropped). The engine's session layer uses it to keep in-flight handle
+/// counts and client-visible outcome statistics accurate without polling.
+pub type FulfillHook = Box<dyn FnOnce(&Result<Value>) + Send>;
+
 #[derive(Default)]
 struct FutureState {
     slot: Mutex<Option<Result<Value>>>,
     cond: Condvar,
+    /// Epoch the transaction committed in, threaded from the coordinator's
+    /// commit TID; `0` means "not committed" (pending, aborted, or a
+    /// transaction with nothing to make durable). Written before the result
+    /// slot is filled, so any reader that observes the result also observes
+    /// the epoch.
+    commit_epoch: AtomicU64,
 }
 
 /// The promise for the result of a sub-transaction.
@@ -52,8 +64,14 @@ impl std::fmt::Debug for ReactorFuture {
 
 /// Write side of a pending future, handed to the executor that will run the
 /// sub-transaction.
+///
+/// Dropping a writer without fulfilling it resolves the future with a
+/// runtime error instead of stranding the reader: a request abandoned in a
+/// closing executor queue is reported promptly rather than via the client
+/// timeout.
 pub struct FutureWriter {
     state: Arc<FutureState>,
+    hook: Option<FulfillHook>,
 }
 
 impl std::fmt::Debug for FutureWriter {
@@ -69,6 +87,7 @@ impl ReactorFuture {
         let state = FutureState {
             slot: Mutex::new(Some(result)),
             cond: Condvar::new(),
+            commit_epoch: AtomicU64::new(0),
         };
         Self {
             state: Arc::new(state),
@@ -84,7 +103,7 @@ impl ReactorFuture {
                 state: Arc::clone(&state),
                 hook: None,
             },
-            FutureWriter { state },
+            FutureWriter { state, hook: None },
         )
     }
 
@@ -97,13 +116,25 @@ impl ReactorFuture {
                 state: Arc::clone(&state),
                 hook: Some(hook),
             },
-            FutureWriter { state },
+            FutureWriter { state, hook: None },
         )
     }
 
     /// True if the future has been fulfilled.
     pub fn is_resolved(&self) -> bool {
         self.state.slot.lock().is_some()
+    }
+
+    /// Epoch the transaction committed in, when it committed and had state
+    /// to make durable. `None` while pending, after an abort, and for
+    /// transactions that touched no container (nothing to log). The client
+    /// layer's `wait_durable` blocks until the WAL's durable epoch covers
+    /// this value.
+    pub fn commit_epoch(&self) -> Option<u64> {
+        match self.state.commit_epoch.load(Ordering::Acquire) {
+            0 => None,
+            epoch => Some(epoch),
+        }
     }
 
     /// Returns the result if already resolved, without blocking.
@@ -169,15 +200,62 @@ impl ReactorFuture {
 }
 
 impl FutureWriter {
+    /// Installs a callback to run exactly once when the future resolves —
+    /// at fulfilment, or at writer drop if the request was abandoned. The
+    /// engine's session layer uses this for in-flight accounting.
+    pub fn on_fulfill(&mut self, hook: FulfillHook) {
+        self.hook = Some(hook);
+    }
+
     /// Fulfils the future. Later fulfilments are ignored (the first result
     /// wins), which keeps abort paths simple.
     pub fn fulfill(self, result: Result<Value>) {
-        let mut slot = self.state.slot.lock();
-        if slot.is_none() {
-            *slot = Some(result);
+        self.fulfill_at(result, None)
+    }
+
+    /// Fulfils the future and, when the transaction committed, records the
+    /// epoch of its commit TID so durability-aware clients can wait for the
+    /// epoch's group commit.
+    pub fn fulfill_at(mut self, result: Result<Value>, commit_epoch: Option<u64>) {
+        self.complete(result, commit_epoch);
+    }
+
+    fn complete(&mut self, result: Result<Value>, commit_epoch: Option<u64>) {
+        if self.state.slot.lock().is_some() {
+            return;
         }
+        // Run the hook *before* publishing the result: any thread that
+        // observes the resolution must also observe the hook's accounting
+        // (in-flight counts, outcome counters). Only this writer can fill
+        // the slot, so the early check above cannot race another filler.
+        if let Some(hook) = self.hook.take() {
+            hook(&result);
+        }
+        if let Some(epoch) = commit_epoch {
+            self.state.commit_epoch.store(epoch, Ordering::Release);
+        }
+        let mut slot = self.state.slot.lock();
+        *slot = Some(result);
         drop(slot);
         self.state.cond.notify_all();
+    }
+}
+
+impl Drop for FutureWriter {
+    fn drop(&mut self) {
+        // A writer dropped without fulfilling means the request was
+        // abandoned (e.g. it sat in an executor queue at shutdown). Resolve
+        // the future with an error so readers are not stranded until their
+        // timeout, and so the fulfil hook still fires exactly once. (A
+        // fulfilled writer already filled the slot and took the hook.)
+        if self.state.slot.lock().is_none() {
+            self.complete(
+                Err(TxnError::Runtime(
+                    "transaction request dropped before completion".into(),
+                )),
+                None,
+            );
+        }
     }
 }
 
@@ -244,6 +322,47 @@ mod tests {
         let (f, _w) = ReactorFuture::pending();
         let err = f.get_timeout(Duration::from_millis(5)).unwrap_err();
         assert!(matches!(err, TxnError::Runtime(_)));
+    }
+
+    #[test]
+    fn commit_epoch_is_carried_with_the_result() {
+        let (f, w) = ReactorFuture::pending();
+        assert_eq!(f.commit_epoch(), None);
+        w.fulfill_at(Ok(Value::Int(1)), Some(42));
+        assert_eq!(f.get().unwrap(), Value::Int(1));
+        assert_eq!(f.commit_epoch(), Some(42));
+
+        let (f, w) = ReactorFuture::pending();
+        w.fulfill(Err(TxnError::ValidationFailed));
+        assert_eq!(f.commit_epoch(), None, "aborts carry no commit epoch");
+    }
+
+    #[test]
+    fn dropped_writer_resolves_with_error_and_fires_hook() {
+        let fired = Arc::new(AtomicUsize::new(0));
+        let (f, mut w) = ReactorFuture::pending();
+        let hook_fired = Arc::clone(&fired);
+        w.on_fulfill(Box::new(move |result| {
+            assert!(result.is_err());
+            hook_fired.fetch_add(1, Ordering::SeqCst);
+        }));
+        drop(w);
+        assert!(matches!(f.get(), Err(TxnError::Runtime(_))));
+        assert_eq!(fired.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn fulfill_hook_fires_exactly_once() {
+        let fired = Arc::new(AtomicUsize::new(0));
+        let (f, mut w) = ReactorFuture::pending();
+        let hook_fired = Arc::clone(&fired);
+        w.on_fulfill(Box::new(move |result| {
+            assert!(result.is_ok());
+            hook_fired.fetch_add(1, Ordering::SeqCst);
+        }));
+        w.fulfill(Ok(Value::Int(7)));
+        assert_eq!(f.get().unwrap(), Value::Int(7));
+        assert_eq!(fired.load(Ordering::SeqCst), 1);
     }
 
     #[test]

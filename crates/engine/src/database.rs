@@ -32,14 +32,17 @@ use std::time::Duration;
 use reactdb_common::ids::TxnIdGen;
 use reactdb_common::{
     ContainerId, DeploymentConfig, ExecutorId, ReactorId, ReactorName, Result, SubTxnId, TxnError,
-    TxnId, Value,
+    Value,
 };
 use reactdb_core::future::WaitHook;
-use reactdb_core::{ActiveSet, CallBackend, ReactorCtx, ReactorDatabaseSpec, ReactorFuture};
+use reactdb_core::{
+    ActiveSet, CallBackend, FulfillHook, ReactorCtx, ReactorDatabaseSpec, ReactorFuture,
+};
 use reactdb_storage::{Table, Tuple};
 use reactdb_txn::{Coordinator, EpochManager, LogSink};
-use reactdb_wal::Wal;
+use reactdb_wal::{LogDirLock, Wal};
 
+use crate::client::{Client, SessionShared};
 use crate::container::Container;
 use crate::executor::ExecutorHandle;
 use crate::request::{Request, RootTxn};
@@ -48,23 +51,26 @@ use crate::stats::DbStats;
 
 /// How long a client invocation waits for its result before reporting a
 /// runtime error. Generous: only hit if the engine is mis-configured.
-const CLIENT_TIMEOUT: Duration = Duration::from_secs(120);
+pub(crate) const CLIENT_TIMEOUT: Duration = Duration::from_secs(120);
 
 /// Period of the background epoch advancer.
 const EPOCH_PERIOD: Duration = Duration::from_millis(10);
 
-struct Inner {
-    spec: Arc<ReactorDatabaseSpec>,
+pub(crate) struct Inner {
+    pub(crate) spec: Arc<ReactorDatabaseSpec>,
     config: DeploymentConfig,
     containers: Vec<Arc<Container>>,
     executors: Vec<Arc<ExecutorHandle>>,
     router: Router,
-    epoch: Arc<EpochManager>,
+    pub(crate) epoch: Arc<EpochManager>,
     active: ActiveSet,
     txn_ids: TxnIdGen,
-    stats: DbStats,
+    pub(crate) stats: DbStats,
     /// Write-ahead log; `None` when the deployment's durability mode is off.
-    wal: Option<Arc<Wal>>,
+    pub(crate) wal: Option<Arc<Wal>>,
+    /// Session behind [`ReactDB::invoke`], the sync convenience entry point;
+    /// dedicated sessions come from [`ReactDB::client`].
+    pub(crate) default_session: Arc<SessionShared>,
     shutdown: std::sync::atomic::AtomicBool,
 }
 
@@ -157,13 +163,19 @@ impl ReactDB {
         let epoch = Arc::new(EpochManager::new());
         let stats = DbStats::new();
 
-        // ---- Durability preflight: a non-recovery boot must refuse a log
-        // directory that already holds WAL state — a fresh instance
-        // restarts at epoch 1 and would reissue (epoch, sequence) pairs
-        // already present in the old segments, corrupting the TID-ordered
-        // replay of any later recovery.
-        if config.durability.is_enabled() {
+        // ---- Durability: lock the log directory for this instance's
+        // lifetime before anything reads or writes it — enforcing the
+        // single-instance rule across processes, not just by convention —
+        // then preflight, recover, and open fresh segments under the lock.
+        let wal = if config.durability.is_enabled() {
             let dir = config.durability.log_dir_path()?;
+            let lock = LogDirLock::acquire(&dir)?;
+
+            // Preflight: a non-recovery boot must refuse a log directory
+            // that already holds WAL state — a fresh instance restarts at
+            // epoch 1 and would reissue (epoch, sequence) pairs already
+            // present in the old segments, corrupting the TID-ordered
+            // replay of any later recovery.
             if !recover && reactdb_wal::log_dir_has_state(&dir)? {
                 return Err(std::io::Error::other(format!(
                     "log directory {} already contains WAL state; \
@@ -171,47 +183,57 @@ impl ReactDB {
                     dir.display()
                 )));
             }
-        }
 
-        // ---- Crash recovery: replay the log before anything can run.
-        if recover && config.durability.is_enabled() {
-            let dir = config.durability.log_dir_path()?;
-            let recovered = reactdb_wal::recover_and_compact(&dir, config.durability.mode)?;
-            for (tid, records) in &recovered.batches {
-                for record in records {
-                    // Route by the *current* reactor-to-container mapping:
-                    // recovery may legitimately restore the log under a
-                    // different deployment of the same reactor database. A
-                    // record for a reactor the new spec does not declare
-                    // has no home; skip it rather than guess (the logged
-                    // container id belongs to the *old* deployment).
-                    let Some(container) = container_of_reactor.get(record.reactor.index()).copied()
-                    else {
-                        continue;
-                    };
-                    if let Ok(table) = containers[container.index()]
-                        .partition()
-                        .table(record.reactor, &record.relation)
-                    {
-                        table.replay(&record.key, record.image.as_ref(), *tid);
+            // Crash recovery: replay the log before anything can run.
+            if recover {
+                let recovered = reactdb_wal::recover_and_compact(&dir, config.durability.mode)?;
+                for (tid, records) in &recovered.batches {
+                    for record in records {
+                        // Route by the *current* reactor-to-container
+                        // mapping: recovery may legitimately restore the log
+                        // under a different deployment of the same reactor
+                        // database. A record for a reactor the new spec does
+                        // not declare has no home; skip it rather than guess
+                        // (the logged container id belongs to the *old*
+                        // deployment).
+                        let Some(container) =
+                            container_of_reactor.get(record.reactor.index()).copied()
+                        else {
+                            continue;
+                        };
+                        if let Ok(table) = containers[container.index()]
+                            .partition()
+                            .table(record.reactor, &record.relation)
+                        {
+                            table.replay(&record.key, record.image.as_ref(), *tid);
+                        }
                     }
                 }
+                // Resume beyond every epoch observed in the log (durable or
+                // discarded) so no pre-crash (epoch, sequence) pair is
+                // reissued.
+                let mut resume = recovered.max_epoch_seen;
+                if recovered.durable_epoch != u64::MAX {
+                    resume = resume.max(recovered.durable_epoch);
+                }
+                epoch.advance_to(resume + 1);
+                for exec in &executors {
+                    exec.tidgen().observe(recovered.max_tid);
+                }
+                stats.record_recovered(recovered.batches.len() as u64);
             }
-            // Resume beyond every epoch observed in the log (durable or
-            // discarded) so no pre-crash (epoch, sequence) pair is reissued.
-            let mut resume = recovered.max_epoch_seen;
-            if recovered.durable_epoch != u64::MAX {
-                resume = resume.max(recovered.durable_epoch);
-            }
-            epoch.advance_to(resume + 1);
-            for exec in &executors {
-                exec.tidgen().observe(recovered.max_tid);
-            }
-            stats.record_recovered(recovered.batches.len() as u64);
-        }
 
-        // ---- Durability: fresh log segments for this instance.
-        let wal = Wal::open(&config.durability, executors.len(), Arc::clone(&epoch))?;
+            // Fresh log segments for this instance; the WAL takes over the
+            // directory lock and holds it until shutdown.
+            Some(Wal::open_locked(
+                &config.durability,
+                executors.len(),
+                Arc::clone(&epoch),
+                lock,
+            )?)
+        } else {
+            None
+        };
         if let Some(wal) = &wal {
             wal.start_daemon(config.durability.group_commit_interval_ms);
             stats.attach_wal(Arc::clone(wal.stats()));
@@ -235,6 +257,7 @@ impl ReactDB {
             txn_ids: TxnIdGen::new(),
             stats,
             wal,
+            default_session: SessionShared::new(),
             shutdown: std::sync::atomic::AtomicBool::new(false),
         });
 
@@ -324,36 +347,31 @@ impl ReactDB {
         self.inner.containers.len()
     }
 
+    /// Opens a new client session: the primary surface for running root
+    /// transactions (§2.2.1 — "asynchronous function calls returning
+    /// promises"). Each call creates an independent session with its own
+    /// statistics; the returned [`Client`] is cheaply cloneable, and clones
+    /// share the session. Many transactions may be in flight per session
+    /// ([`Client::submit`] / [`Client::submit_batch`] pipeline without
+    /// waiting).
+    pub fn client(&self) -> Client {
+        Client::new(Arc::clone(&self.inner), SessionShared::new())
+    }
+
     /// Invokes a root transaction: `proc(args)` on the reactor named
     /// `reactor`, blocking until it commits or aborts (§2.2.3 root
     /// transactions are the unit clients interact with).
+    ///
+    /// Sync convenience over the session API, equivalent to
+    /// `db.client().invoke(..)` but routed through a shared default session.
+    /// Pipelined submission, durability-gated acknowledgement
+    /// (`wait_durable`) and OCC retries live on [`ReactDB::client`].
     pub fn invoke(&self, reactor: &str, proc: &str, args: Vec<Value>) -> Result<Value> {
-        self.submit(reactor, proc, args)?
-            .get_timeout(CLIENT_TIMEOUT)
-    }
-
-    /// Submits a root transaction and returns its future without waiting.
-    pub fn submit(&self, reactor: &str, proc: &str, args: Vec<Value>) -> Result<ReactorFuture> {
-        let inner = &self.inner;
-        if inner.shutdown.load(std::sync::atomic::Ordering::Acquire) {
-            return Err(TxnError::Runtime("database has shut down".into()));
-        }
-        let reactor_idx = inner.spec.reactor_id(reactor)?;
-        let reactor_id = ReactorId(reactor_idx as u64);
-        let root = RootTxn::new(inner.txn_ids.next());
-        let (future, writer) = ReactorFuture::pending();
-        let exec = inner.router.route_root(reactor_id);
-        let ok = inner.executors[exec.index()].enqueue(Request::Root {
-            root,
-            reactor: reactor_id,
-            proc: proc.to_owned(),
-            args,
-            writer,
-        });
-        if !ok {
-            return Err(TxnError::Runtime("executor queue closed".into()));
-        }
-        Ok(future)
+        Client::new(
+            Arc::clone(&self.inner),
+            Arc::clone(&self.inner.default_session),
+        )
+        .invoke(reactor, proc, args)
     }
 
     /// Non-transactional bulk load of one row into a reactor's relation.
@@ -433,6 +451,19 @@ impl ReactDB {
         for handle in self.threads.drain(..) {
             let _ = handle.join();
         }
+        // Workers are gone. Close each queue *before* draining it: a
+        // submitter that raced past the shutdown flag either enqueued
+        // before the close (the drain below drops its request) or is
+        // rejected by the closed queue (the request is dropped at the
+        // submission site). Dropping a request resolves its future with a
+        // runtime error and fires the session hook, so clients get a
+        // prompt error instead of a timeout, in-flight accounting
+        // balances, and no queued hook's `Arc<Inner>` can keep the
+        // database alive as a cycle.
+        for exec in &self.inner.executors {
+            exec.close();
+            while exec.try_recv().is_some() {}
+        }
         self.inner.epoch.stop();
         if let Some(handle) = self.epoch_thread.take() {
             let _ = handle.join();
@@ -484,6 +515,52 @@ impl WaitHook for ExecutorWaitHook {
 }
 
 impl Inner {
+    /// True while the database accepts new root transactions.
+    pub(crate) fn is_accepting(&self) -> bool {
+        !self.shutdown.load(std::sync::atomic::Ordering::Acquire)
+    }
+
+    /// Everything that can reject a root-transaction submission, checked
+    /// *before* any request or accounting exists: shutdown state and the
+    /// reactor name. Returns the resolved reactor id for
+    /// [`Inner::enqueue_root`].
+    pub(crate) fn validate_root(&self, reactor: &str) -> Result<ReactorId> {
+        if !self.is_accepting() {
+            return Err(TxnError::Runtime("database has shut down".into()));
+        }
+        let reactor_idx = self.spec.reactor_id(reactor)?;
+        Ok(ReactorId(reactor_idx as u64))
+    }
+
+    /// Enqueues a validated root transaction and returns its future. This
+    /// cannot fail: if the executor queue rejects the request, the request
+    /// (and the writer inside it) is dropped, which resolves the future
+    /// with a runtime error and fires `hook`. Callers may therefore do
+    /// submission accounting between [`Inner::validate_root`] and this call
+    /// and rely on `hook` firing exactly once afterwards.
+    pub(crate) fn enqueue_root(
+        &self,
+        reactor: ReactorId,
+        proc: &str,
+        args: Vec<Value>,
+        hook: Option<FulfillHook>,
+    ) -> ReactorFuture {
+        let root = RootTxn::new(self.txn_ids.next());
+        let (future, mut writer) = ReactorFuture::pending();
+        if let Some(hook) = hook {
+            writer.on_fulfill(hook);
+        }
+        let exec = self.router.route_root(reactor);
+        let _ = self.executors[exec.index()].enqueue(Request::Root {
+            root,
+            reactor,
+            proc: proc.to_owned(),
+            args,
+            writer,
+        });
+        future
+    }
+
     fn process(self: &Arc<Self>, executor_idx: usize, request: Request) {
         match request {
             Request::Root {
@@ -496,7 +573,9 @@ impl Inner {
                 let result =
                     self.run_subtxn(executor_idx, &root, reactor, SubTxnId(0), &proc, &args);
                 let outcome = match result {
-                    Ok(value) => self.commit_root(executor_idx, &root).map(|_| value),
+                    Ok(value) => self
+                        .commit_root(executor_idx, &root)
+                        .map(|epoch| (value, epoch)),
                     Err(e) => {
                         // Nothing was installed; drop the buffered participants.
                         let _ = root.take_participants();
@@ -509,7 +588,13 @@ impl Inner {
                     Err(e) if e.is_dangerous_structure() => self.stats.record_dangerous_abort(),
                     Err(_) => self.stats.record_user_abort(),
                 }
-                writer.fulfill(outcome);
+                // Thread the commit epoch into the future so durability-
+                // aware clients can gate their acknowledgement on the
+                // epoch's group commit.
+                match outcome {
+                    Ok((value, epoch)) => writer.fulfill_at(Ok(value), epoch),
+                    Err(e) => writer.fulfill(Err(e)),
+                }
             }
             Request::Sub {
                 root,
@@ -526,10 +611,18 @@ impl Inner {
         }
     }
 
-    fn commit_root(self: &Arc<Self>, executor_idx: usize, root: &Arc<RootTxn>) -> Result<()> {
+    /// Commits a root transaction's participants. On success returns the
+    /// epoch of the commit TID — the epoch whose group commit makes the
+    /// transaction durable — or `None` for transactions that touched no
+    /// container (nothing to validate or log, so durability is trivial).
+    fn commit_root(
+        self: &Arc<Self>,
+        executor_idx: usize,
+        root: &Arc<RootTxn>,
+    ) -> Result<Option<u64>> {
         let mut participants = root.take_participants();
         if participants.is_empty() {
-            return Ok(());
+            return Ok(None);
         }
         // Hold the WAL's commit gate across the serialization point and the
         // log append: the group-commit daemon drains these guards before
@@ -543,7 +636,7 @@ impl Inner {
             self.executors[executor_idx].tidgen(),
             sink,
         )
-        .map(|_| ())
+        .map(|tid| Some(tid.epoch()))
     }
 
     /// Runs one (sub-)transaction: enforces the active-set safety condition,
@@ -710,13 +803,6 @@ impl CallBackend for EngineBackend {
             .unwrap_or("")
     }
 }
-
-/// Marker type kept for documentation: a root transaction identifier paired
-/// with the database it belongs to. Currently unused by the public API but
-/// handy for future durability hooks.
-#[allow(dead_code)]
-#[derive(Debug, Clone, Copy)]
-pub(crate) struct TxnHandle(pub TxnId);
 
 #[cfg(test)]
 mod tests {
@@ -1159,6 +1245,162 @@ mod tests {
             Value::Float(500.0)
         );
         assert_eq!(db.table("acct-1", "balance").unwrap().visible_len(), 1);
+    }
+
+    #[test]
+    fn client_pipelines_handles_and_tracks_session_stats() {
+        // MPL 1 serializes the deposits on their executor (no OCC aborts);
+        // the pipelining under test lives in the queue, not in intra-
+        // reactor parallelism.
+        let db = boot(DeploymentConfig::shared_nothing(4).with_mpl(1));
+        let client = db.client();
+        // slow_deposit keeps the executor busy long enough that all three
+        // handles are genuinely in flight at once.
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                client
+                    .submit("acct-0", "slow_deposit", vec![Value::Float(1.0)])
+                    .unwrap()
+            })
+            .collect();
+        let stats = client.stats();
+        assert_eq!(stats.submitted, 3);
+        assert!(stats.in_flight >= 2, "pipelined handles overlap");
+        for handle in &handles {
+            handle.wait().unwrap();
+        }
+        let stats = client.stats();
+        assert_eq!(stats.committed, 3);
+        assert_eq!(stats.aborted, 0);
+        assert_eq!(stats.in_flight, 0);
+        assert!(stats.in_flight_hwm >= 2);
+        assert_eq!(
+            db.invoke("acct-0", "balance", vec![]).unwrap(),
+            Value::Float(3.0)
+        );
+        // The same outcomes are visible database-wide.
+        assert!(db.stats().client_committed() >= 3);
+        assert!(db.stats().handles_in_flight_hwm() >= 2);
+        assert_eq!(db.stats().handles_in_flight(), 0);
+    }
+
+    #[test]
+    fn submit_batch_runs_every_call_and_fails_fast_on_bad_names() {
+        use crate::client::Call;
+        let db = boot(DeploymentConfig::shared_everything_with_affinity(2));
+        let client = db.client();
+        let handles = client
+            .submit_batch((0..4).map(|i| {
+                Call::new(
+                    format!("acct-{i}"),
+                    "deposit",
+                    vec![Value::Float(1.0 + i as f64)],
+                )
+            }))
+            .unwrap();
+        let results: Vec<Value> = handles.iter().map(|h| h.wait().unwrap()).collect();
+        assert_eq!(results[3], Value::Float(4.0));
+        assert!(matches!(
+            client
+                .submit_batch([Call::new("nope", "deposit", vec![])])
+                .unwrap_err(),
+            TxnError::UnknownReactor(_)
+        ));
+    }
+
+    #[test]
+    fn handles_expose_commit_epoch_and_try_result() {
+        let db = boot(DeploymentConfig::shared_nothing(2));
+        let client = db.client();
+        let handle = client
+            .submit("acct-1", "deposit", vec![Value::Float(2.0)])
+            .unwrap();
+        assert_eq!(handle.wait().unwrap(), Value::Float(2.0));
+        assert!(handle.is_resolved());
+        assert!(handle.try_result().unwrap().is_ok());
+        assert!(
+            handle.commit_epoch().is_some(),
+            "a committed write carries its epoch"
+        );
+        // Aborts carry no commit epoch.
+        let aborted = client.submit("acct-1", "always_abort", vec![]).unwrap();
+        assert!(aborted.wait().is_err());
+        assert_eq!(aborted.commit_epoch(), None);
+        assert_eq!(client.stats().aborted, 1);
+    }
+
+    #[test]
+    fn wait_durable_blocks_until_the_commit_epoch_is_synced() {
+        use reactdb_common::DurabilityConfig;
+        let dir = wal_dir("durable-ack");
+        // Interval 0: no daemon, so wait_durable must kick the group commit
+        // itself — the strictest path.
+        let config = DeploymentConfig::shared_nothing(2)
+            .with_durability(DurabilityConfig::epoch_sync(&dir).with_interval_ms(0));
+        let db = boot(config);
+        let client = db.client();
+        let handle = client
+            .submit("acct-0", "deposit", vec![Value::Float(9.0)])
+            .unwrap();
+        let value = handle.wait_durable().unwrap();
+        assert_eq!(value, Value::Float(9.0));
+        let commit_epoch = handle.commit_epoch().expect("committed write");
+        assert!(
+            db.durable_epoch().unwrap() >= commit_epoch,
+            "acknowledgement implies the epoch group-committed"
+        );
+        assert!(db.stats().durable_waits() >= 1);
+        // With durability off, wait_durable degrades to wait.
+        let volatile = boot(DeploymentConfig::shared_nothing(2));
+        let h = volatile
+            .client()
+            .submit("acct-0", "deposit", vec![Value::Float(1.0)])
+            .unwrap();
+        assert_eq!(h.wait_durable().unwrap(), Value::Float(1.0));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn live_log_directory_refuses_a_second_instance() {
+        use reactdb_common::DurabilityConfig;
+        let dir = wal_dir("second-instance");
+        let config = DeploymentConfig::shared_everything_with_affinity(1)
+            .with_durability(DurabilityConfig::epoch_sync(&dir).with_interval_ms(0));
+        let db = boot(config.clone());
+        db.invoke("acct-0", "deposit", vec![Value::Float(1.0)])
+            .unwrap();
+        // While the first instance lives, the advisory lock refuses any
+        // second instance — including a recovery, which would otherwise
+        // compact segments out from under the live writer.
+        assert!(ReactDB::recover(bank_spec(), config.clone()).is_err());
+        drop(db);
+        // The lock dies with the instance; recovery then proceeds.
+        let recovered = ReactDB::recover(bank_spec(), config).unwrap();
+        assert_eq!(
+            recovered.invoke("acct-0", "balance", vec![]).unwrap(),
+            Value::Float(1.0)
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn invoke_with_retry_commits_and_propagates_user_aborts() {
+        use crate::client::RetryPolicy;
+        let db = boot(DeploymentConfig::shared_nothing(2));
+        let client = db.client();
+        let v = client
+            .invoke_with_retry(
+                "acct-0",
+                "deposit",
+                vec![Value::Float(5.0)],
+                &RetryPolicy::occ(),
+            )
+            .unwrap();
+        assert_eq!(v, Value::Float(5.0));
+        let err = client
+            .invoke_with_retry("acct-0", "always_abort", vec![], &RetryPolicy::occ())
+            .unwrap_err();
+        assert!(err.is_user_abort(), "user aborts are not retried");
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! while blocked are implemented faithfully.
 
 use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+use parking_lot::RwLock;
 use reactdb_common::{ContainerId, ExecutorId};
 use reactdb_txn::TidGen;
 
@@ -22,6 +23,15 @@ pub struct ExecutorHandle {
     mpl: usize,
     sender: Sender<Request>,
     receiver: Receiver<Request>,
+    /// Set at shutdown, once the worker threads are gone: the queue rejects
+    /// further requests (the channel itself never disconnects, since this
+    /// handle owns both endpoints). A rejected request is dropped, which
+    /// resolves its future with an error. An `RwLock` rather than an
+    /// atomic: enqueuers hold the read side across the send, so once
+    /// [`ExecutorHandle::close`] returns from the write side, no send that
+    /// observed the queue open can still be in flight — the post-close
+    /// drain provably sees every stranded request.
+    closed: RwLock<bool>,
     tidgen: TidGen,
 }
 
@@ -35,6 +45,7 @@ impl ExecutorHandle {
             mpl: mpl.max(1),
             sender,
             receiver,
+            closed: RwLock::new(false),
             tidgen: TidGen::new(),
         }
     }
@@ -55,9 +66,27 @@ impl ExecutorHandle {
         self.mpl
     }
 
-    /// Enqueues a request. Returns `false` when the executor has shut down.
+    /// Enqueues a request. Returns `false` when the executor has shut down;
+    /// the rejected request is dropped, resolving its future (if any) with
+    /// a runtime error. The closed check and the send happen under one
+    /// read guard, so a send cannot interleave past a concurrent
+    /// [`ExecutorHandle::close`].
     pub fn enqueue(&self, request: Request) -> bool {
+        let closed = self.closed.read();
+        if *closed {
+            return false;
+        }
         self.sender.send(request).is_ok()
+    }
+
+    /// Closes the queue: no worker threads remain, so every request still
+    /// queued — or enqueued by a racing submitter from here on — must be
+    /// dropped rather than left to strand its client. Taking the write
+    /// side drains every in-flight `enqueue` first; afterwards the caller
+    /// drains the queue with [`ExecutorHandle::try_recv`] and is
+    /// guaranteed to see every request that ever entered it.
+    pub fn close(&self) {
+        *self.closed.write() = true;
     }
 
     /// Blocking receive used by the worker loop. Returns `None` once the
@@ -118,6 +147,24 @@ mod tests {
     fn mpl_is_clamped_to_one() {
         let ex = ExecutorHandle::new(ExecutorId(1), ContainerId(0), 0);
         assert_eq!(ex.mpl(), 1);
+    }
+
+    #[test]
+    fn closed_queue_rejects_requests_and_resolves_their_futures() {
+        let ex = ExecutorHandle::new(ExecutorId(0), ContainerId(0), 1);
+        ex.close();
+        let (future, writer) = ReactorFuture::pending();
+        let rejected = ex.enqueue(Request::Root {
+            root: RootTxn::new(TxnId(1)),
+            reactor: reactdb_common::ReactorId(0),
+            proc: "p".into(),
+            args: vec![],
+            writer,
+        });
+        assert!(!rejected, "closed queues reject requests");
+        // The dropped writer resolved the future: no client can be
+        // stranded behind a request that will never be processed.
+        assert!(future.get().is_err());
     }
 
     #[test]

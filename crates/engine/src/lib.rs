@@ -17,6 +17,10 @@
 //!   invocations from clients, dispatches cross-container sub-transactions,
 //!   enforces the intra-transaction safety condition and commits via Silo
 //!   OCC + 2PC,
+//! * [`Client`] / [`TxnHandle`] — the client session layer: pipelined
+//!   submission of root transactions with validation-time (`wait`) or
+//!   durability-gated (`wait_durable`) acknowledgement, plus
+//!   [`RetryPolicy`]-driven OCC retries,
 //! * [`DbStats`] — commit/abort counters exposed to the benchmark harness.
 //!
 //! Threading model: each executor owns `mpl` worker threads. A worker that
@@ -24,6 +28,7 @@
 //! queue while it waits (cooperative multitasking, §3.2.3), so executors can
 //! never deadlock on mutual sub-transaction calls.
 
+pub mod client;
 pub mod container;
 pub mod database;
 pub mod executor;
@@ -31,6 +36,7 @@ pub mod request;
 pub mod router;
 pub mod stats;
 
+pub use client::{Call, Client, RetryPolicy, SessionStats, TxnHandle};
 pub use container::Container;
 pub use database::ReactDB;
 pub use executor::ExecutorHandle;

@@ -9,6 +9,8 @@ use std::sync::{Arc, OnceLock};
 
 use reactdb_wal::WalStats;
 
+use crate::client::SessionShared;
+
 /// Monotonic counters describing what happened to root transactions.
 #[derive(Debug, Default)]
 pub struct DbStats {
@@ -19,6 +21,12 @@ pub struct DbStats {
     sub_txns_dispatched: AtomicU64,
     sub_txns_inlined: AtomicU64,
     recovered_txns: AtomicU64,
+    /// Client-visible outcome counters, maintained by the session layer
+    /// (`crate::client`): the same aggregate each session keeps, fed with
+    /// the same events across every session of this database. One
+    /// increment per *handle* submission, resolution, or timeout — distinct
+    /// from the engine-side counters above.
+    client: SessionShared,
     /// Durability counters, shared with the write-ahead log when one is
     /// configured.
     wal: OnceLock<Arc<WalStats>>,
@@ -55,6 +63,21 @@ impl DbStats {
         let _ = self.wal.set(stats);
     }
 
+    /// Called by the session layer when a handle is submitted.
+    pub(crate) fn record_client_submit(&self) {
+        self.client.on_submit();
+    }
+    /// Called exactly once per submitted handle when its future resolves
+    /// (commit, abort, or abandonment).
+    pub(crate) fn record_client_resolve(&self, committed: bool) {
+        self.client.on_resolve(committed);
+    }
+    /// Called when a client gave up waiting on a handle (the transaction
+    /// may still resolve later and then also count as committed/aborted).
+    pub(crate) fn record_client_timeout(&self) {
+        self.client.on_timeout();
+    }
+
     /// Root transactions that committed.
     pub fn committed(&self) -> u64 {
         self.committed.load(Ordering::Relaxed)
@@ -78,6 +101,30 @@ impl DbStats {
     /// Sub-transactions executed synchronously on the calling executor.
     pub fn sub_txns_inlined(&self) -> u64 {
         self.sub_txns_inlined.load(Ordering::Relaxed)
+    }
+
+    /// Root transactions whose handle resolved with a commit, as seen by
+    /// client sessions.
+    pub fn client_committed(&self) -> u64 {
+        self.client.snapshot().committed
+    }
+    /// Root transactions whose handle resolved with an error (concurrency
+    /// abort, user abort, or abandonment), as seen by client sessions.
+    pub fn client_aborted(&self) -> u64 {
+        self.client.snapshot().aborted
+    }
+    /// Waits on a handle that hit the client timeout.
+    pub fn client_timeouts(&self) -> u64 {
+        self.client.snapshot().timeouts
+    }
+    /// Handles currently submitted and unresolved across all sessions.
+    pub fn handles_in_flight(&self) -> u64 {
+        self.client.snapshot().in_flight
+    }
+    /// Deepest pipelining observed: the high-water mark of in-flight
+    /// handles.
+    pub fn handles_in_flight_hwm(&self) -> u64 {
+        self.client.snapshot().in_flight_hwm
     }
 
     /// Transactions replayed from the write-ahead log by crash recovery.
@@ -106,6 +153,11 @@ impl DbStats {
     /// or nothing has been synced).
     pub fn durable_epoch(&self) -> u64 {
         self.wal.get().map(|w| w.durable_epoch()).unwrap_or(0)
+    }
+    /// Durable-acknowledgement waits that actually blocked on a group
+    /// commit (`TxnHandle::wait_durable` behind the durable epoch).
+    pub fn durable_waits(&self) -> u64 {
+        self.wal.get().map(|w| w.durable_waits()).unwrap_or(0)
     }
 
     /// Abort rate over attempted root transactions (cc aborts only, matching
@@ -147,5 +199,23 @@ mod tests {
     #[test]
     fn abort_rate_of_idle_database_is_zero() {
         assert_eq!(DbStats::new().abort_rate(), 0.0);
+    }
+
+    #[test]
+    fn client_counters_track_in_flight_high_water() {
+        let s = DbStats::new();
+        s.record_client_submit();
+        s.record_client_submit();
+        s.record_client_submit();
+        assert_eq!(s.handles_in_flight(), 3);
+        assert_eq!(s.handles_in_flight_hwm(), 3);
+        s.record_client_resolve(true);
+        s.record_client_resolve(false);
+        s.record_client_timeout();
+        assert_eq!(s.handles_in_flight(), 1);
+        assert_eq!(s.handles_in_flight_hwm(), 3, "high water is sticky");
+        assert_eq!(s.client_committed(), 1);
+        assert_eq!(s.client_aborted(), 1);
+        assert_eq!(s.client_timeouts(), 1);
     }
 }

@@ -58,6 +58,13 @@ impl Coordinator {
     /// Returns the commit TID on success. On failure every lock is released,
     /// no write is installed anywhere and [`TxnError::ValidationFailed`] is
     /// returned (the caller maps this to an abort of the root transaction).
+    ///
+    /// The epoch embedded in the returned TID is the transaction's
+    /// durability fence: the engine threads it into the client's
+    /// transaction handle, whose `wait_durable` acknowledgement blocks until
+    /// the WAL's durable epoch covers it (the group commit for that epoch
+    /// completed). `wait`-style acknowledgement at validation time remains
+    /// available and precedes durability by at most one epoch.
     pub fn commit(
         participants: &mut [OccTxn],
         epoch: &EpochManager,

@@ -45,7 +45,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use parking_lot::{Mutex, RwLock, RwLockReadGuard};
+use parking_lot::{Condvar, Mutex, RwLock, RwLockReadGuard};
 use reactdb_common::{DurabilityConfig, DurabilityMode};
 use reactdb_storage::TidWord;
 use reactdb_txn::{EpochManager, RedoRecord};
@@ -57,6 +57,77 @@ pub use writer::LogWriter;
 const MARKER_FILE: &str = "durable_epoch";
 /// Magic bytes opening the marker file.
 const MARKER_MAGIC: [u8; 8] = *b"RDBEPOCH";
+/// File name of the advisory single-instance lock.
+const LOCK_FILE: &str = "LOCK";
+
+/// Advisory single-instance lock on a log directory.
+///
+/// A log directory belongs to exactly one live WAL at a time: a second
+/// instance appending its own segments would interleave (epoch, sequence)
+/// pairs, and a recovery compacting the directory under a live writer would
+/// unlink the inode the writer keeps "syncing" into. That rule used to hold
+/// by convention only (ROADMAP open item); this lock enforces it across
+/// processes with [`std::fs::File::try_lock`] on a `LOCK` file. The OS
+/// releases the lock when the holding process exits — even by crash — so a
+/// stale `LOCK` file never blocks recovery.
+///
+/// The lock is held for the lifetime of the value. [`Wal::open`] acquires
+/// one automatically; `reactdb-engine` acquires it *before* crash recovery
+/// scans the directory and hands it to [`Wal::open_locked`], so the
+/// recovery-compact-reopen sequence is covered end to end.
+#[derive(Debug)]
+pub struct LogDirLock {
+    /// Held open for the lock's lifetime; the advisory lock is attached to
+    /// this file description and released when it closes.
+    _file: fs::File,
+    dir: PathBuf,
+}
+
+impl LogDirLock {
+    /// Acquires the advisory lock for `dir`, creating the directory and the
+    /// `LOCK` file as needed. Fails with [`io::ErrorKind::WouldBlock`]-style
+    /// contention mapped to a descriptive error when another live WAL
+    /// instance (in this or any other process) holds the directory.
+    pub fn acquire(dir: &Path) -> io::Result<Self> {
+        fs::create_dir_all(dir)?;
+        let file = fs::OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(false)
+            .open(dir.join(LOCK_FILE))?;
+        match file.try_lock() {
+            Ok(()) => Ok(Self {
+                _file: file,
+                dir: dir.to_path_buf(),
+            }),
+            Err(fs::TryLockError::WouldBlock) => Err(io::Error::other(format!(
+                "log directory {} is locked by another live WAL instance",
+                dir.display()
+            ))),
+            Err(fs::TryLockError::Error(e)) => Err(e),
+        }
+    }
+
+    /// The locked directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+}
+
+/// Parks threads waiting for the durable epoch to reach a target; the
+/// group-commit path notifies after every successful sync.
+#[derive(Default)]
+struct EpochWatch {
+    lock: Mutex<()>,
+    cond: Condvar,
+}
+
+impl EpochWatch {
+    fn notify(&self) {
+        let _guard = self.lock.lock();
+        self.cond.notify_all();
+    }
+}
 
 /// The write-ahead log of one database instance: one writer per executor, a
 /// commit gate, and the group-commit state.
@@ -76,6 +147,20 @@ pub struct Wal {
     stats: Arc<WalStats>,
     stop: AtomicBool,
     daemon: Mutex<Option<JoinHandle<()>>>,
+    /// Group-commit interval the daemon runs at; zero when no daemon was
+    /// started (explicit syncs only). Used to bound how long durable-epoch
+    /// waiters park before kicking a sync themselves.
+    daemon_interval_ms: std::sync::atomic::AtomicU64,
+    /// Wakes [`Wal::wait_durable`] waiters after every group commit.
+    watch: EpochWatch,
+    /// Set once [`Wal::shutdown`] completed: later syncs are refused so a
+    /// lingering client handle cannot write into a directory another
+    /// instance may have taken over.
+    closed: AtomicBool,
+    /// Advisory single-instance lock on the log directory, held until
+    /// shutdown (released there, not at drop, so a lingering `Arc<Wal>` in
+    /// a client handle cannot hold the directory hostage).
+    dir_lock: Mutex<Option<LogDirLock>>,
 }
 
 /// True when `dir` already holds WAL state (segments or a durable-epoch
@@ -102,8 +187,11 @@ pub fn log_dir_has_state(dir: &Path) -> io::Result<bool> {
 
 impl Wal {
     /// Opens the log for a new database instance: creates the log directory
-    /// if needed and a fresh segment generation with one writer per
-    /// executor. Returns `None` when durability is off.
+    /// if needed, acquires the single-instance [`LogDirLock`], and creates a
+    /// fresh segment generation with one writer per executor. Returns `None`
+    /// when durability is off. Callers that must hold the lock *before*
+    /// opening (e.g. across crash recovery) acquire it themselves and use
+    /// [`Wal::open_locked`].
     pub fn open(
         config: &DurabilityConfig,
         executors: usize,
@@ -112,8 +200,26 @@ impl Wal {
         if !config.is_enabled() {
             return Ok(None);
         }
+        let lock = LogDirLock::acquire(&config.log_dir_path()?)?;
+        Self::open_locked(config, executors, epoch, lock).map(Some)
+    }
+
+    /// Like [`Wal::open`], but takes over a [`LogDirLock`] the caller
+    /// already holds (the engine acquires it before recovery scans the
+    /// directory, closing the window in which another instance could sneak
+    /// in between compaction and reopen).
+    pub fn open_locked(
+        config: &DurabilityConfig,
+        executors: usize,
+        epoch: Arc<EpochManager>,
+        lock: LogDirLock,
+    ) -> io::Result<Arc<Self>> {
+        assert!(
+            config.is_enabled(),
+            "open_locked requires an enabled durability mode"
+        );
         let dir = config.log_dir_path()?;
-        fs::create_dir_all(&dir)?;
+        assert_eq!(lock.dir(), dir, "lock must cover the configured log dir");
         let generation = next_generation(&dir)?;
         let stats = Arc::new(WalStats::new());
         let mut writers = Vec::with_capacity(executors);
@@ -135,7 +241,7 @@ impl Wal {
                 stats.seed_durable_epoch(durable);
             }
         }
-        Ok(Some(Arc::new(Self {
+        Ok(Arc::new(Self {
             dir,
             mode: config.mode,
             writers,
@@ -145,7 +251,11 @@ impl Wal {
             stats,
             stop: AtomicBool::new(false),
             daemon: Mutex::new(None),
-        })))
+            daemon_interval_ms: std::sync::atomic::AtomicU64::new(0),
+            watch: EpochWatch::default(),
+            closed: AtomicBool::new(false),
+            dir_lock: Mutex::new(Some(lock)),
+        }))
     }
 
     /// The log directory.
@@ -191,11 +301,19 @@ impl Wal {
     /// record of epochs `<= f - 1` is therefore on disk when the marker
     /// advances to `f - 1`.
     pub fn sync(&self) -> io::Result<u64> {
+        if self.closed.load(Ordering::Acquire) {
+            // Not counted as a sync failure: the log device is fine, the
+            // instance is simply retired (and may no longer own the
+            // directory).
+            return Err(io::Error::other("WAL is shut down"));
+        }
         let result = self.sync_inner();
-        if result.is_err() {
+        if result.is_err() && !self.closed.load(Ordering::Acquire) {
             // Make persistent I/O failures observable: the daemon (and the
             // engine's `wal_sync`) drop the error itself, but the counter
-            // keeps climbing and `durable_epoch` visibly stalls.
+            // keeps climbing and `durable_epoch` visibly stalls. A sync
+            // refused because the instance is retired is not a failure of
+            // the log device and is not counted.
             self.stats.record_sync_failure();
         }
         result
@@ -203,6 +321,13 @@ impl Wal {
 
     fn sync_inner(&self) -> io::Result<u64> {
         let _serial = self.sync_lock.lock();
+        // Re-check under the sync lock: a syncer that passed the fast-path
+        // check in `sync()` and then blocked here while `shutdown` retired
+        // the instance must not touch a directory the lock release may
+        // have handed to a successor.
+        if self.closed.load(Ordering::Acquire) {
+            return Err(io::Error::other("WAL is shut down"));
+        }
         match self.mode {
             DurabilityMode::EpochSync => {
                 let fence = self.epoch.current(); // 1. fence
@@ -215,6 +340,7 @@ impl Wal {
                     write_marker(&self.dir, durable)?; // 4. advance marker
                 }
                 self.stats.record_sync(durable);
+                self.watch.notify(); // 5. wake durable-epoch waiters
                 Ok(durable)
             }
             DurabilityMode::Buffered => {
@@ -222,9 +348,80 @@ impl Wal {
                     writer.flush(false)?;
                 }
                 self.stats.record_sync(self.stats.durable_epoch());
+                self.watch.notify();
                 Ok(self.stats.durable_epoch())
             }
             DurabilityMode::Off => unreachable!("Wal::open returns None for Off"),
+        }
+    }
+
+    /// Blocks until the durable epoch reaches `target`, i.e. until the group
+    /// commit covering epoch `target` completed. Returns the durable epoch
+    /// at that point (`>= target`).
+    ///
+    /// This is the durability gate behind the client API's
+    /// `TxnHandle::wait_durable`: a transaction whose commit TID carries
+    /// epoch `e` is guaranteed on disk exactly when `durable_epoch() >= e`
+    /// (Silo's group-commit acknowledgement rule).
+    ///
+    /// Waiters normally park on the epoch watch and are woken by the
+    /// group-commit daemon after each sync. Two situations make a waiter
+    /// *kick* a group commit itself instead of parking forever:
+    ///
+    /// * no daemon is running (interval 0, the explicit-sync mode tests and
+    ///   latency-sensitive clients use), or
+    /// * the daemon missed its deadline by more than two intervals (daemon
+    ///   death must not strand acknowledgements).
+    ///
+    /// The kick first raises the global epoch beyond `target` — the fence
+    /// read by the sync must exceed the target for `fence - 1 >= target` —
+    /// then performs one group commit. Concurrent kickers serialize on the
+    /// sync lock and re-check the durable epoch, so a burst of waiters
+    /// costs one fsync, not one each.
+    pub fn wait_durable(&self, target: u64) -> io::Result<u64> {
+        if self.mode != DurabilityMode::EpochSync {
+            // Buffered mode has no durable-epoch notion; one flush pushes
+            // every appended frame to the OS, which is the strongest
+            // guarantee the mode offers. Callers get back immediately.
+            self.sync()?;
+            return Ok(self.stats.durable_epoch());
+        }
+        if self.stats.durable_epoch() >= target {
+            return Ok(self.stats.durable_epoch());
+        }
+        self.stats.record_durable_wait();
+        loop {
+            let durable = self.stats.durable_epoch();
+            if durable >= target {
+                return Ok(durable);
+            }
+            let interval = self.daemon_interval_ms.load(Ordering::Acquire);
+            let daemon_alive = interval > 0 && !self.stop.load(Ordering::Acquire);
+            if daemon_alive {
+                // Check-park under the watch lock: a sync completing between
+                // the check above and the park below notifies under the same
+                // lock, so the wakeup cannot be lost. The bounded wait is
+                // the fallback for a stalled daemon.
+                let mut guard = self.watch.lock.lock();
+                if self.stats.durable_epoch() >= target {
+                    continue; // re-read and return at the top of the loop
+                }
+                let timed_out = self
+                    .watch
+                    .cond
+                    .wait_for(&mut guard, Duration::from_millis(2 * interval))
+                    .timed_out();
+                drop(guard);
+                if !timed_out {
+                    continue;
+                }
+            }
+            // Kick: advance the epoch past the target and group-commit.
+            self.epoch.advance_to(target + 1);
+            let durable = self.sync()?;
+            if durable >= target {
+                return Ok(durable);
+            }
         }
     }
 
@@ -235,6 +432,8 @@ impl Wal {
         if interval_ms == 0 {
             return;
         }
+        self.daemon_interval_ms
+            .store(interval_ms, Ordering::Release);
         let wal = Arc::clone(self);
         let handle = std::thread::Builder::new()
             .name("reactdb-wal-sync".into())
@@ -264,12 +463,27 @@ impl Wal {
         if let Some(handle) = self.daemon.lock().take() {
             let _ = handle.join();
         }
-        if flush {
+        if flush && !self.closed.load(Ordering::Acquire) {
             if self.mode == DurabilityMode::EpochSync {
                 self.epoch.advance();
             }
             let _ = self.sync();
         }
+        // Retire the instance: refuse later syncs and release the log
+        // directory, so a lingering `Arc<Wal>` held by a client handle can
+        // neither block a successor instance nor write under it. Both
+        // happen under the sync lock: a concurrent syncer either completed
+        // before the release (directory still ours) or re-checks `closed`
+        // under the lock and is refused — it can never write into a
+        // directory a successor has taken over. Waiters parked in
+        // `wait_durable` observe the stop flag, fall through to the kick
+        // path and get the shutdown error.
+        {
+            let _serial = self.sync_lock.lock();
+            self.closed.store(true, Ordering::Release);
+            *self.dir_lock.lock() = None;
+        }
+        self.watch.notify();
     }
 }
 
@@ -697,6 +911,104 @@ mod tests {
             0,
             "durable epoch must not advance on failure"
         );
+    }
+
+    #[test]
+    fn log_dir_lock_is_exclusive_while_wal_lives() {
+        let dir = temp_dir("lock");
+        let epoch = Arc::new(EpochManager::new());
+        let wal = open(&dir, DurabilityMode::EpochSync, &epoch);
+        // A second instance — same process or another — must be refused
+        // while the first is alive.
+        let config = DurabilityConfig {
+            mode: DurabilityMode::EpochSync,
+            log_dir: Some(dir.to_string_lossy().into_owned()),
+            group_commit_interval_ms: 0,
+        };
+        assert!(
+            Wal::open(&config, 1, Arc::clone(&epoch)).is_err(),
+            "second live WAL in one directory must be refused"
+        );
+        assert!(LogDirLock::acquire(&dir).is_err());
+        drop(wal);
+        // The lock dies with the instance: reopening afterwards succeeds.
+        let wal2 = Wal::open(&config, 1, Arc::clone(&epoch)).unwrap().unwrap();
+        drop(wal2);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn lock_file_does_not_count_as_wal_state() {
+        let dir = temp_dir("lock-state");
+        let lock = LogDirLock::acquire(&dir).unwrap();
+        assert!(
+            !log_dir_has_state(&dir).unwrap(),
+            "LOCK alone is not WAL state"
+        );
+        drop(lock);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn wait_durable_kicks_a_group_commit_without_a_daemon() {
+        let dir = temp_dir("wait-kick");
+        let epoch = Arc::new(EpochManager::new());
+        let wal = open(&dir, DurabilityMode::EpochSync, &epoch);
+        wal.writer(0)
+            .log_commit(TidWord::committed(1, 1), &[record(0, 1, 10.0)]);
+        assert_eq!(wal.durable_epoch(), 0);
+        // No daemon (interval 0): the waiter must drive the sync itself.
+        let durable = wal.wait_durable(1).unwrap();
+        assert!(durable >= 1);
+        assert!(wal.durable_epoch() >= 1);
+        assert_eq!(wal.stats().durable_waits(), 1);
+        // Already-covered epochs return immediately and are not counted.
+        wal.wait_durable(1).unwrap();
+        assert_eq!(wal.stats().durable_waits(), 1);
+        drop(wal);
+        let recovered = recover_and_compact(&dir, DurabilityMode::EpochSync).unwrap();
+        assert_eq!(
+            recovered.batches.len(),
+            1,
+            "the awaited commit is on disk despite the crash-style drop"
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn wait_durable_waiters_are_woken_by_the_daemon() {
+        let dir = temp_dir("wait-daemon");
+        let epoch = Arc::new(EpochManager::new());
+        let wal = open(&dir, DurabilityMode::EpochSync, &epoch);
+        wal.start_daemon(2);
+        // The daemon only syncs when the epoch moves; emulate the engine's
+        // background advancer.
+        let advancer = epoch.start_advancer(Duration::from_millis(1));
+        wal.writer(0)
+            .log_commit(TidWord::committed(epoch.current(), 1), &[record(0, 1, 1.0)]);
+        let target = epoch.current();
+        let durable = wal.wait_durable(target).unwrap();
+        assert!(durable >= target);
+        epoch.stop();
+        let _ = advancer.join();
+        wal.shutdown(true);
+        drop(wal);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn wait_durable_in_buffered_mode_degrades_to_flush() {
+        let dir = temp_dir("wait-buffered");
+        let epoch = Arc::new(EpochManager::new());
+        let wal = open(&dir, DurabilityMode::Buffered, &epoch);
+        wal.writer(0)
+            .log_commit(TidWord::committed(1, 1), &[record(0, 1, 1.0)]);
+        // Must not hang: buffered mode has no durable-epoch notion.
+        wal.wait_durable(u64::MAX).unwrap();
+        drop(wal);
+        let recovered = recover_and_compact(&dir, DurabilityMode::Buffered).unwrap();
+        assert_eq!(recovered.batches.len(), 1, "the flush reached the OS");
+        fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -12,6 +12,7 @@ pub struct WalStats {
     syncs: AtomicU64,
     sync_failures: AtomicU64,
     durable_epoch: AtomicU64,
+    durable_waits: AtomicU64,
 }
 
 impl WalStats {
@@ -34,6 +35,10 @@ impl WalStats {
 
     pub(crate) fn record_sync_failure(&self) {
         self.sync_failures.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_durable_wait(&self) {
+        self.durable_waits.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Seeds the durable epoch from an on-disk marker at open, without
@@ -74,5 +79,11 @@ impl WalStats {
     /// Highest epoch declared durable so far (0 before the first sync).
     pub fn durable_epoch(&self) -> u64 {
         self.durable_epoch.load(Ordering::Relaxed)
+    }
+
+    /// Durable-epoch waits that actually had to block (a `wait_durable`
+    /// call whose target epoch was already covered is not counted).
+    pub fn durable_waits(&self) -> u64 {
+        self.durable_waits.load(Ordering::Relaxed)
     }
 }

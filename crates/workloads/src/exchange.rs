@@ -346,11 +346,12 @@ mod tests {
     #[test]
     fn auth_pay_accepts_within_risk_and_records_the_order() {
         let db = boot(3, 10, 100.0);
+        let client = db.client();
         let mut rng = StdRng::seed_from_u64(1);
         let args = auth_pay_invocation(3, 10, &mut rng);
         let provider = args[0].as_str().to_owned();
         let before = db.table(&provider, "orders").unwrap().visible_len();
-        let accepted = db.invoke(EXCHANGE, "auth_pay", args).unwrap();
+        let accepted = client.invoke(EXCHANGE, "auth_pay", args).unwrap();
         assert_eq!(accepted, Value::Bool(true));
         assert_eq!(
             db.table(&provider, "orders").unwrap().visible_len(),

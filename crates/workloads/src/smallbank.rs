@@ -483,15 +483,25 @@ mod tests {
     #[test]
     fn balances_and_deposits() {
         let db = small_db(4, DeploymentConfig::shared_everything_with_affinity(2));
-        let b = db.invoke(&customer_name(0), "balance", vec![]).unwrap();
+        let client = db.client();
+        let b = client.invoke(&customer_name(0), "balance", vec![]).unwrap();
         assert_eq!(b, Value::Float(2.0 * INITIAL_BALANCE));
-        db.invoke(
-            &customer_name(0),
-            "deposit_checking",
-            vec![Value::Float(100.0)],
-        )
-        .unwrap();
-        let b = db.invoke(&customer_name(0), "balance", vec![]).unwrap();
+        // Pipelined deposits through the session API: all in flight, then
+        // each handle awaited.
+        let handles = client
+            .submit_batch((0..4).map(|i| {
+                reactdb_engine::Call::new(
+                    customer_name(i),
+                    "deposit_checking",
+                    vec![Value::Float(100.0)],
+                )
+            }))
+            .unwrap();
+        for handle in &handles {
+            handle.wait().unwrap();
+        }
+        assert_eq!(client.stats().committed, 5);
+        let b = client.invoke(&customer_name(0), "balance", vec![]).unwrap();
         assert_eq!(b, Value::Float(2.0 * INITIAL_BALANCE + 100.0));
     }
 

@@ -1145,18 +1145,26 @@ mod tests {
     #[test]
     fn generated_invocations_execute_on_the_engine() {
         let db = tiny_db(2, DeploymentConfig::shared_nothing(2));
+        let client = db.client();
+        let retry = reactdb_engine::RetryPolicy::occ();
         let gen = TpccGenerator::standard(TpccScale::tiny(2));
         let mut rng = StdRng::seed_from_u64(7);
         let mut committed = 0;
         for i in 0..60 {
             let inv = gen.next(i % 2, &mut rng);
-            match db.invoke(&warehouse_name(inv.warehouse), inv.proc, inv.args.clone()) {
+            match client.invoke_with_retry(
+                &warehouse_name(inv.warehouse),
+                inv.proc,
+                inv.args.clone(),
+                &retry,
+            ) {
                 Ok(_) => committed += 1,
                 Err(e) if e.is_cc_abort() => {}
                 Err(e) => panic!("unexpected error {e:?} for {inv:?}"),
             }
         }
         assert!(committed > 50);
+        assert_eq!(client.stats().in_flight, 0);
     }
 
     #[test]

@@ -180,20 +180,24 @@ mod tests {
     fn multi_update_touches_every_target_reactor() {
         let db = ReactDB::boot(spec(12), DeploymentConfig::shared_nothing(4));
         load(&db, 12).unwrap();
+        let client = db.client();
         let keys = [3, 7, 11];
         let (target, args) = multi_update_invocation(&keys);
-        let touched = db.invoke(&target, "multi_update", args).unwrap();
+        let touched = client.invoke(&target, "multi_update", args).unwrap();
         assert_eq!(touched, Value::Int(3));
-        for k in keys {
-            let len = db.invoke(&key_name(k), "read", vec![]).unwrap();
+        // Pipelined read-back of every touched reactor.
+        let reads = client
+            .submit_batch(keys.map(|k| reactdb_engine::Call::new(key_name(k), "read", vec![])))
+            .unwrap();
+        for handle in &reads {
             assert_eq!(
-                len,
+                handle.wait().unwrap(),
                 Value::Str(format!("{}{}", "x".repeat(RECORD_SIZE - 8), "y".repeat(8)))
             );
         }
         // Untouched keys keep their original payload.
         assert_eq!(
-            db.invoke(&key_name(0), "read", vec![]).unwrap(),
+            client.invoke(&key_name(0), "read", vec![]).unwrap(),
             Value::Str("x".repeat(RECORD_SIZE))
         );
     }

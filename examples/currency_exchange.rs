@@ -12,6 +12,7 @@ use rand::SeedableRng;
 use reactdb::common::DeploymentConfig;
 use reactdb::engine::ReactDB;
 use reactdb::workloads::exchange;
+use reactdb::RetryPolicy;
 
 fn main() {
     let providers = 4;
@@ -23,6 +24,10 @@ fn main() {
     );
     exchange::load(&db, providers, 1_000, 5_000.0, 10_000.0).unwrap();
 
+    // Client session: OCC validation aborts are transient under the
+    // fan-out/fan-in contention of auth_pay, so the front end retries them.
+    let client = db.client();
+    let retry = RetryPolicy::occ();
     let mut rng = StdRng::seed_from_u64(42);
     let mut accepted = 0;
     let mut rejected = 0;
@@ -30,7 +35,7 @@ fn main() {
     let payments = 200;
     for _ in 0..payments {
         let args = exchange::auth_pay_invocation(providers, 20_000, &mut rng);
-        match db.invoke(exchange::EXCHANGE, "auth_pay", args) {
+        match client.invoke_with_retry(exchange::EXCHANGE, "auth_pay", args, &retry) {
             Ok(_) => accepted += 1,
             Err(e) if e.is_user_abort() => rejected += 1,
             Err(e) => panic!("unexpected error: {e}"),

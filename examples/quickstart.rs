@@ -1,4 +1,5 @@
-//! Quickstart: define a reactor database, deploy it, and run transactions.
+//! Quickstart: define a reactor database, deploy it, and run transactions
+//! through a client session.
 //!
 //! A two-reactor-type banking application: `Account` reactors encapsulate a
 //! single `balance` relation and expose `open`, `deposit`, `balance` and
@@ -6,12 +7,18 @@
 //! through an asynchronous sub-transaction while the runtime guarantees
 //! serializability of the whole root transaction.
 //!
+//! Clients interact through the session API: `db.client()` opens a
+//! [`reactdb::Client`], `submit` pipelines root transactions (each returns
+//! a [`reactdb::TxnHandle`]), `wait()` acknowledges at validation time and
+//! `wait_durable()` only once the transaction's epoch group-committed.
+//!
 //! Run with `cargo run --example quickstart`.
 
 use reactdb::common::{DeploymentConfig, Key, Value};
 use reactdb::core::{ReactorDatabaseSpec, ReactorType};
 use reactdb::engine::ReactDB;
 use reactdb::storage::{ColumnType, RelationDef, Schema, Tuple};
+use reactdb::{Call, RetryPolicy};
 
 fn account_type() -> ReactorType {
     ReactorType::new("Account")
@@ -68,25 +75,47 @@ fn main() {
     let deployment = DeploymentConfig::shared_nothing(3);
     let db = ReactDB::boot(spec, deployment);
 
-    // 3. Run transactions.
-    for name in ["alice", "bob", "carol"] {
-        db.invoke(name, "open", vec![Value::Float(100.0)]).unwrap();
+    // 3. Open a client session. Clients are cheap to clone; clones share
+    //    the session and its statistics.
+    let client = db.client();
+
+    // 4. Pipelined submission: a batch of root transactions is in flight at
+    //    once, each represented by a TxnHandle promise.
+    let opens = client
+        .submit_batch(
+            ["alice", "bob", "carol"]
+                .map(|name| Call::new(name, "open", vec![Value::Float(100.0)])),
+        )
+        .unwrap();
+    for handle in &opens {
+        handle.wait().unwrap();
     }
-    db.invoke(
-        "alice",
-        "transfer",
-        vec![Value::Str("bob".into()), Value::Float(30.0)],
-    )
-    .unwrap();
-    db.invoke(
-        "bob",
-        "transfer",
-        vec![Value::Str("carol".into()), Value::Float(55.0)],
-    )
-    .unwrap();
+
+    // 5. Synchronous convenience (`invoke` == submit + wait): resolves at
+    //    validation time. With a durable deployment, `wait_durable()` /
+    //    `invoke_durable` would additionally block until the transaction's
+    //    epoch group-committed — the acknowledgement that survives crashes.
+    client
+        .invoke(
+            "alice",
+            "transfer",
+            vec![Value::Str("bob".into()), Value::Float(30.0)],
+        )
+        .unwrap();
+
+    // 6. OCC validation aborts are transient; a RetryPolicy re-submits them
+    //    with bounded backoff while user aborts propagate immediately.
+    client
+        .invoke_with_retry(
+            "bob",
+            "transfer",
+            vec![Value::Str("carol".into()), Value::Float(55.0)],
+            &RetryPolicy::occ(),
+        )
+        .unwrap();
 
     // An over-draft is rejected by application logic and rolls back cleanly.
-    let rejected = db.invoke(
+    let rejected = client.invoke(
         "carol",
         "transfer",
         vec![Value::Str("alice".into()), Value::Float(1e6)],
@@ -94,11 +123,16 @@ fn main() {
     println!("overdraft rejected: {}", rejected.is_err());
 
     for name in ["alice", "bob", "carol"] {
-        let balance = db.invoke(name, "balance", vec![]).unwrap();
+        let balance = client.invoke(name, "balance", vec![]).unwrap();
         println!("{name}: {balance}");
     }
+    let session = client.stats();
     println!(
-        "committed={} cc_aborts={} user_aborts={}",
+        "session: submitted={} committed={} aborted={} pipelined-depth={}",
+        session.submitted, session.committed, session.aborted, session.in_flight_hwm
+    );
+    println!(
+        "database: committed={} cc_aborts={} user_aborts={}",
         db.stats().committed(),
         db.stats().cc_aborts(),
         db.stats().user_aborts()

@@ -43,17 +43,19 @@ fn main() {
         "{:<18} {:>14} {:>14} {:>14}",
         "formulation", "engine [µs]", "sim [µs]", "model [µs]"
     );
+    let client = db.client();
     for formulation in Formulation::all() {
-        // Live engine measurement.
+        // Live engine measurement through a client session.
         let iterations = 300;
         let start = Instant::now();
         for _ in 0..iterations {
-            db.invoke(
-                &smallbank::customer_name(0),
-                formulation.procedure(),
-                smallbank::multi_transfer_invocation(0, &dests, 0.01),
-            )
-            .unwrap();
+            client
+                .invoke(
+                    &smallbank::customer_name(0),
+                    formulation.procedure(),
+                    smallbank::multi_transfer_invocation(0, &dests, 0.01),
+                )
+                .unwrap();
         }
         let engine_us = start.elapsed().as_micros() as f64 / iterations as f64;
 

@@ -25,13 +25,14 @@ fn run(label: &str, config: DeploymentConfig) {
     tpcc::load(&db, scale).unwrap();
 
     let generator = TpccGenerator::standard(scale);
+    let client = db.client();
     let mut rng = StdRng::seed_from_u64(7);
     let txns = 400;
     let start = Instant::now();
     let mut committed = 0;
     for i in 0..txns {
         let inv = generator.next(i % warehouses, &mut rng);
-        match db.invoke(&tpcc::warehouse_name(inv.warehouse), inv.proc, inv.args) {
+        match client.invoke(&tpcc::warehouse_name(inv.warehouse), inv.proc, inv.args) {
             Ok(_) => committed += 1,
             Err(e) if e.is_cc_abort() => {}
             Err(e) => panic!("unexpected error: {e}"),

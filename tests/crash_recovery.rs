@@ -4,7 +4,7 @@
 //! committing with monotonically increasing TIDs.
 
 use reactdb::common::{DeploymentConfig, DurabilityConfig, Key, Value};
-use reactdb::engine::ReactDB;
+use reactdb::engine::{Call, ReactDB};
 use reactdb::workloads::smallbank::{self, customer_name, INITIAL_BALANCE};
 
 const CUSTOMERS: usize = 8;
@@ -27,6 +27,16 @@ fn durable_config(dir: &str) -> DeploymentConfig {
 
 fn savings_balance(db: &ReactDB, customer: usize) -> f64 {
     db.table(&customer_name(customer), "savings")
+        .unwrap()
+        .get(&Key::Int(customer as i64))
+        .unwrap()
+        .read_unguarded()
+        .at(1)
+        .as_float()
+}
+
+fn checking_balance(db: &ReactDB, customer: usize) -> f64 {
+    db.table(&customer_name(customer), "checking")
         .unwrap()
         .get(&Key::Int(customer as i64))
         .unwrap()
@@ -187,6 +197,131 @@ fn double_crash_recovery_is_stable() {
         "both durable increments applied exactly once, unsynced one lost"
     );
 
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn durable_ack_survives_crash_but_validation_ack_may_not() {
+    // The two acknowledgement modes of the client API, asserted in both
+    // directions across a crash:
+    //
+    // * a transaction acknowledged by `wait_durable()` has its commit epoch
+    //   covered by a completed group commit — recovery MUST restore it;
+    // * a transaction merely `wait()`-ed is acknowledged at validation
+    //   time, before its epoch synced — this one commits after the last
+    //   group commit and MUST be lost by the crash.
+    let dir = wal_dir("durable-ack");
+    let config = durable_config(&dir);
+    let db = ReactDB::boot(smallbank::spec(CUSTOMERS), config.clone());
+    smallbank::load(&db, CUSTOMERS).unwrap();
+
+    {
+        let client = db.client();
+        let durable = client
+            .submit(
+                &customer_name(1),
+                "deposit_checking",
+                vec![Value::Float(250.0)],
+            )
+            .unwrap();
+        let value = durable.wait_durable().expect("durable acknowledgement");
+        assert_eq!(value, Value::Float(INITIAL_BALANCE + 250.0));
+        let commit_epoch = durable.commit_epoch().expect("committed write");
+        assert!(
+            db.durable_epoch().unwrap() >= commit_epoch,
+            "wait_durable returns only once durable_epoch covers the commit"
+        );
+
+        // Submitted after the group commit above, acknowledged at
+        // validation only: its epoch is strictly beyond the durable marker
+        // and no further sync happens before the crash (interval 0).
+        let risky = client
+            .submit(
+                &customer_name(2),
+                "deposit_checking",
+                vec![Value::Float(77_777.0)],
+            )
+            .unwrap();
+        risky.wait().expect("validation acknowledgement");
+        assert_eq!(client.stats().committed, 2);
+    }
+    db.simulate_crash();
+
+    let recovered = ReactDB::recover(smallbank::spec(CUSTOMERS), config).unwrap();
+    assert_eq!(
+        checking_balance(&recovered, 1),
+        INITIAL_BALANCE + 250.0,
+        "durably acknowledged transaction must survive the crash"
+    );
+    assert_eq!(
+        checking_balance(&recovered, 2),
+        INITIAL_BALANCE,
+        "validation-acknowledged transaction past the last sync is lost"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn many_sessions_pipeline_handles_and_all_durable_acks_survive() {
+    const SESSIONS: usize = 4;
+    const PER_SESSION: usize = 25;
+    let dir = wal_dir("many-sessions");
+    // Real group-commit daemon: durable waiters park on the epoch watch
+    // and are woken by the daemon's syncs. MPL 1 serializes each session's
+    // same-customer deposits on its executor, so none of the pipelined
+    // handles can abort on OCC validation.
+    let config = DeploymentConfig::shared_nothing(4)
+        .with_mpl(1)
+        .with_durability(DurabilityConfig::epoch_sync(&dir).with_interval_ms(1));
+    let db = ReactDB::boot(smallbank::spec(CUSTOMERS), config.clone());
+    smallbank::load(&db, CUSTOMERS).unwrap();
+
+    std::thread::scope(|scope| {
+        for session in 0..SESSIONS {
+            let client = db.client();
+            scope.spawn(move || {
+                // Pipeline a full batch, then require the durable ack for
+                // every handle. Distinct customers per session: no
+                // cross-session validation aborts.
+                let handles = client
+                    .submit_batch((0..PER_SESSION).map(|_| {
+                        Call::new(
+                            customer_name(session),
+                            "deposit_checking",
+                            vec![Value::Float(1.0)],
+                        )
+                    }))
+                    .unwrap();
+                for handle in &handles {
+                    handle.wait_durable().expect("durable acknowledgement");
+                }
+                let stats = client.stats();
+                assert_eq!(stats.submitted, PER_SESSION as u64);
+                assert_eq!(stats.committed, PER_SESSION as u64);
+                assert_eq!(stats.in_flight, 0);
+                // No depth assertion here: how far the batch overlaps
+                // depends on host scheduling. The deterministic pipelining-
+                // depth check (with deliberately slow transactions) lives
+                // in the engine's client_pipelines_handles unit test.
+                assert!(stats.in_flight_hwm >= 1);
+            });
+        }
+    });
+
+    assert!(db.stats().client_committed() >= (SESSIONS * PER_SESSION) as u64);
+    assert_eq!(db.stats().handles_in_flight(), 0);
+    assert!(db.stats().handles_in_flight_hwm() >= 1);
+    db.simulate_crash();
+
+    // Every durably acknowledged deposit survives the crash.
+    let recovered = ReactDB::recover(smallbank::spec(CUSTOMERS), config).unwrap();
+    for session in 0..SESSIONS {
+        assert_eq!(
+            checking_balance(&recovered, session),
+            INITIAL_BALANCE + PER_SESSION as f64,
+            "session {session}: all durably acknowledged deposits survive"
+        );
+    }
     let _ = std::fs::remove_dir_all(&dir);
 }
 
