@@ -20,6 +20,13 @@ pub enum TxnError {
     /// OCC validation failed: a record read by this transaction was modified
     /// or locked by a concurrent transaction before commit.
     ValidationFailed,
+    /// Node-set validation failed: the membership of a range this
+    /// transaction scanned (or a key whose absence it observed) changed
+    /// before commit — a phantom. Distinguished from
+    /// [`TxnError::ValidationFailed`] so workload reports can separate
+    /// phantom aborts from ordinary read-set conflicts; like them, it is a
+    /// transient concurrency-control abort a client driver retries.
+    Phantom,
     /// Two-phase commit aborted because one of the participating containers
     /// voted no.
     CommitAborted,
@@ -76,7 +83,16 @@ impl TxnError {
     /// driver would ordinarily retry (validation failure or distributed
     /// commit abort).
     pub fn is_cc_abort(&self) -> bool {
-        matches!(self, TxnError::ValidationFailed | TxnError::CommitAborted)
+        matches!(
+            self,
+            TxnError::ValidationFailed | TxnError::Phantom | TxnError::CommitAborted
+        )
+    }
+
+    /// True when the abort came from node-set (phantom) validation: a
+    /// scanned range's membership changed before commit.
+    pub fn is_phantom(&self) -> bool {
+        matches!(self, TxnError::Phantom)
     }
 
     /// True when the abort was requested by application logic.
@@ -96,6 +112,9 @@ impl fmt::Display for TxnError {
         match self {
             TxnError::UserAbort(msg) => write!(f, "user abort: {msg}"),
             TxnError::ValidationFailed => write!(f, "OCC validation failed"),
+            TxnError::Phantom => {
+                write!(f, "phantom detected: a scanned range changed before commit")
+            }
             TxnError::CommitAborted => write!(f, "distributed commit aborted"),
             TxnError::DangerousStructure { reactor } => {
                 write!(f, "dangerous call structure on reactor {reactor}")
@@ -136,6 +155,9 @@ mod tests {
     fn classification_helpers() {
         assert!(TxnError::ValidationFailed.is_cc_abort());
         assert!(TxnError::CommitAborted.is_cc_abort());
+        assert!(TxnError::Phantom.is_cc_abort(), "phantoms are retryable");
+        assert!(TxnError::Phantom.is_phantom());
+        assert!(!TxnError::ValidationFailed.is_phantom());
         assert!(!TxnError::UserAbort("x".into()).is_cc_abort());
         assert!(TxnError::UserAbort("x".into()).is_user_abort());
         assert!(TxnError::DangerousStructure {

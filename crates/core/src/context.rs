@@ -17,7 +17,7 @@
 //! sub-transaction completes only when all its nested sub-transactions
 //! complete" (§2.2.3).
 
-use std::ops::Bound;
+use std::ops::{Bound, RangeBounds};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -133,7 +133,9 @@ impl<'a> ReactorCtx<'a> {
         self.occ.lock().delete(&table, key)
     }
 
-    /// Full scan of a relation in primary-key order.
+    /// Full scan of a relation in primary-key order. Like every scan on
+    /// this context, it is phantom-safe: the traversed index-node versions
+    /// join the transaction's node set and are re-validated at commit.
     pub fn scan(&self, relation: &str) -> Result<Vec<(Key, Tuple)>> {
         let table = self.partition.table(self.reactor_id, relation)?;
         self.occ.lock().scan(&table)
@@ -150,6 +152,20 @@ impl<'a> ReactorCtx<'a> {
         self.occ.lock().scan_range(&table, low, high)
     }
 
+    /// Bounded scan with range sugar: accepts any [`RangeBounds`] over
+    /// [`Key`], so call sites read like the query they express —
+    /// `ctx.scan_bounded("orders", Key::Int(10)..Key::Int(20))`,
+    /// `ctx.scan_bounded("orders", Key::Int(10)..)`, or an inclusive
+    /// `low..=high`. This is the preferred scan shape: it touches (and
+    /// validates) only the index nodes covering the bounds, where a full
+    /// [`ReactorCtx::scan`] observes the whole key space.
+    pub fn scan_bounded<R>(&self, relation: &str, range: R) -> Result<Vec<(Key, Tuple)>>
+    where
+        R: RangeBounds<Key>,
+    {
+        self.scan_range(relation, range.start_bound(), range.end_bound())
+    }
+
     /// Rows matching a predicate (a scan with a filter applied).
     pub fn select_where<P>(&self, relation: &str, pred: P) -> Result<Vec<(Key, Tuple)>>
     where
@@ -162,16 +178,49 @@ impl<'a> ReactorCtx<'a> {
             .collect())
     }
 
+    /// Rows within a primary-key range matching a predicate — the bounded
+    /// counterpart of [`ReactorCtx::select_where`].
+    pub fn select_bounded<R, P>(
+        &self,
+        relation: &str,
+        range: R,
+        pred: P,
+    ) -> Result<Vec<(Key, Tuple)>>
+    where
+        R: RangeBounds<Key>,
+        P: Fn(&Tuple) -> bool,
+    {
+        Ok(self
+            .scan_bounded(relation, range)?
+            .into_iter()
+            .filter(|(_, t)| pred(t))
+            .collect())
+    }
+
     /// `SELECT SUM(column) FROM relation WHERE pred` over the current
     /// reactor's relation. Integers are widened to floats.
     pub fn sum_where<P>(&self, relation: &str, column: &str, pred: P) -> Result<f64>
     where
         P: Fn(&Tuple) -> bool,
     {
+        self.sum_bounded(relation, .., column, pred)
+    }
+
+    /// `SELECT SUM(column)` over a primary-key range — the bounded
+    /// counterpart of [`ReactorCtx::sum_where`]. Integers are widened to
+    /// floats.
+    pub fn sum_bounded<R, P>(&self, relation: &str, range: R, column: &str, pred: P) -> Result<f64>
+    where
+        R: RangeBounds<Key>,
+        P: Fn(&Tuple) -> bool,
+    {
         let table = self.partition.table(self.reactor_id, relation)?;
         let schema = table.schema().clone();
         let pos = schema.require(relation, column)?;
-        let rows = self.occ.lock().scan(&table)?;
+        let rows = self
+            .occ
+            .lock()
+            .scan_range(&table, range.start_bound(), range.end_bound())?;
         Ok(rows
             .iter()
             .filter(|(_, t)| pred(t))
@@ -194,6 +243,23 @@ impl<'a> ReactorCtx<'a> {
         self.occ
             .lock()
             .secondary_lookup(&table, index_id, index_key)
+    }
+
+    /// Range scan on a secondary index of the relation: visible rows whose
+    /// index key falls within `range`, in index order.
+    pub fn index_range<R>(
+        &self,
+        relation: &str,
+        index_id: usize,
+        range: R,
+    ) -> Result<Vec<(Key, Tuple)>>
+    where
+        R: RangeBounds<Key>,
+    {
+        let table = self.partition.table(self.reactor_id, relation)?;
+        self.occ
+            .lock()
+            .secondary_scan(&table, index_id, range.start_bound(), range.end_bound())
     }
 
     // ----------------------------------------------------------------
@@ -225,8 +291,9 @@ impl<'a> ReactorCtx<'a> {
     /// Simulates CPU-bound application logic (e.g. the `sim_risk` risk
     /// calculation of Figure 1 or the stock-replenishment delay of §4.3.2)
     /// by spinning a deterministic arithmetic loop for `units` iterations.
-    /// Returns a value derived from the loop so the work cannot be optimised
-    /// away.
+    /// Returns a value derived from the loop; the result passes through an
+    /// optimisation barrier so the spin survives release builds even when
+    /// the caller discards it.
     pub fn busy_work(&mut self, units: u64) -> u64 {
         self.compute_units += units;
         let mut x: u64 = 0x9E37_79B9_7F4A_7C15 ^ units;
@@ -234,7 +301,7 @@ impl<'a> ReactorCtx<'a> {
             x = x.wrapping_mul(6364136223846793005).wrapping_add(i);
             x ^= x >> 29;
         }
-        x
+        std::hint::black_box(x)
     }
 
     /// Total busy-work units charged by this procedure invocation; used by
@@ -360,6 +427,44 @@ mod tests {
                 .len(),
             1
         );
+    }
+
+    #[test]
+    fn bounded_scan_sugar_covers_the_range_forms() {
+        let (partition, occ) = setup();
+        let backend = MockBackend {
+            name: "exchange".into(),
+        };
+        let c = ctx(&partition, &occ, &backend);
+        for w in 0..6i64 {
+            c.insert(
+                "orders",
+                Tuple::of([
+                    Value::Int(w),
+                    Value::Float(w as f64),
+                    Value::Bool(w % 2 == 0),
+                ]),
+            )
+            .unwrap();
+        }
+        assert_eq!(
+            c.scan_bounded("orders", Key::Int(1)..Key::Int(4))
+                .unwrap()
+                .len(),
+            3
+        );
+        assert_eq!(c.scan_bounded("orders", Key::Int(4)..).unwrap().len(), 2);
+        assert_eq!(c.scan_bounded("orders", ..=Key::Int(2)).unwrap().len(), 3);
+        let evens = c
+            .select_bounded("orders", Key::Int(0)..=Key::Int(3), |t| {
+                t.at(2) == &Value::Bool(true)
+            })
+            .unwrap();
+        assert_eq!(evens.len(), 2);
+        let sum = c
+            .sum_bounded("orders", Key::Int(2).., "value", |_| true)
+            .unwrap();
+        assert_eq!(sum, 2.0 + 3.0 + 4.0 + 5.0);
     }
 
     #[test]

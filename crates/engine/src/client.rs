@@ -45,6 +45,7 @@ pub(crate) struct SessionShared {
     submitted: AtomicU64,
     committed: AtomicU64,
     aborted: AtomicU64,
+    phantom_aborts: AtomicU64,
     timeouts: AtomicU64,
     in_flight: AtomicU64,
     in_flight_hwm: AtomicU64,
@@ -61,12 +62,15 @@ impl SessionShared {
         self.in_flight_hwm.fetch_max(now, Ordering::Relaxed);
     }
 
-    pub(crate) fn on_resolve(&self, committed: bool) {
+    pub(crate) fn on_resolve(&self, committed: bool, phantom: bool) {
         self.in_flight.fetch_sub(1, Ordering::Relaxed);
         if committed {
             self.committed.fetch_add(1, Ordering::Relaxed);
         } else {
             self.aborted.fetch_add(1, Ordering::Relaxed);
+            if phantom {
+                self.phantom_aborts.fetch_add(1, Ordering::Relaxed);
+            }
         }
     }
 
@@ -79,6 +83,7 @@ impl SessionShared {
             submitted: self.submitted.load(Ordering::Relaxed),
             committed: self.committed.load(Ordering::Relaxed),
             aborted: self.aborted.load(Ordering::Relaxed),
+            phantom_aborts: self.phantom_aborts.load(Ordering::Relaxed),
             timeouts: self.timeouts.load(Ordering::Relaxed),
             in_flight: self.in_flight.load(Ordering::Relaxed),
             in_flight_hwm: self.in_flight_hwm.load(Ordering::Relaxed),
@@ -96,6 +101,11 @@ pub struct SessionStats {
     /// Handles that resolved with an error (concurrency abort, user abort,
     /// or abandonment at shutdown).
     pub aborted: u64,
+    /// Handles that resolved with a phantom abort — node-set validation
+    /// detected that a scanned range changed membership before commit. A
+    /// subset of `aborted`, separated so workload reports can tell phantom
+    /// invalidations from ordinary OCC read-set conflicts.
+    pub phantom_aborts: u64,
     /// Waits that hit the client timeout.
     pub timeouts: u64,
     /// Handles currently in flight (submitted, not yet resolved).
@@ -166,8 +176,9 @@ impl Client {
         let stats_owner = Arc::clone(&self.inner);
         let hook: FulfillHook = Box::new(move |result| {
             let committed = result.is_ok();
-            session.on_resolve(committed);
-            stats_owner.stats.record_client_resolve(committed);
+            let phantom = matches!(result, Err(e) if e.is_phantom());
+            session.on_resolve(committed, phantom);
+            stats_owner.stats.record_client_resolve(committed, phantom);
         });
         // enqueue_root cannot fail: a rejected or abandoned request drops
         // its writer, which resolves the future with an error and fires the

@@ -577,13 +577,17 @@ impl Inner {
                         .commit_root(executor_idx, &root)
                         .map(|epoch| (value, epoch)),
                     Err(e) => {
-                        // Nothing was installed; drop the buffered participants.
-                        let _ = root.take_participants();
+                        // Nothing was installed; drop the buffered
+                        // participants — but still account their scan work.
+                        let participants = root.take_participants();
+                        self.stats
+                            .record_scan_ops(participants.iter().map(|p| p.scan_count()).sum());
                         Err(e)
                     }
                 };
                 match &outcome {
                     Ok(_) => self.stats.record_commit(),
+                    Err(e) if e.is_phantom() => self.stats.record_phantom_abort(),
                     Err(e) if e.is_cc_abort() => self.stats.record_cc_abort(),
                     Err(e) if e.is_dangerous_structure() => self.stats.record_dangerous_abort(),
                     Err(_) => self.stats.record_user_abort(),
@@ -621,6 +625,8 @@ impl Inner {
         root: &Arc<RootTxn>,
     ) -> Result<Option<u64>> {
         let mut participants = root.take_participants();
+        self.stats
+            .record_scan_ops(participants.iter().map(|p| p.scan_count()).sum());
         if participants.is_empty() {
             return Ok(None);
         }

@@ -16,10 +16,12 @@ use crate::client::SessionShared;
 pub struct DbStats {
     committed: AtomicU64,
     cc_aborts: AtomicU64,
+    phantom_aborts: AtomicU64,
     user_aborts: AtomicU64,
     dangerous_aborts: AtomicU64,
     sub_txns_dispatched: AtomicU64,
     sub_txns_inlined: AtomicU64,
+    scan_ops: AtomicU64,
     recovered_txns: AtomicU64,
     /// Client-visible outcome counters, maintained by the session layer
     /// (`crate::client`): the same aggregate each session keeps, fed with
@@ -43,6 +45,18 @@ impl DbStats {
     }
     pub(crate) fn record_cc_abort(&self) {
         self.cc_aborts.fetch_add(1, Ordering::Relaxed);
+    }
+    /// A phantom (node-set) validation abort. Counts toward
+    /// [`DbStats::cc_aborts`] as well: phantoms are concurrency-control
+    /// aborts, just separately attributable.
+    pub(crate) fn record_phantom_abort(&self) {
+        self.phantom_aborts.fetch_add(1, Ordering::Relaxed);
+        self.cc_aborts.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn record_scan_ops(&self, n: u64) {
+        if n > 0 {
+            self.scan_ops.fetch_add(n, Ordering::Relaxed);
+        }
     }
     pub(crate) fn record_user_abort(&self) {
         self.user_aborts.fetch_add(1, Ordering::Relaxed);
@@ -68,9 +82,10 @@ impl DbStats {
         self.client.on_submit();
     }
     /// Called exactly once per submitted handle when its future resolves
-    /// (commit, abort, or abandonment).
-    pub(crate) fn record_client_resolve(&self, committed: bool) {
-        self.client.on_resolve(committed);
+    /// (commit, abort, or abandonment). `phantom` marks aborts caused by
+    /// node-set (phantom) validation.
+    pub(crate) fn record_client_resolve(&self, committed: bool, phantom: bool) {
+        self.client.on_resolve(committed, phantom);
     }
     /// Called when a client gave up waiting on a handle (the transaction
     /// may still resolve later and then also count as committed/aborted).
@@ -82,9 +97,24 @@ impl DbStats {
     pub fn committed(&self) -> u64 {
         self.committed.load(Ordering::Relaxed)
     }
-    /// Root transactions aborted by concurrency control (validation / 2PC).
+    /// Root transactions aborted by concurrency control (read-set
+    /// validation, node-set/phantom validation, or 2PC). Includes
+    /// [`DbStats::phantom_aborts`].
     pub fn cc_aborts(&self) -> u64 {
         self.cc_aborts.load(Ordering::Relaxed)
+    }
+    /// Root transactions aborted specifically by node-set validation: a
+    /// range they scanned (or a key whose absence they observed) changed
+    /// membership before commit. A subset of [`DbStats::cc_aborts`] —
+    /// subtract to get ordinary read-set conflicts.
+    pub fn phantom_aborts(&self) -> u64 {
+        self.phantom_aborts.load(Ordering::Relaxed)
+    }
+    /// Transactional scan operations executed (range scans, full scans,
+    /// secondary lookups/ranges) across all root transactions, committed or
+    /// aborted.
+    pub fn scan_ops(&self) -> u64 {
+        self.scan_ops.load(Ordering::Relaxed)
     }
     /// Root transactions aborted by application logic.
     pub fn user_aborts(&self) -> u64 {
@@ -112,6 +142,11 @@ impl DbStats {
     /// abort, user abort, or abandonment), as seen by client sessions.
     pub fn client_aborted(&self) -> u64 {
         self.client.snapshot().aborted
+    }
+    /// Handles that resolved with a phantom abort, as seen by client
+    /// sessions (a subset of [`DbStats::client_aborted`]).
+    pub fn client_phantom_aborts(&self) -> u64 {
+        self.client.snapshot().phantom_aborts
     }
     /// Waits on a handle that hit the client timeout.
     pub fn client_timeouts(&self) -> u64 {
@@ -187,13 +222,27 @@ mod tests {
         s.record_dangerous_abort();
         s.record_sub_dispatch();
         s.record_sub_inline();
+        s.record_scan_ops(3);
         assert_eq!(s.committed(), 2);
         assert_eq!(s.cc_aborts(), 1);
         assert_eq!(s.user_aborts(), 1);
         assert_eq!(s.dangerous_aborts(), 1);
         assert_eq!(s.sub_txns_dispatched(), 1);
         assert_eq!(s.sub_txns_inlined(), 1);
+        assert_eq!(s.scan_ops(), 3);
         assert!((s.abort_rate() - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn phantom_aborts_are_a_distinguishable_subset_of_cc_aborts() {
+        let s = DbStats::new();
+        s.record_commit();
+        s.record_cc_abort();
+        s.record_phantom_abort();
+        assert_eq!(s.cc_aborts(), 2, "phantoms count as cc aborts");
+        assert_eq!(s.phantom_aborts(), 1);
+        assert_eq!(s.cc_aborts() - s.phantom_aborts(), 1, "read-set conflicts");
+        assert!((s.abort_rate() - 2.0 / 3.0).abs() < 1e-9);
     }
 
     #[test]
@@ -209,13 +258,14 @@ mod tests {
         s.record_client_submit();
         assert_eq!(s.handles_in_flight(), 3);
         assert_eq!(s.handles_in_flight_hwm(), 3);
-        s.record_client_resolve(true);
-        s.record_client_resolve(false);
+        s.record_client_resolve(true, false);
+        s.record_client_resolve(false, true);
         s.record_client_timeout();
         assert_eq!(s.handles_in_flight(), 1);
         assert_eq!(s.handles_in_flight_hwm(), 3, "high water is sticky");
         assert_eq!(s.client_committed(), 1);
         assert_eq!(s.client_aborted(), 1);
+        assert_eq!(s.client_phantom_aborts(), 1);
         assert_eq!(s.client_timeouts(), 1);
     }
 }

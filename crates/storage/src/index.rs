@@ -1,0 +1,650 @@
+//! Versioned ordered index: the storage half of phantom protection.
+//!
+//! An ordered index whose key space is partitioned into *leaf nodes*, each
+//! guarded by a version counter in the style of Masstree/Silo (Tu et al.,
+//! SOSP 2013): every structural mutation — creating or removing a key, or
+//! changing the membership of a key's value set — bumps the version of the
+//! node whose key interval contains the mutated key. Range traversals
+//! return, alongside the rows, a [`NodeObservation`] for **every node whose
+//! interval intersects the scanned range, including empty ones**. The OCC
+//! layer stores those observations in the transaction's node set and
+//! re-checks them at commit, after write locks are acquired: a version
+//! mismatch means the membership of a scanned range changed — a phantom —
+//! and the transaction aborts.
+//!
+//! Nodes split when their population exceeds [`SPLIT_THRESHOLD`], keeping
+//! the invalidation granularity proportional to data density rather than
+//! table size. A split bumps the version of the node being split (its
+//! observers can no longer tell which half later mutations land in, so they
+//! must conservatively abort — the Masstree split rule); the right half
+//! starts as a fresh node. Nodes are never merged: an empty interval still
+//! needs a version for scans over it to observe, and the node count is
+//! bounded by the historical maximum key count, which is fine for an
+//! in-memory engine without physical garbage collection.
+//!
+//! Memory ordering: structural bumps and validation-time version loads use
+//! `SeqCst`. Traversal-time observations are read under the index's read
+//! lock (so they are consistent with the data read), but commit-time
+//! validation reads versions without the lock; the fenced load pairs with
+//! the fenced bump exactly like Silo's node-version re-check.
+
+use std::collections::BTreeMap;
+use std::ops::Bound;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use reactdb_common::Key;
+
+/// Keys per leaf node before it splits.
+pub const SPLIT_THRESHOLD: usize = 64;
+
+/// A leaf node of the versioned index: one version counter guarding one
+/// contiguous interval of the key space.
+#[derive(Debug)]
+pub struct IndexNode {
+    version: AtomicU64,
+}
+
+/// Shared handle to an index node. Scan sets hold these so that validation
+/// addresses the exact node object that was traversed, even after splits
+/// re-partition the key space.
+pub type NodeRef = Arc<IndexNode>;
+
+impl IndexNode {
+    fn new() -> NodeRef {
+        Arc::new(Self {
+            version: AtomicU64::new(1),
+        })
+    }
+
+    /// Current version. `SeqCst` so commit-time validation pairs with the
+    /// bump of a concurrent structural mutation without holding the index
+    /// lock.
+    pub fn version(&self) -> u64 {
+        self.version.load(Ordering::SeqCst)
+    }
+
+    fn bump(&self) -> NodeBumpVersions {
+        let before = self.version.fetch_add(1, Ordering::SeqCst);
+        NodeBumpVersions {
+            before,
+            after: before + 1,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct NodeBumpVersions {
+    before: u64,
+    after: u64,
+}
+
+/// A node version captured while traversing the index. Stored in the OCC
+/// layer's node set and re-checked during commit validation.
+#[derive(Debug, Clone)]
+pub struct NodeObservation {
+    /// The traversed node.
+    pub node: NodeRef,
+    /// Its version at traversal time.
+    pub version: u64,
+}
+
+impl NodeObservation {
+    /// True while no structural mutation has hit the node since the
+    /// observation — the validation predicate.
+    pub fn is_current(&self) -> bool {
+        self.node.version() == self.version
+    }
+
+    /// Address identity of the node, used to deduplicate node sets.
+    pub fn node_ptr(&self) -> usize {
+        Arc::as_ptr(&self.node) as usize
+    }
+}
+
+/// What an in-place entry update did, steering
+/// [`VersionedIndex::update_or_insert`]'s version accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpdateOutcome {
+    /// The entry was left as it was: never bumps.
+    Unchanged,
+    /// The entry's membership changed in place: bumps when requested.
+    Changed,
+    /// The entry should be removed: structural, always bumps.
+    Remove,
+}
+
+/// One structural bump applied to a node, reported back to the mutator so
+/// the OCC layer can refresh its own node set (Silo's rule: a transaction's
+/// own structural insert must not invalidate its own scans).
+#[derive(Debug, Clone)]
+pub struct NodeBump {
+    /// The bumped node.
+    pub node: NodeRef,
+    /// Version before the bump.
+    pub before: u64,
+    /// Version after the bump.
+    pub after: u64,
+}
+
+struct IndexInner<V> {
+    map: BTreeMap<Key, V>,
+    /// Lower boundaries of nodes `1..`: node `i` covers
+    /// `[boundaries[i-1], boundaries[i])`, node `0` starts at −∞ and the
+    /// last node ends at +∞. Always `nodes.len() == boundaries.len() + 1`.
+    boundaries: Vec<Key>,
+    nodes: Vec<NodeRef>,
+    /// Keys physically present per node, driving splits.
+    population: Vec<usize>,
+}
+
+impl<V> IndexInner<V> {
+    fn node_idx(&self, key: &Key) -> usize {
+        self.boundaries.partition_point(|b| b <= key)
+    }
+
+    fn interval(&self, idx: usize) -> (Bound<&Key>, Bound<&Key>) {
+        let low = if idx == 0 {
+            Bound::Unbounded
+        } else {
+            Bound::Included(&self.boundaries[idx - 1])
+        };
+        let high = if idx == self.boundaries.len() {
+            Bound::Unbounded
+        } else {
+            Bound::Excluded(&self.boundaries[idx])
+        };
+        (low, high)
+    }
+
+    /// Node indexes whose intervals intersect `[low, high]`. Conservative
+    /// at excluded bounds (the boundary node is included), which can only
+    /// add false invalidations, never miss one.
+    fn covering(&self, low: Bound<&Key>, high: Bound<&Key>) -> (usize, usize) {
+        let first = match low {
+            Bound::Unbounded => 0,
+            Bound::Included(k) | Bound::Excluded(k) => self.node_idx(k),
+        };
+        let last = match high {
+            Bound::Unbounded => self.boundaries.len(),
+            Bound::Included(k) | Bound::Excluded(k) => self.node_idx(k),
+        };
+        (first, last.max(first))
+    }
+
+    fn observe(&self, idx: usize) -> NodeObservation {
+        let node = Arc::clone(&self.nodes[idx]);
+        let version = node.version();
+        NodeObservation { node, version }
+    }
+
+    fn bump(&self, idx: usize) -> NodeBump {
+        let node = Arc::clone(&self.nodes[idx]);
+        let v = node.bump();
+        NodeBump {
+            node,
+            before: v.before,
+            after: v.after,
+        }
+    }
+
+    /// Splits node `idx` at the median of its resident keys when it
+    /// overflowed. The split bumps the old node (left half); the right half
+    /// is a fresh node.
+    fn maybe_split(&mut self, idx: usize) {
+        if self.population[idx] <= SPLIT_THRESHOLD {
+            return;
+        }
+        let mid = self.population[idx] / 2;
+        let boundary = {
+            let (low, high) = self.interval(idx);
+            match self.map.range((low, high)).nth(mid) {
+                Some((k, _)) => k.clone(),
+                None => return, // population drifted; nothing to split
+            }
+        };
+        // Keys are unique and mid >= 1, so the boundary strictly exceeds
+        // the node's first key and both halves are non-empty.
+        self.boundaries.insert(idx, boundary);
+        self.nodes.insert(idx + 1, IndexNode::new());
+        let left = mid;
+        let right = self.population[idx] - mid;
+        self.population[idx] = left;
+        self.population.insert(idx + 1, right);
+        self.nodes[idx].bump();
+    }
+}
+
+/// An ordered map from [`Key`] to `V` whose key space is partitioned into
+/// versioned leaf nodes. See the module docs for the protocol.
+pub struct VersionedIndex<V> {
+    inner: RwLock<IndexInner<V>>,
+}
+
+impl<V> std::fmt::Debug for VersionedIndex<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.read();
+        f.debug_struct("VersionedIndex")
+            .field("len", &inner.map.len())
+            .field("nodes", &inner.nodes.len())
+            .finish()
+    }
+}
+
+impl<V> Default for VersionedIndex<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V> VersionedIndex<V> {
+    /// Creates an empty index with a single node covering the whole key
+    /// space.
+    pub fn new() -> Self {
+        Self {
+            inner: RwLock::new(IndexInner {
+                map: BTreeMap::new(),
+                boundaries: Vec::new(),
+                nodes: vec![IndexNode::new()],
+                population: vec![0],
+            }),
+        }
+    }
+
+    /// Number of keys physically present.
+    pub fn len(&self) -> usize {
+        self.inner.read().map.len()
+    }
+
+    /// True when no key is present.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of leaf nodes the key space is currently split into.
+    pub fn node_count(&self) -> usize {
+        self.inner.read().nodes.len()
+    }
+
+    /// Counts values matching a predicate without materialising them.
+    pub fn count_values(&self, pred: impl Fn(&V) -> bool) -> usize {
+        self.inner.read().map.values().filter(|v| pred(v)).count()
+    }
+
+    /// Observation of the node whose interval covers `key`, whether or not
+    /// the key is present.
+    pub fn observe(&self, key: &Key) -> NodeObservation {
+        let inner = self.inner.read();
+        inner.observe(inner.node_idx(key))
+    }
+
+    /// Bumps the node covering `key` (the commit path's membership fence:
+    /// announce a membership change before validation re-checks node sets).
+    pub fn bump_covering(&self, key: &Key) -> NodeBump {
+        let inner = self.inner.read();
+        let idx = inner.node_idx(key);
+        inner.bump(idx)
+    }
+}
+
+impl<V: Clone> VersionedIndex<V> {
+    /// Point lookup.
+    pub fn get_cloned(&self, key: &Key) -> Option<V> {
+        self.inner.read().map.get(key).cloned()
+    }
+
+    /// Point lookup plus the covering node's observation, taken under one
+    /// lock acquisition so the observation is consistent with the result.
+    /// The observation lets the OCC layer validate the *absence* of a key
+    /// (a later insert bumps the node).
+    pub fn get_observed(&self, key: &Key) -> (Option<V>, NodeObservation) {
+        let inner = self.inner.read();
+        let obs = inner.observe(inner.node_idx(key));
+        (inner.map.get(key).cloned(), obs)
+    }
+
+    /// Returns the value under `key`, inserting `make()` if absent. A
+    /// creation is a structural mutation: the covering node is bumped and
+    /// the bump is reported so the caller can refresh its own node set.
+    /// When the creation triggers a split, the reported bump intentionally
+    /// predates the split bump — observers of the split node must
+    /// conservatively fail validation.
+    pub fn get_or_insert_with(&self, key: &Key, make: impl FnOnce() -> V) -> (V, Option<NodeBump>) {
+        {
+            let inner = self.inner.read();
+            if let Some(v) = inner.map.get(key) {
+                return (v.clone(), None);
+            }
+        }
+        let mut inner = self.inner.write();
+        if let Some(v) = inner.map.get(key) {
+            return (v.clone(), None);
+        }
+        let value = make();
+        inner.map.insert(key.clone(), value.clone());
+        let idx = inner.node_idx(key);
+        inner.population[idx] += 1;
+        let node = Arc::clone(&inner.nodes[idx]);
+        let v = node.bump();
+        inner.maybe_split(idx);
+        (
+            value,
+            Some(NodeBump {
+                node,
+                before: v.before,
+                after: v.after,
+            }),
+        )
+    }
+
+    /// Inserts or replaces the value under `key`, bumping the covering node
+    /// either way (replacement swaps the stored handle, which observers of
+    /// the old handle cannot track through the map). Returns the previous
+    /// value.
+    pub fn insert(&self, key: &Key, value: V) -> Option<V> {
+        let mut inner = self.inner.write();
+        let old = inner.map.insert(key.clone(), value);
+        let idx = inner.node_idx(key);
+        if old.is_none() {
+            inner.population[idx] += 1;
+        }
+        inner.nodes[idx].bump();
+        inner.maybe_split(idx);
+        old
+    }
+
+    /// Removes `key`, bumping the covering node when it was present.
+    pub fn remove(&self, key: &Key) -> Option<V> {
+        let mut inner = self.inner.write();
+        let old = inner.map.remove(key)?;
+        let idx = inner.node_idx(key);
+        inner.population[idx] = inner.population[idx].saturating_sub(1);
+        inner.nodes[idx].bump();
+        Some(old)
+    }
+
+    /// In-place mutation of the entry under `key`, in one atomic lock
+    /// acquisition with any version bump it causes — which is what lets the
+    /// commit path install a membership change and announce it without a
+    /// window in between.
+    ///
+    /// When the entry exists, `update` runs on it in place (a single map
+    /// lookup, no re-balance) and decides the outcome; when it is absent,
+    /// `insert` may supply a value. Entry creation and removal are
+    /// structural and always bump; an [`UpdateOutcome::Changed`] bumps only
+    /// when `bump` is true — the commit write phase passes `false` for
+    /// changes the membership fence already announced, so scans racing the
+    /// fence→install window are not doubly invalidated. Returns the bump
+    /// performed, if any (a split's extra bump is deliberately not
+    /// reported: observers of a split node must conservatively fail
+    /// validation).
+    pub fn update_or_insert(
+        &self,
+        key: &Key,
+        bump: bool,
+        update: impl FnOnce(&mut V) -> UpdateOutcome,
+        insert: impl FnOnce() -> Option<V>,
+    ) -> Option<NodeBump> {
+        let mut inner = self.inner.write();
+        let idx = inner.node_idx(key);
+        let outcome = match inner.map.get_mut(key) {
+            Some(v) => update(v),
+            None => match insert() {
+                Some(v) => {
+                    inner.map.insert(key.clone(), v);
+                    inner.population[idx] += 1;
+                    let bump = Some(inner.bump(idx));
+                    inner.maybe_split(idx);
+                    return bump;
+                }
+                None => return None,
+            },
+        };
+        match outcome {
+            UpdateOutcome::Unchanged => None,
+            UpdateOutcome::Changed => {
+                if bump {
+                    Some(inner.bump(idx))
+                } else {
+                    None
+                }
+            }
+            UpdateOutcome::Remove => {
+                inner.map.remove(key);
+                inner.population[idx] = inner.population[idx].saturating_sub(1);
+                Some(inner.bump(idx))
+            }
+        }
+    }
+
+    /// Entries within the bounds, in key order.
+    pub fn range_cloned(&self, low: Bound<&Key>, high: Bound<&Key>) -> Vec<(Key, V)> {
+        let inner = self.inner.read();
+        inner
+            .map
+            .range((low.cloned(), high.cloned()))
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+
+    /// Entries within the bounds plus an observation of **every** node
+    /// whose interval intersects the bounds — including nodes that hold no
+    /// matching key, so the emptiness of a sub-range is validated too.
+    pub fn range_observed(
+        &self,
+        low: Bound<&Key>,
+        high: Bound<&Key>,
+    ) -> (Vec<(Key, V)>, Vec<NodeObservation>) {
+        let inner = self.inner.read();
+        let rows = inner
+            .map
+            .range((low.cloned(), high.cloned()))
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        let (first, last) = inner.covering(low, high);
+        let nodes = (first..=last).map(|i| inner.observe(i)).collect();
+        (rows, nodes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn k(i: i64) -> Key {
+        Key::Int(i)
+    }
+
+    #[test]
+    fn lookups_do_not_bump_versions() {
+        let idx: VersionedIndex<i64> = VersionedIndex::new();
+        idx.insert(&k(1), 10);
+        let before = idx.observe(&k(1)).version;
+        assert_eq!(idx.get_cloned(&k(1)), Some(10));
+        let _ = idx.get_observed(&k(2));
+        let _ = idx.range_observed(Bound::Unbounded, Bound::Unbounded);
+        assert_eq!(idx.observe(&k(1)).version, before);
+    }
+
+    #[test]
+    fn structural_insert_invalidates_covering_observation_only() {
+        let idx: VersionedIndex<i64> = VersionedIndex::new();
+        for i in 0..200 {
+            idx.insert(&k(i), i);
+        }
+        assert!(idx.node_count() > 1, "splits happened");
+        let (_, low_obs) = idx.range_observed(Bound::Included(&k(0)), Bound::Included(&k(5)));
+        let (_, high_obs) = idx.range_observed(Bound::Included(&k(190)), Bound::Unbounded);
+        idx.insert(&k(191_000), 0); // far above: hits the last node only
+        assert!(
+            low_obs.iter().all(|o| o.is_current()),
+            "low range untouched"
+        );
+        assert!(
+            high_obs.iter().any(|o| !o.is_current()),
+            "upper range observation invalidated"
+        );
+    }
+
+    #[test]
+    fn range_observes_empty_gaps() {
+        let idx: VersionedIndex<i64> = VersionedIndex::new();
+        idx.insert(&k(0), 0);
+        idx.insert(&k(100), 100);
+        let (rows, obs) = idx.range_observed(Bound::Included(&k(10)), Bound::Included(&k(20)));
+        assert!(rows.is_empty());
+        assert!(!obs.is_empty(), "empty ranges still observe their node");
+        idx.insert(&k(15), 15);
+        assert!(
+            obs.iter().any(|o| !o.is_current()),
+            "insert into the observed gap invalidates"
+        );
+    }
+
+    #[test]
+    fn get_or_insert_reports_creation_bump_once() {
+        let idx: VersionedIndex<i64> = VersionedIndex::new();
+        let (_, bump) = idx.get_or_insert_with(&k(7), || 7);
+        let bump = bump.expect("creation is structural");
+        assert_eq!(bump.after, bump.before + 1);
+        assert_eq!(bump.node.version(), bump.after);
+        let (v, again) = idx.get_or_insert_with(&k(7), || 8);
+        assert_eq!(v, 7);
+        assert!(again.is_none(), "existing keys are not structural");
+    }
+
+    #[test]
+    fn split_bumps_the_split_node() {
+        let idx: VersionedIndex<i64> = VersionedIndex::new();
+        let obs = idx.observe(&k(0));
+        for i in 0..=(SPLIT_THRESHOLD as i64) {
+            idx.insert(&k(i), i);
+        }
+        assert!(idx.node_count() >= 2);
+        assert!(!obs.is_current());
+        // Post-split population accounting stays consistent.
+        assert_eq!(idx.len(), SPLIT_THRESHOLD + 1);
+    }
+
+    #[test]
+    fn quiet_updates_skip_plain_changes_but_not_structural_ones() {
+        let idx: VersionedIndex<Vec<i64>> = VersionedIndex::new();
+        // Creation is structural even when quiet, and reports its bump.
+        let bump = idx.update_or_insert(&k(1), false, |_| UpdateOutcome::Changed, || Some(vec![1]));
+        assert!(bump.is_some());
+        let after_create = idx.observe(&k(1)).version;
+        // Quiet in-place change: no bump.
+        let bump = idx.update_or_insert(
+            &k(1),
+            false,
+            |v| {
+                v.push(2);
+                UpdateOutcome::Changed
+            },
+            || None,
+        );
+        assert!(bump.is_none());
+        assert_eq!(idx.observe(&k(1)).version, after_create);
+        // Loud in-place change: bump, reported with exact versions.
+        let bump = idx
+            .update_or_insert(
+                &k(1),
+                true,
+                |v| {
+                    v.push(3);
+                    UpdateOutcome::Changed
+                },
+                || None,
+            )
+            .expect("loud change bumps");
+        assert_eq!(bump.before, after_create);
+        assert_eq!(idx.observe(&k(1)).version, after_create + 1);
+        // No-op change reported as unchanged: no bump either way.
+        idx.update_or_insert(&k(1), true, |_| UpdateOutcome::Unchanged, || None);
+        assert_eq!(idx.observe(&k(1)).version, after_create + 1);
+        // Entry removal is structural even when quiet.
+        let bump = idx.update_or_insert(&k(1), false, |_| UpdateOutcome::Remove, || None);
+        assert!(bump.is_some());
+        assert_eq!(idx.observe(&k(1)).version, after_create + 2);
+        assert!(idx.is_empty());
+        // Absent key with a declining insert: nothing happens.
+        let bump = idx.update_or_insert(&k(9), true, |_| UpdateOutcome::Changed, || None);
+        assert!(bump.is_none() && idx.is_empty());
+    }
+
+    #[test]
+    fn bump_covering_reports_exact_versions() {
+        let idx: VersionedIndex<i64> = VersionedIndex::new();
+        let obs = idx.observe(&k(5));
+        let bump = idx.bump_covering(&k(5));
+        assert_eq!(bump.before, obs.version);
+        assert_eq!(bump.after, obs.version + 1);
+        assert!(!obs.is_current());
+    }
+
+    // Replays a random operation sequence against both the versioned index
+    // and a model `BTreeMap`, checking after every step that (a) the data
+    // agrees with the model, and (b) the covering node's version moved iff
+    // the operation was structural (allowing extra bumps only when a split
+    // occurred, which is observable through the node count).
+    proptest! {
+        #[test]
+        fn node_versions_track_exactly_the_structural_mutations(
+            ops in proptest::collection::vec((0u64..96, 0u64..4), 1..120)
+        ) {
+            let idx: VersionedIndex<i64> = VersionedIndex::new();
+            let mut model: std::collections::BTreeMap<i64, i64> =
+                std::collections::BTreeMap::new();
+            for (raw_key, op) in ops {
+                let key_i = raw_key as i64;
+                let key = k(key_i);
+                let before = idx.observe(&key);
+                let nodes_before = idx.node_count();
+                let structural = match op {
+                    // Insert-or-replace: always bumps.
+                    0 => {
+                        idx.insert(&key, key_i);
+                        model.insert(key_i, key_i);
+                        true
+                    }
+                    // Remove: structural iff present.
+                    1 => {
+                        let removed = idx.remove(&key);
+                        prop_assert_eq!(removed.is_some(), model.remove(&key_i).is_some());
+                        removed.is_some()
+                    }
+                    // get_or_insert: structural iff absent.
+                    2 => {
+                        let absent = !model.contains_key(&key_i);
+                        let (_, bump) = idx.get_or_insert_with(&key, || key_i);
+                        model.entry(key_i).or_insert(key_i);
+                        prop_assert_eq!(bump.is_some(), absent);
+                        absent
+                    }
+                    // Pure lookup: never structural.
+                    _ => {
+                        let got = idx.get_cloned(&key);
+                        prop_assert_eq!(got, model.get(&key_i).cloned());
+                        false
+                    }
+                };
+                let split = idx.node_count() > nodes_before;
+                let version_moved = !before.is_current();
+                if structural {
+                    prop_assert!(version_moved, "structural op must bump its node");
+                } else if !split {
+                    prop_assert!(!version_moved, "non-structural op must not bump");
+                }
+                // Data always agrees with the model.
+                let rows = idx.range_cloned(Bound::Unbounded, Bound::Unbounded);
+                prop_assert_eq!(rows.len(), model.len());
+            }
+            // Every key agrees at the end, through both access paths.
+            for (key_i, v) in &model {
+                prop_assert_eq!(idx.get_cloned(&k(*key_i)), Some(*v));
+            }
+        }
+    }
+}

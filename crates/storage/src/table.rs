@@ -1,21 +1,21 @@
-//! Tables: an ordered primary index over records plus optional secondary
-//! indexes.
+//! Tables: a versioned ordered primary index over records plus optional
+//! secondary indexes.
 //!
 //! A table stores the rows of one relation of one reactor. The primary index
-//! is an ordered map from primary [`Key`] to [`RecordRef`]; secondary indexes
-//! map an index key to the set of primary keys currently carrying that
-//! value. All physical operations here are non-transactional — visibility
-//! and atomicity are the responsibility of the OCC layer, which holds
-//! [`RecordRef`] handles obtained from this table in its read and write
-//! sets.
+//! is a [`VersionedIndex`] from primary [`Key`] to [`RecordRef`]; secondary
+//! indexes map an index key to the set of primary keys currently carrying
+//! that value, on the same versioned substrate. All physical operations here
+//! are non-transactional — visibility and atomicity are the responsibility
+//! of the OCC layer, which holds [`RecordRef`] handles obtained from this
+//! table in its read and write sets, and [`NodeObservation`]s from its
+//! traversals in its node set (phantom protection; see the `index` module).
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeSet;
 use std::ops::Bound;
-use std::sync::Arc;
 
-use parking_lot::RwLock;
 use reactdb_common::{Key, ReactorId, Result, TxnError};
 
+use crate::index::{NodeBump, NodeObservation, UpdateOutcome, VersionedIndex};
 use crate::record::{Record, RecordRef};
 use crate::schema::Schema;
 use crate::tid::TidWord;
@@ -31,10 +31,23 @@ pub struct SecondaryIndexDef {
     pub positions: Vec<usize>,
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct SecondaryIndex {
     def: SecondaryIndexDef,
-    map: RwLock<BTreeMap<Key, BTreeSet<Key>>>,
+    map: VersionedIndex<BTreeSet<Key>>,
+}
+
+/// What a [`Table::membership_fence`] did: the node bumps to refresh the
+/// committing transaction's own node set with, and the provisional
+/// secondary-index additions to undo via [`Table::fence_rollback`] if
+/// validation fails. Entries are `(secondary index id, index key)`.
+#[derive(Debug, Default)]
+pub struct FenceEffect {
+    /// Version bumps performed (primary + secondary).
+    pub bumps: Vec<NodeBump>,
+    /// Provisional `(index id, index key)` pairs physically added for this
+    /// write's primary key.
+    pub added: Vec<(usize, Key)>,
 }
 
 /// A relation instance: schema + primary index + secondary indexes.
@@ -46,7 +59,7 @@ pub struct Table {
     /// reactor 0 for tables created outside a partition (unit tests); the
     /// durability layer uses it to address redo records.
     owner: ReactorId,
-    primary: RwLock<BTreeMap<Key, RecordRef>>,
+    primary: VersionedIndex<RecordRef>,
     secondary: Vec<SecondaryIndex>,
 }
 
@@ -57,7 +70,7 @@ impl Table {
             name: name.into(),
             schema,
             owner: ReactorId(0),
-            primary: RwLock::new(BTreeMap::new()),
+            primary: VersionedIndex::new(),
             secondary: Vec::new(),
         }
     }
@@ -88,14 +101,14 @@ impl Table {
                     name: cols.join("+"),
                     positions,
                 },
-                map: RwLock::new(BTreeMap::new()),
+                map: VersionedIndex::new(),
             });
         }
         Self {
             name,
             schema,
             owner: ReactorId(0),
-            primary: RwLock::new(BTreeMap::new()),
+            primary: VersionedIndex::new(),
             secondary: indexes,
         }
     }
@@ -127,44 +140,56 @@ impl Table {
         self.secondary.iter().map(|s| s.def.clone()).collect()
     }
 
+    /// Column positions forming the key of secondary index `index_id`.
+    /// Used by the OCC layer to re-derive a row's index key when filtering
+    /// lookup results against provisional or stale index entries.
+    ///
+    /// # Panics
+    /// Panics when `index_id` is out of range.
+    pub fn secondary_positions(&self, index_id: usize) -> Vec<usize> {
+        self.secondary[index_id].def.positions.clone()
+    }
+
+    /// Number of leaf nodes the primary key space is split into (diagnostic;
+    /// grows with the historical key count).
+    pub fn primary_node_count(&self) -> usize {
+        self.primary.node_count()
+    }
+
     /// Number of records physically present in the primary index (including
     /// absent/deleted slots).
     pub fn physical_len(&self) -> usize {
-        self.primary.read().len()
+        self.primary.len()
     }
 
     /// Number of visible rows.
     pub fn visible_len(&self) -> usize {
-        self.primary
-            .read()
-            .values()
-            .filter(|r| r.is_visible())
-            .count()
+        self.primary.count_values(|r| r.is_visible())
     }
 
     /// Looks up the record slot for a primary key, visible or not.
     pub fn get(&self, key: &Key) -> Option<RecordRef> {
-        self.primary.read().get(key).cloned()
+        self.primary.get_cloned(key)
+    }
+
+    /// Like [`Table::get`], but also returns the observation of the index
+    /// node covering `key`. The OCC layer records the observation when the
+    /// slot is absent, so a later insert of the key (a point phantom) is
+    /// caught by node-set validation.
+    pub fn get_observed(&self, key: &Key) -> (Option<RecordRef>, NodeObservation) {
+        self.primary.get_observed(key)
     }
 
     /// Returns the record slot for `key`, creating an absent slot holding
-    /// `provisional` if none exists. The boolean is `true` when a new slot
-    /// was created. Used by transactional inserts: the slot only becomes
-    /// visible when the transaction commits.
-    pub fn get_or_create(&self, key: Key, provisional: Tuple) -> (RecordRef, bool) {
-        {
-            let read = self.primary.read();
-            if let Some(existing) = read.get(&key) {
-                return (Arc::clone(existing), false);
-            }
-        }
-        let mut write = self.primary.write();
-        if let Some(existing) = write.get(&key) {
-            return (Arc::clone(existing), false);
-        }
-        let record = Record::new_absent(provisional);
-        write.insert(key, Arc::clone(&record));
-        (record, true)
+    /// `provisional` if none exists. Slot creation is a structural mutation
+    /// of the primary index: the covering node is bumped and the bump
+    /// returned, so the creating transaction can refresh its own node set
+    /// (its earlier scans of the node remain valid) while concurrent
+    /// scanners of the range are invalidated. Used by transactional inserts;
+    /// the slot only becomes visible when the transaction commits.
+    pub fn get_or_create(&self, key: Key, provisional: Tuple) -> (RecordRef, Option<NodeBump>) {
+        self.primary
+            .get_or_insert_with(&key, || Record::new_absent(provisional))
     }
 
     /// Non-transactional bulk load of one row (used by benchmark loaders
@@ -181,40 +206,54 @@ impl Table {
     pub fn load_row_with_tid(&self, row: Tuple, tid: TidWord) -> Result<()> {
         self.schema.validate(&self.name, row.values())?;
         let key = row.primary_key(&self.schema);
-        let mut primary = self.primary.write();
-        if let Some(existing) = primary.get(&key) {
-            if existing.is_visible() {
-                return Err(TxnError::DuplicateKey {
-                    relation: self.name.clone(),
-                    key: key.to_string(),
-                });
-            }
+        let mut duplicate = false;
+        self.primary.update_or_insert(
+            &key,
+            true,
+            |slot| {
+                if slot.is_visible() {
+                    duplicate = true;
+                    UpdateOutcome::Unchanged
+                } else {
+                    // Replace the invisible slot with a fresh loaded record;
+                    // the handle swap is a membership change for observers.
+                    *slot = Record::new_loaded(row.clone(), tid);
+                    UpdateOutcome::Changed
+                }
+            },
+            || Some(Record::new_loaded(row.clone(), tid)),
+        );
+        if duplicate {
+            return Err(TxnError::DuplicateKey {
+                relation: self.name.clone(),
+                key: key.to_string(),
+            });
         }
-        let record = Record::new_loaded(row.clone(), tid);
-        primary.insert(key.clone(), record);
-        drop(primary);
         self.index_insert(&key, &row);
         Ok(())
     }
 
-    /// Visible rows in primary-key order within `[low, high]` bounds
-    /// (unbounded when `None`). Returns cloned tuples with their keys and
-    /// the record handles so the OCC layer can register reads.
+    /// Record slots in primary-key order within `[low, high]` bounds
+    /// (unbounded when `None`). Returns cloned keys with the record handles
+    /// so the OCC layer can register reads.
     pub fn range(&self, low: Bound<&Key>, high: Bound<&Key>) -> Vec<(Key, RecordRef)> {
-        let primary = self.primary.read();
-        primary
-            .range((low.cloned(), high.cloned()))
-            .map(|(k, r)| (k.clone(), Arc::clone(r)))
-            .collect()
+        self.primary.range_cloned(low, high)
+    }
+
+    /// Like [`Table::range`], but also returns an observation of every
+    /// index node whose interval intersects the bounds — the scan set a
+    /// phantom-safe transaction validates at commit.
+    pub fn range_observed(
+        &self,
+        low: Bound<&Key>,
+        high: Bound<&Key>,
+    ) -> (Vec<(Key, RecordRef)>, Vec<NodeObservation>) {
+        self.primary.range_observed(low, high)
     }
 
     /// All record slots in primary-key order.
     pub fn scan(&self) -> Vec<(Key, RecordRef)> {
-        let primary = self.primary.read();
-        primary
-            .iter()
-            .map(|(k, r)| (k.clone(), Arc::clone(r)))
-            .collect()
+        self.range(Bound::Unbounded, Bound::Unbounded)
     }
 
     /// Primary keys currently associated with `index_key` in secondary index
@@ -223,12 +262,26 @@ impl Table {
     /// # Panics
     /// Panics when `index_id` is out of range.
     pub fn secondary_lookup(&self, index_id: usize, index_key: &Key) -> Vec<Key> {
-        let idx = &self.secondary[index_id];
-        idx.map
-            .read()
-            .get(index_key)
-            .map(|set| set.iter().cloned().collect())
+        self.secondary[index_id]
+            .map
+            .get_cloned(index_key)
+            .map(|set| set.into_iter().collect())
             .unwrap_or_default()
+    }
+
+    /// Like [`Table::secondary_lookup`], plus the observation of the index
+    /// node covering `index_key` — a later commit that adds or removes a
+    /// matching `(index key, primary key)` pair bumps it.
+    pub fn secondary_lookup_observed(
+        &self,
+        index_id: usize,
+        index_key: &Key,
+    ) -> (Vec<Key>, NodeObservation) {
+        let (set, obs) = self.secondary[index_id].map.get_observed(index_key);
+        (
+            set.map(|s| s.into_iter().collect()).unwrap_or_default(),
+            obs,
+        )
     }
 
     /// Range lookup on a secondary index: all `(index key, primary key)`
@@ -239,11 +292,213 @@ impl Table {
         low: Bound<&Key>,
         high: Bound<&Key>,
     ) -> Vec<(Key, Key)> {
-        let idx = &self.secondary[index_id];
-        let map = idx.map.read();
-        map.range((low.cloned(), high.cloned()))
-            .flat_map(|(ik, pks)| pks.iter().map(move |pk| (ik.clone(), pk.clone())))
+        self.secondary[index_id]
+            .map
+            .range_cloned(low, high)
+            .into_iter()
+            .flat_map(|(ik, pks)| pks.into_iter().map(move |pk| (ik.clone(), pk)))
             .collect()
+    }
+
+    /// Like [`Table::secondary_range`], plus the node observations covering
+    /// the scanned index-key interval.
+    pub fn secondary_range_observed(
+        &self,
+        index_id: usize,
+        low: Bound<&Key>,
+        high: Bound<&Key>,
+    ) -> (Vec<(Key, Key)>, Vec<NodeObservation>) {
+        let (entries, obs) = self.secondary[index_id].map.range_observed(low, high);
+        let pairs = entries
+            .into_iter()
+            .flat_map(|(ik, pks)| pks.into_iter().map(move |pk| (ik.clone(), pk)))
+            .collect();
+        (pairs, obs)
+    }
+
+    /// The commit path's membership fence, run after write locks are
+    /// acquired and **before** validation. For every index node whose
+    /// membership this write will change it does two things *atomically per
+    /// node*:
+    ///
+    /// * **additions** — new `(index key, primary key)` pairs are
+    ///   physically installed into the secondary index, in the same lock
+    ///   acquisition as their version bump. A concurrent lookup therefore
+    ///   either sees the pre-bump version (its validation catches the
+    ///   change) or sees the provisional pair and resolves it through the
+    ///   row record — which this transaction holds locked, so the reader
+    ///   spins until commit or abort and then filters by the row's actual
+    ///   index key. No window exists in which the version is current but
+    ///   the membership is stale.
+    /// * **removals and primary appear/disappear** — announced with a bump
+    ///   only; the physical change happens in the write phase. Readers in
+    ///   the window see a stale pair (or slot) whose record is locked, and
+    ///   resolve it the same way.
+    ///
+    /// Fencing before validation is what closes the write-skew two
+    /// concurrent scan-then-modify transactions would otherwise slip
+    /// through: at least one of them sees the other's bump when
+    /// validating. The returned bumps let the committing transaction
+    /// refresh its own node set; the returned additions must be handed to
+    /// [`Table::fence_rollback`] if the commit aborts.
+    pub fn membership_fence(
+        &self,
+        key: &Key,
+        before: Option<&Tuple>,
+        after: Option<&Tuple>,
+    ) -> FenceEffect {
+        let mut effect = FenceEffect::default();
+        if before.is_some() != after.is_some() {
+            effect.bumps.push(self.primary.bump_covering(key));
+        }
+        for (index_id, idx) in self.secondary.iter().enumerate() {
+            let old_key = before.and_then(|t| t.index_key(&idx.def.positions));
+            let new_key = after.and_then(|t| t.index_key(&idx.def.positions));
+            if old_key == new_key {
+                continue;
+            }
+            if let Some(ok) = &old_key {
+                effect.bumps.push(idx.map.bump_covering(ok));
+            }
+            if let Some(nk) = new_key {
+                let added = std::cell::Cell::new(false);
+                let bump = idx.map.update_or_insert(
+                    &nk,
+                    true,
+                    |set| {
+                        if set.insert(key.clone()) {
+                            added.set(true);
+                            UpdateOutcome::Changed
+                        } else {
+                            UpdateOutcome::Unchanged
+                        }
+                    },
+                    || {
+                        added.set(true);
+                        Some(BTreeSet::from([key.clone()]))
+                    },
+                );
+                effect.bumps.extend(bump);
+                if added.get() {
+                    effect.added.push((index_id, nk));
+                }
+            }
+        }
+        effect
+    }
+
+    /// Undoes the provisional secondary-index additions of a
+    /// [`Table::membership_fence`] whose commit failed validation. Bumps
+    /// the affected nodes again (readers that saw the provisional pair
+    /// resolve it through the aborted record anyway; the extra bump only
+    /// causes safe spurious invalidations).
+    pub fn fence_rollback(&self, key: &Key, added: &[(usize, Key)]) {
+        for (index_id, ik) in added {
+            self.secondary[*index_id].map.update_or_insert(
+                ik,
+                true,
+                |set| {
+                    if set.remove(key) {
+                        if set.is_empty() {
+                            UpdateOutcome::Remove
+                        } else {
+                            UpdateOutcome::Changed
+                        }
+                    } else {
+                        UpdateOutcome::Unchanged
+                    }
+                },
+                || None,
+            );
+        }
+    }
+
+    /// Write-phase counterpart of the fence: quietly removes the stale
+    /// `(old index key, pk)` pairs of a committed update (`after = Some`)
+    /// or delete (`after = None`). The fence already announced these
+    /// removals with a bump, and the additions were already installed, so
+    /// nothing else remains to do here.
+    pub fn index_retire_fenced(&self, pk: &Key, before: &Tuple, after: Option<&Tuple>) {
+        for idx in &self.secondary {
+            let old_key = before.index_key(&idx.def.positions);
+            let new_key = after.and_then(|t| t.index_key(&idx.def.positions));
+            if old_key == new_key {
+                continue;
+            }
+            if let Some(ok) = old_key {
+                idx.map.update_or_insert(
+                    &ok,
+                    false,
+                    |set| {
+                        if set.remove(pk) {
+                            if set.is_empty() {
+                                UpdateOutcome::Remove
+                            } else {
+                                UpdateOutcome::Changed
+                            }
+                        } else {
+                            UpdateOutcome::Unchanged
+                        }
+                    },
+                    || None,
+                );
+            }
+        }
+    }
+
+    /// Registers `row` (with primary key `pk`) in every secondary index,
+    /// bumping the affected nodes. Used by the bulk loader and recovery
+    /// replay; transactional commits install additions through
+    /// [`Table::membership_fence`] instead.
+    pub fn index_insert(&self, pk: &Key, row: &Tuple) {
+        for idx in &self.secondary {
+            if let Some(ik) = row.index_key(&idx.def.positions) {
+                idx.map.update_or_insert(
+                    &ik,
+                    true,
+                    |set| {
+                        if set.insert(pk.clone()) {
+                            UpdateOutcome::Changed
+                        } else {
+                            UpdateOutcome::Unchanged
+                        }
+                    },
+                    || Some(BTreeSet::from([pk.clone()])),
+                );
+            }
+        }
+    }
+
+    /// Removes `row`'s entries from every secondary index (bulk loads,
+    /// recovery replay, index maintenance outside commit), bumping nodes.
+    pub fn index_remove(&self, pk: &Key, row: &Tuple) {
+        for idx in &self.secondary {
+            if let Some(ik) = row.index_key(&idx.def.positions) {
+                idx.map.update_or_insert(
+                    &ik,
+                    true,
+                    |set| {
+                        if set.remove(pk) {
+                            if set.is_empty() {
+                                UpdateOutcome::Remove
+                            } else {
+                                UpdateOutcome::Changed
+                            }
+                        } else {
+                            UpdateOutcome::Unchanged
+                        }
+                    },
+                    || None,
+                );
+            }
+        }
+    }
+
+    /// Updates secondary indexes when a row changes from `old` to `new`,
+    /// bumping the affected nodes (bulk-load/replay path).
+    pub fn index_update(&self, pk: &Key, old: &Tuple, new: &Tuple) {
+        self.index_remove(pk, old);
+        self.index_insert(pk, new);
     }
 
     /// Applies one redo record during crash recovery: installs `image` (or a
@@ -279,57 +534,6 @@ impl Table {
             }
         }
     }
-
-    /// Registers `row` (with primary key `pk`) in every secondary index.
-    /// Called by the commit write phase after installing an insert, and by
-    /// the bulk loader.
-    pub fn index_insert(&self, pk: &Key, row: &Tuple) {
-        for idx in &self.secondary {
-            if let Some(ik) = row.index_key(&idx.def.positions) {
-                idx.map.write().entry(ik).or_default().insert(pk.clone());
-            }
-        }
-    }
-
-    /// Removes `row`'s entries from every secondary index (commit write
-    /// phase of deletes, or index maintenance when an update changes indexed
-    /// columns).
-    pub fn index_remove(&self, pk: &Key, row: &Tuple) {
-        for idx in &self.secondary {
-            if let Some(ik) = row.index_key(&idx.def.positions) {
-                let mut map = idx.map.write();
-                if let Some(set) = map.get_mut(&ik) {
-                    set.remove(pk);
-                    if set.is_empty() {
-                        map.remove(&ik);
-                    }
-                }
-            }
-        }
-    }
-
-    /// Updates secondary indexes when a row changes from `old` to `new`.
-    pub fn index_update(&self, pk: &Key, old: &Tuple, new: &Tuple) {
-        for idx in &self.secondary {
-            let old_key = old.index_key(&idx.def.positions);
-            let new_key = new.index_key(&idx.def.positions);
-            if old_key == new_key {
-                continue;
-            }
-            let mut map = idx.map.write();
-            if let Some(ok) = old_key {
-                if let Some(set) = map.get_mut(&ok) {
-                    set.remove(pk);
-                    if set.is_empty() {
-                        map.remove(&ok);
-                    }
-                }
-            }
-            if let Some(nk) = new_key {
-                map.entry(nk).or_default().insert(pk.clone());
-            }
-        }
-    }
 }
 
 #[cfg(test)]
@@ -337,6 +541,7 @@ mod tests {
     use super::*;
     use crate::schema::{ColumnType, Schema};
     use reactdb_common::Value;
+    use std::sync::Arc;
 
     fn customer_table() -> Table {
         let schema = Schema::of(
@@ -401,6 +606,25 @@ mod tests {
     }
 
     #[test]
+    fn observed_range_is_invalidated_by_overlapping_slot_creation() {
+        let t = customer_table();
+        for i in 0..10 {
+            t.load_row(row(i, "L", 0.0)).unwrap();
+        }
+        let (_, obs) = t.range_observed(
+            Bound::Included(&Key::Int(0)),
+            Bound::Included(&Key::Int(20)),
+        );
+        assert!(obs.iter().all(|o| o.is_current()));
+        let (_, created) = t.get_or_create(Key::Int(15), row(15, "N", 0.0));
+        assert!(created.is_some(), "new slot is structural");
+        assert!(
+            obs.iter().any(|o| !o.is_current()),
+            "slot creation inside the scanned range invalidates an observation"
+        );
+    }
+
+    #[test]
     fn secondary_index_lookup_and_update() {
         let t = customer_table();
         t.load_row(row(1, "SMITH", 10.0)).unwrap();
@@ -427,6 +651,88 @@ mod tests {
     }
 
     #[test]
+    fn secondary_observation_catches_membership_changes() {
+        let t = customer_table();
+        t.load_row(row(1, "SMITH", 10.0)).unwrap();
+        let (pks, obs) = t.secondary_lookup_observed(0, &Key::Str("SMITH".into()));
+        assert_eq!(pks.len(), 1);
+        // A new SMITH row changes the key's PK set and bumps the node.
+        t.index_insert(&Key::Int(2), &row(2, "SMITH", 20.0));
+        assert!(!obs.is_current());
+        // Retiring a stale pair after the fence announced it is quiet.
+        let (_, obs2) = t.secondary_lookup_observed(0, &Key::Str("SMITH".into()));
+        t.index_retire_fenced(
+            &Key::Int(2),
+            &row(2, "SMITH", 20.0),
+            Some(&row(2, "BROWN", 20.0)),
+        );
+        assert!(obs2.is_current(), "fenced retirement is quiet");
+        assert_eq!(
+            t.secondary_lookup(0, &Key::Str("SMITH".into())),
+            vec![Key::Int(1)]
+        );
+    }
+
+    #[test]
+    fn membership_fence_installs_additions_and_announces_removals() {
+        let t = customer_table();
+        t.load_row(row(1, "SMITH", 10.0)).unwrap();
+        // Insert: primary bump + secondary addition (installed + bumped).
+        let obs_p = t.get_observed(&Key::Int(50)).1;
+        let (_, obs_s) = t.secondary_lookup_observed(0, &Key::Str("NEW".into()));
+        let effect = t.membership_fence(&Key::Int(50), None, Some(&row(50, "NEW", 0.0)));
+        assert_eq!(effect.bumps.len(), 2);
+        assert_eq!(effect.added.len(), 1);
+        assert!(!obs_p.is_current() && !obs_s.is_current());
+        // The addition is physically visible at fence time...
+        assert_eq!(
+            t.secondary_lookup(0, &Key::Str("NEW".into())),
+            vec![Key::Int(50)]
+        );
+        // ...and a rollback undoes it (with another bump).
+        t.fence_rollback(&Key::Int(50), &effect.added);
+        assert!(t.secondary_lookup(0, &Key::Str("NEW".into())).is_empty());
+
+        // Update keeping the indexed column: no bumps at all.
+        let effect = t.membership_fence(
+            &Key::Int(1),
+            Some(&row(1, "SMITH", 10.0)),
+            Some(&row(1, "SMITH", 99.0)),
+        );
+        assert!(effect.bumps.is_empty() && effect.added.is_empty());
+        // Update changing the indexed column: removal announced, addition
+        // installed.
+        let effect = t.membership_fence(
+            &Key::Int(1),
+            Some(&row(1, "SMITH", 10.0)),
+            Some(&row(1, "BROWN", 10.0)),
+        );
+        assert_eq!(effect.bumps.len(), 2);
+        assert_eq!(
+            t.secondary_lookup(0, &Key::Str("BROWN".into())),
+            vec![Key::Int(1)]
+        );
+        // The stale SMITH pair stays until the write phase retires it.
+        assert_eq!(
+            t.secondary_lookup(0, &Key::Str("SMITH".into())),
+            vec![Key::Int(1)]
+        );
+        t.index_retire_fenced(
+            &Key::Int(1),
+            &row(1, "SMITH", 10.0),
+            Some(&row(1, "BROWN", 10.0)),
+        );
+        assert!(t.secondary_lookup(0, &Key::Str("SMITH".into())).is_empty());
+
+        // Delete: primary + secondary announced, retirement at install.
+        let effect = t.membership_fence(&Key::Int(1), Some(&row(1, "BROWN", 10.0)), None);
+        assert_eq!(effect.bumps.len(), 2);
+        assert!(effect.added.is_empty());
+        t.index_retire_fenced(&Key::Int(1), &row(1, "BROWN", 10.0), None);
+        assert!(t.secondary_lookup(0, &Key::Str("BROWN".into())).is_empty());
+    }
+
+    #[test]
     fn secondary_range_returns_pairs_in_order() {
         let t = customer_table();
         t.load_row(row(1, "ADAMS", 1.0)).unwrap();
@@ -440,6 +746,13 @@ mod tests {
         assert_eq!(hits.len(), 2);
         assert_eq!(hits[0].0, Key::Str("ADAMS".into()));
         assert_eq!(hits[1].1, Key::Int(2));
+        let (pairs, obs) = t.secondary_range_observed(
+            0,
+            Bound::Included(&Key::Str("ADAMS".into())),
+            Bound::Unbounded,
+        );
+        assert_eq!(pairs.len(), 3);
+        assert!(!obs.is_empty());
     }
 
     #[test]
@@ -447,8 +760,8 @@ mod tests {
         let t = customer_table();
         let (a, created_a) = t.get_or_create(Key::Int(7), row(7, "NEW", 0.0));
         let (b, created_b) = t.get_or_create(Key::Int(7), row(7, "NEW", 0.0));
-        assert!(created_a);
-        assert!(!created_b);
+        assert!(created_a.is_some());
+        assert!(created_b.is_none());
         assert!(Arc::ptr_eq(&a, &b));
         assert!(!a.is_visible());
         assert_eq!(t.physical_len(), 1);

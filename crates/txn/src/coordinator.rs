@@ -10,21 +10,39 @@
 //!    makes the protocol deadlock-free. With more than one participant this
 //!    is the "prepare" phase of 2PC: a participant whose locks or
 //!    validation fail votes no.
-//! 2. **Validation phase** — every read-set entry is checked: the record
+//! 2. **Membership fence** — before validating, every index node whose
+//!    membership this commit will change is version-bumped: new secondary
+//!    `(index key, PK)` pairs are physically installed *atomically with*
+//!    their bump (readers that see the bumped version also see the
+//!    provisional pair and resolve it through the locked row record);
+//!    removals and primary appear/disappear are announced by bump and
+//!    applied in the write phase. The transaction's own node set is
+//!    refreshed for these bumps. Fencing *before* validation is what
+//!    closes the write-skew window two concurrent scan-then-modify
+//!    transactions would otherwise slip through: at least one of them sees
+//!    the other's bump during validation. This spans all participants, so
+//!    the 2PC path validates multi-reactor scans consistently. If the
+//!    commit aborts, the provisional additions are rolled back.
+//! 3. **Validation phase** — every read-set entry is checked (the record
 //!    must still carry the observed version and must not be locked by
-//!    another transaction.
-//! 3. **Write phase** — a commit TID is generated (greater than every
+//!    another transaction), and every node-set entry is re-checked (the
+//!    node must still carry the traversed version; a mismatch means the
+//!    membership of a scanned range changed — a phantom — and the
+//!    transaction aborts with [`TxnError::Phantom`]).
+//! 4. **Write phase** — a commit TID is generated (greater than every
 //!    observed version, the executor's previous TID, and within the current
-//!    epoch) and all buffered writes are installed; secondary indexes are
-//!    maintained. If any vote was no, all locks are released and the
-//!    transaction aborts everywhere — sub-transactions never commit
-//!    partially (§2.2.3).
+//!    epoch) and all buffered writes are installed; stale secondary pairs
+//!    of updates and deletes are retired (without re-bumping: the fence
+//!    already announced those removals, and additions were installed by
+//!    the fence itself). If any vote was no, all locks are released, the
+//!    provisional additions are rolled back, and the transaction aborts
+//!    everywhere — sub-transactions never commit partially (§2.2.3).
 
 use std::collections::HashSet;
 use std::sync::Arc;
 
 use reactdb_common::{Result, TxnError};
-use reactdb_storage::TidWord;
+use reactdb_storage::{TidWord, Tuple};
 
 use crate::epoch::EpochManager;
 use crate::logging::{LogSink, RedoRecord};
@@ -113,8 +131,42 @@ impl Coordinator {
         // ---- Serialization point: read the epoch after acquiring locks.
         let current_epoch = epoch.current();
 
-        // ---- Phase 2: validate the read sets of every participant.
+        // ---- Phase 2: membership fence. For every index node whose
+        // membership this commit changes: install new secondary pairs
+        // (atomically with their bump — readers that see the bumped
+        // version also see the provisional entry and resolve it through
+        // the locked row record), announce removals and primary
+        // appear/disappear with a bump, and remember the additions so an
+        // abort can roll them back. Then refresh the transaction's own
+        // node set so its own scans are not phantom-aborted by its own
+        // writes (Silo's node-set refresh rule).
+        // (participant, write idx, provisional additions of that write)
+        type FenceAdditions = Vec<(usize, usize, Vec<(usize, reactdb_common::Key)>)>;
+        let mut fence_bumps = Vec::new();
+        let mut fence_added: FenceAdditions = Vec::new();
+        for (pi, wi) in &locked {
+            let w = &participants[*pi].writes()[*wi];
+            let (before, after): (Option<&Tuple>, Option<&Tuple>) = match &w.kind {
+                WriteKind::Insert(row) => (w.before.as_ref(), Some(row)),
+                WriteKind::Update(row) => (w.before.as_ref(), Some(row)),
+                WriteKind::Delete => (w.before.as_ref(), None),
+            };
+            let effect = w.table.membership_fence(&w.key, before, after);
+            fence_bumps.extend(effect.bumps);
+            if !effect.added.is_empty() {
+                fence_added.push((*pi, *wi, effect.added));
+            }
+        }
+        for p in participants.iter_mut() {
+            for bump in &fence_bumps {
+                p.refresh_node(bump);
+            }
+        }
+
+        // ---- Phase 3: validate the read and node sets of every
+        // participant.
         let mut valid = true;
+        let mut phantom = false;
         'validation: for p in participants.iter() {
             if p.max_observed().version() > max_observed.version() {
                 max_observed = p.max_observed();
@@ -132,37 +184,59 @@ impl Coordinator {
                     break 'validation;
                 }
             }
+            for obs in p.nodes() {
+                if !obs.is_current() {
+                    valid = false;
+                    phantom = true;
+                    break 'validation;
+                }
+            }
         }
 
         if !valid {
-            // Vote no: release every lock without touching versions.
+            // Vote no: undo the provisional secondary additions, then
+            // release every lock without touching record versions. The
+            // fence bumps stay — they can only cause spurious (safe)
+            // phantom aborts in concurrent scanners, never missed ones;
+            // readers that saw a provisional pair resolve it through the
+            // still-uncommitted record and filter it out.
+            for (pi, wi, added) in &fence_added {
+                let w = &participants[*pi].writes()[*wi];
+                w.table.fence_rollback(&w.key, added);
+            }
             for (pi, wi) in &locked {
                 participants[*pi].writes()[*wi].record.unlock();
             }
-            return Err(TxnError::ValidationFailed);
+            return Err(if phantom {
+                TxnError::Phantom
+            } else {
+                TxnError::ValidationFailed
+            });
         }
 
-        // ---- Phase 3: generate the commit TID and install the writes.
+        // ---- Phase 4: generate the commit TID and install the writes.
+        // Secondary-index additions are already in place from the fence;
+        // what remains is retiring stale pairs of updates and deletes —
+        // quietly, because the fence already announced those removals, so
+        // re-bumping here would only double-invalidate scanners that
+        // traversed between fence and install.
         let commit_tid = tidgen.next(current_epoch, max_observed);
         for (pi, wi) in &locked {
             let w = &participants[*pi].writes()[*wi];
             match &w.kind {
                 WriteKind::Insert(row) => {
                     w.record.install(row.clone(), commit_tid);
-                    w.table.index_insert(&w.key, row);
                 }
                 WriteKind::Update(row) => {
                     w.record.install(row.clone(), commit_tid);
                     if let Some(before) = &w.before {
-                        w.table.index_update(&w.key, before, row);
-                    } else {
-                        w.table.index_insert(&w.key, row);
+                        w.table.index_retire_fenced(&w.key, before, Some(row));
                     }
                 }
                 WriteKind::Delete => {
                     w.record.install_delete(commit_tid);
                     if let Some(before) = &w.before {
-                        w.table.index_remove(&w.key, before);
+                        w.table.index_retire_fenced(&w.key, before, None);
                     }
                 }
             }
@@ -202,7 +276,8 @@ impl Coordinator {
 mod tests {
     use super::*;
     use reactdb_common::{ContainerId, Key, Value};
-    use reactdb_storage::{ColumnType, Schema, Table, Tuple};
+    use reactdb_storage::{ColumnType, Schema, Table};
+    use std::ops::Bound;
 
     fn table(name: &str) -> Arc<Table> {
         let schema = Schema::of(&[("id", ColumnType::Int), ("v", ColumnType::Int)], &["id"]);
@@ -426,6 +501,237 @@ mod tests {
         assert!(
             sink.batches.lock().unwrap().is_empty(),
             "aborts must not reach the log"
+        );
+    }
+
+    #[test]
+    fn insert_into_scanned_range_is_a_phantom() {
+        let t = table("t"); // keys 0..10
+        let (epoch, gen) = env();
+        // Scanner reads [0, 100] — rows 0..10 plus the empty tail of the
+        // range — and records the traversed node versions.
+        let mut scanner = OccTxn::new(ContainerId(0));
+        let rows = scanner
+            .scan_range(
+                &t,
+                Bound::Included(&Key::Int(0)),
+                Bound::Included(&Key::Int(100)),
+            )
+            .unwrap();
+        assert_eq!(rows.len(), 10);
+        assert!(scanner.node_set_len() >= 1);
+
+        // A concurrent transaction commits an insert of key 42 — inside the
+        // scanned range, in its previously-empty part.
+        let mut inserter = OccTxn::new(ContainerId(0));
+        inserter
+            .insert(&t, Tuple::of([Value::Int(42), Value::Int(0)]))
+            .unwrap();
+        Coordinator::commit(&mut [inserter], &epoch, &gen).unwrap();
+
+        let err = Coordinator::commit(&mut [scanner], &epoch, &gen).unwrap_err();
+        assert_eq!(err, TxnError::Phantom, "scanned-range insert is a phantom");
+        assert!(err.is_phantom() && err.is_cc_abort());
+    }
+
+    #[test]
+    fn non_overlapping_insert_does_not_abort_a_scanner() {
+        let t = table("t");
+        // Push the table past several splits so distinct ranges live on
+        // distinct nodes.
+        for i in 10..400i64 {
+            t.load_row(Tuple::of([Value::Int(i), Value::Int(0)]))
+                .unwrap();
+        }
+        let (epoch, gen) = env();
+        let mut scanner = OccTxn::new(ContainerId(0));
+        scanner
+            .scan_range(
+                &t,
+                Bound::Included(&Key::Int(0)),
+                Bound::Included(&Key::Int(50)),
+            )
+            .unwrap();
+        // Concurrent insert far outside the scanned range.
+        let mut inserter = OccTxn::new(ContainerId(0));
+        inserter
+            .insert(&t, Tuple::of([Value::Int(10_000), Value::Int(0)]))
+            .unwrap();
+        Coordinator::commit(&mut [inserter], &epoch, &gen).unwrap();
+        // The scanner still commits: the insert hit a different node.
+        Coordinator::commit(&mut [scanner], &epoch, &gen).unwrap();
+    }
+
+    #[test]
+    fn own_insert_into_scanned_range_does_not_self_abort() {
+        let t = table("t");
+        let (epoch, gen) = env();
+        // Scan-then-insert within one transaction: the classic
+        // next-free-key pattern must not phantom-abort itself.
+        let mut p = OccTxn::new(ContainerId(0));
+        let rows = p.scan(&t).unwrap();
+        let next = rows.len() as i64;
+        p.insert(&t, Tuple::of([Value::Int(next), Value::Int(0)]))
+            .unwrap();
+        Coordinator::commit(&mut [p], &epoch, &gen).unwrap();
+        assert!(t.get(&Key::Int(next)).unwrap().is_visible());
+    }
+
+    #[test]
+    fn absent_point_read_is_phantom_protected() {
+        let t = table("t");
+        let (epoch, gen) = env();
+        // Reader observes that key 77 does not exist, then writes elsewhere.
+        let mut reader = OccTxn::new(ContainerId(0));
+        assert!(reader.read(&t, &Key::Int(77)).unwrap().is_none());
+        reader
+            .update(&t, Tuple::of([Value::Int(1), Value::Int(9)]))
+            .unwrap();
+        // A concurrent insert of exactly that key commits first.
+        let mut inserter = OccTxn::new(ContainerId(0));
+        inserter
+            .insert(&t, Tuple::of([Value::Int(77), Value::Int(1)]))
+            .unwrap();
+        Coordinator::commit(&mut [inserter], &epoch, &gen).unwrap();
+        let err = Coordinator::commit(&mut [reader], &epoch, &gen).unwrap_err();
+        assert!(err.is_phantom(), "read-of-absence must be repeatable");
+    }
+
+    #[test]
+    fn delete_shrinking_a_scanned_range_aborts_the_scanner() {
+        let t = table("t");
+        let (epoch, gen) = env();
+        let mut scanner = OccTxn::new(ContainerId(0));
+        let rows = scanner.scan(&t).unwrap();
+        assert_eq!(rows.len(), 10);
+        let mut deleter = OccTxn::new(ContainerId(0));
+        deleter.delete(&t, &Key::Int(5)).unwrap();
+        Coordinator::commit(&mut [deleter], &epoch, &gen).unwrap();
+        // The scanned row's version changed (read set) and the membership
+        // fence bumped the node; either way the scanner must abort.
+        let err = Coordinator::commit(&mut [scanner], &epoch, &gen).unwrap_err();
+        assert!(err.is_cc_abort());
+    }
+
+    #[test]
+    fn secondary_membership_change_aborts_concurrent_lookup() {
+        let schema = Schema::of(
+            &[
+                ("id", ColumnType::Int),
+                ("grp", ColumnType::Int),
+                ("v", ColumnType::Int),
+            ],
+            &["id"],
+        );
+        let t = Arc::new(Table::with_indexes("t", schema, &[vec!["grp".to_owned()]]));
+        for i in 0..10i64 {
+            t.load_row(Tuple::of([Value::Int(i), Value::Int(i % 2), Value::Int(0)]))
+                .unwrap();
+        }
+        let (epoch, gen) = env();
+        // Lookup of group 0, then a concurrent commit moves a row from
+        // group 1 into group 0 — changing the membership the lookup
+        // depends on without touching any row the lookup read.
+        let mut looker = OccTxn::new(ContainerId(0));
+        let hits = looker.secondary_lookup(&t, 0, &Key::Int(0)).unwrap();
+        assert_eq!(hits.len(), 5);
+        looker
+            .update(&t, Tuple::of([Value::Int(0), Value::Int(0), Value::Int(7)]))
+            .unwrap();
+
+        let mut mover = OccTxn::new(ContainerId(0));
+        mover
+            .update(&t, Tuple::of([Value::Int(1), Value::Int(0), Value::Int(0)]))
+            .unwrap();
+        Coordinator::commit(&mut [mover], &epoch, &gen).unwrap();
+
+        let err = Coordinator::commit(&mut [looker], &epoch, &gen).unwrap_err();
+        assert!(err.is_phantom(), "index-key membership change is a phantom");
+
+        // A retry sees the new membership and succeeds.
+        let mut retry = OccTxn::new(ContainerId(0));
+        let hits = retry.secondary_lookup(&t, 0, &Key::Int(0)).unwrap();
+        assert_eq!(hits.len(), 6);
+        retry
+            .update(&t, Tuple::of([Value::Int(0), Value::Int(0), Value::Int(7)]))
+            .unwrap();
+        Coordinator::commit(&mut [retry], &epoch, &gen).unwrap();
+    }
+
+    #[test]
+    fn aborted_commit_rolls_back_provisional_index_additions() {
+        let schema = Schema::of(
+            &[
+                ("id", ColumnType::Int),
+                ("grp", ColumnType::Int),
+                ("v", ColumnType::Int),
+            ],
+            &["id"],
+        );
+        let t = Arc::new(Table::with_indexes("t", schema, &[vec!["grp".to_owned()]]));
+        for i in 0..4i64 {
+            t.load_row(Tuple::of([Value::Int(i), Value::Int(0), Value::Int(0)]))
+                .unwrap();
+        }
+        let (epoch, gen) = env();
+        // A transaction that will fail validation: it reads row 2, a
+        // concurrent commit changes it, and it tries to move row 1 into
+        // group 5 — whose provisional index entry must not survive.
+        let mut doomed = OccTxn::new(ContainerId(0));
+        doomed.read(&t, &Key::Int(2)).unwrap();
+        doomed
+            .update(&t, Tuple::of([Value::Int(1), Value::Int(5), Value::Int(0)]))
+            .unwrap();
+        let mut other = OccTxn::new(ContainerId(0));
+        other
+            .update(&t, Tuple::of([Value::Int(2), Value::Int(0), Value::Int(7)]))
+            .unwrap();
+        Coordinator::commit(&mut [other], &epoch, &gen).unwrap();
+
+        let err = Coordinator::commit(&mut [doomed], &epoch, &gen).unwrap_err();
+        assert!(err.is_cc_abort());
+        assert!(
+            t.secondary_lookup(0, &Key::Int(5)).is_empty(),
+            "the aborted move's provisional index entry was rolled back"
+        );
+        assert_eq!(
+            t.secondary_lookup(0, &Key::Int(0)).len(),
+            4,
+            "the old membership is intact"
+        );
+        // Row 1's record is unlocked and unchanged.
+        assert_eq!(
+            t.get(&Key::Int(1)).unwrap().read_unguarded().at(1),
+            &Value::Int(0)
+        );
+    }
+
+    #[test]
+    fn two_phase_commit_validates_node_sets_of_every_participant() {
+        let t0 = table("t0");
+        let t1 = table("t1");
+        let (epoch, gen) = env();
+        // A root transaction scans t1 through participant 1 and writes t0
+        // through participant 0; a concurrent insert into t1's scanned
+        // range must abort the whole distributed commit.
+        let mut p0 = OccTxn::new(ContainerId(0));
+        let mut p1 = OccTxn::new(ContainerId(1));
+        p0.update(&t0, Tuple::of([Value::Int(1), Value::Int(1)]))
+            .unwrap();
+        p1.scan(&t1).unwrap();
+
+        let mut other = OccTxn::new(ContainerId(1));
+        other
+            .insert(&t1, Tuple::of([Value::Int(500), Value::Int(0)]))
+            .unwrap();
+        Coordinator::commit(&mut [other], &epoch, &gen).unwrap();
+
+        let err = Coordinator::commit(&mut [p0, p1], &epoch, &gen).unwrap_err();
+        assert!(err.is_phantom());
+        // The write participant's buffered update was not installed.
+        assert_eq!(
+            t0.get(&Key::Int(1)).unwrap().read_unguarded().at(1),
+            &Value::Int(0)
         );
     }
 

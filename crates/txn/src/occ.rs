@@ -1,17 +1,28 @@
 //! Per-container transaction participant state (Silo-style OCC).
 //!
 //! An [`OccTxn`] tracks everything a (sub-)transaction did inside one
-//! container: the versions it read and the writes it buffered. The reactor
-//! execution context performs all its relational operations through this
-//! type, so that serializability follows from the Silo validation protocol
-//! run at commit (see [`crate::coordinator`]).
+//! container: the record versions it read (read set), the writes it
+//! buffered (write set), and the index-node versions its scans traversed
+//! (node set — the Masstree/Silo device that makes range scans
+//! phantom-safe). The reactor execution context performs all its relational
+//! operations through this type, so that serializability follows from the
+//! Silo validation protocol run at commit (see [`crate::coordinator`]):
+//! read-set validation catches changes to rows that were read, node-set
+//! validation catches changes to the *membership* of ranges that were
+//! scanned and keys whose absence was observed.
 
 use std::collections::HashMap;
 use std::ops::Bound;
 use std::sync::Arc;
 
 use reactdb_common::{ContainerId, Key, Result, TxnError};
-use reactdb_storage::{RecordRef, Table, TidWord, Tuple};
+use reactdb_storage::{NodeBump, NodeObservation, RecordRef, Table, TidWord, Tuple};
+
+/// True when `key` falls within owned `bounds`.
+fn bounds_contain(bounds: &(Bound<Key>, Bound<Key>), key: &Key) -> bool {
+    use std::ops::RangeBounds;
+    (bounds.0.as_ref(), bounds.1.as_ref()).contains(key)
+}
 
 /// The kind of buffered write.
 #[derive(Debug, Clone, PartialEq)]
@@ -50,11 +61,18 @@ pub struct OccTxn {
     reads: Vec<ReadEntry>,
     read_index: HashMap<usize, usize>,
     writes: Vec<WriteEntry>,
+    /// The node set: index-node versions observed by scans and absent point
+    /// reads, re-checked by commit validation (phantom protection).
+    nodes: Vec<NodeObservation>,
+    node_index: HashMap<usize, usize>,
     /// Largest committed version observed by any read or overwritten record.
     max_observed: TidWord,
     /// Count of record-level operations, used by the engine's profiler to
     /// attribute processing cost.
     ops: u64,
+    /// Count of scan operations (range scans, full scans, secondary
+    /// lookups/ranges), surfaced in engine statistics.
+    scans: u64,
 }
 
 impl OccTxn {
@@ -65,8 +83,11 @@ impl OccTxn {
             reads: Vec::new(),
             read_index: HashMap::new(),
             writes: Vec::new(),
+            nodes: Vec::new(),
+            node_index: HashMap::new(),
             max_observed: TidWord::committed(0, 0),
             ops: 0,
+            scans: 0,
         }
     }
 
@@ -85,9 +106,20 @@ impl OccTxn {
         self.writes.len()
     }
 
+    /// Number of distinct index nodes in the node set.
+    pub fn node_set_len(&self) -> usize {
+        self.nodes.len()
+    }
+
     /// Number of record operations performed so far.
     pub fn op_count(&self) -> u64 {
         self.ops
+    }
+
+    /// Number of scan operations (range/full scans, secondary lookups)
+    /// performed so far.
+    pub fn scan_count(&self) -> u64 {
+        self.scans
     }
 
     /// Largest committed record version this participant observed.
@@ -114,6 +146,33 @@ impl OccTxn {
         });
     }
 
+    /// Records a node observation in the node set. The **first** observation
+    /// of a node wins: if a later traversal sees a different version, the
+    /// two traversals are mutually inconsistent and validation must fail,
+    /// which keeping the older version guarantees.
+    fn track_node(&mut self, obs: NodeObservation) {
+        let ptr = obs.node_ptr();
+        if self.node_index.contains_key(&ptr) {
+            return;
+        }
+        self.node_index.insert(ptr, self.nodes.len());
+        self.nodes.push(obs);
+    }
+
+    /// Refreshes the node set after a structural change made *by this
+    /// transaction itself* (Silo's rule: an insert must not phantom-abort
+    /// its own earlier scans). The recorded version advances only when it
+    /// matches the pre-bump version — if it does not, a concurrent
+    /// structural change interleaved and validation must decide.
+    pub(crate) fn refresh_node(&mut self, bump: &NodeBump) {
+        let ptr = Arc::as_ptr(&bump.node) as usize;
+        if let Some(&i) = self.node_index.get(&ptr) {
+            if self.nodes[i].version == bump.before {
+                self.nodes[i].version = bump.after;
+            }
+        }
+    }
+
     fn find_write(&self, table: &Arc<Table>, key: &Key) -> Option<usize> {
         self.writes
             .iter()
@@ -132,9 +191,15 @@ impl OccTxn {
                 WriteKind::Delete => None,
             });
         }
-        match table.get(key) {
-            None => Ok(None),
-            Some(record) => {
+        match table.get_observed(key) {
+            (None, obs) => {
+                // The key has no slot: observe its covering index node so a
+                // concurrent insert of this key (a point phantom) fails
+                // node-set validation.
+                self.track_node(obs);
+                Ok(None)
+            }
+            (Some(record), _) => {
                 let (tid, data) = record.read_stable();
                 self.track_read(&record, tid);
                 if tid.is_absent() {
@@ -184,7 +249,12 @@ impl OccTxn {
                 }
             }
         }
-        let (record, _created) = table.get_or_create(key.clone(), row.clone());
+        let (record, structural) = table.get_or_create(key.clone(), row.clone());
+        if let Some(bump) = &structural {
+            // Our own slot creation bumped the covering node; refresh our
+            // node set so our earlier scans of the range stay valid.
+            self.refresh_node(bump);
+        }
         let (tid, before) = record.read_stable();
         self.track_read(&record, tid);
         if !tid.is_absent() {
@@ -309,12 +379,16 @@ impl OccTxn {
 
     /// Transactional range scan over the primary key. Returns visible rows
     /// (committed rows merged with this transaction's own writes) in key
-    /// order. Every committed row touched is added to the read set.
+    /// order. Every committed row touched is added to the read set, and the
+    /// index nodes the traversal covered — including empty sub-ranges — are
+    /// added to the node set.
     ///
-    /// Phantom protection is not implemented (see DESIGN.md §4.2): a
-    /// concurrent insert into the scanned range that commits first is not
-    /// detected by validation. The OLTP benchmarks of the paper do not rely
-    /// on phantom-free scans.
+    /// The scan is phantom-safe: a concurrent insert or delete that changes
+    /// the membership of the scanned range bumps a traversed node's
+    /// version, and commit validation re-checks the node set after write
+    /// locks are acquired, aborting with [`TxnError::Phantom`] on mismatch
+    /// (the Masstree/Silo node-set protocol; supersedes the seed's
+    /// "phantom protection is not implemented" design note).
     pub fn scan_range(
         &mut self,
         table: &Arc<Table>,
@@ -322,8 +396,13 @@ impl OccTxn {
         high: Bound<&Key>,
     ) -> Result<Vec<(Key, Tuple)>> {
         self.ops += 1;
+        self.scans += 1;
+        let (slots, observations) = table.range_observed(low, high);
+        for obs in observations {
+            self.track_node(obs);
+        }
         let mut out: Vec<(Key, Tuple)> = Vec::new();
-        for (key, record) in table.range(low, high) {
+        for (key, record) in slots {
             if let Some(idx) = self.find_write(table, &key) {
                 match &self.writes[idx].kind {
                     WriteKind::Insert(t) | WriteKind::Update(t) => out.push((key, t.clone())),
@@ -349,6 +428,16 @@ impl OccTxn {
     }
 
     /// Secondary-index equality lookup: returns the matching visible rows.
+    /// The node covering the index key is observed, so a commit that adds
+    /// or removes a matching `(index key, primary key)` pair — membership
+    /// this lookup's result depends on — fails node-set validation.
+    ///
+    /// Fetched rows are re-checked against the index key: an index entry
+    /// can be provisional (a concurrent commit's fence installed it before
+    /// the row image) or superseded by this transaction's own buffered
+    /// update, and the row's actual index key decides. Own buffered writes
+    /// whose index key matches but which are not yet in the index are
+    /// merged in, so read-your-writes holds for index lookups too.
     pub fn secondary_lookup(
         &mut self,
         table: &Arc<Table>,
@@ -356,18 +445,99 @@ impl OccTxn {
         index_key: &Key,
     ) -> Result<Vec<(Key, Tuple)>> {
         self.ops += 1;
+        self.scans += 1;
+        let positions = table.secondary_positions(index_id);
+        let (pks, obs) = table.secondary_lookup_observed(index_id, index_key);
+        self.track_node(obs);
         let mut out = Vec::new();
-        for pk in table.secondary_lookup(index_id, index_key) {
+        for pk in pks {
             if let Some(row) = self.read(table, &pk)? {
-                out.push((pk, row));
+                if row.index_key(&positions).as_ref() == Some(index_key) {
+                    out.push((pk, row));
+                }
             }
         }
+        self.merge_own_index_writes(table, &positions, &mut out, |ik| ik == index_key);
+        out.sort_by(|a, b| a.0.cmp(&b.0));
         Ok(out)
+    }
+
+    /// Secondary-index range scan: visible rows whose index key falls in
+    /// the bounds, in index order, with the traversed index nodes observed
+    /// (same phantom protection and own-write merging as
+    /// [`OccTxn::secondary_lookup`]).
+    pub fn secondary_scan(
+        &mut self,
+        table: &Arc<Table>,
+        index_id: usize,
+        low: Bound<&Key>,
+        high: Bound<&Key>,
+    ) -> Result<Vec<(Key, Tuple)>> {
+        self.ops += 1;
+        self.scans += 1;
+        let positions = table.secondary_positions(index_id);
+        let bounds = (low.cloned(), high.cloned());
+        let (pairs, observations) = table.secondary_range_observed(index_id, low, high);
+        for obs in observations {
+            self.track_node(obs);
+        }
+        let mut out = Vec::new();
+        for (_ik, pk) in pairs {
+            if let Some(row) = self.read(table, &pk)? {
+                let in_bounds = row
+                    .index_key(&positions)
+                    .map(|ik| bounds_contain(&bounds, &ik))
+                    .unwrap_or(false);
+                if in_bounds {
+                    out.push((pk, row));
+                }
+            }
+        }
+        self.merge_own_index_writes(table, &positions, &mut out, |ik| {
+            bounds_contain(&bounds, ik)
+        });
+        // Order by (index key, primary key), the order of the index itself.
+        out.sort_by_cached_key(|(pk, row)| (row.index_key(&positions), pk.clone()));
+        Ok(out)
+    }
+
+    /// Appends this transaction's buffered inserts/updates on `table`
+    /// whose index key (per `positions`) satisfies `matches` and whose
+    /// primary key is not already present in `out`. Buffered writes are
+    /// not in the secondary index until commit, so index reads must merge
+    /// them explicitly.
+    fn merge_own_index_writes(
+        &self,
+        table: &Arc<Table>,
+        positions: &[usize],
+        out: &mut Vec<(Key, Tuple)>,
+        matches: impl Fn(&Key) -> bool,
+    ) {
+        for w in &self.writes {
+            if !Arc::ptr_eq(&w.table, table) {
+                continue;
+            }
+            let row = match &w.kind {
+                WriteKind::Insert(row) | WriteKind::Update(row) => row,
+                WriteKind::Delete => continue,
+            };
+            let Some(ik) = row.index_key(positions) else {
+                continue;
+            };
+            if matches(&ik) && !out.iter().any(|(pk, _)| pk == &w.key) {
+                out.push((w.key.clone(), row.clone()));
+            }
+        }
     }
 
     /// Internal accessors for the commit coordinator.
     pub(crate) fn reads(&self) -> &[ReadEntry] {
         &self.reads
+    }
+
+    /// The node set, validated by the commit coordinator.
+    pub(crate) fn nodes(&self) -> &[NodeObservation] {
+        &self.nodes
     }
 
     pub(crate) fn writes(&self) -> &[WriteEntry] {
@@ -535,6 +705,78 @@ mod tests {
             txn.read(&t, &Key::Int(2)).unwrap().unwrap().at(1),
             &Value::Int(21)
         );
+    }
+
+    #[test]
+    fn scans_build_a_node_set_and_count_scan_ops() {
+        let t = table();
+        let mut txn = OccTxn::new(ContainerId(0));
+        assert_eq!(txn.node_set_len(), 0);
+        txn.scan(&t).unwrap();
+        assert!(txn.node_set_len() >= 1, "scan observes traversed nodes");
+        let after_first = txn.node_set_len();
+        txn.scan(&t).unwrap();
+        assert_eq!(txn.node_set_len(), after_first, "observations dedupe");
+        assert_eq!(txn.scan_count(), 2);
+        // Point reads of present rows do not grow the node set...
+        txn.read(&t, &Key::Int(1)).unwrap();
+        assert_eq!(txn.node_set_len(), after_first);
+        // ...but reads of absent keys observe their covering node.
+        let mut absent = OccTxn::new(ContainerId(0));
+        absent.read(&t, &Key::Int(999)).unwrap();
+        assert_eq!(absent.node_set_len(), 1);
+        assert_eq!(absent.scan_count(), 0);
+    }
+
+    #[test]
+    fn secondary_reads_respect_own_buffered_writes() {
+        use reactdb_storage::Table;
+        let schema = Schema::of(
+            &[
+                ("id", ColumnType::Int),
+                ("grp", ColumnType::Int),
+                ("v", ColumnType::Int),
+            ],
+            &["id"],
+        );
+        let t = Arc::new(Table::with_indexes("t", schema, &[vec!["grp".to_owned()]]));
+        for i in 0..4i64 {
+            t.load_row(Tuple::of([Value::Int(i), Value::Int(0), Value::Int(0)]))
+                .unwrap();
+        }
+        let mut txn = OccTxn::new(ContainerId(0));
+        // Move row 1 out of group 0 and insert a fresh row 10 into it —
+        // both buffered, neither reflected in the physical index yet.
+        txn.update(&t, Tuple::of([Value::Int(1), Value::Int(9), Value::Int(0)]))
+            .unwrap();
+        txn.insert(
+            &t,
+            Tuple::of([Value::Int(10), Value::Int(0), Value::Int(0)]),
+        )
+        .unwrap();
+        txn.delete(&t, &Key::Int(3)).unwrap();
+
+        let hits = txn.secondary_lookup(&t, 0, &Key::Int(0)).unwrap();
+        let pks: Vec<_> = hits.iter().map(|(pk, _)| pk.clone()).collect();
+        assert_eq!(
+            pks,
+            vec![Key::Int(0), Key::Int(2), Key::Int(10)],
+            "own update leaves grp 0, own insert joins it, own delete drops out"
+        );
+        // The moved row shows up under its new group.
+        let hits = txn.secondary_lookup(&t, 0, &Key::Int(9)).unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].0, Key::Int(1));
+        // Range scans over the index merge the same way.
+        let hits = txn
+            .secondary_scan(
+                &t,
+                0,
+                Bound::Included(&Key::Int(0)),
+                Bound::Included(&Key::Int(9)),
+            )
+            .unwrap();
+        assert_eq!(hits.len(), 4, "grp 0 members plus the moved row");
     }
 
     #[test]

@@ -85,11 +85,33 @@ pub fn spec(providers: usize) -> ReactorDatabaseSpec {
                 &["order_id"],
             ),
         ))
+        // Single-row cursor over the order log: the next order id to assign
+        // and the id below which every order is settled. Order ids are
+        // assigned densely, so `[settled_upto, next_order)` is exactly the
+        // unsettled window and every order query is a bounded scan instead
+        // of a full-table pass.
+        .with_relation(RelationDef::new(
+            "order_seq",
+            Schema::of(
+                &[
+                    ("id", ColumnType::Int),
+                    ("next_order", ColumnType::Int),
+                    ("settled_upto", ColumnType::Int),
+                ],
+                &["id"],
+            ),
+        ))
         .with_procedure("calc_risk", |ctx, args| {
             // args: [p_exposure limit, sim_risk work units]
             let p_exposure = args[0].as_float();
             let work = args[1].as_int() as u64;
-            let exposure = ctx.sum_where("orders", "value", |t| t.at(3) == &Value::Bool(false))?;
+            // Exposure = value of the unsettled window, a bounded scan over
+            // [settled_upto, next_order) rather than the whole order log.
+            let seq = ctx.get_expected("order_seq", &Key::Int(0))?;
+            let settled_upto = seq.at(2).as_int();
+            let exposure = ctx.sum_bounded("orders", Key::Int(settled_upto).., "value", |t| {
+                t.at(3) == &Value::Bool(false)
+            })?;
             if exposure > p_exposure {
                 return ctx.abort("provider exposure limit exceeded");
             }
@@ -107,8 +129,16 @@ pub fn spec(providers: usize) -> ReactorDatabaseSpec {
             Ok(Value::Float(risk))
         })
         .with_procedure("add_entry", |ctx, args| {
-            // args: [wallet, value]
-            let next = ctx.scan("orders")?.len() as i64;
+            // args: [wallet, value]. The next order id comes from the
+            // order_seq cursor — an O(log n) read-modify-write instead of
+            // the seed's O(n) count-the-table scan per new order. The
+            // node-set protocol keeps this phantom-safe either way; the
+            // cursor makes it cheap.
+            let seq = ctx.update_with("order_seq", &Key::Int(0), |t| {
+                let next = t.at(1).as_int();
+                t.values_mut()[1] = Value::Int(next + 1);
+            })?;
+            let next = seq.at(1).as_int() - 1;
             ctx.insert(
                 "orders",
                 Tuple::of([
@@ -118,23 +148,35 @@ pub fn spec(providers: usize) -> ReactorDatabaseSpec {
                     Value::Bool(false),
                 ]),
             )?;
-            Ok(Value::Null)
+            Ok(Value::Int(next))
         })
         .with_procedure("settle_window", |ctx, args| {
-            // Settles the oldest `n` unsettled orders, keeping the scanned
-            // window bounded as in Appendix G's setup.
-            let n = args[0].as_int() as usize;
-            let unsettled = ctx.select_where("orders", |t| t.at(3) == &Value::Bool(false))?;
-            for (key, row) in unsettled.into_iter().take(n) {
-                let mut settled = row.clone();
-                settled.values_mut()[3] = Value::Bool(true);
-                let _ = key;
-                ctx.update("orders", settled)?;
+            // Settles the oldest `n` unsettled orders — a bounded scan over
+            // the head of the unsettled window, advancing the settled
+            // watermark, as in Appendix G's setup.
+            let n = args[0].as_int();
+            let seq = ctx.get_expected("order_seq", &Key::Int(0))?;
+            let next = seq.at(1).as_int();
+            let upto = seq.at(2).as_int();
+            let window_end = (upto + n).min(next);
+            let window = ctx.scan_bounded("orders", Key::Int(upto)..Key::Int(window_end))?;
+            let mut settled = 0i64;
+            for (_key, row) in window {
+                if row.at(3) == &Value::Bool(true) {
+                    continue;
+                }
+                let mut image = row.clone();
+                image.values_mut()[3] = Value::Bool(true);
+                ctx.update("orders", image)?;
+                settled += 1;
             }
+            ctx.update_with("order_seq", &Key::Int(0), |t| {
+                t.values_mut()[2] = Value::Int(window_end);
+            })?;
             ctx.update_with("provider_info", &Key::Int(0), |t| {
                 t.values_mut()[2] = Value::Bool(false);
             })?;
-            Ok(Value::Null)
+            Ok(Value::Int(settled))
         });
 
     let exchange = ReactorType::new("Exchange")
@@ -234,6 +276,15 @@ pub fn load(
             &name,
             "provider_info",
             Tuple::of([Value::Int(0), Value::Float(0.0), Value::Bool(false)]),
+        )?;
+        db.load_row(
+            &name,
+            "order_seq",
+            Tuple::of([
+                Value::Int(0),
+                Value::Int(orders_per_provider as i64),
+                Value::Int(0),
+            ]),
         )?;
         for o in 0..orders_per_provider {
             db.load_row(
@@ -411,6 +462,29 @@ mod tests {
             )
             .unwrap_err();
         assert!(err.is_user_abort());
+    }
+
+    #[test]
+    fn add_entry_assigns_dense_ids_from_the_cursor() {
+        let db = boot(1, 10, 1_000.0);
+        let p = provider_name(0);
+        // Three direct entries: ids continue densely after the loaded ones,
+        // with no table-length scan involved.
+        for expect in 10..13i64 {
+            let id = db
+                .invoke(&p, "add_entry", vec![Value::Int(1), Value::Float(1.0)])
+                .unwrap();
+            assert_eq!(id, Value::Int(expect));
+        }
+        assert_eq!(db.table(&p, "orders").unwrap().visible_len(), 13);
+        // The cursor row tracks the high-water mark.
+        let seq = db
+            .table(&p, "order_seq")
+            .unwrap()
+            .get(&Key::Int(0))
+            .unwrap()
+            .read_unguarded();
+        assert_eq!(seq.at(1), &Value::Int(13));
     }
 
     #[test]
