@@ -1,0 +1,123 @@
+//! Checkpointing micro-benchmark: what a background checkpoint costs and
+//! what it does to the commit fast path.
+//!
+//! * `checkpoint/snapshot_walk_10k` — the storage-level chunked snapshot
+//!   walk over a 10k-row table (no I/O): the per-chunk read-section cost the
+//!   checkpointer imposes on the index.
+//! * `checkpoint/checkpoint_now` — a full checkpoint of a live SmallBank
+//!   deployment (stable-epoch drain, fuzzy walk, fsync, manifest commit,
+//!   rotation, truncation).
+//! * `checkpoint/deposit_while_checkpointing` — commit latency under an
+//!   aggressive background checkpoint daemon, to be compared with the
+//!   `wal/deposit_epoch_sync_group_commit` baseline from the `wal_commit`
+//!   bench: checkpoints run concurrently with commits, not stop-the-world.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use reactdb_common::{CheckpointConfig, DeploymentConfig, DurabilityConfig, Key, Value};
+use reactdb_engine::ReactDB;
+use reactdb_storage::{ColumnType, Schema, Table, Tuple};
+use reactdb_workloads::smallbank::{self, customer_name};
+
+const CUSTOMERS: usize = 8;
+const WALK_ROWS: i64 = 10_000;
+const CHUNK: usize = 256;
+
+fn bench_dir(tag: &str) -> String {
+    let dir = std::env::temp_dir().join(format!("reactdb-bench-ckpt-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir.to_string_lossy().into_owned()
+}
+
+fn bench_snapshot_walk(c: &mut Criterion) {
+    let schema = Schema::of(
+        &[("id", ColumnType::Int), ("balance", ColumnType::Float)],
+        &["id"],
+    );
+    let table = Table::new("savings", schema);
+    for i in 0..WALK_ROWS {
+        table
+            .load_row(Tuple::of([Value::Int(i), Value::Float(i as f64)]))
+            .unwrap();
+    }
+    c.bench_function("checkpoint/snapshot_walk_10k", |b| {
+        b.iter(|| {
+            let mut rows = 0usize;
+            let mut cursor: Option<Key> = None;
+            loop {
+                let chunk = table.snapshot_chunk(cursor.as_ref(), CHUNK);
+                rows += chunk.rows.len();
+                match chunk.next {
+                    Some(next) => cursor = Some(next),
+                    None => break,
+                }
+            }
+            assert_eq!(rows, WALK_ROWS as usize);
+            rows
+        })
+    });
+}
+
+fn bench_checkpoint_now(c: &mut Criterion) {
+    let dir = bench_dir("now");
+    let config = DeploymentConfig::shared_nothing(2)
+        .with_durability(DurabilityConfig::epoch_sync(&dir).with_interval_ms(0));
+    let db = ReactDB::boot(smallbank::spec(CUSTOMERS), config);
+    smallbank::load(&db, CUSTOMERS).unwrap();
+    for i in 0..64 {
+        db.invoke(
+            &customer_name(i % CUSTOMERS),
+            "deposit_checking",
+            vec![Value::Float(0.01)],
+        )
+        .unwrap();
+    }
+    db.wal_sync().unwrap();
+    c.bench_function("checkpoint/checkpoint_now", |b| {
+        b.iter(|| db.checkpoint_now().unwrap().rows)
+    });
+    println!(
+        "checkpoint/checkpoint_now: {} checkpoints, {} ckpt bytes, {} log bytes truncated",
+        db.stats().checkpoints_taken(),
+        db.stats().checkpoint_bytes(),
+        db.stats().log_truncated_bytes(),
+    );
+    drop(db);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn bench_commits_under_checkpointing(c: &mut Criterion) {
+    let dir = bench_dir("live");
+    // Group-commit daemon + a checkpoint every 2 epochs: the commit path
+    // below runs while checkpoints continuously walk the tables.
+    let config = DeploymentConfig::shared_nothing(2)
+        .with_durability(DurabilityConfig::epoch_sync(&dir))
+        .with_checkpoint(CheckpointConfig::every_epochs(2).with_chunk_size(64));
+    let db = ReactDB::boot(smallbank::spec(CUSTOMERS), config);
+    smallbank::load(&db, CUSTOMERS).unwrap();
+    c.bench_function("checkpoint/deposit_while_checkpointing", |b| {
+        b.iter(|| {
+            db.invoke(
+                &customer_name(0),
+                "deposit_checking",
+                vec![Value::Float(0.01)],
+            )
+            .unwrap()
+        })
+    });
+    println!(
+        "checkpoint/deposit_while_checkpointing: {} checkpoints taken concurrently, \
+         {} truncated segments",
+        db.stats().checkpoints_taken(),
+        db.stats().log_truncated_segments(),
+    );
+    drop(db);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(
+    benches,
+    bench_snapshot_walk,
+    bench_checkpoint_now,
+    bench_commits_under_checkpointing
+);
+criterion_main!(benches);

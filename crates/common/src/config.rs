@@ -169,6 +169,57 @@ impl DurabilityConfig {
     }
 }
 
+/// Background-checkpointing section of a [`DeploymentConfig`]. Only
+/// meaningful when durability is enabled: a checkpoint bounds recovery time
+/// by the snapshot size plus the log tail written since it, instead of the
+/// whole log history.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CheckpointConfig {
+    /// Take a background checkpoint every this many epochs. `0` disables the
+    /// background checkpointer; checkpoints then happen only on explicit
+    /// `ReactDB::checkpoint_now` calls.
+    pub interval_epochs: u64,
+    /// Keys captured per table read-section during the snapshot walk. Larger
+    /// chunks checkpoint faster; smaller chunks bound how long a chunk
+    /// collection can delay concurrent commits.
+    pub chunk_size: usize,
+}
+
+impl Default for CheckpointConfig {
+    fn default() -> Self {
+        Self {
+            interval_epochs: 0,
+            chunk_size: 256,
+        }
+    }
+}
+
+impl CheckpointConfig {
+    /// Background checkpoints disabled (manual `checkpoint_now` only).
+    pub fn manual() -> Self {
+        Self::default()
+    }
+
+    /// Background checkpoint every `epochs` epochs.
+    pub fn every_epochs(epochs: u64) -> Self {
+        Self {
+            interval_epochs: epochs,
+            ..Self::default()
+        }
+    }
+
+    /// Sets the snapshot chunk size (clamped to at least 1).
+    pub fn with_chunk_size(mut self, chunk_size: usize) -> Self {
+        self.chunk_size = chunk_size.max(1);
+        self
+    }
+
+    /// True when the background checkpoint daemon should run.
+    pub fn is_periodic(&self) -> bool {
+        self.interval_epochs > 0
+    }
+}
+
 /// A complete deployment: strategy plus knobs shared by all strategies.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct DeploymentConfig {
@@ -180,6 +231,9 @@ pub struct DeploymentConfig {
     /// Durability policy (off by default, matching the paper's in-memory
     /// evaluation).
     pub durability: DurabilityConfig,
+    /// Background checkpointing policy (off by default; requires
+    /// durability).
+    pub checkpoint: CheckpointConfig,
 }
 
 impl DeploymentConfig {
@@ -189,6 +243,7 @@ impl DeploymentConfig {
             strategy: DeploymentStrategy::SharedEverythingWithoutAffinity { executors },
             default_mpl: 1,
             durability: DurabilityConfig::default(),
+            checkpoint: CheckpointConfig::default(),
         }
     }
 
@@ -198,6 +253,7 @@ impl DeploymentConfig {
             strategy: DeploymentStrategy::SharedEverythingWithAffinity { executors },
             default_mpl: 1,
             durability: DurabilityConfig::default(),
+            checkpoint: CheckpointConfig::default(),
         }
     }
 
@@ -208,6 +264,7 @@ impl DeploymentConfig {
             strategy: DeploymentStrategy::SharedNothing { executors },
             default_mpl: 4,
             durability: DurabilityConfig::default(),
+            checkpoint: CheckpointConfig::default(),
         }
     }
 
@@ -220,6 +277,12 @@ impl DeploymentConfig {
     /// Sets the durability policy.
     pub fn with_durability(mut self, durability: DurabilityConfig) -> Self {
         self.durability = durability;
+        self
+    }
+
+    /// Sets the background-checkpointing policy.
+    pub fn with_checkpoint(mut self, checkpoint: CheckpointConfig) -> Self {
+        self.checkpoint = checkpoint;
         self
     }
 
@@ -353,10 +416,28 @@ mod tests {
 
     #[test]
     fn json_roundtrip_preserves_config() {
-        let cfg = DeploymentConfig::shared_nothing(7).with_mpl(3);
+        let cfg = DeploymentConfig::shared_nothing(7)
+            .with_mpl(3)
+            .with_checkpoint(CheckpointConfig::every_epochs(64).with_chunk_size(128));
         let text = cfg.to_json();
         let back = DeploymentConfig::from_json(&text).unwrap();
         assert_eq!(cfg, back);
+    }
+
+    #[test]
+    fn checkpoint_config_defaults_and_builders() {
+        let off = CheckpointConfig::default();
+        assert!(!off.is_periodic());
+        assert_eq!(off, CheckpointConfig::manual());
+        let periodic = CheckpointConfig::every_epochs(16).with_chunk_size(0);
+        assert!(periodic.is_periodic());
+        assert_eq!(periodic.interval_epochs, 16);
+        assert_eq!(periodic.chunk_size, 1, "chunk size clamps to at least 1");
+        assert_eq!(
+            DeploymentConfig::shared_nothing(2).checkpoint,
+            CheckpointConfig::default(),
+            "checkpointing is off unless configured"
+        );
     }
 
     #[test]
@@ -380,6 +461,7 @@ mod tests {
             },
             default_mpl: 1,
             durability: DurabilityConfig::default(),
+            checkpoint: CheckpointConfig::default(),
         };
         assert_eq!(cfg.container_count(), 2);
         assert_eq!(cfg.container_of_reactor(2, 3), ContainerId(1));

@@ -19,8 +19,8 @@ pub mod value;
 pub mod zipf;
 
 pub use config::{
-    DeploymentConfig, DeploymentStrategy, DurabilityConfig, DurabilityMode, ExecutorConfig,
-    RouterPolicy,
+    CheckpointConfig, DeploymentConfig, DeploymentStrategy, DurabilityConfig, DurabilityMode,
+    ExecutorConfig, RouterPolicy,
 };
 pub use error::{Result, TxnError};
 pub use ids::{ContainerId, ExecutorId, ReactorId, ReactorName, SubTxnId, TxnId};

@@ -40,7 +40,7 @@ use reactdb_core::{
 };
 use reactdb_storage::{Table, Tuple};
 use reactdb_txn::{Coordinator, EpochManager, LogSink};
-use reactdb_wal::{LogDirLock, Wal};
+use reactdb_wal::{CheckpointOutcome, CheckpointTable, Checkpointer, LogDirLock, Wal};
 
 use crate::client::{Client, SessionShared};
 use crate::container::Container;
@@ -68,6 +68,9 @@ pub(crate) struct Inner {
     pub(crate) stats: DbStats,
     /// Write-ahead log; `None` when the deployment's durability mode is off.
     pub(crate) wal: Option<Arc<Wal>>,
+    /// Background checkpointer; present whenever durability is on (explicit
+    /// `checkpoint_now` works even without the periodic daemon).
+    checkpointer: Option<Arc<Checkpointer>>,
     /// Session behind [`ReactDB::invoke`], the sync convenience entry point;
     /// dedicated sessions come from [`ReactDB::client`].
     pub(crate) default_session: Arc<SessionShared>,
@@ -187,26 +190,38 @@ impl ReactDB {
             // Crash recovery: replay the log before anything can run.
             if recover {
                 let recovered = reactdb_wal::recover_and_compact(&dir, config.durability.mode)?;
-                for (tid, records) in &recovered.batches {
-                    for record in records {
-                        // Route by the *current* reactor-to-container
-                        // mapping: recovery may legitimately restore the log
-                        // under a different deployment of the same reactor
-                        // database. A record for a reactor the new spec does
-                        // not declare has no home; skip it rather than guess
-                        // (the logged container id belongs to the *old*
-                        // deployment).
+                // Route by the *current* reactor-to-container mapping:
+                // recovery may legitimately restore the log under a
+                // different deployment of the same reactor database. A
+                // record for a reactor the new spec does not declare has no
+                // home; skip it rather than guess (the logged container id
+                // belongs to the *old* deployment).
+                let replay_one =
+                    |tid: reactdb_storage::TidWord, record: &reactdb_txn::RedoRecord| {
                         let Some(container) =
                             container_of_reactor.get(record.reactor.index()).copied()
                         else {
-                            continue;
+                            return;
                         };
                         if let Ok(table) = containers[container.index()]
                             .partition()
                             .table(record.reactor, &record.relation)
                         {
-                            table.replay(&record.key, record.image.as_ref(), *tid);
+                            table.replay(&record.key, record.image.as_ref(), tid);
                         }
+                    };
+                // Base state first: the newest complete checkpoint fully
+                // covers every epoch <= its stamp. The log tail then layers
+                // on top; TID-aware replay resolves the fuzzy overlap.
+                if let Some(checkpoint) = &recovered.checkpoint {
+                    for (tid, record) in &checkpoint.rows {
+                        replay_one(*tid, record);
+                    }
+                    stats.record_recovered_checkpoint_rows(checkpoint.rows.len() as u64);
+                }
+                for (tid, records) in &recovered.batches {
+                    for record in records {
+                        replay_one(*tid, record);
                     }
                 }
                 // Resume beyond every epoch observed in the log (durable or
@@ -239,6 +254,34 @@ impl ReactDB {
             stats.attach_wal(Arc::clone(wal.stats()));
         }
 
+        // ---- Checkpointing: enumerate every table of the deployment and
+        // hand the checkpointer its walk list. Always constructed when
+        // durability is on so `ReactDB::checkpoint_now` works; the periodic
+        // daemon only runs when an interval is configured.
+        let checkpointer = match &wal {
+            Some(wal) => {
+                let mut tables = Vec::new();
+                for container in &containers {
+                    for (reactor, relation, table) in container.partition().tables() {
+                        tables.push(CheckpointTable {
+                            container: container.id(),
+                            reactor,
+                            relation,
+                            table,
+                        });
+                    }
+                }
+                let checkpointer =
+                    Checkpointer::new(Arc::clone(wal), tables, config.checkpoint.chunk_size)?;
+                if config.checkpoint.is_periodic() {
+                    checkpointer
+                        .start_daemon(config.checkpoint.interval_epochs, Arc::clone(&epoch));
+                }
+                Some(checkpointer)
+            }
+            None => None,
+        };
+
         let router = Router::new(
             config.router_policy(),
             executors_of_container,
@@ -257,6 +300,7 @@ impl ReactDB {
             txn_ids: TxnIdGen::new(),
             stats,
             wal,
+            checkpointer,
             default_session: SessionShared::new(),
             shutdown: std::sync::atomic::AtomicBool::new(false),
         });
@@ -326,6 +370,23 @@ impl ReactDB {
     /// durability is off.
     pub fn durable_epoch(&self) -> Option<u64> {
         self.inner.wal.as_ref().map(|w| w.durable_epoch())
+    }
+
+    /// Takes one checkpoint right now, concurrently with live transactions:
+    /// snapshots every table against the stable epoch, waits until the
+    /// capture is durable, commits the manifest and truncates every log
+    /// segment the checkpoint covers. Returns what the checkpoint did.
+    /// Requires durability; see `CheckpointConfig` on the deployment for
+    /// the periodic background variant.
+    pub fn checkpoint_now(&self) -> Result<CheckpointOutcome> {
+        let checkpointer = self
+            .inner
+            .checkpointer
+            .as_ref()
+            .ok_or_else(|| TxnError::Runtime("durability is off".into()))?;
+        checkpointer
+            .checkpoint_now()
+            .map_err(|e| TxnError::Runtime(format!("checkpoint failed: {e}")))
     }
 
     /// Tears the database down as a crash would: worker threads stop, but
@@ -467,6 +528,11 @@ impl ReactDB {
         self.inner.epoch.stop();
         if let Some(handle) = self.epoch_thread.take() {
             let _ = handle.join();
+        }
+        // Checkpointer before WAL: the daemon (and any in-flight
+        // checkpoint) must be gone before the log directory is released.
+        if let Some(checkpointer) = &self.inner.checkpointer {
+            checkpointer.shutdown();
         }
         if let Some(wal) = &self.inner.wal {
             wal.shutdown(!self.crashed);
@@ -1220,6 +1286,119 @@ mod tests {
             Value::Float(1.0)
         );
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_bounds_recovery_to_the_log_tail() {
+        use reactdb_common::DurabilityConfig;
+        let dir = wal_dir("checkpoint-bound");
+        let config = DeploymentConfig::shared_nothing(2)
+            .with_durability(DurabilityConfig::epoch_sync(&dir).with_interval_ms(0));
+
+        let db = boot(config.clone());
+        for i in 0..30 {
+            db.invoke(
+                &format!("acct-{}", i % 4),
+                "deposit",
+                vec![Value::Float(1.0)],
+            )
+            .unwrap();
+        }
+        db.wal_sync().unwrap();
+        let total_before = db.stats().log_bytes();
+        let outcome = db.checkpoint_now().unwrap();
+        assert_eq!(outcome.rows, 4, "one balance row per account");
+        assert!(outcome.bytes > 0);
+        assert!(db.stats().checkpoints_taken() >= 1);
+        assert_eq!(db.stats().checkpoint_bytes(), outcome.bytes);
+        assert!(
+            outcome.truncated_segments >= 1 && db.stats().log_truncated_bytes() > 0,
+            "the pre-checkpoint history segments are reclaimed"
+        );
+        // Per-table accounting observed the deposits.
+        let usage = db.stats().log_bytes_per_table();
+        assert!(!usage.is_empty());
+        assert!(usage.iter().any(|u| u.relation == "balance" && u.bytes > 0));
+        assert!(
+            usage.iter().map(|u| u.bytes).sum::<u64>() <= total_before,
+            "per-table bytes are a breakdown of total log bytes"
+        );
+
+        // A short durable tail plus one lost (unsynced) deposit.
+        db.invoke("acct-0", "deposit", vec![Value::Float(5.0)])
+            .unwrap();
+        db.wal_sync().unwrap();
+        db.invoke("acct-0", "deposit", vec![Value::Float(1000.0)])
+            .unwrap();
+        db.simulate_crash();
+
+        let recovered = ReactDB::recover(bank_spec(), config).unwrap();
+        assert_eq!(
+            recovered.stats().recovered_checkpoint_rows(),
+            4,
+            "the checkpoint supplies the base state"
+        );
+        assert!(
+            recovered.stats().recovered_txns() <= 3,
+            "recovery replays only the post-checkpoint tail, got {}",
+            recovered.stats().recovered_txns()
+        );
+        // acct-0: init 0 + 8 pre-checkpoint deposits (i % 4 == 0 of 0..30)
+        // + 5 durable tail - lost 1000.
+        assert_eq!(
+            recovered.invoke("acct-0", "balance", vec![]).unwrap(),
+            Value::Float(13.0)
+        );
+        assert_eq!(
+            recovered.invoke("acct-1", "balance", vec![]).unwrap(),
+            Value::Float(8.0)
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn background_checkpoint_daemon_fires_on_epoch_intervals() {
+        use reactdb_common::{CheckpointConfig, DurabilityConfig};
+        let dir = wal_dir("checkpoint-daemon");
+        let config = DeploymentConfig::shared_everything_with_affinity(2)
+            .with_durability(DurabilityConfig::epoch_sync(&dir).with_interval_ms(1))
+            .with_checkpoint(CheckpointConfig::every_epochs(2).with_chunk_size(2));
+        let mut db = boot(config.clone());
+        // The engine's epoch advancer ticks every 10 ms; keep committing
+        // until the daemon has demonstrably fired.
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while db.stats().checkpoints_taken() < 2 {
+            db.invoke("acct-0", "deposit", vec![Value::Float(1.0)])
+                .unwrap();
+            assert!(
+                std::time::Instant::now() < deadline,
+                "daemon never checkpointed"
+            );
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert_eq!(db.stats().checkpoint_failures(), 0);
+        let committed = db.invoke("acct-0", "balance", vec![]).unwrap().as_float();
+        db.shutdown();
+        drop(db);
+        let recovered = ReactDB::recover(bank_spec(), config).unwrap();
+        assert!(recovered.stats().recovered_checkpoint_rows() >= 1);
+        assert_eq!(
+            recovered.invoke("acct-0", "balance", vec![]).unwrap(),
+            Value::Float(committed),
+            "clean shutdown after background checkpoints loses nothing"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_requires_durability() {
+        let db = boot(DeploymentConfig::shared_nothing(2));
+        assert!(matches!(
+            db.checkpoint_now().unwrap_err(),
+            TxnError::Runtime(_)
+        ));
+        assert_eq!(db.stats().checkpoints_taken(), 0);
+        assert!(db.stats().log_bytes_per_table().is_empty());
     }
 
     #[test]

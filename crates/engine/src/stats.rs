@@ -7,7 +7,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
-use reactdb_wal::WalStats;
+use reactdb_wal::{TableLogUsage, WalStats};
 
 use crate::client::SessionShared;
 
@@ -23,6 +23,7 @@ pub struct DbStats {
     sub_txns_inlined: AtomicU64,
     scan_ops: AtomicU64,
     recovered_txns: AtomicU64,
+    recovered_checkpoint_rows: AtomicU64,
     /// Client-visible outcome counters, maintained by the session layer
     /// (`crate::client`): the same aggregate each session keeps, fed with
     /// the same events across every session of this database. One
@@ -72,6 +73,10 @@ impl DbStats {
     }
     pub(crate) fn record_recovered(&self, n: u64) {
         self.recovered_txns.fetch_add(n, Ordering::Relaxed);
+    }
+    pub(crate) fn record_recovered_checkpoint_rows(&self, n: u64) {
+        self.recovered_checkpoint_rows
+            .fetch_add(n, Ordering::Relaxed);
     }
     pub(crate) fn attach_wal(&self, stats: Arc<WalStats>) {
         let _ = self.wal.set(stats);
@@ -163,8 +168,15 @@ impl DbStats {
     }
 
     /// Transactions replayed from the write-ahead log by crash recovery.
+    /// With checkpointing enabled this counts only the post-checkpoint
+    /// *tail* — the quantity checkpointing bounds.
     pub fn recovered_txns(&self) -> u64 {
         self.recovered_txns.load(Ordering::Relaxed)
+    }
+    /// Rows loaded from the newest complete checkpoint by crash recovery
+    /// (0 when no checkpoint was installed).
+    pub fn recovered_checkpoint_rows(&self) -> u64 {
+        self.recovered_checkpoint_rows.load(Ordering::Relaxed)
     }
     /// Bytes of redo frames appended to the write-ahead log (0 when
     /// durability is off).
@@ -193,6 +205,37 @@ impl DbStats {
     /// commit (`TxnHandle::wait_durable` behind the durable epoch).
     pub fn durable_waits(&self) -> u64 {
         self.wal.get().map(|w| w.durable_waits()).unwrap_or(0)
+    }
+    /// Checkpoints completed (background daemon plus explicit
+    /// `ReactDB::checkpoint_now` calls).
+    pub fn checkpoints_taken(&self) -> u64 {
+        self.wal.get().map(|w| w.checkpoints_taken()).unwrap_or(0)
+    }
+    /// Cumulative bytes of checkpoint data files written.
+    pub fn checkpoint_bytes(&self) -> u64 {
+        self.wal.get().map(|w| w.checkpoint_bytes()).unwrap_or(0)
+    }
+    /// Checkpoint attempts that failed with an I/O error (the previous
+    /// checkpoint remains in effect).
+    pub fn checkpoint_failures(&self) -> u64 {
+        self.wal.get().map(|w| w.checkpoint_failures()).unwrap_or(0)
+    }
+    /// Log-segment bytes reclaimed by online checkpoint truncation. Compare
+    /// against [`DbStats::log_bytes`] to observe truncation effectiveness.
+    pub fn log_truncated_bytes(&self) -> u64 {
+        self.wal.get().map(|w| w.log_truncated_bytes()).unwrap_or(0)
+    }
+    /// Log segments deleted by online checkpoint truncation.
+    pub fn log_truncated_segments(&self) -> u64 {
+        self.wal
+            .get()
+            .map(|w| w.log_truncated_segments())
+            .unwrap_or(0)
+    }
+    /// Per-table log-space accounting: redo bytes and records appended per
+    /// (reactor, relation), sorted by descending byte count.
+    pub fn log_bytes_per_table(&self) -> Vec<TableLogUsage> {
+        self.wal.get().map(|w| w.per_table()).unwrap_or_default()
     }
 
     /// Abort rate over attempted root transactions (cc aborts only, matching

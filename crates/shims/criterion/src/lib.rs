@@ -8,8 +8,14 @@
 //! iteration; there is no statistical analysis or HTML report. Each bench
 //! function is budgeted ~`CRITERION_MEASURE_MS` milliseconds (env var,
 //! default 100) so that `cargo test`/`cargo bench` stay fast.
+//!
+//! When the `CRITERION_JSON` env var names a file, every finished benchmark
+//! additionally appends one machine-readable JSON line
+//! (`{"bench": .., "ns_per_iter": .., "iterations": ..}`) to it — CI uses
+//! this to record the perf trajectory per commit as `BENCH_results.json`.
 
 use std::hint;
+use std::io::Write;
 use std::time::{Duration, Instant};
 
 /// Opaque value barrier, preventing the optimiser from deleting benchmarked
@@ -121,7 +127,40 @@ impl Criterion {
             "bench {name:<48} {:>12.1} ns/iter ({} iterations)",
             per_iter_ns, bencher.iterations
         );
+        emit_json_line(name, per_iter_ns, bencher.iterations);
         self
+    }
+}
+
+/// Appends one JSON-lines record for a finished benchmark to the file named
+/// by `CRITERION_JSON`, when set. Errors are deliberately swallowed: result
+/// recording must never fail a bench run.
+fn emit_json_line(name: &str, ns_per_iter: f64, iterations: u64) {
+    let Ok(path) = std::env::var("CRITERION_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    append_json_line(&path, name, ns_per_iter, iterations);
+}
+
+/// The env-independent writer behind [`emit_json_line`] (separated so tests
+/// need not touch the process-global env var, which sibling tests that also
+/// bench would race).
+fn append_json_line(path: &str, name: &str, ns_per_iter: f64, iterations: u64) {
+    // Bench names in this workspace are static identifiers; escape the two
+    // JSON-significant characters anyway so the output always parses.
+    let escaped = name.replace('\\', "\\\\").replace('"', "\\\"");
+    let line = format!(
+        "{{\"bench\":\"{escaped}\",\"ns_per_iter\":{ns_per_iter:.1},\"iterations\":{iterations}}}\n"
+    );
+    if let Ok(mut file) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+    {
+        let _ = file.write_all(line.as_bytes());
     }
 }
 
@@ -167,6 +206,30 @@ mod tests {
             })
         });
         assert!(ran > 3, "routine should run during warm-up and measurement");
+    }
+
+    #[test]
+    fn json_emission_appends_parseable_lines() {
+        let path = std::env::temp_dir().join(format!(
+            "criterion-shim-json-{}-{:?}.json",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        // Exercise the writer directly: the env-var lookup is process-global
+        // and the sibling tests also bench, so setting it here would race.
+        let path_str = path.to_string_lossy();
+        append_json_line(&path_str, "shim/json \"quoted\"", 123.456, 42);
+        append_json_line(&path_str, "shim/json2", 0.0, 1);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            lines[0],
+            "{\"bench\":\"shim/json \\\"quoted\\\"\",\"ns_per_iter\":123.5,\"iterations\":42}"
+        );
+        assert!(lines[1].contains("\"iterations\":1"));
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

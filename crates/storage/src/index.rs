@@ -418,6 +418,31 @@ impl<V: Clone> VersionedIndex<V> {
         }
     }
 
+    /// One page of a cursor-driven traversal: up to `limit` entries strictly
+    /// after `after` (from the beginning when `None`), in key order, plus the
+    /// cursor to resume from (`None` when the index is exhausted). Each page
+    /// is one short read-section of the index lock — the checkpointer's
+    /// chunked snapshot walk uses this so a full-table capture never blocks
+    /// writers for longer than one chunk.
+    pub fn range_page(&self, after: Option<&Key>, limit: usize) -> (Vec<(Key, V)>, Option<Key>) {
+        let inner = self.inner.read();
+        let low = match after {
+            Some(k) => Bound::Excluded(k.clone()),
+            None => Bound::Unbounded,
+        };
+        let mut page: Vec<(Key, V)> = Vec::with_capacity(limit.min(1024));
+        let mut iter = inner.map.range((low, Bound::Unbounded));
+        for (k, v) in iter.by_ref().take(limit) {
+            page.push((k.clone(), v.clone()));
+        }
+        let next = if iter.next().is_some() {
+            page.last().map(|(k, _)| k.clone())
+        } else {
+            None
+        };
+        (page, next)
+    }
+
     /// Entries within the bounds, in key order.
     pub fn range_cloned(&self, low: Bound<&Key>, high: Bound<&Key>) -> Vec<(Key, V)> {
         let inner = self.inner.read();
@@ -572,6 +597,36 @@ mod tests {
         // Absent key with a declining insert: nothing happens.
         let bump = idx.update_or_insert(&k(9), true, |_| UpdateOutcome::Changed, || None);
         assert!(bump.is_none() && idx.is_empty());
+    }
+
+    #[test]
+    fn range_page_walks_the_whole_index_without_bumping() {
+        let idx: VersionedIndex<i64> = VersionedIndex::new();
+        for i in 0..157 {
+            idx.insert(&k(i), i);
+        }
+        let obs = idx.observe(&k(0));
+        let mut seen = Vec::new();
+        let mut cursor: Option<Key> = None;
+        loop {
+            let (page, next) = idx.range_page(cursor.as_ref(), 10);
+            assert!(page.len() <= 10);
+            seen.extend(page.into_iter().map(|(_, v)| v));
+            match next {
+                Some(c) => cursor = Some(c),
+                None => break,
+            }
+        }
+        assert_eq!(seen, (0..157).collect::<Vec<_>>());
+        assert!(obs.is_current(), "paging is a pure read");
+        // An empty index terminates immediately.
+        let empty: VersionedIndex<i64> = VersionedIndex::new();
+        let (page, next) = empty.range_page(None, 8);
+        assert!(page.is_empty() && next.is_none());
+        // A page that exactly drains the index reports exhaustion.
+        let (page, next) = idx.range_page(Some(&k(146)), 10);
+        assert_eq!(page.len(), 10);
+        assert!(next.is_none(), "no keys remain after the last page");
     }
 
     #[test]

@@ -71,6 +71,20 @@ impl Partition {
     pub fn table_count(&self) -> usize {
         self.tables.read().len()
     }
+
+    /// Every table in this partition, as `(reactor, relation, table)`
+    /// triples in deterministic (reactor, relation) order. Used by the
+    /// checkpointer to enumerate the state it must capture.
+    pub fn tables(&self) -> Vec<(ReactorId, String, Arc<Table>)> {
+        let mut all: Vec<(ReactorId, String, Arc<Table>)> = self
+            .tables
+            .read()
+            .iter()
+            .map(|((r, n), t)| (*r, n.clone(), Arc::clone(t)))
+            .collect();
+        all.sort_by(|a, b| (a.0, &a.1).cmp(&(b.0, &b.1)));
+        all
+    }
 }
 
 #[cfg(test)]

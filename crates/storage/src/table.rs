@@ -50,6 +50,16 @@ pub struct FenceEffect {
     pub added: Vec<(usize, Key)>,
 }
 
+/// One page of a [`Table::snapshot_chunk`] walk.
+#[derive(Debug)]
+pub struct SnapshotChunk {
+    /// Visible rows in primary-key order, each with the commit TID its image
+    /// corresponds to (version-stable capture).
+    pub rows: Vec<(Key, TidWord, Tuple)>,
+    /// Cursor for the next chunk; `None` when the walk is complete.
+    pub next: Option<Key>,
+}
+
 /// A relation instance: schema + primary index + secondary indexes.
 #[derive(Debug)]
 pub struct Table {
@@ -254,6 +264,31 @@ impl Table {
     /// All record slots in primary-key order.
     pub fn scan(&self) -> Vec<(Key, RecordRef)> {
         self.range(Bound::Unbounded, Bound::Unbounded)
+    }
+
+    /// One chunk of a fuzzy checkpoint walk: up to `limit` *visible* rows
+    /// with primary keys strictly after `after`, each captured with a
+    /// version-stable read (the row copy is guaranteed to match its TID),
+    /// plus the cursor to resume from (`None` once the table is exhausted).
+    ///
+    /// The index lock is held only while the chunk's slot handles are
+    /// collected; the per-row stable reads run outside it, so concurrent
+    /// commits are never blocked for longer than one chunk collection. The
+    /// capture is *fuzzy*: different chunks (and different rows of one
+    /// chunk) may reflect different commit epochs — consistency is restored
+    /// at recovery by TID-aware replay of the log tail over the captured
+    /// rows (see [`Table::replay`]).
+    pub fn snapshot_chunk(&self, after: Option<&Key>, limit: usize) -> SnapshotChunk {
+        let (slots, next) = self.primary.range_page(after, limit);
+        let mut rows = Vec::with_capacity(slots.len());
+        for (key, record) in slots {
+            let (tid, image) = record.read_stable();
+            if tid.is_absent() {
+                continue; // deleted or not-yet-committed slot
+            }
+            rows.push((key, tid, image));
+        }
+        SnapshotChunk { rows, next }
     }
 
     /// Primary keys currently associated with `index_key` in secondary index
@@ -506,7 +541,19 @@ impl Table {
     /// maintaining secondary indexes. Recovery replays records in TID order
     /// on a database that is not yet accepting transactions, so the record
     /// lock is only held to satisfy the install protocol.
+    ///
+    /// Replay is **idempotent by TID**: a record whose TID does not exceed
+    /// the version already in the slot is skipped. This is what lets
+    /// recovery layer a log tail over checkpoint rows (a fuzzy checkpoint
+    /// may have captured a row *newer* than some retained log records), and
+    /// what makes a crash between checkpoint completion and log truncation
+    /// harmless — re-replaying covered records changes nothing.
     pub fn replay(&self, key: &Key, image: Option<&Tuple>, tid: TidWord) {
+        if let Some(existing) = self.get(key) {
+            if existing.tid().version() >= tid.version() {
+                return; // slot already carries this or a newer version
+            }
+        }
         match image {
             Some(row) => {
                 let (record, _created) = self.get_or_create(key.clone(), row.clone());
@@ -753,6 +800,85 @@ mod tests {
         );
         assert_eq!(pairs.len(), 3);
         assert!(!obs.is_empty());
+    }
+
+    #[test]
+    fn snapshot_chunks_capture_only_visible_rows() {
+        let t = customer_table();
+        for i in 0..25 {
+            t.load_row(row(i, "L", i as f64)).unwrap();
+        }
+        // An uncommitted insert slot and a deleted row must be skipped.
+        let _ = t.get_or_create(Key::Int(100), row(100, "PENDING", 0.0));
+        let victim = t.get(&Key::Int(3)).unwrap();
+        victim.lock();
+        victim.install_delete(TidWord::committed(2, 9));
+        let mut captured = Vec::new();
+        let mut cursor: Option<Key> = None;
+        let mut chunks = 0;
+        loop {
+            let chunk = t.snapshot_chunk(cursor.as_ref(), 7);
+            chunks += 1;
+            captured.extend(chunk.rows);
+            match chunk.next {
+                Some(c) => cursor = Some(c),
+                None => break,
+            }
+        }
+        assert!(chunks >= 4, "25 keys / 7 per chunk needs several chunks");
+        assert_eq!(captured.len(), 24, "deleted + pending slots are skipped");
+        assert!(captured.iter().all(|(k, _, _)| *k != Key::Int(3)));
+        assert!(
+            captured.windows(2).all(|w| w[0].0 < w[1].0),
+            "rows arrive in key order"
+        );
+    }
+
+    #[test]
+    fn replay_is_idempotent_by_tid() {
+        let t = customer_table();
+        // First replay installs; an equal-TID re-replay and an older-TID
+        // record are both skipped; a newer TID wins.
+        t.replay(
+            &Key::Int(1),
+            Some(&row(1, "NEW", 5.0)),
+            TidWord::committed(3, 4),
+        );
+        t.replay(
+            &Key::Int(1),
+            Some(&row(1, "DUP", 0.0)),
+            TidWord::committed(3, 4),
+        );
+        t.replay(
+            &Key::Int(1),
+            Some(&row(1, "OLD", 0.0)),
+            TidWord::committed(2, 9),
+        );
+        let rec = t.get(&Key::Int(1)).unwrap();
+        assert_eq!(
+            rec.read_unguarded().get(t.schema(), "c_last"),
+            &Value::Str("NEW".into())
+        );
+        t.replay(
+            &Key::Int(1),
+            Some(&row(1, "NEWER", 1.0)),
+            TidWord::committed(4, 1),
+        );
+        assert_eq!(
+            t.get(&Key::Int(1)).unwrap().read_unguarded().at(1),
+            &Value::Str("NEWER".into())
+        );
+        // Deletes obey the same rule.
+        t.replay(&Key::Int(1), None, TidWord::committed(4, 0));
+        assert!(
+            t.get(&Key::Int(1)).unwrap().is_visible(),
+            "stale delete skipped"
+        );
+        t.replay(&Key::Int(1), None, TidWord::committed(5, 1));
+        assert!(!t.get(&Key::Int(1)).unwrap().is_visible());
+        // A delete for a never-seen key is a no-op.
+        t.replay(&Key::Int(77), None, TidWord::committed(5, 2));
+        assert!(t.get(&Key::Int(77)).is_none());
     }
 
     #[test]

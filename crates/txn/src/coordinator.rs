@@ -71,6 +71,18 @@ impl CommitOutcome {
 pub struct Coordinator;
 
 impl Coordinator {
+    /// The newest epoch a checkpoint can snapshot against: commits read the
+    /// epoch at their serialization point and install their writes before
+    /// releasing the durability gate, so once every in-flight commit has
+    /// drained, all transactions with TID epochs `< current` are fully
+    /// installed. The caller (the WAL's checkpointer) performs the drain
+    /// via the commit gate and then walks table state knowing the returned
+    /// epoch's prefix is stable: no commit of epoch `<= stable_epoch` can
+    /// install a write the walk might miss.
+    pub fn stable_epoch(epoch: &EpochManager) -> u64 {
+        epoch.current().saturating_sub(1)
+    }
+
     /// Attempts to commit the given participants atomically.
     ///
     /// Returns the commit TID on success. On failure every lock is released,

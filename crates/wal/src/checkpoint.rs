@@ -1,0 +1,759 @@
+//! Background checkpointing: periodic consistent snapshots that bound
+//! recovery time, SiloR-style.
+//!
+//! Without checkpoints, recovery replays every log segment since the last
+//! offline compaction, so a long-lived instance pays a restart cost
+//! proportional to its whole commit history. The [`Checkpointer`] removes
+//! that bound: it periodically writes an epoch-stamped snapshot of every
+//! table *concurrently with live transactions* and then truncates the log
+//! segments the snapshot covers, so recovery reads the newest checkpoint
+//! plus only the log tail written since it.
+//!
+//! # Protocol
+//!
+//! 1. **Stable epoch** — the checkpoint reads `E_ckpt` through
+//!    [`reactdb_txn::Coordinator::stable_epoch`] and drains in-flight
+//!    commits via the WAL's commit gate ([`Wal::stable_snapshot_epoch`]).
+//!    After the drain, every commit with TID epoch `<= E_ckpt` is fully
+//!    installed and no future commit can carry such an epoch.
+//! 2. **Fuzzy walk** — each table is traversed in key-range chunks under
+//!    short read-sections (`Table::snapshot_chunk`); every visible row is
+//!    captured with a version-stable read and written to the data file with
+//!    its commit TID. No stop-the-world: commits proceed during the walk,
+//!    so captured rows may carry epochs beyond `E_ckpt` (up to the *cover
+//!    epoch*, the maximum captured TID epoch).
+//! 3. **Completion gate** — the checkpoint is complete only once the WAL's
+//!    durable epoch covers the cover epoch (`Wal::wait_durable`): every row
+//!    the snapshot captured then belongs to a durable transaction, so
+//!    loading the checkpoint can never resurrect work a crash would have
+//!    lost.
+//! 4. **Manifest commit** — the data file is renamed into place and the
+//!    manifest is atomically replaced (write temp, fsync, rename, fsync
+//!    dir). The manifest rename is the commit point: a crash at any earlier
+//!    step leaves the previous checkpoint in effect.
+//! 5. **Rotation and truncation** — live writers rotate onto a fresh
+//!    segment generation ([`Wal::rotate_segments`]), then every non-live
+//!    segment whose records are entirely `<= E_ckpt` is deleted
+//!    ([`Wal::truncate_stale_segments`], sharing the retention policy of
+//!    offline compaction). A crash between manifest commit and truncation
+//!    only causes re-replay of covered records, which TID-aware replay
+//!    makes a no-op.
+//!
+//! # Recovery contract
+//!
+//! `recover_and_compact` loads the newest complete checkpoint and then
+//! replays only log frames with epochs in `(E_ckpt, durable]`. Consistency
+//! of the fuzzy capture is restored by TID-aware replay: a log record older
+//! than the captured row it addresses is skipped, a newer one wins.
+
+use std::fs;
+use std::io::{self, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use reactdb_common::{ContainerId, ReactorId};
+use reactdb_storage::{Table, TidWord};
+use reactdb_txn::{EpochManager, RedoRecord};
+
+use crate::{codec, sync_dir, Wal};
+
+/// File name of the checkpoint manifest.
+pub const MANIFEST_FILE: &str = "checkpoint-manifest";
+/// Magic bytes opening the manifest.
+const MANIFEST_MAGIC: [u8; 8] = *b"RDBCKMF1";
+/// Poll period of the checkpoint daemon (it fires on epoch thresholds, not
+/// on this period).
+const DAEMON_POLL: Duration = Duration::from_millis(2);
+
+/// One table the checkpointer captures: where it lives in the deployment
+/// plus the storage handle to walk.
+#[derive(Debug, Clone)]
+pub struct CheckpointTable {
+    /// Container hosting the table (recorded in the captured rows so they
+    /// replay like redo records).
+    pub container: ContainerId,
+    /// Reactor whose state the relation belongs to.
+    pub reactor: ReactorId,
+    /// Relation name within the reactor.
+    pub relation: String,
+    /// The table to walk.
+    pub table: Arc<Table>,
+}
+
+/// What one completed checkpoint did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointOutcome {
+    /// Sequence number of the checkpoint.
+    pub seq: u64,
+    /// Stable epoch the snapshot began at (`E_ckpt`): every commit with a
+    /// TID epoch `<=` this is fully contained in the checkpoint.
+    pub epoch: u64,
+    /// Highest TID epoch among captured rows; the checkpoint completed only
+    /// after the durable epoch covered it.
+    pub cover_epoch: u64,
+    /// Rows captured.
+    pub rows: u64,
+    /// Bytes of the checkpoint data file.
+    pub bytes: u64,
+    /// Log bytes reclaimed by the truncation that followed.
+    pub truncated_bytes: u64,
+    /// Log segments deleted by the truncation that followed.
+    pub truncated_segments: u64,
+}
+
+/// The manifest of the newest complete checkpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Manifest {
+    seq: u64,
+    epoch: u64,
+    cover_epoch: u64,
+    rows: u64,
+    bytes: u64,
+    file: String,
+}
+
+/// A checkpoint as loaded by recovery.
+#[derive(Debug)]
+pub struct RecoveredCheckpoint {
+    /// Sequence number of the checkpoint.
+    pub seq: u64,
+    /// Stable epoch stamp (`E_ckpt`): commits with TID epochs `<=` this are
+    /// fully covered, so recovery skips their log frames.
+    pub epoch: u64,
+    /// Highest TID epoch among the rows (durability of the capture was
+    /// gated on this).
+    pub cover_epoch: u64,
+    /// The captured rows, each with the commit TID its image corresponds
+    /// to. Replayed before the log tail via TID-aware replay.
+    pub rows: Vec<(TidWord, RedoRecord)>,
+    /// Size of the data file read.
+    pub bytes: u64,
+    /// Data file name (relative to the log dir), used to protect it from
+    /// orphan cleanup.
+    pub file: String,
+}
+
+fn data_file_name(seq: u64) -> String {
+    format!("ckpt-{seq:06}.dat")
+}
+
+/// Serializes and atomically installs the manifest (write temp, fsync,
+/// rename, fsync dir) — the checkpoint's commit point.
+fn write_manifest(dir: &Path, manifest: &Manifest) -> io::Result<()> {
+    let mut payload = Vec::with_capacity(64);
+    payload.extend_from_slice(&manifest.seq.to_le_bytes());
+    payload.extend_from_slice(&manifest.epoch.to_le_bytes());
+    payload.extend_from_slice(&manifest.cover_epoch.to_le_bytes());
+    payload.extend_from_slice(&manifest.rows.to_le_bytes());
+    payload.extend_from_slice(&manifest.bytes.to_le_bytes());
+    let name = manifest.file.as_bytes();
+    payload.extend_from_slice(&(name.len() as u16).to_le_bytes());
+    payload.extend_from_slice(name);
+
+    let mut bytes = Vec::with_capacity(payload.len() + 12);
+    bytes.extend_from_slice(&MANIFEST_MAGIC);
+    bytes.extend_from_slice(&codec::crc32(&payload).to_le_bytes());
+    bytes.extend_from_slice(&payload);
+
+    let tmp = dir.join("checkpoint-manifest.tmp");
+    fs::write(&tmp, &bytes)?;
+    let file = fs::File::open(&tmp)?;
+    file.sync_data()?;
+    drop(file);
+    fs::rename(&tmp, dir.join(MANIFEST_FILE))?;
+    sync_dir(dir)
+}
+
+/// Reads the manifest; `None` when absent or corrupt (both mean "no
+/// complete checkpoint is installed").
+fn read_manifest(dir: &Path) -> io::Result<Option<Manifest>> {
+    let bytes = match fs::read(dir.join(MANIFEST_FILE)) {
+        Ok(bytes) => bytes,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e),
+    };
+    if bytes.len() < 12 || bytes[..8] != MANIFEST_MAGIC {
+        return Ok(None);
+    }
+    let crc = u32::from_le_bytes(bytes[8..12].try_into().expect("len 4"));
+    let payload = &bytes[12..];
+    if codec::crc32(payload) != crc || payload.len() < 42 {
+        return Ok(None);
+    }
+    let u64_at = |i: usize| u64::from_le_bytes(payload[i..i + 8].try_into().expect("len 8"));
+    let name_len = u16::from_le_bytes(payload[40..42].try_into().expect("len 2")) as usize;
+    let Some(name) = payload.get(42..42 + name_len) else {
+        return Ok(None);
+    };
+    let Ok(file) = String::from_utf8(name.to_vec()) else {
+        return Ok(None);
+    };
+    Ok(Some(Manifest {
+        seq: u64_at(0),
+        epoch: u64_at(8),
+        cover_epoch: u64_at(16),
+        rows: u64_at(24),
+        bytes: u64_at(32),
+        file,
+    }))
+}
+
+/// Loads the newest complete checkpoint for recovery. Returns `None` — and
+/// recovery falls back to the full log — when no manifest is installed, the
+/// manifest or data file is corrupt or torn, the stamps disagree, or the
+/// durable epoch does not cover the fuzzy capture (possible only if the
+/// durable-epoch marker itself was lost: the completion gate orders the
+/// marker advance before the manifest commit).
+pub(crate) fn load_checkpoint(
+    dir: &Path,
+    durable_epoch: u64,
+) -> io::Result<Option<RecoveredCheckpoint>> {
+    let Some(manifest) = read_manifest(dir)? else {
+        return Ok(None);
+    };
+    if durable_epoch < manifest.cover_epoch {
+        return Ok(None);
+    }
+    let data = match fs::read(dir.join(&manifest.file)) {
+        Ok(data) => data,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e),
+    };
+    let Some(scan) = codec::decode_checkpoint(&data) else {
+        return Ok(None);
+    };
+    if scan.scan.truncated_tail || scan.seq != manifest.seq || scan.epoch != manifest.epoch {
+        return Ok(None);
+    }
+    let mut rows = Vec::with_capacity(scan.scan.batches.len());
+    for (tid, mut records) in scan.scan.batches {
+        // One captured row per frame by construction.
+        let Some(record) = records.pop() else {
+            return Ok(None);
+        };
+        rows.push((tid, record));
+    }
+    if rows.len() as u64 != manifest.rows {
+        return Ok(None);
+    }
+    Ok(Some(RecoveredCheckpoint {
+        seq: manifest.seq,
+        epoch: manifest.epoch,
+        cover_epoch: manifest.cover_epoch,
+        rows,
+        bytes: data.len() as u64,
+        file: manifest.file,
+    }))
+}
+
+/// Recovery-time orphan cleanup. Unlike the post-checkpoint cleanup, this
+/// keys the file to keep off the *manifest* alone — even when
+/// [`load_checkpoint`] rejected the checkpoint (torn data file, stamp
+/// mismatch, uncovered capture), the manifest-referenced data file may be
+/// the only remaining copy of already-truncated history and must be
+/// preserved as evidence, never deleted. When the manifest file exists but
+/// does not parse, nothing is deleted at all: the reference is unknown, so
+/// every data file is potential evidence.
+pub(crate) fn clean_orphans_for_recovery(dir: &Path) -> io::Result<()> {
+    let manifest = read_manifest(dir)?;
+    if manifest.is_none() && dir.join(MANIFEST_FILE).exists() {
+        return Ok(()); // corrupt manifest: preserve everything
+    }
+    clean_orphans(dir, manifest.as_ref().map(|m| m.file.as_str()))
+}
+
+/// Deletes checkpoint debris a crash may have left behind: data files not
+/// referenced by the installed manifest (superseded or never committed) and
+/// stale temp files. `keep` names the live data file.
+pub(crate) fn clean_orphans(dir: &Path, keep: Option<&str>) -> io::Result<()> {
+    if !dir.exists() {
+        return Ok(());
+    }
+    let mut removed = false;
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        let orphan_data = name.starts_with("ckpt-") && name.ends_with(".dat") && Some(name) != keep;
+        let stale_tmp = name == "ckpt.tmp" || name == "checkpoint-manifest.tmp";
+        if orphan_data || stale_tmp {
+            let _ = fs::remove_file(&path);
+            removed = true;
+        }
+    }
+    if removed {
+        sync_dir(dir)?;
+    }
+    Ok(())
+}
+
+/// The background checkpointer of one database instance. Also serves
+/// explicit `checkpoint_now` requests; executions are serialized, so the
+/// daemon and manual calls never interleave.
+pub struct Checkpointer {
+    wal: Arc<Wal>,
+    tables: Vec<CheckpointTable>,
+    chunk_size: usize,
+    /// Next checkpoint sequence number; consumed per attempt, success or
+    /// not (see `run_once`).
+    next_seq: Mutex<u64>,
+    /// Serializes checkpoint executions (daemon vs. explicit calls).
+    run_lock: Mutex<()>,
+    stop: AtomicBool,
+    daemon: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl Checkpointer {
+    /// Creates a checkpointer over the given tables. The next sequence
+    /// number continues from the installed manifest, so checkpoint files
+    /// never collide across instance lifetimes.
+    pub fn new(
+        wal: Arc<Wal>,
+        tables: Vec<CheckpointTable>,
+        chunk_size: usize,
+    ) -> io::Result<Arc<Self>> {
+        let next_seq = read_manifest(wal.dir())?.map(|m| m.seq + 1).unwrap_or(1);
+        Ok(Arc::new(Self {
+            wal,
+            tables,
+            chunk_size: chunk_size.max(1),
+            next_seq: Mutex::new(next_seq),
+            run_lock: Mutex::new(()),
+            stop: AtomicBool::new(false),
+            daemon: Mutex::new(None),
+        }))
+    }
+
+    /// Takes one checkpoint now, returning what it did. On error the
+    /// previous checkpoint (if any) remains in effect and the failure is
+    /// counted in the WAL stats.
+    pub fn checkpoint_now(&self) -> io::Result<CheckpointOutcome> {
+        let result = self.run_once();
+        if result.is_err() {
+            self.wal.stats().record_checkpoint_failure();
+        }
+        result
+    }
+
+    fn run_once(&self) -> io::Result<CheckpointOutcome> {
+        let _serial = self.run_lock.lock();
+        // The sequence number is consumed even if this attempt fails: a
+        // failure *after* the manifest commit (rotation or truncation)
+        // must not lead a retry to reuse the seq and rename fresh data
+        // over the installed checkpoint's file — the stamp mismatch would
+        // invalidate the only checkpoint covering already-truncated
+        // history. Gaps in the sequence are harmless.
+        let seq = {
+            let mut next_seq = self.next_seq.lock();
+            let seq = *next_seq;
+            *next_seq = seq + 1;
+            seq
+        };
+        let dir = self.wal.dir().to_path_buf();
+
+        // 1. Stable epoch: fence + drain (see module docs).
+        let epoch = self.wal.stable_snapshot_epoch()?;
+
+        // 2. Fuzzy walk: capture every table in chunks, appending one frame
+        // per visible row to the temp data file.
+        let tmp = dir.join("ckpt.tmp");
+        let mut file = fs::File::create(&tmp)?;
+        let mut header = Vec::with_capacity(24);
+        codec::encode_checkpoint_header(&mut header, seq, epoch);
+        file.write_all(&header)?;
+        let mut bytes = header.len() as u64;
+        let mut rows = 0u64;
+        let mut cover_epoch = epoch;
+        let mut buf = Vec::new();
+        for entry in &self.tables {
+            let mut cursor = None;
+            loop {
+                let chunk = entry.table.snapshot_chunk(cursor.as_ref(), self.chunk_size);
+                buf.clear();
+                for (key, tid, image) in chunk.rows {
+                    cover_epoch = cover_epoch.max(tid.epoch());
+                    rows += 1;
+                    codec::encode_batch(
+                        &mut buf,
+                        tid,
+                        &[RedoRecord {
+                            container: entry.container,
+                            reactor: entry.reactor,
+                            relation: entry.relation.clone(),
+                            key,
+                            image: Some(image),
+                        }],
+                    );
+                }
+                file.write_all(&buf)?;
+                bytes += buf.len() as u64;
+                match chunk.next {
+                    Some(next) => cursor = Some(next),
+                    None => break,
+                }
+            }
+        }
+        file.sync_data()?;
+        drop(file);
+
+        // 3. Completion gate: every captured row must be durable before the
+        // checkpoint may be trusted — otherwise loading it could resurrect
+        // a transaction the crash lost.
+        self.wal.wait_durable(cover_epoch)?;
+
+        // 4. Commit: data file into place, then the manifest (the commit
+        // point), then retire the superseded checkpoint's data file.
+        let data_name = data_file_name(seq);
+        fs::rename(&tmp, dir.join(&data_name))?;
+        sync_dir(&dir)?;
+        write_manifest(
+            &dir,
+            &Manifest {
+                seq,
+                epoch,
+                cover_epoch,
+                rows,
+                bytes,
+                file: data_name.clone(),
+            },
+        )?;
+        clean_orphans(&dir, Some(&data_name))?;
+
+        // 5. Rotate live writers onto a fresh generation, then truncate
+        // every segment the checkpoint fully covers.
+        self.wal.rotate_segments()?;
+        let (truncated_bytes, truncated_segments) = self.wal.truncate_stale_segments(epoch)?;
+
+        self.wal.stats().record_checkpoint(bytes);
+        Ok(CheckpointOutcome {
+            seq,
+            epoch,
+            cover_epoch,
+            rows,
+            bytes,
+            truncated_bytes,
+            truncated_segments,
+        })
+    }
+
+    /// Starts the background daemon: a checkpoint is taken whenever the
+    /// global epoch has advanced `interval_epochs` beyond the last
+    /// checkpoint's stamp. A zero interval means no daemon (explicit
+    /// [`Checkpointer::checkpoint_now`] calls only).
+    pub fn start_daemon(self: &Arc<Self>, interval_epochs: u64, epoch: Arc<EpochManager>) {
+        if interval_epochs == 0 {
+            return;
+        }
+        let ckpt = Arc::clone(self);
+        let handle = std::thread::Builder::new()
+            .name("reactdb-checkpoint".into())
+            .spawn(move || {
+                let mut last = epoch.current();
+                while !ckpt.stop.load(Ordering::Acquire) {
+                    std::thread::sleep(DAEMON_POLL);
+                    let current = epoch.current();
+                    if current < last.saturating_add(interval_epochs) {
+                        continue;
+                    }
+                    // Errors leave the previous checkpoint in effect; back
+                    // off a full interval so a persistently failing disk is
+                    // not hammered.
+                    match ckpt.checkpoint_now() {
+                        Ok(outcome) => last = outcome.cover_epoch.max(current),
+                        Err(_) => last = current,
+                    }
+                }
+            })
+            .expect("spawn checkpoint daemon");
+        *self.daemon.lock() = Some(handle);
+    }
+
+    /// Stops the daemon and waits for any in-flight checkpoint to finish.
+    /// Called by the engine before the WAL shuts down.
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(handle) = self.daemon.lock().take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for Checkpointer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Checkpointer")
+            .field("tables", &self.tables.len())
+            .field("chunk_size", &self.chunk_size)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recover_and_compact;
+    use std::path::PathBuf;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "reactdb-ckpt-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn manifest_roundtrip_and_corruption_handling() {
+        let dir = temp_dir("manifest");
+        assert_eq!(read_manifest(&dir).unwrap(), None);
+        let manifest = Manifest {
+            seq: 4,
+            epoch: 17,
+            cover_epoch: 19,
+            rows: 1234,
+            bytes: 99_000,
+            file: "ckpt-000004.dat".into(),
+        };
+        write_manifest(&dir, &manifest).unwrap();
+        assert_eq!(read_manifest(&dir).unwrap(), Some(manifest.clone()));
+        // Corruption is detected and treated as "no checkpoint".
+        let mut bytes = fs::read(dir.join(MANIFEST_FILE)).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        fs::write(dir.join(MANIFEST_FILE), &bytes).unwrap();
+        assert_eq!(read_manifest(&dir).unwrap(), None);
+        fs::write(dir.join(MANIFEST_FILE), b"short").unwrap();
+        assert_eq!(read_manifest(&dir).unwrap(), None);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn incomplete_checkpoints_are_ignored_by_recovery_load() {
+        let dir = temp_dir("incomplete");
+        // No manifest: nothing to load, even with a data file present.
+        fs::write(dir.join("ckpt-000001.dat"), b"whatever").unwrap();
+        assert!(load_checkpoint(&dir, u64::MAX).unwrap().is_none());
+        // Manifest referencing a missing file.
+        let manifest = Manifest {
+            seq: 2,
+            epoch: 5,
+            cover_epoch: 6,
+            rows: 0,
+            bytes: 0,
+            file: "ckpt-000002.dat".into(),
+        };
+        write_manifest(&dir, &manifest).unwrap();
+        assert!(load_checkpoint(&dir, u64::MAX).unwrap().is_none());
+        // A valid empty data file loads...
+        let mut data = Vec::new();
+        codec::encode_checkpoint_header(&mut data, 2, 5);
+        fs::write(dir.join("ckpt-000002.dat"), &data).unwrap();
+        let loaded = load_checkpoint(&dir, u64::MAX).unwrap().expect("complete");
+        assert_eq!(loaded.epoch, 5);
+        assert!(loaded.rows.is_empty());
+        // ...but not when the durable marker fails to cover the capture.
+        assert!(load_checkpoint(&dir, 5).unwrap().is_none());
+        // A data file whose stamp disagrees with the manifest is rejected.
+        let mut wrong = Vec::new();
+        codec::encode_checkpoint_header(&mut wrong, 2, 4);
+        fs::write(dir.join("ckpt-000002.dat"), &wrong).unwrap();
+        assert!(load_checkpoint(&dir, u64::MAX).unwrap().is_none());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_truncates_covered_segments_and_bounds_recovery_to_the_tail() {
+        use reactdb_common::{DurabilityConfig, DurabilityMode, Key, Value};
+        use reactdb_storage::{ColumnType, Schema, Tuple};
+
+        let dir = temp_dir("e2e");
+        let config = DurabilityConfig {
+            mode: DurabilityMode::EpochSync,
+            log_dir: Some(dir.to_string_lossy().into_owned()),
+            group_commit_interval_ms: 0,
+        };
+        let epoch = Arc::new(EpochManager::new());
+        let wal = Wal::open(&config, 1, Arc::clone(&epoch)).unwrap().unwrap();
+        let schema = Schema::of(
+            &[("id", ColumnType::Int), ("balance", ColumnType::Float)],
+            &["id"],
+        );
+        let table = Arc::new(Table::new("savings", schema.clone()));
+        let make_record = |key: i64, value: f64| RedoRecord {
+            container: ContainerId(0),
+            reactor: ReactorId(0),
+            relation: "savings".into(),
+            key: Key::Int(key),
+            image: Some(Tuple::of([Value::Int(key), Value::Float(value)])),
+        };
+        let mut seq = 0u64;
+        let mut commit = |key: i64, value: f64| {
+            seq += 1;
+            let tid = TidWord::committed(epoch.current(), seq);
+            let record = make_record(key, value);
+            use reactdb_txn::LogSink;
+            wal.writer(0).log_commit(tid, std::slice::from_ref(&record));
+            table.replay(&record.key, record.image.as_ref(), tid);
+        };
+
+        // A multi-epoch history: 60 commits over several synced epochs.
+        for i in 0..60i64 {
+            commit(i % 20, i as f64);
+            if i % 10 == 9 {
+                epoch.advance();
+                wal.sync().unwrap();
+            }
+        }
+        let logged_before = wal.stats().bytes_logged();
+        assert!(logged_before > 0);
+
+        let ckpt = Checkpointer::new(
+            Arc::clone(&wal),
+            vec![CheckpointTable {
+                container: ContainerId(0),
+                reactor: ReactorId(0),
+                relation: "savings".into(),
+                table: Arc::clone(&table),
+            }],
+            7,
+        )
+        .unwrap();
+        let outcome = ckpt.checkpoint_now().unwrap();
+        assert_eq!(outcome.seq, 1);
+        assert_eq!(outcome.rows, 20, "20 distinct keys are visible");
+        assert!(outcome.cover_epoch >= outcome.epoch);
+        assert!(
+            outcome.truncated_segments >= 1,
+            "the rotated-out history segment is entirely covered"
+        );
+        assert!(outcome.truncated_bytes > 0);
+        assert_eq!(wal.stats().checkpoints_taken(), 1);
+        assert_eq!(wal.stats().log_truncated_bytes(), outcome.truncated_bytes);
+
+        // Tail: three more commits beyond the checkpoint, synced.
+        for i in 0..3i64 {
+            commit(100 + i, 7.0);
+        }
+        epoch.advance();
+        wal.sync().unwrap();
+        drop(wal); // crash
+
+        let recovered = recover_and_compact(&dir, DurabilityMode::EpochSync).unwrap();
+        let loaded = recovered.checkpoint.as_ref().expect("checkpoint installed");
+        assert_eq!(loaded.rows.len(), 20);
+        assert_eq!(loaded.epoch, outcome.epoch);
+        assert_eq!(
+            recovered.batches.len(),
+            3,
+            "only the post-checkpoint tail is replayed"
+        );
+        assert!(
+            recovered.log_bytes_scanned < logged_before,
+            "truncation keeps recovery from re-reading the full history"
+        );
+
+        // Replaying checkpoint + tail reproduces the pre-crash state.
+        let replayed = Table::new("savings", schema);
+        for (tid, record) in &loaded.rows {
+            replayed.replay(&record.key, record.image.as_ref(), *tid);
+        }
+        for (tid, records) in &recovered.batches {
+            for record in records {
+                replayed.replay(&record.key, record.image.as_ref(), *tid);
+            }
+        }
+        assert_eq!(replayed.visible_len(), table.visible_len());
+        for (key, record) in table.scan() {
+            let got = replayed.get(&key).expect("key recovered");
+            assert_eq!(got.read_unguarded(), record.read_unguarded(), "{key:?}");
+            assert_eq!(got.tid().version(), record.tid().version());
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn recovery_cleanup_preserves_rejected_checkpoint_evidence() {
+        let dir = temp_dir("evidence");
+        // Manifest referencing a torn data file: load rejects it, but the
+        // file may be the only copy of truncated history — cleanup must
+        // keep it (and still remove genuine debris).
+        write_manifest(
+            &dir,
+            &Manifest {
+                seq: 3,
+                epoch: 8,
+                cover_epoch: 9,
+                rows: 10,
+                bytes: 4,
+                file: "ckpt-000003.dat".into(),
+            },
+        )
+        .unwrap();
+        fs::write(dir.join("ckpt-000003.dat"), b"torn").unwrap();
+        fs::write(dir.join("ckpt-000001.dat"), b"superseded").unwrap();
+        fs::write(dir.join("ckpt.tmp"), b"debris").unwrap();
+        assert!(load_checkpoint(&dir, u64::MAX).unwrap().is_none());
+        clean_orphans_for_recovery(&dir).unwrap();
+        assert!(
+            dir.join("ckpt-000003.dat").exists(),
+            "manifest-referenced file is evidence even when rejected"
+        );
+        assert!(!dir.join("ckpt-000001.dat").exists());
+        assert!(!dir.join("ckpt.tmp").exists());
+        // Corrupt manifest: the reference is unknown, so nothing at all is
+        // deleted.
+        fs::write(dir.join(MANIFEST_FILE), b"garbage").unwrap();
+        fs::write(dir.join("ckpt-000001.dat"), b"maybe evidence").unwrap();
+        clean_orphans_for_recovery(&dir).unwrap();
+        assert!(dir.join("ckpt-000003.dat").exists());
+        assert!(dir.join("ckpt-000001.dat").exists());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_sequence_is_consumed_even_by_failed_attempts() {
+        use reactdb_common::{DurabilityConfig, DurabilityMode};
+        let dir = temp_dir("seq-consume");
+        let config = DurabilityConfig {
+            mode: DurabilityMode::EpochSync,
+            log_dir: Some(dir.to_string_lossy().into_owned()),
+            group_commit_interval_ms: 0,
+        };
+        let epoch = Arc::new(EpochManager::new());
+        let wal = Wal::open(&config, 1, Arc::clone(&epoch)).unwrap().unwrap();
+        let ckpt = Checkpointer::new(Arc::clone(&wal), Vec::new(), 4).unwrap();
+        let first = ckpt.checkpoint_now().unwrap();
+        assert_eq!(first.seq, 1);
+        // Retire the WAL: the next attempt fails mid-protocol...
+        wal.shutdown(true);
+        assert!(ckpt.checkpoint_now().is_err());
+        assert_eq!(wal.stats().checkpoint_failures(), 1);
+        // ...and a later attempt must NOT reuse the failed attempt's seq —
+        // a retry that renamed fresh data over an installed checkpoint's
+        // file would invalidate it via the stamp mismatch.
+        assert_eq!(*ckpt.next_seq.lock(), 3, "seq 2 was consumed by failure");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn orphan_cleanup_spares_the_live_data_file() {
+        let dir = temp_dir("orphans");
+        fs::write(dir.join("ckpt-000001.dat"), b"old").unwrap();
+        fs::write(dir.join("ckpt-000002.dat"), b"live").unwrap();
+        fs::write(dir.join("ckpt.tmp"), b"torn").unwrap();
+        fs::write(dir.join("checkpoint-manifest.tmp"), b"torn").unwrap();
+        fs::write(dir.join("unrelated.txt"), b"keep me").unwrap();
+        clean_orphans(&dir, Some("ckpt-000002.dat")).unwrap();
+        assert!(!dir.join("ckpt-000001.dat").exists());
+        assert!(dir.join("ckpt-000002.dat").exists());
+        assert!(!dir.join("ckpt.tmp").exists());
+        assert!(!dir.join("checkpoint-manifest.tmp").exists());
+        assert!(dir.join("unrelated.txt").exists());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -33,6 +33,7 @@
 //! documented here so nobody mistakes `Buffered`/`EpochSync` for synchronous
 //! commit.
 
+pub mod checkpoint;
 pub mod codec;
 pub mod stats;
 pub mod writer;
@@ -48,9 +49,10 @@ use std::time::Duration;
 use parking_lot::{Condvar, Mutex, RwLock, RwLockReadGuard};
 use reactdb_common::{DurabilityConfig, DurabilityMode};
 use reactdb_storage::TidWord;
-use reactdb_txn::{EpochManager, RedoRecord};
+use reactdb_txn::{Coordinator, EpochManager, RedoRecord};
 
-pub use stats::WalStats;
+pub use checkpoint::{CheckpointOutcome, CheckpointTable, Checkpointer, RecoveredCheckpoint};
+pub use stats::{TableLogUsage, WalStats};
 pub use writer::LogWriter;
 
 /// File name of the durable-epoch marker.
@@ -173,6 +175,12 @@ pub fn log_dir_has_state(dir: &Path) -> io::Result<bool> {
         return Ok(false);
     }
     if dir.join(MARKER_FILE).exists() {
+        return Ok(true);
+    }
+    // A checkpoint manifest alone is state too: after full truncation a
+    // directory may hold nothing but the checkpoint, and a fresh boot over
+    // it would reissue (epoch, sequence) pairs the checkpoint rows carry.
+    if dir.join(checkpoint::MANIFEST_FILE).exists() {
         return Ok(true);
     }
     for entry in fs::read_dir(dir)? {
@@ -328,6 +336,12 @@ impl Wal {
         if self.closed.load(Ordering::Acquire) {
             return Err(io::Error::other("WAL is shut down"));
         }
+        self.group_commit_locked()
+    }
+
+    /// One group commit; the caller holds the sync lock and has verified the
+    /// instance is not retired.
+    fn group_commit_locked(&self) -> io::Result<u64> {
         match self.mode {
             DurabilityMode::EpochSync => {
                 let fence = self.epoch.current(); // 1. fence
@@ -353,6 +367,85 @@ impl Wal {
             }
             DurabilityMode::Off => unreachable!("Wal::open returns None for Off"),
         }
+    }
+
+    /// The stable epoch a checkpoint may snapshot against: reads the epoch
+    /// through the commit protocol's [`Coordinator::stable_epoch`] hook,
+    /// then drains every in-flight commit through the gate's write side.
+    /// After the drain, every transaction with a TID epoch `<=` the
+    /// returned value has fully installed its writes, and no future commit
+    /// can carry such an epoch — so a table walk started now captures the
+    /// complete effects of that epoch prefix.
+    pub fn stable_snapshot_epoch(&self) -> io::Result<u64> {
+        if self.closed.load(Ordering::Acquire) {
+            return Err(io::Error::other("WAL is shut down"));
+        }
+        let stable = Coordinator::stable_epoch(&self.epoch);
+        drop(self.gate.write()); // drain in-flight commits
+        Ok(stable)
+    }
+
+    /// Rotates every writer onto a fresh segment generation, preceded by one
+    /// group commit so the retired files end exactly at a durable boundary
+    /// (frames appended after the commit's flush stay in the writer buffers
+    /// and land in the new files). The checkpointer rotates after each
+    /// completed checkpoint; the retired segments become eligible for
+    /// [`Wal::truncate_stale_segments`] once a later checkpoint covers their
+    /// epochs. Returns the retired segment paths.
+    pub fn rotate_segments(&self) -> io::Result<Vec<PathBuf>> {
+        let _serial = self.sync_lock.lock();
+        if self.closed.load(Ordering::Acquire) {
+            return Err(io::Error::other("WAL is shut down"));
+        }
+        self.group_commit_locked()?;
+        let generation = next_generation(&self.dir)?;
+        let mut retired = Vec::with_capacity(self.writers.len());
+        for writer in &self.writers {
+            let path = self.dir.join(segment_name(writer.executor(), generation));
+            retired.push(writer.swap_file(&path, generation)?);
+        }
+        sync_dir(&self.dir)?;
+        Ok(retired)
+    }
+
+    /// Deletes every non-live log segment whose records are *entirely*
+    /// covered by the checkpoint at `covered_epoch` (all frame epochs `<=
+    /// covered_epoch`), applying the same retention policy as offline
+    /// compaction: foreign files and segments with torn tails are left
+    /// alone. Returns `(bytes, segments)` reclaimed and records them in the
+    /// stats.
+    pub fn truncate_stale_segments(&self, covered_epoch: u64) -> io::Result<(u64, u64)> {
+        let _serial = self.sync_lock.lock();
+        if self.closed.load(Ordering::Acquire) {
+            return Err(io::Error::other("WAL is shut down"));
+        }
+        let live: Vec<PathBuf> = self.writers.iter().map(|w| w.path()).collect();
+        let mut delete: Vec<PathBuf> = Vec::new();
+        for path in list_segments(&self.dir)? {
+            if live.contains(&path) {
+                continue;
+            }
+            let bytes = fs::read(&path)?;
+            let Some(scan) = codec::decode_segment(&bytes) else {
+                continue; // foreign or headerless file: leave it alone
+            };
+            if scan.truncated_tail {
+                continue; // suspicious: leave the evidence for recovery
+            }
+            if scan
+                .batches
+                .iter()
+                .all(|(tid, _)| tid.epoch() <= covered_epoch)
+            {
+                delete.push(path);
+            }
+        }
+        let segments = delete.len() as u64;
+        let bytes = retire_segments(&self.dir, &delete, &[])?;
+        if segments > 0 {
+            self.stats.record_truncation(bytes, segments);
+        }
+        Ok((bytes, segments))
     }
 
     /// Blocks until the durable epoch reaches `target`, i.e. until the group
@@ -505,13 +598,21 @@ impl std::fmt::Debug for Wal {
 /// Everything recovery extracted from a log directory.
 #[derive(Debug)]
 pub struct RecoveredLog {
-    /// Redo batches to replay, sorted by commit TID.
+    /// The newest complete checkpoint, when one is installed: its rows are
+    /// replayed *before* the log tail and fully cover every commit with a
+    /// TID epoch `<= checkpoint.epoch`.
+    pub checkpoint: Option<RecoveredCheckpoint>,
+    /// Redo batches to replay, sorted by commit TID. With a checkpoint
+    /// installed this is only the log *tail* — frames with epochs beyond the
+    /// checkpoint — which is what bounds recovery cost by checkpoint size
+    /// plus log-since-checkpoint instead of log history.
     pub batches: Vec<(TidWord, Vec<RedoRecord>)>,
-    /// Largest commit TID among the kept batches (zero when none).
+    /// Largest commit TID among the kept batches and checkpoint rows (zero
+    /// when none).
     pub max_tid: TidWord,
-    /// Largest epoch observed in *any* frame, kept or discarded. The
-    /// recovered instance resumes beyond it so pre-crash (epoch, sequence)
-    /// pairs are never reissued.
+    /// Largest epoch observed in *any* frame (kept or discarded) or
+    /// checkpoint stamp. The recovered instance resumes beyond it so
+    /// pre-crash (epoch, sequence) pairs are never reissued.
     pub max_epoch_seen: u64,
     /// The durable epoch the scan honoured (`u64::MAX` in buffered mode).
     pub durable_epoch: u64,
@@ -521,10 +622,57 @@ pub struct RecoveredLog {
     /// corruption, and the offending bytes are preserved next to the log
     /// under a `.corrupt` name.
     pub truncated_segments: usize,
+    /// Total log-segment bytes the scan had to read — together with the
+    /// checkpoint's `bytes`, the I/O cost of this recovery. Bounded by
+    /// truncation, not by log history.
+    pub log_bytes_scanned: u64,
 }
 
-/// Scans `dir`, keeps the replayable prefix, rewrites it as a checkpoint
-/// segment and removes stale segments.
+/// Every `wal-*.log` segment in `dir`, sorted by name.
+fn list_segments(dir: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut segments: Vec<PathBuf> = Vec::new();
+    if dir.exists() {
+        for entry in fs::read_dir(dir)? {
+            let path = entry?.path();
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if name.starts_with("wal-") && name.ends_with(".log") {
+                segments.push(path);
+            }
+        }
+    }
+    segments.sort();
+    Ok(segments)
+}
+
+/// The single segment-retention policy shared by offline compaction
+/// ([`recover_and_compact`]) and online checkpoint truncation
+/// ([`Wal::truncate_stale_segments`]): segments in `delete` are unlinked;
+/// segments in `corrupt` are preserved next to the log under a `.corrupt`
+/// name (ignored by future scans) instead of being destroyed — a torn tail
+/// after a crash is expected, but mid-file corruption of a synced segment
+/// would mean durable frames were dropped, and either way the bytes are
+/// evidence. The directory is fsynced once at the end so the unlinks are
+/// durable. Returns the bytes reclaimed by deletion.
+fn retire_segments(dir: &Path, delete: &[PathBuf], corrupt: &[PathBuf]) -> io::Result<u64> {
+    let mut reclaimed = 0u64;
+    for path in corrupt {
+        let _ = fs::rename(path, path.with_extension("log.corrupt"));
+    }
+    for path in delete {
+        if let Ok(meta) = fs::metadata(path) {
+            reclaimed += meta.len();
+        }
+        let _ = fs::remove_file(path);
+    }
+    if !delete.is_empty() || !corrupt.is_empty() {
+        sync_dir(dir)?;
+    }
+    Ok(reclaimed)
+}
+
+/// Scans `dir`, loads the newest complete checkpoint (if any), keeps the
+/// replayable log tail, rewrites the tail as a compacted segment and removes
+/// stale segments.
 ///
 /// Under [`DurabilityMode::EpochSync`] only frames with `tid.epoch() <=`
 /// the on-disk durable-epoch marker survive; later frames belong to epochs
@@ -532,6 +680,15 @@ pub struct RecoveredLog {
 /// segments (that deletion is what prevents a discarded transaction from
 /// resurfacing once the marker later passes its epoch). Under
 /// [`DurabilityMode::Buffered`] every intact frame survives.
+///
+/// With a checkpoint installed, frames with `tid.epoch() <=` the checkpoint
+/// stamp are additionally skipped: the checkpoint already contains the full
+/// effects of those epochs, so recovery replays checkpoint rows plus the
+/// tail only. An incomplete checkpoint (missing or corrupt manifest, torn
+/// data file, or a durable marker that does not cover the fuzzy capture) is
+/// ignored entirely — the scan then falls back to the previous checkpoint
+/// or, absent one, the full log, which a crash at any point of the
+/// checkpoint protocol leaves intact.
 ///
 /// # Concurrency
 /// The caller must guarantee no live [`Wal`] instance is writing to `dir`:
@@ -546,23 +703,19 @@ pub fn recover_and_compact(dir: &Path, mode: DurabilityMode) -> io::Result<Recov
         _ => u64::MAX,
     };
 
-    let mut segments: Vec<PathBuf> = Vec::new();
-    if dir.exists() {
-        for entry in fs::read_dir(dir)? {
-            let path = entry?.path();
-            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
-            if name.starts_with("wal-") && name.ends_with(".log") {
-                segments.push(path);
-            }
-        }
-    }
-    segments.sort();
+    // Newest complete checkpoint: rows covering every epoch <= its stamp.
+    let recovered_checkpoint = checkpoint::load_checkpoint(dir, durable_epoch)?;
+    checkpoint::clean_orphans_for_recovery(dir)?;
+    let checkpoint_epoch = recovered_checkpoint.as_ref().map(|c| c.epoch).unwrap_or(0);
 
+    let segments = list_segments(dir)?;
     let mut batches: Vec<(TidWord, Vec<RedoRecord>)> = Vec::new();
     let mut max_epoch_seen = 0u64;
     let mut max_generation = 0u32;
-    // Only segments we actually decoded are rewritten into the checkpoint
-    // and eligible for removal; foreign `wal-*.log` files are left alone.
+    let mut log_bytes_scanned = 0u64;
+    // Only segments we actually decoded are rewritten into the compacted
+    // segment and eligible for removal; foreign `wal-*.log` files are left
+    // alone.
     let mut scanned: Vec<PathBuf> = Vec::new();
     let mut truncated: Vec<PathBuf> = Vec::new();
     for path in &segments {
@@ -573,13 +726,14 @@ pub fn recover_and_compact(dir: &Path, mode: DurabilityMode) -> io::Result<Recov
         let Some(scan) = codec::decode_segment(&bytes) else {
             continue; // foreign or headerless file: leave it alone
         };
+        log_bytes_scanned += bytes.len() as u64;
         if scan.truncated_tail {
             truncated.push(path.clone());
         }
         scanned.push(path.clone());
         for (tid, records) in scan.batches {
             max_epoch_seen = max_epoch_seen.max(tid.epoch());
-            if tid.epoch() <= durable_epoch {
+            if tid.epoch() <= durable_epoch && tid.epoch() > checkpoint_epoch {
                 batches.push((tid, records));
             }
         }
@@ -587,50 +741,56 @@ pub fn recover_and_compact(dir: &Path, mode: DurabilityMode) -> io::Result<Recov
 
     // Replay order: commit TID order makes the last writer win per key,
     // reproducing the pre-crash version order regardless of which
-    // executor's segment a record came from.
+    // executor's segment a record came from. (Checkpoint rows replay first;
+    // TID-aware replay resolves the fuzzy overlap between them and the
+    // tail.)
     batches.sort_by_key(|(tid, _)| tid.version());
-    let max_tid = batches.last().map(|(tid, _)| *tid).unwrap_or(TidWord(0));
+    let mut max_tid = batches.last().map(|(tid, _)| *tid).unwrap_or(TidWord(0));
+    if let Some(ckpt) = &recovered_checkpoint {
+        max_epoch_seen = max_epoch_seen.max(ckpt.cover_epoch);
+        for (tid, _) in &ckpt.rows {
+            if tid.version() > max_tid.version() {
+                max_tid = *tid;
+            }
+        }
+    }
 
-    // Compact: rewrite the kept prefix into a single checkpoint segment,
-    // fsync it, then retire the scanned segments.
+    // Compact: rewrite the kept tail into a single compacted segment, fsync
+    // it, then retire the scanned segments under the shared retention
+    // policy.
     if !scanned.is_empty() {
-        let checkpoint = dir.join(segment_name(usize::MAX, max_generation + 1));
+        let compacted = dir.join(segment_name(usize::MAX, max_generation + 1));
         let mut out = Vec::new();
         codec::encode_header(&mut out, u32::MAX, max_generation + 1);
         for (tid, records) in &batches {
             codec::encode_batch(&mut out, *tid, records);
         }
-        let tmp = dir.join("checkpoint.tmp");
+        let tmp = dir.join("compact.tmp");
         fs::write(&tmp, &out)?;
         let file = fs::File::open(&tmp)?;
         file.sync_data()?;
         drop(file);
-        fs::rename(&tmp, &checkpoint)?;
+        fs::rename(&tmp, &compacted)?;
         // Persist the rename before unlinking the sources: if power fails
         // between the two, the worst case is a duplicate replay (idempotent,
-        // records are keyed by TID), never a lost checkpoint.
+        // records are keyed by TID), never a lost prefix.
         sync_dir(dir)?;
-        for path in &scanned {
-            if truncated.contains(path) {
-                // A torn tail after a crash is expected, but mid-file
-                // corruption of a synced segment would mean durable frames
-                // were dropped. Either way, keep the bytes as evidence
-                // under a `.corrupt` name (ignored by future scans) instead
-                // of destroying them.
-                let _ = fs::rename(path, path.with_extension("log.corrupt"));
-            } else {
-                let _ = fs::remove_file(path);
-            }
-        }
-        sync_dir(dir)?;
+        let delete: Vec<PathBuf> = scanned
+            .iter()
+            .filter(|p| !truncated.contains(p))
+            .cloned()
+            .collect();
+        retire_segments(dir, &delete, &truncated)?;
     }
 
     Ok(RecoveredLog {
+        checkpoint: recovered_checkpoint,
         batches,
         max_tid,
         max_epoch_seen,
         durable_epoch,
         truncated_segments: truncated.len(),
+        log_bytes_scanned,
     })
 }
 
@@ -642,7 +802,7 @@ pub fn recover_and_compact(dir: &Path, mode: DurabilityMode) -> io::Result<Recov
 /// itself (file-content fsyncs do not cover directory metadata). Opening a
 /// directory handle can fail on exotic platforms; that is treated as "no
 /// directory sync available" rather than an error.
-fn sync_dir(dir: &Path) -> io::Result<()> {
+pub(crate) fn sync_dir(dir: &Path) -> io::Result<()> {
     match fs::File::open(dir) {
         Ok(handle) => handle.sync_all(),
         Err(_) => Ok(()),
@@ -651,7 +811,7 @@ fn sync_dir(dir: &Path) -> io::Result<()> {
 
 fn segment_name(executor: usize, generation: u32) -> String {
     if executor == usize::MAX {
-        format!("wal-checkpoint-g{generation:06}.log")
+        format!("wal-compact-g{generation:06}.log")
     } else {
         format!("wal-e{executor:04}-g{generation:06}.log")
     }

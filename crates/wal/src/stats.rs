@@ -1,6 +1,27 @@
 //! Durability counters exposed to the engine's statistics.
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+use reactdb_common::ReactorId;
+
+/// Log-space usage of one table (one reactor's relation), accumulated on the
+/// commit path as redo frames are appended. Truncation does not subtract
+/// from these: they measure what was *written* per table, which together
+/// with [`WalStats::log_truncated_bytes`] makes truncation effectiveness
+/// observable (bytes written vs. bytes reclaimed).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableLogUsage {
+    /// Reactor whose state the relation belongs to.
+    pub reactor: ReactorId,
+    /// Relation name within the reactor.
+    pub relation: String,
+    /// Redo-frame bytes attributed to this table.
+    pub bytes: u64,
+    /// Redo records logged for this table.
+    pub records: u64,
+}
 
 /// Monotonic counters describing the write-ahead log's activity. Shared
 /// between the WAL and `reactdb-engine`'s `DbStats`.
@@ -13,6 +34,13 @@ pub struct WalStats {
     sync_failures: AtomicU64,
     durable_epoch: AtomicU64,
     durable_waits: AtomicU64,
+    checkpoints_taken: AtomicU64,
+    checkpoint_bytes: AtomicU64,
+    checkpoint_failures: AtomicU64,
+    log_truncated_bytes: AtomicU64,
+    log_truncated_segments: AtomicU64,
+    /// Per-table append accounting, keyed by (reactor, relation).
+    per_table: Mutex<BTreeMap<(ReactorId, String), (u64, u64)>>,
 }
 
 impl WalStats {
@@ -27,6 +55,15 @@ impl WalStats {
         self.batches_logged.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Attributes `bytes` of one redo record to its table. Called under the
+    /// owning writer's mutex, once per record.
+    pub(crate) fn record_table_bytes(&self, reactor: ReactorId, relation: &str, bytes: u64) {
+        let mut map = self.per_table.lock();
+        let entry = map.entry((reactor, relation.to_owned())).or_insert((0, 0));
+        entry.0 += bytes;
+        entry.1 += 1;
+    }
+
     pub(crate) fn record_sync(&self, durable_epoch: u64) {
         self.syncs.fetch_add(1, Ordering::Relaxed);
         self.durable_epoch
@@ -39,6 +76,21 @@ impl WalStats {
 
     pub(crate) fn record_durable_wait(&self) {
         self.durable_waits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_checkpoint(&self, bytes: u64) {
+        self.checkpoints_taken.fetch_add(1, Ordering::Relaxed);
+        self.checkpoint_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_checkpoint_failure(&self) {
+        self.checkpoint_failures.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_truncation(&self, bytes: u64, segments: u64) {
+        self.log_truncated_bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.log_truncated_segments
+            .fetch_add(segments, Ordering::Relaxed);
     }
 
     /// Seeds the durable epoch from an on-disk marker at open, without
@@ -85,5 +137,83 @@ impl WalStats {
     /// call whose target epoch was already covered is not counted).
     pub fn durable_waits(&self) -> u64 {
         self.durable_waits.load(Ordering::Relaxed)
+    }
+
+    /// Background/explicit checkpoints completed.
+    pub fn checkpoints_taken(&self) -> u64 {
+        self.checkpoints_taken.load(Ordering::Relaxed)
+    }
+
+    /// Total bytes of checkpoint data files written (cumulative across
+    /// checkpoints).
+    pub fn checkpoint_bytes(&self) -> u64 {
+        self.checkpoint_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Checkpoint attempts that failed with an I/O error (the previous
+    /// checkpoint, if any, remains in effect).
+    pub fn checkpoint_failures(&self) -> u64 {
+        self.checkpoint_failures.load(Ordering::Relaxed)
+    }
+
+    /// Log-segment bytes reclaimed by online truncation (segments entirely
+    /// covered by a completed checkpoint).
+    pub fn log_truncated_bytes(&self) -> u64 {
+        self.log_truncated_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Log segments deleted by online truncation.
+    pub fn log_truncated_segments(&self) -> u64 {
+        self.log_truncated_segments.load(Ordering::Relaxed)
+    }
+
+    /// Per-table log-space accounting: bytes and records appended per
+    /// (reactor, relation), sorted by descending byte count.
+    pub fn per_table(&self) -> Vec<TableLogUsage> {
+        let map = self.per_table.lock();
+        let mut usage: Vec<TableLogUsage> = map
+            .iter()
+            .map(|((reactor, relation), (bytes, records))| TableLogUsage {
+                reactor: *reactor,
+                relation: relation.clone(),
+                bytes: *bytes,
+                records: *records,
+            })
+            .collect();
+        usage.sort_by_key(|usage| std::cmp::Reverse(usage.bytes));
+        usage
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_table_accounting_accumulates_and_sorts() {
+        let s = WalStats::new();
+        s.record_table_bytes(ReactorId(0), "savings", 100);
+        s.record_table_bytes(ReactorId(0), "savings", 50);
+        s.record_table_bytes(ReactorId(1), "checking", 400);
+        let usage = s.per_table();
+        assert_eq!(usage.len(), 2);
+        assert_eq!(usage[0].relation, "checking");
+        assert_eq!(usage[0].bytes, 400);
+        assert_eq!(usage[1].bytes, 150);
+        assert_eq!(usage[1].records, 2);
+    }
+
+    #[test]
+    fn checkpoint_and_truncation_counters_accumulate() {
+        let s = WalStats::new();
+        s.record_checkpoint(1000);
+        s.record_checkpoint(500);
+        s.record_checkpoint_failure();
+        s.record_truncation(300, 2);
+        assert_eq!(s.checkpoints_taken(), 2);
+        assert_eq!(s.checkpoint_bytes(), 1500);
+        assert_eq!(s.checkpoint_failures(), 1);
+        assert_eq!(s.log_truncated_bytes(), 300);
+        assert_eq!(s.log_truncated_segments(), 2);
     }
 }

@@ -6,10 +6,15 @@
 //! disk. A distributed (2PC) commit passes through the committing executor's
 //! writer with the records of *every* participating container in one
 //! checksummed frame, so recovery sees distributed transactions atomically.
+//!
+//! Writers can be *rotated* onto a fresh segment file
+//! ([`LogWriter::swap_file`]): the checkpointer rotates every writer right
+//! after a group commit so retired segments end at a durable boundary and
+//! become eligible for truncation once a later checkpoint covers them.
 
 use std::fs::File;
 use std::io::Write;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -29,6 +34,7 @@ const BUFFERED_FLUSH_BYTES: usize = 1 << 20;
 struct WriterInner {
     buf: Vec<u8>,
     file: File,
+    path: PathBuf,
 }
 
 /// The log writer of one executor; implements [`LogSink`] for the commit
@@ -53,7 +59,11 @@ impl LogWriter {
         let file = File::create(path)?;
         let mut header = Vec::with_capacity(16);
         codec::encode_header(&mut header, executor as u32, generation);
-        let mut inner = WriterInner { buf: header, file };
+        let mut inner = WriterInner {
+            buf: header,
+            file,
+            path: path.to_path_buf(),
+        };
         // The header is metadata, not redo payload: push it to the OS right
         // away (without fsync) so scans never mistake the file for garbage.
         Self::write_out(&mut inner)?;
@@ -68,6 +78,11 @@ impl LogWriter {
     /// Executor this writer belongs to.
     pub fn executor(&self) -> usize {
         self.executor
+    }
+
+    /// The segment file the writer currently appends to.
+    pub fn path(&self) -> PathBuf {
+        self.inner.lock().path.clone()
     }
 
     fn write_out(inner: &mut WriterInner) -> std::io::Result<()> {
@@ -90,6 +105,26 @@ impl LogWriter {
         Ok(())
     }
 
+    /// Rotates the writer onto a fresh segment file, returning the retired
+    /// file's path. Must be called *directly after a group commit* (the
+    /// caller holds the WAL's sync lock): everything flushed so far sits
+    /// fsynced in the old file, and whatever has accumulated in the buffer
+    /// since the flush belongs to epochs the durable marker does not cover
+    /// yet — it stays in the buffer and lands in the *new* file on the next
+    /// flush, so the retired file never grows a tail that misses its fsync.
+    pub(crate) fn swap_file(&self, path: &Path, generation: u32) -> std::io::Result<PathBuf> {
+        let mut inner = self.inner.lock();
+        let mut file = File::create(path)?;
+        let mut header = Vec::with_capacity(16);
+        codec::encode_header(&mut header, self.executor as u32, generation);
+        // Header straight to the OS (not via the shared buffer, which may
+        // hold frames): scans must never mistake the file for garbage.
+        file.write_all(&header)?;
+        let old_path = std::mem::replace(&mut inner.path, path.to_path_buf());
+        inner.file = file; // old handle drops (everything durable is synced)
+        Ok(old_path)
+    }
+
     /// Bytes currently buffered in memory (not yet handed to the OS).
     pub fn buffered_bytes(&self) -> usize {
         self.inner.lock().buf.len()
@@ -99,7 +134,11 @@ impl LogWriter {
 impl LogSink for LogWriter {
     fn log_commit(&self, tid: TidWord, records: &[RedoRecord]) {
         let mut inner = self.inner.lock();
-        let written = codec::encode_batch(&mut inner.buf, tid, records);
+        let written =
+            codec::encode_batch_accounted(&mut inner.buf, tid, records, |record, bytes| {
+                self.stats
+                    .record_table_bytes(record.reactor, &record.relation, bytes);
+            });
         self.stats
             .record_batch(written as u64, records.len() as u64);
         if self.mode == DurabilityMode::Buffered && inner.buf.len() >= BUFFERED_FLUSH_BYTES {
