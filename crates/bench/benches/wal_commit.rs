@@ -11,12 +11,23 @@
 //! on every handle (Silo-faithful durable ack, the group commit amortized
 //! over the whole batch). Pipelining should win despite paying for
 //! durability.
+//!
+//! The `delta` section measures what delta redo logging is for: an
+//! update-heavy workload over *wide* rows (one small counter field changes
+//! per transaction) with full-image logging vs. field-level delta logging.
+//! Log bytes per committed transaction are recorded into `CRITERION_JSON`
+//! (CI's `BENCH_results.json`), and the run **asserts** the ≥2x
+//! bytes-per-txn reduction the delta format exists to deliver — byte
+//! counts are deterministic, so this is a hard gate, not a flaky timing
+//! check.
 
 use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use reactdb_common::{DeploymentConfig, DurabilityConfig, Value};
+use reactdb_common::{DeploymentConfig, DurabilityConfig, Key, Value};
+use reactdb_core::{ReactorDatabaseSpec, ReactorType};
 use reactdb_engine::{Call, ReactDB};
+use reactdb_storage::{ColumnType, RelationDef, Schema, Tuple};
 use reactdb_workloads::smallbank::{self, customer_name};
 
 const CUSTOMERS: usize = 8;
@@ -155,5 +166,158 @@ fn bench_durable_ack(c: &mut Criterion) {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
-criterion_group!(benches, bench_wal, bench_durable_ack);
+// ---------------------------------------------------------------------------
+// Delta logging: bytes per committed transaction on wide rows
+// ---------------------------------------------------------------------------
+
+/// Transactions per delta-vs-full measurement.
+const DELTA_TXNS: usize = 512;
+/// Width of each filler column (the part a full image re-logs every time).
+const PAD: usize = 64;
+
+/// A ledger reactor with one wide row: id, eight 64-byte filler columns,
+/// and one counter. `bump` increments the counter — the canonical
+/// small-field-update-over-wide-row shape (smallbank balances, TPC-C
+/// stock/district counters, here exaggerated so the log-volume difference
+/// is unmistakable).
+fn ledger_spec() -> ReactorDatabaseSpec {
+    let mut columns: Vec<(String, ColumnType)> = vec![("id".into(), ColumnType::Int)];
+    for i in 0..8 {
+        columns.push((format!("pad{i}"), ColumnType::Str));
+    }
+    columns.push(("counter".into(), ColumnType::Float));
+    let column_refs: Vec<(&str, ColumnType)> =
+        columns.iter().map(|(n, t)| (n.as_str(), *t)).collect();
+    let ledger = ReactorType::new("Ledger")
+        .with_relation(RelationDef::new("wide", Schema::of(&column_refs, &["id"])))
+        .with_procedure("bump", |ctx, args| {
+            let amount = args[0].as_float();
+            let row = ctx.update_with("wide", &Key::Int(0), |t| {
+                let arity = t.arity();
+                let cur = t.at(arity - 1).as_float();
+                t.values_mut()[arity - 1] = Value::Float(cur + amount);
+            })?;
+            Ok(Value::Float(row.at(row.arity() - 1).as_float()))
+        });
+    let mut spec = ReactorDatabaseSpec::new();
+    spec.add_type(ledger);
+    spec.add_reactor("ledger-0", "Ledger");
+    spec
+}
+
+fn load_ledger(db: &ReactDB) {
+    let mut values = vec![Value::Int(0)];
+    for i in 0..8u8 {
+        values.push(Value::Str(
+            std::iter::repeat_n(char::from(b'a' + i), PAD).collect(),
+        ));
+    }
+    values.push(Value::Float(0.0));
+    db.load_row("ledger-0", "wide", Tuple::of(values)).unwrap();
+}
+
+/// Runs `DELTA_TXNS` counter bumps and returns the log bytes per committed
+/// transaction (excluding the load).
+fn measure_bytes_per_txn(durability: DurabilityConfig) -> f64 {
+    let config = DeploymentConfig::shared_everything_with_affinity(1).with_durability(durability);
+    let db = ReactDB::boot(ledger_spec(), config);
+    load_ledger(&db);
+    let base = db.stats().log_bytes();
+    for _ in 0..DELTA_TXNS {
+        db.invoke("ledger-0", "bump", vec![Value::Float(1.0)])
+            .unwrap();
+    }
+    db.wal_sync().unwrap();
+    let bytes = db.stats().log_bytes() - base;
+    let saved = db.stats().log_bytes_saved();
+    let deltas = db.stats().log_delta_records();
+    drop(db);
+    println!(
+        "wal/delta: {bytes} log bytes over {DELTA_TXNS} txns \
+         ({deltas} delta records, {saved} bytes saved)"
+    );
+    bytes as f64 / DELTA_TXNS as f64
+}
+
+/// Appends a machine-readable result line next to the criterion shim's
+/// output (same JSON-lines schema and escaping — the shim's writer is
+/// reused — with the value carried in `ns_per_iter`) so CI's
+/// `BENCH_results.json` records the log-volume trajectory per commit.
+fn emit_metric(name: &str, value: f64, iterations: usize) {
+    let Ok(path) = std::env::var("CRITERION_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    criterion::append_json_line(&path, name, value, iterations as u64);
+}
+
+fn bench_delta_log_volume(c: &mut Criterion) {
+    let full_dir = bench_dir("delta-off");
+    let full = measure_bytes_per_txn(DurabilityConfig::epoch_sync(&full_dir).with_interval_ms(0));
+    let _ = std::fs::remove_dir_all(&full_dir);
+
+    let delta_dir = bench_dir("delta-on");
+    let delta = measure_bytes_per_txn(
+        DurabilityConfig::epoch_sync(&delta_dir)
+            .with_interval_ms(0)
+            .with_delta_logging(true),
+    );
+    let _ = std::fs::remove_dir_all(&delta_dir);
+
+    let packed_dir = bench_dir("delta-compressed");
+    let packed = measure_bytes_per_txn(
+        DurabilityConfig::epoch_sync(&packed_dir)
+            .with_interval_ms(0)
+            .with_delta_logging(true)
+            .with_compression(true),
+    );
+    let _ = std::fs::remove_dir_all(&packed_dir);
+
+    println!(
+        "wal/delta: log bytes per txn — full {full:.1}, delta {delta:.1}, \
+         delta+rle {packed:.1} ({:.1}x reduction)",
+        full / delta
+    );
+    emit_metric("wal/update_log_bytes_per_txn_full", full, DELTA_TXNS);
+    emit_metric("wal/update_log_bytes_per_txn_delta", delta, DELTA_TXNS);
+    emit_metric("wal/update_log_bytes_per_txn_delta_rle", packed, DELTA_TXNS);
+    // The acceptance gate: the whole point of the format. Byte counts are
+    // deterministic, so a regression here is a real format regression.
+    assert!(
+        full >= 2.0 * delta,
+        "delta logging must at least halve log bytes per update txn on \
+         wide rows: full {full:.1} vs delta {delta:.1}"
+    );
+    assert!(
+        packed <= delta,
+        "record compression must never grow the log: delta {delta:.1} vs \
+         delta+rle {packed:.1}"
+    );
+
+    // Commit latency with the diff + delta encode on the hot path.
+    let dir = bench_dir("delta-commit-latency");
+    let db = ReactDB::boot(
+        ledger_spec(),
+        DeploymentConfig::shared_everything_with_affinity(1)
+            .with_durability(DurabilityConfig::epoch_sync(&dir).with_delta_logging(true)),
+    );
+    load_ledger(&db);
+    c.bench_function("wal/wide_row_bump_delta_logged", |b| {
+        b.iter(|| {
+            db.invoke("ledger-0", "bump", vec![Value::Float(0.5)])
+                .unwrap()
+        })
+    });
+    drop(db);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(
+    benches,
+    bench_wal,
+    bench_durable_ack,
+    bench_delta_log_volume
+);
 criterion_main!(benches);

@@ -111,6 +111,21 @@ pub struct DurabilityConfig {
     /// background daemon; syncs then happen only on explicit request (used
     /// by deterministic tests) and on clean shutdown.
     pub group_commit_interval_ms: u64,
+    /// Delta redo logging: repeat updates of a row ship only the changed
+    /// fields (a field-level delta against the overwritten image) instead of
+    /// the full row image. Inserts, deletes and the first touch of a key
+    /// since the writer's segment rotation stay full-image, so every delta
+    /// chain in a surviving segment generation is rooted in a full image
+    /// (or in a checkpoint row). Only effective under
+    /// [`DurabilityMode::EpochSync`]: buffered-mode flushes are per-writer
+    /// and could persist a delta without its cross-writer base.
+    #[serde(default)]
+    pub delta_logging: bool,
+    /// Record-level compression of redo frame bodies (RLE / zero
+    /// suppression). Applied to full images and delta bodies alike, only
+    /// when the compressed form is actually smaller.
+    #[serde(default)]
+    pub compress_records: bool,
 }
 
 impl Default for DurabilityConfig {
@@ -119,6 +134,8 @@ impl Default for DurabilityConfig {
             mode: DurabilityMode::Off,
             log_dir: None,
             group_commit_interval_ms: 10,
+            delta_logging: false,
+            compress_records: false,
         }
     }
 }
@@ -135,6 +152,7 @@ impl DurabilityConfig {
             mode: DurabilityMode::Buffered,
             log_dir: Some(log_dir.into()),
             group_commit_interval_ms: 0,
+            ..Self::default()
         }
     }
 
@@ -145,12 +163,27 @@ impl DurabilityConfig {
             mode: DurabilityMode::EpochSync,
             log_dir: Some(log_dir.into()),
             group_commit_interval_ms: 10,
+            ..Self::default()
         }
     }
 
     /// Sets the group-commit daemon period (`0` = manual syncs only).
     pub fn with_interval_ms(mut self, ms: u64) -> Self {
         self.group_commit_interval_ms = ms;
+        self
+    }
+
+    /// Enables or disables field-level delta redo logging (see
+    /// [`DurabilityConfig::delta_logging`]).
+    pub fn with_delta_logging(mut self, on: bool) -> Self {
+        self.delta_logging = on;
+        self
+    }
+
+    /// Enables or disables record-level RLE compression of redo frame
+    /// bodies (see [`DurabilityConfig::compress_records`]).
+    pub fn with_compression(mut self, on: bool) -> Self {
+        self.compress_records = on;
         self
     }
 
@@ -466,6 +499,53 @@ mod tests {
         assert_eq!(cfg.container_count(), 2);
         assert_eq!(cfg.container_of_reactor(2, 3), ContainerId(1));
         assert_eq!(cfg.container_of_reactor(1, 3), ContainerId(0));
+    }
+
+    #[test]
+    fn durability_delta_and_compression_builders_roundtrip() {
+        let durability = DurabilityConfig::epoch_sync("/tmp/x")
+            .with_delta_logging(true)
+            .with_compression(true);
+        assert!(durability.delta_logging && durability.compress_records);
+        assert!(
+            !DurabilityConfig::off().delta_logging && !DurabilityConfig::off().compress_records,
+            "delta logging and compression are opt-in"
+        );
+        let cfg = DeploymentConfig::shared_nothing(2).with_durability(durability);
+        let back = DeploymentConfig::from_json(&cfg.to_json()).unwrap();
+        assert_eq!(cfg, back);
+    }
+
+    #[test]
+    fn config_json_written_before_the_delta_knobs_still_parses() {
+        // Serialize, then strip the new fields as an old config file would
+        // lack them: `#[serde(default)]` must fill them in as off.
+        let cfg = DeploymentConfig::shared_nothing(2)
+            .with_durability(DurabilityConfig::epoch_sync("/tmp/x"));
+        let json = cfg.to_json();
+        let kept: Vec<&str> = json
+            .lines()
+            .filter(|l| !l.contains("delta_logging") && !l.contains("compress_records"))
+            .collect();
+        // Stripping the last fields of an object leaves a trailing comma;
+        // drop it where the next kept line closes the object.
+        let old_json: String = kept
+            .iter()
+            .enumerate()
+            .map(|(i, line)| {
+                let closes_next = kept
+                    .get(i + 1)
+                    .is_some_and(|next| next.trim_start().starts_with('}'));
+                if closes_next {
+                    line.trim_end().trim_end_matches(',').to_owned()
+                } else {
+                    (*line).to_owned()
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        let back = DeploymentConfig::from_json(&old_json).unwrap();
+        assert_eq!(back, cfg, "missing knobs default to off");
     }
 
     #[test]

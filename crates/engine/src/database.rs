@@ -195,33 +195,57 @@ impl ReactDB {
                 // different deployment of the same reactor database. A
                 // record for a reactor the new spec does not declare has no
                 // home; skip it rather than guess (the logged container id
-                // belongs to the *old* deployment).
-                let replay_one =
-                    |tid: reactdb_storage::TidWord, record: &reactdb_txn::RedoRecord| {
-                        let Some(container) =
-                            container_of_reactor.get(record.reactor.index()).copied()
-                        else {
-                            return;
-                        };
-                        if let Ok(table) = containers[container.index()]
-                            .partition()
-                            .table(record.reactor, &record.relation)
-                        {
-                            table.replay(&record.key, record.image.as_ref(), tid);
-                        }
+                // belongs to the *old* deployment). Full images and
+                // tombstones replay idempotently; a delta record whose base
+                // image is missing or mismatched is a broken chain and
+                // *fails* recovery — surfacing the corruption beats
+                // recovering plausible-but-wrong rows.
+                let replay_one = |tid: reactdb_storage::TidWord,
+                                  record: &reactdb_txn::RedoRecord|
+                 -> std::io::Result<()> {
+                    let Some(container) = container_of_reactor.get(record.reactor.index()).copied()
+                    else {
+                        return Ok(());
                     };
+                    if let Ok(table) = containers[container.index()]
+                        .partition()
+                        .table(record.reactor, &record.relation)
+                    {
+                        match &record.payload {
+                            reactdb_txn::RedoPayload::Full(image) => {
+                                table.replay(&record.key, Some(image), tid);
+                            }
+                            reactdb_txn::RedoPayload::Delete => {
+                                table.replay(&record.key, None, tid);
+                            }
+                            reactdb_txn::RedoPayload::Delta(row_delta) => {
+                                table
+                                    .replay_delta(
+                                        &record.key,
+                                        row_delta.base,
+                                        &row_delta.delta,
+                                        tid,
+                                    )
+                                    .map_err(|e| {
+                                        std::io::Error::other(format!("corrupt delta chain: {e}"))
+                                    })?;
+                            }
+                        }
+                    }
+                    Ok(())
+                };
                 // Base state first: the newest complete checkpoint fully
                 // covers every epoch <= its stamp. The log tail then layers
                 // on top; TID-aware replay resolves the fuzzy overlap.
                 if let Some(checkpoint) = &recovered.checkpoint {
                     for (tid, record) in &checkpoint.rows {
-                        replay_one(*tid, record);
+                        replay_one(*tid, record)?;
                     }
                     stats.record_recovered_checkpoint_rows(checkpoint.rows.len() as u64);
                 }
                 for (tid, records) in &recovered.batches {
                     for record in records {
-                        replay_one(*tid, record);
+                        replay_one(*tid, record)?;
                     }
                 }
                 // Resume beyond every epoch observed in the log (durable or
@@ -476,7 +500,7 @@ impl ReactDB {
                 reactor: reactor_id,
                 relation: relation.to_owned(),
                 key,
-                image: Some(row),
+                payload: reactdb_txn::RedoPayload::Full(row),
             }],
         );
         Ok(())
@@ -1209,6 +1233,50 @@ mod tests {
             recovered.invoke("acct-0", "balance", vec![]).unwrap(),
             Value::Float(17.0)
         );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn delta_logging_shrinks_the_log_and_recovers_identically() {
+        use reactdb_common::DurabilityConfig;
+        let dir = wal_dir("delta-roundtrip");
+        let config = DeploymentConfig::shared_everything_with_affinity(1).with_durability(
+            DurabilityConfig::epoch_sync(&dir)
+                .with_interval_ms(0)
+                .with_delta_logging(true),
+        );
+        let db = boot(config.clone());
+        // Repeat updates of one balance row: everything after the insert
+        // ships as a field-level delta.
+        for _ in 0..20 {
+            db.invoke("acct-0", "deposit", vec![Value::Float(1.0)])
+                .unwrap();
+        }
+        assert!(
+            db.stats().log_delta_records() >= 19,
+            "repeat updates are delta-logged, got {}",
+            db.stats().log_delta_records()
+        );
+        assert!(db.stats().log_bytes_saved() > 0);
+        db.wal_sync().unwrap();
+        db.invoke("acct-0", "deposit", vec![Value::Float(500.0)])
+            .unwrap();
+        db.simulate_crash();
+
+        let recovered = ReactDB::recover(bank_spec(), config).unwrap();
+        assert_eq!(
+            recovered.invoke("acct-0", "balance", vec![]).unwrap(),
+            Value::Float(20.0),
+            "delta chains replay to the exact durable state"
+        );
+        // The recovered instance keeps delta-logging new commits.
+        recovered
+            .invoke("acct-0", "deposit", vec![Value::Float(1.0)])
+            .unwrap();
+        recovered
+            .invoke("acct-0", "deposit", vec![Value::Float(1.0)])
+            .unwrap();
+        assert!(recovered.stats().log_delta_records() >= 1);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -187,6 +187,17 @@ impl DbStats {
     pub fn log_records(&self) -> u64 {
         self.wal.get().map(|w| w.records_logged()).unwrap_or(0)
     }
+    /// Redo records shipped as field-level deltas instead of full row
+    /// images (0 when delta logging is off).
+    pub fn log_delta_records(&self) -> u64 {
+        self.wal.get().map(|w| w.delta_records()).unwrap_or(0)
+    }
+    /// Log bytes saved by delta records relative to full-image encodings of
+    /// the same rows. `log_bytes + log_bytes_saved` approximates what the
+    /// same history would have cost with delta logging off.
+    pub fn log_bytes_saved(&self) -> u64 {
+        self.wal.get().map(|w| w.delta_bytes_saved()).unwrap_or(0)
+    }
     /// Group commits (flush + fsync + durable-epoch advance) performed.
     pub fn log_syncs(&self) -> u64 {
         self.wal.get().map(|w| w.syncs()).unwrap_or(0)

@@ -147,8 +147,10 @@ fn emit_json_line(name: &str, ns_per_iter: f64, iterations: u64) {
 
 /// The env-independent writer behind [`emit_json_line`] (separated so tests
 /// need not touch the process-global env var, which sibling tests that also
-/// bench would race).
-fn append_json_line(path: &str, name: &str, ns_per_iter: f64, iterations: u64) {
+/// bench would race). Public so bench code can record custom metrics (e.g.
+/// log bytes per transaction) into the same JSON-lines file with the same
+/// escaping, instead of hand-rolling the schema.
+pub fn append_json_line(path: &str, name: &str, ns_per_iter: f64, iterations: u64) {
     // Bench names in this workspace are static identifiers; escape the two
     // JSON-significant characters anyway so the output always parses.
     let escaped = name.replace('\\', "\\\\").replace('"', "\\\"");

@@ -86,11 +86,14 @@ pub fn content_field<'a>(
     name: &str,
     ty: &str,
 ) -> Result<&'a Content, DeError> {
-    entries
-        .iter()
-        .find(|(k, _)| k == name)
-        .map(|(_, v)| v)
+    content_field_opt(entries, name)
         .ok_or_else(|| DeError(format!("missing field `{name}` while deserializing {ty}")))
+}
+
+/// Optional field lookup behind `#[serde(default)]`: a missing entry is
+/// `None` (the derived impl then falls back to `Default::default()`).
+pub fn content_field_opt<'a>(entries: &'a [(String, Content)], name: &str) -> Option<&'a Content> {
+    entries.iter().find(|(k, _)| k == name).map(|(_, v)| v)
 }
 
 /// Serialization into the [`Content`] tree model.

@@ -9,15 +9,26 @@
 //! * unit structs,
 //! * enums with unit, newtype, tuple and struct variants,
 //!
-//! following serde's externally-tagged representation. Generic types are not
-//! supported and produce a compile error.
+//! following serde's externally-tagged representation, plus the
+//! `#[serde(default)]` field attribute (a missing map entry deserializes
+//! via `Default::default()` — what keeps configuration JSON written before
+//! a field existed parseable). Generic types are not supported and produce
+//! a compile error.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 #[derive(Debug)]
+struct NamedField {
+    name: String,
+    /// True when the field carries `#[serde(default)]`: a missing map
+    /// entry falls back to `Default::default()` instead of erroring.
+    default: bool,
+}
+
+#[derive(Debug)]
 enum Fields {
     /// Named fields, in declaration order.
-    Named(Vec<String>),
+    Named(Vec<NamedField>),
     /// Tuple fields; only the count matters.
     Tuple(usize),
     /// No fields.
@@ -101,12 +112,28 @@ fn parse_input(input: TokenStream) -> Result<Input, String> {
 }
 
 fn skip_attributes(tokens: &[TokenTree], i: &mut usize) {
+    take_attributes(tokens, i);
+}
+
+/// Advances past attributes like [`skip_attributes`], additionally
+/// reporting whether a `#[serde(default)]` was among them.
+fn take_attributes(tokens: &[TokenTree], i: &mut usize) -> bool {
+    let mut has_default = false;
     while matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
         *i += 1;
-        if matches!(tokens.get(*i), Some(TokenTree::Group(_))) {
+        if let Some(TokenTree::Group(attr)) = tokens.get(*i) {
+            let inner: Vec<TokenTree> = attr.stream().into_iter().collect();
+            if matches!(inner.first(), Some(TokenTree::Ident(id)) if id.to_string() == "serde") {
+                if let Some(TokenTree::Group(args)) = inner.get(1) {
+                    has_default |= args.stream().into_iter().any(
+                        |tok| matches!(&tok, TokenTree::Ident(id) if id.to_string() == "default"),
+                    );
+                }
+            }
             *i += 1;
         }
     }
+    has_default
 }
 
 fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
@@ -136,12 +163,12 @@ fn parse_struct_body(tokens: &[TokenTree], i: &mut usize) -> Result<Fields, Stri
 
 /// Parses `name: Type, ...` field lists, skipping attributes, visibility and
 /// type tokens (commas inside generic angle brackets are not separators).
-fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<NamedField>, String> {
     let tokens: Vec<TokenTree> = stream.into_iter().collect();
-    let mut names = Vec::new();
+    let mut fields = Vec::new();
     let mut i = 0usize;
     while i < tokens.len() {
-        skip_attributes(&tokens, &mut i);
+        let default = take_attributes(&tokens, &mut i);
         skip_visibility(&tokens, &mut i);
         let name = match tokens.get(i) {
             Some(TokenTree::Ident(id)) => id.to_string(),
@@ -157,10 +184,10 @@ fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
                 ))
             }
         }
-        names.push(name);
+        fields.push(NamedField { name, default });
         skip_type(&tokens, &mut i);
     }
-    Ok(names)
+    Ok(fields)
 }
 
 /// Advances past a type, stopping after the next top-level `,` (or at the
@@ -238,6 +265,7 @@ fn gen_serialize(input: &Input) -> String {
             let entries: Vec<String> = fields
                 .iter()
                 .map(|f| {
+                    let f = &f.name;
                     format!(
                         "(::std::string::String::from({f:?}), \
                          ::serde::Serialize::serialize_content(&self.{f}))"
@@ -283,10 +311,15 @@ fn gen_serialize(input: &Input) -> String {
                         )
                     }
                     Fields::Named(fs) => {
-                        let binders = fs.join(", ");
+                        let binders = fs
+                            .iter()
+                            .map(|f| f.name.as_str())
+                            .collect::<Vec<_>>()
+                            .join(", ");
                         let entries: Vec<String> = fs
                             .iter()
                             .map(|f| {
+                                let f = &f.name;
                                 format!(
                                     "(::std::string::String::from({f:?}), \
                                      ::serde::Serialize::serialize_content({f}))"
@@ -316,19 +349,32 @@ fn gen_serialize(input: &Input) -> String {
 // Code generation: Deserialize
 // ---------------------------------------------------------------------------
 
+/// Deserialization initializer of one named field: `#[serde(default)]`
+/// fields tolerate a missing map entry by falling back to
+/// `Default::default()`.
+fn named_field_init(field: &NamedField, ty: &str) -> String {
+    let f = &field.name;
+    if field.default {
+        format!(
+            "{f}: match ::serde::content_field_opt(entries, {f:?}) {{\
+             ::std::option::Option::Some(v) => \
+             ::serde::Deserialize::deserialize_content(v)?,\
+             ::std::option::Option::None => ::std::default::Default::default(),\
+             }},"
+        )
+    } else {
+        format!(
+            "{f}: ::serde::Deserialize::deserialize_content(\
+             ::serde::content_field(entries, {f:?}, {ty:?})?)?,"
+        )
+    }
+}
+
 fn gen_deserialize(input: &Input) -> String {
     let name = &input.name;
     let body = match &input.shape {
         Shape::Struct(Fields::Named(fields)) => {
-            let inits: Vec<String> = fields
-                .iter()
-                .map(|f| {
-                    format!(
-                        "{f}: ::serde::Deserialize::deserialize_content(\
-                         ::serde::content_field(entries, {f:?}, {name:?})?)?,"
-                    )
-                })
-                .collect();
+            let inits: Vec<String> = fields.iter().map(|f| named_field_init(f, name)).collect();
             format!(
                 "let entries = content.as_map().ok_or_else(|| \
                  ::serde::DeError::expected(\"map\", {name:?}))?;\n\
@@ -396,10 +442,8 @@ fn gen_deserialize(input: &Input) -> String {
                         let inits: Vec<String> = fs
                             .iter()
                             .map(|f| {
-                                format!(
-                                    "{f}: ::serde::Deserialize::deserialize_content(\
-                                     ::serde::content_field(fields, {f:?}, {name:?})?)?,"
-                                )
+                                let init = named_field_init(f, name);
+                                init.replace("(entries,", "(fields,")
                             })
                             .collect();
                         format!(

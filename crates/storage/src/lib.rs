@@ -32,6 +32,6 @@ pub use index::{IndexNode, NodeBump, NodeObservation, NodeRef, UpdateOutcome, Ve
 pub use partition::Partition;
 pub use record::{Record, RecordRef};
 pub use schema::{Column, ColumnType, RelationDef, Schema};
-pub use table::{FenceEffect, SecondaryIndexDef, SnapshotChunk, Table};
+pub use table::{FenceEffect, ReplayError, SecondaryIndexDef, SnapshotChunk, Table};
 pub use tid::TidWord;
-pub use tuple::Tuple;
+pub use tuple::{Tuple, TupleDelta};

@@ -51,6 +51,10 @@ pub(crate) struct WriteEntry {
     /// Image of the row before this transaction (None when inserting into a
     /// previously absent slot); needed for secondary-index maintenance.
     pub before: Option<Tuple>,
+    /// Version carrying `before` when it was captured. Read validation pins
+    /// it (the record must still hold this version at commit), which is
+    /// what makes it a sound base for delta redo records.
+    pub before_tid: TidWord,
     pub kind: WriteKind,
 }
 
@@ -232,11 +236,13 @@ impl OccTxn {
                     // Delete-then-insert within one transaction becomes an
                     // update of the existing slot.
                     let before = self.writes[idx].before.clone();
+                    let before_tid = self.writes[idx].before_tid;
                     self.writes[idx] = WriteEntry {
                         table: Arc::clone(table),
                         key,
                         record: Arc::clone(&self.writes[idx].record),
                         before,
+                        before_tid,
                         kind: WriteKind::Update(row),
                     };
                     return Ok(());
@@ -269,6 +275,7 @@ impl OccTxn {
             key,
             record,
             before: None,
+            before_tid: tid,
             kind: WriteKind::Insert(row),
         });
         Ok(())
@@ -315,6 +322,7 @@ impl OccTxn {
             key,
             record,
             before: Some(before),
+            before_tid: tid,
             kind: WriteKind::Update(row),
         });
         Ok(())
@@ -372,6 +380,7 @@ impl OccTxn {
             key: key.clone(),
             record,
             before: Some(before),
+            before_tid: tid,
             kind: WriteKind::Delete,
         });
         Ok(())

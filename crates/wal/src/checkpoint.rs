@@ -384,7 +384,7 @@ impl Checkpointer {
                             reactor: entry.reactor,
                             relation: entry.relation.clone(),
                             key,
-                            image: Some(image),
+                            payload: reactdb_txn::RedoPayload::Full(image),
                         }],
                     );
                 }
@@ -576,6 +576,7 @@ mod tests {
             mode: DurabilityMode::EpochSync,
             log_dir: Some(dir.to_string_lossy().into_owned()),
             group_commit_interval_ms: 0,
+            ..DurabilityConfig::default()
         };
         let epoch = Arc::new(EpochManager::new());
         let wal = Wal::open(&config, 1, Arc::clone(&epoch)).unwrap().unwrap();
@@ -589,7 +590,10 @@ mod tests {
             reactor: ReactorId(0),
             relation: "savings".into(),
             key: Key::Int(key),
-            image: Some(Tuple::of([Value::Int(key), Value::Float(value)])),
+            payload: reactdb_txn::RedoPayload::Full(Tuple::of([
+                Value::Int(key),
+                Value::Float(value),
+            ])),
         };
         let mut seq = 0u64;
         let mut commit = |key: i64, value: f64| {
@@ -598,7 +602,7 @@ mod tests {
             let record = make_record(key, value);
             use reactdb_txn::LogSink;
             wal.writer(0).log_commit(tid, std::slice::from_ref(&record));
-            table.replay(&record.key, record.image.as_ref(), tid);
+            table.replay(&record.key, record.image(), tid);
         };
 
         // A multi-epoch history: 60 commits over several synced epochs.
@@ -660,11 +664,11 @@ mod tests {
         // Replaying checkpoint + tail reproduces the pre-crash state.
         let replayed = Table::new("savings", schema);
         for (tid, record) in &loaded.rows {
-            replayed.replay(&record.key, record.image.as_ref(), *tid);
+            replayed.replay(&record.key, record.image(), *tid);
         }
         for (tid, records) in &recovered.batches {
             for record in records {
-                replayed.replay(&record.key, record.image.as_ref(), *tid);
+                replayed.replay(&record.key, record.image(), *tid);
             }
         }
         assert_eq!(replayed.visible_len(), table.visible_len());
@@ -723,6 +727,7 @@ mod tests {
             mode: DurabilityMode::EpochSync,
             log_dir: Some(dir.to_string_lossy().into_owned()),
             group_commit_interval_ms: 0,
+            ..DurabilityConfig::default()
         };
         let epoch = Arc::new(EpochManager::new());
         let wal = Wal::open(&config, 1, Arc::clone(&epoch)).unwrap().unwrap();

@@ -237,7 +237,7 @@ impl Wal {
                 &path,
                 executor,
                 generation,
-                config.mode,
+                config,
                 Arc::clone(&stats),
             )?));
         }
@@ -895,7 +895,10 @@ mod tests {
             reactor: ReactorId(reactor),
             relation: "savings".into(),
             key: Key::Int(key),
-            image: Some(Tuple::of([Value::Int(key), Value::Float(value)])),
+            payload: reactdb_txn::RedoPayload::Full(Tuple::of([
+                Value::Int(key),
+                Value::Float(value),
+            ])),
         }
     }
 
@@ -904,6 +907,7 @@ mod tests {
             mode,
             log_dir: Some(dir.to_string_lossy().into_owned()),
             group_commit_interval_ms: 0,
+            ..DurabilityConfig::default()
         };
         Wal::open(&config, 2, Arc::clone(epoch)).unwrap().unwrap()
     }
@@ -992,7 +996,7 @@ mod tests {
                 .batches
                 .iter()
                 .flat_map(|(_, rs)| rs.iter())
-                .all(|r| r.image.as_ref().map(|t| t.at(1).as_float()) != Some(50.0)),
+                .all(|r| r.image().map(|t| t.at(1).as_float()) != Some(50.0)),
             "discarded epoch-2 write resurfaced"
         );
         fs::remove_dir_all(&dir).unwrap();
@@ -1084,6 +1088,7 @@ mod tests {
             mode: DurabilityMode::EpochSync,
             log_dir: Some(dir.to_string_lossy().into_owned()),
             group_commit_interval_ms: 0,
+            ..DurabilityConfig::default()
         };
         assert!(
             Wal::open(&config, 1, Arc::clone(&epoch)).is_err(),
@@ -1168,6 +1173,123 @@ mod tests {
         drop(wal);
         let recovered = recover_and_compact(&dir, DurabilityMode::Buffered).unwrap();
         assert_eq!(recovered.batches.len(), 1, "the flush reached the OS");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn delta_writer_roots_chains_and_rebases_after_rotation() {
+        use reactdb_txn::{LogSink, RedoPayload, RowDelta};
+        let dir = temp_dir("delta-rebase");
+        let epoch = Arc::new(EpochManager::new());
+        let config = DurabilityConfig {
+            mode: DurabilityMode::EpochSync,
+            log_dir: Some(dir.to_string_lossy().into_owned()),
+            group_commit_interval_ms: 0,
+            delta_logging: true,
+            ..DurabilityConfig::default()
+        };
+        let wal = Wal::open(&config, 1, Arc::clone(&epoch)).unwrap().unwrap();
+        assert!(wal.writer(0).delta_logging());
+
+        let image = |v: f64| {
+            Tuple::of([
+                Value::Int(1),
+                Value::Str("wide-filler-wide-filler-wide-filler".into()),
+                Value::Float(v),
+            ])
+        };
+        let delta_record = |base: TidWord, before: &Tuple, after: &Tuple| RedoRecord {
+            container: ContainerId(0),
+            reactor: ReactorId(0),
+            relation: "savings".into(),
+            key: Key::Int(1),
+            payload: RedoPayload::Delta(RowDelta {
+                base,
+                delta: reactdb_storage::TupleDelta::diff(before, after).unwrap(),
+                image: Some(after.clone()),
+            }),
+        };
+        let full_record = |after: &Tuple| RedoRecord {
+            container: ContainerId(0),
+            reactor: ReactorId(0),
+            relation: "savings".into(),
+            key: Key::Int(1),
+            payload: RedoPayload::Full(after.clone()),
+        };
+
+        let (v1, v2, v3, v4) = (image(1.0), image(2.0), image(3.0), image(4.0));
+        // Insert logs full and roots the key; the repeat update stays a
+        // delta.
+        wal.writer(0)
+            .log_commit(TidWord::committed(1, 1), &[full_record(&v1)]);
+        wal.writer(0).log_commit(
+            TidWord::committed(1, 2),
+            &[delta_record(TidWord::committed(1, 1), &v1, &v2)],
+        );
+        assert_eq!(wal.stats().delta_records(), 1);
+        assert!(
+            wal.stats().delta_bytes_saved() > 0,
+            "a one-field delta over a wide row saves bytes"
+        );
+        epoch.advance();
+        wal.sync().unwrap();
+
+        // Rotation clears the roots: the next delta for the key is re-based
+        // to a full image even though the coordinator shipped a delta.
+        wal.rotate_segments().unwrap();
+        wal.writer(0).log_commit(
+            TidWord::committed(2, 1),
+            &[delta_record(TidWord::committed(1, 2), &v2, &v3)],
+        );
+        assert_eq!(
+            wal.stats().delta_records(),
+            1,
+            "the first post-rotation touch is re-based, not delta-logged"
+        );
+        // ...and the key is rooted again, so the next update is a delta.
+        wal.writer(0).log_commit(
+            TidWord::committed(2, 2),
+            &[delta_record(TidWord::committed(2, 1), &v3, &v4)],
+        );
+        assert_eq!(wal.stats().delta_records(), 2);
+        epoch.advance();
+        wal.sync().unwrap();
+        drop(wal); // crash
+
+        // Recovery: the decoded chain replays to the exact final image.
+        let recovered = recover_and_compact(&dir, DurabilityMode::EpochSync).unwrap();
+        assert_eq!(recovered.batches.len(), 4);
+        let kinds: Vec<bool> = recovered
+            .batches
+            .iter()
+            .map(|(_, records)| records[0].is_delta())
+            .collect();
+        assert_eq!(
+            kinds,
+            vec![false, true, false, true],
+            "full roots bracket the rotation; deltas ride on them"
+        );
+        let schema = reactdb_storage::Schema::of(
+            &[
+                ("id", reactdb_storage::ColumnType::Int),
+                ("pad", reactdb_storage::ColumnType::Str),
+                ("v", reactdb_storage::ColumnType::Float),
+            ],
+            &["id"],
+        );
+        let table = reactdb_storage::Table::new("savings", schema);
+        for (tid, records) in &recovered.batches {
+            for r in records {
+                match &r.payload {
+                    RedoPayload::Full(t) => table.replay(&r.key, Some(t), *tid),
+                    RedoPayload::Delete => table.replay(&r.key, None, *tid),
+                    RedoPayload::Delta(d) => {
+                        table.replay_delta(&r.key, d.base, &d.delta, *tid).unwrap()
+                    }
+                }
+            }
+        }
+        assert_eq!(table.get(&Key::Int(1)).unwrap().read_unguarded(), v4);
         fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -30,6 +30,8 @@ pub struct WalStats {
     bytes_logged: AtomicU64,
     records_logged: AtomicU64,
     batches_logged: AtomicU64,
+    delta_records: AtomicU64,
+    delta_bytes_saved: AtomicU64,
     syncs: AtomicU64,
     sync_failures: AtomicU64,
     durable_epoch: AtomicU64,
@@ -62,6 +64,14 @@ impl WalStats {
         let entry = map.entry((reactor, relation.to_owned())).or_insert((0, 0));
         entry.0 += bytes;
         entry.1 += 1;
+    }
+
+    /// Records one redo record shipped as a field-level delta, with the
+    /// bytes it saved relative to the full-image encoding of the same row.
+    pub(crate) fn record_delta(&self, bytes_saved: u64) {
+        self.delta_records.fetch_add(1, Ordering::Relaxed);
+        self.delta_bytes_saved
+            .fetch_add(bytes_saved, Ordering::Relaxed);
     }
 
     pub(crate) fn record_sync(&self, durable_epoch: u64) {
@@ -113,6 +123,19 @@ impl WalStats {
     /// Total commit batches logged.
     pub fn batches_logged(&self) -> u64 {
         self.batches_logged.load(Ordering::Relaxed)
+    }
+
+    /// Redo records shipped as field-level deltas instead of full images.
+    pub fn delta_records(&self) -> u64 {
+        self.delta_records.load(Ordering::Relaxed)
+    }
+
+    /// Log bytes saved by delta records: the full-image encoding size of
+    /// each delta-logged row minus its delta encoding size, accumulated.
+    /// Compare against [`WalStats::bytes_logged`] for the effective
+    /// commit-path bandwidth reduction.
+    pub fn delta_bytes_saved(&self) -> u64 {
+        self.delta_bytes_saved.load(Ordering::Relaxed)
     }
 
     /// Number of group commits (flush + fsync + marker advance) performed.

@@ -11,16 +11,35 @@
 //! ([`LogWriter::swap_file`]): the checkpointer rotates every writer right
 //! after a group commit so retired segments end at a durable boundary and
 //! become eligible for truncation once a later checkpoint covers them.
+//!
+//! # Delta logging and re-basing
+//!
+//! With delta logging active, repeat updates arrive from the coordinator as
+//! [`RedoPayload::Delta`] records and are encoded as field-level delta
+//! frames. The writer enforces the chain-root invariant: a delta is only
+//! emitted for a key this writer has logged a full image for *in its
+//! current segment file* (tracked in `WriterInner::rooted`); otherwise the
+//! record is **re-based** — downgraded to the full after-image the
+//! coordinator shipped alongside the delta. Rotation clears the tracker
+//! under the same mutex that swaps the file, so the first post-rotation
+//! touch of every key is full-image again. Together with the checkpointer's
+//! cover-epoch truncation (only whole segments at or below the checkpoint
+//! epoch are deleted, and the checkpoint row then supplies the base), every
+//! delta chain recovery can encounter is rooted in a full image. Keeping
+//! the tracker per-writer (not WAL-global) makes the decision atomic with
+//! the append and the swap; routing a key's commits across executors only
+//! costs extra full images, never an unrooted chain.
 
+use std::collections::{HashMap, HashSet};
 use std::fs::File;
 use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
-use reactdb_common::DurabilityMode;
+use reactdb_common::{DurabilityConfig, DurabilityMode, Key, ReactorId};
 use reactdb_storage::TidWord;
-use reactdb_txn::{LogSink, RedoRecord};
+use reactdb_txn::{LogSink, RedoPayload, RedoRecord};
 
 use crate::codec;
 use crate::stats::WalStats;
@@ -35,6 +54,43 @@ struct WriterInner {
     buf: Vec<u8>,
     file: File,
     path: PathBuf,
+    /// Keys with a full-image root in the *current* segment file, keyed
+    /// reactor → relation → primary keys. Cleared by [`LogWriter::swap_file`]
+    /// under this same mutex (the re-basing rule).
+    rooted: HashMap<ReactorId, HashMap<String, HashSet<Key>>>,
+}
+
+impl WriterInner {
+    fn is_rooted(&self, record: &RedoRecord) -> bool {
+        self.rooted
+            .get(&record.reactor)
+            .and_then(|relations| relations.get(record.relation.as_str()))
+            .is_some_and(|keys| keys.contains(&record.key))
+    }
+
+    fn root(&mut self, record: &RedoRecord) {
+        // Steady state is "already rooted": check with borrowed lookups
+        // first so the hot path never clones the relation name or key.
+        if self.is_rooted(record) {
+            return;
+        }
+        self.rooted
+            .entry(record.reactor)
+            .or_default()
+            .entry(record.relation.clone())
+            .or_default()
+            .insert(record.key.clone());
+    }
+
+    fn unroot(&mut self, record: &RedoRecord) {
+        if let Some(keys) = self
+            .rooted
+            .get_mut(&record.reactor)
+            .and_then(|relations| relations.get_mut(record.relation.as_str()))
+        {
+            keys.remove(&record.key);
+        }
+    }
 }
 
 /// The log writer of one executor; implements [`LogSink`] for the commit
@@ -42,6 +98,14 @@ struct WriterInner {
 pub struct LogWriter {
     executor: usize,
     mode: DurabilityMode,
+    /// Delta logging is active: EpochSync mode with the config knob on.
+    /// (Buffered-mode flushes are per-writer and could persist a delta
+    /// whose cross-writer base never reached the OS, so deltas are
+    /// restricted to the epoch-fenced mode whose recovery filter makes the
+    /// base's durability imply the delta's.)
+    delta: bool,
+    /// Record-level RLE compression of frame bodies.
+    compress: bool,
     inner: Mutex<WriterInner>,
     stats: Arc<WalStats>,
 }
@@ -53,7 +117,7 @@ impl LogWriter {
         path: &Path,
         executor: usize,
         generation: u32,
-        mode: DurabilityMode,
+        config: &DurabilityConfig,
         stats: Arc<WalStats>,
     ) -> std::io::Result<Self> {
         let file = File::create(path)?;
@@ -63,13 +127,16 @@ impl LogWriter {
             buf: header,
             file,
             path: path.to_path_buf(),
+            rooted: HashMap::new(),
         };
         // The header is metadata, not redo payload: push it to the OS right
         // away (without fsync) so scans never mistake the file for garbage.
         Self::write_out(&mut inner)?;
         Ok(Self {
             executor,
-            mode,
+            mode: config.mode,
+            delta: config.delta_logging && config.mode == DurabilityMode::EpochSync,
+            compress: config.compress_records,
             inner: Mutex::new(inner),
             stats,
         })
@@ -83,6 +150,11 @@ impl LogWriter {
     /// The segment file the writer currently appends to.
     pub fn path(&self) -> PathBuf {
         self.inner.lock().path.clone()
+    }
+
+    /// True when this writer emits field-level delta frames.
+    pub fn delta_logging(&self) -> bool {
+        self.delta
     }
 
     fn write_out(inner: &mut WriterInner) -> std::io::Result<()> {
@@ -112,6 +184,11 @@ impl LogWriter {
     /// since the flush belongs to epochs the durable marker does not cover
     /// yet — it stays in the buffer and lands in the *new* file on the next
     /// flush, so the retired file never grows a tail that misses its fsync.
+    ///
+    /// The rooted-key tracker is cleared in the same mutex acquisition:
+    /// any append ordered before the swap made its delta-or-full decision
+    /// against the old file, any append ordered after starts the new file's
+    /// chains with a full image.
     pub(crate) fn swap_file(&self, path: &Path, generation: u32) -> std::io::Result<PathBuf> {
         let mut inner = self.inner.lock();
         let mut file = File::create(path)?;
@@ -122,6 +199,7 @@ impl LogWriter {
         file.write_all(&header)?;
         let old_path = std::mem::replace(&mut inner.path, path.to_path_buf());
         inner.file = file; // old handle drops (everything durable is synced)
+        inner.rooted.clear(); // re-base: first touch per key logs full again
         Ok(old_path)
     }
 
@@ -132,13 +210,58 @@ impl LogWriter {
 }
 
 impl LogSink for LogWriter {
+    fn wants_deltas(&self) -> bool {
+        self.delta
+    }
+
     fn log_commit(&self, tid: TidWord, records: &[RedoRecord]) {
         let mut inner = self.inner.lock();
-        let written =
-            codec::encode_batch_accounted(&mut inner.buf, tid, records, |record, bytes| {
+        // Render plan: decide delta-vs-full per record under the writer
+        // mutex (atomic with the append and with rotation). Downgrades are
+        // rare after warm-up, so the batch is only cloned when one occurs.
+        let mut rebased: Option<Vec<RedoRecord>> = None;
+        if self.delta {
+            for (i, record) in records.iter().enumerate() {
+                match &record.payload {
+                    RedoPayload::Delta(row_delta) => {
+                        let full_len = row_delta.image.as_ref().map(codec::encoded_tuple_len);
+                        let delta_len = codec::encoded_delta_len(&row_delta.delta);
+                        // Keep the delta only when the key has a full-image
+                        // root in this segment AND the delta actually saves
+                        // bytes; otherwise re-base to the full image.
+                        let keep =
+                            inner.is_rooted(record) && full_len.is_none_or(|full| delta_len < full);
+                        if keep {
+                            self.stats
+                                .record_delta(full_len.map_or(0, |full| (full - delta_len) as u64));
+                        } else {
+                            let image = row_delta
+                                .image
+                                .clone()
+                                .expect("commit-path delta records carry their after-image");
+                            rebased.get_or_insert_with(|| records.to_vec())[i].payload =
+                                RedoPayload::Full(image);
+                            inner.root(record);
+                        }
+                    }
+                    RedoPayload::Full(_) => inner.root(record),
+                    // A tombstone ends the chain; the slot only comes back
+                    // through an insert, which is always full-image.
+                    RedoPayload::Delete => inner.unroot(record),
+                }
+            }
+        }
+        let render = rebased.as_deref().unwrap_or(records);
+        let written = codec::encode_batch_opts(
+            &mut inner.buf,
+            tid,
+            render,
+            self.compress,
+            |record, bytes| {
                 self.stats
                     .record_table_bytes(record.reactor, &record.relation, bytes);
-            });
+            },
+        );
         self.stats
             .record_batch(written as u64, records.len() as u64);
         if self.mode == DurabilityMode::Buffered && inner.buf.len() >= BUFFERED_FLUSH_BYTES {
@@ -154,6 +277,8 @@ impl std::fmt::Debug for LogWriter {
         f.debug_struct("LogWriter")
             .field("executor", &self.executor)
             .field("mode", &self.mode)
+            .field("delta", &self.delta)
+            .field("compress", &self.compress)
             .finish()
     }
 }

@@ -5,6 +5,15 @@
 //! no-ops), or mid-truncation (a surviving subset of covered segments is
 //! equally harmless) — plus a live-writer test: a checkpoint taken under
 //! concurrent commits recovers a consistent epoch-prefix.
+//!
+//! The whole crash matrix runs twice: once with classic full-image redo
+//! logging and once with delta redo logging (+ record compression). The
+//! two runs perform the same logical history, so the recovered states must
+//! be identical *across modes* — asserted with a shared state digest over
+//! every row of every relation — which is what pins down the
+//! delta/checkpoint interplay: every surviving delta chain must find its
+//! base in a checkpoint row or an in-tail full image at every crash
+//! point.
 
 use std::collections::BTreeMap;
 use std::fs;
@@ -27,10 +36,42 @@ fn test_dir(tag: &str) -> PathBuf {
     dir
 }
 
-fn durable_config(dir: &Path) -> DeploymentConfig {
+fn durable_config(dir: &Path, delta: bool) -> DeploymentConfig {
     DeploymentConfig::shared_nothing(3).with_durability(
-        DurabilityConfig::epoch_sync(dir.to_string_lossy().into_owned()).with_interval_ms(0),
+        DurabilityConfig::epoch_sync(dir.to_string_lossy().into_owned())
+            .with_interval_ms(0)
+            .with_delta_logging(delta)
+            .with_compression(delta),
     )
+}
+
+/// Digest of the database's full logical state: every visible row of every
+/// relation of every customer, in deterministic order, hashed with FNV-1a.
+/// Versions (TIDs) are excluded — they depend on wall-clock epoch timing —
+/// so the digest compares exactly what the log format must preserve: the
+/// data. Shared by the full-image and delta crash-matrix runs.
+fn state_digest(db: &ReactDB) -> u64 {
+    let mut hash: u64 = 0xcbf29ce484222325;
+    let mut eat = |bytes: &[u8]| {
+        for b in bytes {
+            hash ^= u64::from(*b);
+            hash = hash.wrapping_mul(0x100000001b3);
+        }
+    };
+    for customer in 0..CUSTOMERS {
+        for relation in ["account", "savings", "checking"] {
+            let table = db.table(&customer_name(customer), relation).unwrap();
+            for (key, record) in table.scan() {
+                if !record.is_visible() {
+                    continue;
+                }
+                eat(relation.as_bytes());
+                eat(key.to_string().as_bytes());
+                eat(format!("{:?}", record.read_unguarded()).as_bytes());
+            }
+        }
+    }
+    hash
 }
 
 fn balances(db: &ReactDB) -> BTreeMap<usize, f64> {
@@ -62,8 +103,8 @@ fn backup_segments(dir: &Path, backup: &Path) {
 /// crashing at the end. Returns the expected (durable) balances and the
 /// path holding pre-checkpoint copies of every segment the checkpoint's
 /// truncation may have deleted.
-fn build_history(dir: &Path, backup: &Path) -> BTreeMap<usize, f64> {
-    let config = durable_config(dir);
+fn build_history(dir: &Path, backup: &Path, delta: bool) -> (BTreeMap<usize, f64>, u64) {
+    let config = durable_config(dir, delta);
     let db = ReactDB::boot(smallbank::spec(CUSTOMERS), config);
     smallbank::load(&db, CUSTOMERS).unwrap();
     for i in 0..HISTORY_TXNS {
@@ -92,9 +133,18 @@ fn build_history(dir: &Path, backup: &Path) -> BTreeMap<usize, f64> {
         .unwrap();
     }
     db.wal_sync().unwrap();
+    if delta {
+        assert!(
+            db.stats().log_delta_records() > 0,
+            "the delta run must actually exercise the delta commit path"
+        );
+    } else {
+        assert_eq!(db.stats().log_delta_records(), 0);
+    }
     let expected = balances(&db);
+    let digest = state_digest(&db);
     db.simulate_crash();
-    expected
+    (expected, digest)
 }
 
 /// The crash points the recovery protocol must tolerate, expressed as
@@ -157,74 +207,105 @@ fn recovery_tolerates_a_crash_at_every_checkpoint_protocol_step() {
         ("pre-trunc", CrashPoint::BeforeTruncation),
         ("mid-trunc", CrashPoint::MidTruncation),
     ] {
-        let dir = test_dir(tag);
-        let backup = test_dir(&format!("{tag}-backup"));
-        let expected = build_history(&dir, &backup);
-        apply_crash_point(&point, &dir, &backup);
+        // Identical logical history under both log formats; the recovered
+        // digests must agree with the pre-crash digests AND across modes.
+        let mut digests = Vec::new();
+        for delta in [false, true] {
+            let mode = if delta { "delta" } else { "full" };
+            let dir = test_dir(&format!("{tag}-{mode}"));
+            let backup = test_dir(&format!("{tag}-{mode}-backup"));
+            let (expected, pre_crash_digest) = build_history(&dir, &backup, delta);
+            apply_crash_point(&point, &dir, &backup);
 
-        let recovered = ReactDB::recover(smallbank::spec(CUSTOMERS), durable_config(&dir))
-            .unwrap_or_else(|e| panic!("{tag}: recovery failed: {e:?}"));
-        assert_eq!(
-            balances(&recovered),
-            expected,
-            "{tag}: recovered state must equal the durable pre-crash model"
-        );
-        assert_eq!(
-            recovered.stats().recovered_checkpoint_rows(),
-            (CUSTOMERS * 3) as u64,
-            "{tag}: the committed checkpoint supplies the base state"
-        );
-        match point {
-            CrashPoint::AfterTruncation | CrashPoint::MidCheckpoint => {
-                // Only the tail survives on disk: recovery is tail-bounded.
-                assert!(
-                    recovered.stats().recovered_txns() <= (2 * TAIL_TXNS) as u64,
-                    "{tag}: expected a tail-bounded replay, got {}",
-                    recovered.stats().recovered_txns()
-                );
+            let recovered =
+                ReactDB::recover(smallbank::spec(CUSTOMERS), durable_config(&dir, delta))
+                    .unwrap_or_else(|e| panic!("{tag}/{mode}: recovery failed: {e:?}"));
+            assert_eq!(
+                balances(&recovered),
+                expected,
+                "{tag}/{mode}: recovered state must equal the durable pre-crash model"
+            );
+            let recovered_digest = state_digest(&recovered);
+            assert_eq!(
+                recovered_digest, pre_crash_digest,
+                "{tag}/{mode}: recovery reproduces the pre-crash state digest"
+            );
+            digests.push(recovered_digest);
+            assert_eq!(
+                recovered.stats().recovered_checkpoint_rows(),
+                (CUSTOMERS * 3) as u64,
+                "{tag}/{mode}: the committed checkpoint supplies the base state"
+            );
+            match point {
+                CrashPoint::AfterTruncation | CrashPoint::MidCheckpoint => {
+                    // Only the tail survives on disk: recovery is
+                    // tail-bounded.
+                    assert!(
+                        recovered.stats().recovered_txns() <= (2 * TAIL_TXNS) as u64,
+                        "{tag}/{mode}: expected a tail-bounded replay, got {}",
+                        recovered.stats().recovered_txns()
+                    );
+                }
+                CrashPoint::BeforeTruncation | CrashPoint::MidTruncation => {
+                    // Covered segments are present but skipped by the
+                    // checkpoint-epoch filter, so the replay stays
+                    // tail-scale even with the full history restored.
+                    assert!(
+                        recovered.stats().recovered_txns() < (HISTORY_TXNS / 2) as u64,
+                        "{tag}/{mode}: covered records must not be re-replayed at scale, got {}",
+                        recovered.stats().recovered_txns()
+                    );
+                }
             }
-            CrashPoint::BeforeTruncation | CrashPoint::MidTruncation => {
-                // Covered segments are present but skipped by the
-                // checkpoint-epoch filter, so the replay stays tail-scale
-                // even with the full history restored.
-                assert!(
-                    recovered.stats().recovered_txns() < (HISTORY_TXNS / 2) as u64,
-                    "{tag}: covered records must not be re-replayed at scale, got {}",
-                    recovered.stats().recovered_txns()
-                );
-            }
+            // The debris of an unfinished checkpoint is cleaned up.
+            assert!(!dir.join("ckpt.tmp").exists(), "{tag}/{mode}: temp cleaned");
+            assert!(
+                !dir.join("ckpt-000099.dat").exists(),
+                "{tag}/{mode}: orphan cleaned"
+            );
+            // The recovered instance keeps committing and checkpointing.
+            recovered
+                .invoke(
+                    &customer_name(1),
+                    "deposit_checking",
+                    vec![Value::Float(2.0)],
+                )
+                .unwrap();
+            let next = recovered
+                .checkpoint_now()
+                .expect("post-recovery checkpoint");
+            assert!(next.rows >= (CUSTOMERS * 3) as u64);
+            drop(recovered);
+            let _ = fs::remove_dir_all(&dir);
+            let _ = fs::remove_dir_all(&backup);
         }
-        // The debris of an unfinished checkpoint is cleaned up.
-        assert!(!dir.join("ckpt.tmp").exists(), "{tag}: temp cleaned");
-        assert!(
-            !dir.join("ckpt-000099.dat").exists(),
-            "{tag}: orphan cleaned"
+        assert_eq!(
+            digests[0], digests[1],
+            "{tag}: delta-mode recovery must be byte-identical to the \
+             full-image control run"
         );
-        // The recovered instance keeps committing and checkpointing.
-        recovered
-            .invoke(
-                &customer_name(1),
-                "deposit_checking",
-                vec![Value::Float(2.0)],
-            )
-            .unwrap();
-        let next = recovered
-            .checkpoint_now()
-            .expect("post-recovery checkpoint");
-        assert!(next.rows >= (CUSTOMERS * 3) as u64);
-        drop(recovered);
-        let _ = fs::remove_dir_all(&dir);
-        let _ = fs::remove_dir_all(&backup);
     }
 }
 
 #[test]
 fn checkpoint_under_concurrent_commits_recovers_a_consistent_prefix() {
-    let dir = test_dir("live-writer");
+    for delta in [false, true] {
+        checkpoint_under_live_writers(delta);
+    }
+}
+
+fn checkpoint_under_live_writers(delta: bool) {
+    let dir = test_dir(&format!(
+        "live-writer-{}",
+        if delta { "delta" } else { "full" }
+    ));
     // Real daemons: 1 ms group commits; checkpoints run from this thread
     // while writer threads commit continuously.
     let config = DeploymentConfig::shared_nothing(3).with_durability(
-        DurabilityConfig::epoch_sync(dir.to_string_lossy().into_owned()).with_interval_ms(1),
+        DurabilityConfig::epoch_sync(dir.to_string_lossy().into_owned())
+            .with_interval_ms(1)
+            .with_delta_logging(delta)
+            .with_compression(delta),
     );
     let db = ReactDB::boot(smallbank::spec(CUSTOMERS), config.clone());
     smallbank::load(&db, CUSTOMERS).unwrap();
