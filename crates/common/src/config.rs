@@ -253,6 +253,57 @@ impl CheckpointConfig {
     }
 }
 
+/// Observability section of a [`DeploymentConfig`]: per-phase latency
+/// histograms and ring-buffer event tracing. On by default — the hot-path
+/// cost is a clock read and a relaxed atomic add per phase — and reducible
+/// to a single branch with [`TracingConfig::off`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TracingConfig {
+    /// Master switch. When off, no timestamps are taken, no histograms are
+    /// recorded and no trace events are buffered.
+    pub enabled: bool,
+    /// Trace-event slots per ring (one ring per executor plus one shared
+    /// ring for daemons and client threads), rounded up to a power of two.
+    pub ring_capacity: usize,
+    /// Committed root transactions slower than this (execute + commit, in
+    /// microseconds) additionally emit a slow-transaction trace event with
+    /// a per-phase breakdown. `0` captures every commit.
+    pub slow_txn_threshold_us: u64,
+}
+
+impl Default for TracingConfig {
+    fn default() -> Self {
+        Self {
+            enabled: true,
+            ring_capacity: 1024,
+            slow_txn_threshold_us: 1_000,
+        }
+    }
+}
+
+impl TracingConfig {
+    /// Tracing disabled: every observability entry point reduces to a
+    /// branch on a `bool`.
+    pub fn off() -> Self {
+        Self {
+            enabled: false,
+            ..Self::default()
+        }
+    }
+
+    /// Sets the per-ring trace-event capacity.
+    pub fn with_ring_capacity(mut self, slots: usize) -> Self {
+        self.ring_capacity = slots;
+        self
+    }
+
+    /// Sets the slow-transaction capture threshold in microseconds.
+    pub fn with_slow_txn_threshold_us(mut self, us: u64) -> Self {
+        self.slow_txn_threshold_us = us;
+        self
+    }
+}
+
 /// A complete deployment: strategy plus knobs shared by all strategies.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct DeploymentConfig {
@@ -267,6 +318,9 @@ pub struct DeploymentConfig {
     /// Background checkpointing policy (off by default; requires
     /// durability).
     pub checkpoint: CheckpointConfig,
+    /// Observability policy (tracing on by default).
+    #[serde(default)]
+    pub tracing: TracingConfig,
 }
 
 impl DeploymentConfig {
@@ -277,6 +331,7 @@ impl DeploymentConfig {
             default_mpl: 1,
             durability: DurabilityConfig::default(),
             checkpoint: CheckpointConfig::default(),
+            tracing: TracingConfig::default(),
         }
     }
 
@@ -287,6 +342,7 @@ impl DeploymentConfig {
             default_mpl: 1,
             durability: DurabilityConfig::default(),
             checkpoint: CheckpointConfig::default(),
+            tracing: TracingConfig::default(),
         }
     }
 
@@ -298,6 +354,7 @@ impl DeploymentConfig {
             default_mpl: 4,
             durability: DurabilityConfig::default(),
             checkpoint: CheckpointConfig::default(),
+            tracing: TracingConfig::default(),
         }
     }
 
@@ -316,6 +373,12 @@ impl DeploymentConfig {
     /// Sets the background-checkpointing policy.
     pub fn with_checkpoint(mut self, checkpoint: CheckpointConfig) -> Self {
         self.checkpoint = checkpoint;
+        self
+    }
+
+    /// Sets the observability policy.
+    pub fn with_tracing(mut self, tracing: TracingConfig) -> Self {
+        self.tracing = tracing;
         self
     }
 
@@ -495,6 +558,7 @@ mod tests {
             default_mpl: 1,
             durability: DurabilityConfig::default(),
             checkpoint: CheckpointConfig::default(),
+            tracing: TracingConfig::default(),
         };
         assert_eq!(cfg.container_count(), 2);
         assert_eq!(cfg.container_of_reactor(2, 3), ContainerId(1));
@@ -546,6 +610,66 @@ mod tests {
             .join("\n");
         let back = DeploymentConfig::from_json(&old_json).unwrap();
         assert_eq!(back, cfg, "missing knobs default to off");
+    }
+
+    #[test]
+    fn tracing_config_defaults_and_builders() {
+        let on = TracingConfig::default();
+        assert!(on.enabled);
+        assert_eq!(on.ring_capacity, 1024);
+        assert_eq!(on.slow_txn_threshold_us, 1_000);
+        let off = TracingConfig::off();
+        assert!(!off.enabled);
+        let tuned = TracingConfig::default()
+            .with_ring_capacity(64)
+            .with_slow_txn_threshold_us(0);
+        assert_eq!(tuned.ring_capacity, 64);
+        assert_eq!(tuned.slow_txn_threshold_us, 0);
+        let cfg = DeploymentConfig::shared_nothing(2).with_tracing(off);
+        let back = DeploymentConfig::from_json(&cfg.to_json()).unwrap();
+        assert_eq!(cfg, back);
+    }
+
+    #[test]
+    fn config_json_written_before_the_tracing_section_still_parses() {
+        // Serialize, then excise the whole `tracing` object as an old
+        // config file would lack it: `#[serde(default)]` must fill it in.
+        let cfg = DeploymentConfig::shared_nothing(2)
+            .with_durability(DurabilityConfig::epoch_sync("/tmp/x"));
+        let json = cfg.to_json();
+        let lines: Vec<&str> = json.lines().collect();
+        let start = lines
+            .iter()
+            .position(|l| l.contains("\"tracing\""))
+            .expect("tracing section serialized");
+        // The tracing object nests nothing, so its first closing brace at
+        // or after `start` ends it.
+        let end = (start..lines.len())
+            .find(|i| *i > start && lines[*i].trim_start().starts_with('}'))
+            .unwrap();
+        let kept: Vec<&str> = lines[..start]
+            .iter()
+            .chain(lines[end + 1..].iter())
+            .copied()
+            .collect();
+        let old_json: String = kept
+            .iter()
+            .enumerate()
+            .map(|(i, line)| {
+                let closes_next = kept
+                    .get(i + 1)
+                    .is_some_and(|next| next.trim_start().starts_with('}'));
+                if closes_next {
+                    line.trim_end().trim_end_matches(',').to_owned()
+                } else {
+                    (*line).to_owned()
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert!(!old_json.contains("tracing"));
+        let back = DeploymentConfig::from_json(&old_json).unwrap();
+        assert_eq!(back, cfg, "missing tracing section defaults to on");
     }
 
     #[test]

@@ -20,7 +20,7 @@ pub mod zipf;
 
 pub use config::{
     CheckpointConfig, DeploymentConfig, DeploymentStrategy, DurabilityConfig, DurabilityMode,
-    ExecutorConfig, RouterPolicy,
+    ExecutorConfig, RouterPolicy, TracingConfig,
 };
 pub use error::{Result, TxnError};
 pub use ids::{ContainerId, ExecutorId, ReactorId, ReactorName, SubTxnId, TxnId};

@@ -34,6 +34,7 @@ use std::time::Duration;
 
 use reactdb_common::{Result, TxnError, Value};
 use reactdb_core::{FulfillHook, ReactorFuture};
+use reactdb_obs::{AbortReason, Phase, TraceKind};
 
 use crate::database::{Inner, CLIENT_TIMEOUT};
 
@@ -45,7 +46,8 @@ pub(crate) struct SessionShared {
     submitted: AtomicU64,
     committed: AtomicU64,
     aborted: AtomicU64,
-    phantom_aborts: AtomicU64,
+    /// One counter per [`AbortReason`], indexed by `reason as usize`.
+    abort_reasons: [AtomicU64; AbortReason::ALL.len()],
     timeouts: AtomicU64,
     in_flight: AtomicU64,
     in_flight_hwm: AtomicU64,
@@ -62,14 +64,14 @@ impl SessionShared {
         self.in_flight_hwm.fetch_max(now, Ordering::Relaxed);
     }
 
-    pub(crate) fn on_resolve(&self, committed: bool, phantom: bool) {
+    pub(crate) fn on_resolve(&self, committed: bool, reason: Option<AbortReason>) {
         self.in_flight.fetch_sub(1, Ordering::Relaxed);
         if committed {
             self.committed.fetch_add(1, Ordering::Relaxed);
         } else {
             self.aborted.fetch_add(1, Ordering::Relaxed);
-            if phantom {
-                self.phantom_aborts.fetch_add(1, Ordering::Relaxed);
+            if let Some(reason) = reason {
+                self.abort_reasons[reason as usize].fetch_add(1, Ordering::Relaxed);
             }
         }
     }
@@ -79,11 +81,20 @@ impl SessionShared {
     }
 
     pub(crate) fn snapshot(&self) -> SessionStats {
+        let mut aborts_by_reason = [(AbortReason::Other, 0u64); AbortReason::ALL.len()];
+        for (slot, reason) in aborts_by_reason.iter_mut().zip(AbortReason::ALL) {
+            *slot = (
+                reason,
+                self.abort_reasons[reason as usize].load(Ordering::Relaxed),
+            );
+        }
         SessionStats {
             submitted: self.submitted.load(Ordering::Relaxed),
             committed: self.committed.load(Ordering::Relaxed),
             aborted: self.aborted.load(Ordering::Relaxed),
-            phantom_aborts: self.phantom_aborts.load(Ordering::Relaxed),
+            phantom_aborts: self.abort_reasons[AbortReason::Phantom as usize]
+                .load(Ordering::Relaxed),
+            aborts_by_reason,
             timeouts: self.timeouts.load(Ordering::Relaxed),
             in_flight: self.in_flight.load(Ordering::Relaxed),
             in_flight_hwm: self.in_flight_hwm.load(Ordering::Relaxed),
@@ -104,8 +115,12 @@ pub struct SessionStats {
     /// Handles that resolved with a phantom abort — node-set validation
     /// detected that a scanned range changed membership before commit. A
     /// subset of `aborted`, separated so workload reports can tell phantom
-    /// invalidations from ordinary OCC read-set conflicts.
+    /// invalidations from ordinary OCC read-set conflicts. Equals the
+    /// [`AbortReason::Phantom`] entry of `aborts_by_reason`.
     pub phantom_aborts: u64,
+    /// Aborted handles broken down by classified cause, one `(reason,
+    /// count)` per [`AbortReason::ALL`] entry. The counts sum to `aborted`.
+    pub aborts_by_reason: [(AbortReason, u64); AbortReason::ALL.len()],
     /// Waits that hit the client timeout.
     pub timeouts: u64,
     /// Handles currently in flight (submitted, not yet resolved).
@@ -176,9 +191,9 @@ impl Client {
         let stats_owner = Arc::clone(&self.inner);
         let hook: FulfillHook = Box::new(move |result| {
             let committed = result.is_ok();
-            let phantom = matches!(result, Err(e) if e.is_phantom());
-            session.on_resolve(committed, phantom);
-            stats_owner.stats.record_client_resolve(committed, phantom);
+            let reason = result.as_ref().err().map(AbortReason::classify);
+            session.on_resolve(committed, reason);
+            stats_owner.stats.record_client_resolve(committed, reason);
         });
         // enqueue_root cannot fail: a rejected or abandoned request drops
         // its writer, which resolves the future with an error and fires the
@@ -288,7 +303,14 @@ impl TxnHandle {
     /// timeout reports a runtime error and counts as a client-visible
     /// timeout (once per handle).
     pub fn wait_timeout(&self, timeout: Duration) -> Result<Value> {
+        let clock = self.inner.metrics.clock();
         let result = self.future.get_timeout(timeout);
+        if let Some(started) = clock {
+            // The client-observed span: queueing + execute + commit.
+            self.inner
+                .metrics
+                .record_elapsed(Phase::SessionWait, usize::MAX, started);
+        }
         if result.is_err() && !self.future.is_resolved() {
             // The error came from the timeout, not from the transaction.
             if !self.timeout_recorded.swap(true, Ordering::Relaxed) {
@@ -333,8 +355,18 @@ impl TxnHandle {
         let Some(wal) = &self.inner.wal else {
             return Ok(value);
         };
+        let clock = self.inner.metrics.clock();
         wal.wait_durable(epoch)
             .map_err(|e| TxnError::Runtime(format!("group commit failed: {e}")))?;
+        if let Some(started) = clock {
+            let ns = self
+                .inner
+                .metrics
+                .record_elapsed(Phase::DurableAck, usize::MAX, started);
+            self.inner
+                .metrics
+                .trace(usize::MAX, 0, TraceKind::DurableAck, ns);
+        }
         Ok(value)
     }
 

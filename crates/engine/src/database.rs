@@ -38,6 +38,10 @@ use reactdb_core::future::WaitHook;
 use reactdb_core::{
     ActiveSet, CallBackend, FulfillHook, ReactorCtx, ReactorDatabaseSpec, ReactorFuture,
 };
+use reactdb_obs::{
+    AbortReason, CommitProbe, Counter, Gauge, HistogramSummary, Metrics, MetricsSnapshot, Phase,
+    TraceEvent, TraceKind,
+};
 use reactdb_storage::{Table, Tuple};
 use reactdb_txn::{Coordinator, EpochManager, LogSink};
 use reactdb_wal::{CheckpointOutcome, CheckpointTable, Checkpointer, LogDirLock, Wal};
@@ -66,6 +70,9 @@ pub(crate) struct Inner {
     active: ActiveSet,
     txn_ids: TxnIdGen,
     pub(crate) stats: DbStats,
+    /// Observability registry: phase histograms, busy-time accounting and
+    /// the trace ring buffers. Shared with the WAL and its checkpointer.
+    pub(crate) metrics: Arc<Metrics>,
     /// Write-ahead log; `None` when the deployment's durability mode is off.
     pub(crate) wal: Option<Arc<Wal>>,
     /// Background checkpointer; present whenever durability is on (explicit
@@ -165,6 +172,7 @@ impl ReactDB {
 
         let epoch = Arc::new(EpochManager::new());
         let stats = DbStats::new();
+        let metrics = Arc::new(Metrics::new(executors.len(), &config.tracing));
 
         // ---- Durability: lock the log directory for this instance's
         // lifetime before anything reads or writes it — enforcing the
@@ -276,6 +284,10 @@ impl ReactDB {
         if let Some(wal) = &wal {
             wal.start_daemon(config.durability.group_commit_interval_ms);
             stats.attach_wal(Arc::clone(wal.stats()));
+            // The WAL opens before the registry exists; hand it the
+            // registry so group commit and the checkpointer can record
+            // their phases and trace events.
+            wal.attach_metrics(Arc::clone(&metrics));
         }
 
         // ---- Checkpointing: enumerate every table of the deployment and
@@ -323,6 +335,7 @@ impl ReactDB {
             active: ActiveSet::new(),
             txn_ids: TxnIdGen::new(),
             stats,
+            metrics,
             wal,
             checkpointer,
             default_session: SessionShared::new(),
@@ -368,6 +381,126 @@ impl ReactDB {
     /// The write-ahead log, when the deployment enables durability.
     pub fn wal(&self) -> Option<&Arc<Wal>> {
         self.inner.wal.as_ref()
+    }
+
+    /// A point-in-time snapshot of every metric this instance exports:
+    /// commit/abort counters (with the per-[`AbortReason`] breakdown),
+    /// WAL and checkpoint counters, per-table log bytes, per-executor
+    /// queue-depth and utilization gauges, and the per-phase latency
+    /// histograms (p50/p90/p99/p999/max). Render with
+    /// [`MetricsSnapshot::to_prometheus_text`] or
+    /// [`MetricsSnapshot::to_json`], and diff two snapshots with
+    /// [`MetricsSnapshot::delta`] for interval rates.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let inner = &self.inner;
+        let m = &inner.metrics;
+        let stats = &inner.stats;
+
+        let mut counters = vec![Counter {
+            name: "txn_committed".into(),
+            value: stats.committed(),
+        }];
+        for (reason, count) in stats.aborts_by_reason() {
+            counters.push(Counter {
+                name: format!("txn_aborts{{reason=\"{}\"}}", reason.name()),
+                value: count,
+            });
+        }
+        for (name, value) in [
+            ("txn_cc_aborts", stats.cc_aborts()),
+            ("scan_ops", stats.scan_ops()),
+            ("sub_txns_dispatched", stats.sub_txns_dispatched()),
+            ("sub_txns_inlined", stats.sub_txns_inlined()),
+            ("client_committed", stats.client_committed()),
+            ("client_aborted", stats.client_aborted()),
+            ("client_timeouts", stats.client_timeouts()),
+            ("handles_in_flight_hwm", stats.handles_in_flight_hwm()),
+            ("recovered_txns", stats.recovered_txns()),
+            (
+                "recovered_checkpoint_rows",
+                stats.recovered_checkpoint_rows(),
+            ),
+            ("log_bytes", stats.log_bytes()),
+            ("log_records", stats.log_records()),
+            ("log_delta_records", stats.log_delta_records()),
+            ("log_bytes_saved", stats.log_bytes_saved()),
+            ("log_syncs", stats.log_syncs()),
+            ("log_sync_failures", stats.log_sync_failures()),
+            ("durable_epoch", stats.durable_epoch()),
+            ("durable_waits", stats.durable_waits()),
+            ("checkpoints_taken", stats.checkpoints_taken()),
+            ("checkpoint_bytes", stats.checkpoint_bytes()),
+            ("checkpoint_failures", stats.checkpoint_failures()),
+            ("log_truncated_bytes", stats.log_truncated_bytes()),
+            ("log_truncated_segments", stats.log_truncated_segments()),
+        ] {
+            counters.push(Counter {
+                name: name.into(),
+                value,
+            });
+        }
+        for usage in stats.log_bytes_per_table() {
+            let labels = format!(
+                "{{reactor=\"{}\",relation=\"{}\"}}",
+                usage.reactor.raw(),
+                usage.relation
+            );
+            counters.push(Counter {
+                name: format!("table_log_bytes{labels}"),
+                value: usage.bytes,
+            });
+            counters.push(Counter {
+                name: format!("table_log_records{labels}"),
+                value: usage.records,
+            });
+        }
+
+        let uptime_ns = m.uptime_ns().max(1);
+        let mut gauges = vec![Gauge {
+            name: "handles_in_flight".into(),
+            value: stats.handles_in_flight() as f64,
+        }];
+        for (idx, exec) in inner.executors.iter().enumerate() {
+            gauges.push(Gauge {
+                name: format!("executor_queue_depth{{executor=\"{idx}\"}}"),
+                value: exec.queue_len() as f64,
+            });
+            // Fraction of wall-clock time this executor's workers spent
+            // processing requests (cooperative drains count toward the
+            // outer request's span, so the ratio never exceeds 1 per
+            // worker).
+            let capacity_ns = uptime_ns.saturating_mul(exec.mpl() as u64).max(1);
+            gauges.push(Gauge {
+                name: format!("executor_utilization{{executor=\"{idx}\"}}"),
+                value: m.busy_ns(idx) as f64 / capacity_ns as f64,
+            });
+        }
+
+        let histograms = Phase::ALL
+            .iter()
+            .map(|&phase| {
+                HistogramSummary::of(
+                    format!("phase_{}_ns", phase.name()),
+                    &m.phase_histogram(phase),
+                )
+            })
+            .collect();
+
+        MetricsSnapshot {
+            uptime_us: uptime_ns / 1_000,
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+
+    /// Drains the transaction trace rings: the most recent commit, abort,
+    /// slow-transaction, group-commit, checkpoint-chunk and durable-ack
+    /// events, globally ordered by sequence number. Draining resets the
+    /// rings; events are overwritten oldest-first when a ring wraps. Empty
+    /// when tracing is disabled ([`reactdb_common::TracingConfig::off`]).
+    pub fn trace_events(&self) -> Vec<TraceEvent> {
+        self.inner.metrics.drain_trace()
     }
 
     /// Closes the current epoch and forces one group commit (flush, fsync,
@@ -576,7 +709,16 @@ fn worker_loop(inner: Arc<Inner>, executor_idx: usize) {
         if matches!(request, Request::Shutdown) {
             break;
         }
+        // Busy time is measured only here, at the top level: requests
+        // drained cooperatively while this one waits on a remote future run
+        // *inside* this span and must not be double-counted.
+        let clock = inner.metrics.clock();
         inner.process(executor_idx, request);
+        if let Some(started) = clock {
+            inner
+                .metrics
+                .add_busy(executor_idx, started.elapsed().as_nanos() as u64);
+        }
     }
 }
 
@@ -660,11 +802,19 @@ impl Inner {
                 args,
                 writer,
             } => {
+                let clock = self.metrics.clock();
                 let result =
                     self.run_subtxn(executor_idx, &root, reactor, SubTxnId(0), &proc, &args);
+                let execute_ns = clock
+                    .map(|started| {
+                        self.metrics
+                            .record_elapsed(Phase::Execute, executor_idx, started)
+                    })
+                    .unwrap_or(0);
+                let mut probe = self.metrics.commit_probe(executor_idx);
                 let outcome = match result {
                     Ok(value) => self
-                        .commit_root(executor_idx, &root)
+                        .commit_root(executor_idx, &root, probe.as_mut())
                         .map(|epoch| (value, epoch)),
                     Err(e) => {
                         // Nothing was installed; drop the buffered
@@ -677,11 +827,9 @@ impl Inner {
                 };
                 match &outcome {
                     Ok(_) => self.stats.record_commit(),
-                    Err(e) if e.is_phantom() => self.stats.record_phantom_abort(),
-                    Err(e) if e.is_cc_abort() => self.stats.record_cc_abort(),
-                    Err(e) if e.is_dangerous_structure() => self.stats.record_dangerous_abort(),
-                    Err(_) => self.stats.record_user_abort(),
+                    Err(e) => self.stats.record_abort(AbortReason::classify(e)),
                 }
+                self.trace_root(executor_idx, &root, &outcome, execute_ns, probe.as_ref());
                 // Thread the commit epoch into the future so durability-
                 // aware clients can gate their acknowledgement on the
                 // epoch's group commit.
@@ -713,6 +861,7 @@ impl Inner {
         self: &Arc<Self>,
         executor_idx: usize,
         root: &Arc<RootTxn>,
+        probe: Option<&mut CommitProbe<'_>>,
     ) -> Result<Option<u64>> {
         let mut participants = root.take_participants();
         self.stats
@@ -726,13 +875,62 @@ impl Inner {
         let wal = self.wal.as_deref();
         let _commit_gate = wal.map(|w| w.commit_guard());
         let sink = wal.map(|w| &**w.writer(executor_idx) as &dyn LogSink);
-        Coordinator::commit_logged(
+        Coordinator::commit_observed(
             &mut participants,
             &self.epoch,
             self.executors[executor_idx].tidgen(),
             sink,
+            probe,
         )
         .map(|tid| Some(tid.epoch()))
+    }
+
+    /// Emits the trace events for one resolved root transaction: the
+    /// commit/abort event, and — when the end-to-end latency exceeded the
+    /// configured threshold — a slow-transaction marker plus its per-phase
+    /// breakdown. No-op when tracing is off (`execute_ns` is 0 and no probe
+    /// exists, but the early return keeps even that work off the hot path).
+    fn trace_root(
+        &self,
+        executor_idx: usize,
+        root: &Arc<RootTxn>,
+        outcome: &Result<(Value, Option<u64>)>,
+        execute_ns: u64,
+        probe: Option<&CommitProbe<'_>>,
+    ) {
+        if !self.metrics.enabled() {
+            return;
+        }
+        let txn = root.id().0;
+        let commit_ns = probe.map(|p| p.total_ns()).unwrap_or(0);
+        let total_ns = execute_ns + commit_ns;
+        match outcome {
+            Ok(_) => self
+                .metrics
+                .trace(executor_idx, txn, TraceKind::Commit, total_ns),
+            Err(e) => self.metrics.trace(
+                executor_idx,
+                txn,
+                TraceKind::Abort(AbortReason::classify(e)),
+                total_ns,
+            ),
+        }
+        if total_ns > self.metrics.slow_txn_ns() {
+            self.metrics
+                .trace(executor_idx, txn, TraceKind::SlowTxn, total_ns);
+            self.metrics.trace(
+                executor_idx,
+                txn,
+                TraceKind::CommitPhase(Phase::Execute),
+                execute_ns,
+            );
+            if let Some(p) = probe {
+                for (phase, ns) in p.phase_durs() {
+                    self.metrics
+                        .trace(executor_idx, txn, TraceKind::CommitPhase(phase), ns);
+                }
+            }
+        }
     }
 
     /// Runs one (sub-)transaction: enforces the active-set safety condition,
@@ -1654,6 +1852,116 @@ mod tests {
             .invoke_with_retry("acct-0", "always_abort", vec![], &RetryPolicy::occ())
             .unwrap_err();
         assert!(err.is_user_abort(), "user aborts are not retried");
+    }
+
+    #[test]
+    fn metrics_snapshot_covers_the_commit_path_end_to_end() {
+        use reactdb_common::DurabilityConfig;
+        let dir = wal_dir("metrics-surface");
+        let config = DeploymentConfig::shared_nothing(2)
+            .with_durability(DurabilityConfig::epoch_sync(&dir).with_interval_ms(0));
+        let db = boot(config);
+        let client = db.client();
+        for _ in 0..5 {
+            let handle = client
+                .submit("acct-0", "deposit", vec![Value::Float(1.0)])
+                .unwrap();
+            handle.wait_durable().unwrap();
+        }
+        let _ = client
+            .submit("acct-1", "always_abort", vec![])
+            .unwrap()
+            .wait();
+        db.checkpoint_now().unwrap();
+
+        let snapshot = db.metrics();
+        assert_eq!(snapshot.counter("txn_committed"), Some(9), "4 init + 5");
+        assert_eq!(
+            snapshot.counter("txn_aborts{reason=\"user_abort\"}"),
+            Some(1)
+        );
+        assert_eq!(snapshot.counter("txn_aborts{reason=\"phantom\"}"), Some(0));
+        assert!(snapshot.counter("log_bytes").unwrap() > 0);
+        assert!(snapshot.counter("durable_waits").unwrap() >= 1);
+        assert!(
+            snapshot
+                .counters
+                .iter()
+                .any(|c| c.name.starts_with("table_log_bytes{") && c.value > 0),
+            "per-table log accounting is exported"
+        );
+        for phase in [
+            Phase::Execute,
+            Phase::Lock,
+            Phase::Fence,
+            Phase::Validate,
+            Phase::Write,
+            Phase::Log,
+            Phase::DurableAck,
+            Phase::WalSyncWait,
+            Phase::WalFsync,
+            Phase::CheckpointChunk,
+            Phase::SessionWait,
+        ] {
+            let name = format!("phase_{}_ns", phase.name());
+            let h = snapshot.histogram(&name).expect("histogram exported");
+            assert!(h.count > 0, "{name} recorded nothing");
+            assert!(h.max_ns >= h.p50_ns, "{name} percentiles are ordered");
+        }
+        assert!(
+            snapshot
+                .gauges
+                .iter()
+                .any(|g| g.name.starts_with("executor_utilization{") && g.value > 0.0),
+            "busy-time accounting observed the deposits"
+        );
+        // The same values round-trip through both renderers.
+        let parsed = MetricsSnapshot::from_json(&snapshot.to_json()).unwrap();
+        assert_eq!(parsed, snapshot);
+        assert!(snapshot
+            .to_prometheus_text()
+            .contains("reactdb_txn_committed 9"));
+
+        let events = db.trace_events();
+        assert!(
+            events.iter().any(|e| matches!(e.kind, TraceKind::Commit)),
+            "commit events traced"
+        );
+        assert!(
+            events.iter().any(
+                |e| matches!(e.kind, TraceKind::Abort(reason) if reason == AbortReason::UserAbort)
+            ),
+            "the abort event carries its classified reason"
+        );
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e.kind, TraceKind::CheckpointChunk)),
+            "checkpoint chunks traced"
+        );
+        assert!(db.trace_events().is_empty(), "draining resets the rings");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tracing_off_keeps_every_observability_surface_empty() {
+        use reactdb_common::TracingConfig;
+        let db = boot(DeploymentConfig::shared_nothing(2).with_tracing(TracingConfig::off()));
+        db.invoke("acct-0", "deposit", vec![Value::Float(1.0)])
+            .unwrap();
+        let snapshot = db.metrics();
+        // Counters still work (they are not gated on tracing)...
+        assert_eq!(snapshot.counter("txn_committed"), Some(5));
+        // ...but no clock is ever read: histograms and traces stay empty.
+        for h in &snapshot.histograms {
+            assert_eq!(h.count, 0, "{} recorded with tracing off", h.name);
+        }
+        assert!(db.trace_events().is_empty());
+        assert!(snapshot
+            .gauges
+            .iter()
+            .filter(|g| g.name.starts_with("executor_utilization"))
+            .all(|g| g.value == 0.0));
     }
 
     #[test]

@@ -7,18 +7,25 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
+use reactdb_obs::AbortReason;
 use reactdb_wal::{TableLogUsage, WalStats};
 
 use crate::client::SessionShared;
 
 /// Monotonic counters describing what happened to root transactions.
+///
+/// Aborts are kept as one counter per [`AbortReason`]; the legacy
+/// aggregates ([`DbStats::cc_aborts`], [`DbStats::user_aborts`], ...) are
+/// derived views over that breakdown, so existing callers keep working and
+/// new callers get full attribution via [`DbStats::aborts_by_reason`].
+/// Fields are private by design — read through the accessors, which stay
+/// stable even as the underlying counter layout evolves.
 #[derive(Debug, Default)]
 pub struct DbStats {
     committed: AtomicU64,
-    cc_aborts: AtomicU64,
-    phantom_aborts: AtomicU64,
-    user_aborts: AtomicU64,
-    dangerous_aborts: AtomicU64,
+    /// One counter per [`AbortReason`], indexed by `reason as usize`
+    /// (declaration order matches [`AbortReason::ALL`]).
+    aborts: [AtomicU64; AbortReason::ALL.len()],
     sub_txns_dispatched: AtomicU64,
     sub_txns_inlined: AtomicU64,
     scan_ops: AtomicU64,
@@ -44,26 +51,14 @@ impl DbStats {
     pub(crate) fn record_commit(&self) {
         self.committed.fetch_add(1, Ordering::Relaxed);
     }
-    pub(crate) fn record_cc_abort(&self) {
-        self.cc_aborts.fetch_add(1, Ordering::Relaxed);
-    }
-    /// A phantom (node-set) validation abort. Counts toward
-    /// [`DbStats::cc_aborts`] as well: phantoms are concurrency-control
-    /// aborts, just separately attributable.
-    pub(crate) fn record_phantom_abort(&self) {
-        self.phantom_aborts.fetch_add(1, Ordering::Relaxed);
-        self.cc_aborts.fetch_add(1, Ordering::Relaxed);
+    /// Counts one aborted root transaction under its classified reason.
+    pub(crate) fn record_abort(&self, reason: AbortReason) {
+        self.aborts[reason as usize].fetch_add(1, Ordering::Relaxed);
     }
     pub(crate) fn record_scan_ops(&self, n: u64) {
         if n > 0 {
             self.scan_ops.fetch_add(n, Ordering::Relaxed);
         }
-    }
-    pub(crate) fn record_user_abort(&self) {
-        self.user_aborts.fetch_add(1, Ordering::Relaxed);
-    }
-    pub(crate) fn record_dangerous_abort(&self) {
-        self.dangerous_aborts.fetch_add(1, Ordering::Relaxed);
     }
     pub(crate) fn record_sub_dispatch(&self) {
         self.sub_txns_dispatched.fetch_add(1, Ordering::Relaxed);
@@ -87,10 +82,10 @@ impl DbStats {
         self.client.on_submit();
     }
     /// Called exactly once per submitted handle when its future resolves
-    /// (commit, abort, or abandonment). `phantom` marks aborts caused by
-    /// node-set (phantom) validation.
-    pub(crate) fn record_client_resolve(&self, committed: bool, phantom: bool) {
-        self.client.on_resolve(committed, phantom);
+    /// (commit, abort, or abandonment). `reason` is the classified cause of
+    /// an abort, `None` on commit.
+    pub(crate) fn record_client_resolve(&self, committed: bool, reason: Option<AbortReason>) {
+        self.client.on_resolve(committed, reason);
     }
     /// Called when a client gave up waiting on a handle (the transaction
     /// may still resolve later and then also count as committed/aborted).
@@ -102,18 +97,36 @@ impl DbStats {
     pub fn committed(&self) -> u64 {
         self.committed.load(Ordering::Relaxed)
     }
-    /// Root transactions aborted by concurrency control (read-set
-    /// validation, node-set/phantom validation, or 2PC). Includes
+    /// Root transactions aborted for one specific reason.
+    pub fn abort_count(&self, reason: AbortReason) -> u64 {
+        self.aborts[reason as usize].load(Ordering::Relaxed)
+    }
+    /// The full abort breakdown, one `(reason, count)` per
+    /// [`AbortReason::ALL`] entry (zero counts included).
+    pub fn aborts_by_reason(&self) -> [(AbortReason, u64); AbortReason::ALL.len()] {
+        let mut out = [(AbortReason::Other, 0u64); AbortReason::ALL.len()];
+        for (slot, reason) in out.iter_mut().zip(AbortReason::ALL) {
+            *slot = (reason, self.abort_count(reason));
+        }
+        out
+    }
+    /// Root transactions aborted by concurrency control: the sum of the
+    /// occ-read, phantom and lock-busy reasons (exactly the errors
+    /// `TxnError::is_cc_abort` reports). Includes
     /// [`DbStats::phantom_aborts`].
     pub fn cc_aborts(&self) -> u64 {
-        self.cc_aborts.load(Ordering::Relaxed)
+        AbortReason::ALL
+            .into_iter()
+            .filter(|r| r.is_cc())
+            .map(|r| self.abort_count(r))
+            .sum()
     }
     /// Root transactions aborted specifically by node-set validation: a
     /// range they scanned (or a key whose absence they observed) changed
     /// membership before commit. A subset of [`DbStats::cc_aborts`] —
     /// subtract to get ordinary read-set conflicts.
     pub fn phantom_aborts(&self) -> u64 {
-        self.phantom_aborts.load(Ordering::Relaxed)
+        self.abort_count(AbortReason::Phantom)
     }
     /// Transactional scan operations executed (range scans, full scans,
     /// secondary lookups/ranges) across all root transactions, committed or
@@ -121,13 +134,18 @@ impl DbStats {
     pub fn scan_ops(&self) -> u64 {
         self.scan_ops.load(Ordering::Relaxed)
     }
-    /// Root transactions aborted by application logic.
+    /// Root transactions aborted by something other than concurrency
+    /// control or the safety condition: application aborts plus WAL
+    /// failures and runtime faults. [`DbStats::aborts_by_reason`] splits
+    /// the three apart.
     pub fn user_aborts(&self) -> u64 {
-        self.user_aborts.load(Ordering::Relaxed)
+        self.abort_count(AbortReason::UserAbort)
+            + self.abort_count(AbortReason::WalFailure)
+            + self.abort_count(AbortReason::Other)
     }
     /// Root transactions aborted by the intra-transaction safety condition.
     pub fn dangerous_aborts(&self) -> u64 {
-        self.dangerous_aborts.load(Ordering::Relaxed)
+        self.abort_count(AbortReason::DangerousStructure)
     }
     /// Sub-transactions dispatched to another container's executor.
     pub fn sub_txns_dispatched(&self) -> u64 {
@@ -271,9 +289,9 @@ mod tests {
         let s = DbStats::new();
         s.record_commit();
         s.record_commit();
-        s.record_cc_abort();
-        s.record_user_abort();
-        s.record_dangerous_abort();
+        s.record_abort(AbortReason::OccRead);
+        s.record_abort(AbortReason::UserAbort);
+        s.record_abort(AbortReason::DangerousStructure);
         s.record_sub_dispatch();
         s.record_sub_inline();
         s.record_scan_ops(3);
@@ -291,12 +309,38 @@ mod tests {
     fn phantom_aborts_are_a_distinguishable_subset_of_cc_aborts() {
         let s = DbStats::new();
         s.record_commit();
-        s.record_cc_abort();
-        s.record_phantom_abort();
+        s.record_abort(AbortReason::OccRead);
+        s.record_abort(AbortReason::Phantom);
         assert_eq!(s.cc_aborts(), 2, "phantoms count as cc aborts");
         assert_eq!(s.phantom_aborts(), 1);
         assert_eq!(s.cc_aborts() - s.phantom_aborts(), 1, "read-set conflicts");
         assert!((s.abort_rate() - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn abort_breakdown_attributes_every_reason_and_sums_to_the_aggregates() {
+        let s = DbStats::new();
+        for reason in AbortReason::ALL {
+            s.record_abort(reason);
+        }
+        s.record_abort(AbortReason::LockBusy);
+        for (reason, count) in s.aborts_by_reason() {
+            let expected = if reason == AbortReason::LockBusy {
+                2
+            } else {
+                1
+            };
+            assert_eq!(count, expected, "{}", reason.name());
+        }
+        assert_eq!(s.cc_aborts(), 4, "occ_read + phantom + 2x lock_busy");
+        assert_eq!(s.user_aborts(), 3, "user_abort + wal_failure + other");
+        assert_eq!(s.dangerous_aborts(), 1);
+        let total: u64 = s.aborts_by_reason().iter().map(|(_, n)| n).sum();
+        assert_eq!(
+            total,
+            s.cc_aborts() + s.user_aborts() + s.dangerous_aborts(),
+            "every abort lands in exactly one aggregate"
+        );
     }
 
     #[test]
@@ -312,8 +356,8 @@ mod tests {
         s.record_client_submit();
         assert_eq!(s.handles_in_flight(), 3);
         assert_eq!(s.handles_in_flight_hwm(), 3);
-        s.record_client_resolve(true, false);
-        s.record_client_resolve(false, true);
+        s.record_client_resolve(true, None);
+        s.record_client_resolve(false, Some(AbortReason::Phantom));
         s.record_client_timeout();
         assert_eq!(s.handles_in_flight(), 1);
         assert_eq!(s.handles_in_flight_hwm(), 3, "high water is sticky");

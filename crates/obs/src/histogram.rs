@@ -1,0 +1,350 @@
+//! Mergeable log-bucketed latency histograms.
+//!
+//! The layout follows HdrHistogram: the `u64` value range is covered by
+//! power-of-two *groups*, each subdivided into `2^SUB_BUCKET_BITS = 16`
+//! linear sub-buckets. Values below 16 land in exact unit buckets; a value
+//! `v >= 16` lands in the bucket `[lo, lo + 2^shift)` where
+//! `shift = floor(log2 v) - 4`, so every bucket's width is at most `v / 16`
+//! — quantiles read back from the histogram are within 6.25% of the exact
+//! sample quantile (and exact below 16). Recording is two relaxed atomic
+//! adds plus a `fetch_max`: lock-free, no allocation, mergeable by bucket
+//! addition.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Sub-bucket resolution: each power-of-two group is split into
+/// `2^SUB_BUCKET_BITS` linear sub-buckets.
+pub const SUB_BUCKET_BITS: u32 = 4;
+/// Sub-buckets per group (16).
+const SUB_BUCKETS: usize = 1 << SUB_BUCKET_BITS;
+/// Total buckets covering the full `u64` range: the linear region `[0, 16)`
+/// plus one 16-bucket group per shift value `0..=59`.
+const BUCKETS: usize = (64 - SUB_BUCKET_BITS as usize) * SUB_BUCKETS + SUB_BUCKETS;
+
+/// Bucket index of a value. Monotone: `v <= w` implies
+/// `bucket_index(v) <= bucket_index(w)`.
+fn bucket_index(v: u64) -> usize {
+    if v < SUB_BUCKETS as u64 {
+        return v as usize;
+    }
+    let top = 63 - v.leading_zeros(); // >= SUB_BUCKET_BITS
+    let shift = top - SUB_BUCKET_BITS;
+    (shift as usize + 1) * SUB_BUCKETS + ((v >> shift) as usize - SUB_BUCKETS)
+}
+
+/// Inclusive upper bound of a bucket — the value quantile reads report, so
+/// reported quantiles never under-estimate the exact sample quantile.
+fn bucket_high(idx: usize) -> u64 {
+    if idx < SUB_BUCKETS {
+        return idx as u64;
+    }
+    let shift = (idx / SUB_BUCKETS - 1) as u32;
+    let pos = (idx % SUB_BUCKETS) as u64;
+    let low = (SUB_BUCKETS as u64 + pos) << shift;
+    // Add the (width - 1) term pre-computed: for the topmost bucket
+    // `low + width` is 2^64 and would overflow before the subtraction.
+    low + ((1u64 << shift) - 1)
+}
+
+/// A lock-free latency histogram over `u64` values (nanoseconds by
+/// convention).
+pub struct Histogram {
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one value. Lock-free and allocation-free.
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded values.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest recorded value (exact, not bucketed); 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// The `p`-quantile (`0.0..=1.0`) of the recorded values, reported as
+    /// the upper bound of the bucket holding the exact sample quantile:
+    /// never an under-estimate, over by at most one bucket width (6.25%
+    /// relative, exact below 16). Returns 0 when empty.
+    ///
+    /// The rank convention matches a sorted-vector model
+    /// `sorted[max(1, ceil(p * n)) - 1]`.
+    pub fn percentile(&self, p: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let rank = ((p.clamp(0.0, 1.0) * count as f64).ceil() as u64).clamp(1, count);
+        let mut seen = 0u64;
+        for (idx, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= rank {
+                // Never report past the true maximum: the top bucket's
+                // upper bound can exceed every recorded value.
+                return bucket_high(idx).min(self.max());
+            }
+        }
+        self.max()
+    }
+
+    /// Adds every sample of `other` into `self` (bucket-wise addition).
+    /// Associative and commutative up to bucket granularity, which is what
+    /// makes per-executor shards and cross-process aggregation sound.
+    pub fn merge(&self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter().zip(other.buckets.iter()) {
+            let n = theirs.load(Ordering::Relaxed);
+            if n > 0 {
+                mine.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.count
+            .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.sum
+            .fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max
+            .fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// Bucket occupancy as `(inclusive_upper_bound, count)` pairs for the
+    /// non-empty buckets, in value order. Test/debug surface.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(idx, b)| {
+                let n = b.load(Ordering::Relaxed);
+                (n > 0).then(|| (bucket_high(idx), n))
+            })
+            .collect()
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count())
+            .field("sum", &self.sum())
+            .field("max", &self.max())
+            .field("p50", &self.percentile(0.5))
+            .field("p99", &self.percentile(0.99))
+            .finish()
+    }
+}
+
+/// Per-executor histogram shards merged on read: each executor records into
+/// its own [`Histogram`] (no cross-core cache-line traffic on the hot
+/// path); readers merge all shards into a fresh histogram.
+pub struct ShardedHistogram {
+    shards: Box<[Histogram]>,
+}
+
+impl ShardedHistogram {
+    /// Creates `shards.max(1)` empty shards.
+    pub fn new(shards: usize) -> Self {
+        Self {
+            shards: (0..shards.max(1)).map(|_| Histogram::new()).collect(),
+        }
+    }
+
+    /// Records into the shard `shard % shards` — callers pass their
+    /// executor index; non-executor contexts may pass anything.
+    pub fn record(&self, shard: usize, v: u64) {
+        self.shards[shard % self.shards.len()].record(v);
+    }
+
+    /// Merges every shard into one point-in-time histogram.
+    pub fn merged(&self) -> Histogram {
+        let out = Histogram::new();
+        for shard in self.shards.iter() {
+            out.merge(shard);
+        }
+        out
+    }
+
+    /// Total samples across all shards, without merging.
+    pub fn count(&self) -> u64 {
+        self.shards.iter().map(Histogram::count).sum()
+    }
+}
+
+impl std::fmt::Debug for ShardedHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedHistogram")
+            .field("shards", &self.shards.len())
+            .field("count", &self.count())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Exact model: `sorted[max(1, ceil(p * n)) - 1]`.
+    fn model_percentile(sorted: &[u64], p: f64) -> u64 {
+        let n = sorted.len() as u64;
+        let rank = ((p * n as f64).ceil() as u64).clamp(1, n);
+        sorted[(rank - 1) as usize]
+    }
+
+    #[test]
+    fn bucket_index_is_monotone_and_contiguous() {
+        let mut prev = 0usize;
+        for v in 0..100_000u64 {
+            let idx = bucket_index(v);
+            assert!(idx >= prev, "index regressed at {v}");
+            assert!(idx <= prev + 1, "index skipped at {v}");
+            assert!(bucket_high(idx) >= v, "upper bound below value at {v}");
+            prev = idx;
+        }
+        // Spot-check the large range and the extremes.
+        for v in [u64::MAX, u64::MAX / 2, 1 << 50, (1 << 50) + 12345] {
+            let idx = bucket_index(v);
+            assert!(idx < BUCKETS);
+            assert!(bucket_high(idx) >= v);
+        }
+    }
+
+    #[test]
+    fn bucket_width_is_bounded_by_a_sixteenth() {
+        for v in 16..200_000u64 {
+            let idx = bucket_index(v);
+            let high = bucket_high(idx);
+            assert!(high - v <= v / SUB_BUCKETS as u64, "width too wide at {v}");
+        }
+    }
+
+    #[test]
+    fn empty_histogram_reads_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.percentile(0.5), 0);
+        assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let h = Histogram::new();
+        for v in [0u64, 1, 2, 3, 15, 15, 7] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.percentile(1.0), 15);
+        assert_eq!(h.percentile(0.5), 3);
+        assert_eq!(h.max(), 15);
+        assert_eq!(h.sum(), 43);
+    }
+
+    #[test]
+    fn sharded_histogram_merges_all_shards() {
+        let s = ShardedHistogram::new(4);
+        s.record(0, 100);
+        s.record(1, 200);
+        s.record(2, 300);
+        s.record(99, 400); // wraps to shard 3
+        assert_eq!(s.count(), 4);
+        let merged = s.merged();
+        assert_eq!(merged.count(), 4);
+        assert!(merged.percentile(1.0) >= 400);
+    }
+
+    proptest! {
+        #[test]
+        fn percentiles_match_sorted_model_within_bucket_width(
+            values in proptest::collection::vec(0u64..2_000_000_000, 1..200),
+            p in 0.0f64..1.0,
+        ) {
+            let h = Histogram::new();
+            for &v in &values {
+                h.record(v);
+            }
+            let mut sorted = values.clone();
+            sorted.sort_unstable();
+            prop_assert_eq!(h.count(), values.len() as u64);
+            prop_assert_eq!(h.max(), *sorted.last().unwrap());
+            for q in [p, 0.5, 0.9, 0.99, 0.999, 1.0] {
+                let exact = model_percentile(&sorted, q);
+                let got = h.percentile(q);
+                // Upper bucket bound: never below the exact quantile,
+                // above by at most one bucket width (v/16, or 0 below 16),
+                // and never beyond the true maximum.
+                prop_assert!(got >= exact,
+                    "p{} under-estimated: {} < {}", q, got, exact);
+                prop_assert!(got <= exact + exact / 16,
+                    "p{} over bucket width: {} vs {}", q, got, exact);
+                prop_assert!(got <= h.max());
+            }
+        }
+
+        #[test]
+        fn merge_is_associative(
+            a in proptest::collection::vec(0u64..1_000_000_000, 0..60),
+            b in proptest::collection::vec(0u64..1_000_000_000, 0..60),
+            c in proptest::collection::vec(0u64..1_000_000_000, 0..60),
+        ) {
+            let of = |values: &[u64]| {
+                let h = Histogram::new();
+                for &v in values {
+                    h.record(v);
+                }
+                h
+            };
+            // (a ⊕ b) ⊕ c
+            let left = of(&a);
+            left.merge(&of(&b));
+            left.merge(&of(&c));
+            // a ⊕ (b ⊕ c)
+            let bc = of(&b);
+            bc.merge(&of(&c));
+            let right = of(&a);
+            right.merge(&bc);
+            prop_assert_eq!(left.count(), right.count());
+            prop_assert_eq!(left.sum(), right.sum());
+            prop_assert_eq!(left.max(), right.max());
+            prop_assert_eq!(left.nonzero_buckets(), right.nonzero_buckets());
+            for q in [0.5, 0.9, 0.99, 1.0] {
+                prop_assert_eq!(left.percentile(q), right.percentile(q));
+            }
+            // ... and merging equals recording the concatenation.
+            let mut all = a.clone();
+            all.extend_from_slice(&b);
+            all.extend_from_slice(&c);
+            let direct = of(&all);
+            prop_assert_eq!(left.nonzero_buckets(), direct.nonzero_buckets());
+        }
+    }
+}

@@ -1,0 +1,331 @@
+//! The metrics registry: phase histograms, busy-time gauges and the trace
+//! buffer behind one tracing toggle.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use reactdb_common::TracingConfig;
+
+use crate::histogram::{Histogram, ShardedHistogram};
+use crate::tracer::{TraceBuffer, TraceEvent, TraceKind};
+
+/// A traced phase of a transaction's life (or of a background daemon's
+/// work). The first seven are the commit-path phases the export surface
+/// guarantees: where a root transaction's latency goes, end to end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Root procedure execution: `run_subtxn` from dequeue to the commit
+    /// decision (includes sub-transaction fan-out and cooperative waits).
+    Execute,
+    /// Silo phase 1: sorting and acquiring write locks.
+    Lock,
+    /// Membership fence: bumping node versions whose membership the commit
+    /// changes (phantom protection).
+    Fence,
+    /// Silo phase 3: read-set and node-set validation.
+    Validate,
+    /// Silo phase 4: TID generation and write installation.
+    Write,
+    /// Durability hook: rendering redo records and appending them to the
+    /// log sink.
+    Log,
+    /// Client durable acknowledgement: `wait_durable` blocking until the
+    /// WAL's durable epoch covers the commit epoch.
+    DurableAck,
+    /// Group commit: fencing the epoch and draining in-flight commits
+    /// through the gate (sync queue wait).
+    WalSyncWait,
+    /// Group commit: flushing and fsyncing every log writer.
+    WalFsync,
+    /// One checkpointer chunk: snapshotting a key-range page and writing
+    /// its frames.
+    CheckpointChunk,
+    /// Client session wait: `submit` to resolution (queueing + execute +
+    /// commit), as observed by the client.
+    SessionWait,
+}
+
+impl Phase {
+    /// Number of phases.
+    pub const COUNT: usize = 11;
+
+    /// Every phase, in display order.
+    pub const ALL: [Phase; Phase::COUNT] = [
+        Phase::Execute,
+        Phase::Lock,
+        Phase::Fence,
+        Phase::Validate,
+        Phase::Write,
+        Phase::Log,
+        Phase::DurableAck,
+        Phase::WalSyncWait,
+        Phase::WalFsync,
+        Phase::CheckpointChunk,
+        Phase::SessionWait,
+    ];
+
+    /// The five sections of `Coordinator::commit` a [`CommitProbe`] laps.
+    pub const COMMIT: [Phase; 5] = [
+        Phase::Lock,
+        Phase::Fence,
+        Phase::Validate,
+        Phase::Write,
+        Phase::Log,
+    ];
+
+    /// Stable snake_case name used in metric names and JSON keys.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Execute => "execute",
+            Phase::Lock => "lock",
+            Phase::Fence => "fence",
+            Phase::Validate => "validate",
+            Phase::Write => "write",
+            Phase::Log => "log",
+            Phase::DurableAck => "durable_ack",
+            Phase::WalSyncWait => "wal_sync_wait",
+            Phase::WalFsync => "wal_fsync",
+            Phase::CheckpointChunk => "checkpoint_chunk",
+            Phase::SessionWait => "session_wait",
+        }
+    }
+}
+
+/// The observability registry one database instance owns (shared with its
+/// WAL and checkpointer). With tracing disabled every recording entry
+/// point reduces to a branch on a `bool` — no clock reads, no atomics.
+pub struct Metrics {
+    enabled: bool,
+    birth: Instant,
+    slow_txn_ns: u64,
+    phases: Vec<ShardedHistogram>,
+    busy_ns: Vec<AtomicU64>,
+    tracer: TraceBuffer,
+}
+
+impl Metrics {
+    /// Creates the registry for `executors` executors under `config`.
+    pub fn new(executors: usize, config: &TracingConfig) -> Self {
+        let executors = executors.max(1);
+        Self {
+            enabled: config.enabled,
+            birth: Instant::now(),
+            slow_txn_ns: config.slow_txn_threshold_us.saturating_mul(1_000),
+            phases: Phase::ALL
+                .iter()
+                .map(|_| ShardedHistogram::new(executors))
+                .collect(),
+            busy_ns: (0..executors).map(|_| AtomicU64::new(0)).collect(),
+            tracer: TraceBuffer::new(executors, config.ring_capacity),
+        }
+    }
+
+    /// A disabled registry (`TracingConfig::off()`).
+    pub fn disabled() -> Self {
+        Self::new(1, &TracingConfig::off())
+    }
+
+    /// Whether tracing is enabled.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Nanoseconds since the registry was created (the trace timebase).
+    pub fn now_ns(&self) -> u64 {
+        self.birth.elapsed().as_nanos() as u64
+    }
+
+    /// Wall-clock nanoseconds this instance has been up.
+    pub fn uptime_ns(&self) -> u64 {
+        self.now_ns()
+    }
+
+    /// The slow-transaction threshold in nanoseconds.
+    pub fn slow_txn_ns(&self) -> u64 {
+        self.slow_txn_ns
+    }
+
+    /// Starts a span: `Some(now)` when tracing is on, `None` (no clock
+    /// read) when off.
+    pub fn clock(&self) -> Option<Instant> {
+        self.enabled.then(Instant::now)
+    }
+
+    /// Records `ns` into `phase`'s histogram, sharded by `shard`.
+    pub fn record_phase(&self, phase: Phase, shard: usize, ns: u64) {
+        if self.enabled {
+            self.phases[phase as usize].record(shard, ns);
+        }
+    }
+
+    /// Records the span from `since` (a [`Metrics::clock`] result) into
+    /// `phase` and returns its length in nanoseconds.
+    pub fn record_elapsed(&self, phase: Phase, shard: usize, since: Instant) -> u64 {
+        let ns = since.elapsed().as_nanos() as u64;
+        self.record_phase(phase, shard, ns);
+        ns
+    }
+
+    /// A per-commit probe for the coordinator's phase laps, or `None` when
+    /// tracing is off (the coordinator then takes no timestamps at all).
+    pub fn commit_probe(&self, shard: usize) -> Option<CommitProbe<'_>> {
+        self.enabled.then(|| CommitProbe {
+            metrics: self,
+            shard,
+            last: Instant::now(),
+            durs: [0; Phase::COMMIT.len()],
+        })
+    }
+
+    /// Adds busy time to one executor's utilization accounting.
+    pub fn add_busy(&self, executor: usize, ns: u64) {
+        if self.enabled {
+            self.busy_ns[executor % self.busy_ns.len()].fetch_add(ns, Ordering::Relaxed);
+        }
+    }
+
+    /// Busy nanoseconds accumulated by one executor's workers.
+    pub fn busy_ns(&self, executor: usize) -> u64 {
+        self.busy_ns[executor % self.busy_ns.len()].load(Ordering::Relaxed)
+    }
+
+    /// Records a trace event (no-op when tracing is off). `executor`
+    /// selects the ring; `usize::MAX` is the shared non-executor ring.
+    pub fn trace(&self, executor: usize, txn: u64, kind: TraceKind, dur_ns: u64) {
+        if self.enabled {
+            self.tracer
+                .record(executor, txn, kind, self.now_ns(), dur_ns);
+        }
+    }
+
+    /// Drains the trace rings (most recent events, globally ordered).
+    pub fn drain_trace(&self) -> Vec<TraceEvent> {
+        self.tracer.drain()
+    }
+
+    /// Point-in-time merge of one phase's shards.
+    pub fn phase_histogram(&self, phase: Phase) -> Histogram {
+        self.phases[phase as usize].merged()
+    }
+
+    /// Samples recorded for one phase (across shards, without merging).
+    pub fn phase_count(&self, phase: Phase) -> u64 {
+        self.phases[phase as usize].count()
+    }
+}
+
+impl std::fmt::Debug for Metrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Metrics")
+            .field("enabled", &self.enabled)
+            .field("executors", &self.busy_ns.len())
+            .field("traced", &self.tracer.recorded())
+            .finish()
+    }
+}
+
+/// Phase-lap stopwatch for one commit, handed by the engine into
+/// `Coordinator::commit_observed`. Each [`CommitProbe::lap`] records the
+/// span since the previous lap into the phase's histogram and remembers it
+/// for slow-transaction capture. Only ever constructed when tracing is on.
+pub struct CommitProbe<'m> {
+    metrics: &'m Metrics,
+    shard: usize,
+    last: Instant,
+    durs: [u64; Phase::COMMIT.len()],
+}
+
+impl CommitProbe<'_> {
+    /// Restarts the stopwatch; the coordinator calls this when the commit
+    /// protocol actually begins (construction time may precede it).
+    pub fn begin(&mut self) {
+        self.last = Instant::now();
+    }
+
+    /// Ends the current phase span, recording it under `phase` (one of
+    /// [`Phase::COMMIT`]) and starting the next span.
+    pub fn lap(&mut self, phase: Phase) {
+        let now = Instant::now();
+        let ns = now.duration_since(self.last).as_nanos() as u64;
+        self.last = now;
+        self.metrics.record_phase(phase, self.shard, ns);
+        if let Some(slot) = Phase::COMMIT.iter().position(|p| *p == phase) {
+            self.durs[slot] = ns;
+        }
+    }
+
+    /// The recorded `(phase, ns)` laps, for slow-transaction capture.
+    pub fn phase_durs(&self) -> [(Phase, u64); Phase::COMMIT.len()] {
+        let mut out = [(Phase::Lock, 0u64); Phase::COMMIT.len()];
+        for (i, phase) in Phase::COMMIT.iter().enumerate() {
+            out[i] = (*phase, self.durs[i]);
+        }
+        out
+    }
+
+    /// Total nanoseconds across the recorded laps.
+    pub fn total_ns(&self) -> u64 {
+        self.durs.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_registry_records_nothing() {
+        let m = Metrics::disabled();
+        assert!(!m.enabled());
+        assert!(m.clock().is_none());
+        assert!(m.commit_probe(0).is_none());
+        m.record_phase(Phase::Execute, 0, 123);
+        m.trace(0, 1, TraceKind::Commit, 5);
+        m.add_busy(0, 10);
+        assert_eq!(m.phase_count(Phase::Execute), 0);
+        assert_eq!(m.busy_ns(0), 0);
+        assert!(m.drain_trace().is_empty());
+    }
+
+    #[test]
+    fn enabled_registry_records_phases_and_events() {
+        let m = Metrics::new(2, &TracingConfig::default());
+        m.record_phase(Phase::Lock, 0, 100);
+        m.record_phase(Phase::Lock, 1, 300);
+        assert_eq!(m.phase_count(Phase::Lock), 2);
+        let h = m.phase_histogram(Phase::Lock);
+        assert_eq!(h.count(), 2);
+        assert!(h.percentile(1.0) >= 300);
+        m.trace(1, 42, TraceKind::Commit, 400);
+        let events = m.drain_trace();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].txn, 42);
+        m.add_busy(1, 500);
+        assert_eq!(m.busy_ns(1), 500);
+    }
+
+    #[test]
+    fn commit_probe_laps_into_the_commit_phases() {
+        let m = Metrics::new(1, &TracingConfig::default());
+        let mut probe = m.commit_probe(0).unwrap();
+        probe.begin();
+        for phase in Phase::COMMIT {
+            probe.lap(phase);
+        }
+        for phase in Phase::COMMIT {
+            assert_eq!(m.phase_count(phase), 1, "{} not lapped", phase.name());
+        }
+        assert_eq!(m.phase_count(Phase::Execute), 0);
+        let durs = probe.phase_durs();
+        assert_eq!(durs.len(), 5);
+        assert_eq!(durs[0].0, Phase::Lock);
+        assert_eq!(probe.total_ns(), durs.iter().map(|(_, ns)| ns).sum());
+    }
+
+    #[test]
+    fn slow_threshold_converts_to_nanoseconds() {
+        let config = TracingConfig::default().with_slow_txn_threshold_us(250);
+        let m = Metrics::new(1, &config);
+        assert_eq!(m.slow_txn_ns(), 250_000);
+    }
+}

@@ -1,0 +1,253 @@
+//! Per-executor ring-buffer event tracing.
+//!
+//! Every executor (plus one shared ring for non-executor contexts: the WAL
+//! daemon, the checkpointer, client threads) owns a fixed-capacity ring of
+//! [`TraceEvent`] slots. Writers claim a slot with one `fetch_add` on the
+//! ring's cursor and overwrite the oldest event — the hot path performs no
+//! allocation and never blocks on readers (each slot is guarded by its own
+//! uncontended mutex purely to keep concurrent writers from tearing an
+//! event). A global sequence number orders events across rings, so a drain
+//! reconstructs the interleaved recent history of the whole instance.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::abort::AbortReason;
+use crate::metrics::Phase;
+
+/// What a [`TraceEvent`] describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// A root transaction committed; `dur_ns` is execute + commit.
+    Commit,
+    /// A committed root transaction exceeded the slow-transaction
+    /// threshold; one [`TraceKind::CommitPhase`] event per commit phase
+    /// accompanies it with the breakdown.
+    SlowTxn,
+    /// One phase of a slow transaction's commit path.
+    CommitPhase(Phase),
+    /// A root transaction aborted, classified by the abort taxonomy.
+    Abort(AbortReason),
+    /// A group commit's queue-drain span (fence to gate release).
+    GroupCommitWait,
+    /// A group commit's flush + fsync span.
+    GroupCommitFsync,
+    /// One checkpointer chunk walk (snapshot + frame write).
+    CheckpointChunk,
+    /// A client's durable acknowledgement wait.
+    DurableAck,
+}
+
+/// One traced event. `Copy` and fixed-size: writing an event into a ring
+/// slot moves no heap data.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceEvent {
+    /// Global sequence number (1-based, total order across rings); 0 marks
+    /// an empty slot and never appears in drained events.
+    pub seq: u64,
+    /// Monotonic timestamp in nanoseconds since the owning
+    /// [`crate::Metrics`] registry was created.
+    pub at_ns: u64,
+    /// Executor the event was recorded on; `u32::MAX` for non-executor
+    /// contexts (WAL daemon, checkpointer, client threads).
+    pub executor: u32,
+    /// Root transaction id, when the event belongs to one (0 otherwise).
+    pub txn: u64,
+    /// Event kind.
+    pub kind: TraceKind,
+    /// Duration of the traced span in nanoseconds.
+    pub dur_ns: u64,
+}
+
+impl TraceEvent {
+    const EMPTY: TraceEvent = TraceEvent {
+        seq: 0,
+        at_ns: 0,
+        executor: 0,
+        txn: 0,
+        kind: TraceKind::Commit,
+        dur_ns: 0,
+    };
+}
+
+struct Ring {
+    cursor: AtomicU64,
+    slots: Box<[Mutex<TraceEvent>]>,
+}
+
+impl Ring {
+    fn new(capacity: usize) -> Self {
+        Self {
+            cursor: AtomicU64::new(0),
+            slots: (0..capacity)
+                .map(|_| Mutex::new(TraceEvent::EMPTY))
+                .collect(),
+        }
+    }
+}
+
+/// The per-executor ring buffers plus the global sequence counter.
+pub struct TraceBuffer {
+    rings: Vec<Ring>,
+    seq: AtomicU64,
+}
+
+impl TraceBuffer {
+    /// Creates `executors + 1` rings (the extra ring serves non-executor
+    /// contexts) of `capacity` slots each, rounded up to a power of two.
+    pub fn new(executors: usize, capacity: usize) -> Self {
+        let capacity = capacity.max(2).next_power_of_two();
+        Self {
+            rings: (0..executors + 1).map(|_| Ring::new(capacity)).collect(),
+            seq: AtomicU64::new(0),
+        }
+    }
+
+    /// Slots per ring.
+    pub fn capacity(&self) -> usize {
+        self.rings[0].slots.len()
+    }
+
+    /// Number of rings (executors + 1).
+    pub fn rings(&self) -> usize {
+        self.rings.len()
+    }
+
+    /// Records one event into the ring of `executor` (anything `>=
+    /// rings - 1`, e.g. `usize::MAX`, lands in the shared non-executor
+    /// ring), overwriting the oldest slot once the ring is full.
+    pub fn record(&self, executor: usize, txn: u64, kind: TraceKind, at_ns: u64, dur_ns: u64) {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed) + 1;
+        let ring = &self.rings[executor.min(self.rings.len() - 1)];
+        let slot = ring.cursor.fetch_add(1, Ordering::Relaxed) as usize & (ring.slots.len() - 1);
+        *ring.slots[slot].lock() = TraceEvent {
+            seq,
+            at_ns,
+            executor: executor.min(u32::MAX as usize) as u32,
+            txn,
+            kind,
+            dur_ns,
+        };
+    }
+
+    /// Total events ever recorded (including overwritten ones).
+    pub fn recorded(&self) -> u64 {
+        self.seq.load(Ordering::Relaxed)
+    }
+
+    /// Drains every ring: returns the retained (most recent) events sorted
+    /// by global sequence and resets the slots, so consecutive drains
+    /// partition the event stream.
+    pub fn drain(&self) -> Vec<TraceEvent> {
+        let mut events = Vec::new();
+        for ring in &self.rings {
+            for slot in ring.slots.iter() {
+                let mut guard = slot.lock();
+                if guard.seq != 0 {
+                    events.push(std::mem::replace(&mut *guard, TraceEvent::EMPTY));
+                }
+            }
+        }
+        events.sort_by_key(|e| e.seq);
+        events
+    }
+}
+
+impl std::fmt::Debug for TraceBuffer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceBuffer")
+            .field("rings", &self.rings.len())
+            .field("capacity", &self.capacity())
+            .field("recorded", &self.recorded())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn capacity_rounds_up_to_a_power_of_two() {
+        assert_eq!(TraceBuffer::new(1, 100).capacity(), 128);
+        assert_eq!(TraceBuffer::new(1, 128).capacity(), 128);
+        assert_eq!(TraceBuffer::new(0, 0).capacity(), 2);
+    }
+
+    #[test]
+    fn drain_returns_events_in_sequence_order_and_clears() {
+        let t = TraceBuffer::new(2, 8);
+        t.record(0, 1, TraceKind::Commit, 10, 100);
+        t.record(1, 2, TraceKind::Abort(AbortReason::Phantom), 20, 200);
+        t.record(usize::MAX, 0, TraceKind::GroupCommitFsync, 30, 300);
+        let events = t.drain();
+        assert_eq!(events.len(), 3);
+        assert_eq!(
+            events.iter().map(|e| e.seq).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
+        assert_eq!(events[1].kind, TraceKind::Abort(AbortReason::Phantom));
+        assert_eq!(events[2].executor, u32::MAX, "shared ring context marker");
+        assert!(t.drain().is_empty(), "drain clears the slots");
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_when_full() {
+        let t = TraceBuffer::new(0, 4);
+        for i in 0..10u64 {
+            t.record(0, i, TraceKind::Commit, i, i);
+        }
+        let events = t.drain();
+        assert_eq!(events.len(), 4, "capacity bounds retention");
+        // The four *newest* events survive.
+        assert_eq!(
+            events.iter().map(|e| e.txn).collect::<Vec<_>>(),
+            vec![6, 7, 8, 9]
+        );
+        assert_eq!(t.recorded(), 10);
+    }
+
+    #[test]
+    fn concurrent_writers_wrap_without_tearing_events() {
+        const THREADS: u64 = 8;
+        const PER_THREAD: u64 = 5_000;
+        let t = Arc::new(TraceBuffer::new(3, 64));
+        let handles: Vec<_> = (0..THREADS)
+            .map(|thread| {
+                let t = Arc::clone(&t);
+                std::thread::spawn(move || {
+                    for i in 0..PER_THREAD {
+                        // Self-consistent payload: txn encodes the writer,
+                        // at_ns/dur_ns derive from it, so a torn (half-
+                        // written) event is detectable below.
+                        let payload = thread * PER_THREAD + i;
+                        t.record(
+                            thread as usize, // spreads over all 4 rings
+                            payload,
+                            TraceKind::Commit,
+                            payload * 3,
+                            payload * 7,
+                        );
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(t.recorded(), THREADS * PER_THREAD);
+        let events = t.drain();
+        assert!(events.len() <= 4 * 64, "bounded by total capacity");
+        assert!(!events.is_empty());
+        let mut prev = 0u64;
+        for e in &events {
+            assert!(e.seq > prev, "sequence numbers strictly increase");
+            prev = e.seq;
+            assert!(e.seq <= THREADS * PER_THREAD);
+            assert_eq!(e.at_ns, e.txn * 3, "torn event: at_ns mismatch");
+            assert_eq!(e.dur_ns, e.txn * 7, "torn event: dur_ns mismatch");
+        }
+    }
+}

@@ -42,6 +42,7 @@ use std::collections::HashSet;
 use std::sync::Arc;
 
 use reactdb_common::{Result, TxnError};
+use reactdb_obs::{CommitProbe, Phase};
 use reactdb_storage::{TidWord, Tuple, TupleDelta};
 
 use crate::epoch::EpochManager;
@@ -115,6 +116,26 @@ impl Coordinator {
         tidgen: &TidGen,
         sink: Option<&dyn LogSink>,
     ) -> Result<TidWord> {
+        Self::commit_observed(participants, epoch, tidgen, sink, None)
+    }
+
+    /// Like [`Coordinator::commit_logged`], but laps a [`CommitProbe`]
+    /// across the protocol's phase boundaries (lock, fence, validate,
+    /// write, log), feeding the engine's per-phase latency histograms and
+    /// slow-transaction capture. With `probe == None` (tracing disabled)
+    /// the commit path takes no timestamps at all. An aborting commit
+    /// still records its lock, fence and validate laps — where rejected
+    /// work spends its time is exactly what an abort investigation needs.
+    pub fn commit_observed(
+        participants: &mut [OccTxn],
+        epoch: &EpochManager,
+        tidgen: &TidGen,
+        sink: Option<&dyn LogSink>,
+        mut probe: Option<&mut CommitProbe>,
+    ) -> Result<TidWord> {
+        if let Some(p) = probe.as_deref_mut() {
+            p.begin();
+        }
         // ---- Phase 1: lock the union of the write sets in address order.
         let mut write_refs: Vec<(usize, usize)> = Vec::new(); // (participant, write idx)
         for (pi, p) in participants.iter().enumerate() {
@@ -142,6 +163,9 @@ impl Coordinator {
 
         // ---- Serialization point: read the epoch after acquiring locks.
         let current_epoch = epoch.current();
+        if let Some(p) = probe.as_deref_mut() {
+            p.lap(Phase::Lock);
+        }
 
         // ---- Phase 2: membership fence. For every index node whose
         // membership this commit changes: install new secondary pairs
@@ -174,6 +198,9 @@ impl Coordinator {
                 p.refresh_node(bump);
             }
         }
+        if let Some(p) = probe.as_deref_mut() {
+            p.lap(Phase::Fence);
+        }
 
         // ---- Phase 3: validate the read and node sets of every
         // participant.
@@ -203,6 +230,10 @@ impl Coordinator {
                     break 'validation;
                 }
             }
+        }
+
+        if let Some(p) = probe.as_deref_mut() {
+            p.lap(Phase::Validate);
         }
 
         if !valid {
@@ -253,6 +284,9 @@ impl Coordinator {
                 }
             }
         }
+        if let Some(p) = probe.as_deref_mut() {
+            p.lap(Phase::Write);
+        }
 
         // ---- Durability hook: emit the redo batch for the whole commit.
         // Updates are rendered as field-level deltas when the sink opted in
@@ -301,6 +335,9 @@ impl Coordinator {
             if !records.is_empty() {
                 sink.log_commit(commit_tid, &records);
             }
+        }
+        if let Some(p) = probe {
+            p.lap(Phase::Log);
         }
         Ok(commit_tid)
     }
@@ -842,6 +879,48 @@ mod tests {
             t0.get(&Key::Int(1)).unwrap().read_unguarded().at(1),
             &Value::Int(0)
         );
+    }
+
+    #[test]
+    fn commit_observed_laps_every_commit_phase() {
+        use reactdb_common::TracingConfig;
+        use reactdb_obs::Metrics;
+        let t = table("t");
+        let (epoch, gen) = env();
+        let metrics = Metrics::new(1, &TracingConfig::default());
+
+        let mut p = OccTxn::new(ContainerId(0));
+        p.update(&t, Tuple::of([Value::Int(1), Value::Int(5)]))
+            .unwrap();
+        let mut probe = metrics.commit_probe(0).unwrap();
+        Coordinator::commit_observed(&mut [p], &epoch, &gen, None, Some(&mut probe)).unwrap();
+        for phase in Phase::COMMIT {
+            assert_eq!(
+                metrics.phase_count(phase),
+                1,
+                "{} not recorded",
+                phase.name()
+            );
+        }
+        assert_eq!(probe.phase_durs().len(), 5);
+
+        // An aborting commit records only lock/fence/validate laps.
+        let mut stale = OccTxn::new(ContainerId(0));
+        stale.read(&t, &Key::Int(3)).unwrap();
+        let mut other = OccTxn::new(ContainerId(0));
+        other
+            .update(&t, Tuple::of([Value::Int(3), Value::Int(9)]))
+            .unwrap();
+        Coordinator::commit(&mut [other], &epoch, &gen).unwrap();
+        stale
+            .update(&t, Tuple::of([Value::Int(4), Value::Int(4)]))
+            .unwrap();
+        let mut probe = metrics.commit_probe(0).unwrap();
+        Coordinator::commit_observed(&mut [stale], &epoch, &gen, None, Some(&mut probe))
+            .unwrap_err();
+        assert_eq!(metrics.phase_count(Phase::Validate), 2);
+        assert_eq!(metrics.phase_count(Phase::Write), 1, "abort stops laps");
+        assert_eq!(metrics.phase_count(Phase::Log), 1);
     }
 
     #[test]

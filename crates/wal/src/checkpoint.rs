@@ -368,9 +368,11 @@ impl Checkpointer {
         let mut rows = 0u64;
         let mut cover_epoch = epoch;
         let mut buf = Vec::new();
+        let obs = self.wal.observability();
         for entry in &self.tables {
             let mut cursor = None;
             loop {
+                let chunk_started = obs.map(|_| std::time::Instant::now());
                 let chunk = entry.table.snapshot_chunk(cursor.as_ref(), self.chunk_size);
                 buf.clear();
                 for (key, tid, image) in chunk.rows {
@@ -390,6 +392,11 @@ impl Checkpointer {
                 }
                 file.write_all(&buf)?;
                 bytes += buf.len() as u64;
+                if let (Some(m), Some(started)) = (obs, chunk_started) {
+                    use reactdb_obs::{Phase, TraceKind};
+                    let ns = m.record_elapsed(Phase::CheckpointChunk, usize::MAX, started);
+                    m.trace(usize::MAX, 0, TraceKind::CheckpointChunk, ns);
+                }
                 match chunk.next {
                     Some(next) => cursor = Some(next),
                     None => break,

@@ -42,12 +42,13 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex, RwLock, RwLockReadGuard};
 use reactdb_common::{DurabilityConfig, DurabilityMode};
+use reactdb_obs::{Metrics, Phase, TraceKind};
 use reactdb_storage::TidWord;
 use reactdb_txn::{Coordinator, EpochManager, RedoRecord};
 
@@ -163,6 +164,10 @@ pub struct Wal {
     /// shutdown (released there, not at drop, so a lingering `Arc<Wal>` in
     /// a client handle cannot hold the directory hostage).
     dir_lock: Mutex<Option<LogDirLock>>,
+    /// Observability registry, attached by the engine after boot (the WAL
+    /// opens before the registry exists). Unset or disabled, the group
+    /// commit takes no timestamps.
+    metrics: OnceLock<Arc<Metrics>>,
 }
 
 /// True when `dir` already holds WAL state (segments or a durable-epoch
@@ -263,6 +268,7 @@ impl Wal {
             watch: EpochWatch::default(),
             closed: AtomicBool::new(false),
             dir_lock: Mutex::new(Some(lock)),
+            metrics: OnceLock::new(),
         }))
     }
 
@@ -284,6 +290,23 @@ impl Wal {
     /// Durability counters.
     pub fn stats(&self) -> &Arc<WalStats> {
         &self.stats
+    }
+
+    /// Attaches the engine's observability registry; later calls are
+    /// ignored (first writer wins). The group commit and the checkpointer
+    /// record sync-wait/fsync/chunk timings into it.
+    pub fn attach_metrics(&self, metrics: Arc<Metrics>) {
+        let _ = self.metrics.set(metrics);
+    }
+
+    /// The attached registry, when present and enabled.
+    fn obs(&self) -> Option<&Metrics> {
+        self.metrics.get().map(Arc::as_ref).filter(|m| m.enabled())
+    }
+
+    /// The attached registry for sibling daemons (the checkpointer).
+    pub(crate) fn observability(&self) -> Option<&Metrics> {
+        self.obs()
     }
 
     /// Highest epoch currently guaranteed durable.
@@ -344,10 +367,21 @@ impl Wal {
     fn group_commit_locked(&self) -> io::Result<u64> {
         match self.mode {
             DurabilityMode::EpochSync => {
+                let obs = self.obs();
+                let wait_started = obs.map(|_| Instant::now());
                 let fence = self.epoch.current(); // 1. fence
                 drop(self.gate.write()); // 2. drain in-flight commits
+                if let (Some(m), Some(started)) = (obs, wait_started) {
+                    let ns = m.record_elapsed(Phase::WalSyncWait, usize::MAX, started);
+                    m.trace(usize::MAX, 0, TraceKind::GroupCommitWait, ns);
+                }
+                let fsync_started = obs.map(|_| Instant::now());
                 for writer in &self.writers {
                     writer.flush(true)?; // 3. flush + fsync
+                }
+                if let (Some(m), Some(started)) = (obs, fsync_started) {
+                    let ns = m.record_elapsed(Phase::WalFsync, usize::MAX, started);
+                    m.trace(usize::MAX, 0, TraceKind::GroupCommitFsync, ns);
                 }
                 let durable = fence.saturating_sub(1);
                 if durable > self.stats.durable_epoch() {

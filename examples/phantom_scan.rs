@@ -98,16 +98,25 @@ fn main() {
         .unwrap();
     println!("retried scan committed: {count:?} rows in [0, 1000)");
 
-    // 3. Phantom aborts are distinguishable from ordinary OCC conflicts.
-    let stats = db.stats();
+    // 3. Phantom aborts are distinguishable from ordinary OCC conflicts —
+    //    the metrics snapshot carries the full abort-cause breakdown.
+    let metrics = db.metrics();
+    let phantom = metrics
+        .counter("txn_aborts{reason=\"phantom\"}")
+        .unwrap_or(0);
     println!(
-        "stats: committed={} cc_aborts={} phantom_aborts={} scan_ops={}",
-        stats.committed(),
-        stats.cc_aborts(),
-        stats.phantom_aborts(),
-        stats.scan_ops(),
+        "metrics: committed={} cc_aborts={} phantom_aborts={} scan_ops={}",
+        metrics.counter("txn_committed").unwrap_or(0),
+        metrics.counter("txn_cc_aborts").unwrap_or(0),
+        phantom,
+        metrics.counter("scan_ops").unwrap_or(0),
     );
-    assert!(stats.phantom_aborts() >= 1);
-    assert!(stats.cc_aborts() >= stats.phantom_aborts());
+    assert!(phantom >= 1);
+    assert!(metrics.counter("txn_cc_aborts").unwrap_or(0) >= phantom);
+    assert_eq!(
+        db.stats().phantom_aborts(),
+        phantom,
+        "snapshot matches stats"
+    );
     println!("session phantom aborts: {}", client.stats().phantom_aborts);
 }

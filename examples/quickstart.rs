@@ -131,10 +131,23 @@ fn main() {
         "session: submitted={} committed={} aborted={} pipelined-depth={}",
         session.submitted, session.committed, session.aborted, session.in_flight_hwm
     );
+
+    // 7. Database-wide observability goes through the metrics snapshot: the
+    //    same counters the Prometheus/JSON export surfaces render, plus the
+    //    per-phase latency histograms the tracing layer recorded.
+    let metrics = db.metrics();
     println!(
         "database: committed={} cc_aborts={} user_aborts={}",
-        db.stats().committed(),
-        db.stats().cc_aborts(),
-        db.stats().user_aborts()
+        metrics.counter("txn_committed").unwrap_or(0),
+        metrics.counter("txn_cc_aborts").unwrap_or(0),
+        metrics
+            .counter("txn_aborts{reason=\"user_abort\"}")
+            .unwrap_or(0),
     );
+    if let Some(h) = metrics.histogram("phase_execute_ns") {
+        println!(
+            "execute phase: n={} p50={}ns p99={}ns max={}ns",
+            h.count, h.p50_ns, h.p99_ns, h.max_ns
+        );
+    }
 }

@@ -16,6 +16,7 @@
 pub use reactdb_common as common;
 pub use reactdb_core as core;
 pub use reactdb_engine as engine;
+pub use reactdb_obs as obs;
 pub use reactdb_sim as sim;
 pub use reactdb_storage as storage;
 pub use reactdb_txn as txn;
@@ -23,3 +24,4 @@ pub use reactdb_wal as wal;
 pub use reactdb_workloads as workloads;
 
 pub use reactdb_engine::{Call, Client, ReactDB, RetryPolicy, SessionStats, TxnHandle};
+pub use reactdb_obs::{AbortReason, MetricsSnapshot, Phase, TraceEvent, TraceKind};

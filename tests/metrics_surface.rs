@@ -1,0 +1,117 @@
+//! Workspace-level acceptance test for the observability layer: a mixed
+//! workload must light up the commit-path phase histograms, the abort
+//! breakdown must match what actually happened, and the two renderers must
+//! agree with the snapshot.
+
+use reactdb::common::{DeploymentConfig, DurabilityConfig, Key, Value};
+use reactdb::core::{ReactorDatabaseSpec, ReactorType};
+use reactdb::storage::{ColumnType, RelationDef, Schema, Tuple};
+use reactdb::{AbortReason, MetricsSnapshot, Phase, ReactDB, TraceKind};
+
+fn spec() -> ReactorDatabaseSpec {
+    let counter = ReactorType::new("Counter")
+        .with_relation(RelationDef::new(
+            "state",
+            Schema::of(&[("id", ColumnType::Int), ("n", ColumnType::Int)], &["id"]),
+        ))
+        .with_procedure("init", |ctx, _| {
+            ctx.insert("state", Tuple::of([Value::Int(0), Value::Int(0)]))?;
+            Ok(Value::Null)
+        })
+        .with_procedure("bump", |ctx, _| {
+            let row = ctx.update_with("state", &Key::Int(0), |t| {
+                t.values_mut()[1] = Value::Int(t.at(1).as_int() + 1);
+            })?;
+            Ok(Value::Int(row.at(1).as_int()))
+        })
+        .with_procedure("refuse", |ctx, _| ctx.abort("refused"));
+    let mut spec = ReactorDatabaseSpec::new();
+    spec.add_type(counter);
+    spec.add_reactor("c-0", "Counter");
+    spec.add_reactor("c-1", "Counter");
+    spec
+}
+
+fn wal_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "reactdb-metrics-surface-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn mixed_workload_fills_the_export_surface() {
+    let dir = wal_dir("fill");
+    let config = DeploymentConfig::shared_nothing(2).with_durability(
+        DurabilityConfig::epoch_sync(dir.to_string_lossy().as_ref()).with_interval_ms(0),
+    );
+    let db = ReactDB::boot(spec(), config);
+    let client = db.client();
+    client.invoke("c-0", "init", vec![]).unwrap();
+    client.invoke("c-1", "init", vec![]).unwrap();
+    for i in 0..10 {
+        let handle = client
+            .submit(&format!("c-{}", i % 2), "bump", vec![])
+            .unwrap();
+        handle.wait_durable().unwrap();
+    }
+    assert!(client.invoke("c-0", "refuse", vec![]).is_err());
+
+    let before = db.metrics();
+    for phase in [
+        Phase::Execute,
+        Phase::Lock,
+        Phase::Fence,
+        Phase::Validate,
+        Phase::Write,
+        Phase::Log,
+        Phase::DurableAck,
+    ] {
+        let h = before
+            .histogram(&format!("phase_{}_ns", phase.name()))
+            .unwrap();
+        assert!(h.count > 0, "{} empty", phase.name());
+    }
+    assert_eq!(before.counter("txn_committed"), Some(12));
+    assert_eq!(before.counter("txn_aborts{reason=\"user_abort\"}"), Some(1));
+
+    // Session-level breakdown agrees.
+    let session = client.stats();
+    let user_aborts = session
+        .aborts_by_reason
+        .iter()
+        .find(|(r, _)| *r == AbortReason::UserAbort)
+        .map(|(_, n)| *n)
+        .unwrap();
+    assert_eq!(user_aborts, 1);
+    assert_eq!(session.aborted, 1);
+
+    // Renderers round-trip the same values.
+    let parsed = MetricsSnapshot::from_json(&before.to_json()).unwrap();
+    assert_eq!(parsed, before);
+    assert!(before
+        .to_prometheus_text()
+        .contains("reactdb_txn_committed 12"));
+
+    // Deltas move with the workload.
+    for _ in 0..5 {
+        client.invoke("c-0", "bump", vec![]).unwrap();
+    }
+    let after = db.metrics();
+    let delta = after.delta(&before);
+    assert_eq!(delta.counter("txn_committed"), Some(5));
+
+    // Trace events cover commit, abort and group-commit activity.
+    let events = db.trace_events();
+    assert!(events.iter().any(|e| matches!(e.kind, TraceKind::Commit)));
+    assert!(events
+        .iter()
+        .any(|e| matches!(e.kind, TraceKind::Abort(AbortReason::UserAbort))));
+    assert!(events
+        .iter()
+        .any(|e| matches!(e.kind, TraceKind::GroupCommitFsync)));
+    drop(db);
+    let _ = std::fs::remove_dir_all(&dir);
+}
