@@ -1,0 +1,1018 @@
+//! The ReactDB wire format: length-prefixed, CRC-checksummed frames carrying
+//! tag-encoded requests and responses.
+//!
+//! Layout, outermost first:
+//!
+//! * **Handshake** — before any frame, the client sends 8 bytes: the magic
+//!   `RDBP`, its protocol version (`u16` LE) and a flags word (`u16` LE,
+//!   currently zero). The server answers with the same 8-byte shape where
+//!   the flags word is a status: `0` accepts, `1` rejects the version. A
+//!   rejected client gets the server's version echoed back so it can report
+//!   both sides of the mismatch.
+//! * **Frame** — `[len: u32 LE][crc32: u32 LE][payload: len bytes]`. `len`
+//!   counts only the payload and is capped at [`MAX_FRAME_LEN`]; the CRC
+//!   (IEEE 802.3 polynomial) covers only the payload. The length is
+//!   validated *before* any buffering decision and the checksum before any
+//!   payload decode, so a corrupt or hostile frame is rejected without
+//!   over-allocating.
+//! * **Payload** — `[kind: u8][correlation_id: u64 LE][body]`. The
+//!   correlation id is chosen by the client and echoed verbatim in the
+//!   response, which is what makes pipelining work: many requests may be in
+//!   flight per connection and responses may be matched out of order.
+//!
+//! Bodies use two primitives: strings are `u32 LE` length followed by UTF-8
+//! bytes, and [`Value`]s are a tag byte (`0` null, `1` int, `2` float as
+//! IEEE-754 bits, `3` string, `4` bool) followed by the payload. A
+//! [`TxnError`] is a code byte followed by the variant's string fields, so
+//! the client reconstructs the *exact* engine error — retry classification
+//! (`is_cc_abort`, `is_user_abort`, ...) works identically on both sides of
+//! the wire.
+//!
+//! Every decode path is total: malformed input yields a [`WireError`],
+//! never a panic, and string/argument lengths are checked against the bytes
+//! actually present before any allocation.
+
+use reactdb_common::{TxnError, Value};
+
+/// Magic bytes opening both handshake directions.
+pub const MAGIC: [u8; 4] = *b"RDBP";
+
+/// Protocol version this build speaks. Bump on any incompatible layout
+/// change; the handshake rejects mismatches instead of misparsing frames.
+pub const PROTOCOL_VERSION: u16 = 1;
+
+/// Handshake message size in bytes, both directions.
+pub const HANDSHAKE_LEN: usize = 8;
+
+/// Frame header size: `u32` payload length plus `u32` CRC.
+pub const FRAME_HEADER_LEN: usize = 8;
+
+/// Hard cap on a frame's payload length (1 MiB). A header announcing more
+/// is rejected before any buffering, bounding per-connection memory.
+pub const MAX_FRAME_LEN: u32 = 1 << 20;
+
+/// Hard cap on the number of procedure arguments in one invoke.
+pub const MAX_ARGS: usize = 1024;
+
+// ---------------------------------------------------------------------------
+// CRC-32 (IEEE 802.3, reflected), table-driven.
+// ---------------------------------------------------------------------------
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc32_table();
+
+/// CRC-32 (IEEE) of `data`, as used in the frame header.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in data {
+        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+// ---------------------------------------------------------------------------
+// Error taxonomy.
+// ---------------------------------------------------------------------------
+
+/// Everything that can go wrong turning bytes into messages. A connection
+/// that produces any of these is killed; other connections are unaffected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The payload ended before the body it announced was complete.
+    Truncated,
+    /// A frame header announced a payload longer than [`MAX_FRAME_LEN`].
+    FrameTooLarge {
+        /// The announced payload length.
+        len: u32,
+        /// The cap it exceeded.
+        max: u32,
+    },
+    /// The payload's CRC did not match the frame header.
+    BadChecksum {
+        /// CRC stored in the header.
+        expected: u32,
+        /// CRC computed over the received payload.
+        actual: u32,
+    },
+    /// A handshake did not start with [`MAGIC`].
+    BadMagic,
+    /// The peer speaks an incompatible protocol version.
+    VersionMismatch {
+        /// Version offered by the client.
+        client: u16,
+        /// Version the server speaks.
+        server: u16,
+    },
+    /// The server refused the handshake for a non-version reason.
+    HandshakeRejected,
+    /// The payload's kind byte names no known message.
+    UnknownKind(u8),
+    /// A tag byte inside a body names no known alternative.
+    UnknownTag {
+        /// Which tagged union was being decoded (for diagnostics).
+        what: &'static str,
+        /// The offending tag.
+        tag: u8,
+    },
+    /// The body decoded completely but bytes were left over.
+    TrailingBytes {
+        /// How many bytes remained.
+        count: usize,
+    },
+    /// A structural constraint was violated (bad UTF-8, too many args, ...).
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "payload truncated mid-message"),
+            WireError::FrameTooLarge { len, max } => {
+                write!(f, "frame payload of {len} bytes exceeds the {max}-byte cap")
+            }
+            WireError::BadChecksum { expected, actual } => {
+                write!(
+                    f,
+                    "frame checksum mismatch: header {expected:#010x}, payload {actual:#010x}"
+                )
+            }
+            WireError::BadMagic => write!(f, "handshake does not start with RDBP magic"),
+            WireError::VersionMismatch { client, server } => {
+                write!(
+                    f,
+                    "protocol version mismatch: client v{client}, server v{server}"
+                )
+            }
+            WireError::HandshakeRejected => write!(f, "server rejected the handshake"),
+            WireError::UnknownKind(k) => write!(f, "unknown message kind {k:#04x}"),
+            WireError::UnknownTag { what, tag } => write!(f, "unknown {what} tag {tag:#04x}"),
+            WireError::TrailingBytes { count } => {
+                write!(f, "{count} trailing bytes after a complete message body")
+            }
+            WireError::Malformed(what) => write!(f, "malformed message: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+// ---------------------------------------------------------------------------
+// Message types.
+// ---------------------------------------------------------------------------
+
+/// When the server acknowledges an invoke.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AckMode {
+    /// Reply as soon as Silo validation passes and the writes are installed
+    /// (the in-process [`wait`](https://docs.rs) semantics): lowest latency,
+    /// but a crash inside the epoch window can lose the acknowledged
+    /// transaction.
+    Validated,
+    /// Reply only once the WAL's durable epoch covers the transaction's
+    /// commit epoch (`wait_durable` semantics): the SiloR acknowledgement
+    /// rule, crash-safe under epoch-sync durability.
+    Durable,
+}
+
+/// Rendering requested by a metrics op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricsFormat {
+    /// Prometheus text exposition of the `MetricsSnapshot`.
+    Prometheus,
+    /// The snapshot's JSON rendering.
+    Json,
+}
+
+/// Client → server messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Run one root transaction: `procedure` on `reactor` with `args`.
+    Invoke {
+        /// Client-chosen id echoed in the response.
+        correlation_id: u64,
+        /// When to acknowledge: validation time or durable time.
+        ack: AckMode,
+        /// Target reactor name.
+        reactor: String,
+        /// Registered procedure name on the reactor's type.
+        procedure: String,
+        /// Procedure arguments, at most [`MAX_ARGS`].
+        args: Vec<Value>,
+    },
+    /// Render the server's metrics snapshot (`GET /metrics` equivalent).
+    Metrics {
+        /// Client-chosen id echoed in the response.
+        correlation_id: u64,
+        /// Requested rendering.
+        format: MetricsFormat,
+    },
+    /// Liveness probe; the server answers [`Response::Pong`].
+    Ping {
+        /// Client-chosen id echoed in the response.
+        correlation_id: u64,
+    },
+}
+
+impl Request {
+    /// The correlation id carried by any request kind.
+    pub fn correlation_id(&self) -> u64 {
+        match self {
+            Request::Invoke { correlation_id, .. }
+            | Request::Metrics { correlation_id, .. }
+            | Request::Ping { correlation_id } => *correlation_id,
+        }
+    }
+}
+
+/// Server → client messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// The invoke committed. `commit_epoch` is present when the engine
+    /// reported one (always, under epoch durability).
+    TxnOk {
+        /// Echo of the request's correlation id.
+        correlation_id: u64,
+        /// The procedure's return value.
+        value: Value,
+        /// Epoch the transaction committed in, if known.
+        commit_epoch: Option<u64>,
+    },
+    /// The invoke aborted; the exact engine error, reconstructed.
+    TxnErr {
+        /// Echo of the request's correlation id.
+        correlation_id: u64,
+        /// The engine error, with full variant fidelity.
+        error: TxnError,
+    },
+    /// Rendered metrics text for a [`Request::Metrics`].
+    MetricsText {
+        /// Echo of the request's correlation id.
+        correlation_id: u64,
+        /// Prometheus or JSON text, per the requested format.
+        text: String,
+    },
+    /// Answer to a [`Request::Ping`].
+    Pong {
+        /// Echo of the request's correlation id.
+        correlation_id: u64,
+    },
+    /// The server could not process the request (shutting down, overload);
+    /// distinct from a transaction abort.
+    ServerError {
+        /// Echo of the request's correlation id.
+        correlation_id: u64,
+        /// Human-readable reason.
+        message: String,
+    },
+}
+
+impl Response {
+    /// The correlation id carried by any response kind.
+    pub fn correlation_id(&self) -> u64 {
+        match self {
+            Response::TxnOk { correlation_id, .. }
+            | Response::TxnErr { correlation_id, .. }
+            | Response::MetricsText { correlation_id, .. }
+            | Response::Pong { correlation_id }
+            | Response::ServerError { correlation_id, .. } => *correlation_id,
+        }
+    }
+}
+
+const KIND_INVOKE: u8 = 0x01;
+const KIND_METRICS: u8 = 0x02;
+const KIND_PING: u8 = 0x03;
+const KIND_TXN_OK: u8 = 0x81;
+const KIND_TXN_ERR: u8 = 0x82;
+const KIND_METRICS_TEXT: u8 = 0x83;
+const KIND_PONG: u8 = 0x84;
+const KIND_SERVER_ERROR: u8 = 0x85;
+
+// ---------------------------------------------------------------------------
+// Handshake.
+// ---------------------------------------------------------------------------
+
+/// The 8-byte hello a client sends immediately after connecting.
+pub fn client_hello() -> [u8; HANDSHAKE_LEN] {
+    let mut b = [0u8; HANDSHAKE_LEN];
+    b[..4].copy_from_slice(&MAGIC);
+    b[4..6].copy_from_slice(&PROTOCOL_VERSION.to_le_bytes());
+    // Bytes 6..8: flags, reserved as zero in v1.
+    b
+}
+
+/// The 8-byte reply a server sends: status `0` accepts, `1` rejects the
+/// client's version (the server's own version rides in bytes 4..6 either
+/// way, so a rejected client can name both sides of the mismatch).
+pub fn server_hello(accept: bool) -> [u8; HANDSHAKE_LEN] {
+    let mut b = [0u8; HANDSHAKE_LEN];
+    b[..4].copy_from_slice(&MAGIC);
+    b[4..6].copy_from_slice(&PROTOCOL_VERSION.to_le_bytes());
+    b[6..8].copy_from_slice(&u16::from(!accept).to_le_bytes());
+    b
+}
+
+/// Server side: validates a client hello and returns the client's version.
+/// `Ok` means magic and version both match this build.
+pub fn parse_client_hello(b: &[u8; HANDSHAKE_LEN]) -> Result<u16, WireError> {
+    if b[..4] != MAGIC {
+        return Err(WireError::BadMagic);
+    }
+    let version = u16::from_le_bytes([b[4], b[5]]);
+    if version != PROTOCOL_VERSION {
+        return Err(WireError::VersionMismatch {
+            client: version,
+            server: PROTOCOL_VERSION,
+        });
+    }
+    Ok(version)
+}
+
+/// Client side: validates a server hello.
+pub fn parse_server_hello(b: &[u8; HANDSHAKE_LEN]) -> Result<(), WireError> {
+    if b[..4] != MAGIC {
+        return Err(WireError::BadMagic);
+    }
+    let server_version = u16::from_le_bytes([b[4], b[5]]);
+    let status = u16::from_le_bytes([b[6], b[7]]);
+    match status {
+        0 => Ok(()),
+        1 => Err(WireError::VersionMismatch {
+            client: PROTOCOL_VERSION,
+            server: server_version,
+        }),
+        _ => Err(WireError::HandshakeRejected),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Framing.
+// ---------------------------------------------------------------------------
+
+/// Wraps a payload in a frame header (length + CRC).
+///
+/// # Panics
+/// Panics if the payload exceeds [`MAX_FRAME_LEN`] — encoders bound their
+/// output (argument and string caps), so this is a programming error.
+pub fn frame(payload: &[u8]) -> Vec<u8> {
+    assert!(
+        payload.len() <= MAX_FRAME_LEN as usize,
+        "frame payload of {} bytes exceeds the cap",
+        payload.len()
+    );
+    let mut out = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Tries to extract one frame from the front of a receive buffer.
+///
+/// Returns `Ok(None)` when more bytes are needed, `Ok(Some((payload,
+/// consumed)))` when a whole checksummed frame is present (`consumed` is
+/// header plus payload — the caller drains that many bytes), and `Err` for
+/// an oversized length or checksum mismatch. Decides from the 8-byte header
+/// alone whether the announced length is acceptable, so a hostile length
+/// never causes buffering beyond [`MAX_FRAME_LEN`].
+pub fn decode_frame(buf: &[u8]) -> Result<Option<(&[u8], usize)>, WireError> {
+    if buf.len() < FRAME_HEADER_LEN {
+        return Ok(None);
+    }
+    let len = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]);
+    if len > MAX_FRAME_LEN {
+        return Err(WireError::FrameTooLarge {
+            len,
+            max: MAX_FRAME_LEN,
+        });
+    }
+    let expected = u32::from_le_bytes([buf[4], buf[5], buf[6], buf[7]]);
+    let total = FRAME_HEADER_LEN + len as usize;
+    if buf.len() < total {
+        return Ok(None);
+    }
+    let payload = &buf[FRAME_HEADER_LEN..total];
+    let actual = crc32(payload);
+    if actual != expected {
+        return Err(WireError::BadChecksum { expected, actual });
+    }
+    Ok(Some((payload, total)))
+}
+
+// ---------------------------------------------------------------------------
+// Body primitives.
+// ---------------------------------------------------------------------------
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, WireError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Length-prefixed UTF-8 string. The announced length is checked
+    /// against the bytes actually present *before* allocating, so a
+    /// hostile length cannot cause over-allocation.
+    fn string(&mut self) -> Result<String, WireError> {
+        let len = self.u32()? as usize;
+        if len > self.remaining() {
+            return Err(WireError::Truncated);
+        }
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::Malformed("invalid utf-8"))
+    }
+
+    fn value(&mut self) -> Result<Value, WireError> {
+        match self.u8()? {
+            0 => Ok(Value::Null),
+            1 => Ok(Value::Int(self.u64()? as i64)),
+            2 => Ok(Value::Float(f64::from_bits(self.u64()?))),
+            3 => Ok(Value::Str(self.string()?)),
+            4 => match self.u8()? {
+                0 => Ok(Value::Bool(false)),
+                1 => Ok(Value::Bool(true)),
+                _ => Err(WireError::Malformed("boolean byte not 0 or 1")),
+            },
+            tag => Err(WireError::UnknownTag { what: "value", tag }),
+        }
+    }
+
+    fn txn_error(&mut self) -> Result<TxnError, WireError> {
+        match self.u8()? {
+            0 => Ok(TxnError::UserAbort(self.string()?)),
+            1 => Ok(TxnError::ValidationFailed),
+            2 => Ok(TxnError::Phantom),
+            3 => Ok(TxnError::CommitAborted),
+            4 => Ok(TxnError::DangerousStructure {
+                reactor: self.string()?,
+            }),
+            5 => Ok(TxnError::UnknownReactor(self.string()?)),
+            6 => Ok(TxnError::UnknownProcedure {
+                reactor_type: self.string()?,
+                procedure: self.string()?,
+            }),
+            7 => Ok(TxnError::UnknownRelation(self.string()?)),
+            8 => Ok(TxnError::UnknownColumn {
+                relation: self.string()?,
+                column: self.string()?,
+            }),
+            9 => Ok(TxnError::DuplicateKey {
+                relation: self.string()?,
+                key: self.string()?,
+            }),
+            10 => Ok(TxnError::NotFound {
+                relation: self.string()?,
+                key: self.string()?,
+            }),
+            11 => Ok(TxnError::Runtime(self.string()?)),
+            12 => Ok(TxnError::BadArguments(self.string()?)),
+            tag => Err(WireError::UnknownTag {
+                what: "txn error",
+                tag,
+            }),
+        }
+    }
+
+    fn finish(self) -> Result<(), WireError> {
+        if self.remaining() != 0 {
+            return Err(WireError::TrailingBytes {
+                count: self.remaining(),
+            });
+        }
+        Ok(())
+    }
+}
+
+fn put_string(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_value(out: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Null => out.push(0),
+        Value::Int(i) => {
+            out.push(1);
+            out.extend_from_slice(&(*i as u64).to_le_bytes());
+        }
+        Value::Float(f) => {
+            out.push(2);
+            out.extend_from_slice(&f.to_bits().to_le_bytes());
+        }
+        Value::Str(s) => {
+            out.push(3);
+            put_string(out, s);
+        }
+        Value::Bool(b) => {
+            out.push(4);
+            out.push(u8::from(*b));
+        }
+    }
+}
+
+fn put_txn_error(out: &mut Vec<u8>, e: &TxnError) {
+    match e {
+        TxnError::UserAbort(msg) => {
+            out.push(0);
+            put_string(out, msg);
+        }
+        TxnError::ValidationFailed => out.push(1),
+        TxnError::Phantom => out.push(2),
+        TxnError::CommitAborted => out.push(3),
+        TxnError::DangerousStructure { reactor } => {
+            out.push(4);
+            put_string(out, reactor);
+        }
+        TxnError::UnknownReactor(name) => {
+            out.push(5);
+            put_string(out, name);
+        }
+        TxnError::UnknownProcedure {
+            reactor_type,
+            procedure,
+        } => {
+            out.push(6);
+            put_string(out, reactor_type);
+            put_string(out, procedure);
+        }
+        TxnError::UnknownRelation(name) => {
+            out.push(7);
+            put_string(out, name);
+        }
+        TxnError::UnknownColumn { relation, column } => {
+            out.push(8);
+            put_string(out, relation);
+            put_string(out, column);
+        }
+        TxnError::DuplicateKey { relation, key } => {
+            out.push(9);
+            put_string(out, relation);
+            put_string(out, key);
+        }
+        TxnError::NotFound { relation, key } => {
+            out.push(10);
+            put_string(out, relation);
+            put_string(out, key);
+        }
+        TxnError::Runtime(msg) => {
+            out.push(11);
+            put_string(out, msg);
+        }
+        TxnError::BadArguments(msg) => {
+            out.push(12);
+            put_string(out, msg);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Request encode/decode.
+// ---------------------------------------------------------------------------
+
+/// Encodes a request payload (no frame header; pass through [`frame`]).
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    let mut out = Vec::with_capacity(32);
+    match req {
+        Request::Invoke {
+            correlation_id,
+            ack,
+            reactor,
+            procedure,
+            args,
+        } => {
+            out.push(KIND_INVOKE);
+            out.extend_from_slice(&correlation_id.to_le_bytes());
+            out.push(match ack {
+                AckMode::Validated => 0,
+                AckMode::Durable => 1,
+            });
+            put_string(&mut out, reactor);
+            put_string(&mut out, procedure);
+            assert!(args.len() <= MAX_ARGS, "too many procedure arguments");
+            out.extend_from_slice(&(args.len() as u16).to_le_bytes());
+            for arg in args {
+                put_value(&mut out, arg);
+            }
+        }
+        Request::Metrics {
+            correlation_id,
+            format,
+        } => {
+            out.push(KIND_METRICS);
+            out.extend_from_slice(&correlation_id.to_le_bytes());
+            out.push(match format {
+                MetricsFormat::Prometheus => 0,
+                MetricsFormat::Json => 1,
+            });
+        }
+        Request::Ping { correlation_id } => {
+            out.push(KIND_PING);
+            out.extend_from_slice(&correlation_id.to_le_bytes());
+        }
+    }
+    out
+}
+
+/// Decodes a request payload (the frame's checksummed contents).
+pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
+    let mut c = Cursor::new(payload);
+    let kind = c.u8()?;
+    let correlation_id = c.u64()?;
+    let req = match kind {
+        KIND_INVOKE => {
+            let ack = match c.u8()? {
+                0 => AckMode::Validated,
+                1 => AckMode::Durable,
+                tag => {
+                    return Err(WireError::UnknownTag {
+                        what: "ack mode",
+                        tag,
+                    })
+                }
+            };
+            let reactor = c.string()?;
+            let procedure = c.string()?;
+            let argc = c.u16()? as usize;
+            if argc > MAX_ARGS {
+                return Err(WireError::Malformed("argument count exceeds cap"));
+            }
+            // Each value takes at least one byte, so an argc beyond the
+            // bytes present is truncation — caught before allocating.
+            if argc > c.remaining() {
+                return Err(WireError::Truncated);
+            }
+            let mut args = Vec::with_capacity(argc);
+            for _ in 0..argc {
+                args.push(c.value()?);
+            }
+            Request::Invoke {
+                correlation_id,
+                ack,
+                reactor,
+                procedure,
+                args,
+            }
+        }
+        KIND_METRICS => {
+            let format = match c.u8()? {
+                0 => MetricsFormat::Prometheus,
+                1 => MetricsFormat::Json,
+                tag => {
+                    return Err(WireError::UnknownTag {
+                        what: "metrics format",
+                        tag,
+                    })
+                }
+            };
+            Request::Metrics {
+                correlation_id,
+                format,
+            }
+        }
+        KIND_PING => Request::Ping { correlation_id },
+        kind => return Err(WireError::UnknownKind(kind)),
+    };
+    c.finish()?;
+    Ok(req)
+}
+
+// ---------------------------------------------------------------------------
+// Response encode/decode.
+// ---------------------------------------------------------------------------
+
+/// Encodes a response payload (no frame header; pass through [`frame`]).
+pub fn encode_response(resp: &Response) -> Vec<u8> {
+    let mut out = Vec::with_capacity(32);
+    match resp {
+        Response::TxnOk {
+            correlation_id,
+            value,
+            commit_epoch,
+        } => {
+            out.push(KIND_TXN_OK);
+            out.extend_from_slice(&correlation_id.to_le_bytes());
+            put_value(&mut out, value);
+            match commit_epoch {
+                Some(epoch) => {
+                    out.push(1);
+                    out.extend_from_slice(&epoch.to_le_bytes());
+                }
+                None => out.push(0),
+            }
+        }
+        Response::TxnErr {
+            correlation_id,
+            error,
+        } => {
+            out.push(KIND_TXN_ERR);
+            out.extend_from_slice(&correlation_id.to_le_bytes());
+            put_txn_error(&mut out, error);
+        }
+        Response::MetricsText {
+            correlation_id,
+            text,
+        } => {
+            out.push(KIND_METRICS_TEXT);
+            out.extend_from_slice(&correlation_id.to_le_bytes());
+            put_string(&mut out, text);
+        }
+        Response::Pong { correlation_id } => {
+            out.push(KIND_PONG);
+            out.extend_from_slice(&correlation_id.to_le_bytes());
+        }
+        Response::ServerError {
+            correlation_id,
+            message,
+        } => {
+            out.push(KIND_SERVER_ERROR);
+            out.extend_from_slice(&correlation_id.to_le_bytes());
+            put_string(&mut out, message);
+        }
+    }
+    out
+}
+
+/// Decodes a response payload (the frame's checksummed contents).
+pub fn decode_response(payload: &[u8]) -> Result<Response, WireError> {
+    let mut c = Cursor::new(payload);
+    let kind = c.u8()?;
+    let correlation_id = c.u64()?;
+    let resp = match kind {
+        KIND_TXN_OK => {
+            let value = c.value()?;
+            let commit_epoch = match c.u8()? {
+                0 => None,
+                1 => Some(c.u64()?),
+                _ => return Err(WireError::Malformed("epoch flag byte not 0 or 1")),
+            };
+            Response::TxnOk {
+                correlation_id,
+                value,
+                commit_epoch,
+            }
+        }
+        KIND_TXN_ERR => Response::TxnErr {
+            correlation_id,
+            error: c.txn_error()?,
+        },
+        KIND_METRICS_TEXT => Response::MetricsText {
+            correlation_id,
+            text: c.string()?,
+        },
+        KIND_PONG => Response::Pong { correlation_id },
+        KIND_SERVER_ERROR => Response::ServerError {
+            correlation_id,
+            message: c.string()?,
+        },
+        kind => return Err(WireError::UnknownKind(kind)),
+    };
+    c.finish()?;
+    Ok(resp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vector() {
+        // The canonical IEEE CRC-32 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn frame_roundtrip() {
+        let payload = b"hello reactdb".to_vec();
+        let framed = frame(&payload);
+        let (got, consumed) = decode_frame(&framed).unwrap().unwrap();
+        assert_eq!(got, &payload[..]);
+        assert_eq!(consumed, framed.len());
+        // A partial header or partial payload asks for more bytes.
+        assert_eq!(decode_frame(&framed[..4]).unwrap(), None);
+        assert_eq!(decode_frame(&framed[..framed.len() - 1]).unwrap(), None);
+    }
+
+    #[test]
+    fn oversized_length_rejected_from_header_alone() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(MAX_FRAME_LEN + 1).to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        assert!(matches!(
+            decode_frame(&buf),
+            Err(WireError::FrameTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn corrupt_payload_fails_checksum() {
+        let mut framed = frame(b"payload");
+        let last = framed.len() - 1;
+        framed[last] ^= 0x40;
+        assert!(matches!(
+            decode_frame(&framed),
+            Err(WireError::BadChecksum { .. })
+        ));
+    }
+
+    #[test]
+    fn handshake_roundtrip_and_version_gate() {
+        assert_eq!(parse_client_hello(&client_hello()), Ok(PROTOCOL_VERSION));
+        assert_eq!(parse_server_hello(&server_hello(true)), Ok(()));
+        assert!(matches!(
+            parse_server_hello(&server_hello(false)),
+            Err(WireError::VersionMismatch { .. })
+        ));
+        let mut bad = client_hello();
+        bad[0] = b'X';
+        assert_eq!(parse_client_hello(&bad), Err(WireError::BadMagic));
+        let mut future = client_hello();
+        future[4..6].copy_from_slice(&(PROTOCOL_VERSION + 7).to_le_bytes());
+        assert!(matches!(
+            parse_client_hello(&future),
+            Err(WireError::VersionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn request_roundtrip_all_kinds() {
+        let reqs = vec![
+            Request::Invoke {
+                correlation_id: 42,
+                ack: AckMode::Durable,
+                reactor: "acct-7".into(),
+                procedure: "transfer".into(),
+                args: vec![
+                    Value::Int(-5),
+                    Value::Float(2.5),
+                    Value::Str("memo".into()),
+                    Value::Bool(true),
+                    Value::Null,
+                ],
+            },
+            Request::Metrics {
+                correlation_id: 1,
+                format: MetricsFormat::Prometheus,
+            },
+            Request::Ping { correlation_id: 0 },
+        ];
+        for req in reqs {
+            let bytes = encode_request(&req);
+            assert_eq!(decode_request(&bytes).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn response_roundtrip_all_kinds_and_errors() {
+        let all_errors = vec![
+            TxnError::UserAbort("over limit".into()),
+            TxnError::ValidationFailed,
+            TxnError::Phantom,
+            TxnError::CommitAborted,
+            TxnError::DangerousStructure {
+                reactor: "r1".into(),
+            },
+            TxnError::UnknownReactor("ghost".into()),
+            TxnError::UnknownProcedure {
+                reactor_type: "Account".into(),
+                procedure: "fly".into(),
+            },
+            TxnError::UnknownRelation("orders".into()),
+            TxnError::UnknownColumn {
+                relation: "orders".into(),
+                column: "vibe".into(),
+            },
+            TxnError::DuplicateKey {
+                relation: "orders".into(),
+                key: "9".into(),
+            },
+            TxnError::NotFound {
+                relation: "orders".into(),
+                key: "10".into(),
+            },
+            TxnError::Runtime("executor gone".into()),
+            TxnError::BadArguments("want 2, got 3".into()),
+        ];
+        let mut resps = vec![
+            Response::TxnOk {
+                correlation_id: 9,
+                value: Value::Str("done".into()),
+                commit_epoch: Some(88),
+            },
+            Response::TxnOk {
+                correlation_id: 10,
+                value: Value::Null,
+                commit_epoch: None,
+            },
+            Response::MetricsText {
+                correlation_id: 11,
+                text: "reactdb_txn_committed 12\n".into(),
+            },
+            Response::Pong { correlation_id: 12 },
+            Response::ServerError {
+                correlation_id: 13,
+                message: "draining".into(),
+            },
+        ];
+        for (i, error) in all_errors.into_iter().enumerate() {
+            resps.push(Response::TxnErr {
+                correlation_id: 100 + i as u64,
+                error,
+            });
+        }
+        for resp in resps {
+            let bytes = encode_response(&resp);
+            assert_eq!(decode_response(&bytes).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = encode_request(&Request::Ping { correlation_id: 3 });
+        bytes.push(0xFF);
+        assert!(matches!(
+            decode_request(&bytes),
+            Err(WireError::TrailingBytes { count: 1 })
+        ));
+    }
+
+    #[test]
+    fn hostile_string_length_rejected_before_allocation() {
+        // An invoke whose reactor-name length field claims 512 MiB.
+        let mut payload = vec![KIND_INVOKE];
+        payload.extend_from_slice(&7u64.to_le_bytes());
+        payload.push(0); // ack mode
+        payload.extend_from_slice(&(512u32 << 20).to_le_bytes());
+        assert_eq!(decode_request(&payload), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn hostile_arg_count_rejected() {
+        let mut payload = vec![KIND_INVOKE];
+        payload.extend_from_slice(&7u64.to_le_bytes());
+        payload.push(0);
+        put_string(&mut payload, "r");
+        put_string(&mut payload, "p");
+        payload.extend_from_slice(&u16::MAX.to_le_bytes());
+        assert!(matches!(
+            decode_request(&payload),
+            Err(WireError::Malformed(_))
+        ));
+    }
+}

@@ -494,6 +494,15 @@ impl ReactDB {
         }
     }
 
+    /// The live observability registry this instance records into — shared
+    /// with the WAL, the checkpointer, and (when one fronts this database)
+    /// the wire server, which records its `net_*` request phases here so
+    /// they land in the same [`MetricsSnapshot`] as the engine's phases.
+    /// For point-in-time export use [`ReactDB::metrics`].
+    pub fn metrics_registry(&self) -> Arc<Metrics> {
+        Arc::clone(&self.inner.metrics)
+    }
+
     /// Drains the transaction trace rings: the most recent commit, abort,
     /// slow-transaction, group-commit, checkpoint-chunk and durable-ack
     /// events, globally ordered by sequence number. Draining resets the

@@ -1,0 +1,478 @@
+//! `reactdb-loadgen`: closed/open-loop load generator driving a
+//! `reactdb-server` over the wire protocol.
+//!
+//! One OS thread per connection (each [`WireClient`] adds its reader
+//! thread), which comfortably sustains hundreds to thousands of concurrent
+//! connections on Linux. Each connection runs either a **closed loop** — a
+//! pipelined window of `--pipeline` requests kept full, the wire analogue
+//! of the paper's multiprogramming level — or an **open loop** that submits
+//! on a fixed schedule (`--rate`, split across connections) regardless of
+//! completions, the mode that exposes queueing collapse.
+//!
+//! Workload mixes (SmallBank or YCSB) reuse the builtin schemas served by
+//! `reactdb-server`; a slice of requests (1 in 8 by default) asks for a
+//! durable acknowledgement so both ack paths stay exercised. Latency is
+//! submit-to-resolution per request, recorded into an obs
+//! [`ShardedHistogram`] and reported as percentiles.
+//!
+//! `--kill-one` abruptly severs one connection mid-run with a full
+//! pipeline, then verifies the server neither wedged (remaining
+//! connections keep committing, a fresh connection still serves) nor
+//! leaked the dead connection's in-flight transactions (the server's
+//! `net_requests_in_flight` gauge returns to zero). `--bench-json` appends
+//! `server/throughput_txns_per_s` and `server/p99_latency_us` in the same
+//! JSON-lines schema CI's other bench keys use.
+//!
+//! ```text
+//! reactdb-loadgen --spawn --workload smallbank --scale 500 \
+//!     --connections 200 --pipeline 4 --secs 5 --kill-one
+//! ```
+
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use reactdb_client::{AckMode, WireClient, WireHandle};
+use reactdb_common::{DeploymentConfig, DurabilityConfig, Value};
+use reactdb_obs::ShardedHistogram;
+use reactdb_server::{Server, ServerConfig};
+use reactdb_workloads::{smallbank, ycsb};
+
+struct Opts {
+    addr: Option<String>,
+    spawn: bool,
+    workload: String,
+    scale: usize,
+    executors: usize,
+    connections: usize,
+    mode: String,
+    pipeline: usize,
+    rate: f64,
+    secs: u64,
+    durable_every: u64,
+    kill_one: bool,
+    bench_json: Option<String>,
+    wal_dir: Option<String>,
+}
+
+fn usage_and_exit(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!(
+        "flags: --addr HOST:PORT | --spawn, --workload smallbank|ycsb, --scale N, \
+         --executors N, --connections N, --mode closed|open, --pipeline N, --rate R, \
+         --secs N, --durable-every N (0 = never), --kill-one, --bench-json PATH, \
+         --wal-dir PATH"
+    );
+    std::process::exit(2);
+}
+
+fn parse_opts() -> Opts {
+    let mut opts = Opts {
+        addr: None,
+        spawn: false,
+        workload: "smallbank".to_string(),
+        scale: 500,
+        executors: 4,
+        connections: 200,
+        mode: "closed".to_string(),
+        pipeline: 4,
+        rate: 20_000.0,
+        secs: 5,
+        durable_every: 8,
+        kill_one: false,
+        bench_json: None,
+        wal_dir: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| usage_and_exit(&format!("{name} needs a value")))
+        };
+        macro_rules! parse_num {
+            ($name:literal) => {
+                value($name)
+                    .parse()
+                    .unwrap_or_else(|_| usage_and_exit(concat!($name, " wants a number")))
+            };
+        }
+        match flag.as_str() {
+            "--addr" => opts.addr = Some(value("--addr")),
+            "--spawn" => opts.spawn = true,
+            "--workload" => opts.workload = value("--workload"),
+            "--scale" => opts.scale = parse_num!("--scale"),
+            "--executors" => opts.executors = parse_num!("--executors"),
+            "--connections" => opts.connections = parse_num!("--connections"),
+            "--mode" => opts.mode = value("--mode"),
+            "--pipeline" => opts.pipeline = parse_num!("--pipeline"),
+            "--rate" => opts.rate = parse_num!("--rate"),
+            "--secs" => opts.secs = parse_num!("--secs"),
+            "--durable-every" => opts.durable_every = parse_num!("--durable-every"),
+            "--kill-one" => opts.kill_one = true,
+            "--bench-json" => opts.bench_json = Some(value("--bench-json")),
+            "--wal-dir" => opts.wal_dir = Some(value("--wal-dir")),
+            other => usage_and_exit(&format!("unknown flag {other}")),
+        }
+    }
+    if opts.addr.is_none() && !opts.spawn {
+        usage_and_exit("need --addr or --spawn");
+    }
+    if !matches!(opts.mode.as_str(), "closed" | "open") {
+        usage_and_exit("--mode wants closed or open");
+    }
+    opts
+}
+
+/// One workload invocation: target reactor, procedure, arguments.
+fn next_call(workload: &str, scale: usize, rng: &mut StdRng) -> (String, &'static str, Vec<Value>) {
+    match workload {
+        "smallbank" => {
+            let c = rng.gen_range(0..scale);
+            let name = smallbank::customer_name(c);
+            match rng.gen_range(0..100u32) {
+                0..=24 => (name, "balance", vec![]),
+                25..=49 => (
+                    name,
+                    "deposit_checking",
+                    vec![Value::Float(rng.gen_range(1.0..100.0))],
+                ),
+                50..=74 => (
+                    name,
+                    "transact_saving",
+                    vec![Value::Float(rng.gen_range(-20.0..100.0))],
+                ),
+                75..=84 => (
+                    name,
+                    "write_check",
+                    vec![Value::Float(rng.gen_range(1.0..50.0))],
+                ),
+                85..=89 => {
+                    let dst = smallbank::customer_name(rng.gen_range(0..scale));
+                    (name, "amalgamate", vec![Value::Str(dst)])
+                }
+                _ => {
+                    let dst = smallbank::customer_name(rng.gen_range(0..scale));
+                    (
+                        name.clone(),
+                        "transfer",
+                        vec![
+                            Value::Str(name),
+                            Value::Str(dst),
+                            Value::Float(rng.gen_range(1.0..10.0)),
+                            Value::Bool(false),
+                        ],
+                    )
+                }
+            }
+        }
+        "ycsb" => {
+            let k = rng.gen_range(0..scale);
+            let name = ycsb::key_name(k);
+            match rng.gen_range(0..100u32) {
+                0..=49 => (name, "read", vec![]),
+                50..=89 => (name, "update", vec![Value::Str("w".repeat(8))]),
+                _ => {
+                    let mut keys = vec![k];
+                    while keys.len() < 4 {
+                        let n = rng.gen_range(0..scale);
+                        if !keys.contains(&n) {
+                            keys.push(n);
+                        }
+                    }
+                    let (target, args) = ycsb::multi_update_invocation(&keys);
+                    (target, "multi_update", args)
+                }
+            }
+        }
+        other => usage_and_exit(&format!("unknown workload {other}")),
+    }
+}
+
+/// Shared run-wide counters.
+#[derive(Default)]
+struct RunStats {
+    committed: AtomicU64,
+    aborted: AtomicU64,
+    transport_errors: AtomicU64,
+}
+
+struct InFlight {
+    handle: WireHandle,
+    submitted: Instant,
+}
+
+/// Waits out one in-flight request, recording its outcome and latency.
+fn reap(inflight: InFlight, stats: &RunStats, latency: &ShardedHistogram, shard: usize) {
+    let result = inflight
+        .handle
+        .wait_timeout(Duration::from_secs(60))
+        .unwrap_or_else(|| Err(reactdb_common::TxnError::Runtime("reap timeout".into())));
+    latency.record(shard, inflight.submitted.elapsed().as_nanos() as u64);
+    match result {
+        Ok(_) => stats.committed.fetch_add(1, Ordering::Relaxed),
+        Err(reactdb_common::TxnError::Runtime(_)) => {
+            stats.transport_errors.fetch_add(1, Ordering::Relaxed)
+        }
+        Err(_) => stats.aborted.fetch_add(1, Ordering::Relaxed),
+    };
+}
+
+#[allow(clippy::too_many_arguments)]
+fn connection_loop(
+    conn_idx: usize,
+    opts: &Opts,
+    addr: SocketAddr,
+    stop: &AtomicBool,
+    stats: &RunStats,
+    latency: &ShardedHistogram,
+    kill_at: Option<Instant>,
+) {
+    let client = match WireClient::connect(addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("conn {conn_idx}: connect failed: {e}");
+            stats.transport_errors.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+    };
+    let mut rng = StdRng::seed_from_u64(0x10ad + conn_idx as u64);
+    let mut window: Vec<InFlight> = Vec::with_capacity(opts.pipeline);
+    let mut sent = 0u64;
+    // Open-loop pacing: this connection's share of the target rate.
+    let interval = Duration::from_secs_f64(opts.connections as f64 / opts.rate.max(1.0));
+    let mut next_send = Instant::now();
+
+    loop {
+        if stop.load(Ordering::Relaxed) {
+            break;
+        }
+        if let Some(at) = kill_at {
+            if Instant::now() >= at {
+                // Abrupt mid-pipeline kill: drop the client with requests
+                // still in flight. The socket closes without any protocol
+                // goodbye; the server must clean up on its own.
+                drop(window);
+                drop(client);
+                return;
+            }
+        }
+        if opts.mode == "open" {
+            let now = Instant::now();
+            if now < next_send {
+                std::thread::sleep((next_send - now).min(Duration::from_millis(5)));
+                continue;
+            }
+            next_send += interval;
+        }
+        let ack = if opts.durable_every > 0 && sent % opts.durable_every == opts.durable_every - 1 {
+            AckMode::Durable
+        } else {
+            AckMode::Validated
+        };
+        let (reactor, procedure, args) = next_call(&opts.workload, opts.scale, &mut rng);
+        match client.submit_with_ack(&reactor, procedure, args, ack) {
+            Ok(handle) => {
+                sent += 1;
+                window.push(InFlight {
+                    handle,
+                    submitted: Instant::now(),
+                });
+            }
+            Err(_) => {
+                stats.transport_errors.fetch_add(1, Ordering::Relaxed);
+                return; // connection is dead
+            }
+        }
+        // Closed loop blocks once the window is full; open loop only
+        // reaps opportunistically (bounded by a generous cap so a slow
+        // server cannot make the window grow without limit).
+        let cap = if opts.mode == "closed" {
+            opts.pipeline
+        } else {
+            opts.pipeline.max(256)
+        };
+        if opts.mode == "open" {
+            // Responses come back in submission order per connection, so
+            // reaping resolved requests from the front is lossless.
+            while window.first().is_some_and(|f| f.handle.is_resolved()) {
+                let front = window.remove(0);
+                reap(front, stats, latency, conn_idx);
+            }
+        }
+        while window.len() >= cap {
+            let front = window.remove(0);
+            reap(front, stats, latency, conn_idx);
+        }
+    }
+    // Drain what's still in flight.
+    for inflight in window {
+        reap(inflight, stats, latency, conn_idx);
+    }
+}
+
+fn fetch_gauge(metrics_text: &str, name: &str) -> Option<f64> {
+    metrics_text
+        .lines()
+        .find(|l| l.starts_with(name) && l.as_bytes().get(name.len()) == Some(&b' '))
+        .and_then(|l| l[name.len() + 1..].trim().parse().ok())
+}
+
+fn main() {
+    let opts = Arc::new(parse_opts());
+
+    // Optionally spawn an embedded server (single-process smoke mode).
+    let mut spawned: Option<(Server, Arc<reactdb_engine::ReactDB>)> = None;
+    let addr: SocketAddr = if opts.spawn {
+        let mut config = DeploymentConfig::shared_nothing(opts.executors);
+        if let Some(dir) = &opts.wal_dir {
+            config = config
+                .with_durability(DurabilityConfig::epoch_sync(dir.as_str()).with_interval_ms(5));
+        }
+        let spec = match opts.workload.as_str() {
+            "smallbank" => smallbank::spec(opts.scale),
+            "ycsb" => ycsb::spec(opts.scale),
+            other => usage_and_exit(&format!("unknown workload {other}")),
+        };
+        let db = reactdb_engine::ReactDB::boot(spec, config);
+        match opts.workload.as_str() {
+            "smallbank" => smallbank::load(&db, opts.scale).expect("load"),
+            "ycsb" => ycsb::load(&db, opts.scale).expect("load"),
+            _ => unreachable!(),
+        }
+        let db = Arc::new(db);
+        let server = Server::start(
+            Arc::clone(&db),
+            ServerConfig::default().with_workers(opts.executors.min(4)),
+        )
+        .expect("start server");
+        let addr = server.local_addr();
+        eprintln!("spawned embedded server on {addr}");
+        spawned = Some((server, db));
+        addr
+    } else {
+        opts.addr
+            .as_ref()
+            .unwrap()
+            .parse()
+            .unwrap_or_else(|_| usage_and_exit("--addr wants HOST:PORT"))
+    };
+
+    let stats = Arc::new(RunStats::default());
+    let latency = Arc::new(ShardedHistogram::new(opts.connections.max(1)));
+    let stop = Arc::new(AtomicBool::new(false));
+    let started = Instant::now();
+    let kill_at = opts
+        .kill_one
+        .then(|| started + Duration::from_secs(opts.secs.max(2) / 2));
+
+    eprintln!(
+        "driving {} {}-loop connections (pipeline {}) against {addr} for {}s",
+        opts.connections, opts.mode, opts.pipeline, opts.secs
+    );
+    let threads: Vec<_> = (0..opts.connections)
+        .map(|conn_idx| {
+            let opts = Arc::clone(&opts);
+            let stats = Arc::clone(&stats);
+            let latency = Arc::clone(&latency);
+            let stop = Arc::clone(&stop);
+            // Connection 0 is the designated victim of --kill-one.
+            let kill_at = if conn_idx == 0 { kill_at } else { None };
+            std::thread::Builder::new()
+                .name(format!("loadgen-{conn_idx}"))
+                .spawn(move || {
+                    connection_loop(conn_idx, &opts, addr, &stop, &stats, &latency, kill_at)
+                })
+                .expect("spawn connection thread")
+        })
+        .collect();
+
+    std::thread::sleep(Duration::from_secs(opts.secs));
+    stop.store(true, Ordering::Relaxed);
+    for t in threads {
+        let _ = t.join();
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+
+    let committed = stats.committed.load(Ordering::Relaxed);
+    let aborted = stats.aborted.load(Ordering::Relaxed);
+    let transport = stats.transport_errors.load(Ordering::Relaxed);
+    let throughput = committed as f64 / elapsed;
+    let h = latency.merged();
+    let pct = |p: f64| h.percentile(p) as f64 / 1_000.0;
+
+    println!("connections:        {}", opts.connections);
+    println!("elapsed_s:          {elapsed:.2}");
+    println!("committed:          {committed}");
+    println!("aborted:            {aborted}");
+    println!("transport_errors:   {transport}");
+    println!("throughput_txns_s:  {throughput:.0}");
+    println!(
+        "latency_us: p50 {:.0}  p90 {:.0}  p99 {:.0}  p999 {:.0}  max {:.0}",
+        pct(0.50),
+        pct(0.90),
+        pct(0.99),
+        pct(0.999),
+        h.max() as f64 / 1_000.0
+    );
+
+    let mut failed = false;
+    if committed == 0 {
+        eprintln!("FAIL: no transaction committed");
+        failed = true;
+    }
+
+    // Post-run health check: a fresh connection must still serve, and the
+    // server's in-flight gauge must return to zero (nothing leaked by the
+    // run — or by the --kill-one severed connection).
+    match WireClient::connect(addr) {
+        Ok(probe) => {
+            if let Err(e) = probe.ping() {
+                eprintln!("FAIL: post-run ping failed: {e}");
+                failed = true;
+            }
+            let mut in_flight = f64::MAX;
+            for _ in 0..40 {
+                match probe.metrics_prometheus() {
+                    Ok(text) => {
+                        in_flight = fetch_gauge(&text, "reactdb_net_requests_in_flight")
+                            .unwrap_or(f64::MAX);
+                        if in_flight == 0.0 {
+                            break;
+                        }
+                    }
+                    Err(e) => {
+                        eprintln!("FAIL: metrics fetch failed: {e}");
+                        failed = true;
+                        break;
+                    }
+                }
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            if in_flight != 0.0 {
+                eprintln!("FAIL: server still reports {in_flight} in-flight requests after drain");
+                failed = true;
+            }
+        }
+        Err(e) => {
+            eprintln!("FAIL: post-run connect failed: {e}");
+            failed = true;
+        }
+    }
+    if opts.kill_one && transport == 0 {
+        // The severed connection must have observed at least its own death.
+        eprintln!("note: --kill-one run recorded no transport errors (victim died cleanly before submitting?)");
+    }
+
+    if let Some(path) = &opts.bench_json {
+        criterion::append_json_line(path, "server/throughput_txns_per_s", throughput, committed);
+        criterion::append_json_line(path, "server/p99_latency_us", pct(0.99), committed);
+    }
+
+    if let Some((server, db)) = spawned {
+        server.shutdown();
+        drop(db);
+    }
+    std::process::exit(if failed { 1 } else { 0 });
+}

@@ -16,7 +16,8 @@
 //!   span, the five sections of the Silo commit protocol (lock, membership
 //!   fence, validate, write install, log append), the durable
 //!   acknowledgement, WAL group-commit internals (sync queue wait vs.
-//!   fsync), the checkpointer's chunk walk and the client session wait.
+//!   fsync), the checkpointer's chunk walk, the client session wait, and
+//!   the wire server's request lifecycle (frame decode, dispatch, reply).
 //! * [`TraceBuffer`] / [`TraceEvent`] — per-executor fixed-capacity
 //!   ring-buffer tracing (overwrite-oldest, zero allocation on the hot
 //!   path) of commits, slow transactions above a configurable threshold,

@@ -43,11 +43,20 @@ pub enum Phase {
     /// Client session wait: `submit` to resolution (queueing + execute +
     /// commit), as observed by the client.
     SessionWait,
+    /// Wire server: parsing one request frame off a connection's receive
+    /// buffer (length/checksum verification plus body decode).
+    NetDecode,
+    /// Wire server: turning a decoded request into engine work — session
+    /// submission for invokes, snapshot rendering for metrics requests.
+    NetDispatch,
+    /// Wire server: encoding a completed request's response frame and
+    /// handing it to the connection's send buffer.
+    NetReply,
 }
 
 impl Phase {
     /// Number of phases.
-    pub const COUNT: usize = 11;
+    pub const COUNT: usize = 14;
 
     /// Every phase, in display order.
     pub const ALL: [Phase; Phase::COUNT] = [
@@ -62,6 +71,9 @@ impl Phase {
         Phase::WalFsync,
         Phase::CheckpointChunk,
         Phase::SessionWait,
+        Phase::NetDecode,
+        Phase::NetDispatch,
+        Phase::NetReply,
     ];
 
     /// The five sections of `Coordinator::commit` a [`CommitProbe`] laps.
@@ -87,6 +99,9 @@ impl Phase {
             Phase::WalFsync => "wal_fsync",
             Phase::CheckpointChunk => "checkpoint_chunk",
             Phase::SessionWait => "session_wait",
+            Phase::NetDecode => "net_decode",
+            Phase::NetDispatch => "net_dispatch",
+            Phase::NetReply => "net_reply",
         }
     }
 }

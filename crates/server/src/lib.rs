@@ -1,0 +1,736 @@
+//! TCP wire-protocol front end for a ReactDB-rs engine instance.
+//!
+//! The offline build environment rules out async runtimes, so the server is
+//! a sharded thread-per-core blocking design in the spirit of the paper's
+//! executor/affinity model: one acceptor thread plus N I/O worker threads,
+//! each new connection pinned to a worker by peer-address hash and never
+//! migrated. A worker owns its connections outright — nonblocking sockets
+//! polled in a loop with a short idle park — so no locks are taken on the
+//! per-connection hot path.
+//!
+//! Each accepted connection performs the version handshake and then maps
+//! 1:1 onto an engine [`Client`] session. Requests are pipelined: a worker
+//! decodes as many frames as the connection's in-flight cap allows, submits
+//! each invoke without waiting ([`Client::submit`]), and polls the
+//! resulting `TxnHandle`s as it services the connection — replying at
+//! validation time or at durable time per the request's
+//! [`AckMode`](reactdb_client::AckMode), in whatever order transactions
+//! actually resolve (responses carry the request's correlation id, so
+//! ordering is the client's problem by design).
+//!
+//! Robustness rules:
+//!
+//! * **Backpressure** — a connection at its in-flight cap (or with a
+//!   backed-up send buffer) is not read from until it drains; misbehaving
+//!   clients stall themselves, not the worker.
+//! * **Timeouts** — a connection that stalls mid-frame, or that refuses to
+//!   accept writes while responses are queued, is killed after a deadline.
+//! * **Malformed frames** — a failed length/checksum/body decode kills
+//!   only the offending connection; its session drops and the engine
+//!   resolves whatever was still in flight.
+//! * **Graceful shutdown** — [`Server::shutdown`] stops accepting, drains
+//!   in-flight transactions and send buffers (bounded by
+//!   `drain_timeout`), then joins every thread. Dropping the last
+//!   `Arc<ReactDB>` afterwards releases the `LogDirLock` via the engine's
+//!   own shutdown path.
+//!
+//! The server records its request lifecycle into the engine's metrics
+//! registry (`net_decode` / `net_dispatch` / `net_reply` phases) and
+//! augments [`ReactDB::metrics`] with connection counters and gauges; the
+//! wire protocol's metrics op returns that augmented snapshot rendered as
+//! Prometheus text or JSON — the `GET /metrics` equivalent.
+
+use std::collections::VecDeque;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use reactdb_client::codec::{self, AckMode, MetricsFormat, Request, Response};
+use reactdb_engine::{Client, ReactDB, TxnHandle};
+use reactdb_obs::{Counter, Gauge, Metrics, MetricsSnapshot, Phase};
+
+/// Tuning knobs for [`Server::start`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Address to bind; port 0 picks an ephemeral port (see
+    /// [`Server::local_addr`]).
+    pub addr: String,
+    /// I/O worker threads; connections are pinned across them by
+    /// peer-address hash.
+    pub workers: usize,
+    /// Per-connection cap on invokes submitted but not yet replied to;
+    /// reaching it pauses reads from that connection until work drains.
+    pub max_in_flight: usize,
+    /// A connection that has started a frame (or the handshake) and makes
+    /// no read progress for this long is killed.
+    pub read_timeout: Duration,
+    /// A connection with queued responses that accepts no bytes for this
+    /// long is killed.
+    pub write_timeout: Duration,
+    /// Upper bound on how long [`Server::shutdown`] waits for in-flight
+    /// transactions and send buffers to drain before force-closing.
+    pub drain_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            max_in_flight: 128,
+            read_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(30),
+            drain_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Sets the bind address.
+    pub fn with_addr(mut self, addr: impl Into<String>) -> Self {
+        self.addr = addr.into();
+        self
+    }
+
+    /// Sets the I/O worker thread count (at least 1).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Sets the per-connection in-flight cap (at least 1).
+    pub fn with_max_in_flight(mut self, cap: usize) -> Self {
+        self.max_in_flight = cap.max(1);
+        self
+    }
+
+    /// Sets both stall timeouts.
+    pub fn with_timeouts(mut self, read: Duration, write: Duration) -> Self {
+        self.read_timeout = read;
+        self.write_timeout = write;
+        self
+    }
+
+    /// Sets the graceful-shutdown drain bound.
+    pub fn with_drain_timeout(mut self, drain: Duration) -> Self {
+        self.drain_timeout = drain;
+        self
+    }
+}
+
+/// Connection-level counters the server adds to the metrics snapshot.
+#[derive(Debug, Default)]
+pub struct NetStats {
+    accepted: AtomicU64,
+    active: AtomicU64,
+    rejected: AtomicU64,
+    malformed: AtomicU64,
+    timeouts: AtomicU64,
+    requests: AtomicU64,
+    responses: AtomicU64,
+    in_flight: AtomicU64,
+}
+
+impl NetStats {
+    /// Connections accepted over the server's lifetime.
+    pub fn accepted(&self) -> u64 {
+        self.accepted.load(Ordering::Relaxed)
+    }
+
+    /// Connections currently open (post-handshake or still handshaking).
+    pub fn active(&self) -> u64 {
+        self.active.load(Ordering::Relaxed)
+    }
+
+    /// Connections refused at the handshake (bad magic or version).
+    pub fn rejected(&self) -> u64 {
+        self.rejected.load(Ordering::Relaxed)
+    }
+
+    /// Connections killed for a malformed frame or body.
+    pub fn malformed(&self) -> u64 {
+        self.malformed.load(Ordering::Relaxed)
+    }
+
+    /// Connections killed for a read or write stall.
+    pub fn timeouts(&self) -> u64 {
+        self.timeouts.load(Ordering::Relaxed)
+    }
+
+    /// Requests dispatched (all kinds).
+    pub fn requests(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    /// Responses written (all kinds).
+    pub fn responses(&self) -> u64 {
+        self.responses.load(Ordering::Relaxed)
+    }
+
+    /// Invokes submitted to the engine and not yet replied to, across all
+    /// connections.
+    pub fn in_flight(&self) -> u64 {
+        self.in_flight.load(Ordering::Relaxed)
+    }
+}
+
+struct Shared {
+    db: Arc<ReactDB>,
+    metrics: Arc<Metrics>,
+    stats: NetStats,
+    config: ServerConfig,
+    shutdown: AtomicBool,
+}
+
+impl Shared {
+    /// The engine snapshot augmented with the server's connection counters
+    /// and gauges — what the wire metrics op renders.
+    fn snapshot(&self) -> MetricsSnapshot {
+        let mut snap = self.db.metrics();
+        let s = &self.stats;
+        for (name, value) in [
+            ("net_connections_accepted", s.accepted()),
+            ("net_connections_rejected", s.rejected()),
+            (
+                "net_connections_killed{reason=\"malformed\"}",
+                s.malformed(),
+            ),
+            ("net_connections_killed{reason=\"timeout\"}", s.timeouts()),
+            ("net_requests", s.requests()),
+            ("net_responses", s.responses()),
+        ] {
+            snap.counters.push(Counter {
+                name: name.to_string(),
+                value,
+            });
+        }
+        snap.gauges.push(Gauge {
+            name: "net_connections_active".to_string(),
+            value: s.active() as f64,
+        });
+        snap.gauges.push(Gauge {
+            name: "net_requests_in_flight".to_string(),
+            value: s.in_flight() as f64,
+        });
+        snap
+    }
+}
+
+/// A running wire server fronting one engine instance.
+///
+/// Obtained from [`Server::start`]; stopped by [`Server::shutdown`] (or
+/// drop, which performs the same drain).
+pub struct Server {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds, spawns the acceptor and worker threads, and returns. The
+    /// server shares `db`'s metrics registry, so its `net_*` phases land
+    /// in the same snapshot as the engine's.
+    pub fn start(db: Arc<ReactDB>, config: ServerConfig) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let metrics = db.metrics_registry();
+        let shared = Arc::new(Shared {
+            db,
+            metrics,
+            stats: NetStats::default(),
+            config,
+            shutdown: AtomicBool::new(false),
+        });
+
+        let mut senders = Vec::new();
+        let mut workers = Vec::new();
+        for idx in 0..shared.config.workers {
+            let (tx, rx) = mpsc::channel::<TcpStream>();
+            senders.push(tx);
+            let shared = Arc::clone(&shared);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("reactdb-net-{idx}"))
+                    .spawn(move || worker_loop(shared, rx, idx))?,
+            );
+        }
+        let acceptor_shared = Arc::clone(&shared);
+        let acceptor = std::thread::Builder::new()
+            .name("reactdb-net-accept".into())
+            .spawn(move || accept_loop(listener, acceptor_shared, senders))?;
+
+        Ok(Self {
+            shared,
+            local_addr,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Live connection counters.
+    pub fn net_stats(&self) -> &NetStats {
+        &self.shared.stats
+    }
+
+    /// The engine's metrics snapshot augmented with the server's `net_*`
+    /// counters and gauges.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.shared.snapshot()
+    }
+
+    /// Stops accepting, drains in-flight transactions and send buffers
+    /// (bounded by the configured drain timeout), and joins every thread.
+    /// The engine itself keeps running; dropping the last `Arc<ReactDB>`
+    /// afterwards shuts it down and releases the log-directory lock.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>, senders: Vec<mpsc::Sender<TcpStream>>) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, peer)) => {
+                shared.stats.accepted.fetch_add(1, Ordering::Relaxed);
+                shared.stats.active.fetch_add(1, Ordering::Relaxed);
+                // Pin by peer-address hash so a client's connection always
+                // lands on the same worker (stable, no rebalancing).
+                let mut hash = 0xcbf2_9ce4_8422_2325u64;
+                for b in peer.to_string().bytes() {
+                    hash ^= b as u64;
+                    hash = hash.wrapping_mul(0x100_0000_01b3);
+                }
+                let worker = (hash % senders.len() as u64) as usize;
+                if senders[worker].send(stream).is_err() {
+                    shared.stats.active.fetch_sub(1, Ordering::Relaxed);
+                    return; // workers gone; shutting down
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::park_timeout(Duration::from_micros(200));
+            }
+            Err(_) => std::thread::park_timeout(Duration::from_millis(1)),
+        }
+    }
+}
+
+/// One invoke submitted to the engine, awaiting its reply point.
+struct Pending {
+    correlation_id: u64,
+    handle: TxnHandle,
+    ack: AckMode,
+}
+
+/// Per-connection state owned by exactly one worker.
+struct Conn {
+    stream: TcpStream,
+    session: Client,
+    rbuf: Vec<u8>,
+    wbuf: Vec<u8>,
+    inflight: VecDeque<Pending>,
+    handshaken: bool,
+    /// Last time a read made progress; the read-stall clock only matters
+    /// while the peer owes bytes (mid-handshake or mid-frame).
+    last_read: Instant,
+    /// Last time a write drained bytes while responses were queued.
+    last_write: Instant,
+    /// Set when the connection must be closed.
+    kill: Option<KillReason>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum KillReason {
+    /// Peer closed or the socket errored; nothing to count specially.
+    Gone,
+    /// Handshake failed (magic or version); counted as rejected.
+    HandshakeRejected,
+    /// Frame or body failed to decode; counted as malformed.
+    Malformed,
+    /// Read or write stall exceeded its deadline; counted as timeout.
+    Stalled,
+    /// Graceful shutdown finished draining this connection.
+    Drained,
+}
+
+/// Soft cap on a connection's buffered bytes; reads pause above it.
+const WBUF_HIGH_WATER: usize = 4 << 20;
+
+/// Minimum spacing between WAL sync kicks a worker issues on behalf of
+/// stalled durable acknowledgements.
+const WAL_KICK_INTERVAL: Duration = Duration::from_millis(1);
+
+fn worker_loop(shared: Arc<Shared>, rx: mpsc::Receiver<TcpStream>, worker_idx: usize) {
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut last_wal_kick = Instant::now();
+    let mut drain_deadline: Option<Instant> = None;
+
+    loop {
+        let shutting = shared.shutdown.load(Ordering::SeqCst);
+        if shutting && drain_deadline.is_none() {
+            drain_deadline = Some(Instant::now() + shared.config.drain_timeout);
+        }
+
+        // Adopt connections the acceptor pinned to this worker.
+        while let Ok(stream) = rx.try_recv() {
+            if stream.set_nonblocking(true).is_err() || stream.set_nodelay(true).is_err() {
+                shared.stats.active.fetch_sub(1, Ordering::Relaxed);
+                continue;
+            }
+            let now = Instant::now();
+            conns.push(Conn {
+                stream,
+                session: shared.db.client(),
+                rbuf: Vec::new(),
+                wbuf: Vec::new(),
+                inflight: VecDeque::new(),
+                handshaken: false,
+                last_read: now,
+                last_write: now,
+                kill: None,
+            });
+        }
+
+        let mut progressed = false;
+        let mut want_wal_kick = false;
+        for conn in conns.iter_mut() {
+            progressed |= service(&shared, conn, worker_idx, shutting, &mut want_wal_kick);
+        }
+
+        // A durable acknowledgement is waiting on group commit; nudge the
+        // WAL rather than trusting the interval daemon alone, rate-limited
+        // per worker.
+        if want_wal_kick && last_wal_kick.elapsed() >= WAL_KICK_INTERVAL {
+            last_wal_kick = Instant::now();
+            let _ = shared.db.wal_sync();
+        }
+
+        conns.retain_mut(|conn| {
+            let Some(reason) = conn.kill else { return true };
+            match reason {
+                KillReason::HandshakeRejected => {
+                    shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
+                }
+                KillReason::Malformed => {
+                    shared.stats.malformed.fetch_add(1, Ordering::Relaxed);
+                }
+                KillReason::Stalled => {
+                    shared.stats.timeouts.fetch_add(1, Ordering::Relaxed);
+                }
+                KillReason::Gone | KillReason::Drained => {}
+            }
+            // Dropping the connection drops its session and handles; the
+            // engine resolves whatever was still in flight on its own, so
+            // a mid-run kill leaks nothing.
+            shared
+                .stats
+                .in_flight
+                .fetch_sub(conn.inflight.len() as u64, Ordering::Relaxed);
+            shared.stats.active.fetch_sub(1, Ordering::Relaxed);
+            let _ = conn.stream.shutdown(std::net::Shutdown::Both);
+            false
+        });
+
+        if shutting {
+            let deadline_passed = drain_deadline.is_some_and(|d| Instant::now() >= d);
+            if conns.is_empty() || deadline_passed {
+                return;
+            }
+            let drained = conns
+                .iter()
+                .all(|c| c.inflight.is_empty() && c.wbuf.is_empty());
+            if drained {
+                for conn in conns.iter_mut() {
+                    conn.kill = Some(KillReason::Drained);
+                }
+                continue; // next retain pass closes them
+            }
+        }
+
+        if !progressed {
+            std::thread::park_timeout(Duration::from_micros(100));
+        }
+    }
+}
+
+/// Services one connection once: read, handshake, decode/dispatch, poll
+/// in-flight transactions, flush, and check stall deadlines. Returns true
+/// when any byte or transaction moved (the worker's idle heuristic).
+fn service(
+    shared: &Shared,
+    conn: &mut Conn,
+    worker_idx: usize,
+    shutting: bool,
+    want_wal_kick: &mut bool,
+) -> bool {
+    if conn.kill.is_some() {
+        return false;
+    }
+    let mut progressed = false;
+
+    // Read — unless shutting down, backpressured, or buffers are backed up
+    // past the high-water mark.
+    let paused = shutting
+        || conn.inflight.len() >= shared.config.max_in_flight
+        || conn.wbuf.len() >= WBUF_HIGH_WATER
+        || conn.rbuf.len() >= WBUF_HIGH_WATER;
+    if paused {
+        // Not our peer's fault we aren't reading; restart its window so
+        // the stall clock measures only willing-to-read time.
+        conn.last_read = Instant::now();
+    } else {
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            match conn.stream.read(&mut chunk) {
+                Ok(0) => {
+                    conn.kill = Some(KillReason::Gone);
+                    return true;
+                }
+                Ok(n) => {
+                    conn.rbuf.extend_from_slice(&chunk[..n]);
+                    conn.last_read = Instant::now();
+                    progressed = true;
+                    if conn.rbuf.len() >= WBUF_HIGH_WATER {
+                        break; // plenty buffered; decode before reading more
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    conn.kill = Some(KillReason::Gone);
+                    return true;
+                }
+            }
+        }
+    }
+
+    // Handshake precedes any frame.
+    if !conn.handshaken && conn.rbuf.len() >= codec::HANDSHAKE_LEN {
+        let mut hello = [0u8; codec::HANDSHAKE_LEN];
+        hello.copy_from_slice(&conn.rbuf[..codec::HANDSHAKE_LEN]);
+        conn.rbuf.drain(..codec::HANDSHAKE_LEN);
+        match codec::parse_client_hello(&hello) {
+            Ok(_) => {
+                conn.wbuf.extend_from_slice(&codec::server_hello(true));
+                conn.handshaken = true;
+            }
+            Err(codec::WireError::VersionMismatch { .. }) => {
+                // Tell the client which version we speak, then hang up.
+                let _ = conn.stream.write_all(&codec::server_hello(false));
+                conn.kill = Some(KillReason::HandshakeRejected);
+                return true;
+            }
+            Err(_) => {
+                conn.kill = Some(KillReason::HandshakeRejected);
+                return true;
+            }
+        }
+        progressed = true;
+    }
+
+    // Decode and dispatch pipelined requests up to the in-flight cap.
+    while conn.handshaken && conn.inflight.len() < shared.config.max_in_flight {
+        let decode_clock = shared.metrics.clock();
+        let (request, consumed) = match codec::decode_frame(&conn.rbuf) {
+            Ok(None) => break,
+            Ok(Some((payload, consumed))) => match codec::decode_request(payload) {
+                Ok(request) => (request, consumed),
+                Err(_) => {
+                    conn.kill = Some(KillReason::Malformed);
+                    return true;
+                }
+            },
+            Err(_) => {
+                conn.kill = Some(KillReason::Malformed);
+                return true;
+            }
+        };
+        conn.rbuf.drain(..consumed);
+        if let Some(since) = decode_clock {
+            shared
+                .metrics
+                .record_elapsed(Phase::NetDecode, worker_idx, since);
+        }
+        shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+        progressed = true;
+
+        let dispatch_clock = shared.metrics.clock();
+        match request {
+            Request::Invoke {
+                correlation_id,
+                ack,
+                reactor,
+                procedure,
+                args,
+            } => match conn.session.submit(&reactor, &procedure, args) {
+                Ok(handle) => {
+                    shared.stats.in_flight.fetch_add(1, Ordering::Relaxed);
+                    conn.inflight.push_back(Pending {
+                        correlation_id,
+                        handle,
+                        ack,
+                    });
+                }
+                Err(error) => reply(
+                    shared,
+                    conn,
+                    worker_idx,
+                    &Response::TxnErr {
+                        correlation_id,
+                        error,
+                    },
+                ),
+            },
+            Request::Metrics {
+                correlation_id,
+                format,
+            } => {
+                let snap = shared.snapshot();
+                let text = match format {
+                    MetricsFormat::Prometheus => snap.to_prometheus_text(),
+                    MetricsFormat::Json => snap.to_json(),
+                };
+                reply(
+                    shared,
+                    conn,
+                    worker_idx,
+                    &Response::MetricsText {
+                        correlation_id,
+                        text,
+                    },
+                );
+            }
+            Request::Ping { correlation_id } => {
+                reply(shared, conn, worker_idx, &Response::Pong { correlation_id })
+            }
+        }
+        if let Some(since) = dispatch_clock {
+            shared
+                .metrics
+                .record_elapsed(Phase::NetDispatch, worker_idx, since);
+        }
+    }
+
+    // Poll in-flight transactions; reply to whatever reached its ack point.
+    let durable_epoch = shared.db.durable_epoch();
+    let mut still_pending = VecDeque::with_capacity(conn.inflight.len());
+    while let Some(pending) = conn.inflight.pop_front() {
+        let outcome = match pending.handle.try_result() {
+            None => {
+                still_pending.push_back(pending);
+                continue;
+            }
+            Some(outcome) => outcome,
+        };
+        // A durable-ack commit waits until group commit covers its epoch;
+        // aborts are never durable and reply immediately. With no WAL
+        // configured durable degrades to validated, like the in-process
+        // `wait_durable`.
+        if pending.ack == AckMode::Durable && outcome.is_ok() {
+            let covered = match (pending.handle.commit_epoch(), durable_epoch) {
+                (Some(commit), Some(durable)) => commit <= durable,
+                (_, None) => true,
+                (None, Some(_)) => true,
+            };
+            if !covered {
+                *want_wal_kick = true;
+                still_pending.push_back(pending);
+                continue;
+            }
+        }
+        let response = match outcome {
+            Ok(value) => Response::TxnOk {
+                correlation_id: pending.correlation_id,
+                value,
+                commit_epoch: pending.handle.commit_epoch(),
+            },
+            Err(error) => Response::TxnErr {
+                correlation_id: pending.correlation_id,
+                error,
+            },
+        };
+        shared.stats.in_flight.fetch_sub(1, Ordering::Relaxed);
+        reply(shared, conn, worker_idx, &response);
+        progressed = true;
+    }
+    conn.inflight = still_pending;
+
+    // Flush the send buffer.
+    while !conn.wbuf.is_empty() {
+        match conn.stream.write(&conn.wbuf) {
+            Ok(0) => {
+                conn.kill = Some(KillReason::Gone);
+                return true;
+            }
+            Ok(n) => {
+                conn.wbuf.drain(..n);
+                conn.last_write = Instant::now();
+                progressed = true;
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => {
+                conn.kill = Some(KillReason::Gone);
+                return true;
+            }
+        }
+    }
+
+    // Stall deadlines. The read clock only matters while the peer owes us
+    // bytes — mid-handshake or with the buffer's first frame incomplete —
+    // and only when we were actually willing to read (a connection paused
+    // by our own backpressure is not the peer stalling). An idle client
+    // with no partial frame may stay connected indefinitely.
+    let partial_frame =
+        !conn.rbuf.is_empty() && matches!(codec::decode_frame(&conn.rbuf), Ok(None));
+    let owes_bytes = !conn.handshaken || partial_frame;
+    if !paused && owes_bytes && conn.last_read.elapsed() >= shared.config.read_timeout {
+        conn.kill = Some(KillReason::Stalled);
+        return true;
+    }
+    if !conn.wbuf.is_empty() && conn.last_write.elapsed() >= shared.config.write_timeout {
+        conn.kill = Some(KillReason::Stalled);
+        return true;
+    }
+
+    progressed
+}
+
+/// Encodes a response and queues it on the connection's send buffer,
+/// recording the reply phase.
+fn reply(shared: &Shared, conn: &mut Conn, worker_idx: usize, response: &Response) {
+    let clock = shared.metrics.clock();
+    let framed = codec::frame(&codec::encode_response(response));
+    conn.wbuf.extend_from_slice(&framed);
+    if let Some(since) = clock {
+        shared
+            .metrics
+            .record_elapsed(Phase::NetReply, worker_idx, since);
+    }
+    shared.stats.responses.fetch_add(1, Ordering::Relaxed);
+}

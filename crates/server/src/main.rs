@@ -1,0 +1,176 @@
+//! Standalone `reactdb-server`: boots an engine instance with a builtin
+//! workload schema and serves the wire protocol until interrupted.
+//!
+//! Reactor database specs contain Rust closures, so a standalone process
+//! cannot load an arbitrary application schema from a file; instead the
+//! binary offers the builtin workload schemas (SmallBank, YCSB) selected
+//! by flag — enough for the load generator, smoke tests and any client
+//! driving those procedures over the wire.
+//!
+//! ```text
+//! reactdb-server --addr 127.0.0.1:5433 --workload smallbank --scale 1000 \
+//!     --executors 4 --deployment shared_nothing --wal-dir /tmp/reactdb-wal
+//! ```
+//!
+//! Flags:
+//!   --addr HOST:PORT      bind address (default 127.0.0.1:5433; port 0 = ephemeral)
+//!   --workload NAME       smallbank | ycsb (default smallbank)
+//!   --scale N             customers / keys to load (default 1000)
+//!   --executors N         engine executors (default 4)
+//!   --deployment NAME     shared_nothing | shared_everything | affinity
+//!                         (default shared_nothing)
+//!   --net-workers N       I/O worker threads (default 2)
+//!   --max-in-flight N     per-connection pipeline cap (default 128)
+//!   --wal-dir PATH        enable epoch-sync durability in PATH (default off)
+//!   --wal-interval-ms N   group-commit interval (default 10)
+//!   --run-secs N          exit after N seconds (default: run until killed)
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use reactdb_common::{DeploymentConfig, DurabilityConfig};
+use reactdb_engine::ReactDB;
+use reactdb_server::{Server, ServerConfig};
+use reactdb_workloads::{smallbank, ycsb};
+
+struct Opts {
+    addr: String,
+    workload: String,
+    scale: usize,
+    executors: usize,
+    deployment: String,
+    net_workers: usize,
+    max_in_flight: usize,
+    wal_dir: Option<String>,
+    wal_interval_ms: u64,
+    run_secs: Option<u64>,
+}
+
+fn usage_and_exit(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("see the doc comment at the top of crates/server/src/main.rs for flags");
+    std::process::exit(2);
+}
+
+fn parse_opts() -> Opts {
+    let mut opts = Opts {
+        addr: "127.0.0.1:5433".to_string(),
+        workload: "smallbank".to_string(),
+        scale: 1000,
+        executors: 4,
+        deployment: "shared_nothing".to_string(),
+        net_workers: 2,
+        max_in_flight: 128,
+        wal_dir: None,
+        wal_interval_ms: 10,
+        run_secs: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| usage_and_exit(&format!("{name} needs a value")))
+        };
+        match flag.as_str() {
+            "--addr" => opts.addr = value("--addr"),
+            "--workload" => opts.workload = value("--workload"),
+            "--scale" => {
+                opts.scale = value("--scale")
+                    .parse()
+                    .unwrap_or_else(|_| usage_and_exit("--scale wants an integer"))
+            }
+            "--executors" => {
+                opts.executors = value("--executors")
+                    .parse()
+                    .unwrap_or_else(|_| usage_and_exit("--executors wants an integer"))
+            }
+            "--deployment" => opts.deployment = value("--deployment"),
+            "--net-workers" => {
+                opts.net_workers = value("--net-workers")
+                    .parse()
+                    .unwrap_or_else(|_| usage_and_exit("--net-workers wants an integer"))
+            }
+            "--max-in-flight" => {
+                opts.max_in_flight = value("--max-in-flight")
+                    .parse()
+                    .unwrap_or_else(|_| usage_and_exit("--max-in-flight wants an integer"))
+            }
+            "--wal-dir" => opts.wal_dir = Some(value("--wal-dir")),
+            "--wal-interval-ms" => {
+                opts.wal_interval_ms = value("--wal-interval-ms")
+                    .parse()
+                    .unwrap_or_else(|_| usage_and_exit("--wal-interval-ms wants an integer"))
+            }
+            "--run-secs" => {
+                opts.run_secs = Some(
+                    value("--run-secs")
+                        .parse()
+                        .unwrap_or_else(|_| usage_and_exit("--run-secs wants an integer")),
+                )
+            }
+            other => usage_and_exit(&format!("unknown flag {other}")),
+        }
+    }
+    opts
+}
+
+fn main() {
+    let opts = parse_opts();
+
+    let mut config = match opts.deployment.as_str() {
+        "shared_nothing" => DeploymentConfig::shared_nothing(opts.executors),
+        "shared_everything" => DeploymentConfig::shared_everything_without_affinity(opts.executors),
+        "affinity" => DeploymentConfig::shared_everything_with_affinity(opts.executors),
+        other => usage_and_exit(&format!("unknown deployment {other}")),
+    };
+    if let Some(dir) = &opts.wal_dir {
+        config = config.with_durability(
+            DurabilityConfig::epoch_sync(dir.as_str()).with_interval_ms(opts.wal_interval_ms),
+        );
+    }
+
+    let spec = match opts.workload.as_str() {
+        "smallbank" => smallbank::spec(opts.scale),
+        "ycsb" => ycsb::spec(opts.scale),
+        other => usage_and_exit(&format!("unknown workload {other}")),
+    };
+
+    eprintln!(
+        "booting {} (scale {}) on {} executors, deployment {}, durability {}",
+        opts.workload,
+        opts.scale,
+        opts.executors,
+        opts.deployment,
+        opts.wal_dir.as_deref().unwrap_or("off"),
+    );
+    let db = ReactDB::boot(spec, config);
+    match opts.workload.as_str() {
+        "smallbank" => smallbank::load(&db, opts.scale).expect("smallbank load"),
+        "ycsb" => ycsb::load(&db, opts.scale).expect("ycsb load"),
+        _ => unreachable!(),
+    }
+    let db = Arc::new(db);
+
+    let server = Server::start(
+        Arc::clone(&db),
+        ServerConfig::default()
+            .with_addr(opts.addr)
+            .with_workers(opts.net_workers)
+            .with_max_in_flight(opts.max_in_flight),
+    )
+    .expect("bind server");
+    // The loadgen's --spawn mode and scripts parse this line for the port.
+    println!("listening on {}", server.local_addr());
+
+    match opts.run_secs {
+        Some(secs) => std::thread::sleep(Duration::from_secs(secs)),
+        None => loop {
+            std::thread::sleep(Duration::from_secs(3600));
+        },
+    }
+    eprintln!("draining and shutting down");
+    server.shutdown();
+    // Last engine handle: drop shuts the engine down and releases the
+    // log-directory lock.
+    drop(db);
+}

@@ -1,0 +1,228 @@
+//! Robustness tests for the wire-protocol server: hostile and unlucky
+//! clients must damage at most their own connection, backpressure must
+//! shed load without corrupting sessions, and shutdown must drain cleanly
+//! and release the WAL directory lock.
+
+mod support;
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use reactdb::common::{DeploymentConfig, DurabilityConfig, Value};
+use reactdb::engine::ReactDB;
+use reactdb_client::{codec, WireClient};
+use reactdb_server::{Server, ServerConfig};
+use support::history::{load, spec, SHARDS};
+
+fn boot_server(config: ServerConfig) -> (Server, Arc<ReactDB>) {
+    let db = Arc::new(ReactDB::boot(
+        spec(),
+        DeploymentConfig::shared_nothing(SHARDS),
+    ));
+    load(&db);
+    let server = Server::start(Arc::clone(&db), config).unwrap();
+    (server, db)
+}
+
+/// Polls until `cond` holds or the deadline passes.
+fn eventually(what: &str, mut cond: impl FnMut() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while !cond() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+#[test]
+fn version_mismatch_is_rejected_with_the_server_version_echoed() {
+    let (server, db) = boot_server(ServerConfig::default());
+
+    let mut raw = TcpStream::connect(server.local_addr()).unwrap();
+    let mut hello = codec::client_hello();
+    hello[4..6].copy_from_slice(&99u16.to_le_bytes()); // future protocol
+    raw.write_all(&hello).unwrap();
+
+    let mut reply = [0u8; codec::HANDSHAKE_LEN];
+    raw.read_exact(&mut reply).unwrap();
+    match codec::parse_server_hello(&reply) {
+        Err(codec::WireError::VersionMismatch { client, server }) => {
+            assert_eq!(client, codec::PROTOCOL_VERSION);
+            assert_eq!(server, codec::PROTOCOL_VERSION);
+        }
+        other => panic!("expected a version-mismatch rejection, got {other:?}"),
+    }
+    // The server closes after rejecting.
+    let mut scratch = [0u8; 1];
+    assert_eq!(raw.read(&mut scratch).unwrap(), 0, "connection closed");
+    eventually("rejected connection accounted", || {
+        server.net_stats().rejected() == 1
+    });
+
+    // A correct-version client on the same server is unaffected.
+    let client = WireClient::connect(server.local_addr()).unwrap();
+    client.ping().unwrap();
+    server.shutdown();
+    drop(db);
+}
+
+#[test]
+fn malformed_frames_kill_only_the_offending_connection() {
+    let (server, db) = boot_server(ServerConfig::default());
+    let addr = server.local_addr();
+
+    // A healthy session, established first.
+    let healthy = WireClient::connect(addr).unwrap();
+    healthy.ping().unwrap();
+
+    // An attacker session: valid handshake, then a frame whose CRC lies.
+    let mut evil = TcpStream::connect(addr).unwrap();
+    evil.write_all(&codec::client_hello()).unwrap();
+    let mut reply = [0u8; codec::HANDSHAKE_LEN];
+    evil.read_exact(&mut reply).unwrap();
+    codec::parse_server_hello(&reply).unwrap();
+    let mut bad = codec::frame(b"not a valid payload");
+    let crc_byte = codec::FRAME_HEADER_LEN - 1;
+    bad[crc_byte] ^= 0xFF;
+    evil.write_all(&bad).unwrap();
+
+    // The server kills the malformed connection...
+    let mut scratch = [0u8; 64];
+    assert_eq!(evil.read(&mut scratch).unwrap(), 0, "offender disconnected");
+    eventually("malformed kill accounted", || {
+        server.net_stats().malformed() == 1
+    });
+
+    // ...and a frame announcing more than the 1 MiB cap dies the same way,
+    // from the header alone.
+    let mut greedy = TcpStream::connect(addr).unwrap();
+    greedy.write_all(&codec::client_hello()).unwrap();
+    greedy.read_exact(&mut reply).unwrap();
+    let mut huge_header = Vec::new();
+    huge_header.extend_from_slice(&(codec::MAX_FRAME_LEN + 1).to_le_bytes());
+    huge_header.extend_from_slice(&0u32.to_le_bytes());
+    greedy.write_all(&huge_header).unwrap();
+    assert_eq!(
+        greedy.read(&mut scratch).unwrap(),
+        0,
+        "oversized disconnected"
+    );
+    eventually("oversized kill accounted", || {
+        server.net_stats().malformed() == 2
+    });
+
+    // The healthy session never noticed.
+    let v = healthy
+        .invoke("shard-0", "snapshot", vec![Value::Int(0)])
+        .unwrap();
+    assert!(matches!(v, Value::Str(_)));
+    assert!(!healthy.is_dead());
+    server.shutdown();
+    drop(db);
+}
+
+#[test]
+fn pipelining_beyond_the_in_flight_cap_is_absorbed_by_backpressure() {
+    // A tiny cap forces the server to pause reads on the flooded
+    // connection; every request must still resolve, in order.
+    let (server, db) = boot_server(ServerConfig::default().with_max_in_flight(4));
+    let client = WireClient::connect(server.local_addr()).unwrap();
+
+    let handles: Vec<_> = (0..200)
+        .map(|_| {
+            client
+                .submit("shard-1", "rmw", vec![Value::Int(7), Value::Int(2)])
+                .unwrap()
+        })
+        .collect();
+    // Every request must resolve — committed or cleanly OCC-aborted; a
+    // flood beyond the cap must never lose or wedge a request.
+    let mut committed = 0;
+    for handle in handles {
+        match handle.wait() {
+            Ok(_) => committed += 1,
+            Err(e) => assert!(e.is_cc_abort(), "unexpected error: {e:?}"),
+        }
+    }
+    assert!(committed > 0, "some of the flood commits");
+    assert!(!client.is_dead(), "backpressure must not kill the session");
+    assert_eq!(server.net_stats().in_flight(), 0);
+    server.shutdown();
+    drop(db);
+}
+
+#[test]
+fn an_abruptly_killed_connection_leaks_nothing_and_wedges_nobody() {
+    let (server, db) = boot_server(ServerConfig::default());
+    let addr = server.local_addr();
+
+    let survivor = WireClient::connect(addr).unwrap();
+    let victim = WireClient::connect(addr).unwrap();
+    // Load the victim's pipeline, then sever it without waiting.
+    let _abandoned: Vec<_> = (0..50)
+        .map(|_| {
+            victim
+                .submit("shard-2", "rmw", vec![Value::Int(9), Value::Int(1)])
+                .unwrap()
+        })
+        .collect();
+    drop(_abandoned);
+    drop(victim);
+
+    // The server notices the death, resolves or discards the in-flight
+    // transactions, and the gauge returns to zero.
+    eventually("victim's in-flight drained", || {
+        server.net_stats().in_flight() == 0
+    });
+    eventually("victim connection reaped", || {
+        server.net_stats().active() == 1
+    });
+
+    // The survivor keeps transacting, and new connections are served.
+    survivor
+        .invoke("shard-0", "rmw", vec![Value::Int(11), Value::Int(0)])
+        .unwrap();
+    WireClient::connect(addr).unwrap().ping().unwrap();
+    server.shutdown();
+    drop(db);
+}
+
+#[test]
+fn graceful_shutdown_drains_and_releases_the_log_dir_lock() {
+    let dir = std::env::temp_dir().join(format!("reactdb-wire-shutdown-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let dir_s = dir.to_string_lossy().into_owned();
+
+    let config = DeploymentConfig::shared_nothing(SHARDS)
+        .with_durability(DurabilityConfig::epoch_sync(&dir_s).with_interval_ms(1));
+    let db = Arc::new(ReactDB::boot(spec(), config.clone()));
+    load(&db);
+    let server = Server::start(Arc::clone(&db), ServerConfig::default()).unwrap();
+    let client = WireClient::connect(server.local_addr()).unwrap();
+
+    // In-flight work at shutdown time must be drained, not dropped.
+    let pending: Vec<_> = (0..20)
+        .map(|_| {
+            client
+                .submit_durable("shard-0", "rmw", vec![Value::Int(3), Value::Int(0)])
+                .unwrap()
+        })
+        .collect();
+    server.shutdown();
+    let mut drained = 0;
+    for handle in pending {
+        if let Some(Ok(_)) = handle.wait_timeout(Duration::from_secs(5)) {
+            drained += 1;
+        }
+    }
+    assert!(drained > 0, "shutdown drained in-flight transactions");
+
+    // Dropping the last engine handle shuts the engine down and releases
+    // the WAL directory lock; recovery from the same directory must then
+    // succeed rather than failing the lock acquisition.
+    drop(db);
+    let recovered = ReactDB::recover(spec(), config).unwrap();
+    drop(recovered);
+    let _ = std::fs::remove_dir_all(&dir);
+}
