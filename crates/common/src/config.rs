@@ -216,6 +216,28 @@ pub struct CheckpointConfig {
     /// chunks checkpoint faster; smaller chunks bound how long a chunk
     /// collection can delay concurrent commits.
     pub chunk_size: usize,
+    /// Size-based trigger: also take a background checkpoint whenever this
+    /// many redo-log bytes have been appended since the last completed one,
+    /// so log-heavy workloads checkpoint by volume, not wall clock. `0`
+    /// disables the size trigger.
+    #[serde(default)]
+    pub max_log_bytes: u64,
+    /// Parallel-capture writer threads: the table walk is partitioned
+    /// across this many part-file writers. `0` means one per available
+    /// core (capped by the table count).
+    #[serde(default)]
+    pub workers: usize,
+    /// Recovery replay workers: log records fan out to this many threads
+    /// keyed by reactor (same-reactor records stay ordered within one
+    /// worker). `0` means one per available core.
+    #[serde(default)]
+    pub replay_workers: usize,
+    /// Delta-checkpoint chain length: every `full_every`-th checkpoint is a
+    /// full snapshot (the chain root); the ones in between capture only
+    /// rows dirtied since the previous checkpoint. `0` or `1` makes every
+    /// checkpoint full (deltas disabled).
+    #[serde(default)]
+    pub full_every: u64,
 }
 
 impl Default for CheckpointConfig {
@@ -223,6 +245,10 @@ impl Default for CheckpointConfig {
         Self {
             interval_epochs: 0,
             chunk_size: 256,
+            max_log_bytes: 0,
+            workers: 0,
+            replay_workers: 0,
+            full_every: 0,
         }
     }
 }
@@ -247,9 +273,41 @@ impl CheckpointConfig {
         self
     }
 
-    /// True when the background checkpoint daemon should run.
+    /// Sets the bytes-logged checkpoint trigger (`0` disables it).
+    pub fn with_max_log_bytes(mut self, bytes: u64) -> Self {
+        self.max_log_bytes = bytes;
+        self
+    }
+
+    /// Sets the parallel-capture writer count (`0` = one per core).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Sets the recovery replay-worker count (`0` = one per core).
+    pub fn with_replay_workers(mut self, workers: usize) -> Self {
+        self.replay_workers = workers;
+        self
+    }
+
+    /// Enables delta checkpoints: a full chain root every `full_every`
+    /// checkpoints, dirty-rows-only captures in between (`0` or `1`
+    /// disables deltas).
+    pub fn with_full_every(mut self, full_every: u64) -> Self {
+        self.full_every = full_every;
+        self
+    }
+
+    /// True when delta checkpoints are enabled.
+    pub fn delta_checkpoints(&self) -> bool {
+        self.full_every >= 2
+    }
+
+    /// True when the background checkpoint daemon should run (an epoch
+    /// interval or a bytes-logged trigger is configured).
     pub fn is_periodic(&self) -> bool {
-        self.interval_epochs > 0
+        self.interval_epochs > 0 || self.max_log_bytes > 0
     }
 }
 
@@ -529,6 +587,22 @@ mod tests {
         assert!(periodic.is_periodic());
         assert_eq!(periodic.interval_epochs, 16);
         assert_eq!(periodic.chunk_size, 1, "chunk size clamps to at least 1");
+        let sized = CheckpointConfig::manual().with_max_log_bytes(1 << 20);
+        assert!(
+            sized.is_periodic(),
+            "the bytes-logged trigger alone warrants a daemon"
+        );
+        assert!(!CheckpointConfig::default().delta_checkpoints());
+        assert!(!CheckpointConfig::manual()
+            .with_full_every(1)
+            .delta_checkpoints());
+        let parallel = CheckpointConfig::manual()
+            .with_workers(4)
+            .with_replay_workers(2)
+            .with_full_every(8);
+        assert_eq!(parallel.workers, 4);
+        assert_eq!(parallel.replay_workers, 2);
+        assert!(parallel.delta_checkpoints());
         assert_eq!(
             DeploymentConfig::shared_nothing(2).checkpoint,
             CheckpointConfig::default(),
@@ -610,6 +684,41 @@ mod tests {
             .join("\n");
         let back = DeploymentConfig::from_json(&old_json).unwrap();
         assert_eq!(back, cfg, "missing knobs default to off");
+    }
+
+    #[test]
+    fn config_json_written_before_the_parallel_checkpoint_knobs_still_parses() {
+        // Same exercise for the parallel/delta checkpoint fields: a config
+        // file from before they existed must parse with them defaulted off.
+        let cfg = DeploymentConfig::shared_nothing(2)
+            .with_checkpoint(CheckpointConfig::every_epochs(8).with_chunk_size(64));
+        let json = cfg.to_json();
+        let kept: Vec<&str> = json
+            .lines()
+            .filter(|l| {
+                !l.contains("max_log_bytes")
+                    && !l.contains("\"workers\"")
+                    && !l.contains("replay_workers")
+                    && !l.contains("full_every")
+            })
+            .collect();
+        let old_json: String = kept
+            .iter()
+            .enumerate()
+            .map(|(i, line)| {
+                let closes_next = kept
+                    .get(i + 1)
+                    .is_some_and(|next| next.trim_start().starts_with('}'));
+                if closes_next {
+                    line.trim_end().trim_end_matches(',').to_owned()
+                } else {
+                    (*line).to_owned()
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        let back = DeploymentConfig::from_json(&old_json).unwrap();
+        assert_eq!(back, cfg, "missing checkpoint knobs default to off");
     }
 
     #[test]

@@ -27,7 +27,7 @@
 
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use reactdb_common::ids::TxnIdGen;
 use reactdb_common::{
@@ -44,7 +44,7 @@ use reactdb_obs::{
 };
 use reactdb_storage::{Table, Tuple};
 use reactdb_txn::{Coordinator, EpochManager, LogSink};
-use reactdb_wal::{CheckpointOutcome, CheckpointTable, Checkpointer, LogDirLock, Wal};
+use reactdb_wal::{CheckpointReport, CheckpointTable, Checkpointer, LogDirLock, Wal};
 
 use crate::client::{Client, SessionShared};
 use crate::container::Container;
@@ -242,19 +242,34 @@ impl ReactDB {
                     }
                     Ok(())
                 };
-                // Base state first: the newest complete checkpoint fully
-                // covers every epoch <= its stamp. The log tail then layers
-                // on top; TID-aware replay resolves the fuzzy overlap.
+                // Base state first: the newest complete checkpoint chain
+                // fully covers every epoch <= its stamp. The log tail then
+                // layers on top; TID-aware replay resolves the fuzzy
+                // overlap. The replay fans out across reactor-partitioned
+                // workers — same-reactor records stay ordered in one lane,
+                // so delta chains and version order are preserved.
+                let checkpoint_rows: &[_] = recovered
+                    .checkpoint
+                    .as_ref()
+                    .map(|c| c.rows.as_slice())
+                    .unwrap_or(&[]);
+                let replay_workers = match config.checkpoint.replay_workers {
+                    0 => std::thread::available_parallelism()
+                        .map(|n| n.get())
+                        .unwrap_or(1),
+                    n => n,
+                };
+                let replay_started = Instant::now();
+                let workers_used = reactdb_wal::replay_partitioned(
+                    checkpoint_rows,
+                    &recovered.batches,
+                    replay_workers,
+                    replay_one,
+                )?;
+                metrics.record_elapsed(Phase::RecoveryReplay, usize::MAX, replay_started);
+                stats.record_replay_workers(workers_used as u64);
                 if let Some(checkpoint) = &recovered.checkpoint {
-                    for (tid, record) in &checkpoint.rows {
-                        replay_one(*tid, record)?;
-                    }
                     stats.record_recovered_checkpoint_rows(checkpoint.rows.len() as u64);
-                }
-                for (tid, records) in &recovered.batches {
-                    for record in records {
-                        replay_one(*tid, record)?;
-                    }
                 }
                 // Resume beyond every epoch observed in the log (durable or
                 // discarded) so no pre-crash (epoch, sequence) pair is
@@ -307,11 +322,9 @@ impl ReactDB {
                         });
                     }
                 }
-                let checkpointer =
-                    Checkpointer::new(Arc::clone(wal), tables, config.checkpoint.chunk_size)?;
+                let checkpointer = Checkpointer::new(Arc::clone(wal), tables, config.checkpoint)?;
                 if config.checkpoint.is_periodic() {
-                    checkpointer
-                        .start_daemon(config.checkpoint.interval_epochs, Arc::clone(&epoch));
+                    checkpointer.start_daemon(Arc::clone(&epoch));
                 }
                 Some(checkpointer)
             }
@@ -429,10 +442,12 @@ impl ReactDB {
             ("durable_epoch", stats.durable_epoch()),
             ("durable_waits", stats.durable_waits()),
             ("checkpoints_taken", stats.checkpoints_taken()),
+            ("checkpoints_delta", stats.checkpoints_delta()),
             ("checkpoint_bytes", stats.checkpoint_bytes()),
             ("checkpoint_failures", stats.checkpoint_failures()),
             ("log_truncated_bytes", stats.log_truncated_bytes()),
             ("log_truncated_segments", stats.log_truncated_segments()),
+            ("recovery_replay_workers", stats.recovery_replay_workers()),
         ] {
             counters.push(Counter {
                 name: name.into(),
@@ -539,12 +554,14 @@ impl ReactDB {
     }
 
     /// Takes one checkpoint right now, concurrently with live transactions:
-    /// snapshots every table against the stable epoch, waits until the
-    /// capture is durable, commits the manifest and truncates every log
-    /// segment the checkpoint covers. Returns what the checkpoint did.
-    /// Requires durability; see `CheckpointConfig` on the deployment for
-    /// the periodic background variant.
-    pub fn checkpoint_now(&self) -> Result<CheckpointOutcome> {
+    /// snapshots every table against the stable epoch across the parallel
+    /// writer pool, waits until the capture is durable, commits the
+    /// manifest and truncates every log segment the checkpoint covers.
+    /// Returns a [`CheckpointReport`] — rows, bytes, part count, whether it
+    /// was a delta capture, and the cover epoch — so callers and tests need
+    /// not scrape `DbStats`. Requires durability; see `CheckpointConfig` on
+    /// the deployment for the periodic background variant.
+    pub fn checkpoint_now(&self) -> Result<CheckpointReport> {
         let checkpointer = self
             .inner
             .checkpointer

@@ -31,6 +31,7 @@ pub struct DbStats {
     scan_ops: AtomicU64,
     recovered_txns: AtomicU64,
     recovered_checkpoint_rows: AtomicU64,
+    recovery_replay_workers: AtomicU64,
     /// Client-visible outcome counters, maintained by the session layer
     /// (`crate::client`): the same aggregate each session keeps, fed with
     /// the same events across every session of this database. One
@@ -72,6 +73,9 @@ impl DbStats {
     pub(crate) fn record_recovered_checkpoint_rows(&self, n: u64) {
         self.recovered_checkpoint_rows
             .fetch_add(n, Ordering::Relaxed);
+    }
+    pub(crate) fn record_replay_workers(&self, n: u64) {
+        self.recovery_replay_workers.fetch_max(n, Ordering::Relaxed);
     }
     pub(crate) fn attach_wal(&self, stats: Arc<WalStats>) {
         let _ = self.wal.set(stats);
@@ -196,6 +200,11 @@ impl DbStats {
     pub fn recovered_checkpoint_rows(&self) -> u64 {
         self.recovered_checkpoint_rows.load(Ordering::Relaxed)
     }
+    /// Replay workers the partitioned recovery replay fanned out to (0 when
+    /// this instance did not boot through recovery).
+    pub fn recovery_replay_workers(&self) -> u64 {
+        self.recovery_replay_workers.load(Ordering::Relaxed)
+    }
     /// Bytes of redo frames appended to the write-ahead log (0 when
     /// durability is off).
     pub fn log_bytes(&self) -> u64 {
@@ -239,6 +248,10 @@ impl DbStats {
     /// `ReactDB::checkpoint_now` calls).
     pub fn checkpoints_taken(&self) -> u64 {
         self.wal.get().map(|w| w.checkpoints_taken()).unwrap_or(0)
+    }
+    /// Completed checkpoints that were delta captures (dirty rows only).
+    pub fn checkpoints_delta(&self) -> u64 {
+        self.wal.get().map(|w| w.checkpoints_delta()).unwrap_or(0)
     }
     /// Cumulative bytes of checkpoint data files written.
     pub fn checkpoint_bytes(&self) -> u64 {

@@ -40,6 +40,12 @@ pub enum Phase {
     /// One checkpointer chunk: snapshotting a key-range page and writing
     /// its frames.
     CheckpointChunk,
+    /// One parallel-capture part file: a checkpoint writer thread's whole
+    /// span from first chunk to the part fsync.
+    CkptPartWrite,
+    /// Recovery replay: applying checkpoint rows and the log tail to the
+    /// tables (one span per replay worker).
+    RecoveryReplay,
     /// Client session wait: `submit` to resolution (queueing + execute +
     /// commit), as observed by the client.
     SessionWait,
@@ -56,7 +62,7 @@ pub enum Phase {
 
 impl Phase {
     /// Number of phases.
-    pub const COUNT: usize = 14;
+    pub const COUNT: usize = 16;
 
     /// Every phase, in display order.
     pub const ALL: [Phase; Phase::COUNT] = [
@@ -70,6 +76,8 @@ impl Phase {
         Phase::WalSyncWait,
         Phase::WalFsync,
         Phase::CheckpointChunk,
+        Phase::CkptPartWrite,
+        Phase::RecoveryReplay,
         Phase::SessionWait,
         Phase::NetDecode,
         Phase::NetDispatch,
@@ -98,6 +106,8 @@ impl Phase {
             Phase::WalSyncWait => "wal_sync_wait",
             Phase::WalFsync => "wal_fsync",
             Phase::CheckpointChunk => "checkpoint_chunk",
+            Phase::CkptPartWrite => "ckpt_part_write",
+            Phase::RecoveryReplay => "recovery_replay",
             Phase::SessionWait => "session_wait",
             Phase::NetDecode => "net_decode",
             Phase::NetDispatch => "net_dispatch",

@@ -23,12 +23,19 @@
 //!   --max-in-flight N     per-connection pipeline cap (default 128)
 //!   --wal-dir PATH        enable epoch-sync durability in PATH (default off)
 //!   --wal-interval-ms N   group-commit interval (default 10)
+//!   --checkpoint-interval-epochs N
+//!                         background checkpoint every N epochs (default 0 = off)
+//!   --checkpoint-max-log-bytes N
+//!                         also checkpoint after N bytes of new log (default 0 = off)
+//!   --checkpoint-workers N
+//!                         parallel checkpoint writer threads (default 0 = all cores)
+//!   --replay-workers N    parallel recovery replay lanes (default 0 = all cores)
 //!   --run-secs N          exit after N seconds (default: run until killed)
 
 use std::sync::Arc;
 use std::time::Duration;
 
-use reactdb_common::{DeploymentConfig, DurabilityConfig};
+use reactdb_common::{CheckpointConfig, DeploymentConfig, DurabilityConfig};
 use reactdb_engine::ReactDB;
 use reactdb_server::{Server, ServerConfig};
 use reactdb_workloads::{smallbank, ycsb};
@@ -43,6 +50,10 @@ struct Opts {
     max_in_flight: usize,
     wal_dir: Option<String>,
     wal_interval_ms: u64,
+    checkpoint_interval_epochs: u64,
+    checkpoint_max_log_bytes: u64,
+    checkpoint_workers: usize,
+    replay_workers: usize,
     run_secs: Option<u64>,
 }
 
@@ -63,6 +74,10 @@ fn parse_opts() -> Opts {
         max_in_flight: 128,
         wal_dir: None,
         wal_interval_ms: 10,
+        checkpoint_interval_epochs: 0,
+        checkpoint_max_log_bytes: 0,
+        checkpoint_workers: 0,
+        replay_workers: 0,
         run_secs: None,
     };
     let mut args = std::env::args().skip(1);
@@ -101,6 +116,30 @@ fn parse_opts() -> Opts {
                     .parse()
                     .unwrap_or_else(|_| usage_and_exit("--wal-interval-ms wants an integer"))
             }
+            "--checkpoint-interval-epochs" => {
+                opts.checkpoint_interval_epochs = value("--checkpoint-interval-epochs")
+                    .parse()
+                    .unwrap_or_else(|_| {
+                        usage_and_exit("--checkpoint-interval-epochs wants an integer")
+                    })
+            }
+            "--checkpoint-max-log-bytes" => {
+                opts.checkpoint_max_log_bytes = value("--checkpoint-max-log-bytes")
+                    .parse()
+                    .unwrap_or_else(|_| {
+                        usage_and_exit("--checkpoint-max-log-bytes wants an integer")
+                    })
+            }
+            "--checkpoint-workers" => {
+                opts.checkpoint_workers = value("--checkpoint-workers")
+                    .parse()
+                    .unwrap_or_else(|_| usage_and_exit("--checkpoint-workers wants an integer"))
+            }
+            "--replay-workers" => {
+                opts.replay_workers = value("--replay-workers")
+                    .parse()
+                    .unwrap_or_else(|_| usage_and_exit("--replay-workers wants an integer"))
+            }
             "--run-secs" => {
                 opts.run_secs = Some(
                     value("--run-secs")
@@ -124,9 +163,16 @@ fn main() {
         other => usage_and_exit(&format!("unknown deployment {other}")),
     };
     if let Some(dir) = &opts.wal_dir {
-        config = config.with_durability(
-            DurabilityConfig::epoch_sync(dir.as_str()).with_interval_ms(opts.wal_interval_ms),
-        );
+        config = config
+            .with_durability(
+                DurabilityConfig::epoch_sync(dir.as_str()).with_interval_ms(opts.wal_interval_ms),
+            )
+            .with_checkpoint(
+                CheckpointConfig::every_epochs(opts.checkpoint_interval_epochs)
+                    .with_max_log_bytes(opts.checkpoint_max_log_bytes)
+                    .with_workers(opts.checkpoint_workers)
+                    .with_replay_workers(opts.replay_workers),
+            );
     }
 
     let spec = match opts.workload.as_str() {

@@ -304,12 +304,13 @@ pub fn encode_header(out: &mut Vec<u8>, executor: u32, generation: u32) {
     put_u32(out, generation);
 }
 
-/// Writes the checkpoint-file header for checkpoint `seq`, stamped with the
-/// stable epoch the checkpoint snapshot began at.
-pub fn encode_checkpoint_header(out: &mut Vec<u8>, seq: u64, epoch: u64) {
+/// Writes the checkpoint-file header for part `part` of checkpoint `seq`,
+/// stamped with the stable epoch the checkpoint snapshot began at.
+pub fn encode_checkpoint_header(out: &mut Vec<u8>, seq: u64, epoch: u64, part: u32) {
     out.extend_from_slice(&CHECKPOINT_MAGIC);
     put_u64(out, seq);
     put_u64(out, epoch);
+    put_u32(out, part);
 }
 
 /// Appends one framed batch to `out`. Returns the number of bytes written.
@@ -626,6 +627,8 @@ pub struct CheckpointScan {
     pub seq: u64,
     /// Stable epoch the snapshot began at (`E_ckpt`), from the header.
     pub epoch: u64,
+    /// Zero-based part index within the checkpoint's part set.
+    pub part: u32,
     /// The decoded row frames, in capture order.
     pub scan: SegmentScan,
 }
@@ -639,9 +642,11 @@ pub fn decode_checkpoint(bytes: &[u8]) -> Option<CheckpointScan> {
     }
     let seq = r.u64()?;
     let epoch = r.u64()?;
+    let part = r.u32()?;
     Some(CheckpointScan {
         seq,
         epoch,
+        part,
         scan: decode_frames(r),
     })
 }
@@ -754,13 +759,14 @@ mod tests {
     #[test]
     fn checkpoint_roundtrip_and_foreign_rejection() {
         let mut out = Vec::new();
-        encode_checkpoint_header(&mut out, 7, 42);
+        encode_checkpoint_header(&mut out, 7, 42, 3);
         for (i, record) in sample_records().into_iter().enumerate() {
             encode_batch(&mut out, TidWord::committed(3, i as u64 + 1), &[record]);
         }
         let scan = decode_checkpoint(&out).expect("valid checkpoint");
         assert_eq!(scan.seq, 7);
         assert_eq!(scan.epoch, 42);
+        assert_eq!(scan.part, 3);
         assert!(!scan.scan.truncated_tail);
         assert_eq!(scan.scan.batches.len(), 2);
         assert_eq!(scan.scan.batches[0].0, TidWord::committed(3, 1));

@@ -52,7 +52,7 @@ use reactdb_obs::{Metrics, Phase, TraceKind};
 use reactdb_storage::TidWord;
 use reactdb_txn::{Coordinator, EpochManager, RedoRecord};
 
-pub use checkpoint::{CheckpointOutcome, CheckpointTable, Checkpointer, RecoveredCheckpoint};
+pub use checkpoint::{CheckpointReport, CheckpointTable, Checkpointer, RecoveredCheckpoint};
 pub use stats::{TableLogUsage, WalStats};
 pub use writer::LogWriter;
 
@@ -285,6 +285,12 @@ impl Wal {
     /// The writer (commit-path [`reactdb_txn::LogSink`]) of one executor.
     pub fn writer(&self, executor: usize) -> &Arc<LogWriter> {
         &self.writers[executor]
+    }
+
+    /// Every per-executor writer — the checkpointer iterates them to
+    /// enable dirty tracking and to snapshot/clear dirty sets.
+    pub(crate) fn writers(&self) -> &[Arc<LogWriter>] {
+        &self.writers
     }
 
     /// Durability counters.
@@ -731,18 +737,57 @@ fn retire_segments(dir: &Path, delete: &[PathBuf], corrupt: &[PathBuf]) -> io::R
 /// `ReactDB::recover` upholds this by only scanning before its own WAL
 /// opens; coordinating multiple processes over one log directory is out of
 /// scope here (see ROADMAP).
+/// One segment file's byte size and decoded scan (`None` = undecodable).
+type DecodedSegment = (u64, Option<codec::SegmentScan>);
+
 pub fn recover_and_compact(dir: &Path, mode: DurabilityMode) -> io::Result<RecoveredLog> {
     let durable_epoch = match mode {
         DurabilityMode::EpochSync => read_marker(dir)?.unwrap_or(0),
         _ => u64::MAX,
     };
 
+    let parallelism = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
     // Newest complete checkpoint: rows covering every epoch <= its stamp.
-    let recovered_checkpoint = checkpoint::load_checkpoint(dir, durable_epoch)?;
+    let recovered_checkpoint = checkpoint::load_checkpoint(dir, durable_epoch, parallelism)?;
     checkpoint::clean_orphans_for_recovery(dir)?;
     let checkpoint_epoch = recovered_checkpoint.as_ref().map(|c| c.epoch).unwrap_or(0);
 
+    // Read and decode the segments in parallel (each segment is
+    // independent), then merge in path-sorted order so the result is
+    // byte-identical to a serial scan.
     let segments = list_segments(dir)?;
+    let decode_workers = parallelism.min(segments.len().max(1));
+    let mut slots: Vec<Option<DecodedSegment>> = Vec::new();
+    slots.resize_with(segments.len(), || None);
+    let decoded: Vec<Vec<(usize, io::Result<DecodedSegment>)>> = std::thread::scope(|s| {
+        let segments = &segments;
+        let handles: Vec<_> = (0..decode_workers)
+            .map(|w| {
+                s.spawn(move || {
+                    let mut out = Vec::new();
+                    let mut i = w;
+                    while i < segments.len() {
+                        let result = fs::read(&segments[i])
+                            .map(|bytes| (bytes.len() as u64, codec::decode_segment(&bytes)));
+                        out.push((i, result));
+                        i += decode_workers;
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("segment decoder panicked"))
+            .collect()
+    });
+    for (i, result) in decoded.into_iter().flatten() {
+        slots[i] = Some(result?);
+    }
+
     let mut batches: Vec<(TidWord, Vec<RedoRecord>)> = Vec::new();
     let mut max_epoch_seen = 0u64;
     let mut max_generation = 0u32;
@@ -752,15 +797,15 @@ pub fn recover_and_compact(dir: &Path, mode: DurabilityMode) -> io::Result<Recov
     // alone.
     let mut scanned: Vec<PathBuf> = Vec::new();
     let mut truncated: Vec<PathBuf> = Vec::new();
-    for path in &segments {
+    for (path, slot) in segments.iter().zip(slots) {
         if let Some(generation) = parse_generation(path) {
             max_generation = max_generation.max(generation);
         }
-        let bytes = fs::read(path)?;
-        let Some(scan) = codec::decode_segment(&bytes) else {
+        let (bytes_read, scan) = slot.expect("every segment slot filled");
+        let Some(scan) = scan else {
             continue; // foreign or headerless file: leave it alone
         };
-        log_bytes_scanned += bytes.len() as u64;
+        log_bytes_scanned += bytes_read;
         if scan.truncated_tail {
             truncated.push(path.clone());
         }
@@ -826,6 +871,75 @@ pub fn recover_and_compact(dir: &Path, mode: DurabilityMode) -> io::Result<Recov
         truncated_segments: truncated.len(),
         log_bytes_scanned,
     })
+}
+
+/// Replays a recovered checkpoint plus log tail through `replay_one`
+/// across up to `workers` threads, partitioned by reactor. Returns the
+/// number of workers actually used.
+///
+/// The partitioning is what makes the concurrency safe *and* the result
+/// deterministic: a reactor's state lives in its own tables, records for
+/// the same reactor always land in the same lane (checkpoint rows first —
+/// chain order — then tail records in the caller's TID order), and
+/// TID-idempotent replay resolves the fuzzy checkpoint/tail overlap within
+/// the lane exactly as a serial replay would. Records of *different*
+/// reactors never touch the same row, so lanes proceed independently; the
+/// recovered state is byte-identical for any worker count.
+///
+/// The first error aborts the caller's recovery; other lanes may have
+/// partially applied, which is safe for the same reason replaying a torn
+/// log twice is — replay is idempotent and the caller discards the boot on
+/// error.
+pub fn replay_partitioned<F>(
+    checkpoint_rows: &[(TidWord, RedoRecord)],
+    batches: &[(TidWord, Vec<RedoRecord>)],
+    workers: usize,
+    replay_one: F,
+) -> io::Result<usize>
+where
+    F: Fn(TidWord, &RedoRecord) -> io::Result<()> + Sync,
+{
+    let total = checkpoint_rows.len() + batches.len();
+    let workers = workers.max(1).min(total.max(1));
+    if workers == 1 {
+        for (tid, record) in checkpoint_rows {
+            replay_one(*tid, record)?;
+        }
+        for (tid, records) in batches {
+            for record in records {
+                replay_one(*tid, record)?;
+            }
+        }
+        return Ok(1);
+    }
+    let mut lanes: Vec<Vec<(TidWord, &RedoRecord)>> = vec![Vec::new(); workers];
+    for (tid, record) in checkpoint_rows {
+        lanes[record.reactor.index() % workers].push((*tid, record));
+    }
+    for (tid, records) in batches {
+        for record in records {
+            lanes[record.reactor.index() % workers].push((*tid, record));
+        }
+    }
+    std::thread::scope(|s| {
+        let replay_one = &replay_one;
+        let handles: Vec<_> = lanes
+            .iter()
+            .map(|lane| {
+                s.spawn(move || {
+                    for (tid, record) in lane {
+                        replay_one(*tid, record)?;
+                    }
+                    Ok::<(), io::Error>(())
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().expect("replay worker panicked")?;
+        }
+        Ok::<(), io::Error>(())
+    })?;
+    Ok(workers)
 }
 
 // ---------------------------------------------------------------------------

@@ -37,6 +37,7 @@ pub struct WalStats {
     durable_epoch: AtomicU64,
     durable_waits: AtomicU64,
     checkpoints_taken: AtomicU64,
+    checkpoints_delta: AtomicU64,
     checkpoint_bytes: AtomicU64,
     checkpoint_failures: AtomicU64,
     log_truncated_bytes: AtomicU64,
@@ -88,8 +89,11 @@ impl WalStats {
         self.durable_waits.fetch_add(1, Ordering::Relaxed);
     }
 
-    pub(crate) fn record_checkpoint(&self, bytes: u64) {
+    pub(crate) fn record_checkpoint(&self, bytes: u64, delta: bool) {
         self.checkpoints_taken.fetch_add(1, Ordering::Relaxed);
+        if delta {
+            self.checkpoints_delta.fetch_add(1, Ordering::Relaxed);
+        }
         self.checkpoint_bytes.fetch_add(bytes, Ordering::Relaxed);
     }
 
@@ -167,6 +171,12 @@ impl WalStats {
         self.checkpoints_taken.load(Ordering::Relaxed)
     }
 
+    /// Completed checkpoints that were delta captures (dirty rows only)
+    /// rather than full table walks. Always ≤ [`WalStats::checkpoints_taken`].
+    pub fn checkpoints_delta(&self) -> u64 {
+        self.checkpoints_delta.load(Ordering::Relaxed)
+    }
+
     /// Total bytes of checkpoint data files written (cumulative across
     /// checkpoints).
     pub fn checkpoint_bytes(&self) -> u64 {
@@ -229,11 +239,12 @@ mod tests {
     #[test]
     fn checkpoint_and_truncation_counters_accumulate() {
         let s = WalStats::new();
-        s.record_checkpoint(1000);
-        s.record_checkpoint(500);
+        s.record_checkpoint(1000, false);
+        s.record_checkpoint(500, true);
         s.record_checkpoint_failure();
         s.record_truncation(300, 2);
         assert_eq!(s.checkpoints_taken(), 2);
+        assert_eq!(s.checkpoints_delta(), 1);
         assert_eq!(s.checkpoint_bytes(), 1500);
         assert_eq!(s.checkpoint_failures(), 1);
         assert_eq!(s.log_truncated_bytes(), 300);

@@ -34,6 +34,7 @@ use std::collections::{HashMap, HashSet};
 use std::fs::File;
 use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -58,6 +59,13 @@ struct WriterInner {
     /// reactor → relation → primary keys. Cleared by [`LogWriter::swap_file`]
     /// under this same mutex (the re-basing rule).
     rooted: HashMap<ReactorId, HashMap<String, HashSet<Key>>>,
+    /// Keys this writer has logged since the last completed checkpoint,
+    /// with the highest commit epoch seen per key — the delta-checkpoint
+    /// dirty set. Unlike `rooted` this survives [`LogWriter::swap_file`]:
+    /// rotation changes which file holds a chain, not whether a row is
+    /// dirty relative to the last checkpoint. Cleared (through an epoch)
+    /// only by the checkpointer after a successful capture.
+    dirty: HashMap<(ReactorId, String), HashMap<Key, u64>>,
 }
 
 impl WriterInner {
@@ -91,6 +99,19 @@ impl WriterInner {
             keys.remove(&record.key);
         }
     }
+
+    /// Marks `record`'s key dirty at `epoch`. Deletes are tracked too: a
+    /// delta checkpoint must capture the tombstone, or a recovery from
+    /// full + delta layers would resurrect the row.
+    fn mark_dirty(&mut self, record: &RedoRecord, epoch: u64) {
+        let last = self
+            .dirty
+            .entry((record.reactor, record.relation.clone()))
+            .or_default()
+            .entry(record.key.clone())
+            .or_insert(0);
+        *last = (*last).max(epoch);
+    }
 }
 
 /// The log writer of one executor; implements [`LogSink`] for the commit
@@ -106,6 +127,11 @@ pub struct LogWriter {
     delta: bool,
     /// Record-level RLE compression of frame bodies.
     compress: bool,
+    /// Dirty-key tracking for delta checkpoints. Off by default; the
+    /// checkpointer switches it on when the config enables delta
+    /// checkpoints, so non-delta deployments pay nothing on the commit
+    /// path beyond this one relaxed load.
+    track_dirty: AtomicBool,
     inner: Mutex<WriterInner>,
     stats: Arc<WalStats>,
 }
@@ -128,6 +154,7 @@ impl LogWriter {
             file,
             path: path.to_path_buf(),
             rooted: HashMap::new(),
+            dirty: HashMap::new(),
         };
         // The header is metadata, not redo payload: push it to the OS right
         // away (without fsync) so scans never mistake the file for garbage.
@@ -137,6 +164,7 @@ impl LogWriter {
             mode: config.mode,
             delta: config.delta_logging && config.mode == DurabilityMode::EpochSync,
             compress: config.compress_records,
+            track_dirty: AtomicBool::new(false),
             inner: Mutex::new(inner),
             stats,
         })
@@ -207,6 +235,34 @@ impl LogWriter {
     pub fn buffered_bytes(&self) -> usize {
         self.inner.lock().buf.len()
     }
+
+    /// Switches dirty-key tracking on or off. Turning it on only covers
+    /// commits logged *from now on* — the checkpointer compensates by
+    /// forcing its first checkpoint of an instance lifetime to be full.
+    pub(crate) fn set_track_dirty(&self, on: bool) {
+        self.track_dirty.store(on, Ordering::Relaxed);
+    }
+
+    /// Snapshot of the dirty set: every (reactor, relation, key) this
+    /// writer has logged since the last `clear_dirty_through`, with the
+    /// highest commit epoch per key.
+    pub(crate) fn dirty_snapshot(&self) -> HashMap<(ReactorId, String), HashMap<Key, u64>> {
+        self.inner.lock().dirty.clone()
+    }
+
+    /// Drops dirty entries whose last commit epoch is ≤ `epoch`. Called
+    /// after a checkpoint whose stable snapshot epoch is `epoch` commits:
+    /// those keys' latest images were captured (the epoch gate drained
+    /// every commit at or below `epoch` before the walk), while keys
+    /// re-dirtied during the capture carry a higher epoch and survive for
+    /// the next delta.
+    pub(crate) fn clear_dirty_through(&self, epoch: u64) {
+        let mut inner = self.inner.lock();
+        inner.dirty.retain(|_, keys| {
+            keys.retain(|_, last| *last > epoch);
+            !keys.is_empty()
+        });
+    }
 }
 
 impl LogSink for LogWriter {
@@ -215,7 +271,13 @@ impl LogSink for LogWriter {
     }
 
     fn log_commit(&self, tid: TidWord, records: &[RedoRecord]) {
+        let track_dirty = self.track_dirty.load(Ordering::Relaxed);
         let mut inner = self.inner.lock();
+        if track_dirty {
+            for record in records {
+                inner.mark_dirty(record, tid.epoch());
+            }
+        }
         // Render plan: decide delta-vs-full per record under the writer
         // mutex (atomic with the append and with rotation). Downgrades are
         // rare after warm-up, so the batch is only cloned when one occurs.

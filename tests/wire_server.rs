@@ -209,6 +209,13 @@ fn graceful_shutdown_drains_and_releases_the_log_dir_lock() {
                 .unwrap()
         })
         .collect();
+    // Submission only writes to the socket; wait until the server has read
+    // at least one request so the drain actually has in-flight work to
+    // finish (otherwise shutdown can win the race before the worker ever
+    // sees the frames, especially on a single-core machine).
+    eventually("server observed the submissions", || {
+        server.net_stats().requests() > 0
+    });
     server.shutdown();
     let mut drained = 0;
     for handle in pending {
