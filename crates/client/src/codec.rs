@@ -32,14 +32,19 @@
 //! never a panic, and string/argument lengths are checked against the bytes
 //! actually present before any allocation.
 
-use reactdb_common::{TxnError, Value};
+use reactdb_common::{AckLevel, TxnError, Value};
 
 /// Magic bytes opening both handshake directions.
 pub const MAGIC: [u8; 4] = *b"RDBP";
 
 /// Protocol version this build speaks. Bump on any incompatible layout
 /// change; the handshake rejects mismatches instead of misparsing frames.
-pub const PROTOCOL_VERSION: u16 = 1;
+/// v2: the invoke ack byte becomes an [`AckLevel`] tag (adding
+/// `replicated`) and the replication stream messages
+/// ([`Request::ReplSubscribe`]/[`Request::ReplAck`],
+/// [`Response::ReplFile`]/[`Response::ReplEpoch`]/[`Response::ReplEnd`])
+/// join the kind space.
+pub const PROTOCOL_VERSION: u16 = 2;
 
 /// Handshake message size in bytes, both directions.
 pub const HANDSHAKE_LEN: usize = 8;
@@ -179,20 +184,6 @@ impl std::error::Error for WireError {}
 // Message types.
 // ---------------------------------------------------------------------------
 
-/// When the server acknowledges an invoke.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum AckMode {
-    /// Reply as soon as Silo validation passes and the writes are installed
-    /// (the in-process [`wait`](https://docs.rs) semantics): lowest latency,
-    /// but a crash inside the epoch window can lose the acknowledged
-    /// transaction.
-    Validated,
-    /// Reply only once the WAL's durable epoch covers the transaction's
-    /// commit epoch (`wait_durable` semantics): the SiloR acknowledgement
-    /// rule, crash-safe under epoch-sync durability.
-    Durable,
-}
-
 /// Rendering requested by a metrics op.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MetricsFormat {
@@ -209,8 +200,9 @@ pub enum Request {
     Invoke {
         /// Client-chosen id echoed in the response.
         correlation_id: u64,
-        /// When to acknowledge: validation time or durable time.
-        ack: AckMode,
+        /// When to acknowledge: validation, local durability, or
+        /// replicated durability (see [`AckLevel`]).
+        ack: AckLevel,
         /// Target reactor name.
         reactor: String,
         /// Registered procedure name on the reactor's type.
@@ -230,6 +222,27 @@ pub enum Request {
         /// Client-chosen id echoed in the response.
         correlation_id: u64,
     },
+    /// Subscribe this connection as a replication follower: the server
+    /// repurposes the connection into a one-way shipping stream of
+    /// [`Response::ReplFile`]/[`Response::ReplEpoch`] frames (checkpoint
+    /// files first, then live log-segment bytes), interleaved with
+    /// [`Request::ReplAck`] frames flowing back.
+    ReplSubscribe {
+        /// Client-chosen id echoed in stream-fatal [`Response::ReplEnd`].
+        correlation_id: u64,
+        /// Durable epoch the follower has already applied (`0` for a
+        /// fresh follower wanting the full checkpoint + log bootstrap).
+        from_epoch: u64,
+    },
+    /// Follower → primary on a subscribed connection: the follower has
+    /// durably applied every shipped commit with epoch `<= applied_epoch`.
+    /// Feeds the primary's `AckLevel::Replicated` gate.
+    ReplAck {
+        /// Correlation id of the originating subscription.
+        correlation_id: u64,
+        /// Highest epoch durably applied by the follower.
+        applied_epoch: u64,
+    },
 }
 
 impl Request {
@@ -238,7 +251,9 @@ impl Request {
         match self {
             Request::Invoke { correlation_id, .. }
             | Request::Metrics { correlation_id, .. }
-            | Request::Ping { correlation_id } => *correlation_id,
+            | Request::Ping { correlation_id }
+            | Request::ReplSubscribe { correlation_id, .. }
+            | Request::ReplAck { correlation_id, .. } => *correlation_id,
         }
     }
 }
@@ -283,6 +298,38 @@ pub enum Response {
         /// Human-readable reason.
         message: String,
     },
+    /// Replication stream: a chunk of a log-dir file (checkpoint part,
+    /// manifest, or log segment) at a byte offset. The follower appends
+    /// or overwrites at exactly that offset, so re-shipping is idempotent.
+    ReplFile {
+        /// Echo of the subscription's correlation id.
+        correlation_id: u64,
+        /// File name relative to the primary's log dir.
+        name: String,
+        /// Byte offset of this chunk within the file.
+        offset: u64,
+        /// The chunk bytes.
+        bytes: Vec<u8>,
+    },
+    /// Replication stream: every shipped byte so far belongs to a commit
+    /// with epoch `<= epoch`, and that epoch is durable on the primary.
+    /// The follower may apply through `epoch` and then [`Request::ReplAck`]
+    /// it.
+    ReplEpoch {
+        /// Echo of the subscription's correlation id.
+        correlation_id: u64,
+        /// The primary's shipped durable epoch.
+        epoch: u64,
+    },
+    /// Replication stream: the primary is ending the stream (shutdown,
+    /// truncation race, error). The follower should reconnect and
+    /// resubscribe — or, if the primary is gone for good, promote.
+    ReplEnd {
+        /// Echo of the subscription's correlation id.
+        correlation_id: u64,
+        /// Human-readable reason.
+        reason: String,
+    },
 }
 
 impl Response {
@@ -293,7 +340,10 @@ impl Response {
             | Response::TxnErr { correlation_id, .. }
             | Response::MetricsText { correlation_id, .. }
             | Response::Pong { correlation_id }
-            | Response::ServerError { correlation_id, .. } => *correlation_id,
+            | Response::ServerError { correlation_id, .. }
+            | Response::ReplFile { correlation_id, .. }
+            | Response::ReplEpoch { correlation_id, .. }
+            | Response::ReplEnd { correlation_id, .. } => *correlation_id,
         }
     }
 }
@@ -301,11 +351,16 @@ impl Response {
 const KIND_INVOKE: u8 = 0x01;
 const KIND_METRICS: u8 = 0x02;
 const KIND_PING: u8 = 0x03;
+const KIND_REPL_SUBSCRIBE: u8 = 0x04;
+const KIND_REPL_ACK: u8 = 0x05;
 const KIND_TXN_OK: u8 = 0x81;
 const KIND_TXN_ERR: u8 = 0x82;
 const KIND_METRICS_TEXT: u8 = 0x83;
 const KIND_PONG: u8 = 0x84;
 const KIND_SERVER_ERROR: u8 = 0x85;
+const KIND_REPL_FILE: u8 = 0x86;
+const KIND_REPL_EPOCH: u8 = 0x87;
+const KIND_REPL_END: u8 = 0x88;
 
 // ---------------------------------------------------------------------------
 // Handshake.
@@ -638,10 +693,7 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
         } => {
             out.push(KIND_INVOKE);
             out.extend_from_slice(&correlation_id.to_le_bytes());
-            out.push(match ack {
-                AckMode::Validated => 0,
-                AckMode::Durable => 1,
-            });
+            out.push(ack.wire_tag());
             put_string(&mut out, reactor);
             put_string(&mut out, procedure);
             assert!(args.len() <= MAX_ARGS, "too many procedure arguments");
@@ -665,6 +717,22 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             out.push(KIND_PING);
             out.extend_from_slice(&correlation_id.to_le_bytes());
         }
+        Request::ReplSubscribe {
+            correlation_id,
+            from_epoch,
+        } => {
+            out.push(KIND_REPL_SUBSCRIBE);
+            out.extend_from_slice(&correlation_id.to_le_bytes());
+            out.extend_from_slice(&from_epoch.to_le_bytes());
+        }
+        Request::ReplAck {
+            correlation_id,
+            applied_epoch,
+        } => {
+            out.push(KIND_REPL_ACK);
+            out.extend_from_slice(&correlation_id.to_le_bytes());
+            out.extend_from_slice(&applied_epoch.to_le_bytes());
+        }
     }
     out
 }
@@ -676,16 +744,11 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
     let correlation_id = c.u64()?;
     let req = match kind {
         KIND_INVOKE => {
-            let ack = match c.u8()? {
-                0 => AckMode::Validated,
-                1 => AckMode::Durable,
-                tag => {
-                    return Err(WireError::UnknownTag {
-                        what: "ack mode",
-                        tag,
-                    })
-                }
-            };
+            let tag = c.u8()?;
+            let ack = AckLevel::from_wire_tag(tag).ok_or(WireError::UnknownTag {
+                what: "ack level",
+                tag,
+            })?;
             let reactor = c.string()?;
             let procedure = c.string()?;
             let argc = c.u16()? as usize;
@@ -726,6 +789,14 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
             }
         }
         KIND_PING => Request::Ping { correlation_id },
+        KIND_REPL_SUBSCRIBE => Request::ReplSubscribe {
+            correlation_id,
+            from_epoch: c.u64()?,
+        },
+        KIND_REPL_ACK => Request::ReplAck {
+            correlation_id,
+            applied_epoch: c.u64()?,
+        },
         kind => return Err(WireError::UnknownKind(kind)),
     };
     c.finish()?;
@@ -784,6 +855,35 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             out.extend_from_slice(&correlation_id.to_le_bytes());
             put_string(&mut out, message);
         }
+        Response::ReplFile {
+            correlation_id,
+            name,
+            offset,
+            bytes,
+        } => {
+            out.push(KIND_REPL_FILE);
+            out.extend_from_slice(&correlation_id.to_le_bytes());
+            put_string(&mut out, name);
+            out.extend_from_slice(&offset.to_le_bytes());
+            out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+            out.extend_from_slice(bytes);
+        }
+        Response::ReplEpoch {
+            correlation_id,
+            epoch,
+        } => {
+            out.push(KIND_REPL_EPOCH);
+            out.extend_from_slice(&correlation_id.to_le_bytes());
+            out.extend_from_slice(&epoch.to_le_bytes());
+        }
+        Response::ReplEnd {
+            correlation_id,
+            reason,
+        } => {
+            out.push(KIND_REPL_END);
+            out.extend_from_slice(&correlation_id.to_le_bytes());
+            put_string(&mut out, reason);
+        }
     }
     out
 }
@@ -819,6 +919,28 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, WireError> {
         KIND_SERVER_ERROR => Response::ServerError {
             correlation_id,
             message: c.string()?,
+        },
+        KIND_REPL_FILE => {
+            let name = c.string()?;
+            let offset = c.u64()?;
+            let len = c.u32()? as usize;
+            if len > c.remaining() {
+                return Err(WireError::Truncated);
+            }
+            Response::ReplFile {
+                correlation_id,
+                name,
+                offset,
+                bytes: c.take(len)?.to_vec(),
+            }
+        }
+        KIND_REPL_EPOCH => Response::ReplEpoch {
+            correlation_id,
+            epoch: c.u64()?,
+        },
+        KIND_REPL_END => Response::ReplEnd {
+            correlation_id,
+            reason: c.string()?,
         },
         kind => return Err(WireError::UnknownKind(kind)),
     };
@@ -895,7 +1017,7 @@ mod tests {
         let reqs = vec![
             Request::Invoke {
                 correlation_id: 42,
-                ack: AckMode::Durable,
+                ack: AckLevel::Durable,
                 reactor: "acct-7".into(),
                 procedure: "transfer".into(),
                 args: vec![
@@ -910,7 +1032,22 @@ mod tests {
                 correlation_id: 1,
                 format: MetricsFormat::Prometheus,
             },
+            Request::Invoke {
+                correlation_id: 43,
+                ack: AckLevel::Replicated,
+                reactor: "acct-8".into(),
+                procedure: "deposit".into(),
+                args: vec![Value::Float(1.0)],
+            },
             Request::Ping { correlation_id: 0 },
+            Request::ReplSubscribe {
+                correlation_id: 7,
+                from_epoch: 0,
+            },
+            Request::ReplAck {
+                correlation_id: 7,
+                applied_epoch: 99,
+            },
         ];
         for req in reqs {
             let bytes = encode_request(&req);
@@ -969,6 +1106,20 @@ mod tests {
                 correlation_id: 13,
                 message: "draining".into(),
             },
+            Response::ReplFile {
+                correlation_id: 14,
+                name: "wal-e0000-g000001.log".into(),
+                offset: 16,
+                bytes: vec![0xAB; 33],
+            },
+            Response::ReplEpoch {
+                correlation_id: 14,
+                epoch: 512,
+            },
+            Response::ReplEnd {
+                correlation_id: 14,
+                reason: "primary shutting down".into(),
+            },
         ];
         for (i, error) in all_errors.into_iter().enumerate() {
             resps.push(Response::TxnErr {
@@ -990,6 +1141,34 @@ mod tests {
             decode_request(&bytes),
             Err(WireError::TrailingBytes { count: 1 })
         ));
+    }
+
+    #[test]
+    fn unknown_ack_tag_rejected() {
+        let mut payload = vec![KIND_INVOKE];
+        payload.extend_from_slice(&7u64.to_le_bytes());
+        payload.push(9); // no such ack level
+        put_string(&mut payload, "r");
+        put_string(&mut payload, "p");
+        payload.extend_from_slice(&0u16.to_le_bytes());
+        assert!(matches!(
+            decode_request(&payload),
+            Err(WireError::UnknownTag {
+                what: "ack level",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn hostile_repl_file_length_rejected_before_allocation() {
+        // A ReplFile whose chunk-length field claims 512 MiB.
+        let mut payload = vec![KIND_REPL_FILE];
+        payload.extend_from_slice(&7u64.to_le_bytes());
+        put_string(&mut payload, "wal-e0000-g000001.log");
+        payload.extend_from_slice(&0u64.to_le_bytes());
+        payload.extend_from_slice(&(512u32 << 20).to_le_bytes());
+        assert_eq!(decode_response(&payload), Err(WireError::Truncated));
     }
 
     #[test]

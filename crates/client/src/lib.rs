@@ -10,9 +10,10 @@
 //! produces them. The handle API mirrors the in-process `TxnHandle`:
 //! [`WireHandle::wait`], [`WireHandle::wait_timeout`],
 //! [`WireHandle::try_result`] and [`WireHandle::commit_epoch`], with
-//! durable acknowledgement chosen per request at submit time
-//! ([`AckMode::Durable`]) rather than at wait time — the ack point must
-//! ride in the request because it is the *server* that delays the reply.
+//! the acknowledgement level chosen per request at submit time
+//! ([`AckLevel`]: validated, durable, or replicated) rather than at wait
+//! time — the ack point must ride in the request because it is the
+//! *server* that delays the reply.
 //!
 //! Transport and protocol failures surface as `TxnError::Runtime` through
 //! the same `Result<Value>` the in-process API uses, so workload drivers
@@ -25,7 +26,8 @@
 
 pub mod codec;
 
-pub use codec::{AckMode, MetricsFormat, Request, Response, WireError, PROTOCOL_VERSION};
+pub use codec::{MetricsFormat, Request, Response, WireError, PROTOCOL_VERSION};
+pub use reactdb_common::AckLevel;
 
 use std::collections::HashMap;
 use std::io::{Read, Write};
@@ -244,27 +246,30 @@ impl WireClient {
     /// Submits a root transaction without waiting, acknowledged at
     /// validation time. Returns a handle; many may be in flight.
     pub fn submit(&self, reactor: &str, procedure: &str, args: Vec<Value>) -> Result<WireHandle> {
-        self.submit_with_ack(reactor, procedure, args, AckMode::Validated)
+        self.submit_with_ack(reactor, procedure, args, AckLevel::Validated)
     }
 
     /// Submits a root transaction acknowledged only once its commit epoch
     /// is durable on the server (the SiloR rule).
+    ///
+    /// Thin wrapper over [`WireClient::submit_with_ack`] with
+    /// [`AckLevel::Durable`]; prefer the explicit-level form in new code.
     pub fn submit_durable(
         &self,
         reactor: &str,
         procedure: &str,
         args: Vec<Value>,
     ) -> Result<WireHandle> {
-        self.submit_with_ack(reactor, procedure, args, AckMode::Durable)
+        self.submit_with_ack(reactor, procedure, args, AckLevel::Durable)
     }
 
-    /// Submits with an explicit acknowledgement mode.
+    /// Submits with an explicit acknowledgement level.
     pub fn submit_with_ack(
         &self,
         reactor: &str,
         procedure: &str,
         args: Vec<Value>,
-        ack: AckMode,
+        ack: AckLevel,
     ) -> Result<WireHandle> {
         let slot = self.send(&Request::Invoke {
             correlation_id: self.next_id(),
@@ -281,7 +286,22 @@ impl WireClient {
         self.submit(reactor, procedure, args)?.wait()
     }
 
+    /// Submit-and-wait convenience with an explicit acknowledgement
+    /// level.
+    pub fn invoke_with(
+        &self,
+        reactor: &str,
+        procedure: &str,
+        args: Vec<Value>,
+        ack: AckLevel,
+    ) -> Result<Value> {
+        self.submit_with_ack(reactor, procedure, args, ack)?.wait()
+    }
+
     /// Submit-and-wait convenience, durable acknowledgement.
+    ///
+    /// Thin wrapper over [`WireClient::invoke_with`] with
+    /// [`AckLevel::Durable`]; prefer the explicit-level form in new code.
     pub fn invoke_durable(
         &self,
         reactor: &str,
@@ -354,9 +374,10 @@ impl WireHandle {
         }
     }
 
-    /// Blocks until the server replies. With [`AckMode::Validated`] the
-    /// reply arrives at validation time; with [`AckMode::Durable`] only
-    /// once the commit epoch is durable.
+    /// Blocks until the server replies. With [`AckLevel::Validated`] the
+    /// reply arrives at validation time; with [`AckLevel::Durable`] only
+    /// once the commit epoch is durable; with [`AckLevel::Replicated`]
+    /// only once a follower has durably applied it too.
     pub fn wait(&self) -> Result<Value> {
         Self::interpret(self.slot.wait())
     }
@@ -453,6 +474,12 @@ fn dispatch(shared: &Shared, response: Response) {
         Response::Pong { .. } => Outcome::Pong,
         Response::ServerError { message, .. } => {
             Outcome::Failed(format!("server error: {message}"))
+        }
+        // Replication-stream frames only flow on subscribed connections,
+        // which a follower drives with its own raw stream loop — an
+        // ordinary client treats a stray one as a server error.
+        Response::ReplFile { .. } | Response::ReplEpoch { .. } | Response::ReplEnd { .. } => {
+            Outcome::Failed("unexpected replication frame on a client connection".into())
         }
     };
     slot.resolve(outcome);

@@ -5,10 +5,10 @@
 
 use proptest::prelude::*;
 use reactdb_client::codec::{
-    decode_frame, decode_request, decode_response, encode_request, encode_response, frame, AckMode,
+    decode_frame, decode_request, decode_response, encode_request, encode_response, frame,
     MetricsFormat, Request, Response, WireError, FRAME_HEADER_LEN, MAX_FRAME_LEN,
 };
-use reactdb_common::{TxnError, Value};
+use reactdb_common::{AckLevel, TxnError, Value};
 
 /// Random short string over a charset that exercises multi-byte UTF-8.
 fn arb_string(rng: &mut TestRng) -> String {
@@ -63,14 +63,10 @@ fn arb_txn_error(rng: &mut TestRng) -> TxnError {
 
 fn arb_request(rng: &mut TestRng) -> Request {
     let correlation_id = rng.next_u64();
-    match rng.below(3) {
+    match rng.below(5) {
         0 => Request::Invoke {
             correlation_id,
-            ack: if rng.next_u64() & 1 == 0 {
-                AckMode::Validated
-            } else {
-                AckMode::Durable
-            },
+            ack: AckLevel::ALL[rng.below(AckLevel::ALL.len() as u64) as usize],
             reactor: arb_string(rng),
             procedure: arb_string(rng),
             args: (0..rng.below(6)).map(|_| arb_value(rng)).collect(),
@@ -83,13 +79,21 @@ fn arb_request(rng: &mut TestRng) -> Request {
                 MetricsFormat::Json
             },
         },
+        2 => Request::ReplSubscribe {
+            correlation_id,
+            from_epoch: rng.next_u64(),
+        },
+        3 => Request::ReplAck {
+            correlation_id,
+            applied_epoch: rng.next_u64(),
+        },
         _ => Request::Ping { correlation_id },
     }
 }
 
 fn arb_response(rng: &mut TestRng) -> Response {
     let correlation_id = rng.next_u64();
-    match rng.below(5) {
+    match rng.below(8) {
         0 => Response::TxnOk {
             correlation_id,
             value: arb_value(rng),
@@ -108,6 +112,20 @@ fn arb_response(rng: &mut TestRng) -> Response {
             text: arb_string(rng),
         },
         3 => Response::Pong { correlation_id },
+        4 => Response::ReplFile {
+            correlation_id,
+            name: arb_string(rng),
+            offset: rng.next_u64(),
+            bytes: (0..rng.below(48)).map(|_| rng.next_u64() as u8).collect(),
+        },
+        5 => Response::ReplEpoch {
+            correlation_id,
+            epoch: rng.next_u64(),
+        },
+        6 => Response::ReplEnd {
+            correlation_id,
+            reason: arb_string(rng),
+        },
         _ => Response::ServerError {
             correlation_id,
             message: arb_string(rng),

@@ -311,6 +311,43 @@ impl CheckpointConfig {
     }
 }
 
+/// Replication section of a [`DeploymentConfig`]: log-shipping knobs used
+/// by the server's replication stream (primary side) and the follower's
+/// apply loop. Only meaningful when durability is enabled — the shipped
+/// stream *is* the WAL.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReplicationConfig {
+    /// Largest file chunk (bytes) shipped per replication frame. Clamped
+    /// well under the wire protocol's 1 MiB frame cap.
+    pub chunk_bytes: usize,
+    /// Primary-side poll period (milliseconds) for new durable log bytes
+    /// when the shipping cursor has caught up.
+    pub poll_interval_ms: u64,
+}
+
+impl Default for ReplicationConfig {
+    fn default() -> Self {
+        Self {
+            chunk_bytes: 256 * 1024,
+            poll_interval_ms: 2,
+        }
+    }
+}
+
+impl ReplicationConfig {
+    /// Sets the per-frame shipping chunk size (clamped to at least 4 KiB).
+    pub fn with_chunk_bytes(mut self, bytes: usize) -> Self {
+        self.chunk_bytes = bytes.max(4 * 1024);
+        self
+    }
+
+    /// Sets the caught-up poll period in milliseconds.
+    pub fn with_poll_interval_ms(mut self, ms: u64) -> Self {
+        self.poll_interval_ms = ms;
+        self
+    }
+}
+
 /// Observability section of a [`DeploymentConfig`]: per-phase latency
 /// histograms and ring-buffer event tracing. On by default — the hot-path
 /// cost is a clock read and a relaxed atomic add per phase — and reducible
@@ -379,6 +416,10 @@ pub struct DeploymentConfig {
     /// Observability policy (tracing on by default).
     #[serde(default)]
     pub tracing: TracingConfig,
+    /// Log-shipping replication knobs (defaults are fine for most
+    /// deployments; only consulted when a replication stream is running).
+    #[serde(default)]
+    pub replication: ReplicationConfig,
 }
 
 impl DeploymentConfig {
@@ -390,6 +431,7 @@ impl DeploymentConfig {
             durability: DurabilityConfig::default(),
             checkpoint: CheckpointConfig::default(),
             tracing: TracingConfig::default(),
+            replication: ReplicationConfig::default(),
         }
     }
 
@@ -401,6 +443,7 @@ impl DeploymentConfig {
             durability: DurabilityConfig::default(),
             checkpoint: CheckpointConfig::default(),
             tracing: TracingConfig::default(),
+            replication: ReplicationConfig::default(),
         }
     }
 
@@ -413,6 +456,7 @@ impl DeploymentConfig {
             durability: DurabilityConfig::default(),
             checkpoint: CheckpointConfig::default(),
             tracing: TracingConfig::default(),
+            replication: ReplicationConfig::default(),
         }
     }
 
@@ -437,6 +481,12 @@ impl DeploymentConfig {
     /// Sets the observability policy.
     pub fn with_tracing(mut self, tracing: TracingConfig) -> Self {
         self.tracing = tracing;
+        self
+    }
+
+    /// Sets the replication knobs.
+    pub fn with_replication(mut self, replication: ReplicationConfig) -> Self {
+        self.replication = replication;
         self
     }
 
@@ -633,6 +683,7 @@ mod tests {
             durability: DurabilityConfig::default(),
             checkpoint: CheckpointConfig::default(),
             tracing: TracingConfig::default(),
+            replication: ReplicationConfig::default(),
         };
         assert_eq!(cfg.container_count(), 2);
         assert_eq!(cfg.container_of_reactor(2, 3), ContainerId(1));
@@ -779,6 +830,54 @@ mod tests {
         assert!(!old_json.contains("tracing"));
         let back = DeploymentConfig::from_json(&old_json).unwrap();
         assert_eq!(back, cfg, "missing tracing section defaults to on");
+    }
+
+    #[test]
+    fn config_json_written_before_the_replication_section_still_parses() {
+        // Same excision exercise for the `replication` object: a config
+        // file from before log shipping existed must parse with defaults.
+        let cfg = DeploymentConfig::shared_nothing(2)
+            .with_durability(DurabilityConfig::epoch_sync("/tmp/x"));
+        let json = cfg.to_json();
+        let lines: Vec<&str> = json.lines().collect();
+        let start = lines
+            .iter()
+            .position(|l| l.contains("\"replication\""))
+            .expect("replication section serialized");
+        let end = (start..lines.len())
+            .find(|i| *i > start && lines[*i].trim_start().starts_with('}'))
+            .unwrap();
+        let kept: Vec<&str> = lines[..start]
+            .iter()
+            .chain(lines[end + 1..].iter())
+            .copied()
+            .collect();
+        let old_json: String = kept
+            .iter()
+            .enumerate()
+            .map(|(i, line)| {
+                let closes_next = kept
+                    .get(i + 1)
+                    .is_some_and(|next| next.trim_start().starts_with('}'));
+                if closes_next {
+                    line.trim_end().trim_end_matches(',').to_owned()
+                } else {
+                    (*line).to_owned()
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert!(!old_json.contains("replication"));
+        let back = DeploymentConfig::from_json(&old_json).unwrap();
+        assert_eq!(back, cfg, "missing replication section defaults");
+        let tuned = ReplicationConfig::default()
+            .with_chunk_bytes(1024)
+            .with_poll_interval_ms(7);
+        assert_eq!(tuned.chunk_bytes, 4 * 1024, "chunk size clamps to 4 KiB");
+        assert_eq!(tuned.poll_interval_ms, 7);
+        let cfg2 = DeploymentConfig::shared_nothing(2).with_replication(tuned);
+        let back2 = DeploymentConfig::from_json(&cfg2.to_json()).unwrap();
+        assert_eq!(cfg2, back2);
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //! Nothing in this crate depends on the storage engine, the concurrency
 //! control layer or the runtime; it is the bottom of the dependency stack.
 
+pub mod ack;
 pub mod config;
 pub mod error;
 pub mod ids;
@@ -18,9 +19,10 @@ pub mod stats;
 pub mod value;
 pub mod zipf;
 
+pub use ack::AckLevel;
 pub use config::{
     CheckpointConfig, DeploymentConfig, DeploymentStrategy, DurabilityConfig, DurabilityMode,
-    ExecutorConfig, RouterPolicy, TracingConfig,
+    ExecutorConfig, ReplicationConfig, RouterPolicy, TracingConfig,
 };
 pub use error::{Result, TxnError};
 pub use ids::{ContainerId, ExecutorId, ReactorId, ReactorName, SubTxnId, TxnId};

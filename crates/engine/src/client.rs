@@ -32,7 +32,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use reactdb_common::{Result, TxnError, Value};
+use reactdb_common::{AckLevel, Result, TxnError, Value};
 use reactdb_core::{FulfillHook, ReactorFuture};
 use reactdb_obs::{AbortReason, Phase, TraceKind};
 
@@ -176,10 +176,32 @@ impl Client {
         Self { inner, session }
     }
 
+    /// Submits a root transaction without waiting and returns its handle,
+    /// acknowledged at [`AckLevel::Validated`]. Equivalent to
+    /// [`Client::submit_with`] at the weakest level; see there for the
+    /// ack-level semantics.
+    pub fn submit(&self, reactor: &str, proc: &str, args: Vec<Value>) -> Result<TxnHandle> {
+        self.submit_with(reactor, proc, args, AckLevel::Validated)
+    }
+
     /// Submits a root transaction without waiting and returns its handle.
     /// Any number of handles may be in flight; submission order does not
     /// constrain commit order (transactions are independent roots).
-    pub fn submit(&self, reactor: &str, proc: &str, args: Vec<Value>) -> Result<TxnHandle> {
+    ///
+    /// The [`AckLevel`] is recorded on the handle and selects the guarantee
+    /// [`TxnHandle::wait_acked`] provides: `Validated` resolves at OCC
+    /// validation time, `Durable` once the commit epoch group-committed.
+    /// `Replicated` is accepted for API uniformity but — in process, where
+    /// no follower exists — waits like `Durable`: the replication gate
+    /// lives in the wire server's reply path, which holds replies until a
+    /// follower durably applied the commit epoch.
+    pub fn submit_with(
+        &self,
+        reactor: &str,
+        proc: &str,
+        args: Vec<Value>,
+        ack: AckLevel,
+    ) -> Result<TxnHandle> {
         // Everything that can reject the submission happens here, before
         // any accounting, so counters only ever cover transactions that
         // actually enter the system.
@@ -203,6 +225,7 @@ impl Client {
             future,
             inner: Arc::clone(&self.inner),
             session: Arc::clone(&self.session),
+            ack,
             timeout_recorded: AtomicBool::new(false),
         })
     }
@@ -221,15 +244,30 @@ impl Client {
     }
 
     /// Invokes a root transaction and waits for its validation-time result
-    /// (see [`TxnHandle::wait`] for the exact guarantee).
+    /// (see [`TxnHandle::wait`] for the exact guarantee). Equivalent to
+    /// [`Client::invoke_with`] at [`AckLevel::Validated`].
     pub fn invoke(&self, reactor: &str, proc: &str, args: Vec<Value>) -> Result<Value> {
-        self.submit(reactor, proc, args)?.wait()
+        self.invoke_with(reactor, proc, args, AckLevel::Validated)
+    }
+
+    /// Invokes a root transaction and waits until it is acknowledged at
+    /// `ack` (see [`Client::submit_with`] for the per-level guarantee).
+    pub fn invoke_with(
+        &self,
+        reactor: &str,
+        proc: &str,
+        args: Vec<Value>,
+        ack: AckLevel,
+    ) -> Result<Value> {
+        self.submit_with(reactor, proc, args, ack)?.wait_acked()
     }
 
     /// Invokes a root transaction and acknowledges it only once it is
-    /// durable (see [`TxnHandle::wait_durable`]).
+    /// durable. Thin wrapper over [`Client::invoke_with`] with
+    /// [`AckLevel::Durable`], kept for source compatibility; prefer the
+    /// explicit-level form in new code.
     pub fn invoke_durable(&self, reactor: &str, proc: &str, args: Vec<Value>) -> Result<Value> {
-        self.submit(reactor, proc, args)?.wait_durable()
+        self.invoke_with(reactor, proc, args, AckLevel::Durable)
     }
 
     /// Invokes a root transaction, transparently re-submitting it when it
@@ -276,6 +314,8 @@ pub struct TxnHandle {
     future: ReactorFuture,
     inner: Arc<Inner>,
     session: Arc<SessionShared>,
+    /// Ack level requested at submission; drives [`TxnHandle::wait_acked`].
+    ack: AckLevel,
     timeout_recorded: AtomicBool,
 }
 
@@ -374,6 +414,25 @@ impl TxnHandle {
     /// an abort, and for transactions with nothing to make durable.
     pub fn commit_epoch(&self) -> Option<u64> {
         self.future.commit_epoch()
+    }
+
+    /// The [`AckLevel`] this transaction was submitted with.
+    pub fn ack_level(&self) -> AckLevel {
+        self.ack
+    }
+
+    /// Blocks until the transaction is acknowledged at the level it was
+    /// submitted with ([`Client::submit_with`]): `Validated` waits like
+    /// [`TxnHandle::wait`], `Durable` like [`TxnHandle::wait_durable`].
+    /// `Replicated` also waits for durability — in process there is no
+    /// follower to wait for; the replication gate is enforced by the wire
+    /// server's reply path, not by the embedded engine.
+    pub fn wait_acked(&self) -> Result<Value> {
+        if self.ack.requires_durable() {
+            self.wait_durable()
+        } else {
+            self.wait()
+        }
     }
 }
 

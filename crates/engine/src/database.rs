@@ -31,8 +31,8 @@ use std::time::{Duration, Instant};
 
 use reactdb_common::ids::TxnIdGen;
 use reactdb_common::{
-    ContainerId, DeploymentConfig, ExecutorId, ReactorId, ReactorName, Result, SubTxnId, TxnError,
-    Value,
+    AckLevel, ContainerId, DeploymentConfig, ExecutorId, ReactorId, ReactorName, Result, SubTxnId,
+    TxnError, Value,
 };
 use reactdb_core::future::WaitHook;
 use reactdb_core::{
@@ -81,6 +81,10 @@ pub(crate) struct Inner {
     /// Session behind [`ReactDB::invoke`], the sync convenience entry point;
     /// dedicated sessions come from [`ReactDB::client`].
     pub(crate) default_session: Arc<SessionShared>,
+    /// Replication-follower mode: root transactions that would write are
+    /// rejected at commit time; state changes arrive exclusively through
+    /// [`ReactDB::apply_redo`] until [`ReactDB::promote`] clears the flag.
+    read_only: std::sync::atomic::AtomicBool,
     shutdown: std::sync::atomic::AtomicBool,
 }
 
@@ -352,6 +356,7 @@ impl ReactDB {
             wal,
             checkpointer,
             default_session: SessionShared::new(),
+            read_only: std::sync::atomic::AtomicBool::new(false),
             shutdown: std::sync::atomic::AtomicBool::new(false),
         });
 
@@ -608,14 +613,15 @@ impl ReactDB {
     ///
     /// Sync convenience over the session API, equivalent to
     /// `db.client().invoke(..)` but routed through a shared default session.
-    /// Pipelined submission, durability-gated acknowledgement
-    /// (`wait_durable`) and OCC retries live on [`ReactDB::client`].
+    /// Delegates to the default session's [`Client::invoke_with`] at
+    /// [`AckLevel::Validated`]; pipelined submission, stronger ack levels
+    /// and OCC retries live on [`ReactDB::client`].
     pub fn invoke(&self, reactor: &str, proc: &str, args: Vec<Value>) -> Result<Value> {
         Client::new(
             Arc::clone(&self.inner),
             Arc::clone(&self.inner.default_session),
         )
-        .invoke(reactor, proc, args)
+        .invoke_with(reactor, proc, args, AckLevel::Validated)
     }
 
     /// Non-transactional bulk load of one row into a reactor's relation.
@@ -630,6 +636,13 @@ impl ReactDB {
     /// while unrelated commits may order either way, harmlessly.
     pub fn load_row(&self, reactor: &str, relation: &str, row: Tuple) -> Result<()> {
         let inner = &self.inner;
+        if inner.is_read_only() {
+            // A follower's state comes exclusively from the shipped log; a
+            // local load would be WAL-logged here and diverge the replica.
+            return Err(TxnError::Runtime(
+                "read-only follower: bulk loads are rejected".into(),
+            ));
+        }
         let reactor_idx = inner.spec.reactor_id(reactor)?;
         let reactor_id = ReactorId(reactor_idx as u64);
         let table = self.table(reactor, relation)?;
@@ -675,6 +688,148 @@ impl ReactDB {
         inner.containers[container.index()]
             .partition()
             .table(reactor_id, relation)
+    }
+
+    /// Marks this instance as a read-only replication follower (or clears
+    /// the mark). While set, root transactions with a write set and bulk
+    /// loads are rejected — state changes arrive exclusively through
+    /// [`ReactDB::apply_redo`] — while read-only transactions keep serving
+    /// against the applied snapshot. [`ReactDB::promote`] is the sanctioned
+    /// way out of follower mode.
+    pub fn set_read_only(&self, read_only: bool) {
+        self.inner
+            .read_only
+            .store(read_only, std::sync::atomic::Ordering::Release);
+    }
+
+    /// True while this instance is a read-only replication follower.
+    pub fn is_read_only(&self) -> bool {
+        self.inner.is_read_only()
+    }
+
+    /// Promotes a read-only follower into a serving primary after a primary
+    /// failure: writes are accepted immediately. The epoch advances first so
+    /// post-promotion commits land strictly beyond every applied epoch.
+    /// Everything applied through [`ReactDB::apply_redo`] before the call is
+    /// preserved — promotion loses no replicated-acknowledged work — and
+    /// nothing else exists on the replica to resurrect (writes were
+    /// rejected throughout follower mode).
+    pub fn promote(&self) {
+        self.inner.epoch.advance();
+        self.set_read_only(false);
+    }
+
+    /// Applies replicated redo state to this live instance: optional
+    /// checkpoint base rows first, then logged transaction batches in TID
+    /// order — the same TID-aware, reactor-partitioned replay crash
+    /// recovery uses ([`ReactDB::recover`]), but incremental, against a
+    /// serving database. Concurrent read-only transactions stay sound:
+    /// `Table::replay` installs whole versions idempotently by TID, so a
+    /// reader validates against either the old or the new version, never a
+    /// torn one.
+    ///
+    /// Every applied record is re-logged through this instance's own WAL
+    /// (when durability is on), so the follower's durability is
+    /// self-contained: after `wal_sync` the applied prefix survives a
+    /// follower crash and can itself be shipped onward. The epoch clock and
+    /// TID generators advance beyond everything applied, keeping
+    /// post-promotion commits dominant. Returns the number of transaction
+    /// batches applied. `workers == 0` uses the available parallelism.
+    pub fn apply_redo(
+        &self,
+        checkpoint_rows: &[(reactdb_storage::TidWord, reactdb_txn::RedoRecord)],
+        batches: &[(reactdb_storage::TidWord, Vec<reactdb_txn::RedoRecord>)],
+        workers: usize,
+    ) -> Result<usize> {
+        let inner = &self.inner;
+        let n_reactors = inner.spec.reactor_count();
+        let replay_one = |tid: reactdb_storage::TidWord,
+                          record: &reactdb_txn::RedoRecord|
+         -> std::io::Result<()> {
+            // Route by the *current* reactor-to-container mapping, exactly
+            // as recovery does; records for reactors this spec does not
+            // declare have no home and are skipped.
+            if record.reactor.index() >= n_reactors {
+                return Ok(());
+            }
+            let container = inner.router.container_of(record.reactor);
+            if let Ok(table) = inner.containers[container.index()]
+                .partition()
+                .table(record.reactor, &record.relation)
+            {
+                match &record.payload {
+                    reactdb_txn::RedoPayload::Full(image) => {
+                        table.replay(&record.key, Some(image), tid);
+                    }
+                    reactdb_txn::RedoPayload::Delete => {
+                        table.replay(&record.key, None, tid);
+                    }
+                    reactdb_txn::RedoPayload::Delta(row_delta) => {
+                        table
+                            .replay_delta(&record.key, row_delta.base, &row_delta.delta, tid)
+                            .map_err(|e| {
+                                std::io::Error::other(format!("corrupt delta chain: {e}"))
+                            })?;
+                    }
+                }
+            }
+            Ok(())
+        };
+        let workers = match workers {
+            0 => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            n => n,
+        };
+        let started = Instant::now();
+        reactdb_wal::replay_partitioned(checkpoint_rows, batches, workers, replay_one)
+            .map_err(|e| TxnError::Runtime(format!("replicated apply failed: {e}")))?;
+        inner
+            .metrics
+            .record_elapsed(Phase::FollowerApply, usize::MAX, started);
+
+        // Re-log through the replica's own WAL under the commit gate, so a
+        // concurrent group commit cannot fence an epoch these records
+        // belong to out from under them.
+        if let Some(wal) = &inner.wal {
+            let _gate = wal.commit_guard();
+            let writer = wal.writer(0);
+            for (tid, record) in checkpoint_rows {
+                writer.log_commit(*tid, std::slice::from_ref(record));
+            }
+            for (tid, records) in batches {
+                writer.log_commit(*tid, records);
+            }
+        }
+
+        // Advance the clocks beyond everything applied: replayed TIDs must
+        // dominate nothing the replica issues later, and the epoch clock
+        // must never reissue a shipped epoch after promotion.
+        let mut max_tid = reactdb_storage::TidWord(0);
+        let mut max_epoch = 0u64;
+        for tid in checkpoint_rows
+            .iter()
+            .map(|(tid, _)| *tid)
+            .chain(batches.iter().map(|(tid, _)| *tid))
+        {
+            if tid.version() > max_tid.version() {
+                max_tid = tid;
+            }
+            max_epoch = max_epoch.max(tid.epoch());
+        }
+        if max_epoch > 0 {
+            inner.epoch.advance_to(max_epoch + 1);
+        }
+        for exec in &inner.executors {
+            exec.tidgen().observe(max_tid);
+        }
+        inner.stats.record_recovered(batches.len() as u64);
+        if !checkpoint_rows.is_empty() {
+            inner
+                .stats
+                .record_recovered_checkpoint_rows(checkpoint_rows.len() as u64);
+        }
+        Ok(batches.len())
     }
 
     /// Stops every worker thread, the epoch advancer and the group-commit
@@ -776,6 +931,11 @@ impl Inner {
     /// True while the database accepts new root transactions.
     pub(crate) fn is_accepting(&self) -> bool {
         !self.shutdown.load(std::sync::atomic::Ordering::Acquire)
+    }
+
+    /// True while this instance is a read-only replication follower.
+    pub(crate) fn is_read_only(&self) -> bool {
+        self.read_only.load(std::sync::atomic::Ordering::Acquire)
     }
 
     /// Everything that can reject a root-transaction submission, checked
@@ -894,6 +1054,15 @@ impl Inner {
             .record_scan_ops(participants.iter().map(|p| p.scan_count()).sum());
         if participants.is_empty() {
             return Ok(None);
+        }
+        // Follower gate: reads commit normally (they validate against the
+        // applied snapshot), but anything with a write set is rejected —
+        // on a replica every state change must come through the shipped
+        // log, or promotion could resurrect writes the primary never had.
+        if self.is_read_only() && participants.iter().any(|p| !p.is_read_only()) {
+            return Err(TxnError::Runtime(
+                "read-only follower: write transactions are rejected until promotion".into(),
+            ));
         }
         // Hold the WAL's commit gate across the serialization point and the
         // log append: the group-commit daemon drains these guards before
@@ -1988,6 +2157,133 @@ mod tests {
             .iter()
             .filter(|g| g.name.starts_with("executor_utilization"))
             .all(|g| g.value == 0.0));
+    }
+
+    #[test]
+    fn invoke_with_honours_every_ack_level() {
+        use reactdb_common::DurabilityConfig;
+        let dir = wal_dir("ack-levels");
+        let config = DeploymentConfig::shared_nothing(2)
+            .with_durability(DurabilityConfig::epoch_sync(&dir).with_interval_ms(0));
+        let db = boot(config);
+        let client = db.client();
+        for (i, level) in AckLevel::ALL.into_iter().enumerate() {
+            let v = client
+                .invoke_with("acct-0", "deposit", vec![Value::Float(1.0)], level)
+                .unwrap();
+            assert_eq!(v, Value::Float(1.0 + i as f64));
+            if level.requires_durable() {
+                // The handle's commit epoch must already be group-committed.
+                let durable = db.durable_epoch().unwrap();
+                assert!(durable >= 1, "durable ack implies a group commit ran");
+            }
+        }
+        // The deprecated-doc wrappers stay behaviourally identical.
+        let h = client
+            .submit_with(
+                "acct-0",
+                "deposit",
+                vec![Value::Float(1.0)],
+                AckLevel::Durable,
+            )
+            .unwrap();
+        assert_eq!(h.ack_level(), AckLevel::Durable);
+        h.wait_acked().unwrap();
+        assert!(db.durable_epoch().unwrap() >= h.commit_epoch().unwrap());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn read_only_follower_rejects_writes_until_promoted() {
+        let db = boot(DeploymentConfig::shared_nothing(2));
+        db.invoke("acct-0", "deposit", vec![Value::Float(3.0)])
+            .unwrap();
+        db.set_read_only(true);
+        assert!(db.is_read_only());
+        let err = db
+            .invoke("acct-0", "deposit", vec![Value::Float(1.0)])
+            .unwrap_err();
+        assert!(
+            matches!(err, TxnError::Runtime(_)),
+            "write rejected: {err:?}"
+        );
+        let err = db
+            .load_row(
+                "acct-1",
+                "balance",
+                Tuple::of([Value::Int(0), Value::Float(9.0)]),
+            )
+            .unwrap_err();
+        assert!(
+            matches!(err, TxnError::Runtime(_)),
+            "load rejected: {err:?}"
+        );
+        // Read-only transactions keep serving against the applied state.
+        assert_eq!(
+            db.invoke("acct-0", "balance", vec![]).unwrap(),
+            Value::Float(3.0)
+        );
+        db.promote();
+        assert!(!db.is_read_only());
+        assert_eq!(
+            db.invoke("acct-0", "deposit", vec![Value::Float(1.0)])
+                .unwrap(),
+            Value::Float(4.0)
+        );
+    }
+
+    #[test]
+    fn apply_redo_installs_batches_and_promotion_dominates_them() {
+        let db = ReactDB::boot(bank_spec(), DeploymentConfig::shared_nothing(2));
+        db.set_read_only(true);
+        let record = |amount: f64| reactdb_txn::RedoRecord {
+            container: ContainerId(0),
+            reactor: ReactorId(0),
+            relation: "balance".into(),
+            key: Key::Int(0),
+            payload: reactdb_txn::RedoPayload::Full(Tuple::of([
+                Value::Int(0),
+                Value::Float(amount),
+            ])),
+        };
+        // A checkpoint base row plus two incremental batches, as a follower
+        // would apply them from the shipped stream.
+        let base = reactdb_storage::TidWord::committed(2, 1);
+        db.apply_redo(&[(base, record(10.0))], &[], 2).unwrap();
+        db.apply_redo(
+            &[],
+            &[
+                (
+                    reactdb_storage::TidWord::committed(3, 1),
+                    vec![record(20.0)],
+                ),
+                (
+                    reactdb_storage::TidWord::committed(4, 1),
+                    vec![record(30.0)],
+                ),
+            ],
+            2,
+        )
+        .unwrap();
+        assert_eq!(
+            db.invoke("acct-0", "balance", vec![]).unwrap(),
+            Value::Float(30.0),
+            "follower serves the applied snapshot"
+        );
+        db.promote();
+        db.invoke("acct-0", "deposit", vec![Value::Float(1.0)])
+            .unwrap();
+        assert_eq!(
+            db.invoke("acct-0", "balance", vec![]).unwrap(),
+            Value::Float(31.0)
+        );
+        let table = db.table("acct-0", "balance").unwrap();
+        let tid = table.get(&Key::Int(0)).unwrap().tid();
+        assert!(
+            tid.epoch() > 4,
+            "post-promotion commits land beyond every applied epoch, got {}",
+            tid.epoch()
+        );
     }
 
     #[test]

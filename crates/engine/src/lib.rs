@@ -40,6 +40,7 @@ pub use client::{Call, Client, RetryPolicy, SessionStats, TxnHandle};
 pub use container::Container;
 pub use database::ReactDB;
 pub use executor::ExecutorHandle;
+pub use reactdb_common::AckLevel;
 pub use reactdb_obs::{
     AbortReason, Counter, Gauge, Histogram, HistogramSummary, MetricsSnapshot, Phase, TraceEvent,
     TraceKind,

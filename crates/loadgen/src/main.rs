@@ -34,7 +34,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use rand::{rngs::StdRng, Rng, SeedableRng};
-use reactdb_client::{AckMode, WireClient, WireHandle};
+use reactdb_client::{AckLevel, WireClient, WireHandle};
 use reactdb_common::{DeploymentConfig, DurabilityConfig, Value};
 use reactdb_obs::ShardedHistogram;
 use reactdb_server::{Server, ServerConfig};
@@ -52,6 +52,8 @@ struct Opts {
     rate: f64,
     secs: u64,
     durable_every: u64,
+    ack: AckLevel,
+    follower_reads: Option<String>,
     kill_one: bool,
     bench_json: Option<String>,
     wal_dir: Option<String>,
@@ -62,8 +64,8 @@ fn usage_and_exit(msg: &str) -> ! {
     eprintln!(
         "flags: --addr HOST:PORT | --spawn, --workload smallbank|ycsb, --scale N, \
          --executors N, --connections N, --mode closed|open, --pipeline N, --rate R, \
-         --secs N, --durable-every N (0 = never), --kill-one, --bench-json PATH, \
-         --wal-dir PATH"
+         --secs N, --durable-every N (0 = never), --ack validated|durable|replicated, \
+         --follower-reads HOST:PORT, --kill-one, --bench-json PATH, --wal-dir PATH"
     );
     std::process::exit(2);
 }
@@ -81,6 +83,8 @@ fn parse_opts() -> Opts {
         rate: 20_000.0,
         secs: 5,
         durable_every: 8,
+        ack: AckLevel::Durable,
+        follower_reads: None,
         kill_one: false,
         bench_json: None,
         wal_dir: None,
@@ -110,6 +114,11 @@ fn parse_opts() -> Opts {
             "--rate" => opts.rate = parse_num!("--rate"),
             "--secs" => opts.secs = parse_num!("--secs"),
             "--durable-every" => opts.durable_every = parse_num!("--durable-every"),
+            "--ack" => {
+                opts.ack = AckLevel::parse(&value("--ack"))
+                    .unwrap_or_else(|| usage_and_exit("--ack wants validated|durable|replicated"))
+            }
+            "--follower-reads" => opts.follower_reads = Some(value("--follower-reads")),
             "--kill-one" => opts.kill_one = true,
             "--bench-json" => opts.bench_json = Some(value("--bench-json")),
             "--wal-dir" => opts.wal_dir = Some(value("--wal-dir")),
@@ -237,6 +246,17 @@ fn connection_loop(
             return;
         }
     };
+    // Optional second connection to a follower: read-only procedures are
+    // routed there (snapshot-epoch reads), writes stay on the primary.
+    let follower = opts.follower_reads.as_ref().and_then(|addr| {
+        match addr.parse::<SocketAddr>().ok().map(WireClient::connect) {
+            Some(Ok(c)) => Some(c),
+            _ => {
+                eprintln!("conn {conn_idx}: follower connect failed; reads stay on the primary");
+                None
+            }
+        }
+    });
     let mut rng = StdRng::seed_from_u64(0x10ad + conn_idx as u64);
     let mut window: Vec<InFlight> = Vec::with_capacity(opts.pipeline);
     let mut sent = 0u64;
@@ -266,13 +286,24 @@ fn connection_loop(
             }
             next_send += interval;
         }
+        // Every Nth request uses the configured --ack level (default
+        // durable) so the stronger ack paths stay exercised; the rest are
+        // validation-acked.
         let ack = if opts.durable_every > 0 && sent % opts.durable_every == opts.durable_every - 1 {
-            AckMode::Durable
+            opts.ack
         } else {
-            AckMode::Validated
+            AckLevel::Validated
         };
         let (reactor, procedure, args) = next_call(&opts.workload, opts.scale, &mut rng);
-        match client.submit_with_ack(&reactor, procedure, args, ack) {
+        // Read-only procedures go to the follower when one is configured;
+        // a follower read is always validation-acked (nothing to make
+        // durable).
+        let read_only = matches!(procedure, "balance" | "read");
+        let (target, ack) = match (&follower, read_only) {
+            (Some(follower), true) => (follower, AckLevel::Validated),
+            _ => (&client, ack),
+        };
+        match target.submit_with_ack(&reactor, procedure, args, ack) {
             Ok(handle) => {
                 sent += 1;
                 window.push(InFlight {
@@ -463,6 +494,31 @@ fn main() {
     if opts.kill_one && transport == 0 {
         // The severed connection must have observed at least its own death.
         eprintln!("note: --kill-one run recorded no transport errors (victim died cleanly before submitting?)");
+    }
+
+    // With a follower in the loop, report how far behind it ended the run;
+    // scripts and the CI replication gate parse this line.
+    if let Some(follower_addr) = &opts.follower_reads {
+        match follower_addr
+            .parse()
+            .ok()
+            .and_then(|a: std::net::SocketAddr| WireClient::connect(a).ok())
+            .and_then(|probe| probe.metrics_prometheus().ok())
+        {
+            Some(text) => {
+                let lag = fetch_gauge(&text, "reactdb_repl_follower_lag_epochs").unwrap_or(-1.0);
+                let applied = fetch_gauge(&text, "reactdb_repl_applied_epoch").unwrap_or(-1.0);
+                println!("follower_lag_epochs: {lag:.0}  (applied epoch {applied:.0})");
+                if applied <= 0.0 {
+                    eprintln!("FAIL: follower applied nothing during the run");
+                    failed = true;
+                }
+            }
+            None => {
+                eprintln!("FAIL: could not scrape follower metrics from {follower_addr}");
+                failed = true;
+            }
+        }
     }
 
     if let Some(path) = &opts.bench_json {

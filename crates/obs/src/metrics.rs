@@ -58,11 +58,17 @@ pub enum Phase {
     /// Wire server: encoding a completed request's response frame and
     /// handing it to the connection's send buffer.
     NetReply,
+    /// Replication primary: one shipping-cursor poll plus encoding and
+    /// writing the resulting replication frames to a follower.
+    NetReplicate,
+    /// Replication follower: applying one shipped epoch's redo batches to
+    /// the local tables (including the local re-log and sync).
+    FollowerApply,
 }
 
 impl Phase {
     /// Number of phases.
-    pub const COUNT: usize = 16;
+    pub const COUNT: usize = 18;
 
     /// Every phase, in display order.
     pub const ALL: [Phase; Phase::COUNT] = [
@@ -82,6 +88,8 @@ impl Phase {
         Phase::NetDecode,
         Phase::NetDispatch,
         Phase::NetReply,
+        Phase::NetReplicate,
+        Phase::FollowerApply,
     ];
 
     /// The five sections of `Coordinator::commit` a [`CommitProbe`] laps.
@@ -112,6 +120,8 @@ impl Phase {
             Phase::NetDecode => "net_decode",
             Phase::NetDispatch => "net_dispatch",
             Phase::NetReply => "net_reply",
+            Phase::NetReplicate => "net_replicate",
+            Phase::FollowerApply => "follower_apply",
         }
     }
 }

@@ -13,10 +13,21 @@
 //! decodes as many frames as the connection's in-flight cap allows, submits
 //! each invoke without waiting ([`Client::submit`]), and polls the
 //! resulting `TxnHandle`s as it services the connection — replying at
-//! validation time or at durable time per the request's
-//! [`AckMode`](reactdb_client::AckMode), in whatever order transactions
-//! actually resolve (responses carry the request's correlation id, so
-//! ordering is the client's problem by design).
+//! validation time, at durable time, or at replicated time per the
+//! request's [`AckLevel`](reactdb_common::AckLevel), in whatever order
+//! transactions actually resolve (responses carry the request's
+//! correlation id, so ordering is the client's problem by design).
+//!
+//! **Replication** — a connection that sends `ReplSubscribe` is handed off
+//! from its I/O worker to a dedicated feeder thread that streams the
+//! engine's log directory through a [`reactdb_wal::ShipCursor`]: the
+//! newest checkpoint chain first, then the durable tail of every log
+//! segment, interleaved with durable-epoch announcements. `ReplAck`
+//! frames flowing back advance [`ReplState::acked_epoch`], which is the
+//! gate [`AckLevel::Replicated`](reactdb_common::AckLevel) invokes wait
+//! behind — a transaction is acknowledged at that level only once some
+//! follower has durably applied its commit epoch. The follower side of
+//! the stream lives in [`replica`].
 //!
 //! Robustness rules:
 //!
@@ -40,17 +51,23 @@
 //! wire protocol's metrics op returns that augmented snapshot rendered as
 //! Prometheus text or JSON — the `GET /metrics` equivalent.
 
+pub mod replica;
+
 use std::collections::VecDeque;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc};
+use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use reactdb_client::codec::{self, AckMode, MetricsFormat, Request, Response};
+use reactdb_client::codec::{self, MetricsFormat, Request, Response};
+use reactdb_common::{AckLevel, ReplicationConfig};
 use reactdb_engine::{Client, ReactDB, TxnHandle};
 use reactdb_obs::{Counter, Gauge, Metrics, MetricsSnapshot, Phase};
+use reactdb_wal::{ShipCursor, ShipEvent};
+
+pub use replica::{run_follower, FollowerOpts, FollowerReport};
 
 /// Tuning knobs for [`Server::start`].
 #[derive(Debug, Clone)]
@@ -73,6 +90,10 @@ pub struct ServerConfig {
     /// Upper bound on how long [`Server::shutdown`] waits for in-flight
     /// transactions and send buffers to drain before force-closing.
     pub drain_timeout: Duration,
+    /// Shipping knobs (chunk size, poll interval) for replication
+    /// subscriptions; defaults match
+    /// [`reactdb_common::ReplicationConfig::default`].
+    pub replication: ReplicationConfig,
 }
 
 impl Default for ServerConfig {
@@ -84,6 +105,7 @@ impl Default for ServerConfig {
             read_timeout: Duration::from_secs(30),
             write_timeout: Duration::from_secs(30),
             drain_timeout: Duration::from_secs(5),
+            replication: ReplicationConfig::default(),
         }
     }
 }
@@ -117,6 +139,12 @@ impl ServerConfig {
     /// Sets the graceful-shutdown drain bound.
     pub fn with_drain_timeout(mut self, drain: Duration) -> Self {
         self.drain_timeout = drain;
+        self
+    }
+
+    /// Sets the replication shipping knobs.
+    pub fn with_replication(mut self, replication: ReplicationConfig) -> Self {
+        self.replication = replication;
         self
     }
 }
@@ -177,10 +205,81 @@ impl NetStats {
     }
 }
 
+/// Replication progress shared between the wire server, its feeder
+/// threads, and (on a follower) the apply loop in [`replica`].
+///
+/// One struct serves both roles because a promoted follower *becomes* a
+/// primary without restarting its server: the primary-side fields start
+/// mattering the moment a follower of its own subscribes.
+#[derive(Debug, Default)]
+pub struct ReplState {
+    /// Live follower subscriptions (primary side).
+    followers: AtomicU64,
+    /// Highest epoch some follower has durably applied and acknowledged
+    /// (primary side) — the `AckLevel::Replicated` gate.
+    acked_epoch: AtomicU64,
+    /// Highest epoch this node has durably applied (follower side).
+    applied_epoch: AtomicU64,
+    /// Highest durable epoch the primary has announced to this node
+    /// (follower side).
+    shipped_epoch: AtomicU64,
+    /// Set while this node tails a primary; cleared by promotion.
+    follower_mode: AtomicBool,
+}
+
+impl ReplState {
+    /// Live follower subscriptions on this node.
+    pub fn followers(&self) -> u64 {
+        self.followers.load(Ordering::Relaxed)
+    }
+
+    /// Highest epoch acknowledged as durably applied by any follower.
+    pub fn acked_epoch(&self) -> u64 {
+        self.acked_epoch.load(Ordering::Acquire)
+    }
+
+    /// Highest epoch this node has durably applied from its primary.
+    pub fn applied_epoch(&self) -> u64 {
+        self.applied_epoch.load(Ordering::Acquire)
+    }
+
+    /// Highest durable epoch the primary has announced to this node.
+    pub fn shipped_epoch(&self) -> u64 {
+        self.shipped_epoch.load(Ordering::Acquire)
+    }
+
+    /// Whether this node is currently tailing a primary.
+    pub fn is_follower(&self) -> bool {
+        self.follower_mode.load(Ordering::Acquire)
+    }
+
+    /// Monotonically raises the follower-acked epoch (primary side).
+    pub fn observe_ack(&self, applied_epoch: u64) {
+        self.acked_epoch.fetch_max(applied_epoch, Ordering::AcqRel);
+    }
+
+    /// Records follower-side apply progress.
+    pub fn observe_apply(&self, applied_epoch: u64, shipped_epoch: u64) {
+        self.applied_epoch
+            .fetch_max(applied_epoch, Ordering::AcqRel);
+        self.shipped_epoch
+            .fetch_max(shipped_epoch, Ordering::AcqRel);
+    }
+
+    /// Flags or clears follower mode (promotion clears it).
+    pub fn set_follower_mode(&self, follower: bool) {
+        self.follower_mode.store(follower, Ordering::Release);
+    }
+}
+
 struct Shared {
     db: Arc<ReactDB>,
     metrics: Arc<Metrics>,
     stats: NetStats,
+    repl: Arc<ReplState>,
+    /// Feeder threads serving replication subscriptions; joined at
+    /// shutdown.
+    feeders: Mutex<Vec<JoinHandle<()>>>,
     config: ServerConfig,
     shutdown: AtomicBool,
 }
@@ -215,6 +314,36 @@ impl Shared {
             name: "net_requests_in_flight".to_string(),
             value: s.in_flight() as f64,
         });
+        let repl = &self.repl;
+        snap.gauges.push(Gauge {
+            name: "repl_followers".to_string(),
+            value: repl.followers() as f64,
+        });
+        snap.gauges.push(Gauge {
+            name: "repl_acked_epoch".to_string(),
+            value: repl.acked_epoch() as f64,
+        });
+        // Primary-side lag: durable epochs no follower has acknowledged
+        // yet. Zero with durability off (nothing to ship) or no follower
+        // progress recorded.
+        let lag = self
+            .db
+            .durable_epoch()
+            .map_or(0, |durable| durable.saturating_sub(repl.acked_epoch()));
+        snap.gauges.push(Gauge {
+            name: "repl_lag_epochs".to_string(),
+            value: lag as f64,
+        });
+        if repl.is_follower() {
+            snap.gauges.push(Gauge {
+                name: "repl_applied_epoch".to_string(),
+                value: repl.applied_epoch() as f64,
+            });
+            snap.gauges.push(Gauge {
+                name: "repl_follower_lag_epochs".to_string(),
+                value: repl.shipped_epoch().saturating_sub(repl.applied_epoch()) as f64,
+            });
+        }
         snap
     }
 }
@@ -243,6 +372,8 @@ impl Server {
             db,
             metrics,
             stats: NetStats::default(),
+            repl: Arc::new(ReplState::default()),
+            feeders: Mutex::new(Vec::new()),
             config,
             shutdown: AtomicBool::new(false),
         });
@@ -282,6 +413,14 @@ impl Server {
         &self.shared.stats
     }
 
+    /// Replication progress: follower count and acked epoch on a primary,
+    /// applied/shipped epochs on a follower. The follower apply loop
+    /// ([`run_follower`]) updates the same instance, so the server's
+    /// metrics snapshot reflects it live.
+    pub fn repl_state(&self) -> Arc<ReplState> {
+        Arc::clone(&self.shared.repl)
+    }
+
     /// The engine's metrics snapshot augmented with the server's `net_*`
     /// counters and gauges.
     pub fn metrics_snapshot(&self) -> MetricsSnapshot {
@@ -303,6 +442,10 @@ impl Server {
         }
         for worker in self.workers.drain(..) {
             let _ = worker.join();
+        }
+        let feeders = std::mem::take(&mut *self.shared.feeders.lock().unwrap());
+        for feeder in feeders {
+            let _ = feeder.join();
         }
     }
 }
@@ -344,7 +487,7 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>, senders: Vec<mpsc::Se
 struct Pending {
     correlation_id: u64,
     handle: TxnHandle,
-    ack: AckMode,
+    ack: AckLevel,
 }
 
 /// Per-connection state owned by exactly one worker.
@@ -376,6 +519,10 @@ enum KillReason {
     Stalled,
     /// Graceful shutdown finished draining this connection.
     Drained,
+    /// The connection subscribed as a replication follower and its socket
+    /// was handed to a feeder thread; the worker forgets the connection
+    /// without shutting the socket down.
+    ReplHandoff,
 }
 
 /// Soft cap on a connection's buffered bytes; reads pause above it.
@@ -442,7 +589,7 @@ fn worker_loop(shared: Arc<Shared>, rx: mpsc::Receiver<TcpStream>, worker_idx: u
                 KillReason::Stalled => {
                     shared.stats.timeouts.fetch_add(1, Ordering::Relaxed);
                 }
-                KillReason::Gone | KillReason::Drained => {}
+                KillReason::Gone | KillReason::Drained | KillReason::ReplHandoff => {}
             }
             // Dropping the connection drops its session and handles; the
             // engine resolves whatever was still in flight on its own, so
@@ -452,7 +599,12 @@ fn worker_loop(shared: Arc<Shared>, rx: mpsc::Receiver<TcpStream>, worker_idx: u
                 .in_flight
                 .fetch_sub(conn.inflight.len() as u64, Ordering::Relaxed);
             shared.stats.active.fetch_sub(1, Ordering::Relaxed);
-            let _ = conn.stream.shutdown(std::net::Shutdown::Both);
+            // A handed-off socket lives on in its feeder thread (the
+            // worker's fd is a duplicate); shutting it down here would
+            // sever the replication stream.
+            if reason != KillReason::ReplHandoff {
+                let _ = conn.stream.shutdown(std::net::Shutdown::Both);
+            }
             false
         });
 
@@ -482,7 +634,7 @@ fn worker_loop(shared: Arc<Shared>, rx: mpsc::Receiver<TcpStream>, worker_idx: u
 /// in-flight transactions, flush, and check stall deadlines. Returns true
 /// when any byte or transaction moved (the worker's idle heuristic).
 fn service(
-    shared: &Shared,
+    shared: &Arc<Shared>,
     conn: &mut Conn,
     worker_idx: usize,
     shutting: bool,
@@ -628,6 +780,22 @@ fn service(
             Request::Ping { correlation_id } => {
                 reply(shared, conn, worker_idx, &Response::Pong { correlation_id })
             }
+            Request::ReplSubscribe {
+                correlation_id,
+                // The primary always ships the full bootstrap (checkpoint
+                // chain + durable log); a follower that already applied
+                // through `from_epoch` skips those epochs at apply time,
+                // so re-shipping is merely redundant, never wrong.
+                from_epoch: _,
+            } => {
+                subscribe_follower(shared, conn, worker_idx, correlation_id);
+                return true;
+            }
+            // Only meaningful on a subscribed connection (the feeder reads
+            // them there); on an ordinary connection it is harmless noise.
+            Request::ReplAck { applied_epoch, .. } => {
+                shared.repl.observe_ack(applied_epoch);
+            }
         }
         if let Some(since) = dispatch_clock {
             shared
@@ -648,16 +816,23 @@ fn service(
             Some(outcome) => outcome,
         };
         // A durable-ack commit waits until group commit covers its epoch;
-        // aborts are never durable and reply immediately. With no WAL
-        // configured durable degrades to validated, like the in-process
-        // `wait_durable`.
-        if pending.ack == AckMode::Durable && outcome.is_ok() {
+        // a replicated-ack commit additionally waits until some follower
+        // has acknowledged durably applying it. Aborts are never durable
+        // and reply immediately. With no WAL configured both levels
+        // degrade to validated, like the in-process `wait_durable`.
+        if pending.ack.requires_durable() && outcome.is_ok() {
             let covered = match (pending.handle.commit_epoch(), durable_epoch) {
                 (Some(commit), Some(durable)) => commit <= durable,
                 (_, None) => true,
                 (None, Some(_)) => true,
             };
-            if !covered {
+            let replicated = !pending.ack.requires_replicated()
+                || durable_epoch.is_none()
+                || pending
+                    .handle
+                    .commit_epoch()
+                    .is_none_or(|commit| commit <= shared.repl.acked_epoch());
+            if !(covered && replicated) {
                 *want_wal_kick = true;
                 still_pending.push_back(pending);
                 continue;
@@ -733,4 +908,199 @@ fn reply(shared: &Shared, conn: &mut Conn, worker_idx: usize, response: &Respons
             .record_elapsed(Phase::NetReply, worker_idx, since);
     }
     shared.stats.responses.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Hands a connection that sent `ReplSubscribe` off to a feeder thread.
+///
+/// The worker's nonblocking poll loop is the wrong shape for a one-way
+/// bulk stream, so the subscription gets a dedicated thread working a
+/// duplicated socket handle in blocking mode; the worker then forgets the
+/// connection via [`KillReason::ReplHandoff`] (which closes the worker's
+/// duplicate without shutting the socket down). Whatever responses were
+/// still queued on the connection are shipped first, in order.
+fn subscribe_follower(
+    shared: &Arc<Shared>,
+    conn: &mut Conn,
+    worker_idx: usize,
+    correlation_id: u64,
+) {
+    let Some(dir) = shared.db.wal().map(|w| w.dir().to_path_buf()) else {
+        // Nothing to ship without a log; tell the follower and move on.
+        reply(
+            shared,
+            conn,
+            worker_idx,
+            &Response::ReplEnd {
+                correlation_id,
+                reason: "primary has durability off: nothing to replicate".to_string(),
+            },
+        );
+        return;
+    };
+    let stream = match conn.stream.try_clone() {
+        Ok(stream) => stream,
+        Err(_) => {
+            conn.kill = Some(KillReason::Gone);
+            return;
+        }
+    };
+    let backlog = std::mem::take(&mut conn.wbuf);
+    conn.kill = Some(KillReason::ReplHandoff);
+
+    let shared_for_feeder = Arc::clone(shared);
+    let spawned = std::thread::Builder::new()
+        .name("reactdb-repl-feed".into())
+        .spawn(move || {
+            shared_for_feeder
+                .repl
+                .followers
+                .fetch_add(1, Ordering::Relaxed);
+            feeder_loop(&shared_for_feeder, stream, backlog, correlation_id, &dir);
+            shared_for_feeder
+                .repl
+                .followers
+                .fetch_sub(1, Ordering::Relaxed);
+        });
+    match spawned {
+        Ok(handle) => shared.feeders.lock().unwrap().push(handle),
+        Err(_) => conn.kill = Some(KillReason::Gone),
+    }
+}
+
+/// Streams the log directory to one follower until the stream ends.
+///
+/// Blocking socket with a short read timeout: each round ships whatever
+/// the [`ShipCursor`] found new, then drains any `ReplAck` frames the
+/// follower sent back into [`ReplState::observe_ack`]. A cursor error
+/// (e.g. a checkpoint truncated a segment mid-ship) ends the stream with
+/// a `ReplEnd` so the follower reconnects and resubscribes.
+fn feeder_loop(
+    shared: &Arc<Shared>,
+    mut stream: TcpStream,
+    backlog: Vec<u8>,
+    correlation_id: u64,
+    dir: &std::path::Path,
+) {
+    let poll_interval = Duration::from_millis(shared.config.replication.poll_interval_ms.max(1));
+    if stream.set_nonblocking(false).is_err()
+        || stream.set_read_timeout(Some(poll_interval)).is_err()
+        || stream
+            .set_write_timeout(Some(shared.config.write_timeout))
+            .is_err()
+    {
+        return;
+    }
+    if !backlog.is_empty() && stream.write_all(&backlog).is_err() {
+        return;
+    }
+    // Chunks must fit the wire frame cap with room for the envelope.
+    let chunk = shared
+        .config
+        .replication
+        .chunk_bytes
+        .min(codec::MAX_FRAME_LEN as usize / 2);
+    let mut cursor = ShipCursor::new(dir, chunk);
+    let mut rbuf: Vec<u8> = Vec::new();
+    let mut chunk_buf = [0u8; 16 * 1024];
+
+    let send = |stream: &mut TcpStream, shared: &Shared, response: &Response| -> bool {
+        let clock = shared.metrics.clock();
+        let framed = codec::frame(&codec::encode_response(response));
+        if stream.write_all(&framed).is_err() {
+            return false;
+        }
+        if let Some(since) = clock {
+            shared
+                .metrics
+                .record_elapsed(Phase::NetReplicate, usize::MAX, since);
+        }
+        shared.stats.responses.fetch_add(1, Ordering::Relaxed);
+        true
+    };
+
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            let _ = send(
+                &mut stream,
+                shared,
+                &Response::ReplEnd {
+                    correlation_id,
+                    reason: "primary shutting down".to_string(),
+                },
+            );
+            return;
+        }
+
+        let events = match cursor.poll() {
+            Ok(events) => events,
+            Err(e) => {
+                let _ = send(
+                    &mut stream,
+                    shared,
+                    &Response::ReplEnd {
+                        correlation_id,
+                        reason: e.to_string(),
+                    },
+                );
+                return;
+            }
+        };
+        let idle = events.is_empty();
+        for event in events {
+            let response = match event {
+                ShipEvent::File {
+                    name,
+                    offset,
+                    bytes,
+                } => Response::ReplFile {
+                    correlation_id,
+                    name,
+                    offset,
+                    bytes,
+                },
+                ShipEvent::DurableEpoch(epoch) => Response::ReplEpoch {
+                    correlation_id,
+                    epoch,
+                },
+            };
+            if !send(&mut stream, shared, &response) {
+                return;
+            }
+        }
+
+        // Drain follower acknowledgements. The read timeout doubles as the
+        // idle pacing: an idle round blocks here for one poll interval.
+        loop {
+            match stream.read(&mut chunk_buf) {
+                Ok(0) => return, // follower hung up
+                Ok(n) => {
+                    rbuf.extend_from_slice(&chunk_buf[..n]);
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                    break;
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => return,
+            }
+            if !idle {
+                break; // more shipping to do; don't linger on the socket
+            }
+        }
+        loop {
+            match codec::decode_frame(&rbuf) {
+                Ok(None) => break,
+                Ok(Some((payload, consumed))) => {
+                    match codec::decode_request(payload) {
+                        Ok(Request::ReplAck { applied_epoch, .. }) => {
+                            shared.repl.observe_ack(applied_epoch);
+                        }
+                        Ok(_) => {} // a subscribed connection is repl-only
+                        Err(_) => return,
+                    }
+                    rbuf.drain(..consumed);
+                }
+                Err(_) => return,
+            }
+        }
+    }
 }

@@ -31,13 +31,24 @@
 //!                         parallel checkpoint writer threads (default 0 = all cores)
 //!   --replay-workers N    parallel recovery replay lanes (default 0 = all cores)
 //!   --run-secs N          exit after N seconds (default: run until killed)
+//!   --follow HOST:PORT    run as a replication follower of that primary:
+//!                         boot empty (no workload load), serve reads at the
+//!                         applied stable epoch, tail the primary's log, and
+//!                         promote to a serving primary if the primary dies.
+//!                         Requires --wal-dir (the follower's own log).
+//!   --staging-dir PATH    where the shipped copy of the primary's log dir
+//!                         is staged (default: <wal-dir>.staging)
+//!
+//! A follower that loses its primary prints `promoted to primary` with the
+//! failover time; smoke tests and the CI replication gate grep for it.
 
+use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
 use std::time::Duration;
 
 use reactdb_common::{CheckpointConfig, DeploymentConfig, DurabilityConfig};
 use reactdb_engine::ReactDB;
-use reactdb_server::{Server, ServerConfig};
+use reactdb_server::{run_follower, FollowerOpts, Server, ServerConfig};
 use reactdb_workloads::{smallbank, ycsb};
 
 struct Opts {
@@ -55,6 +66,8 @@ struct Opts {
     checkpoint_workers: usize,
     replay_workers: usize,
     run_secs: Option<u64>,
+    follow: Option<String>,
+    staging_dir: Option<String>,
 }
 
 fn usage_and_exit(msg: &str) -> ! {
@@ -79,6 +92,8 @@ fn parse_opts() -> Opts {
         checkpoint_workers: 0,
         replay_workers: 0,
         run_secs: None,
+        follow: None,
+        staging_dir: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -147,8 +162,13 @@ fn parse_opts() -> Opts {
                         .unwrap_or_else(|_| usage_and_exit("--run-secs wants an integer")),
                 )
             }
+            "--follow" => opts.follow = Some(value("--follow")),
+            "--staging-dir" => opts.staging_dir = Some(value("--staging-dir")),
             other => usage_and_exit(&format!("unknown flag {other}")),
         }
+    }
+    if opts.follow.is_some() && opts.wal_dir.is_none() {
+        usage_and_exit("--follow requires --wal-dir (the follower's own log directory)");
     }
     opts
 }
@@ -189,11 +209,14 @@ fn main() {
         opts.deployment,
         opts.wal_dir.as_deref().unwrap_or("off"),
     );
-    let db = ReactDB::boot(spec, config);
-    match opts.workload.as_str() {
-        "smallbank" => smallbank::load(&db, opts.scale).expect("smallbank load"),
-        "ycsb" => ycsb::load(&db, opts.scale).expect("ycsb load"),
-        _ => unreachable!(),
+    let db = ReactDB::boot(spec, config.clone());
+    // A follower gets its data from the primary's stream, not a local load.
+    if opts.follow.is_none() {
+        match opts.workload.as_str() {
+            "smallbank" => smallbank::load(&db, opts.scale).expect("smallbank load"),
+            "ycsb" => ycsb::load(&db, opts.scale).expect("ycsb load"),
+            _ => unreachable!(),
+        }
     }
     let db = Arc::new(db);
 
@@ -202,11 +225,48 @@ fn main() {
         ServerConfig::default()
             .with_addr(opts.addr)
             .with_workers(opts.net_workers)
-            .with_max_in_flight(opts.max_in_flight),
+            .with_max_in_flight(opts.max_in_flight)
+            .with_replication(config.replication),
     )
     .expect("bind server");
     // The loadgen's --spawn mode and scripts parse this line for the port.
     println!("listening on {}", server.local_addr());
+
+    // Follower mode: tail the primary on a dedicated thread while the
+    // server above answers reads at the applied stable epoch.
+    let follower_stop = Arc::new(AtomicBool::new(false));
+    let follower = opts.follow.as_ref().map(|primary| {
+        let staging = opts.staging_dir.clone().unwrap_or_else(|| {
+            format!(
+                "{}.staging",
+                opts.wal_dir.as_deref().expect("checked in parse_opts")
+            )
+        });
+        let follower_opts =
+            FollowerOpts::new(primary.clone(), staging).with_replay_workers(opts.replay_workers);
+        let db = Arc::clone(&db);
+        let repl = server.repl_state();
+        let stop = Arc::clone(&follower_stop);
+        std::thread::Builder::new()
+            .name("reactdb-follower".into())
+            .spawn(move || {
+                match run_follower(&db, &repl, &follower_opts, &stop) {
+                    Ok(report) if report.promoted => {
+                        // Scripts and the CI replication gate parse this line.
+                        println!(
+                            "promoted to primary (applied epoch {}, failover {} ms)",
+                            report.applied_epoch,
+                            report.failover.map_or(0, |d| d.as_millis()),
+                        );
+                    }
+                    Ok(report) => {
+                        eprintln!("follower stopped at applied epoch {}", report.applied_epoch)
+                    }
+                    Err(e) => eprintln!("follower failed: {e}"),
+                }
+            })
+            .expect("spawn follower thread")
+    });
 
     match opts.run_secs {
         Some(secs) => std::thread::sleep(Duration::from_secs(secs)),
@@ -215,7 +275,13 @@ fn main() {
         },
     }
     eprintln!("draining and shutting down");
+    follower_stop.store(true, std::sync::atomic::Ordering::SeqCst);
     server.shutdown();
+    if let Some(follower) = follower {
+        // The stop flag is checked between stream reads (bounded by the
+        // read timeout), so this join is bounded too.
+        let _ = follower.join();
+    }
     // Last engine handle: drop shuts the engine down and releases the
     // log-directory lock.
     drop(db);

@@ -1,0 +1,395 @@
+//! Follower runtime: tails a primary's replication stream and applies it.
+//!
+//! A follower is an ordinary engine instance booted with its own (empty)
+//! log directory and flipped read-only, fronted by an ordinary wire
+//! server for snapshot-epoch reads and metrics. [`run_follower`] then
+//! drives the replication protocol against the primary:
+//!
+//! 1. connect, handshake, `ReplSubscribe` with the highest epoch already
+//!    applied (zero on first boot);
+//! 2. stage every `ReplFile` chunk byte-for-byte into a staging
+//!    directory — a faithful, growing copy of the primary's log dir;
+//! 3. on each `ReplEpoch E`: bootstrap once from the staged checkpoint
+//!    chain via [`reactdb_wal::load_checkpoint`] (the same parallel
+//!    loader crash recovery uses), then decode the staged segments and
+//!    apply every not-yet-applied batch with commit epoch `<= E` through
+//!    [`ReactDB::apply_redo`] — which re-logs them into the follower's
+//!    *own* WAL — force a group commit, and `ReplAck E`.
+//!
+//! Because the ack is sent only after the follower's own group commit,
+//! the primary's `AckLevel::Replicated` gate really does mean "durable on
+//! two nodes". Reads served meanwhile run at the follower's applied
+//! stable epoch: the engine's ordinary snapshot-epoch read path, just fed
+//! by replication instead of local commits.
+//!
+//! When the stream dies and cannot be re-established, the follower
+//! *promotes*: [`ReactDB::promote`] lifts the read-only gate and opens a
+//! fresh epoch beyond everything applied, and the node starts accepting
+//! writes as a primary with zero loss of replicated-acked work — that
+//! work was durably applied here before it was ever acknowledged.
+
+use std::collections::HashMap;
+use std::fs;
+use std::io::{self, ErrorKind, Read, Seek, SeekFrom, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use reactdb_client::codec::{self, Request, Response};
+use reactdb_engine::ReactDB;
+use reactdb_storage::TidWord;
+use reactdb_txn::RedoRecord;
+
+use crate::ReplState;
+
+/// Tuning for [`run_follower`].
+#[derive(Debug, Clone)]
+pub struct FollowerOpts {
+    /// The primary's wire address (`host:port`).
+    pub primary_addr: String,
+    /// Directory the shipped log-dir copy is staged into. Must not be the
+    /// follower engine's own WAL directory.
+    pub staging_dir: PathBuf,
+    /// Parallel apply lanes for [`ReactDB::apply_redo`] (0 = all cores).
+    pub replay_workers: usize,
+    /// Reconnect attempts after a lost stream before giving up (and, with
+    /// [`FollowerOpts::promote_on_disconnect`], promoting).
+    pub reconnect_attempts: u32,
+    /// Pause between reconnect attempts.
+    pub reconnect_backoff: Duration,
+    /// Promote this node to a serving primary when the stream is lost for
+    /// good, instead of returning an error.
+    pub promote_on_disconnect: bool,
+}
+
+impl FollowerOpts {
+    /// Defaults for tailing `primary_addr`, staging into `staging_dir`.
+    pub fn new(primary_addr: impl Into<String>, staging_dir: impl Into<PathBuf>) -> Self {
+        Self {
+            primary_addr: primary_addr.into(),
+            staging_dir: staging_dir.into(),
+            replay_workers: 0,
+            reconnect_attempts: 3,
+            reconnect_backoff: Duration::from_millis(100),
+            promote_on_disconnect: true,
+        }
+    }
+
+    /// Sets the parallel apply lanes (0 = all cores).
+    pub fn with_replay_workers(mut self, workers: usize) -> Self {
+        self.replay_workers = workers;
+        self
+    }
+
+    /// Sets the reconnect budget after a lost stream.
+    pub fn with_reconnects(mut self, attempts: u32, backoff: Duration) -> Self {
+        self.reconnect_attempts = attempts;
+        self.reconnect_backoff = backoff;
+        self
+    }
+
+    /// Sets whether losing the primary promotes this node.
+    pub fn with_promote_on_disconnect(mut self, promote: bool) -> Self {
+        self.promote_on_disconnect = promote;
+        self
+    }
+}
+
+/// What a finished [`run_follower`] did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FollowerReport {
+    /// Whether this node promoted itself to primary.
+    pub promoted: bool,
+    /// Highest epoch durably applied from the primary.
+    pub applied_epoch: u64,
+    /// Detection-to-serving time of the promotion, when one happened:
+    /// from the moment the established stream dropped to
+    /// [`ReactDB::promote`] returning (includes the reconnect attempts).
+    pub failover: Option<Duration>,
+}
+
+/// Mutable state threaded through (re)subscriptions.
+struct Tail {
+    /// Byte length staged so far, per file name.
+    staged: HashMap<String, u64>,
+    /// Highest epoch durably applied into the local engine.
+    applied: u64,
+    /// Epoch floor below which batches are covered by the loaded
+    /// checkpoint (its `cover_epoch`); 0 before bootstrap or without one.
+    checkpoint_floor: u64,
+    /// Whether the staged checkpoint chain has been loaded.
+    bootstrapped: bool,
+}
+
+/// Tails `opts.primary_addr` until `stop` is raised, the stream is lost
+/// beyond the configured reconnects, or an apply error occurs. Blocks the
+/// calling thread; run it on a dedicated one. `db` must be booted with
+/// durability on (its own fresh WAL directory) and is flipped read-only
+/// here; `repl` should come from the serving [`crate::Server`]'s
+/// [`crate::Server::repl_state`] so lag shows up in its metrics.
+pub fn run_follower(
+    db: &Arc<ReactDB>,
+    repl: &Arc<ReplState>,
+    opts: &FollowerOpts,
+    stop: &AtomicBool,
+) -> io::Result<FollowerReport> {
+    fs::create_dir_all(&opts.staging_dir)?;
+    db.set_read_only(true);
+    repl.set_follower_mode(true);
+    let mut tail = Tail {
+        staged: HashMap::new(),
+        applied: 0,
+        checkpoint_floor: 0,
+        bootstrapped: false,
+    };
+
+    let mut disconnected_at: Option<Instant> = None;
+    let mut attempts_left = opts.reconnect_attempts;
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return Ok(FollowerReport {
+                promoted: false,
+                applied_epoch: tail.applied,
+                failover: None,
+            });
+        }
+        match follow_once(db, repl, opts, stop, &mut tail) {
+            Ok(()) => {
+                // Clean stop request honoured inside the stream loop.
+                return Ok(FollowerReport {
+                    promoted: false,
+                    applied_epoch: tail.applied,
+                    failover: None,
+                });
+            }
+            Err(e) if e.kind() == ErrorKind::InvalidData => {
+                // Apply/decode failure: retrying would re-fail; surface it.
+                return Err(e);
+            }
+            Err(e) => {
+                disconnected_at.get_or_insert_with(Instant::now);
+                if attempts_left > 0 {
+                    attempts_left -= 1;
+                    std::thread::park_timeout(opts.reconnect_backoff);
+                    continue;
+                }
+                if !opts.promote_on_disconnect {
+                    return Err(e);
+                }
+                db.promote();
+                repl.set_follower_mode(false);
+                return Ok(FollowerReport {
+                    promoted: true,
+                    applied_epoch: tail.applied,
+                    failover: disconnected_at.map(|t| t.elapsed()),
+                });
+            }
+        }
+    }
+}
+
+/// One subscription: connect, stream, stage, apply, ack — until the
+/// connection drops (`Err`) or `stop` is raised (`Ok`).
+fn follow_once(
+    db: &Arc<ReactDB>,
+    repl: &Arc<ReplState>,
+    opts: &FollowerOpts,
+    stop: &AtomicBool,
+    tail: &mut Tail,
+) -> io::Result<()> {
+    let mut stream = TcpStream::connect(&opts.primary_addr)?;
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(Duration::from_millis(20)))?;
+    stream.write_all(&codec::client_hello())?;
+    let mut hello = [0u8; codec::HANDSHAKE_LEN];
+    read_exact_with_timeout(&mut stream, &mut hello)?;
+    codec::parse_server_hello(&hello)
+        .map_err(|e| io::Error::other(format!("primary rejected handshake: {e:?}")))?;
+
+    let correlation_id = 1u64;
+    let subscribe = codec::frame(&codec::encode_request(&Request::ReplSubscribe {
+        correlation_id,
+        from_epoch: tail.applied,
+    }));
+    stream.write_all(&subscribe)?;
+
+    let mut rbuf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 64 * 1024];
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return Err(io::Error::other("primary closed the stream")),
+            Ok(n) => rbuf.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                continue;
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+        loop {
+            let (payload, consumed) = match codec::decode_frame(&rbuf) {
+                Ok(None) => break,
+                Ok(Some(frame)) => frame,
+                Err(e) => {
+                    return Err(io::Error::new(
+                        ErrorKind::InvalidData,
+                        format!("undecodable replication frame: {e:?}"),
+                    ));
+                }
+            };
+            let response = codec::decode_response(payload).map_err(|e| {
+                io::Error::new(
+                    ErrorKind::InvalidData,
+                    format!("undecodable replication frame: {e:?}"),
+                )
+            })?;
+            rbuf.drain(..consumed);
+            match response {
+                Response::ReplFile {
+                    name,
+                    offset,
+                    bytes,
+                    ..
+                } => stage_chunk(&opts.staging_dir, tail, &name, offset, &bytes)?,
+                Response::ReplEpoch { epoch, .. } => {
+                    if epoch > tail.applied {
+                        apply_through(db, opts, tail, epoch)?;
+                        let ack = codec::frame(&codec::encode_request(&Request::ReplAck {
+                            correlation_id,
+                            applied_epoch: tail.applied,
+                        }));
+                        stream.write_all(&ack)?;
+                    }
+                    repl.observe_apply(tail.applied, epoch);
+                }
+                Response::ReplEnd { reason, .. } => {
+                    return Err(io::Error::other(format!("stream ended: {reason}")));
+                }
+                _ => {} // a subscribed connection carries nothing else
+            }
+        }
+    }
+}
+
+/// Blocking read of exactly `buf.len()` bytes on a stream whose read
+/// timeout is short; retries timeouts so the handshake survives them.
+fn read_exact_with_timeout(stream: &mut TcpStream, buf: &mut [u8]) -> io::Result<()> {
+    let mut filled = 0;
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while filled < buf.len() {
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => return Err(io::Error::other("primary closed during handshake")),
+            Ok(n) => filled += n,
+            Err(e)
+                if e.kind() == ErrorKind::WouldBlock
+                    || e.kind() == ErrorKind::TimedOut
+                    || e.kind() == ErrorKind::Interrupted =>
+            {
+                if Instant::now() >= deadline {
+                    return Err(io::Error::other("handshake timed out"));
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+/// Stages one shipped chunk at its exact offset. The cursor re-ships a
+/// file from offset 0 after a resubscribe, so a chunk below the staged
+/// length truncates and rewrites — idempotent by construction.
+fn stage_chunk(
+    staging_dir: &Path,
+    tail: &mut Tail,
+    name: &str,
+    offset: u64,
+    bytes: &[u8],
+) -> io::Result<()> {
+    if name.contains('/') || name.contains('\\') || name == "." || name == ".." {
+        return Err(io::Error::new(
+            ErrorKind::InvalidData,
+            format!("shipped file name {name:?} is not a plain file name"),
+        ));
+    }
+    let staged_len = tail.staged.get(name).copied().unwrap_or(0);
+    let mut file = fs::OpenOptions::new()
+        .create(true)
+        .write(true)
+        .truncate(false)
+        .open(staging_dir.join(name))?;
+    if offset > staged_len {
+        return Err(io::Error::new(
+            ErrorKind::InvalidData,
+            format!("gap in shipped stream for {name}: offset {offset} past {staged_len}"),
+        ));
+    }
+    if offset < staged_len {
+        file.set_len(offset)?;
+    }
+    file.seek(SeekFrom::Start(offset))?;
+    file.write_all(bytes)?;
+    tail.staged
+        .insert(name.to_string(), offset + bytes.len() as u64);
+    Ok(())
+}
+
+/// Applies every staged-but-unapplied batch with commit epoch `<= epoch`
+/// into the local engine, bootstrapping from the staged checkpoint chain
+/// on the first call, then forces a local group commit so the subsequent
+/// ack means *durably* applied.
+fn apply_through(
+    db: &Arc<ReactDB>,
+    opts: &FollowerOpts,
+    tail: &mut Tail,
+    epoch: u64,
+) -> io::Result<()> {
+    let mut checkpoint_rows: Vec<(TidWord, RedoRecord)> = Vec::new();
+    if !tail.bootstrapped {
+        if let Some(recovered) =
+            reactdb_wal::load_checkpoint(&opts.staging_dir, epoch, opts.replay_workers)?
+        {
+            tail.checkpoint_floor = recovered.cover_epoch;
+            checkpoint_rows = recovered.rows;
+        }
+        tail.bootstrapped = true;
+    }
+
+    // Re-decode the staged segments and keep what is new this round:
+    // batches above the checkpoint floor and the already-applied epoch,
+    // at or below the announced epoch. Within one apply call batches are
+    // ordered by commit TID, as recovery orders them.
+    let floor = tail.checkpoint_floor.max(tail.applied);
+    let mut batches: Vec<(TidWord, Vec<RedoRecord>)> = Vec::new();
+    for name in tail.staged.keys() {
+        if !(name.starts_with("wal-") && name.ends_with(".log")) {
+            continue;
+        }
+        let bytes = fs::read(opts.staging_dir.join(name))?;
+        let scan = reactdb_wal::codec::decode_segment(&bytes).ok_or_else(|| {
+            io::Error::new(
+                ErrorKind::InvalidData,
+                format!("staged segment {name} does not decode"),
+            )
+        })?;
+        for (tid, records) in scan.batches {
+            if tid.epoch() > floor && tid.epoch() <= epoch {
+                batches.push((tid, records));
+            }
+        }
+    }
+    batches.sort_by_key(|(tid, _)| (tid.epoch(), tid.version()));
+
+    if !(batches.is_empty() && checkpoint_rows.is_empty()) {
+        db.apply_redo(&checkpoint_rows, &batches, opts.replay_workers)
+            .map_err(|e| io::Error::new(ErrorKind::InvalidData, format!("apply failed: {e}")))?;
+        // The ack promises durability: flush the follower's own WAL.
+        db.wal_sync()
+            .map_err(|e| io::Error::other(format!("follower group commit failed: {e}")))?;
+    }
+    tail.applied = epoch;
+    Ok(())
+}

@@ -397,7 +397,11 @@ fn decode_part(
 /// the stamps disagree, or the durable epoch does not cover the fuzzy
 /// capture (possible only if the durable-epoch marker itself was lost: the
 /// completion gate orders the marker advance before the manifest commit).
-pub(crate) fn load_checkpoint(
+///
+/// Public beyond recovery because a replication follower boots the same
+/// way: the primary ships its checkpoint files raw, and the follower loads
+/// the staged chain with the shipped durable epoch before tailing the log.
+pub fn load_checkpoint(
     dir: &Path,
     durable_epoch: u64,
     workers: usize,

@@ -35,6 +35,7 @@
 
 pub mod checkpoint;
 pub mod codec;
+pub mod ship;
 pub mod stats;
 pub mod writer;
 
@@ -52,7 +53,10 @@ use reactdb_obs::{Metrics, Phase, TraceKind};
 use reactdb_storage::TidWord;
 use reactdb_txn::{Coordinator, EpochManager, RedoRecord};
 
-pub use checkpoint::{CheckpointReport, CheckpointTable, Checkpointer, RecoveredCheckpoint};
+pub use checkpoint::{
+    load_checkpoint, CheckpointReport, CheckpointTable, Checkpointer, RecoveredCheckpoint,
+};
+pub use ship::{ShipCursor, ShipEvent};
 pub use stats::{TableLogUsage, WalStats};
 pub use writer::LogWriter;
 

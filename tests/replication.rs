@@ -1,0 +1,233 @@
+//! End-to-end replication: a follower tailing a live primary over the
+//! wire protocol, snapshot-isolation checking of follower reads, and
+//! primary-kill failover with promotion.
+//!
+//! Two properties anchor the suite:
+//!
+//! * **Follower reads are one consistent snapshot.** The register
+//!   workload runs against the primary with `AckLevel::Replicated` (so
+//!   every commit is gated on the follower durably applying it), then the
+//!   follower's wire server answers snapshot reads. The combined history
+//!   must pass the SI variant of the black-box checker — staleness is
+//!   allowed, torn snapshots are not.
+//! * **Promotion loses nothing replicated-acked.** Every write is
+//!   replicated-acked, the primary dies, the follower promotes itself,
+//!   and every register must sit at exactly the version the acked writes
+//!   left it at — then accept new writes as a primary.
+
+mod support;
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use reactdb::common::{AckLevel, DeploymentConfig, DurabilityConfig, Value};
+use reactdb::engine::ReactDB;
+use reactdb_client::WireClient;
+use reactdb_server::{run_follower, FollowerOpts, Server, ServerConfig};
+use support::history::{
+    check_history_si, load, parse_observations, run_workload_with, shard_name, spec, TxnRecord,
+    KEYS_PER_SHARD, SHARDS,
+};
+
+fn temp_path(tag: &str) -> String {
+    let dir = std::env::temp_dir().join(format!("reactdb-repl-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir.to_string_lossy().into_owned()
+}
+
+struct Cluster {
+    primary_db: Arc<ReactDB>,
+    primary: Server,
+    follower_db: Arc<ReactDB>,
+    follower: Server,
+    follower_thread: std::thread::JoinHandle<std::io::Result<reactdb_server::FollowerReport>>,
+    stop: Arc<AtomicBool>,
+}
+
+/// Boots a primary (registers loaded) and a follower tailing it, and
+/// waits until the subscription is live.
+fn boot_cluster(tag: &str, promote_on_disconnect: bool) -> Cluster {
+    let primary_wal = temp_path(&format!("{tag}-primary-wal"));
+    let follower_wal = temp_path(&format!("{tag}-follower-wal"));
+    let staging = temp_path(&format!("{tag}-staging"));
+
+    let primary_db = Arc::new(ReactDB::boot(
+        spec(),
+        DeploymentConfig::shared_nothing(SHARDS)
+            .with_durability(DurabilityConfig::epoch_sync(&primary_wal).with_interval_ms(1)),
+    ));
+    load(&primary_db);
+    let primary = Server::start(Arc::clone(&primary_db), ServerConfig::default()).unwrap();
+
+    let follower_db = Arc::new(ReactDB::boot(
+        spec(),
+        DeploymentConfig::shared_nothing(SHARDS)
+            .with_durability(DurabilityConfig::epoch_sync(&follower_wal).with_interval_ms(1)),
+    ));
+    let follower = Server::start(Arc::clone(&follower_db), ServerConfig::default()).unwrap();
+
+    let opts = FollowerOpts::new(primary.local_addr().to_string(), staging)
+        .with_reconnects(1, Duration::from_millis(50))
+        .with_promote_on_disconnect(promote_on_disconnect);
+    let stop = Arc::new(AtomicBool::new(false));
+    let follower_thread = {
+        let db = Arc::clone(&follower_db);
+        let repl = follower.repl_state();
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || run_follower(&db, &repl, &opts, &stop))
+    };
+
+    // The replicated-ack gate needs the subscription live before any
+    // replicated invoke, or the first ack would wait forever.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while primary.repl_state().followers() == 0 {
+        assert!(Instant::now() < deadline, "follower never subscribed");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    Cluster {
+        primary_db,
+        primary,
+        follower_db,
+        follower,
+        follower_thread,
+        stop,
+    }
+}
+
+#[test]
+fn follower_serves_snapshot_consistent_reads_while_tailing() {
+    let cluster = boot_cluster("si-reads", false);
+    let primary_addr = cluster.primary.local_addr();
+    let follower_addr = cluster.follower.local_addr();
+
+    // The full register workload, every commit gated on the follower.
+    let mut records = run_workload_with(|_| {
+        let client = WireClient::connect(primary_addr).expect("connect primary");
+        move |reactor: &str, procedure: &str, args: Vec<Value>| {
+            client.invoke_with(reactor, procedure, args, AckLevel::Replicated)
+        }
+    });
+    assert!(!records.is_empty(), "workload committed");
+
+    // Replicated acks mean the follower has durably applied everything
+    // the workload observed; its wire server now answers reads at its
+    // applied stable epoch. Those reads join the history as read-only
+    // transactions and the combined history must be SI.
+    let reader = WireClient::connect(follower_addr).expect("connect follower");
+    for i in 0..SHARDS * 4 {
+        let shard = shard_name(i % SHARDS);
+        let keys: Vec<Value> = (0..KEYS_PER_SHARD).map(Value::Int).collect();
+        let obs = reader
+            .invoke(&shard, "snapshot", keys)
+            .expect("follower read");
+        records.push(TxnRecord {
+            label: 100_000 + i as i64,
+            reads: parse_observations(obs.as_str()),
+            writes: Vec::new(),
+        });
+    }
+    check_history_si(&records, "follower reads");
+
+    // The follower is read-only until promoted: writes bounce.
+    let write = reader.invoke(&shard_name(0), "rmw", vec![Value::Int(1), Value::Int(0)]);
+    assert!(
+        matches!(write, Err(reactdb::common::TxnError::Runtime(ref m)) if m.contains("read-only")),
+        "follower rejected the write: {write:?}"
+    );
+
+    // Replication progress is visible on both sides' metrics.
+    let primary_repl = cluster.primary.repl_state();
+    assert_eq!(primary_repl.followers(), 1);
+    assert!(primary_repl.acked_epoch() > 0, "follower acked progress");
+    let follower_repl = cluster.follower.repl_state();
+    assert!(follower_repl.is_follower());
+    assert!(follower_repl.applied_epoch() > 0);
+    let snap = cluster.follower.metrics_snapshot();
+    assert!(
+        snap.gauges
+            .iter()
+            .any(|g| g.name == "repl_follower_lag_epochs"),
+        "follower lag gauge exported"
+    );
+
+    cluster.stop.store(true, Ordering::SeqCst);
+    let report = cluster.follower_thread.join().unwrap().expect("clean stop");
+    assert!(!report.promoted);
+    cluster.follower.shutdown();
+    cluster.primary.shutdown();
+    drop(cluster.primary_db);
+    drop(cluster.follower_db);
+}
+
+#[test]
+fn promotion_after_primary_kill_keeps_every_replicated_acked_txn() {
+    let cluster = boot_cluster("failover", true);
+    let primary_addr = cluster.primary.local_addr();
+
+    // A deterministic batch of replicated-acked writes; remember exactly
+    // which version each register must end up at.
+    let client = WireClient::connect(primary_addr).expect("connect primary");
+    let mut expected: std::collections::HashMap<(String, i64), i64> =
+        std::collections::HashMap::new();
+    for i in 0..30i64 {
+        let shard = shard_name((i as usize) % SHARDS);
+        let key = i % KEYS_PER_SHARD;
+        let obs = client
+            .invoke_with(
+                &shard,
+                "rmw",
+                vec![Value::Int(1000 + i), Value::Int(key)],
+                AckLevel::Replicated,
+            )
+            .expect("replicated write");
+        for read in parse_observations(obs.as_str()) {
+            expected.insert((read.shard, read.key), read.ver + 1);
+        }
+    }
+
+    // Kill the primary. The follower loses the stream, fails its
+    // reconnect budget, and must promote itself.
+    drop(client);
+    cluster.primary.shutdown();
+    drop(cluster.primary_db);
+
+    let report = cluster
+        .follower_thread
+        .join()
+        .unwrap()
+        .expect("follower promoted");
+    assert!(
+        report.promoted,
+        "follower promoted after losing its primary"
+    );
+    assert!(report.failover.is_some(), "failover time measured");
+
+    // Zero loss: every replicated-acked write is present at exactly the
+    // version it committed at — and nothing else wrote these registers,
+    // so a higher version would mean resurrected or invented work.
+    for ((shard, key), version) in &expected {
+        let obs = cluster
+            .follower_db
+            .invoke(shard, "snapshot", vec![Value::Int(*key)])
+            .expect("read after promotion");
+        let seen = parse_observations(obs.as_str());
+        assert_eq!(
+            seen[0].ver, *version,
+            "{shard}:{key} must sit at its last replicated-acked version"
+        );
+    }
+
+    // The promoted node is a serving primary: writes commit now.
+    let shard = shard_name(0);
+    let before = expected[&(shard.clone(), 0)];
+    let obs = cluster
+        .follower_db
+        .invoke(&shard, "rmw", vec![Value::Int(9999), Value::Int(0)])
+        .expect("write after promotion");
+    assert_eq!(parse_observations(obs.as_str())[0].ver, before);
+
+    cluster.follower.shutdown();
+    drop(cluster.follower_db);
+}

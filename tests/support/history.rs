@@ -373,6 +373,92 @@ pub fn check_history(records: &[TxnRecord], context: &str) {
     assert!(graph.serial_order().is_some(), "{context}: witness exists");
 }
 
+/// The snapshot-isolation variant of [`check_history`]: the same ledger
+/// invariants, but the cycle test drops RW (anti-dependency) edges.
+///
+/// Under SI every transaction reads one consistent snapshot and
+/// first-committer-wins orders conflicting writers, so the WW ∪ WR graph
+/// must embed in the commit/snapshot order and stay acyclic — a cycle
+/// means a lost update, a torn snapshot, or a read of a version newer
+/// than some version the same transaction missed. What SI deliberately
+/// permits (and serializability forbids) are cycles *through* RW edges —
+/// write skew, and stale-but-consistent reads whose observed versions
+/// were already overwritten at read time. Follower reads are exactly
+/// that second case: served at the follower's applied stable epoch, they
+/// may trail the primary by whole epochs, but must still be one
+/// transactionally consistent snapshot. So the follower-read history is
+/// checked with this variant, with the RW staleness edges excluded.
+pub fn check_history_si(records: &[TxnRecord], context: &str) {
+    // Version ledger per register, exactly as the serializable checker
+    // builds it: unique writer per version (SI forbids lost updates) and
+    // dense versions (writes build on committed versions only).
+    let mut writers: HashMap<(String, i64), BTreeMap<i64, i64>> = HashMap::new();
+    for record in records {
+        for w in &record.writes {
+            let ledger = writers.entry((w.shard.clone(), w.key)).or_default();
+            if let Some(previous) = ledger.insert(w.ver, record.label) {
+                dump_and_panic(
+                    records,
+                    context,
+                    &format!(
+                        "lost update: {}:{} version {} written by both txn {} and txn {}",
+                        w.shard, w.key, w.ver, previous, record.label
+                    ),
+                );
+            }
+        }
+    }
+    for ledger in writers.values_mut() {
+        ledger.insert(0, 0);
+    }
+    for ((shard, key), ledger) in &writers {
+        let max = *ledger.keys().last().unwrap();
+        if ledger.len() as i64 != max + 1 {
+            dump_and_panic(
+                records,
+                context,
+                &format!("version gap on {shard}:{key}: ledger {ledger:?}"),
+            );
+        }
+    }
+
+    let mut nodes: Vec<u64> = records.iter().map(|r| r.label as u64).collect();
+    nodes.push(0);
+    let mut graph = ConflictGraph::new(nodes);
+    for ledger in writers.values() {
+        // WW: first-committer-wins totally orders a register's writers.
+        let labels: Vec<i64> = ledger.values().copied().collect();
+        for pair in labels.windows(2) {
+            graph.add_edge(pair[0] as u64, pair[1] as u64);
+        }
+    }
+    for record in records {
+        for read in &record.reads {
+            let ledger = &writers[&(read.shard.clone(), read.key)];
+            // WR: the writer of the observed version committed before the
+            // reader's snapshot. No RW edges: staleness is SI-legal.
+            let writer = *ledger.get(&read.ver).unwrap_or_else(|| {
+                dump_and_panic(
+                    records,
+                    context,
+                    &format!(
+                        "txn {} read {}:{} version {} which no committed txn wrote",
+                        record.label, read.shard, read.key, read.ver
+                    ),
+                );
+            });
+            graph.add_edge(writer as u64, record.label as u64);
+        }
+    }
+    if !graph.is_acyclic() {
+        dump_and_panic(
+            records,
+            context,
+            "WW ∪ WR graph has a cycle: some transaction saw a torn snapshot",
+        );
+    }
+}
+
 pub fn dump_and_panic(records: &[TxnRecord], context: &str, reason: &str) -> ! {
     eprintln!("=== serializability violation ({context}): {reason} ===");
     for record in records {
