@@ -44,7 +44,10 @@ pub const MAGIC: [u8; 4] = *b"RDBP";
 /// ([`Request::ReplSubscribe`]/[`Request::ReplAck`],
 /// [`Response::ReplFile`]/[`Response::ReplEpoch`]/[`Response::ReplEnd`])
 /// join the kind space.
-pub const PROTOCOL_VERSION: u16 = 2;
+/// v3: [`Request::ReplSubscribe`] carries the follower's stable
+/// `follower_id`, the key of the primary's per-follower quorum-ack
+/// registry.
+pub const PROTOCOL_VERSION: u16 = 3;
 
 /// Handshake message size in bytes, both directions.
 pub const HANDSHAKE_LEN: usize = 8;
@@ -233,6 +236,13 @@ pub enum Request {
         /// Durable epoch the follower has already applied (`0` for a
         /// fresh follower wanting the full checkpoint + log bootstrap).
         from_epoch: u64,
+        /// Stable identity of the subscribing follower, constant across
+        /// its reconnects (a hash of its staging directory and process).
+        /// The primary tracks acked epochs per follower id, so a
+        /// resubscribe continues the same registry entry instead of
+        /// counting as a second follower toward the replicated-ack
+        /// quorum.
+        follower_id: u64,
     },
     /// Follower → primary on a subscribed connection: the follower has
     /// durably applied every shipped commit with epoch `<= applied_epoch`.
@@ -720,10 +730,12 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
         Request::ReplSubscribe {
             correlation_id,
             from_epoch,
+            follower_id,
         } => {
             out.push(KIND_REPL_SUBSCRIBE);
             out.extend_from_slice(&correlation_id.to_le_bytes());
             out.extend_from_slice(&from_epoch.to_le_bytes());
+            out.extend_from_slice(&follower_id.to_le_bytes());
         }
         Request::ReplAck {
             correlation_id,
@@ -792,6 +804,7 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
         KIND_REPL_SUBSCRIBE => Request::ReplSubscribe {
             correlation_id,
             from_epoch: c.u64()?,
+            follower_id: c.u64()?,
         },
         KIND_REPL_ACK => Request::ReplAck {
             correlation_id,
@@ -1043,6 +1056,7 @@ mod tests {
             Request::ReplSubscribe {
                 correlation_id: 7,
                 from_epoch: 0,
+                follower_id: 0xfee1_dead_beef,
             },
             Request::ReplAck {
                 correlation_id: 7,

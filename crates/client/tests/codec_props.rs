@@ -82,6 +82,7 @@ fn arb_request(rng: &mut TestRng) -> Request {
         2 => Request::ReplSubscribe {
             correlation_id,
             from_epoch: rng.next_u64(),
+            follower_id: rng.next_u64(),
         },
         3 => Request::ReplAck {
             correlation_id,

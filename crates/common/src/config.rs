@@ -323,6 +323,14 @@ pub struct ReplicationConfig {
     /// Primary-side poll period (milliseconds) for new durable log bytes
     /// when the shipping cursor has caught up.
     pub poll_interval_ms: u64,
+    /// Replication quorum: how many followers must durably apply a commit
+    /// epoch before the primary acknowledges it at
+    /// `AckLevel::Replicated` — so a replicated ack means "durable on at
+    /// least `quorum + 1` nodes". `0` (the value a pre-quorum config file
+    /// deserializes to) is read as 1; see
+    /// [`ReplicationConfig::effective_quorum`].
+    #[serde(default)]
+    pub quorum: usize,
 }
 
 impl Default for ReplicationConfig {
@@ -330,6 +338,7 @@ impl Default for ReplicationConfig {
         Self {
             chunk_bytes: 256 * 1024,
             poll_interval_ms: 2,
+            quorum: 1,
         }
     }
 }
@@ -345,6 +354,19 @@ impl ReplicationConfig {
     pub fn with_poll_interval_ms(mut self, ms: u64) -> Self {
         self.poll_interval_ms = ms;
         self
+    }
+
+    /// Sets the replicated-ack quorum (clamped to at least 1).
+    pub fn with_quorum(mut self, quorum: usize) -> Self {
+        self.quorum = quorum.max(1);
+        self
+    }
+
+    /// The quorum consumers must honour: at least 1, treating the
+    /// serde-default `0` of an old config file as the historical
+    /// single-follower behaviour.
+    pub fn effective_quorum(&self) -> usize {
+        self.quorum.max(1)
     }
 }
 
@@ -878,6 +900,43 @@ mod tests {
         let cfg2 = DeploymentConfig::shared_nothing(2).with_replication(tuned);
         let back2 = DeploymentConfig::from_json(&cfg2.to_json()).unwrap();
         assert_eq!(cfg2, back2);
+    }
+
+    #[test]
+    fn config_json_written_before_the_quorum_knob_still_parses() {
+        // A config file from before quorum acks has a replication section
+        // without the `quorum` field: serde defaults it to 0, which every
+        // consumer reads as 1 (the historical any-one-follower gate).
+        let cfg = DeploymentConfig::shared_nothing(2)
+            .with_replication(ReplicationConfig::default().with_chunk_bytes(8 * 1024));
+        let json = cfg.to_json();
+        let kept: Vec<&str> = json.lines().filter(|l| !l.contains("quorum")).collect();
+        let old_json: String = kept
+            .iter()
+            .enumerate()
+            .map(|(i, line)| {
+                let closes_next = kept
+                    .get(i + 1)
+                    .is_some_and(|next| next.trim_start().starts_with('}'));
+                if closes_next {
+                    line.trim_end().trim_end_matches(',').to_owned()
+                } else {
+                    (*line).to_owned()
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        let back = DeploymentConfig::from_json(&old_json).unwrap();
+        assert_eq!(back.replication.quorum, 0, "missing knob deserializes to 0");
+        assert_eq!(back.replication.effective_quorum(), 1, "and is read as 1");
+        assert_eq!(back.replication.chunk_bytes, cfg.replication.chunk_bytes);
+
+        let tuned = ReplicationConfig::default().with_quorum(0);
+        assert_eq!(tuned.quorum, 1, "builder clamps to at least 1");
+        let two = ReplicationConfig::default().with_quorum(2);
+        assert_eq!(two.effective_quorum(), 2);
+        let cfg2 = DeploymentConfig::shared_nothing(2).with_replication(two);
+        assert_eq!(DeploymentConfig::from_json(&cfg2.to_json()).unwrap(), cfg2);
     }
 
     #[test]

@@ -521,9 +521,38 @@ fn main() {
         }
     }
 
+    // With replicated acks in the mix, report the primary's quorum lag —
+    // how far the durable epoch ran ahead of the quorum-acked epoch when
+    // the run ended. Scripts and the CI replication gate parse this line.
+    let mut quorum_epoch_lag = None;
+    if opts.ack == AckLevel::Replicated {
+        match WireClient::connect(addr)
+            .ok()
+            .and_then(|probe| probe.metrics_prometheus().ok())
+        {
+            Some(text) => {
+                let lag = fetch_gauge(&text, "reactdb_repl_quorum_epoch_lag").unwrap_or(-1.0);
+                let quorum = fetch_gauge(&text, "reactdb_repl_quorum_epoch").unwrap_or(-1.0);
+                println!("quorum_epoch_lag: {lag:.0}  (quorum epoch {quorum:.0})");
+                if quorum <= 0.0 {
+                    eprintln!("FAIL: replicated-acked run ended with no quorum-acked epoch");
+                    failed = true;
+                }
+                quorum_epoch_lag = Some(lag);
+            }
+            None => {
+                eprintln!("FAIL: could not scrape primary metrics for the quorum lag");
+                failed = true;
+            }
+        }
+    }
+
     if let Some(path) = &opts.bench_json {
         criterion::append_json_line(path, "server/throughput_txns_per_s", throughput, committed);
         criterion::append_json_line(path, "server/p99_latency_us", pct(0.99), committed);
+        if let Some(lag) = quorum_epoch_lag {
+            criterion::append_json_line(path, "repl/quorum_epoch_lag", lag, committed);
+        }
     }
 
     if let Some((server, db)) = spawned {

@@ -23,11 +23,13 @@
 //! engine's log directory through a [`reactdb_wal::ShipCursor`]: the
 //! newest checkpoint chain first, then the durable tail of every log
 //! segment, interleaved with durable-epoch announcements. `ReplAck`
-//! frames flowing back advance [`ReplState::acked_epoch`], which is the
-//! gate [`AckLevel::Replicated`](reactdb_common::AckLevel) invokes wait
-//! behind — a transaction is acknowledged at that level only once some
-//! follower has durably applied its commit epoch. The follower side of
-//! the stream lives in [`replica`].
+//! frames flowing back advance that follower's entry in the per-follower
+//! registry; [`ReplState::quorum_epoch`] — the `quorum`-th-highest acked
+//! epoch across live followers — is the gate
+//! [`AckLevel::Replicated`](reactdb_common::AckLevel) invokes wait
+//! behind, so a transaction is acknowledged at that level only once a
+//! quorum of followers has durably applied its commit epoch. The
+//! follower side of the stream lives in [`replica`].
 //!
 //! Robustness rules:
 //!
@@ -205,19 +207,49 @@ impl NetStats {
     }
 }
 
+/// One live follower subscription in the primary's registry.
+#[derive(Debug, Clone)]
+struct FollowerEntry {
+    /// The follower's wire-carried stable id (constant across its
+    /// reconnects).
+    id: u64,
+    /// Highest epoch this follower has durably applied and acknowledged.
+    acked: u64,
+    /// Live subscriptions carrying this id: briefly 2 while a resubscribe
+    /// overlaps the dying feeder it replaces; the entry is pruned at 0.
+    live: u32,
+}
+
 /// Replication progress shared between the wire server, its feeder
 /// threads, and (on a follower) the apply loop in [`replica`].
 ///
 /// One struct serves both roles because a promoted follower *becomes* a
 /// primary without restarting its server: the primary-side fields start
 /// mattering the moment a follower of its own subscribes.
+///
+/// The primary side keeps a per-follower registry keyed by the stable
+/// `follower_id` each subscription carries: [`ReplState::quorum_epoch`]
+/// is the `quorum`-th-highest acked epoch across *live* followers, and
+/// it — not the fastest follower's ack — gates
+/// [`AckLevel::Replicated`](reactdb_common::AckLevel) replies, so a
+/// replicated ack means "durable on at least quorum + 1 nodes". Dead
+/// followers are pruned when their feeder exits (via the registration
+/// guard's drop, so even a panicking feeder prunes), which can move
+/// `quorum_epoch` *backwards*: pending replicated acks then correctly
+/// re-stall until a quorum of live followers catches up again.
 #[derive(Debug, Default)]
 pub struct ReplState {
     /// Live follower subscriptions (primary side).
     followers: AtomicU64,
-    /// Highest epoch some follower has durably applied and acknowledged
-    /// (primary side) — the `AckLevel::Replicated` gate.
+    /// Highest epoch some (the fastest) follower has durably applied and
+    /// acknowledged (primary side). Kept for observability; the
+    /// replicated-ack gate is [`ReplState::quorum_epoch`].
     acked_epoch: AtomicU64,
+    /// Replicated-ack quorum (how many followers must have durably
+    /// applied an epoch); 0 reads as 1.
+    quorum: AtomicU64,
+    /// Per-follower ack registry (primary side).
+    roster: Mutex<Vec<FollowerEntry>>,
     /// Highest epoch this node has durably applied (follower side).
     applied_epoch: AtomicU64,
     /// Highest durable epoch the primary has announced to this node
@@ -233,9 +265,43 @@ impl ReplState {
         self.followers.load(Ordering::Relaxed)
     }
 
-    /// Highest epoch acknowledged as durably applied by any follower.
+    /// Highest epoch acknowledged as durably applied by any follower —
+    /// the *fastest* follower's progress, for observability. The
+    /// replicated-ack gate is [`ReplState::quorum_epoch`].
     pub fn acked_epoch(&self) -> u64 {
         self.acked_epoch.load(Ordering::Acquire)
+    }
+
+    /// The replicated-ack quorum this primary enforces (at least 1).
+    pub fn quorum(&self) -> usize {
+        (self.quorum.load(Ordering::Relaxed) as usize).max(1)
+    }
+
+    /// Sets the replicated-ack quorum (0 reads as 1).
+    pub fn set_quorum(&self, quorum: usize) {
+        self.quorum.store(quorum as u64, Ordering::Relaxed);
+    }
+
+    /// The highest epoch durably applied by at least [`ReplState::quorum`]
+    /// live followers: the `quorum`-th-highest acked epoch of the
+    /// registry, or 0 while fewer than `quorum` followers are subscribed.
+    /// Not monotonic by design — a follower dying can lower it, re-gating
+    /// pending replicated acks on the followers that still exist.
+    pub fn quorum_epoch(&self) -> u64 {
+        let roster = self.roster.lock().unwrap();
+        let quorum = self.quorum();
+        if roster.len() < quorum {
+            return 0;
+        }
+        let mut acked: Vec<u64> = roster.iter().map(|f| f.acked).collect();
+        acked.sort_unstable_by(|a, b| b.cmp(a));
+        acked[quorum - 1]
+    }
+
+    /// Live follower ids and their acked epochs (for metrics and tests).
+    pub fn follower_acks(&self) -> Vec<(u64, u64)> {
+        let roster = self.roster.lock().unwrap();
+        roster.iter().map(|f| (f.id, f.acked)).collect()
     }
 
     /// Highest epoch this node has durably applied from its primary.
@@ -253,8 +319,41 @@ impl ReplState {
         self.follower_mode.load(Ordering::Acquire)
     }
 
-    /// Monotonically raises the follower-acked epoch (primary side).
-    pub fn observe_ack(&self, applied_epoch: u64) {
+    /// Enters `follower_id` into the registry (or revives its entry on a
+    /// reconnect) and returns a guard whose drop deregisters it. The
+    /// feeder holds the guard for the life of the subscription, so a
+    /// follower that dies — or a feeder that panics — is pruned and the
+    /// `repl_followers` gauge stays truthful.
+    pub fn register_follower(self: &Arc<Self>, follower_id: u64) -> FollowerRegistration {
+        {
+            let mut roster = self.roster.lock().unwrap();
+            match roster.iter_mut().find(|f| f.id == follower_id) {
+                Some(entry) => entry.live += 1,
+                None => roster.push(FollowerEntry {
+                    id: follower_id,
+                    acked: 0,
+                    live: 1,
+                }),
+            }
+        }
+        self.followers.fetch_add(1, Ordering::Relaxed);
+        FollowerRegistration {
+            repl: Arc::clone(self),
+            follower_id,
+        }
+    }
+
+    /// Monotonically raises `follower_id`'s acked epoch (primary side).
+    /// Unregistered ids are ignored: an ack can only advance the quorum
+    /// through a live registry entry.
+    pub fn observe_ack(&self, follower_id: u64, applied_epoch: u64) {
+        {
+            let mut roster = self.roster.lock().unwrap();
+            let Some(entry) = roster.iter_mut().find(|f| f.id == follower_id) else {
+                return;
+            };
+            entry.acked = entry.acked.max(applied_epoch);
+        }
         self.acked_epoch.fetch_max(applied_epoch, Ordering::AcqRel);
     }
 
@@ -269,6 +368,31 @@ impl ReplState {
     /// Flags or clears follower mode (promotion clears it).
     pub fn set_follower_mode(&self, follower: bool) {
         self.follower_mode.store(follower, Ordering::Release);
+    }
+
+    fn deregister(&self, follower_id: u64) {
+        let mut roster = self.roster.lock().unwrap();
+        if let Some(pos) = roster.iter().position(|f| f.id == follower_id) {
+            roster[pos].live = roster[pos].live.saturating_sub(1);
+            if roster[pos].live == 0 {
+                roster.remove(pos);
+            }
+        }
+        self.followers.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Registration of one follower subscription; dropping it deregisters
+/// the follower (see [`ReplState::register_follower`]).
+#[derive(Debug)]
+pub struct FollowerRegistration {
+    repl: Arc<ReplState>,
+    follower_id: u64,
+}
+
+impl Drop for FollowerRegistration {
+    fn drop(&mut self) {
+        self.repl.deregister(self.follower_id);
     }
 }
 
@@ -323,16 +447,33 @@ impl Shared {
             name: "repl_acked_epoch".to_string(),
             value: repl.acked_epoch() as f64,
         });
+        // Per-follower progress plus the quorum epoch that actually gates
+        // replicated acks ("durable on >= quorum + 1 nodes").
+        for (id, acked) in repl.follower_acks() {
+            snap.gauges.push(Gauge {
+                name: format!("repl_acked_epoch{{follower=\"{id:016x}\"}}"),
+                value: acked as f64,
+            });
+        }
+        let quorum_epoch = repl.quorum_epoch();
+        snap.gauges.push(Gauge {
+            name: "repl_quorum_epoch".to_string(),
+            value: quorum_epoch as f64,
+        });
         // Primary-side lag: durable epochs no follower has acknowledged
         // yet. Zero with durability off (nothing to ship) or no follower
-        // progress recorded.
-        let lag = self
-            .db
-            .durable_epoch()
-            .map_or(0, |durable| durable.saturating_sub(repl.acked_epoch()));
+        // progress recorded. The quorum variant measures against the
+        // quorum-acked epoch — what a replicated invoke would wait on now.
+        let durable = self.db.durable_epoch();
+        let lag = durable.map_or(0, |durable| durable.saturating_sub(repl.acked_epoch()));
         snap.gauges.push(Gauge {
             name: "repl_lag_epochs".to_string(),
             value: lag as f64,
+        });
+        let quorum_lag = durable.map_or(0, |durable| durable.saturating_sub(quorum_epoch));
+        snap.gauges.push(Gauge {
+            name: "repl_quorum_epoch_lag".to_string(),
+            value: quorum_lag as f64,
         });
         if repl.is_follower() {
             snap.gauges.push(Gauge {
@@ -377,6 +518,9 @@ impl Server {
             config,
             shutdown: AtomicBool::new(false),
         });
+        shared
+            .repl
+            .set_quorum(shared.config.replication.effective_quorum());
 
         let mut senders = Vec::new();
         let mut workers = Vec::new();
@@ -787,15 +931,16 @@ fn service(
                 // through `from_epoch` skips those epochs at apply time,
                 // so re-shipping is merely redundant, never wrong.
                 from_epoch: _,
+                follower_id,
             } => {
-                subscribe_follower(shared, conn, worker_idx, correlation_id);
+                subscribe_follower(shared, conn, worker_idx, correlation_id, follower_id);
                 return true;
             }
-            // Only meaningful on a subscribed connection (the feeder reads
-            // them there); on an ordinary connection it is harmless noise.
-            Request::ReplAck { applied_epoch, .. } => {
-                shared.repl.observe_ack(applied_epoch);
-            }
+            // Acks are read by the feeder on the subscribed connection
+            // they belong to; one arriving on an ordinary connection has
+            // no registered follower behind it and is dropped — it must
+            // not advance any quorum it never subscribed to.
+            Request::ReplAck { .. } => {}
         }
         if let Some(since) = dispatch_clock {
             shared
@@ -806,6 +951,10 @@ fn service(
 
     // Poll in-flight transactions; reply to whatever reached its ack point.
     let durable_epoch = shared.db.durable_epoch();
+    // The quorum epoch takes the roster lock; compute it at most once per
+    // pass, and only when some pending invoke actually asked for a
+    // replicated ack.
+    let mut quorum_epoch: Option<u64> = None;
     let mut still_pending = VecDeque::with_capacity(conn.inflight.len());
     while let Some(pending) = conn.inflight.pop_front() {
         let outcome = match pending.handle.try_result() {
@@ -816,10 +965,11 @@ fn service(
             Some(outcome) => outcome,
         };
         // A durable-ack commit waits until group commit covers its epoch;
-        // a replicated-ack commit additionally waits until some follower
-        // has acknowledged durably applying it. Aborts are never durable
-        // and reply immediately. With no WAL configured both levels
-        // degrade to validated, like the in-process `wait_durable`.
+        // a replicated-ack commit additionally waits until a *quorum* of
+        // followers has acknowledged durably applying it. Aborts are
+        // never durable and reply immediately. With no WAL configured
+        // both levels degrade to validated, like the in-process
+        // `wait_durable`.
         if pending.ack.requires_durable() && outcome.is_ok() {
             let covered = match (pending.handle.commit_epoch(), durable_epoch) {
                 (Some(commit), Some(durable)) => commit <= durable,
@@ -828,10 +978,9 @@ fn service(
             };
             let replicated = !pending.ack.requires_replicated()
                 || durable_epoch.is_none()
-                || pending
-                    .handle
-                    .commit_epoch()
-                    .is_none_or(|commit| commit <= shared.repl.acked_epoch());
+                || pending.handle.commit_epoch().is_none_or(|commit| {
+                    commit <= *quorum_epoch.get_or_insert_with(|| shared.repl.quorum_epoch())
+                });
             if !(covered && replicated) {
                 *want_wal_kick = true;
                 still_pending.push_back(pending);
@@ -923,6 +1072,7 @@ fn subscribe_follower(
     conn: &mut Conn,
     worker_idx: usize,
     correlation_id: u64,
+    follower_id: u64,
 ) {
     let Some(dir) = shared.db.wal().map(|w| w.dir().to_path_buf()) else {
         // Nothing to ship without a log; tell the follower and move on.
@@ -951,15 +1101,19 @@ fn subscribe_follower(
     let spawned = std::thread::Builder::new()
         .name("reactdb-repl-feed".into())
         .spawn(move || {
-            shared_for_feeder
-                .repl
-                .followers
-                .fetch_add(1, Ordering::Relaxed);
-            feeder_loop(&shared_for_feeder, stream, backlog, correlation_id, &dir);
-            shared_for_feeder
-                .repl
-                .followers
-                .fetch_sub(1, Ordering::Relaxed);
+            // The registration guard deregisters on drop, so the follower
+            // count and quorum roster stay truthful even if the feeder
+            // panics or bails early — the gauge can no longer leak.
+            let registration = shared_for_feeder.repl.register_follower(follower_id);
+            feeder_loop(
+                &shared_for_feeder,
+                stream,
+                backlog,
+                correlation_id,
+                follower_id,
+                &dir,
+            );
+            drop(registration);
         });
     match spawned {
         Ok(handle) => shared.feeders.lock().unwrap().push(handle),
@@ -971,16 +1125,29 @@ fn subscribe_follower(
 ///
 /// Blocking socket with a short read timeout: each round ships whatever
 /// the [`ShipCursor`] found new, then drains any `ReplAck` frames the
-/// follower sent back into [`ReplState::observe_ack`]. A cursor error
-/// (e.g. a checkpoint truncated a segment mid-ship) ends the stream with
-/// a `ReplEnd` so the follower reconnects and resubscribes.
+/// follower sent back into [`ReplState::observe_ack`] under this
+/// subscription's `follower_id`. A cursor error (e.g. a checkpoint
+/// truncated a segment mid-ship) ends the stream with a clean `ReplEnd`
+/// so the follower reconnects and resubscribes instead of seeing a
+/// connection drop.
+///
+/// Failpoints (scoped to the log directory's name): `feeder-stall`
+/// delays each round (or, armed as `err`, kills the feeder abruptly —
+/// no `ReplEnd`, exercising the registration guard), `ack-drop` discards
+/// follower acks before they reach the quorum registry.
 fn feeder_loop(
     shared: &Arc<Shared>,
     mut stream: TcpStream,
     backlog: Vec<u8>,
     correlation_id: u64,
+    follower_id: u64,
     dir: &std::path::Path,
 ) {
+    let fp_scope = dir
+        .file_name()
+        .and_then(|n| n.to_str())
+        .unwrap_or("")
+        .to_string();
     let poll_interval = Duration::from_millis(shared.config.replication.poll_interval_ms.max(1));
     if stream.set_nonblocking(false).is_err()
         || stream.set_read_timeout(Some(poll_interval)).is_err()
@@ -1028,6 +1195,14 @@ fn feeder_loop(
                     reason: "primary shutting down".to_string(),
                 },
             );
+            return;
+        }
+        // A `stall` spec sleeps inside `fire_scoped`; an `err` spec kills
+        // the feeder abruptly, as a panic or a crashed thread would.
+        if matches!(
+            reactdb_wal::failpoint::fire_scoped("feeder-stall", &fp_scope),
+            Some(reactdb_wal::failpoint::FpAction::Err)
+        ) {
             return;
         }
 
@@ -1092,7 +1267,14 @@ fn feeder_loop(
                 Ok(Some((payload, consumed))) => {
                     match codec::decode_request(payload) {
                         Ok(Request::ReplAck { applied_epoch, .. }) => {
-                            shared.repl.observe_ack(applied_epoch);
+                            // `ack-drop`: the follower applied and acked,
+                            // but the primary never hears it — the quorum
+                            // gate must stall, not lie.
+                            if reactdb_wal::failpoint::fire_scoped("ack-drop", &fp_scope)
+                                != Some(reactdb_wal::failpoint::FpAction::Err)
+                            {
+                                shared.repl.observe_ack(follower_id, applied_epoch);
+                            }
                         }
                         Ok(_) => {} // a subscribed connection is repl-only
                         Err(_) => return,

@@ -38,6 +38,11 @@
 //!                         Requires --wal-dir (the follower's own log).
 //!   --staging-dir PATH    where the shipped copy of the primary's log dir
 //!                         is staged (default: <wal-dir>.staging)
+//!   --repl-quorum N       followers that must durably ack an epoch before
+//!                         AckLevel::Replicated replies release (default 1)
+//!   --failpoints SPEC     arm fault-injection points, e.g.
+//!                         "truncate-under-cursor=err:1,ack-drop=err:3";
+//!                         equivalent to setting REACTDB_FAILPOINTS
 //!
 //! A follower that loses its primary prints `promoted to primary` with the
 //! failover time; smoke tests and the CI replication gate grep for it.
@@ -68,6 +73,8 @@ struct Opts {
     run_secs: Option<u64>,
     follow: Option<String>,
     staging_dir: Option<String>,
+    repl_quorum: usize,
+    failpoints: Option<String>,
 }
 
 fn usage_and_exit(msg: &str) -> ! {
@@ -94,6 +101,8 @@ fn parse_opts() -> Opts {
         run_secs: None,
         follow: None,
         staging_dir: None,
+        repl_quorum: 1,
+        failpoints: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -164,6 +173,12 @@ fn parse_opts() -> Opts {
             }
             "--follow" => opts.follow = Some(value("--follow")),
             "--staging-dir" => opts.staging_dir = Some(value("--staging-dir")),
+            "--repl-quorum" => {
+                opts.repl_quorum = value("--repl-quorum")
+                    .parse()
+                    .unwrap_or_else(|_| usage_and_exit("--repl-quorum wants an integer"))
+            }
+            "--failpoints" => opts.failpoints = Some(value("--failpoints")),
             other => usage_and_exit(&format!("unknown flag {other}")),
         }
     }
@@ -175,6 +190,10 @@ fn parse_opts() -> Opts {
 
 fn main() {
     let opts = parse_opts();
+    if let Some(spec) = &opts.failpoints {
+        reactdb_wal::failpoint::arm(spec)
+            .unwrap_or_else(|e| usage_and_exit(&format!("--failpoints: {e}")));
+    }
 
     let mut config = match opts.deployment.as_str() {
         "shared_nothing" => DeploymentConfig::shared_nothing(opts.executors),
@@ -182,6 +201,7 @@ fn main() {
         "affinity" => DeploymentConfig::shared_everything_with_affinity(opts.executors),
         other => usage_and_exit(&format!("unknown deployment {other}")),
     };
+    config.replication = config.replication.with_quorum(opts.repl_quorum);
     if let Some(dir) = &opts.wal_dir {
         config = config
             .with_durability(

@@ -27,8 +27,21 @@
 //! fresh epoch beyond everything applied, and the node starts accepting
 //! writes as a primary with zero loss of replicated-acked work — that
 //! work was durably applied here before it was ever acknowledged.
+//!
+//! **Resubscribing is not restarting.** A recoverable stream loss — the
+//! primary's checkpoint truncated a segment under the shipping cursor, a
+//! failpoint cut the feeder, a transient disconnect — re-enters step 1
+//! with the follower's state intact: every subscription stages into a
+//! fresh *generation* subdirectory of the staging dir (the new
+//! subscription re-ships the bootstrap from the primary's *new*
+//! checkpoint chain, which must not be spliced into stale staged bytes),
+//! the checkpoint is re-loaded from that side generation, and only rows
+//! above the follower's `applied` epoch are fed to the TID-idempotent
+//! [`ReactDB::apply_redo`]. The reconnect budget replenishes whenever a
+//! subscription made apply progress, so a storm of truncation races never
+//! adds up to a spurious promotion; only consecutive dead connections do.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fs;
 use std::io::{self, ErrorKind, Read, Seek, SeekFrom, Write};
 use std::net::TcpStream;
@@ -105,22 +118,79 @@ pub struct FollowerReport {
     /// Highest epoch durably applied from the primary.
     pub applied_epoch: u64,
     /// Detection-to-serving time of the promotion, when one happened:
-    /// from the moment the established stream dropped to
+    /// from the moment the last *progressing* stream dropped to
     /// [`ReactDB::promote`] returning (includes the reconnect attempts).
     pub failover: Option<Duration>,
+    /// Times the follower re-established a lost subscription without
+    /// losing its applied state (e.g. after a checkpoint truncation raced
+    /// the primary's shipping cursor).
+    pub resubscribes: u64,
 }
 
 /// Mutable state threaded through (re)subscriptions.
 struct Tail {
-    /// Byte length staged so far, per file name.
+    /// Byte length staged so far, per file name, in the *current*
+    /// staging generation.
     staged: HashMap<String, u64>,
-    /// Highest epoch durably applied into the local engine.
+    /// Staged files written since the last pre-ack fsync pass.
+    dirty: HashSet<String>,
+    /// A staged file was created since the last staging-dir fsync (the
+    /// directory entry itself must be durable before an ack).
+    dir_dirty: bool,
+    /// Highest epoch durably applied into the local engine. Survives
+    /// resubscription: the one piece of state that must never reset.
     applied: u64,
     /// Epoch floor below which batches are covered by the loaded
     /// checkpoint (its `cover_epoch`); 0 before bootstrap or without one.
     checkpoint_floor: u64,
-    /// Whether the staged checkpoint chain has been loaded.
+    /// Whether the current generation's checkpoint chain has been loaded.
     bootstrapped: bool,
+    /// Monotone (re)subscription counter; names the staging generation
+    /// subdirectory.
+    generation: u64,
+    /// Stream events seen (chunks staged + epochs applied), the progress
+    /// measure that replenishes the reconnect budget.
+    progress: u64,
+}
+
+impl Tail {
+    /// The staging subdirectory of the current generation.
+    fn gen_dir(&self, staging_dir: &Path) -> PathBuf {
+        staging_dir.join(format!("gen-{:06}", self.generation))
+    }
+
+    /// Starts a fresh staging generation for a new subscription: staged
+    /// bookkeeping resets (the new stream re-ships its bootstrap from the
+    /// primary's *current* checkpoint chain), `applied` survives, and
+    /// generations older than the previous one are deleted.
+    fn next_generation(&mut self, staging_dir: &Path) -> io::Result<PathBuf> {
+        self.generation += 1;
+        self.staged.clear();
+        self.dirty.clear();
+        self.dir_dirty = false;
+        self.bootstrapped = false;
+        self.checkpoint_floor = 0;
+        // Keep the previous generation (a dying apply could still hold
+        // open files); everything older is garbage.
+        if let Ok(entries) = fs::read_dir(staging_dir) {
+            for entry in entries.flatten() {
+                let name = entry.file_name();
+                let Some(name) = name.to_str() else { continue };
+                let Some(gen) = name
+                    .strip_prefix("gen-")
+                    .and_then(|n| n.parse::<u64>().ok())
+                else {
+                    continue;
+                };
+                if gen + 1 < self.generation {
+                    let _ = fs::remove_dir_all(entry.path());
+                }
+            }
+        }
+        let dir = self.gen_dir(staging_dir);
+        fs::create_dir_all(&dir)?;
+        Ok(dir)
+    }
 }
 
 /// Tails `opts.primary_addr` until `stop` is raised, the stream is lost
@@ -138,30 +208,49 @@ pub fn run_follower(
     fs::create_dir_all(&opts.staging_dir)?;
     db.set_read_only(true);
     repl.set_follower_mode(true);
+    let follower_id = follower_id(&opts.staging_dir);
     let mut tail = Tail {
         staged: HashMap::new(),
+        dirty: HashSet::new(),
+        dir_dirty: false,
         applied: 0,
         checkpoint_floor: 0,
         bootstrapped: false,
+        generation: 0,
+        progress: 0,
     };
 
     let mut disconnected_at: Option<Instant> = None;
     let mut attempts_left = opts.reconnect_attempts;
+    let mut resubscribes = 0u64;
     loop {
         if stop.load(Ordering::SeqCst) {
             return Ok(FollowerReport {
                 promoted: false,
                 applied_epoch: tail.applied,
                 failover: None,
+                resubscribes,
             });
         }
-        match follow_once(db, repl, opts, stop, &mut tail) {
+        let progress_before = tail.progress;
+        if tail.generation > 0 {
+            resubscribes += 1;
+            // Scripts and the CI replication gate grep for this line.
+            eprintln!(
+                "follower resubscribing to {} (applied epoch {}, generation {})",
+                opts.primary_addr,
+                tail.applied,
+                tail.generation + 1,
+            );
+        }
+        match follow_once(db, repl, opts, stop, &mut tail, follower_id) {
             Ok(()) => {
                 // Clean stop request honoured inside the stream loop.
                 return Ok(FollowerReport {
                     promoted: false,
                     applied_epoch: tail.applied,
                     failover: None,
+                    resubscribes,
                 });
             }
             Err(e) if e.kind() == ErrorKind::InvalidData => {
@@ -169,6 +258,16 @@ pub fn run_follower(
                 return Err(e);
             }
             Err(e) => {
+                // A subscription that streamed anything replenishes the
+                // reconnect budget: recoverable races (checkpoint
+                // truncations, feeder faults) can recur indefinitely
+                // without adding up to a spurious promotion, while a
+                // primary that is really gone yields dead connection
+                // after dead connection and runs the budget out.
+                if tail.progress > progress_before {
+                    attempts_left = opts.reconnect_attempts;
+                    disconnected_at = None;
+                }
                 disconnected_at.get_or_insert_with(Instant::now);
                 if attempts_left > 0 {
                     attempts_left -= 1;
@@ -184,10 +283,29 @@ pub fn run_follower(
                     promoted: true,
                     applied_epoch: tail.applied,
                     failover: disconnected_at.map(|t| t.elapsed()),
+                    resubscribes,
                 });
             }
         }
     }
+}
+
+/// Stable identity of this follower across reconnects: an FNV-1a hash of
+/// the staging directory plus the process id. Two followers on one
+/// machine differ by staging dir; a restarted follower process gets a
+/// fresh id, so the primary's registry never confuses its acks with the
+/// dead incarnation's.
+fn follower_id(staging_dir: &Path) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            hash ^= b as u64;
+            hash = hash.wrapping_mul(0x100_0000_01b3);
+        }
+    };
+    eat(staging_dir.to_string_lossy().as_bytes());
+    eat(&std::process::id().to_le_bytes());
+    hash
 }
 
 /// One subscription: connect, stream, stage, apply, ack — until the
@@ -198,7 +316,9 @@ fn follow_once(
     opts: &FollowerOpts,
     stop: &AtomicBool,
     tail: &mut Tail,
+    follower_id: u64,
 ) -> io::Result<()> {
+    let gen_dir = tail.next_generation(&opts.staging_dir)?;
     let mut stream = TcpStream::connect(&opts.primary_addr)?;
     stream.set_nodelay(true)?;
     stream.set_read_timeout(Some(Duration::from_millis(20)))?;
@@ -212,6 +332,7 @@ fn follow_once(
     let subscribe = codec::frame(&codec::encode_request(&Request::ReplSubscribe {
         correlation_id,
         from_epoch: tail.applied,
+        follower_id,
     }));
     stream.write_all(&subscribe)?;
 
@@ -254,17 +375,28 @@ fn follow_once(
                     offset,
                     bytes,
                     ..
-                } => stage_chunk(&opts.staging_dir, tail, &name, offset, &bytes)?,
+                } => {
+                    stage_chunk(&gen_dir, tail, &name, offset, &bytes)?;
+                    tail.progress += 1;
+                }
                 Response::ReplEpoch { epoch, .. } => {
                     if epoch > tail.applied {
-                        apply_through(db, opts, tail, epoch)?;
+                        apply_through(db, &gen_dir, opts, tail, epoch)?;
+                        tail.progress += 1;
+                        // Local state (and metrics) reflect the applied
+                        // epoch *before* the primary can observe the ack:
+                        // anything gating on the ack — the quorum reply
+                        // gate above all — may then rely on this node
+                        // already serving that epoch.
+                        repl.observe_apply(tail.applied, epoch);
                         let ack = codec::frame(&codec::encode_request(&Request::ReplAck {
                             correlation_id,
                             applied_epoch: tail.applied,
                         }));
                         stream.write_all(&ack)?;
+                    } else {
+                        repl.observe_apply(tail.applied, epoch);
                     }
-                    repl.observe_apply(tail.applied, epoch);
                 }
                 Response::ReplEnd { reason, .. } => {
                     return Err(io::Error::other(format!("stream ended: {reason}")));
@@ -299,11 +431,14 @@ fn read_exact_with_timeout(stream: &mut TcpStream, buf: &mut [u8]) -> io::Result
     Ok(())
 }
 
-/// Stages one shipped chunk at its exact offset. The cursor re-ships a
-/// file from offset 0 after a resubscribe, so a chunk below the staged
-/// length truncates and rewrites — idempotent by construction.
+/// Stages one shipped chunk at its exact offset into the current staging
+/// generation. The cursor re-ships a file from offset 0 after a
+/// resubscribe, so a chunk below the staged length truncates and rewrites
+/// — idempotent by construction. Durability is deferred: the staged file
+/// is only recorded dirty here and fsynced in [`apply_through`], before
+/// the ack that makes the primary count these bytes as replicated.
 fn stage_chunk(
-    staging_dir: &Path,
+    gen_dir: &Path,
     tail: &mut Tail,
     name: &str,
     offset: u64,
@@ -315,12 +450,20 @@ fn stage_chunk(
             format!("shipped file name {name:?} is not a plain file name"),
         ));
     }
-    let staged_len = tail.staged.get(name).copied().unwrap_or(0);
+    let staged_len = match tail.staged.get(name) {
+        Some(&len) => len,
+        None => {
+            // First chunk of this file in this generation: its directory
+            // entry must reach disk before any covering ack.
+            tail.dir_dirty = true;
+            0
+        }
+    };
     let mut file = fs::OpenOptions::new()
         .create(true)
         .write(true)
         .truncate(false)
-        .open(staging_dir.join(name))?;
+        .open(gen_dir.join(name))?;
     if offset > staged_len {
         return Err(io::Error::new(
             ErrorKind::InvalidData,
@@ -334,26 +477,34 @@ fn stage_chunk(
     file.write_all(bytes)?;
     tail.staged
         .insert(name.to_string(), offset + bytes.len() as u64);
+    tail.dirty.insert(name.to_string());
     Ok(())
 }
 
 /// Applies every staged-but-unapplied batch with commit epoch `<= epoch`
 /// into the local engine, bootstrapping from the staged checkpoint chain
-/// on the first call, then forces a local group commit so the subsequent
-/// ack means *durably* applied.
+/// on the first call of the generation, then forces a local group commit
+/// and fsyncs the staged bytes so the subsequent ack means *durably*
+/// applied — in the engine's own WAL and in the staged copy both.
 fn apply_through(
     db: &Arc<ReactDB>,
+    gen_dir: &Path,
     opts: &FollowerOpts,
     tail: &mut Tail,
     epoch: u64,
 ) -> io::Result<()> {
     let mut checkpoint_rows: Vec<(TidWord, RedoRecord)> = Vec::new();
     if !tail.bootstrapped {
-        if let Some(recovered) =
-            reactdb_wal::load_checkpoint(&opts.staging_dir, epoch, opts.replay_workers)?
+        if let Some(recovered) = reactdb_wal::load_checkpoint(gen_dir, epoch, opts.replay_workers)?
         {
             tail.checkpoint_floor = recovered.cover_epoch;
+            // On a resubscribe the primary's *new* checkpoint may cover
+            // epochs this follower already applied; `apply_redo` is
+            // TID-idempotent, but filtering here keeps the common case
+            // (checkpoint entirely below `applied`) from re-walking
+            // every row.
             checkpoint_rows = recovered.rows;
+            checkpoint_rows.retain(|(tid, _)| tid.epoch() > tail.applied);
         }
         tail.bootstrapped = true;
     }
@@ -368,7 +519,7 @@ fn apply_through(
         if !(name.starts_with("wal-") && name.ends_with(".log")) {
             continue;
         }
-        let bytes = fs::read(opts.staging_dir.join(name))?;
+        let bytes = fs::read(gen_dir.join(name))?;
         let scan = reactdb_wal::codec::decode_segment(&bytes).ok_or_else(|| {
             io::Error::new(
                 ErrorKind::InvalidData,
@@ -389,6 +540,17 @@ fn apply_through(
         // The ack promises durability: flush the follower's own WAL.
         db.wal_sync()
             .map_err(|e| io::Error::other(format!("follower group commit failed: {e}")))?;
+    }
+    // The staged copy is this node's bootstrap source if it restarts as a
+    // primary seed; make everything the ack will cover durable too. One
+    // batched pass per epoch, not per chunk — the set of dirty files is
+    // small and the ack is the durability boundary, not the write.
+    for name in tail.dirty.drain() {
+        fs::File::open(gen_dir.join(&name))?.sync_data()?;
+    }
+    if tail.dir_dirty {
+        fs::File::open(gen_dir)?.sync_all()?;
+        tail.dir_dirty = false;
     }
     tail.applied = epoch;
     Ok(())

@@ -35,6 +35,7 @@
 
 pub mod checkpoint;
 pub mod codec;
+pub mod failpoint;
 pub mod ship;
 pub mod stats;
 pub mod writer;

@@ -41,6 +41,7 @@ use reactdb_storage::TidWord;
 
 use crate::checkpoint::MANIFEST_FILE;
 use crate::codec;
+use crate::failpoint;
 
 /// Byte length of the fixed segment header (magic + executor + generation).
 const SEGMENT_HEADER_LEN: usize = 16;
@@ -73,6 +74,10 @@ pub enum ShipEvent {
 #[derive(Debug)]
 pub struct ShipCursor {
     dir: PathBuf,
+    /// The directory's file name, offered as the failpoint scope so tests
+    /// can fault one cursor without tripping every other one in the
+    /// process (see [`failpoint::fire_scoped`]).
+    scope: String,
     /// Upper bound on one [`ShipEvent::File`] chunk.
     chunk_bytes: usize,
     /// Shipped-byte high-water mark per segment file name.
@@ -87,8 +92,14 @@ impl ShipCursor {
     /// A cursor over `dir` emitting file chunks of at most `chunk_bytes`
     /// (clamped to at least 4 KiB).
     pub fn new(dir: &Path, chunk_bytes: usize) -> Self {
+        let scope = dir
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or("")
+            .to_string();
         Self {
             dir: dir.to_path_buf(),
+            scope,
             chunk_bytes: chunk_bytes.max(4 * 1024),
             offsets: HashMap::new(),
             shipped_checkpoint: false,
@@ -112,6 +123,15 @@ impl ShipCursor {
         }
 
         let segments = crate::list_segments(&self.dir)?;
+        // Fault injection: behave exactly as if a checkpoint truncation
+        // deleted a tracked segment between the listing and the read.
+        if !self.offsets.is_empty() {
+            failpoint::check_scoped("truncate-under-cursor", &self.scope).map_err(|e| {
+                io::Error::other(format!(
+                    "{e}: segment vanished mid-ship (checkpoint truncation?); resubscribe"
+                ))
+            })?;
+        }
         for name in self.offsets.keys() {
             if !segments.iter().any(|p| p.ends_with(name.as_str())) {
                 return Err(io::Error::other(format!(
@@ -227,6 +247,16 @@ impl ShipCursor {
                 bytes: bytes[offset..chunk_end].to_vec(),
             });
             offset = chunk_end;
+        }
+        // Fault injection: the stream dies with this segment's new chunks
+        // queued but unrecorded. The offsets map is not advanced on the
+        // error path and the durable-epoch event never goes out, so a
+        // resubscribing cursor re-ships the range — the same shape as a
+        // connection cut mid-file.
+        if end > start {
+            failpoint::check_scoped("ship-mid-file", &self.scope).map_err(|e| {
+                io::Error::other(format!("{e}: stream cut mid-segment; resubscribe"))
+            })?;
         }
         if end > shipped {
             self.offsets.insert(name, end as u64);
@@ -431,6 +461,54 @@ mod tests {
         fs::remove_file(dir.join(&name)).unwrap();
         // An untracked-but-gone segment is fine; a tracked one is fatal.
         assert!(cursor.poll().is_err(), "mid-ship truncation must surface");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncate_under_cursor_failpoint_faults_a_tracking_cursor_once() {
+        let dir = temp_dir("fp-truncate");
+        let scope = dir.file_name().unwrap().to_str().unwrap();
+        write_segment(&dir, 0, &[(TidWord::committed(1, 1), vec![record(1.0)])]);
+        crate::write_marker(&dir, 1).unwrap();
+
+        let mut cursor = ShipCursor::new(&dir, 1 << 20);
+        // Armed before the first poll: a cursor tracking nothing yet has
+        // nothing a truncation could race, so the point must not fire.
+        failpoint::arm(&format!("truncate-under-cursor@{scope}=err:1")).unwrap();
+        assert!(cursor.poll().is_ok(), "untracked cursor is not faulted");
+        let err = cursor.poll().expect_err("tracked cursor is faulted");
+        assert!(err.to_string().contains("resubscribe"), "{err}");
+        // Budget spent: the stream heals on resubscribe.
+        let mut fresh = ShipCursor::new(&dir, 1 << 20);
+        assert!(fresh.poll().is_ok());
+        assert_eq!(
+            failpoint::hits(&format!("truncate-under-cursor@{scope}")),
+            1
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn ship_mid_file_failpoint_loses_nothing_across_resubscribe() {
+        let dir = temp_dir("fp-midfile");
+        let scope = dir.file_name().unwrap().to_str().unwrap().to_string();
+        let batches: Vec<_> = (1..=10)
+            .map(|i| (TidWord::committed(2, i), vec![record(i as f64)]))
+            .collect();
+        let name = write_segment(&dir, 0, &batches);
+        crate::write_marker(&dir, 2).unwrap();
+        let original = fs::read(dir.join(&name)).unwrap();
+
+        failpoint::arm(&format!("ship-mid-file@{scope}=err:1")).unwrap();
+        let mut cursor = ShipCursor::new(&dir, 1 << 20);
+        assert!(cursor.poll().is_err(), "first poll dies mid-segment");
+        // The follower reconnects with a fresh cursor; the stream re-ships
+        // the whole range and reassembles byte-identically.
+        let mut fresh = ShipCursor::new(&dir, 1 << 20);
+        let mut staged = HashMap::new();
+        let epoch = apply_events(&mut staged, &fresh.poll().unwrap());
+        assert_eq!(epoch, 2);
+        assert_eq!(staged[&name], original);
         let _ = fs::remove_dir_all(&dir);
     }
 

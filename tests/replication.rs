@@ -21,7 +21,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use reactdb::common::{AckLevel, DeploymentConfig, DurabilityConfig, Value};
+use reactdb::common::{AckLevel, DeploymentConfig, DurabilityConfig, ReplicationConfig, Value};
 use reactdb::engine::ReactDB;
 use reactdb_client::WireClient;
 use reactdb_server::{run_follower, FollowerOpts, Server, ServerConfig};
@@ -230,4 +230,230 @@ fn promotion_after_primary_kill_keeps_every_replicated_acked_txn() {
 
     cluster.follower.shutdown();
     drop(cluster.follower_db);
+}
+
+/// A checkpoint on the primary truncates log segments the live shipping
+/// cursor is tracking; the stream dies and the follower must resubscribe
+/// — bootstrapping from the *new* checkpoint chain into a fresh staging
+/// generation — and re-converge on the primary's exact register state
+/// without restarting empty or double-applying.
+#[test]
+fn follower_reconverges_after_checkpoint_truncation_kills_the_stream() {
+    let primary_wal = temp_path("reconverge-primary-wal");
+    let follower_wal = temp_path("reconverge-follower-wal");
+    let staging = temp_path("reconverge-staging");
+
+    let primary_db = Arc::new(ReactDB::boot(
+        spec(),
+        DeploymentConfig::shared_nothing(SHARDS)
+            .with_durability(DurabilityConfig::epoch_sync(&primary_wal).with_interval_ms(1)),
+    ));
+    load(&primary_db);
+    let primary = Server::start(Arc::clone(&primary_db), ServerConfig::default()).unwrap();
+
+    let follower_db = Arc::new(ReactDB::boot(
+        spec(),
+        DeploymentConfig::shared_nothing(SHARDS)
+            .with_durability(DurabilityConfig::epoch_sync(&follower_wal).with_interval_ms(1)),
+    ));
+    let follower = Server::start(Arc::clone(&follower_db), ServerConfig::default()).unwrap();
+    let opts = FollowerOpts::new(primary.local_addr().to_string(), &staging)
+        .with_reconnects(5, Duration::from_millis(25))
+        .with_promote_on_disconnect(false);
+    let stop = Arc::new(AtomicBool::new(false));
+    let follower_thread = {
+        let db = Arc::clone(&follower_db);
+        let repl = follower.repl_state();
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || run_follower(&db, &repl, &opts, &stop))
+    };
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while primary.repl_state().followers() == 0 {
+        assert!(Instant::now() < deadline, "follower never subscribed");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    let client = WireClient::connect(primary.local_addr()).expect("connect primary");
+    let mut expected: std::collections::HashMap<(String, i64), i64> =
+        std::collections::HashMap::new();
+    let mut write = |label: i64| {
+        let shard = shard_name((label as usize) % SHARDS);
+        let key = label % KEYS_PER_SHARD;
+        let obs = client
+            .invoke_with(
+                &shard,
+                "rmw",
+                vec![Value::Int(label), Value::Int(key)],
+                AckLevel::Replicated,
+            )
+            .expect("replicated write");
+        for read in parse_observations(obs.as_str()) {
+            expected.insert((read.shard, read.key), read.ver + 1);
+        }
+    };
+    for i in 0..20 {
+        write(1000 + i);
+    }
+
+    // Truncate the shipped segments out from under the live cursor, then
+    // arm the scoped failpoint so the cursor faults at least once even if
+    // the real truncation missed its polling window. The scope is the
+    // primary's log-dir name, so concurrently running tests never see it.
+    primary_db.checkpoint_now().expect("checkpoint");
+    let scope = std::path::Path::new(&primary_wal)
+        .file_name()
+        .unwrap()
+        .to_string_lossy()
+        .into_owned();
+    let fp = format!("truncate-under-cursor@{scope}");
+    reactdb::wal::failpoint::arm(&format!("{fp}=err:1")).unwrap();
+
+    // Every one of these must commit through the resubscribed stream.
+    for i in 0..20 {
+        write(2000 + i);
+    }
+    assert_eq!(
+        reactdb::wal::failpoint::hits(&fp),
+        1,
+        "the cursor fault was actually injected"
+    );
+
+    // Quorum-1 replicated acks mean the single follower durably applied
+    // every write before its invoke returned; its registers must now match
+    // the primary's exactly.
+    for ((shard, key), version) in &expected {
+        let obs = follower_db
+            .invoke(shard, "snapshot", vec![Value::Int(*key)])
+            .expect("follower read");
+        assert_eq!(
+            parse_observations(obs.as_str())[0].ver,
+            *version,
+            "{shard}:{key} must re-converge to the primary's version"
+        );
+    }
+
+    stop.store(true, Ordering::SeqCst);
+    let report = follower_thread.join().unwrap().expect("clean stop");
+    assert!(!report.promoted, "no spurious promotion");
+    assert!(
+        report.resubscribes >= 1,
+        "the follower resubscribed rather than surviving untouched: {report:?}"
+    );
+    follower.shutdown();
+    primary.shutdown();
+    drop(primary_db);
+    drop(follower_db);
+}
+
+/// With `--repl-quorum 2` a `Replicated` ack must mean "durable on at
+/// least three nodes": while only one follower is subscribed the reply
+/// stalls, and it releases only once a second follower has durably
+/// applied the commit epoch.
+#[test]
+fn quorum_two_stalls_replicated_acks_until_a_second_follower_acks() {
+    let primary_wal = temp_path("quorum-primary-wal");
+
+    let primary_db = Arc::new(ReactDB::boot(
+        spec(),
+        DeploymentConfig::shared_nothing(SHARDS)
+            .with_durability(DurabilityConfig::epoch_sync(&primary_wal).with_interval_ms(1)),
+    ));
+    load(&primary_db);
+    let primary = Server::start(
+        Arc::clone(&primary_db),
+        ServerConfig::default().with_replication(ReplicationConfig::default().with_quorum(2)),
+    )
+    .unwrap();
+
+    let boot_follower = |tag: &str| {
+        let wal = temp_path(&format!("quorum-{tag}-wal"));
+        let staging = temp_path(&format!("quorum-{tag}-staging"));
+        let db = Arc::new(ReactDB::boot(
+            spec(),
+            DeploymentConfig::shared_nothing(SHARDS)
+                .with_durability(DurabilityConfig::epoch_sync(&wal).with_interval_ms(1)),
+        ));
+        let server = Server::start(Arc::clone(&db), ServerConfig::default()).unwrap();
+        let opts = FollowerOpts::new(primary.local_addr().to_string(), staging)
+            .with_reconnects(5, Duration::from_millis(25))
+            .with_promote_on_disconnect(false);
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread = {
+            let db = Arc::clone(&db);
+            let repl = server.repl_state();
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || run_follower(&db, &repl, &opts, &stop))
+        };
+        (db, server, thread, stop)
+    };
+
+    let (db_a, server_a, thread_a, stop_a) = boot_follower("a");
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while primary.repl_state().followers() < 1 {
+        assert!(Instant::now() < deadline, "first follower never subscribed");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // One live follower cannot satisfy a quorum of two: the replicated
+    // reply must stall (while the same write at Durable sails through on
+    // a second connection — replies are ordered per connection).
+    let client = WireClient::connect(primary.local_addr()).expect("connect");
+    let stalled = client
+        .submit_with_ack(
+            &shard_name(0),
+            "rmw",
+            vec![Value::Int(7001), Value::Int(0)],
+            AckLevel::Replicated,
+        )
+        .expect("submit replicated");
+    let side = WireClient::connect(primary.local_addr()).expect("connect");
+    side.invoke_with(
+        &shard_name(1),
+        "rmw",
+        vec![Value::Int(7002), Value::Int(0)],
+        AckLevel::Durable,
+    )
+    .expect("durable write proceeds while replicated stalls");
+    assert!(
+        stalled.wait_timeout(Duration::from_millis(400)).is_none(),
+        "replicated ack released with only one of two quorum followers"
+    );
+    assert_eq!(
+        primary.repl_state().quorum_epoch(),
+        0,
+        "one follower of a two-quorum contributes no quorum epoch"
+    );
+
+    // The second follower subscribing, catching up and acking releases it.
+    let (db_b, server_b, thread_b, stop_b) = boot_follower("b");
+    let value = stalled
+        .wait_timeout(Duration::from_secs(20))
+        .expect("replicated ack released once the quorum filled")
+        .expect("write committed");
+    assert!(matches!(value, Value::Str(_)));
+    let commit_epoch = stalled.commit_epoch().expect("commit epoch reported");
+
+    // Quorum honesty: at release time both followers had durably applied
+    // the commit epoch (applied_epoch only moves before the ack is sent).
+    for (name, repl) in [("a", server_a.repl_state()), ("b", server_b.repl_state())] {
+        assert!(
+            repl.applied_epoch() >= commit_epoch,
+            "follower {name} applied {} but the quorum released epoch {commit_epoch}",
+            repl.applied_epoch(),
+        );
+    }
+    assert!(primary.repl_state().quorum_epoch() >= commit_epoch);
+    assert_eq!(primary.repl_state().follower_acks().len(), 2);
+
+    for (stop, thread) in [(stop_a, thread_a), (stop_b, thread_b)] {
+        stop.store(true, Ordering::SeqCst);
+        let report = thread.join().unwrap().expect("clean stop");
+        assert!(!report.promoted);
+    }
+    server_a.shutdown();
+    server_b.shutdown();
+    primary.shutdown();
+    drop(primary_db);
+    drop(db_a);
+    drop(db_b);
 }
